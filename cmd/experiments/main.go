@@ -1,0 +1,84 @@
+// Command experiments regenerates the paper's tables and figures on
+// the synthetic workload suite.
+//
+// Usage:
+//
+//	experiments -exp fig8            # one experiment
+//	experiments -exp all             # every experiment
+//	experiments -exp table6 -n 40000 # smaller traces
+//	experiments -list                # list experiment ids
+//
+// Experiment ids map to the paper's evaluation artifacts; see DESIGN.md
+// for the per-experiment index and EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resemble/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or 'all'")
+		n     = flag.Int("n", 60000, "accesses per workload trace")
+		batch = flag.Int("batch", 64, "controller training batch (paper: 256)")
+		seed  = flag.Int64("seed", 0, "seed offset for workloads and controllers")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.ExperimentIDs(), "\n"))
+		return
+	}
+
+	opt := experiments.Options{
+		Accesses: *n,
+		Batch:    *batch,
+		Seed:     *seed,
+		Out:      os.Stdout,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.ExperimentIDs()
+		// fig8/9/10 share one sweep; run it once.
+		ids = dedupeSweep(ids)
+	}
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// dedupeSweep collapses fig8/fig9/fig10 (one shared sweep) to a single
+// entry.
+func dedupeSweep(ids []string) []string {
+	var out []string
+	seen := false
+	for _, id := range ids {
+		switch id {
+		case "fig8", "fig9", "fig10":
+			if seen {
+				continue
+			}
+			seen = true
+		}
+		out = append(out, id)
+	}
+	return out
+}

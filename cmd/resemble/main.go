@@ -1,0 +1,308 @@
+// Command resemble runs any prefetch controller over any workload (a
+// registered synthetic workload or a trace file) and prints accuracy,
+// coverage, MPKI and IPC improvement.
+//
+// Usage:
+//
+//	resemble -workload 471.omnetpp -controller resemble
+//	resemble -workload hybrid.phases -controller sbp-e -n 100000
+//	resemble -trace /path/to/trace.bin -controller resemble-t
+//	resemble -workloads                         # list workloads
+//
+// Like the paper's artifact demo, the run can emit its decision logs:
+//
+//	resemble -workload 654.roms -controller resemble \
+//	    -pref roms.pref.txt -rewards roms.rewards.csv
+//
+// The .pref.txt file lists the prefetched addresses per access and the
+// .rewards.csv file records the reward sum and action proportions per
+// 1K-access window (the artifact's .rewards.csv equivalent).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bufio"
+
+	"resemble/internal/core"
+	"resemble/internal/ensemble/sbp"
+	"resemble/internal/experiments"
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/prefetch/stride"
+	"resemble/internal/prefetch/voyager"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+var controllerNames = []string{
+	"resemble", "resemble-t", "sbp-e",
+	"bo", "spp", "isb", "domino", "stride", "voyager", "none",
+}
+
+func buildSource(name string, batch int, seed int64) (sim.Source, error) {
+	cfg := core.DefaultConfig()
+	cfg.Batch = batch
+	cfg.Seed = 1 + seed
+	switch name {
+	case "resemble":
+		return core.NewController(cfg, experiments.FourPrefetchers()), nil
+	case "resemble-t":
+		return core.NewTabularController(cfg, experiments.FourPrefetchers()), nil
+	case "sbp-e":
+		return sbp.New(sbp.Config{}, experiments.FourPrefetchers()), nil
+	case "bo":
+		return sim.FromPrefetcher(bo.New(bo.Config{}), 2), nil
+	case "spp":
+		return sim.FromPrefetcher(spp.New(spp.Config{}), 2), nil
+	case "isb":
+		return sim.FromPrefetcher(isb.New(isb.Config{}), 2), nil
+	case "domino":
+		return sim.FromPrefetcher(domino.New(domino.Config{}), 2), nil
+	case "stride":
+		return sim.FromPrefetcher(stride.New(stride.Config{}), 2), nil
+	case "voyager":
+		return sim.FromPrefetcher(voyager.New(voyager.Config{}), 2), nil
+	case "none":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown controller %q (choose from %s)", name, strings.Join(controllerNames, ", "))
+}
+
+func loadTrace(workload, path string, n int, seed int64) (*trace.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	w, err := trace.Lookup(workload)
+	if err != nil {
+		return nil, err
+	}
+	return w.GenerateSeeded(n, w.Seed+seed), nil
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "hybrid.phases", "registered workload name")
+		tracePath = flag.String("trace", "", "binary trace file (overrides -workload)")
+		ctrl      = flag.String("controller", "resemble", strings.Join(controllerNames, "|"))
+		n         = flag.Int("n", 60000, "accesses to generate")
+		batch     = flag.Int("batch", 64, "controller training batch")
+		seed      = flag.Int64("seed", 0, "seed offset")
+		latency   = flag.Uint64("latency", 0, "controller inference latency in cycles")
+		lowTP     = flag.Bool("lowtp", false, "low-throughput controller model")
+		prefOut   = flag.String("pref", "", "write prefetched addresses per access to this file")
+		rewardOut = flag.String("rewards", "", "write per-1K-window rewards and action shares (CSV)")
+		saveModel = flag.String("save", "", "save the trained model (resemble / resemble-t) to this file")
+		loadModel = flag.String("load", "", "load a previously saved model before running")
+		list      = flag.Bool("workloads", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(trace.Names(), "\n"))
+		return
+	}
+
+	tr, err := loadTrace(*workload, *tracePath, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	src, err := buildSource(*ctrl, *batch, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	simCfg := sim.DefaultConfig()
+	simCfg.PrefetchLatency = *latency
+	simCfg.LowThroughput = *lowTP
+
+	if *loadModel != "" {
+		if err := loadModelFile(src, *loadModel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded model from %s\n", *loadModel)
+	}
+
+	var rec *recorder
+	if *prefOut != "" {
+		rec = &recorder{inner: src}
+		src = rec
+	}
+
+	base := sim.RunBaseline(simCfg, tr)
+	fmt.Printf("workload %s: %s\n", tr.Name, tr.ComputeStats())
+	fmt.Printf("baseline: IPC=%.3f MPKI=%.2f LLC misses=%d\n", base.IPC, base.MPKI, base.LLCMisses)
+	if src == nil {
+		return
+	}
+	r := sim.Run(simCfg, tr, src)
+	fmt.Printf("%s: accuracy=%.1f%% coverage=%.1f%% MPKI=%.2f IPC=%.3f (%+.1f%%)\n",
+		r.Source, 100*r.Accuracy, 100*r.Coverage, r.MPKI, r.IPC, 100*r.IPCImprovement(base))
+	fmt.Printf("  prefetches: issued=%d useful=%d late=%d dropped=%d\n",
+		r.PrefetchesIssued, r.UsefulPrefetches, r.LatePrefetchHits, r.DroppedPrefetches)
+
+	if rec != nil {
+		if err := rec.writePref(*prefOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote prefetch log to %s\n", *prefOut)
+	}
+	if *rewardOut != "" {
+		if err := writeRewardsCSV(*rewardOut, src); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote reward/action windows to %s\n", *rewardOut)
+	}
+	if *saveModel != "" {
+		if err := saveModelFile(src, *saveModel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved model to %s\n", *saveModel)
+	}
+}
+
+// modelSource is implemented by the RL controllers.
+type modelSource interface {
+	SaveModel(io.Writer) error
+	LoadModel(io.Reader) error
+}
+
+// asModelSource unwraps a recorder and asserts model persistence.
+func asModelSource(src sim.Source) (modelSource, error) {
+	if rec, ok := src.(*recorder); ok {
+		src = rec.inner
+	}
+	m, ok := src.(modelSource)
+	if !ok {
+		return nil, fmt.Errorf("controller %q does not support model persistence", src.Name())
+	}
+	return m, nil
+}
+
+func saveModelFile(src sim.Source, path string) error {
+	m, err := asModelSource(src)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.SaveModel(f)
+}
+
+func loadModelFile(src sim.Source, path string) error {
+	m, err := asModelSource(src)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.LoadModel(f)
+}
+
+// recorder wraps a Source and logs the issued lines per access.
+type recorder struct {
+	inner sim.Source
+	log   [][]mem.Line
+}
+
+func (r *recorder) Name() string { return r.inner.Name() }
+func (r *recorder) Reset()       { r.inner.Reset(); r.log = r.log[:0] }
+func (r *recorder) OnAccess(a prefetch.AccessContext) []mem.Line {
+	lines := r.inner.OnAccess(a)
+	r.log = append(r.log, append([]mem.Line(nil), lines...))
+	return lines
+}
+
+// writePref emits the artifact-style .pref.txt: one line per LLC
+// access listing the prefetched byte addresses (empty when none).
+func (r *recorder) writePref(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i, lines := range r.log {
+		fmt.Fprintf(w, "%d", i)
+		for _, l := range lines {
+			fmt.Fprintf(w, " 0x%x", mem.LineAddr(l))
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+// seriesSource is implemented by the RL controllers.
+type seriesSource interface {
+	RewardSeries() []float64
+	ActionSeries() []int8
+	ActionNames() []string
+}
+
+// writeRewardsCSV emits the artifact-style .rewards.csv: per 1K-access
+// window, the reward sum and the proportion of each action.
+func writeRewardsCSV(path string, src sim.Source) error {
+	if rec, ok := src.(*recorder); ok {
+		src = rec.inner
+	}
+	ss, ok := src.(seriesSource)
+	if !ok {
+		return fmt.Errorf("controller %q does not expose reward/action series", src.Name())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	names := ss.ActionNames()
+	fmt.Fprint(w, "window,reward")
+	for _, n := range names {
+		fmt.Fprintf(w, ",%s", n)
+	}
+	fmt.Fprintln(w)
+	rewards := ss.RewardSeries()
+	acts := ss.ActionSeries()
+	const window = 1000
+	for lo := 0; lo+window <= len(acts) && lo+window <= len(rewards); lo += window {
+		var sum float64
+		for _, v := range rewards[lo : lo+window] {
+			sum += v
+		}
+		counts := make([]int, len(names))
+		for _, a := range acts[lo : lo+window] {
+			counts[a]++
+		}
+		fmt.Fprintf(w, "%d,%.1f", lo/window, sum)
+		for _, c := range counts {
+			fmt.Fprintf(w, ",%.3f", float64(c)/window)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,99 @@
+// Command tracegen generates synthetic workload traces and inspects
+// trace files.
+//
+// Usage:
+//
+//	tracegen -workload 433.milc -n 100000 -o milc.bin
+//	tracegen -workload 471.omnetpp -n 1000 -text       # text to stdout
+//	tracegen -inspect milc.bin                          # print stats
+//	tracegen -workloads                                 # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resemble/internal/metrics"
+	"resemble/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "registered workload name")
+		n        = flag.Int("n", 100000, "accesses to generate")
+		seed     = flag.Int64("seed", 0, "seed offset")
+		out      = flag.String("o", "", "output file (binary format); stdout text when empty")
+		text     = flag.Bool("text", false, "emit text format")
+		inspect  = flag.String("inspect", "", "print statistics of a binary trace file")
+		autocorr = flag.Bool("autocorr", false, "also print autocorrelation (lags 1..16)")
+		list     = flag.Bool("workloads", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(trace.Names(), "\n"))
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		describe(tr, *autocorr)
+	case *workload != "":
+		w, err := trace.Lookup(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		tr := w.GenerateSeeded(*n, w.Seed+*seed)
+		if *out == "" {
+			if *text {
+				if err := trace.WriteText(os.Stdout, tr); err != nil {
+					fatal(err)
+				}
+				return
+			}
+			describe(tr, *autocorr)
+			return
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		write := trace.Write
+		if *text {
+			write = trace.WriteText
+		}
+		if err := write(f, tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d accesses of %s to %s\n", tr.Len(), tr.Name, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func describe(tr *trace.Trace, autocorr bool) {
+	fmt.Printf("trace %s: %s\n", tr.Name, tr.ComputeStats())
+	if autocorr {
+		ac := metrics.Autocorrelation(tr.LineSeries(), 16)
+		fmt.Printf("autocorrelation:")
+		for lag := 1; lag <= 16; lag++ {
+			fmt.Printf(" %+.2f", ac[lag])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Voyagerensemble reproduces the paper's Section VI-B scenario: the
+// ensemble framework is open to neural prefetchers, so the Domino
+// input is swapped for an online-trained LSTM sequence model (the
+// Voyager stand-in). The ensemble both benefits from the NN prefetcher
+// where it is strong and falls back to the rule-based inputs where it
+// is not.
+//
+//	go run ./examples/voyagerensemble
+package main
+
+import (
+	"fmt"
+
+	"resemble/internal/core"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/prefetch/voyager"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+func main() {
+	simCfg := sim.DefaultConfig()
+	for _, name := range []string{"429.mcf", "433.milc"} {
+		tr := trace.MustLookup(name).Generate(50000)
+		base := sim.RunBaseline(simCfg, tr)
+
+		// Voyager alone.
+		alone := sim.Run(simCfg, tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
+
+		// Ensemble with Voyager replacing Domino.
+		withVoyager := core.NewController(core.DefaultConfig(), []prefetch.Prefetcher{
+			bo.New(bo.Config{}), spp.New(spp.Config{}),
+			isb.New(isb.Config{}), voyager.New(voyager.Config{}),
+		})
+		ens := sim.Run(simCfg, tr, withVoyager)
+
+		fmt.Printf("%s (baseline IPC %.3f):\n", name, base.IPC)
+		fmt.Printf("  voyager alone      %+6.1f%% IPC, acc %.1f%%\n",
+			100*alone.IPCImprovement(base), 100*alone.Accuracy)
+		fmt.Printf("  resemble+voyager   %+6.1f%% IPC, acc %.1f%%\n",
+			100*ens.IPCImprovement(base), 100*ens.Accuracy)
+	}
+}

@@ -1,0 +1,3 @@
+module resemble
+
+go 1.22

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// fakePF is a scriptable prefetcher for controller tests.
+type fakePF struct {
+	name    string
+	spatial bool
+	fn      func(prefetch.AccessContext) []prefetch.Suggestion
+}
+
+func (f *fakePF) Name() string  { return f.name }
+func (f *fakePF) Spatial() bool { return f.spatial }
+func (f *fakePF) Reset()        {}
+func (f *fakePF) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	if f.fn == nil {
+		return nil
+	}
+	return f.fn(a)
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.HashBits = 0 },
+		func(c *Config) { c.TableHashBits = 17 },
+		func(c *Config) { c.ReplayN = 0 },
+		func(c *Config) { c.Window = 0 },
+		func(c *Config) { c.Batch = -1 },
+		func(c *Config) { c.PolicyInterval = 0 },
+		func(c *Config) { c.PolicyInterval = 50 }, // > TargetInterval
+		func(c *Config) { c.Hidden = 0 },
+		func(c *Config) { c.Gamma = 1.0 },
+		func(c *Config) { c.EpsDecay = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEpsilonDecay(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.epsilon(0); math.Abs(got-c.EpsStart) > 1e-9 {
+		t.Errorf("epsilon(0) = %v, want %v", got, c.EpsStart)
+	}
+	prev := c.epsilon(0)
+	for _, step := range []int{10, 50, 100, 500, 5000} {
+		e := c.epsilon(step)
+		if e > prev {
+			t.Errorf("epsilon increased at step %d", step)
+		}
+		prev = e
+	}
+	if got := c.epsilon(1 << 20); math.Abs(got-c.EpsEnd) > 1e-6 {
+		t.Errorf("epsilon(inf) = %v, want %v", got, c.EpsEnd)
+	}
+}
+
+func TestStateVector(t *testing.T) {
+	cur := mem.Addr(100 * mem.PageSize)
+	obs := []Observation{
+		{Line: mem.LineOf(cur) + 4, Valid: true, Spatial: true}, // +4 lines = 256 bytes
+		{Valid: false, Spatial: true},                           // padding
+		{Line: 0x123456789a >> mem.BlockBits, Valid: true},      // temporal
+	}
+	s := StateVector(nil, obs, cur, 0x400, 16, false)
+	if len(s) != 3 {
+		t.Fatalf("state size %d, want 3", len(s))
+	}
+	want := float64(4*mem.LineSize) / float64(mem.PageSize)
+	if math.Abs(s[0]-want) > 1e-12 {
+		t.Errorf("spatial element = %v, want %v", s[0], want)
+	}
+	if s[1] != 0 {
+		t.Errorf("padding element = %v, want 0", s[1])
+	}
+	if s[2] < 0 || s[2] >= 1 {
+		t.Errorf("temporal element %v out of [0,1)", s[2])
+	}
+	// With PC appended.
+	s = StateVector(s, obs, cur, 0x400, 16, true)
+	if len(s) != 4 {
+		t.Fatalf("state size with PC = %d, want 4", len(s))
+	}
+	if s[3] < 0 || s[3] >= 1 {
+		t.Errorf("PC element %v out of [0,1)", s[3])
+	}
+}
+
+func TestStateVectorNegativeDelta(t *testing.T) {
+	cur := mem.Addr(100 * mem.PageSize)
+	obs := []Observation{{Line: mem.LineOf(cur) - 2, Valid: true, Spatial: true}}
+	s := StateVector(nil, obs, cur, 0, 16, false)
+	want := float64(2*mem.LineSize) / float64(mem.PageSize)
+	if math.Abs(s[0]-want) > 1e-12 {
+		t.Errorf("abs delta = %v, want %v", s[0], want)
+	}
+}
+
+func TestTabularKey(t *testing.T) {
+	cur := mem.Addr(50 * mem.PageSize)
+	a := []Observation{
+		{Line: mem.LineOf(cur) + 1, Valid: true, Spatial: true},
+		{Line: 0xABCDE, Valid: true},
+	}
+	b := []Observation{
+		{Line: mem.LineOf(cur) + 2, Valid: true, Spatial: true},
+		{Line: 0xABCDE, Valid: true},
+	}
+	ka := TabularKey(a, cur, 0, 8, false)
+	kb := TabularKey(b, cur, 0, 8, false)
+	if ka == kb {
+		t.Error("different spatial deltas produced equal keys")
+	}
+	// Same observations -> same key.
+	if ka != TabularKey(a, cur, 0, 8, false) {
+		t.Error("key not deterministic")
+	}
+	// PC changes the key when enabled.
+	if TabularKey(a, cur, 0x400, 8, true) == TabularKey(a, cur, 0x404, 8, true) {
+		t.Error("PC not reflected in key")
+	}
+	// Overflow must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized key did not panic")
+		}
+	}()
+	wide := make([]Observation, 9)
+	TabularKey(wide, cur, 0, 8, false)
+}
+
+func TestCollectObservationsSpatialFirst(t *testing.T) {
+	temporal := &fakePF{name: "t1", fn: func(prefetch.AccessContext) []prefetch.Suggestion {
+		return []prefetch.Suggestion{{Line: 111}}
+	}}
+	spatial := &fakePF{name: "s1", spatial: true, fn: func(prefetch.AccessContext) []prefetch.Suggestion {
+		return []prefetch.Suggestion{{Line: 222}}
+	}}
+	empty := &fakePF{name: "s2", spatial: true}
+	pfs := []prefetch.Prefetcher{temporal, spatial, empty}
+	obs, order := CollectObservations(pfs, prefetch.AccessContext{}, nil, nil)
+	if len(obs) != 3 {
+		t.Fatalf("got %d observations", len(obs))
+	}
+	if !obs[0].Spatial || obs[0].Line != 222 || order[0] != 1 {
+		t.Errorf("first observation should be the spatial prefetcher: %+v order %v", obs[0], order)
+	}
+	if !obs[1].Spatial || obs[1].Valid {
+		t.Errorf("second observation should be the empty spatial pad: %+v", obs[1])
+	}
+	if obs[2].Spatial || obs[2].Line != 111 || order[2] != 0 {
+		t.Errorf("third observation should be the temporal prefetcher: %+v", obs[2])
+	}
+}
+
+func TestRewardTrackerHitAndExpiry(t *testing.T) {
+	tr := NewRewardTracker(10)
+	tr.Add(0, 100)
+	tr.Add(1, 200)
+	hits, exp := tr.Resolve(2, 100, nil, nil)
+	if len(hits) != 1 || hits[0] != 0 || len(exp) != 0 {
+		t.Errorf("hits=%v exp=%v, want hit seq 0", hits, exp)
+	}
+	// Seq 1 expires once the window passes.
+	hits, exp = tr.Resolve(11, 999, hits, exp)
+	if len(hits) != 0 || len(exp) != 1 || exp[0] != 1 {
+		t.Errorf("hits=%v exp=%v, want expiry of seq 1", hits, exp)
+	}
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", tr.Pending())
+	}
+}
+
+func TestRewardTrackerMultipleMatches(t *testing.T) {
+	tr := NewRewardTracker(100)
+	tr.Add(0, 7)
+	tr.Add(1, 7)
+	hits, _ := tr.Resolve(2, 7, nil, nil)
+	if len(hits) != 2 {
+		t.Errorf("both windowed prefetches of the same line should hit: %v", hits)
+	}
+}
+
+func TestRewardTrackerWindowBoundary(t *testing.T) {
+	tr := NewRewardTracker(5)
+	tr.Add(0, 50)
+	// At curSeq 4 the prefetch is still in the window.
+	if _, exp := tr.Resolve(4, 0, nil, nil); len(exp) != 0 {
+		t.Errorf("expired early: %v", exp)
+	}
+	// At curSeq 5 it has aged out (0+5 <= 5).
+	if _, exp := tr.Resolve(5, 0, nil, nil); len(exp) != 1 {
+		t.Errorf("did not expire at boundary: %v", exp)
+	}
+}
+
+func TestReplayLifecycle(t *testing.T) {
+	r := NewReplay(4)
+	for seq := 0; seq < 3; seq++ {
+		r.Push(Transition{Seq: seq, State: []float64{float64(seq)}, Action: seq % 2})
+	}
+	if r.Len() != 3 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Cap())
+	}
+	if got := r.Get(1); got == nil || got.State[0] != 1 {
+		t.Fatalf("Get(1) = %+v", got)
+	}
+	if r.CountValid() != 0 {
+		t.Error("nothing should be valid yet")
+	}
+	r.SetNext(1, []float64{9})
+	r.SetReward(1, -1)
+	if r.CountValid() != 1 {
+		t.Errorf("CountValid = %d, want 1", r.CountValid())
+	}
+	// Overwrite wraps: seq 4 replaces seq 0.
+	r.Push(Transition{Seq: 3}) // fill
+	r.Push(Transition{Seq: 4})
+	if r.Get(0) != nil {
+		t.Error("overwritten transition still retrievable")
+	}
+	if got := r.Get(4); got == nil {
+		t.Error("wrapped transition missing")
+	}
+	// Setting reward on an overwritten transition must be a no-op.
+	r.SetReward(0, 1)
+	if got := r.Get(4); got.HasReward {
+		t.Error("stale reward landed on the wrong transition")
+	}
+}
+
+func TestReplaySampleValidOnlyValid(t *testing.T) {
+	r := NewReplay(16)
+	for seq := 0; seq < 16; seq++ {
+		tr := Transition{Seq: seq, State: []float64{1}}
+		r.Push(tr)
+		if seq%2 == 0 {
+			r.SetNext(seq, []float64{2})
+			r.SetReward(seq, 1)
+		}
+	}
+	rng := newTestRand()
+	got := r.SampleValid(rng, 64, nil)
+	if len(got) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, tr := range got {
+		if !tr.Valid() {
+			t.Fatal("sampled an invalid transition")
+		}
+	}
+}
+
+func TestModelSizesTable4(t *testing.T) {
+	sizes := ModelSizes(4, 5, 100, []uint{4, 8}, map[uint]int{4: 3730, 8: 59200})
+	byKey := map[string]float64{}
+	for _, s := range sizes {
+		byKey[s.Model+"/"+s.Config] = s.Entries
+	}
+	if got := byKey["MLP/H = 100"]; got != 1005 {
+		t.Errorf("MLP params = %v, want 1005 (paper: 1.05K)", got)
+	}
+	if got := byKey["Table (direct)/B = 4"]; got != math.Pow(2, 16)*5 {
+		t.Errorf("direct table B=4 = %v, want 2^16*5 (paper: 328K)", got)
+	}
+	if got := byKey["Table (direct)/B = 8"]; got != math.Pow(2, 32)*5 {
+		t.Errorf("direct table B=8 = %v, want 2^32*5 (paper: 21.5G)", got)
+	}
+	if got := byKey["Table (token)/B = 4"]; got != 2*5*3730 {
+		t.Errorf("token table B=4 = %v", got)
+	}
+}
+
+func TestLatencyTable7(t *testing.T) {
+	e := EstimateLatency(64, 16, 4, 100, 5)
+	if e.HashCycles != 2 {
+		t.Errorf("T_h = %d, want 2", e.HashCycles)
+	}
+	// Equation 14's printed formulas give ceil(1+log2 4)=3 and
+	// ceil(1+log2 100)=8.
+	if e.HiddenMMCycles != 3 {
+		t.Errorf("T_mm_h = %d, want 3 per Eq 14", e.HiddenMMCycles)
+	}
+	if e.OutputMMCycles != 8 {
+		t.Errorf("T_mm_o = %d, want 8 per Eq 14", e.OutputMMCycles)
+	}
+	if e.ActionCycles != 3 {
+		t.Errorf("T_qv = %d, want 3", e.ActionCycles)
+	}
+	if e.Total != 19 {
+		t.Errorf("total = %d, want 19 per Eq 14", e.Total)
+	}
+	p := PaperTable7()
+	if p.Total != 22 || p.HiddenMMCycles != 5 || p.OutputMMCycles != 9 {
+		t.Errorf("published Table VII row wrong: %+v", p)
+	}
+	if s := p.HashCycles + p.NormCycles + p.HiddenMMCycles + p.OutputMMCycles + p.ActivationCycle + p.ActionCycles; s != p.Total {
+		t.Errorf("published row inconsistent: sum %d != %d", s, p.Total)
+	}
+}
+
+func TestStorageTable8(t *testing.T) {
+	s := EstimateStorage(4, 100, 5, 2000, 256)
+	// Paper: 4.2KB for two MLPs at 16-bit fixed point.
+	if s.MLPBytes < 4000 || s.MLPBytes > 4300 {
+		t.Errorf("MLP bytes = %d, want ~4.2KB", s.MLPBytes)
+	}
+	// Paper: 34.8KB replay memory.
+	if s.ReplayBytes < 33000 || s.ReplayBytes > 36000 {
+		t.Errorf("replay bytes = %d, want ~34.8KB", s.ReplayBytes)
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math/rand"
+
+	"resemble/internal/mem"
+	"resemble/internal/nn"
+	"resemble/internal/prefetch"
+)
+
+// Controller is the MLP-based ReSemble ensemble controller (Sections
+// IV-C through IV-E, Algorithm 1). It implements sim.Source: on every
+// LLC access it collects the input prefetchers' suggestions, selects
+// one action (a suggestion index or NP) with a decaying ε-greedy policy
+// over the target network's Q-values, stores the transition in the
+// replay memory, resolves rewards from the prefetch window, and trains
+// the policy network on lazily-sampled valid transitions. Every I_t
+// steps the policy and target networks swap roles.
+type Controller struct {
+	cfg         Config
+	prefetchers []prefetch.Prefetcher
+
+	policy, target *nn.MLP
+	replay         *Replay
+	tracker        *RewardTracker
+	rng            *rand.Rand
+
+	step    int
+	prevSeq int // seq of the previous transition (-1 initially)
+
+	// Scratch.
+	obs     []Observation
+	order   []int
+	state   []float64
+	next    []float64
+	batch   []*Transition
+	hitSeq  []int
+	expSeq  []int
+	out     []mem.Line
+	actions []int
+
+	// Per-transition reward accumulation: a prefetching transition's
+	// reward is the sum over its issued lines (±1 each), finalized when
+	// outstanding[seq] reaches zero.
+	outstanding map[int]int
+	rewardAcc   map[int]float64
+
+	rewards []float64 // resolved reward per transition seq
+	acts    []int8    // chosen action per transition seq
+
+	// Diagnostics.
+	forcedNP int // accesses with no valid suggestion at all
+	chosenNP int // accesses where NP was selected despite valid options
+}
+
+// Diagnostics reports how many NP decisions were forced (no prefetcher
+// had a suggestion) versus chosen over valid alternatives.
+func (c *Controller) Diagnostics() (forcedNP, chosenNP int) {
+	return c.forcedNP, c.chosenNP
+}
+
+// NewController builds the MLP-based ensemble controller over the given
+// input prefetchers. It panics on invalid configuration or an empty
+// prefetcher list (both are static programming errors).
+func NewController(cfg Config, prefetchers []prefetch.Prefetcher) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(prefetchers) == 0 {
+		panic("core: controller needs at least one prefetcher")
+	}
+	c := &Controller{cfg: cfg, prefetchers: prefetchers}
+	c.initModel()
+	return c
+}
+
+func (c *Controller) initModel() {
+	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	in := len(c.prefetchers)
+	if c.cfg.UsePC {
+		in++
+	}
+	actions := c.NumActions()
+	c.policy = nn.NewMLP(c.rng, nn.ReLU, in, c.cfg.Hidden, actions)
+	c.policy.GradClip = 1
+	c.target = c.policy.Clone()
+	c.replay = NewReplay(c.cfg.ReplayN)
+	c.tracker = NewRewardTracker(c.cfg.Window)
+	c.outstanding = make(map[int]int)
+	c.rewardAcc = make(map[int]float64)
+	c.step = 0
+	c.prevSeq = -1
+	c.rewards = c.rewards[:0]
+	c.acts = c.acts[:0]
+}
+
+// accumReward adds one line's outcome to its transition and finalizes
+// the transition's reward when all its lines have resolved.
+func (c *Controller) accumReward(seq int, r float64) {
+	c.rewardAcc[seq] += r
+	n := c.outstanding[seq] - 1
+	if n > 0 {
+		c.outstanding[seq] = n
+		return
+	}
+	total := c.rewardAcc[seq]
+	delete(c.outstanding, seq)
+	delete(c.rewardAcc, seq)
+	c.replay.SetReward(seq, total)
+	c.recordReward(seq, total)
+}
+
+// Name implements sim.Source.
+func (c *Controller) Name() string { return "resemble" }
+
+// NumActions returns |A| = one per prefetcher plus NP.
+func (c *Controller) NumActions() int { return len(c.prefetchers) + 1 }
+
+// npAction returns the action index meaning "no prefetch".
+func (c *Controller) npAction() int { return len(c.prefetchers) }
+
+// Reset implements sim.Source: it reinitializes the agent and resets
+// every input prefetcher.
+func (c *Controller) Reset() {
+	for _, p := range c.prefetchers {
+		p.Reset()
+	}
+	c.initModel()
+}
+
+// OnAccess implements sim.Source — one iteration of Algorithm 1.
+func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
+	seq := c.step
+	c.step++
+
+	// Observation and state vector (Alg 1 line 9).
+	c.obs, c.order = CollectObservations(c.prefetchers, a, c.obs, c.order)
+	c.state = StateVector(c.state, c.obs, a.Addr, a.PC, c.cfg.HashBits, c.cfg.UsePC)
+
+	// Resolve rewards for windowed prefetches against this access
+	// (Alg 1 lines 24–29). This happens before acting so the replay is
+	// as fresh as possible when training below. Every line the chosen
+	// prefetcher issued scores ±1; the transition's reward is the sum,
+	// finalized once all of its lines have resolved. (The paper rewards
+	// only the top suggestion; with heterogeneous-degree inputs that
+	// signal cannot tell a one-line arm from a four-line arm — see
+	// DESIGN.md.)
+	c.hitSeq, c.expSeq = c.tracker.Resolve(seq, a.Line, c.hitSeq, c.expSeq)
+	for _, s := range c.hitSeq {
+		c.accumReward(s, 1)
+	}
+	for _, s := range c.expSeq {
+		c.accumReward(s, -1)
+	}
+
+	// Fill the previous transition's future state (lazy sampling).
+	if c.prevSeq >= 0 {
+		c.replay.SetNext(c.prevSeq, c.state)
+	}
+
+	// ε-greedy action selection over the target net (Alg 1 lines
+	// 10–14). Exploitation masks padded (invalid) suggestions: picking
+	// one would just execute NP, so the argmax runs over the actions
+	// that can actually be carried out.
+	var action int
+	if c.rng.Float64() < c.cfg.epsilon(seq) {
+		action = c.rng.Intn(c.NumActions())
+	} else {
+		action = c.argmaxValid(c.target.Forward(c.state))
+	}
+
+	// Execute (Alg 1 lines 15–20). Selecting an invalid (padded)
+	// suggestion degenerates to NP.
+	tr := Transition{Seq: seq, State: c.state, Action: action}
+	c.out = c.out[:0]
+	if action == c.npAction() || !c.obs[action].Valid {
+		anyValid := false
+		for i := range c.obs {
+			if c.obs[i].Valid {
+				anyValid = true
+				break
+			}
+		}
+		if anyValid {
+			c.chosenNP++
+		} else {
+			c.forcedNP++
+		}
+		tr.NP = true
+		tr.Reward = 0
+		tr.HasReward = true
+		c.recordReward(seq, 0)
+	} else {
+		// The selected prefetcher issues its full suggestion list so
+		// the ensemble runs at the same degree as the individual
+		// baselines; every issued line is tracked for reward.
+		tr.Line = c.obs[action].Line
+		for _, s := range c.obs[action].All {
+			c.out = append(c.out, s.Line)
+			c.tracker.Add(seq, s.Line)
+		}
+		c.outstanding[seq] = len(c.out)
+	}
+	c.recordAction(seq, action)
+	c.replay.Push(tr)
+	c.prevSeq = seq
+
+	// Online training (Alg 1 lines 31–35).
+	if c.step%c.cfg.PolicyInterval == 0 {
+		c.trainPolicy()
+	}
+	// Role switch (Alg 1 lines 36–39).
+	if c.step%c.cfg.TargetInterval == 0 {
+		c.policy, c.target = c.target, c.policy
+		c.policy.CopyWeightsFrom(c.target)
+	}
+	return c.out
+}
+
+// trainPolicy performs one batch of Q-learning updates on the policy
+// net using lazily-sampled valid transitions (Equations 9–11).
+func (c *Controller) trainPolicy() {
+	c.batch = c.replay.SampleValid(c.rng, c.cfg.Batch, c.batch)
+	for _, t := range c.batch {
+		y := t.Reward
+		if t.HasNext {
+			q := c.target.Forward(t.Next)
+			y += c.cfg.Gamma * maxf(q)
+		}
+		c.policy.TrainStep(t.State, t.Action, y, c.cfg.LR)
+	}
+}
+
+func (c *Controller) recordReward(seq int, r float64) {
+	for len(c.rewards) <= seq {
+		c.rewards = append(c.rewards, 0)
+	}
+	c.rewards[seq] = r
+}
+
+func (c *Controller) recordAction(seq, a int) {
+	for len(c.acts) <= seq {
+		c.acts = append(c.acts, 0)
+	}
+	c.acts[seq] = int8(a)
+}
+
+// RewardSeries returns the resolved reward of every transition, indexed
+// by access sequence (unresolved trailing prefetches read as 0). The
+// returned slice aliases internal state; copy before mutating.
+func (c *Controller) RewardSeries() []float64 { return c.rewards }
+
+// ActionSeries returns the chosen action per access. The returned slice
+// aliases internal state.
+func (c *Controller) ActionSeries() []int8 { return c.acts }
+
+// ActionNames returns a label per action index: the prefetcher names in
+// observation order, then "NP".
+func (c *Controller) ActionNames() []string {
+	names := make([]string, 0, c.NumActions())
+	// Observation order is spatial-first; reproduce it via a dry pass.
+	for pass := 0; pass < 2; pass++ {
+		wantSpatial := pass == 0
+		for _, p := range c.prefetchers {
+			if p.Spatial() == wantSpatial {
+				names = append(names, p.Name())
+			}
+		}
+	}
+	return append(names, "NP")
+}
+
+// Epsilon exposes the current exploration rate (for diagnostics).
+func (c *Controller) Epsilon() float64 { return c.cfg.epsilon(c.step) }
+
+// QuantizationAgreement quantizes the current target network to the
+// given fixed-point width (Table VIII budgets 16-bit fixed point) and
+// measures how often the quantized network would select the same action
+// as the float network over the states currently held in the replay
+// memory. It returns the agreement fraction and the number of states
+// evaluated.
+func (c *Controller) QuantizationAgreement(frac uint) (float64, int) {
+	var states [][]float64
+	for seq := c.step - 1; seq >= 0 && len(states) < 512; seq-- {
+		if t := c.replay.Get(seq); t != nil {
+			states = append(states, t.State)
+		}
+	}
+	if len(states) == 0 {
+		return 1, 0
+	}
+	f := nn.Quantize(c.target, frac)
+	return nn.ArgmaxAgreement(c.target, f, states), len(states)
+}
+
+// argmaxValid returns the highest-Q action among valid suggestions and
+// NP.
+func (c *Controller) argmaxValid(q []float64) int {
+	best := c.npAction() // NP is always executable
+	for i := range c.obs {
+		if c.obs[i].Valid && q[i] > q[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/metrics"
+	"resemble/internal/prefetch"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+// testConfig is a small, fast configuration for unit tests.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Batch = 16
+	c.Hidden = 24
+	c.PolicyInterval = 2
+	return c
+}
+
+// driveLoop runs a controller over a synthetic cyclic access sequence
+// with a scripted set of prefetchers, and returns the reward series.
+// goodIdx, if >= 0, marks a prefetcher that perfectly predicts the next
+// access.
+func driveLoop(t *testing.T, ctrl interface {
+	OnAccess(prefetch.AccessContext) []mem.Line
+	RewardSeries() []float64
+	ActionSeries() []int8
+}, seq []mem.Line, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		line := seq[i%len(seq)]
+		ctrl.OnAccess(prefetch.AccessContext{
+			Index: i,
+			PC:    0x400,
+			Addr:  mem.LineAddr(line),
+			Line:  line,
+			Hit:   false,
+		})
+	}
+}
+
+// makeLoop builds a cyclic line sequence of the given length.
+func makeLoop(n int) []mem.Line {
+	seq := make([]mem.Line, n)
+	for i := range seq {
+		seq[i] = mem.Line(0x10000 + i*37)
+	}
+	return seq
+}
+
+// oracle returns a prefetcher that always suggests the next line of the
+// cycle (it reads the position from ctx.Index).
+func oracle(name string, spatial bool, seq []mem.Line) prefetch.Prefetcher {
+	return &fakePF{name: name, spatial: spatial, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		next := seq[(a.Index+1)%len(seq)]
+		return []prefetch.Suggestion{{Line: next, Confidence: 1}}
+	}}
+}
+
+// garbage returns a prefetcher that suggests lines never accessed,
+// cycling through a small fixed set so its observations tokenize.
+func garbage(name string, spatial bool) prefetch.Prefetcher {
+	return &fakePF{name: name, spatial: spatial, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		return []prefetch.Suggestion{{Line: 1<<40 + mem.Line(a.Index%4)}}
+	}}
+}
+
+// silent returns a prefetcher that never suggests anything.
+func silent(name string, spatial bool) prefetch.Prefetcher {
+	return &fakePF{name: name, spatial: spatial}
+}
+
+func tailMeanReward(r []float64, frac float64) float64 {
+	lo := int(float64(len(r)) * (1 - frac))
+	return metrics.Mean(r[lo:])
+}
+
+func TestControllerLearnsGoodPrefetcher(t *testing.T) {
+	seq := makeLoop(64)
+	pfs := []prefetch.Prefetcher{
+		garbage("g1", true),
+		oracle("oracle", false, seq),
+		garbage("g2", false),
+	}
+	c := NewController(testConfig(), pfs)
+	driveLoop(t, c, seq, 6000)
+	r := c.RewardSeries()
+	if got := tailMeanReward(r, 0.25); got < 0.6 {
+		t.Errorf("tail mean reward = %.3f, want > 0.6 (controller should lock onto the oracle)", got)
+	}
+	// The oracle (observation index 1: spatial g1 first, then oracle,
+	// then g2 temporal) must dominate the tail actions.
+	acts := c.ActionSeries()
+	counts := map[int8]int{}
+	for _, a := range acts[len(acts)*3/4:] {
+		counts[a]++
+	}
+	var best int8
+	for a, n := range counts {
+		if n > counts[best] {
+			best = a
+		}
+	}
+	names := c.ActionNames()
+	if names[best] != "oracle" {
+		t.Errorf("dominant tail action = %s (counts %v), want oracle", names[best], counts)
+	}
+}
+
+func TestControllerLearnsNPOnGarbage(t *testing.T) {
+	seq := makeLoop(64)
+	pfs := []prefetch.Prefetcher{
+		garbage("g1", true),
+		garbage("g2", false),
+	}
+	c := NewController(testConfig(), pfs)
+	driveLoop(t, c, seq, 6000)
+	// With only harmful prefetchers, NP (reward 0) beats prefetching
+	// (reward −1): the tail reward must approach 0.
+	if got := tailMeanReward(c.RewardSeries(), 0.25); got < -0.2 {
+		t.Errorf("tail mean reward = %.3f, want near 0 (NP)", got)
+	}
+	acts := c.ActionSeries()
+	np := 0
+	tail := acts[len(acts)*3/4:]
+	for _, a := range tail {
+		if int(a) == c.npAction() {
+			np++
+		}
+	}
+	if np < len(tail)/2 {
+		t.Errorf("NP chosen %d/%d times in tail, want majority", np, len(tail))
+	}
+}
+
+func TestControllerAdaptsToPhaseChange(t *testing.T) {
+	seqA := makeLoop(64)
+	seqB := make([]mem.Line, 64)
+	for i := range seqB {
+		seqB[i] = mem.Line(0x900000 + i*13)
+	}
+	// Prefetcher A is an oracle only during phase A; B only during B.
+	phase := 0
+	pfA := &fakePF{name: "pfA", spatial: true, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 0 {
+			return []prefetch.Suggestion{{Line: seqA[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 41}}
+	}}
+	pfB := &fakePF{name: "pfB", spatial: false, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 1 {
+			return []prefetch.Suggestion{{Line: seqB[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 42}}
+	}}
+	c := NewController(testConfig(), []prefetch.Prefetcher{pfA, pfB})
+	for i := 0; i < 4000; i++ {
+		c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(seqA[i%64]), Line: seqA[i%64]})
+	}
+	phase = 1
+	for i := 4000; i < 8000; i++ {
+		c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(seqB[i%64]), Line: seqB[i%64]})
+	}
+	r := c.RewardSeries()
+	phaseBTail := metrics.Mean(r[7000:])
+	if phaseBTail < 0.4 {
+		t.Errorf("reward after phase change = %.3f, want > 0.4 (controller must re-adapt)", phaseBTail)
+	}
+}
+
+func TestControllerDeterministicWithSeed(t *testing.T) {
+	seq := makeLoop(32)
+	build := func() *Controller {
+		return NewController(testConfig(), []prefetch.Prefetcher{
+			oracle("o", true, seq), garbage("g", false),
+		})
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		line := seq[i%len(seq)]
+		ctx := prefetch.AccessContext{Index: i, Addr: mem.LineAddr(line), Line: line}
+		la := append([]mem.Line(nil), a.OnAccess(ctx)...)
+		lb := b.OnAccess(ctx)
+		if len(la) != len(lb) {
+			t.Fatalf("step %d: decisions diverge", i)
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("step %d: prefetch %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestControllerInvalidSuggestionDegeneratesToNP(t *testing.T) {
+	// A controller over only silent prefetchers can never prefetch.
+	c := NewController(testConfig(), []prefetch.Prefetcher{
+		silent("s1", true), silent("s2", false),
+	})
+	seq := makeLoop(16)
+	for i := 0; i < 300; i++ {
+		line := seq[i%len(seq)]
+		if out := c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(line), Line: line}); len(out) != 0 {
+			t.Fatalf("prefetched %v despite no valid suggestions", out)
+		}
+	}
+	for _, r := range c.RewardSeries() {
+		if r != 0 {
+			t.Fatal("non-zero reward without prefetching")
+		}
+	}
+}
+
+func TestControllerResetClearsLearning(t *testing.T) {
+	seq := makeLoop(32)
+	c := NewController(testConfig(), []prefetch.Prefetcher{oracle("o", true, seq)})
+	driveLoop(t, c, seq, 1000)
+	c.Reset()
+	if len(c.RewardSeries()) != 0 || len(c.ActionSeries()) != 0 {
+		t.Error("series not cleared by Reset")
+	}
+	if c.Epsilon() < testConfig().EpsStart-1e-9 {
+		t.Errorf("epsilon after reset = %v, want restart at %v", c.Epsilon(), testConfig().EpsStart)
+	}
+}
+
+func TestControllerActionNames(t *testing.T) {
+	c := NewController(testConfig(), []prefetch.Prefetcher{
+		garbage("temporal1", false),
+		garbage("spatial1", true),
+	})
+	names := c.ActionNames()
+	want := []string{"spatial1", "temporal1", "NP"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestControllerPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty prefetcher list did not panic")
+		}
+	}()
+	NewController(testConfig(), nil)
+}
+
+func TestControllerWithPCInput(t *testing.T) {
+	seq := makeLoop(64)
+	cfg := testConfig()
+	cfg.UsePC = true
+	c := NewController(cfg, []prefetch.Prefetcher{oracle("o", true, seq), garbage("g", false)})
+	driveLoop(t, c, seq, 4000)
+	if got := tailMeanReward(c.RewardSeries(), 0.25); got < 0.5 {
+		t.Errorf("tail reward with PC input = %.3f, want > 0.5", got)
+	}
+}

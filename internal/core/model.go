@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ModelSize describes the parameter/entry count of one controller
+// configuration (Table IV).
+type ModelSize struct {
+	Model      string
+	Expression string
+	Config     string
+	// Entries is the number of parameters (MLP) or Q-table entries.
+	Entries float64
+}
+
+// ModelSizes reproduces Table IV for state dimension S, action
+// dimension A, MLP hidden width H, and tabular hash widths bits.
+// uniqueStates maps a hash width to the observed unique-state count for
+// the tokenized rows (the paper reports 37.3K at B=4 and 592K at B=8
+// on its traces; pass measured values to reproduce with live data).
+func ModelSizes(s, a, h int, bits []uint, uniqueStates map[uint]int) []ModelSize {
+	out := []ModelSize{{
+		Model:      "MLP",
+		Expression: "SH + HA + H + A",
+		Config:     fmt.Sprintf("H = %d", h),
+		Entries:    float64(s*h + h*a + h + a),
+	}}
+	for _, b := range bits {
+		out = append(out, ModelSize{
+			Model:      "Table (direct)",
+			Expression: "2^(BS) * A",
+			Config:     fmt.Sprintf("B = %d", b),
+			Entries:    math.Pow(2, float64(uint(s)*b)) * float64(a),
+		})
+	}
+	for _, b := range bits {
+		us := uniqueStates[b]
+		out = append(out, ModelSize{
+			Model:      "Table (token)",
+			Expression: "2A * #unique states",
+			Config:     fmt.Sprintf("B = %d", b),
+			Entries:    float64(2 * a * us),
+		})
+	}
+	return out
+}
+
+// LatencyEstimate reproduces Table VII / Equation 14: the end-to-end
+// inference latency of a fully parallel hardware implementation, in
+// cycles.
+type LatencyEstimate struct {
+	HashCycles      int // T_h = ceil(log2(ceil(addrBits/hashBits)))
+	NormCycles      int // T_n: one constant multiplication
+	HiddenMMCycles  int // T_mm_h = ceil(1 + log2 S)
+	OutputMMCycles  int // T_mm_o = ceil(1 + log2 H)
+	ActivationCycle int // T_av × 2: lookup tables
+	ActionCycles    int // T_qv = ceil(log2 A)
+	Total           int
+}
+
+// EstimateLatency computes the Table VII decomposition by evaluating
+// Equation 14's formulas directly. Note that for the paper's own
+// configuration (addrBits 64, hashBits 16, S=4, H=100, A=5) the printed
+// formulas give T_mm_h=3 and T_mm_o=8 (total 19), while the published
+// table lists 5 and 9 (total 22) — the published values appear to
+// include implementation pipeline stages the formulas omit. Use
+// PaperTable7 for the published reference row.
+func EstimateLatency(addrBits int, hashBits uint, s, h, a int) LatencyEstimate {
+	e := LatencyEstimate{
+		HashCycles:      ceilLog2(ceilDiv(addrBits, int(hashBits))),
+		NormCycles:      1,
+		HiddenMMCycles:  int(math.Ceil(1 + math.Log2(float64(s)))),
+		OutputMMCycles:  int(math.Ceil(1 + math.Log2(float64(h)))),
+		ActivationCycle: 2,
+		ActionCycles:    ceilLog2(a),
+	}
+	e.Total = e.HashCycles + e.NormCycles + e.HiddenMMCycles + e.OutputMMCycles + e.ActivationCycle + e.ActionCycles
+	return e
+}
+
+// PaperTable7 returns the latency decomposition exactly as published
+// in the paper's Table VII (total 22 cycles), for side-by-side
+// comparison with EstimateLatency's formula evaluation.
+func PaperTable7() LatencyEstimate {
+	return LatencyEstimate{
+		HashCycles:      2,
+		NormCycles:      1,
+		HiddenMMCycles:  5,
+		OutputMMCycles:  9,
+		ActivationCycle: 2,
+		ActionCycles:    3,
+		Total:           22,
+	}
+}
+
+// StorageEstimate reproduces Table VIII: the storage overhead of the
+// framework in bytes, split into the on-chip MLPs and the off-chip
+// replay memory.
+type StorageEstimate struct {
+	// MLPBytes covers both networks at 16-bit fixed point.
+	MLPBytes int
+	// ReplayBytes covers the transition entries plus the prefetch
+	// window records.
+	ReplayBytes int
+}
+
+// EstimateStorage computes Table VIII for the given configuration. The
+// paper's numbers (S=4, H=100, A=5, replay 2000, window 256, 58-bit
+// prefetch records) are 4.2 KB on-chip and ~34.8 KB off-chip.
+func EstimateStorage(s, h, a, replayN, window int) StorageEstimate {
+	params := s*h + h*a + h + a
+	mlpBits := 2 /*networks*/ * params * 16
+	// Each transition: two states (S × 16b each), a 3-bit action and a
+	// 1-bit reward; the prefetch window stores 58-bit line addresses.
+	transitionBits := replayN * (2*s*16 + 3 + 1)
+	windowBits := window * 58
+	return StorageEstimate{
+		MLPBytes:    mlpBits / 8,
+		ReplayBytes: (transitionBits + windowBits) / 8,
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+
+	"resemble/internal/mem"
+)
+
+// Transition is one replay-memory entry: {current state, action,
+// prefetch, reward, future state} (Section IV-D1).
+type Transition struct {
+	Seq    int
+	State  []float64
+	Action int
+	Line   mem.Line // prefetched line (undefined for NP)
+	NP     bool     // action was no-prefetch
+
+	Reward    float64
+	HasReward bool
+	Next      []float64
+	HasNext   bool
+}
+
+// Valid reports whether the transition can be sampled for training
+// under lazy sampling: both the reward and the successor state have
+// arrived.
+func (t *Transition) Valid() bool { return t.HasReward && t.HasNext }
+
+// Replay is the bounded replay memory with lazy sampling (Section
+// IV-D3): transitions are stored immediately, but only become sampleable
+// once their future state and (asynchronous) reward have been filled in.
+type Replay struct {
+	buf []Transition
+	n   int // total pushes
+}
+
+// NewReplay builds a replay memory with the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Cap returns the capacity.
+func (r *Replay) Cap() int { return len(r.buf) }
+
+// Len returns the number of live transitions.
+func (r *Replay) Len() int {
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// Push stores a transition at its sequence slot (seq must increase by 1
+// per push). State is copied so callers may reuse their buffer.
+func (r *Replay) Push(t Transition) {
+	slot := &r.buf[t.Seq%len(r.buf)]
+	state := slot.State[:0]
+	next := slot.Next[:0]
+	*slot = t
+	slot.State = append(state, t.State...)
+	slot.Next = append(next, t.Next...)
+	r.n++
+}
+
+// Get returns the transition with the given sequence number, or nil if
+// it has been overwritten.
+func (r *Replay) Get(seq int) *Transition {
+	if seq < 0 {
+		return nil
+	}
+	t := &r.buf[seq%len(r.buf)]
+	if t.Seq != seq || seq >= r.n {
+		return nil
+	}
+	return t
+}
+
+// SetNext fills the future-state field of transition seq (lazy
+// sampling: the successor state only exists one access later).
+func (r *Replay) SetNext(seq int, next []float64) {
+	if t := r.Get(seq); t != nil {
+		t.Next = append(t.Next[:0], next...)
+		t.HasNext = true
+	}
+}
+
+// SetReward fills the reward of transition seq once cache feedback
+// arrives.
+func (r *Replay) SetReward(seq int, reward float64) {
+	if t := r.Get(seq); t != nil {
+		t.Reward = reward
+		t.HasReward = true
+	}
+}
+
+// SampleValid draws up to batch transitions uniformly from the valid
+// (rewarded, successor-known) subset, appending pointers into the
+// replay memory to dst. Sampling is with replacement; if no valid
+// transition exists the result is empty.
+func (r *Replay) SampleValid(rng *rand.Rand, batch int, dst []*Transition) []*Transition {
+	dst = dst[:0]
+	live := r.Len()
+	if live == 0 {
+		return dst
+	}
+	// Rejection sampling: valid transitions dominate after warm-up, so
+	// a bounded number of tries per draw keeps this cheap.
+	const triesPerDraw = 8
+	for d := 0; d < batch; d++ {
+		for try := 0; try < triesPerDraw; try++ {
+			t := &r.buf[rng.Intn(live)]
+			if t.Valid() {
+				dst = append(dst, t)
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// CountValid returns the number of currently sampleable transitions
+// (used by tests and diagnostics).
+func (r *Replay) CountValid() int {
+	n := 0
+	for i := 0; i < r.Len(); i++ {
+		if r.buf[i].Valid() {
+			n++
+		}
+	}
+	return n
+}

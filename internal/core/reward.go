@@ -1,0 +1,71 @@
+package core
+
+import "resemble/internal/mem"
+
+// RewardTracker implements the paper's reward feedback rule (Section
+// IV-D2): every prefetching transition enters a window of the last W
+// prefetches; when a demand access matches a windowed prefetch address,
+// that transition earns reward +1; a prefetch that leaves the window
+// unmatched earns −1. NP transitions never enter the tracker (their
+// reward is 0 immediately).
+type RewardTracker struct {
+	window int
+	recs   []pfRecord
+}
+
+type pfRecord struct {
+	seq  int // transition sequence number (access index)
+	line mem.Line
+}
+
+// NewRewardTracker builds a tracker with the given window W.
+func NewRewardTracker(window int) *RewardTracker {
+	if window <= 0 {
+		window = 1
+	}
+	return &RewardTracker{window: window}
+}
+
+// Add registers a prefetching transition.
+func (t *RewardTracker) Add(seq int, line mem.Line) {
+	t.recs = append(t.recs, pfRecord{seq: seq, line: line})
+}
+
+// Resolve processes a demand access to line at the current sequence
+// number. It appends to hits the sequence numbers of windowed
+// prefetches matching line (each earns +1 and leaves the window), and
+// to expired the sequence numbers that aged out unmatched (each earns
+// −1). The returned slices alias the provided backing arrays.
+func (t *RewardTracker) Resolve(curSeq int, line mem.Line, hits, expired []int) (h, e []int) {
+	hits = hits[:0]
+	expired = expired[:0]
+	// Expire from the front: records are in seq order.
+	i := 0
+	for ; i < len(t.recs); i++ {
+		if t.recs[i].seq+t.window > curSeq {
+			break
+		}
+		expired = append(expired, t.recs[i].seq)
+	}
+	if i > 0 {
+		t.recs = t.recs[i:]
+	}
+	// Match the remainder.
+	w := 0
+	for _, r := range t.recs {
+		if r.line == line {
+			hits = append(hits, r.seq)
+			continue
+		}
+		t.recs[w] = r
+		w++
+	}
+	t.recs = t.recs[:w]
+	return hits, expired
+}
+
+// Pending returns the number of unresolved prefetches (for tests).
+func (t *RewardTracker) Pending() int { return len(t.recs) }
+
+// Reset discards all pending prefetches.
+func (t *RewardTracker) Reset() { t.recs = t.recs[:0] }

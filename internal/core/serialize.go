@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"resemble/internal/nn"
+)
+
+// Model persistence, mirroring the paper artifact's saved models (its
+// demo stores the trained MLP/table as .pkl files). The MLP controller
+// saves its target network (the inference network); the tabular
+// controller saves the token map and Q-rows.
+
+// SaveModel writes the controller's inference network.
+func (c *Controller) SaveModel(w io.Writer) error {
+	return c.target.Save(w)
+}
+
+// LoadModel replaces both networks with a previously saved snapshot.
+// The snapshot must match the controller's architecture.
+func (c *Controller) LoadModel(r io.Reader) error {
+	m, err := nn.LoadMLP(r)
+	if err != nil {
+		return err
+	}
+	want := c.target.Sizes()
+	got := m.Sizes()
+	match := len(got) == len(want)
+	for i := 0; match && i < len(want); i++ {
+		match = got[i] == want[i]
+	}
+	if !match {
+		return fmt.Errorf("core: model architecture %v, controller needs %v", got, want)
+	}
+	c.target.CopyWeightsFrom(m)
+	c.policy.CopyWeightsFrom(m)
+	return nil
+}
+
+// Q-table snapshot format (little-endian):
+//
+//	magic   [8]byte "RSMTAB01"
+//	actions uint32
+//	rows    uint32
+//	rows × { key uint64, actions × float64 }
+
+var tabMagic = [8]byte{'R', 'S', 'M', 'T', 'A', 'B', '0', '1'}
+
+// ErrBadTable is returned when decoding a stream that is not a Q-table
+// snapshot.
+var ErrBadTable = errors.New("core: bad table magic")
+
+// SaveModel writes the tokenized Q-table.
+func (c *TabularController) SaveModel(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(tabMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(c.NumActions())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.tokens))); err != nil {
+		return err
+	}
+	for key, tok := range c.tokens {
+		if err := binary.Write(bw, binary.LittleEndian, key); err != nil {
+			return err
+		}
+		for _, q := range c.q[tok] {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(q)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadModel replaces the Q-table with a previously saved snapshot.
+func (c *TabularController) LoadModel(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return err
+	}
+	if magic != tabMagic {
+		return ErrBadTable
+	}
+	var actions, rows uint32
+	if err := binary.Read(br, binary.LittleEndian, &actions); err != nil {
+		return err
+	}
+	if int(actions) != c.NumActions() {
+		return fmt.Errorf("core: table has %d actions, controller needs %d", actions, c.NumActions())
+	}
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return err
+	}
+	if rows > 1<<26 {
+		return fmt.Errorf("core: unreasonable row count %d", rows)
+	}
+	c.tokens = make(map[uint64]int, rows)
+	c.q = c.q[:0]
+	for i := uint32(0); i < rows; i++ {
+		var key uint64
+		if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
+			return err
+		}
+		row := make([]float64, actions)
+		for j := range row {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			row[j] = math.Float64frombits(bits)
+		}
+		c.tokens[key] = len(c.q)
+		c.q = append(c.q, row)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math/rand"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// TabularController is the tabular variant of ReSemble (Section IV-F):
+// a Q-table indexed by tokenized hash-compressed states. Address space
+// is reduced with a B-bit fold hash (Equation 12) and the sparse state
+// space is compressed by tokenizing the unique states actually seen
+// (Figure 5). Instead of a replay memory it keeps a small buffer of
+// pending transitions and applies one Q-learning update (Equation 13)
+// per transition as soon as its reward is available.
+type TabularController struct {
+	cfg         Config
+	prefetchers []prefetch.Prefetcher
+
+	tokens map[uint64]int // state key -> token (Q-table row)
+	q      [][]float64    // token -> Q-values per action
+
+	tracker *RewardTracker
+	rng     *rand.Rand
+
+	step    int
+	prevSeq int
+
+	// pending holds transitions awaiting reward and/or next state,
+	// bounded by the reward window.
+	pending map[int]*tabTransition
+
+	obs    []Observation
+	order  []int
+	out    []mem.Line
+	hitSeq []int
+	expSeq []int
+
+	rewards []float64
+	acts    []int8
+}
+
+type tabTransition struct {
+	token   int
+	action  int
+	np      bool
+	nextTok int
+	hasNext bool
+	// outstanding counts unresolved issued lines; acc accumulates their
+	// ±1 outcomes (same degree-aware reward as the MLP variant).
+	outstanding int
+	acc         float64
+}
+
+// NewTabularController builds the tabular ensemble controller. It
+// panics on invalid configuration or an empty prefetcher list.
+func NewTabularController(cfg Config, prefetchers []prefetch.Prefetcher) *TabularController {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(prefetchers) == 0 {
+		panic("core: controller needs at least one prefetcher")
+	}
+	c := &TabularController{cfg: cfg, prefetchers: prefetchers}
+	c.initModel()
+	return c
+}
+
+func (c *TabularController) initModel() {
+	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	c.tokens = make(map[uint64]int)
+	c.q = c.q[:0]
+	c.tracker = NewRewardTracker(c.cfg.Window)
+	c.pending = make(map[int]*tabTransition)
+	c.step = 0
+	c.prevSeq = -1
+	c.rewards = c.rewards[:0]
+	c.acts = c.acts[:0]
+}
+
+// Name implements sim.Source.
+func (c *TabularController) Name() string { return "resemble-t" }
+
+// NumActions returns |A| = one per prefetcher plus NP.
+func (c *TabularController) NumActions() int { return len(c.prefetchers) + 1 }
+
+func (c *TabularController) npAction() int { return len(c.prefetchers) }
+
+// Reset implements sim.Source.
+func (c *TabularController) Reset() {
+	for _, p := range c.prefetchers {
+		p.Reset()
+	}
+	c.initModel()
+}
+
+// UniqueStates returns the number of tokenized states, the quantity
+// Table IV's tokenized-table size is based on.
+func (c *TabularController) UniqueStates() int { return len(c.tokens) }
+
+// optimisticInit is the initial Q-value of prefetching actions in a
+// fresh row. Starting above NP's 0 makes the table try a prefetcher
+// once in states it has never seen instead of freezing on NP — with a
+// sparse hashed state space (especially for temporal predictions, whose
+// hashed addresses rarely repeat exactly) cold rows are common, and
+// pessimistic zeros would make the tabular variant mostly idle.
+const optimisticInit = 0.5
+
+// tokenOf tokenizes a state key, allocating a fresh optimistic Q-table
+// row on first sight.
+func (c *TabularController) tokenOf(key uint64) int {
+	if tok, ok := c.tokens[key]; ok {
+		return tok
+	}
+	tok := len(c.q)
+	c.tokens[key] = tok
+	row := make([]float64, c.NumActions())
+	for i := 0; i < c.npAction(); i++ {
+		row[i] = optimisticInit
+	}
+	c.q = append(c.q, row)
+	return tok
+}
+
+// OnAccess implements sim.Source.
+func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
+	seq := c.step
+	c.step++
+
+	c.obs, c.order = CollectObservations(c.prefetchers, a, c.obs, c.order)
+	key := TabularKey(c.obs, a.Addr, a.PC, c.cfg.TableHashBits, c.cfg.UsePC)
+	tok := c.tokenOf(key)
+
+	// Reward resolution, then immediate Q updates for resolved
+	// transitions that already know their successor state.
+	c.hitSeq, c.expSeq = c.tracker.Resolve(seq, a.Line, c.hitSeq, c.expSeq)
+	for _, s := range c.hitSeq {
+		c.applyReward(s, 1)
+	}
+	for _, s := range c.expSeq {
+		c.applyReward(s, -1)
+	}
+
+	// Fill the previous transition's successor token.
+	if t, ok := c.pending[c.prevSeq]; ok && !t.hasNext {
+		t.nextTok = tok
+		t.hasNext = true
+	}
+
+	// ε-greedy action over the Q row; exploitation masks padded
+	// (invalid) suggestions since picking one just executes NP, and
+	// breaks near-ties randomly (deterministic argmax would freeze on
+	// one of several equally good arms in a repeated state, while the
+	// MLP variant naturally alternates through approximation noise).
+	var action int
+	if c.rng.Float64() < c.cfg.epsilon(seq) {
+		action = c.rng.Intn(c.NumActions())
+	} else {
+		action = c.pickValid(c.q[tok])
+	}
+
+	c.out = c.out[:0]
+	t := &tabTransition{token: tok, action: action}
+	if action == c.npAction() || !c.obs[action].Valid {
+		t.np = true
+		c.recordReward(seq, 0)
+		// NP reward is 0 immediately; the update happens once the
+		// successor is known.
+	} else {
+		for _, s := range c.obs[action].All {
+			c.out = append(c.out, s.Line)
+			c.tracker.Add(seq, s.Line)
+		}
+		t.outstanding = len(c.out)
+	}
+	c.recordAction(seq, action)
+	c.pending[seq] = t
+	c.prevSeq = seq
+
+	// NP transitions resolve as soon as the successor arrives.
+	if prev, ok := c.pending[seq-1]; ok && prev.np && prev.hasNext {
+		c.update(prev, 0)
+		delete(c.pending, seq-1)
+	}
+	return c.out
+}
+
+// applyReward adds one line's outcome to its transition and applies the
+// Q update once every issued line has resolved.
+func (c *TabularController) applyReward(seq int, r float64) {
+	t, ok := c.pending[seq]
+	if !ok {
+		return
+	}
+	t.acc += r
+	t.outstanding--
+	if t.outstanding > 0 {
+		return
+	}
+	c.recordReward(seq, t.acc)
+	c.update(t, t.acc)
+	delete(c.pending, seq)
+}
+
+// update applies Equation 13 to one transition.
+func (c *TabularController) update(t *tabTransition, r float64) {
+	var future float64
+	if t.hasNext {
+		future = c.cfg.Gamma * maxf(c.q[t.nextTok])
+	}
+	qsa := &c.q[t.token][t.action]
+	*qsa += c.cfg.LR * (r + future - *qsa)
+}
+
+func (c *TabularController) recordReward(seq int, r float64) {
+	for len(c.rewards) <= seq {
+		c.rewards = append(c.rewards, 0)
+	}
+	c.rewards[seq] = r
+}
+
+func (c *TabularController) recordAction(seq, a int) {
+	for len(c.acts) <= seq {
+		c.acts = append(c.acts, 0)
+	}
+	c.acts[seq] = int8(a)
+}
+
+// RewardSeries returns the resolved reward per access (aliases internal
+// state).
+func (c *TabularController) RewardSeries() []float64 { return c.rewards }
+
+// ActionSeries returns the chosen action per access (aliases internal
+// state).
+func (c *TabularController) ActionSeries() []int8 { return c.acts }
+
+// ActionNames returns a label per action index.
+func (c *TabularController) ActionNames() []string {
+	names := make([]string, 0, c.NumActions())
+	for pass := 0; pass < 2; pass++ {
+		wantSpatial := pass == 0
+		for _, p := range c.prefetchers {
+			if p.Spatial() == wantSpatial {
+				names = append(names, p.Name())
+			}
+		}
+	}
+	return append(names, "NP")
+}
+
+// pickValid returns the highest-Q action among valid suggestions and
+// NP, choosing uniformly among actions whose Q lies within a small band
+// of the maximum.
+func (c *TabularController) pickValid(q []float64) int {
+	best := c.npAction()
+	for i := range c.obs {
+		if c.obs[i].Valid && q[i] > q[best] {
+			best = i
+		}
+	}
+	// Near-tie band: 1% of |Q_max| with a small absolute floor, so only
+	// genuinely equivalent arms alternate.
+	band := 0.01 * absf(q[best])
+	if band < 1e-6 {
+		band = 1e-6
+	}
+	ties := 0
+	pick := best
+	for i := 0; i <= c.npAction(); i++ {
+		if i < c.npAction() && !c.obs[i].Valid {
+			continue
+		}
+		if q[i] >= q[best]-band {
+			ties++
+			if c.rng.Intn(ties) == 0 {
+				pick = i
+			}
+		}
+	}
+	return pick
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

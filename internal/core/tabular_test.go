@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/metrics"
+	"resemble/internal/prefetch"
+)
+
+func TestTabularLearnsGoodPrefetcher(t *testing.T) {
+	seq := makeLoop(64)
+	pfs := []prefetch.Prefetcher{
+		garbage("g1", true),
+		oracle("oracle", false, seq),
+		garbage("g2", false),
+	}
+	c := NewTabularController(testConfig(), pfs)
+	driveLoop(t, c, seq, 6000)
+	if got := tailMeanReward(c.RewardSeries(), 0.25); got < 0.5 {
+		t.Errorf("tail mean reward = %.3f, want > 0.5", got)
+	}
+}
+
+func TestTabularLearnsNPOnGarbage(t *testing.T) {
+	seq := makeLoop(64)
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{
+		garbage("g1", true), garbage("g2", false),
+	})
+	driveLoop(t, c, seq, 6000)
+	if got := tailMeanReward(c.RewardSeries(), 0.25); got < -0.2 {
+		t.Errorf("tail mean reward = %.3f, want near 0 (NP)", got)
+	}
+}
+
+func TestTabularUniqueStatesGrow(t *testing.T) {
+	seq := makeLoop(64)
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{
+		oracle("o", true, seq), garbage("g", false),
+	})
+	driveLoop(t, c, seq, 1000)
+	if c.UniqueStates() == 0 {
+		t.Fatal("no states tokenized")
+	}
+	// The tokenized state count is bounded by the number of distinct
+	// observations, far below the direct-index space 2^(B*S).
+	if c.UniqueStates() > 1000 {
+		t.Errorf("unique states = %d, expected sparse tokenization", c.UniqueStates())
+	}
+}
+
+func TestTabularHashBitsTradeoff(t *testing.T) {
+	// 4-bit hashing must produce no more unique states than 8-bit.
+	seq := makeLoop(64)
+	run := func(bits uint) int {
+		cfg := testConfig()
+		cfg.TableHashBits = bits
+		c := NewTabularController(cfg, []prefetch.Prefetcher{
+			oracle("o", true, seq), garbage("g", false),
+		})
+		driveLoop(t, c, seq, 2000)
+		return c.UniqueStates()
+	}
+	if s4, s8 := run(4), run(8); s4 > s8 {
+		t.Errorf("4-bit states %d > 8-bit states %d", s4, s8)
+	}
+}
+
+func TestTabularDeterministic(t *testing.T) {
+	seq := makeLoop(32)
+	build := func() *TabularController {
+		return NewTabularController(testConfig(), []prefetch.Prefetcher{
+			oracle("o", true, seq), garbage("g", false),
+		})
+	}
+	a, b := build(), build()
+	for i := 0; i < 500; i++ {
+		line := seq[i%len(seq)]
+		ctx := prefetch.AccessContext{Index: i, Addr: mem.LineAddr(line), Line: line}
+		la := append([]mem.Line(nil), a.OnAccess(ctx)...)
+		lb := b.OnAccess(ctx)
+		if len(la) != len(lb) {
+			t.Fatalf("step %d: decisions diverge", i)
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("step %d: prefetch differs", i)
+			}
+		}
+	}
+}
+
+func TestTabularReset(t *testing.T) {
+	seq := makeLoop(32)
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{oracle("o", true, seq)})
+	driveLoop(t, c, seq, 500)
+	if c.UniqueStates() == 0 {
+		t.Fatal("precondition: states learned")
+	}
+	c.Reset()
+	if c.UniqueStates() != 0 || len(c.RewardSeries()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestTabularAdaptsToPhaseChange(t *testing.T) {
+	seqA := makeLoop(64)
+	seqB := make([]mem.Line, 64)
+	for i := range seqB {
+		seqB[i] = mem.Line(0x900000 + i*13)
+	}
+	phase := 0
+	pfA := &fakePF{name: "pfA", spatial: true, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 0 {
+			return []prefetch.Suggestion{{Line: seqA[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 41}}
+	}}
+	pfB := &fakePF{name: "pfB", spatial: false, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 1 {
+			return []prefetch.Suggestion{{Line: seqB[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 42}}
+	}}
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{pfA, pfB})
+	for i := 0; i < 4000; i++ {
+		c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(seqA[i%64]), Line: seqA[i%64]})
+	}
+	phase = 1
+	for i := 4000; i < 8000; i++ {
+		c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(seqB[i%64]), Line: seqB[i%64]})
+	}
+	if got := metrics.Mean(c.RewardSeries()[7000:]); got < 0.3 {
+		t.Errorf("reward after phase change = %.3f, want > 0.3", got)
+	}
+}
+
+func TestTabularActionNames(t *testing.T) {
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{
+		garbage("t1", false), garbage("s1", true),
+	})
+	names := c.ActionNames()
+	if len(names) != 3 || names[0] != "s1" || names[2] != "NP" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTabularPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty prefetcher list did not panic")
+		}
+	}()
+	NewTabularController(testConfig(), nil)
+}

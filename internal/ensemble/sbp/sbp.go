@@ -1,0 +1,204 @@
+// Package sbp implements SBP(E), the paper's extended Sandbox
+// Prefetcher baseline (Section V-C1; Pugsley et al., HPCA 2014). Every
+// input prefetcher runs in a sandbox: its suggestions go into a regular
+// history buffer (the paper's extension replaces the original's Bloom
+// filter with an exact buffer of size 256) instead of the cache, and a
+// suggestion scores a hit when a later demand access matches it. At the
+// end of each evaluation period the prefetcher with the highest sandbox
+// accuracy becomes the active prefetcher for the next period — the
+// greedy strategy whose response lag ReSemble is designed to beat.
+package sbp
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes SBP(E).
+type Config struct {
+	// BufferSize is the per-prefetcher suggestion history buffer
+	// (paper: 256, matching ReSemble's training batch).
+	BufferSize int
+	// Period is the evaluation period in accesses after which the
+	// active prefetcher is re-selected (defaults to BufferSize).
+	Period int
+	// MinAccuracy disables prefetching for a period when even the best
+	// sandbox accuracy is below it.
+	MinAccuracy float64
+}
+
+func (c *Config) setDefaults() {
+	if c.BufferSize == 0 {
+		c.BufferSize = 256
+	}
+	if c.Period == 0 {
+		c.Period = c.BufferSize
+	}
+	if c.MinAccuracy == 0 {
+		c.MinAccuracy = 0.05
+	}
+}
+
+// sandbox tracks one prefetcher's recent suggestions and their
+// outcomes.
+type sandbox struct {
+	buf    []mem.Line // FIFO of recent suggestions
+	set    map[mem.Line]int
+	issues int // suggestions made this period
+	hits   int // suggestions matched this period
+}
+
+func newSandbox(capacity int) *sandbox {
+	return &sandbox{set: make(map[mem.Line]int, capacity)}
+}
+
+func (s *sandbox) add(line mem.Line, capacity int) {
+	s.issues++
+	s.buf = append(s.buf, line)
+	s.set[line]++
+	if len(s.buf) > capacity {
+		old := s.buf[0]
+		s.buf = s.buf[1:]
+		if s.set[old] <= 1 {
+			delete(s.set, old)
+		} else {
+			s.set[old]--
+		}
+	}
+}
+
+// match scores a hit when line is among the buffered suggestions. Like
+// the original's Bloom-filter test this is pure membership — entries
+// are not consumed, they age out of the FIFO.
+func (s *sandbox) match(line mem.Line) {
+	if s.set[line] > 0 {
+		s.hits++
+	}
+}
+
+func (s *sandbox) accuracy() float64 {
+	if s.issues == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(s.issues)
+}
+
+func (s *sandbox) resetPeriod() { s.issues, s.hits = 0, 0 }
+
+// Controller is the SBP(E) ensemble controller; it implements
+// sim.Source.
+type Controller struct {
+	cfg         Config
+	prefetchers []prefetch.Prefetcher
+	boxes       []*sandbox
+
+	active    int // index of the active prefetcher; -1 means none
+	accessNum int
+
+	out      []mem.Line
+	selected []int8 // active prefetcher per access, for diagnostics
+}
+
+// New builds the SBP(E) controller. It panics on an empty prefetcher
+// list.
+func New(cfg Config, prefetchers []prefetch.Prefetcher) *Controller {
+	if len(prefetchers) == 0 {
+		panic("sbp: controller needs at least one prefetcher")
+	}
+	cfg.setDefaults()
+	c := &Controller{cfg: cfg, prefetchers: prefetchers}
+	c.initState()
+	return c
+}
+
+func (c *Controller) initState() {
+	c.boxes = make([]*sandbox, len(c.prefetchers))
+	for i := range c.boxes {
+		c.boxes[i] = newSandbox(c.cfg.BufferSize)
+	}
+	c.active = -1
+	c.accessNum = 0
+	c.selected = c.selected[:0]
+}
+
+// Name implements sim.Source.
+func (c *Controller) Name() string { return "sbp-e" }
+
+// Reset implements sim.Source.
+func (c *Controller) Reset() {
+	for _, p := range c.prefetchers {
+		p.Reset()
+	}
+	c.initState()
+}
+
+// Active returns the currently selected prefetcher index (-1 when
+// prefetching is disabled).
+func (c *Controller) Active() int { return c.active }
+
+// SelectedSeries returns the active prefetcher per access (aliases
+// internal state; -1 entries are stored as the prefetcher count).
+func (c *Controller) SelectedSeries() []int8 { return c.selected }
+
+// OnAccess implements sim.Source.
+func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
+	c.accessNum++
+	c.out = c.out[:0]
+
+	for i, p := range c.prefetchers {
+		box := c.boxes[i]
+		// Sandbox scoring happens before adding this access's own
+		// suggestions (a suggestion cannot match its trigger).
+		box.match(a.Line)
+		all := p.Observe(a)
+		if top, ok := prefetch.Top(all); ok {
+			box.add(top.Line, c.cfg.BufferSize)
+			if i == c.active {
+				// The active prefetcher issues at its native degree.
+				for _, s := range all {
+					c.out = append(c.out, s.Line)
+				}
+			}
+		}
+	}
+
+	if c.accessNum%c.cfg.Period == 0 {
+		c.reselect()
+	}
+	sel := int8(len(c.prefetchers))
+	if c.active >= 0 {
+		sel = int8(c.active)
+	}
+	c.selected = append(c.selected, sel)
+	return c.out
+}
+
+// reselect picks the sandbox leader for the next period. The incumbent
+// keeps its slot unless a challenger STRICTLY surpasses it — the
+// paper's own description of SBP ("a picked prefetcher works for a
+// period until the average performance of another prefetcher surpasses
+// it"). Without this hysteresis, equally-scoring prefetchers would
+// alternate every period, which both misrepresents the design and
+// accidentally unions their coverage.
+func (c *Controller) reselect() {
+	incumbentAcc := -1.0
+	if c.active >= 0 {
+		incumbentAcc = c.boxes[c.active].accuracy()
+	}
+	best, bestAcc := c.active, incumbentAcc
+	for i, box := range c.boxes {
+		if i == c.active {
+			continue
+		}
+		if acc := box.accuracy(); acc > bestAcc {
+			best, bestAcc = i, acc
+		}
+	}
+	if bestAcc < c.cfg.MinAccuracy {
+		best = -1
+	}
+	c.active = best
+	for _, box := range c.boxes {
+		box.resetPeriod()
+	}
+}

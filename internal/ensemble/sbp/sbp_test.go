@@ -1,0 +1,166 @@
+package sbp
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// fakePF is a scriptable prefetcher.
+type fakePF struct {
+	name    string
+	spatial bool
+	fn      func(prefetch.AccessContext) []prefetch.Suggestion
+}
+
+func (f *fakePF) Name() string  { return f.name }
+func (f *fakePF) Spatial() bool { return f.spatial }
+func (f *fakePF) Reset()        {}
+func (f *fakePF) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	if f.fn == nil {
+		return nil
+	}
+	return f.fn(a)
+}
+
+func makeLoop(n int) []mem.Line {
+	seq := make([]mem.Line, n)
+	for i := range seq {
+		seq[i] = mem.Line(0x20000 + i*31)
+	}
+	return seq
+}
+
+func oracle(name string, seq []mem.Line) prefetch.Prefetcher {
+	return &fakePF{name: name, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		return []prefetch.Suggestion{{Line: seq[(a.Index+1)%len(seq)]}}
+	}}
+}
+
+func garbage(name string) prefetch.Prefetcher {
+	return &fakePF{name: name, fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		return []prefetch.Suggestion{{Line: 1<<40 + mem.Line(a.Index)}}
+	}}
+}
+
+func drive(c *Controller, seq []mem.Line, from, to int) {
+	for i := from; i < to; i++ {
+		line := seq[i%len(seq)]
+		c.OnAccess(prefetch.AccessContext{Index: i, Addr: mem.LineAddr(line), Line: line})
+	}
+}
+
+func TestSelectsAccuratePrefetcher(t *testing.T) {
+	seq := makeLoop(64)
+	c := New(Config{}, []prefetch.Prefetcher{garbage("g"), oracle("o", seq), garbage("g2")})
+	drive(c, seq, 0, 1000)
+	if c.Active() != 1 {
+		t.Errorf("Active = %d, want 1 (the oracle)", c.Active())
+	}
+}
+
+func TestDisablesBelowMinAccuracy(t *testing.T) {
+	seq := makeLoop(64)
+	c := New(Config{MinAccuracy: 0.5}, []prefetch.Prefetcher{garbage("g1"), garbage("g2")})
+	drive(c, seq, 0, 1000)
+	if c.Active() != -1 {
+		t.Errorf("Active = %d, want -1 (all sandboxes inaccurate)", c.Active())
+	}
+	// And an inactive controller issues nothing.
+	line := seq[0]
+	if out := c.OnAccess(prefetch.AccessContext{Index: 1000, Addr: mem.LineAddr(line), Line: line}); len(out) != 0 {
+		t.Errorf("disabled SBP issued %v", out)
+	}
+}
+
+func TestResponseLag(t *testing.T) {
+	// The paper's criticism of SBP: after the pattern shifts, the
+	// sub-optimal prefetcher keeps working until the NEXT evaluation
+	// period. Verify the lag exists.
+	seqA := makeLoop(64)
+	seqB := make([]mem.Line, 64)
+	for i := range seqB {
+		seqB[i] = mem.Line(0x800000 + i*17)
+	}
+	phase := 0
+	pfA := &fakePF{name: "A", fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 0 {
+			return []prefetch.Suggestion{{Line: seqA[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 41}}
+	}}
+	pfB := &fakePF{name: "B", fn: func(a prefetch.AccessContext) []prefetch.Suggestion {
+		if phase == 1 {
+			return []prefetch.Suggestion{{Line: seqB[(a.Index+1)%64]}}
+		}
+		return []prefetch.Suggestion{{Line: 1 << 42}}
+	}}
+	c := New(Config{Period: 256}, []prefetch.Prefetcher{pfA, pfB})
+	drive(c, seqA, 0, 1024)
+	if c.Active() != 0 {
+		t.Fatalf("Active = %d after phase A, want 0", c.Active())
+	}
+	phase = 1
+	// Immediately after the switch, SBP still runs prefetcher A.
+	line := seqB[0]
+	c.OnAccess(prefetch.AccessContext{Index: 1024, Addr: mem.LineAddr(line), Line: line})
+	if c.Active() != 0 {
+		t.Error("SBP should lag: active prefetcher must not change mid-period")
+	}
+	// After a full period it must have switched to B.
+	drive(c, seqB, 1025, 1024+2*256+1)
+	if c.Active() != 1 {
+		t.Errorf("Active = %d after phase B periods, want 1", c.Active())
+	}
+}
+
+func TestIssuesOnlyFromActive(t *testing.T) {
+	seq := makeLoop(64)
+	good := oracle("o", seq)
+	c := New(Config{}, []prefetch.Prefetcher{good, garbage("g")})
+	drive(c, seq, 0, 600)
+	line := seq[600%64]
+	out := c.OnAccess(prefetch.AccessContext{Index: 600, Addr: mem.LineAddr(line), Line: line})
+	if len(out) != 1 {
+		t.Fatalf("issued %d lines, want 1", len(out))
+	}
+	if out[0] != seq[601%64] {
+		t.Errorf("issued %#x, want the oracle's suggestion %#x", out[0], seq[601%64])
+	}
+}
+
+func TestSelectedSeriesLength(t *testing.T) {
+	seq := makeLoop(16)
+	c := New(Config{}, []prefetch.Prefetcher{garbage("g")})
+	drive(c, seq, 0, 300)
+	if got := len(c.SelectedSeries()); got != 300 {
+		t.Errorf("series length = %d, want 300", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	seq := makeLoop(64)
+	c := New(Config{}, []prefetch.Prefetcher{oracle("o", seq)})
+	drive(c, seq, 0, 600)
+	c.Reset()
+	if c.Active() != -1 || len(c.SelectedSeries()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty prefetcher list did not panic")
+		}
+	}()
+	New(Config{}, nil)
+}
+
+func TestName(t *testing.T) {
+	c := New(Config{}, []prefetch.Prefetcher{garbage("g")})
+	if c.Name() != "sbp-e" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

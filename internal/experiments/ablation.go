@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strconv"
+
+	"resemble/internal/core"
+	"resemble/internal/prefetch"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+// AblationRow is one configuration point of the design-choice study.
+type AblationRow struct {
+	Study string
+	Label string
+	IPC   float64
+	Gain  float64
+	Acc   float64
+	Cov   float64
+}
+
+// Ablations sweeps the design choices Section IV motivates — reward
+// window W, replay capacity, hidden width, hash bits, ε decay, target
+// interval, ensemble width — each on the phase-hybrid workload. The
+// same sweeps are exposed as benchmarks in ablation_bench_test.go.
+func Ablations(o Options) ([]AblationRow, error) {
+	o = o.withDefaults()
+	o.printf("== Ablations: design-choice sensitivity on 602.gcc ==\n")
+	o.printf("%-10s %-10s %8s %8s %8s\n", "study", "config", "dIPC", "acc", "cov")
+
+	w := trace.MustLookup("602.gcc")
+	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+	simCfg := sim.DefaultConfig()
+	base := sim.RunBaseline(simCfg, tr)
+
+	run := func(study, label string, mutate func(*core.Config), pfs []prefetch.Prefetcher) AblationRow {
+		cfg := o.controllerConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		if pfs == nil {
+			pfs = FourPrefetchers()
+		}
+		r := sim.Run(simCfg, tr, core.NewController(cfg, pfs))
+		row := AblationRow{
+			Study: study, Label: label,
+			IPC: r.IPC, Gain: r.IPCImprovement(base), Acc: r.Accuracy, Cov: r.Coverage,
+		}
+		o.printf("%-10s %-10s %+7.1f%% %7.1f%% %7.1f%%\n",
+			row.Study, row.Label, 100*row.Gain, 100*row.Acc, 100*row.Cov)
+		return row
+	}
+
+	var out []AblationRow
+	for _, wnd := range []int{64, 256, 1024} {
+		wnd := wnd
+		out = append(out, run("window", strconv.Itoa(wnd), func(c *core.Config) { c.Window = wnd }, nil))
+	}
+	for _, n := range []int{500, 2000, 8000} {
+		n := n
+		out = append(out, run("replay", strconv.Itoa(n), func(c *core.Config) { c.ReplayN = n }, nil))
+	}
+	for _, h := range []int{25, 100, 400} {
+		h := h
+		out = append(out, run("hidden", strconv.Itoa(h), func(c *core.Config) { c.Hidden = h }, nil))
+	}
+	for _, b := range []uint{8, 16, 32} {
+		b := b
+		out = append(out, run("hashbits", strconv.Itoa(int(b)), func(c *core.Config) { c.HashBits = b }, nil))
+	}
+	for _, d := range []float64{20, 80, 640} {
+		d := d
+		out = append(out, run("epsdecay", strconv.Itoa(int(d)), func(c *core.Config) { c.EpsDecay = d }, nil))
+	}
+	for _, it := range []int{5, 20, 200} {
+		it := it
+		out = append(out, run("targetIt", strconv.Itoa(it), func(c *core.Config) { c.TargetInterval = it }, nil))
+	}
+	out = append(out, run("width", "4pf", nil, FourPrefetchers()))
+	out = append(out, run("width", "5pf", nil, FivePrefetchers()))
+	return out, nil
+}

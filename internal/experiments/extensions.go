@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"resemble/internal/core"
+	"resemble/internal/metrics"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/ghb"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/prefetch/stems"
+	"resemble/internal/prefetch/stms"
+	"resemble/internal/prefetch/stride"
+	"resemble/internal/prefetch/vldp"
+	"resemble/internal/prefetch/voyager"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+// BudgetPoint is one budget-scale measurement of the ensemble.
+type BudgetPoint struct {
+	// Scale divides/multiplies the input prefetchers' table budgets
+	// (0.25, 1, 4).
+	Scale float64
+	// AvgIPCGain is the mean ReSemble IPC improvement over the
+	// motivation workloads at this budget.
+	AvgIPCGain  float64
+	AvgCoverage float64
+}
+
+// budgetPrefetchers builds the four input prefetchers with their
+// metadata budgets scaled by s.
+func budgetPrefetchers(s float64) []prefetch.Prefetcher {
+	scale := func(base int) int {
+		v := int(float64(base) * s)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	return []prefetch.Prefetcher{
+		bo.New(bo.Config{RRSize: scale(1024)}),
+		spp.New(spp.Config{STSize: scale(256), PTSize: scale(512), FilterSize: scale(1024)}),
+		isb.New(isb.Config{AMCSize: scale(1 << 15)}),
+		domino.New(domino.Config{LogSize: scale(1 << 16), IndexSize: scale(1 << 15)}),
+	}
+}
+
+// BudgetSensitivity studies the framework's sensitivity to the input
+// prefetchers' hardware budgets — the paper's stated future work
+// ("sensitivity to varying budgets", Section VIII). Table budgets are
+// scaled from a quarter to four times the Table II configuration.
+func BudgetSensitivity(o Options) ([]BudgetPoint, error) {
+	o = o.withDefaults()
+	o.printf("== Budget sensitivity (future work): ReSemble vs input budgets ==\n")
+	o.printf("%-8s %10s %10s\n", "scale", "dIPC", "coverage")
+	var out []BudgetPoint
+	simCfg := sim.DefaultConfig()
+	for _, s := range []float64{0.25, 1, 4} {
+		var gains, covs []float64
+		for _, w := range trace.MotivationWorkloads() {
+			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+			base := sim.RunBaseline(simCfg, tr)
+			ctrl := core.NewController(o.controllerConfig(), budgetPrefetchers(s))
+			r := sim.Run(simCfg, tr, ctrl)
+			gains = append(gains, r.IPCImprovement(base))
+			covs = append(covs, r.Coverage)
+		}
+		p := BudgetPoint{Scale: s, AvgIPCGain: metrics.Mean(gains), AvgCoverage: metrics.Mean(covs)}
+		out = append(out, p)
+		o.printf("%-8.2f %+9.1f%% %9.1f%%\n", p.Scale, 100*p.AvgIPCGain, 100*p.AvgCoverage)
+	}
+	return out, nil
+}
+
+// TaxonomyRow is one prefetcher's suite-wide result in the extended
+// taxonomy comparison.
+type TaxonomyRow struct {
+	Prefetcher  string
+	Class       string
+	AvgAccuracy float64
+	AvgCoverage float64
+	AvgIPCGain  float64
+}
+
+// Taxonomy compares every implemented prefetcher (the paper's Table I
+// taxonomy plus the NN prefetcher) head to head across the evaluation
+// suite — an extension beyond the paper's four-input configuration.
+func Taxonomy(o Options) ([]TaxonomyRow, error) {
+	o = o.withDefaults()
+	o.printf("== Extended taxonomy: all implemented prefetchers ==\n")
+	o.printf("%-9s %-9s %8s %8s %8s\n", "pf", "class", "acc", "cov", "dIPC")
+	type entry struct {
+		name  string
+		class string
+		build func() sim.Source
+	}
+	entries := []entry{
+		{"bo", "spatial", func() sim.Source { return sim.FromPrefetcher(bo.New(bo.Config{}), 4) }},
+		{"spp", "spatial", func() sim.Source { return sim.FromPrefetcher(spp.New(spp.Config{}), 4) }},
+		{"vldp", "spatial", func() sim.Source { return sim.FromPrefetcher(vldp.New(vldp.Config{}), 4) }},
+		{"stride", "spatial", func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 4) }},
+		{"ghb", "spatial", func() sim.Source { return sim.FromPrefetcher(ghb.New(ghb.Config{}), 4) }},
+		{"isb", "temporal", func() sim.Source { return sim.FromPrefetcher(isb.New(isb.Config{}), 4) }},
+		{"domino", "temporal", func() sim.Source { return sim.FromPrefetcher(domino.New(domino.Config{}), 4) }},
+		{"stms", "temporal", func() sim.Source { return sim.FromPrefetcher(stms.New(stms.Config{}), 4) }},
+		{"stems", "spa-temp", func() sim.Source { return sim.FromPrefetcher(stems.New(stems.Config{}), 4) }},
+		{"voyager", "neural", func() sim.Source { return sim.FromPrefetcher(voyager.New(voyager.Config{}), 4) }},
+	}
+	// A representative cross-section keeps the LSTM runtime in check.
+	workloads := []string{"433.lbm", "433.milc", "471.omnetpp", "429.mcf", "602.gcc"}
+	simCfg := sim.DefaultConfig()
+	var out []TaxonomyRow
+	for _, e := range entries {
+		var accs, covs, gains []float64
+		for _, name := range workloads {
+			w := trace.MustLookup(name)
+			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+			base := sim.RunBaseline(simCfg, tr)
+			r := sim.Run(simCfg, tr, e.build())
+			accs = append(accs, r.Accuracy)
+			covs = append(covs, r.Coverage)
+			gains = append(gains, r.IPCImprovement(base))
+		}
+		row := TaxonomyRow{
+			Prefetcher:  e.name,
+			Class:       e.class,
+			AvgAccuracy: metrics.Mean(accs),
+			AvgCoverage: metrics.Mean(covs),
+			AvgIPCGain:  metrics.Mean(gains),
+		}
+		out = append(out, row)
+		o.printf("%-9s %-9s %7.1f%% %7.1f%% %+7.1f%%\n",
+			row.Prefetcher, row.Class, 100*row.AvgAccuracy, 100*row.AvgCoverage, 100*row.AvgIPCGain)
+	}
+	return out, nil
+}

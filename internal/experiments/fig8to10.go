@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"resemble/internal/metrics"
+	"resemble/internal/trace"
+)
+
+// EnsembleResult aggregates Figures 8–10 for one prefetch source.
+type EnsembleResult struct {
+	Source string
+	// Per-workload rows in workload-name order.
+	Runs []WorkloadRun
+	// Averages over all workloads (accuracy/coverage arithmetic means,
+	// matching the paper's headline numbers; IPC improvement is the
+	// mean relative gain).
+	AvgAccuracy  float64
+	AvgCoverage  float64
+	AvgIPCGain   float64
+	GeoMeanIPCxB float64 // geometric mean of IPC ratios (pf/baseline)
+}
+
+// Fig8to10 runs the full evaluation sweep (paper Figures 8, 9, 10):
+// prefetch accuracy, coverage and IPC improvement of the individual
+// prefetchers, SBP(E), ReSemble and ReSemble-T over every workload.
+func Fig8to10(o Options) ([]EnsembleResult, error) {
+	o = o.withDefaults()
+	set := EvaluationSources()
+	runs := runMatrix(o, trace.EvaluationWorkloads(), set)
+	grouped := bySource(runs, set.Names)
+
+	var out []EnsembleResult
+	for _, name := range set.Names {
+		rs := grouped[name]
+		er := EnsembleResult{Source: name, Runs: rs}
+		var accs, covs, gains, ratios []float64
+		for _, r := range rs {
+			accs = append(accs, r.Result.Accuracy)
+			covs = append(covs, r.Result.Coverage)
+			gains = append(gains, r.IPCImprovement())
+			if r.Baseline.IPC > 0 {
+				ratios = append(ratios, r.Result.IPC/r.Baseline.IPC)
+			}
+		}
+		er.AvgAccuracy = metrics.Mean(accs)
+		er.AvgCoverage = metrics.Mean(covs)
+		er.AvgIPCGain = metrics.Mean(gains)
+		er.GeoMeanIPCxB = metrics.GeoMean(ratios)
+		out = append(out, er)
+	}
+
+	// Render: per-workload table then the Fig 8/9/10 averages.
+	o.printf("== Fig 8-10: accuracy / coverage / IPC improvement ==\n")
+	o.printf("%-18s", "workload")
+	for _, n := range set.Names {
+		o.printf(" %11s", n)
+	}
+	o.printf("\n")
+	if len(out) > 0 {
+		for i := range out[0].Runs {
+			w := out[0].Runs[i].Workload
+			o.printf("%-18s", w)
+			for _, er := range out {
+				r := er.Runs[i]
+				o.printf(" %4.0f/%2.0f/%+3.0f", 100*r.Result.Accuracy, 100*r.Result.Coverage, 100*r.IPCImprovement())
+			}
+			o.printf("\n")
+		}
+	}
+	o.printf("%-18s\n", "(cells: acc%/cov%/dIPC%)")
+	o.printf("\nFig 8 (avg accuracy):   ")
+	for _, er := range out {
+		o.printf(" %s=%.1f%%", er.Source, 100*er.AvgAccuracy)
+	}
+	o.printf("\nFig 9 (avg coverage):   ")
+	for _, er := range out {
+		o.printf(" %s=%.1f%%", er.Source, 100*er.AvgCoverage)
+	}
+	o.printf("\nFig 10 (avg IPC gain):  ")
+	for _, er := range out {
+		o.printf(" %s=%+.1f%%", er.Source, 100*er.AvgIPCGain)
+	}
+	o.printf("\nFig 10 (geomean IPC ratio):")
+	for _, er := range out {
+		o.printf(" %s=%.3f", er.Source, er.GeoMeanIPCxB)
+	}
+	o.printf("\n")
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"resemble/internal/core"
+	"resemble/internal/ensemble/sbp"
+	"resemble/internal/multicore"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+// MulticoreResult summarizes the multi-core extension study (the
+// paper's stated future work): a 4-core mix with one workload per
+// pattern class, comparing no prefetching, per-core SBP(E), and
+// per-core ReSemble controllers on the shared LLC.
+type MulticoreResult struct {
+	Mix []string
+	// Weighted speedups over the no-prefetch baseline.
+	SBPSpeedup      float64
+	ResembleSpeedup float64
+	// Per-core ReSemble IPC improvements.
+	PerCoreGain []float64
+}
+
+// multicoreMix is the 4-core workload mix: spatial, temporal, hybrid
+// and irregular.
+func multicoreMix() []string {
+	return []string{"433.lbm", "471.omnetpp", "602.gcc", "gap.bfs"}
+}
+
+// Multicore runs the multi-core extension experiment.
+func Multicore(o Options) (MulticoreResult, error) {
+	o = o.withDefaults()
+	mix := multicoreMix()
+	res := MulticoreResult{Mix: mix}
+	mcfg := multicore.DefaultConfig()
+
+	build := func(mk func() sim.Source) []multicore.Core {
+		cores := make([]multicore.Core, len(mix))
+		for i, name := range mix {
+			w := trace.MustLookup(name)
+			cores[i] = multicore.Core{Trace: w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)}
+			if mk != nil {
+				cores[i].Source = mk()
+			}
+		}
+		return cores
+	}
+
+	base, err := multicore.Run(mcfg, build(nil))
+	if err != nil {
+		return res, err
+	}
+	withSBP, err := multicore.Run(mcfg, build(func() sim.Source {
+		return sbp.New(sbp.Config{}, FourPrefetchers())
+	}))
+	if err != nil {
+		return res, err
+	}
+	withRes, err := multicore.Run(mcfg, build(func() sim.Source {
+		return core.NewController(o.controllerConfig(), FourPrefetchers())
+	}))
+	if err != nil {
+		return res, err
+	}
+
+	res.SBPSpeedup = withSBP.WeightedSpeedup(base)
+	res.ResembleSpeedup = withRes.WeightedSpeedup(base)
+	for i := range withRes.PerCore {
+		b := base.PerCore[i].Result.IPC
+		var gain float64
+		if b > 0 {
+			gain = (withRes.PerCore[i].Result.IPC - b) / b
+		}
+		res.PerCoreGain = append(res.PerCoreGain, gain)
+	}
+
+	o.printf("== Multicore extension: 4 cores, shared LLC (future work, Section VIII) ==\n")
+	o.printf("mix: %v\n", mix)
+	o.printf("%-24s %8s\n", "configuration", "WS")
+	o.printf("%-24s %8.3f\n", "per-core SBP(E)", res.SBPSpeedup)
+	o.printf("%-24s %8.3f\n", "per-core ReSemble", res.ResembleSpeedup)
+	o.printf("per-core ReSemble dIPC:")
+	for i, g := range res.PerCoreGain {
+		o.printf(" %s=%+.1f%%", mix[i], 100*g)
+	}
+	o.printf("\n")
+	return res, nil
+}

@@ -1,0 +1,86 @@
+// Package mem provides the address arithmetic shared by every component
+// of the ReSemble reproduction: cache-line and page extraction, the
+// block/page geometry from the paper's Table III (64-bit addresses,
+// 6-bit block offset, 12-bit page offset), and the bit-folding hash the
+// paper uses to compress the address space (Section IV-B and IV-F).
+package mem
+
+// Geometry constants from Table III of the paper.
+const (
+	// AddrBits is the width of a physical address.
+	AddrBits = 64
+	// BlockBits is the number of block-offset bits (64-byte lines).
+	BlockBits = 6
+	// PageBits is the number of page-offset bits (4 KiB pages).
+	PageBits = 12
+	// LineSize is the cache line size in bytes.
+	LineSize = 1 << BlockBits
+	// PageSize is the page size in bytes.
+	PageSize = 1 << PageBits
+	// LinesPerPage is the number of cache lines in one page.
+	LinesPerPage = PageSize / LineSize
+)
+
+// Addr is a 64-bit byte address.
+type Addr = uint64
+
+// Line is a cache-line address (byte address >> BlockBits).
+type Line = uint64
+
+// Page is a page number (byte address >> PageBits).
+type Page = uint64
+
+// LineOf returns the cache-line address containing a.
+func LineOf(a Addr) Line { return a >> BlockBits }
+
+// LineAddr returns the first byte address of line l.
+func LineAddr(l Line) Addr { return l << BlockBits }
+
+// PageOf returns the page number containing a.
+func PageOf(a Addr) Page { return a >> PageBits }
+
+// PageAddr returns the first byte address of page p.
+func PageAddr(p Page) Addr { return p << PageBits }
+
+// PageOffset returns the byte offset of a within its page.
+func PageOffset(a Addr) uint64 { return a & (PageSize - 1) }
+
+// LineOffsetInPage returns the index of a's cache line within its page,
+// in [0, LinesPerPage).
+func LineOffsetInPage(a Addr) uint64 { return PageOffset(a) >> BlockBits }
+
+// SamePage reports whether a and b lie in the same page.
+func SamePage(a, b Addr) bool { return PageOf(a) == PageOf(b) }
+
+// FoldHash compresses v to bits bits using the folding method the paper
+// uses for state-vector generation: the value is split into bits-wide
+// chunks which are XOR-folded together. bits must be in (0, 64].
+func FoldHash(v uint64, bits uint) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	mask := (uint64(1) << bits) - 1
+	var h uint64
+	for v != 0 {
+		h ^= v & mask
+		v >>= bits
+	}
+	return h & mask
+}
+
+// FoldHashSigned folds a signed delta by mapping it to an unsigned
+// zig-zag encoding first, so that small positive and negative deltas
+// hash to distinct small buckets.
+func FoldHashSigned(d int64, bits uint) uint64 {
+	// Zig-zag: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+	u := uint64((d << 1) ^ (d >> 63))
+	return FoldHash(u, bits)
+}
+
+// Abs64 returns the absolute value of d as a uint64, handling MinInt64.
+func Abs64(d int64) uint64 {
+	if d < 0 {
+		return uint64(-d)
+	}
+	return uint64(d)
+}

@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if LineSize != 64 {
+		t.Fatalf("LineSize = %d, want 64", LineSize)
+	}
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Line
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{4095, 63},
+		{4096, 64},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.a); got != c.want {
+			t.Errorf("LineOf(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(l uint64) bool {
+		l &= (1 << 58) - 1 // keep within addressable range
+		return LineOf(LineAddr(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageAddrRoundTrip(t *testing.T) {
+	f := func(p uint64) bool {
+		p &= (1 << 52) - 1
+		return PageOf(PageAddr(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageOffset(t *testing.T) {
+	if got := PageOffset(4096 + 100); got != 100 {
+		t.Errorf("PageOffset = %d, want 100", got)
+	}
+	if got := LineOffsetInPage(4096 + 130); got != 2 {
+		t.Errorf("LineOffsetInPage = %d, want 2", got)
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	if !SamePage(100, 4000) {
+		t.Error("100 and 4000 should share a page")
+	}
+	if SamePage(4000, 4200) {
+		t.Error("4000 and 4200 should not share a page")
+	}
+}
+
+func TestFoldHashRange(t *testing.T) {
+	f := func(v uint64) bool {
+		for _, bits := range []uint{4, 8, 16} {
+			if FoldHash(v, bits) >= 1<<bits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldHashIdentityWide(t *testing.T) {
+	f := func(v uint64) bool { return FoldHash(v, 64) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldHashSmallValuesDistinct(t *testing.T) {
+	// Values below 2^bits must hash to themselves (single chunk).
+	for v := uint64(0); v < 16; v++ {
+		if got := FoldHash(v, 4); got != v {
+			t.Errorf("FoldHash(%d,4) = %d, want identity", v, got)
+		}
+	}
+}
+
+func TestFoldHashDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := rng.Uint64()
+		if FoldHash(v, 8) != FoldHash(v, 8) {
+			t.Fatal("FoldHash not deterministic")
+		}
+	}
+}
+
+func TestFoldHashSignedZigZag(t *testing.T) {
+	// Small deltas of either sign land in distinct buckets under a wide hash.
+	seen := map[uint64]int64{}
+	for d := int64(-7); d <= 7; d++ {
+		h := FoldHashSigned(d, 16)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("collision: %d and %d both hash to %d", prev, d, h)
+		}
+		seen[h] = d
+	}
+}
+
+func TestAbs64(t *testing.T) {
+	if Abs64(-5) != 5 || Abs64(5) != 5 || Abs64(0) != 0 {
+		t.Error("Abs64 basic cases failed")
+	}
+	if Abs64(-1<<63) != 1<<63 {
+		t.Error("Abs64(MinInt64) overflow case failed")
+	}
+}
+
+func BenchmarkFoldHash(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += FoldHash(uint64(i)*0x9e3779b97f4a7c15, 16)
+	}
+	_ = sink
+}

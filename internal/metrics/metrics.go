@@ -1,0 +1,186 @@
+// Package metrics provides the statistical helpers the evaluation
+// harness uses: autocorrelation of access series (Figure 1), windowed
+// reward aggregation (Table VI, Figure 6), series smoothing, and
+// geometric/arithmetic means for cross-workload summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Autocorrelation returns the autocorrelation coefficients of series at
+// lags 0..maxLag inclusive. Lag 0 is always 1 (for non-constant
+// series). A constant or empty series yields zeros beyond lag 0.
+func Autocorrelation(series []float64, maxLag int) []float64 {
+	n := len(series)
+	out := make([]float64, maxLag+1)
+	if n == 0 {
+		return out
+	}
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var denom float64
+	for _, v := range series {
+		d := v - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		out[0] = 1
+		return out
+	}
+	for lag := 0; lag <= maxLag && lag < n; lag++ {
+		var num float64
+		for i := 0; i+lag < n; i++ {
+			num += (series[i] - mean) * (series[i+lag] - mean)
+		}
+		out[lag] = num / denom
+	}
+	return out
+}
+
+// SignificantLags returns the lags (excluding 0) whose |AC| exceeds the
+// approximate 95% white-noise confidence bound 1.96/sqrt(n).
+func SignificantLags(ac []float64, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	bound := 1.96 / math.Sqrt(float64(n))
+	var lags []int
+	for lag := 1; lag < len(ac); lag++ {
+		if math.Abs(ac[lag]) > bound {
+			lags = append(lags, lag)
+		}
+	}
+	return lags
+}
+
+// Smooth applies a trailing moving average of the given window to the
+// series, matching the paper's "smoothed by a factor of 10" curves.
+func Smooth(series []float64, window int) []float64 {
+	if window <= 1 {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, len(series))
+	var sum float64
+	for i, v := range series {
+		sum += v
+		if i >= window {
+			sum -= series[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// WindowSums partitions values into consecutive windows of the given
+// size and returns each window's sum — the paper's "average rewards of
+// 1K-access windows" metric uses window = 1000. A trailing partial
+// window is dropped.
+func WindowSums(values []float64, window int) []float64 {
+	if window <= 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i+window <= len(values); i += window {
+		var s float64
+		for _, v := range values[i : i+window] {
+			s += v
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// inputs are clamped to a small epsilon so a single zero does not
+// annihilate the summary (matching common practice for IPC geomeans).
+func GeoMean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	const eps = 1e-9
+	var s float64
+	for _, v := range values {
+		if v < eps {
+			v = eps
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(values)))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on
+// a copy of the input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90       float64
+}
+
+// Summarize computes a Summary of values.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = Mean(values)
+	s.P50 = Percentile(values, 50)
+	s.P90 = Percentile(values, 90)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f max=%.3f",
+		s.N, s.Mean, s.Min, s.P50, s.P90, s.Max)
+}

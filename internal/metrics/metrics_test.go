@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAutocorrelationLagZeroIsOne(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 3, 2, 1, 2, 3, 4}
+	ac := Autocorrelation(s, 3)
+	if !almostEq(ac[0], 1, 1e-12) {
+		t.Errorf("ac[0] = %v, want 1", ac[0])
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	// Period-4 signal: strong positive AC at lag 4, negative around lag 2.
+	s := make([]float64, 400)
+	for i := range s {
+		s[i] = math.Sin(2 * math.Pi * float64(i) / 4)
+	}
+	ac := Autocorrelation(s, 8)
+	if ac[4] < 0.9 {
+		t.Errorf("ac[4] = %v, want > 0.9 for period-4 signal", ac[4])
+	}
+	if ac[2] > -0.9 {
+		t.Errorf("ac[2] = %v, want < -0.9", ac[2])
+	}
+}
+
+func TestAutocorrelationWhiteNoiseInsignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := make([]float64, 5000)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	ac := Autocorrelation(s, 20)
+	sig := SignificantLags(ac, len(s))
+	// Expect roughly 5% false positives; 20 lags -> a couple at most.
+	if len(sig) > 4 {
+		t.Errorf("white noise produced %d significant lags: %v", len(sig), sig)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	if ac := Autocorrelation(nil, 5); len(ac) != 6 {
+		t.Errorf("nil series: len=%d, want 6", len(ac))
+	}
+	ac := Autocorrelation([]float64{3, 3, 3, 3}, 2)
+	if ac[0] != 1 || ac[1] != 0 {
+		t.Errorf("constant series ac = %v", ac)
+	}
+}
+
+func TestAutocorrelationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make([]float64, 200)
+		for i := range s {
+			s[i] = rng.Float64() * 100
+		}
+		for _, v := range Autocorrelation(s, 30) {
+			if v > 1+1e-9 || v < -1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	s := []float64{0, 10, 0, 10, 0, 10}
+	sm := Smooth(s, 2)
+	for i := 1; i < len(sm); i++ {
+		if !almostEq(sm[i], 5, 1e-12) {
+			t.Errorf("sm[%d] = %v, want 5", i, sm[i])
+		}
+	}
+	// Window 1 is identity and must copy, not alias.
+	id := Smooth(s, 1)
+	id[0] = 99
+	if s[0] == 99 {
+		t.Error("Smooth(_,1) aliases input")
+	}
+}
+
+func TestWindowSums(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := WindowSums(v, 3)
+	if len(got) != 2 || got[0] != 6 || got[1] != 15 {
+		t.Errorf("WindowSums = %v, want [6 15]", got)
+	}
+	if WindowSums(v, 0) != nil {
+		t.Error("window 0 should return nil")
+	}
+	if got := WindowSums(v, 10); got != nil {
+		t.Errorf("oversized window should return nil, got %v", got)
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Error("Mean failed")
+	}
+	if !almostEq(GeoMean([]float64{1, 100}), 10, 1e-9) {
+		t.Error("GeoMean failed")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	// GeoMean clamps non-positives rather than returning NaN.
+	if v := GeoMean([]float64{0, 4}); math.IsNaN(v) || v < 0 {
+		t.Errorf("GeoMean with zero = %v", v)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(v, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	// Must not mutate input.
+	if v[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEq(s.Mean, 2.5, 1e-12) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,156 @@
+package multicore
+
+import (
+	"testing"
+
+	"resemble/internal/core"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+func pfSet() []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		bo.New(bo.Config{}), spp.New(spp.Config{}),
+		isb.New(isb.Config{}), domino.New(domino.Config{}),
+	}
+}
+
+func controller() sim.Source {
+	cfg := core.DefaultConfig()
+	cfg.Batch = 32
+	return core.NewController(cfg, pfSet())
+}
+
+func TestEmptyInputsRejected(t *testing.T) {
+	if _, err := Run(DefaultConfig(), nil); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := Run(DefaultConfig(), []Core{{Trace: &trace.Trace{}}}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestSingleCoreMatchesShape(t *testing.T) {
+	tr := trace.MustLookup("433.lbm").Generate(20000)
+	res, err := Run(DefaultConfig(), []Core{{Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 1 {
+		t.Fatalf("cores = %d", len(res.PerCore))
+	}
+	r := res.PerCore[0].Result
+	if r.IPC <= 0 || r.IPC > 4 {
+		t.Errorf("IPC = %v out of range", r.IPC)
+	}
+	if r.LLCMisses == 0 {
+		t.Error("streaming trace should miss the shared LLC")
+	}
+	// A single-core multicore run should be in the same ballpark as the
+	// single-core simulator (identical timing model, shared structures
+	// degenerate).
+	solo := sim.RunBaseline(sim.DefaultConfig(), tr)
+	ratio := r.IPC / solo.IPC
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("single-core multicore IPC %.3f deviates from solo %.3f", r.IPC, solo.IPC)
+	}
+}
+
+func TestContentionReducesIPC(t *testing.T) {
+	tr1 := trace.MustLookup("433.lbm").Generate(20000)
+	tr2 := trace.MustLookup("471.omnetpp").Generate(20000)
+	solo, err := Run(DefaultConfig(), []Core{{Trace: tr1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := Run(DefaultConfig(), []Core{{Trace: tr1}, {Trace: tr2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.PerCore[0].Result.IPC >= solo.PerCore[0].Result.IPC {
+		t.Errorf("shared-LLC contention should reduce core 0 IPC: %.3f vs solo %.3f",
+			duo.PerCore[0].Result.IPC, solo.PerCore[0].Result.IPC)
+	}
+}
+
+func TestPerCorePrefetchingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two multi-core simulations with RL controllers")
+	}
+	tr1 := trace.MustLookup("433.lbm").Generate(30000)
+	tr2 := trace.MustLookup("471.omnetpp").Generate(30000)
+	base, err := Run(DefaultConfig(), []Core{{Trace: tr1}, {Trace: tr2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := Run(DefaultConfig(), []Core{
+		{Trace: tr1, Source: controller()},
+		{Trace: tr2, Source: controller()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := pf.WeightedSpeedup(base)
+	if ws <= 1.0 {
+		t.Errorf("per-core ReSemble weighted speedup = %.3f, want > 1", ws)
+	}
+}
+
+func TestRelocationSeparatesWorkingSets(t *testing.T) {
+	// Two cores running the SAME trace: with relocation their lines are
+	// disjoint (destructive interference); without, they share lines
+	// (constructive: one core's fills hit for the other).
+	tr := trace.MustLookup("433.lbm").Generate(15000)
+	cfgRel := DefaultConfig()
+	rel, err := Run(cfgRel, []Core{{Trace: tr}, {Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgShared := DefaultConfig()
+	cfgShared.RelocateCores = false
+	shared, err := Run(cfgShared, []Core{{Trace: tr}, {Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.AvgIPC <= rel.AvgIPC {
+		t.Errorf("sharing identical data should help: shared %.3f vs relocated %.3f",
+			shared.AvgIPC, rel.AvgIPC)
+	}
+}
+
+func TestWeightedSpeedupIdentity(t *testing.T) {
+	tr := trace.MustLookup("429.mcf").Generate(10000)
+	res, err := Run(DefaultConfig(), []Core{{Trace: tr}, {Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := res.WeightedSpeedup(res); ws < 0.999 || ws > 1.001 {
+		t.Errorf("self weighted speedup = %v, want 1", ws)
+	}
+	if res.WeightedSpeedup(Result{}) != 0 {
+		t.Error("mismatched baseline should return 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr1 := trace.MustLookup("433.milc").Generate(8000)
+	tr2 := trace.MustLookup("429.mcf").Generate(8000)
+	run := func() Result {
+		r, err := Run(DefaultConfig(), []Core{{Trace: tr1}, {Trace: tr2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for i := range a.PerCore {
+		if a.PerCore[i].Result.IPC != b.PerCore[i].Result.IPC {
+			t.Fatalf("core %d IPC differs between runs", i)
+		}
+	}
+}

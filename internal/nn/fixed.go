@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// FixedMLP is a 16-bit fixed-point snapshot of an MLP for inference,
+// matching the hardware representation the paper budgets in Table VIII
+// ("16-bit fixed point"). Weights and activations are quantized to
+// Q(15-frac).frac; accumulation is 64-bit so layer dot products cannot
+// overflow. Training stays in float64 on the policy network; the
+// quantized network serves the forward path only.
+type FixedMLP struct {
+	sizes []int
+	frac  uint // fractional bits
+	w     [][]int16
+	b     [][]int64 // biases kept at accumulator scale (2*frac)
+	act   Activation
+
+	acts [][]int64
+}
+
+// Quantize snapshots m at the given number of fractional bits
+// (1..14). Weights outside the representable range saturate.
+func Quantize(m *MLP, frac uint) *FixedMLP {
+	if frac < 1 || frac > 14 {
+		panic(fmt.Sprintf("nn: fractional bits %d out of range [1,14]", frac))
+	}
+	f := &FixedMLP{sizes: m.Sizes(), frac: frac, act: m.act}
+	scale := float64(int64(1) << frac)
+	f.w = make([][]int16, len(m.w))
+	f.b = make([][]int64, len(m.b))
+	for l := range m.w {
+		f.w[l] = make([]int16, len(m.w[l]))
+		for i, v := range m.w[l] {
+			f.w[l][i] = toQ15(v, scale)
+		}
+		f.b[l] = make([]int64, len(m.b[l]))
+		for i, v := range m.b[l] {
+			// Bias participates at the accumulator scale frac+frac.
+			f.b[l][i] = int64(math.Round(v * scale * scale))
+		}
+	}
+	f.acts = make([][]int64, len(f.sizes))
+	for i, s := range f.sizes {
+		f.acts[i] = make([]int64, s)
+	}
+	return f
+}
+
+func toQ15(v, scale float64) int16 {
+	q := math.Round(v * scale)
+	if q > math.MaxInt16 {
+		q = math.MaxInt16
+	}
+	if q < math.MinInt16 {
+		q = math.MinInt16
+	}
+	return int16(q)
+}
+
+// Frac returns the fractional-bit width.
+func (f *FixedMLP) Frac() uint { return f.frac }
+
+// Bytes returns the storage of the quantized parameters (2 bytes per
+// weight; biases counted at 2 bytes as in the hardware estimate).
+func (f *FixedMLP) Bytes() int {
+	n := 0
+	for l := range f.w {
+		n += 2*len(f.w[l]) + 2*len(f.b[l])
+	}
+	return n
+}
+
+// Forward quantizes x, runs integer inference and returns dequantized
+// outputs. The returned slice aliases internal scratch.
+type fixedOut = []float64
+
+// Forward runs fixed-point inference on a float input vector.
+func (f *FixedMLP) Forward(x []float64) fixedOut {
+	if len(x) != f.sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), f.sizes[0]))
+	}
+	scale := float64(int64(1) << f.frac)
+	in := f.acts[0]
+	for i, v := range x {
+		in[i] = int64(toQ15(v, scale))
+	}
+	last := len(f.w) - 1
+	for l := 0; l < len(f.w); l++ {
+		nin, nout := f.sizes[l], f.sizes[l+1]
+		src, dst := f.acts[l], f.acts[l+1]
+		wl, bl := f.w[l], f.b[l]
+		for o := 0; o < nout; o++ {
+			sum := bl[o]
+			row := wl[o*nin : (o+1)*nin]
+			for i, v := range src {
+				sum += int64(row[i]) * v
+			}
+			// Rescale from 2*frac back to frac.
+			sum >>= f.frac
+			if l != last {
+				// ReLU is exact in fixed point; other activations fall
+				// back to a dequantize/requantize round trip (a lookup
+				// table in hardware).
+				switch f.act {
+				case ReLU:
+					if sum < 0 {
+						sum = 0
+					}
+				default:
+					sum = int64(math.Round(f.act.apply(float64(sum)/scale) * scale))
+				}
+			}
+			dst[o] = sum
+		}
+	}
+	outQ := f.acts[len(f.acts)-1]
+	out := make([]float64, len(outQ))
+	for i, q := range outQ {
+		out[i] = float64(q) / scale
+	}
+	return out
+}
+
+// ArgmaxAgreement measures how often the quantized network selects the
+// same argmax action as the float network over the provided inputs.
+func ArgmaxAgreement(m *MLP, f *FixedMLP, inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 1
+	}
+	agree := 0
+	for _, x := range inputs {
+		if Argmax(m.Forward(x)) == Argmax(f.Forward(x)) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(inputs))
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP(rng, ReLU, 4, 100, 5)
+	f := Quantize(m, 10)
+	maxErr := 0.0
+	for trial := 0; trial < 200; trial++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		fo := f.Forward(x)
+		mo := m.Forward(x)
+		for i := range mo {
+			if e := math.Abs(fo[i] - mo[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	if maxErr > 0.1 {
+		t.Errorf("max quantization error %v, want <= 0.1 at 10 fractional bits", maxErr)
+	}
+}
+
+func TestQuantizedArgmaxAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := NewMLP(rng, ReLU, 4, 100, 5)
+	// Shape the network a little so outputs are not razor-thin ties.
+	for i := 0; i < 2000; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		m.TrainStep(x, int(x[0]*4.99), 2*x[1]-1, 0.05)
+	}
+	f := Quantize(m, 10)
+	inputs := make([][]float64, 300)
+	for i := range inputs {
+		inputs[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	if got := ArgmaxAgreement(m, f, inputs); got < 0.9 {
+		t.Errorf("argmax agreement = %.3f, want >= 0.9", got)
+	}
+	if got := ArgmaxAgreement(m, f, nil); got != 1 {
+		t.Errorf("empty agreement = %v, want 1", got)
+	}
+}
+
+func TestQuantizeFracBitsTradeoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := NewMLP(rng, ReLU, 4, 50, 5)
+	x := []float64{0.25, 0.5, 0.75, 1.0}
+	ref := append([]float64(nil), m.Forward(x)...)
+	errAt := func(frac uint) float64 {
+		fo := Quantize(m, frac).Forward(x)
+		var e float64
+		for i := range ref {
+			e += math.Abs(fo[i] - ref[i])
+		}
+		return e
+	}
+	if e4, e12 := errAt(4), errAt(12); e12 > e4 {
+		t.Errorf("more fractional bits increased error: frac4=%v frac12=%v", e4, e12)
+	}
+}
+
+func TestQuantizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := NewMLP(rng, ReLU, 4, 100, 5)
+	f := Quantize(m, 8)
+	// 1005 parameters at 16 bits each = 2010 bytes.
+	if got := f.Bytes(); got != 2*m.NumParams() {
+		t.Errorf("Bytes = %d, want %d", got, 2*m.NumParams())
+	}
+	if f.Frac() != 8 {
+		t.Errorf("Frac = %d", f.Frac())
+	}
+}
+
+func TestQuantizePanicsOnBadFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	m := NewMLP(rng, ReLU, 2, 4, 2)
+	for _, frac := range []uint{0, 15} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %d did not panic", frac)
+				}
+			}()
+			Quantize(m, frac)
+		}()
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	m := NewMLP(rng, ReLU, 2, 4, 2)
+	// Inject an out-of-range weight; quantization must clamp, not wrap.
+	m.w[0][0] = 1e9
+	f := Quantize(m, 14)
+	if f.w[0][0] != math.MaxInt16 {
+		t.Errorf("weight did not saturate: %d", f.w[0][0])
+	}
+	m.w[0][0] = -1e9
+	f = Quantize(m, 14)
+	if f.w[0][0] != math.MinInt16 {
+		t.Errorf("negative weight did not saturate: %d", f.w[0][0])
+	}
+}
+
+func TestQuantizedTanhNetwork(t *testing.T) {
+	// Non-ReLU activations use the lookup-table fallback; outputs must
+	// still track the float network.
+	rng := rand.New(rand.NewSource(27))
+	m := NewMLP(rng, Tanh, 3, 16, 2)
+	f := Quantize(m, 10)
+	x := []float64{0.3, -0.4, 0.9}
+	fo := f.Forward(x)
+	mo := m.Forward(x)
+	for i := range mo {
+		if math.Abs(fo[i]-mo[i]) > 0.1 {
+			t.Errorf("output %d: fixed %v vs float %v", i, fo[i], mo[i])
+		}
+	}
+}

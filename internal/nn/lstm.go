@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer LSTM language model over a finite token
+// vocabulary: embedding → LSTM cell → linear projection → logits. It is
+// the sequence model behind the Voyager-like prefetcher (paper Section
+// VI-B): tokens are hash-bucketed memory addresses/deltas and the model
+// is trained online with truncated BPTT to predict the next token.
+type LSTM struct {
+	V, E, H int // vocabulary, embedding dim, hidden dim
+
+	emb []float64 // V*E
+	w   []float64 // 4H x (E+H), gate order: i, f, g, o
+	b   []float64 // 4H
+	wo  []float64 // V x H
+	bo  []float64 // V
+
+	// Running state for incremental prediction.
+	h, c []float64
+
+	// GradClip bounds each gradient component (0 disables).
+	GradClip float64
+
+	logits []float64
+	probs  []float64
+}
+
+// NewLSTM builds a model with vocabulary v, embedding dim e and hidden
+// dim h, Xavier-initialized from rng. Forget-gate biases start at 1,
+// the usual trick for gradient flow.
+func NewLSTM(rng *rand.Rand, v, e, h int) *LSTM {
+	if v <= 0 || e <= 0 || h <= 0 {
+		panic(fmt.Sprintf("nn: invalid LSTM dims v=%d e=%d h=%d", v, e, h))
+	}
+	l := &LSTM{V: v, E: e, H: h, GradClip: 1}
+	l.emb = make([]float64, v*e)
+	for i := range l.emb {
+		l.emb[i] = xavier(rng, v, e)
+	}
+	z := e + h
+	l.w = make([]float64, 4*h*z)
+	for i := range l.w {
+		l.w[i] = xavier(rng, z, 4*h)
+	}
+	l.b = make([]float64, 4*h)
+	for i := h; i < 2*h; i++ {
+		l.b[i] = 1 // forget gate bias
+	}
+	l.wo = make([]float64, v*h)
+	for i := range l.wo {
+		l.wo[i] = xavier(rng, h, v)
+	}
+	l.bo = make([]float64, v)
+	l.h = make([]float64, h)
+	l.c = make([]float64, h)
+	l.logits = make([]float64, v)
+	l.probs = make([]float64, v)
+	return l
+}
+
+// NumParams returns the parameter count.
+func (l *LSTM) NumParams() int {
+	return len(l.emb) + len(l.w) + len(l.b) + len(l.wo) + len(l.bo)
+}
+
+// ResetState zeroes the running hidden state (not the weights).
+func (l *LSTM) ResetState() {
+	for i := range l.h {
+		l.h[i] = 0
+		l.c[i] = 0
+	}
+}
+
+// stepCache holds one timestep's forward intermediates for BPTT.
+type stepCache struct {
+	x          int
+	z          []float64 // [emb; hPrev]
+	i, f, g, o []float64
+	cPrev, c   []float64
+	tanhC      []float64
+	h          []float64
+}
+
+// forward computes one cell step from (hPrev, cPrev) for token x and
+// returns the cache. It does not touch the running state.
+func (l *LSTM) forward(x int, hPrev, cPrev []float64) *stepCache {
+	h := l.H
+	z := make([]float64, l.E+h)
+	copy(z, l.emb[x*l.E:(x+1)*l.E])
+	copy(z[l.E:], hPrev)
+	sc := &stepCache{
+		x: x, z: z,
+		i: make([]float64, h), f: make([]float64, h),
+		g: make([]float64, h), o: make([]float64, h),
+		cPrev: append([]float64(nil), cPrev...),
+		c:     make([]float64, h),
+		tanhC: make([]float64, h),
+		h:     make([]float64, h),
+	}
+	zn := l.E + h
+	for j := 0; j < h; j++ {
+		var si, sf, sg, so float64
+		ri := l.w[(0*h+j)*zn : (0*h+j+1)*zn]
+		rf := l.w[(1*h+j)*zn : (1*h+j+1)*zn]
+		rg := l.w[(2*h+j)*zn : (2*h+j+1)*zn]
+		ro := l.w[(3*h+j)*zn : (3*h+j+1)*zn]
+		for k, v := range z {
+			si += ri[k] * v
+			sf += rf[k] * v
+			sg += rg[k] * v
+			so += ro[k] * v
+		}
+		sc.i[j] = Sigmoid.apply(si + l.b[0*h+j])
+		sc.f[j] = Sigmoid.apply(sf + l.b[1*h+j])
+		sc.g[j] = math.Tanh(sg + l.b[2*h+j])
+		sc.o[j] = Sigmoid.apply(so + l.b[3*h+j])
+		sc.c[j] = sc.f[j]*sc.cPrev[j] + sc.i[j]*sc.g[j]
+		sc.tanhC[j] = math.Tanh(sc.c[j])
+		sc.h[j] = sc.o[j] * sc.tanhC[j]
+	}
+	return sc
+}
+
+// project computes logits from a hidden state into l.logits.
+func (l *LSTM) project(h []float64) []float64 {
+	for v := 0; v < l.V; v++ {
+		sum := l.bo[v]
+		row := l.wo[v*l.H : (v+1)*l.H]
+		for j, x := range h {
+			sum += row[j] * x
+		}
+		l.logits[v] = sum
+	}
+	return l.logits
+}
+
+// Step advances the running state with token x and returns the next-
+// token logits. The returned slice aliases internal scratch.
+func (l *LSTM) Step(x int) []float64 {
+	if x < 0 || x >= l.V {
+		panic(fmt.Sprintf("nn: token %d out of vocabulary %d", x, l.V))
+	}
+	sc := l.forward(x, l.h, l.c)
+	copy(l.h, sc.h)
+	copy(l.c, sc.c)
+	return l.project(l.h)
+}
+
+// Predict returns the most likely next token given the running state
+// after Step, without advancing state (call after Step).
+func (l *LSTM) Predict() int { return Argmax(l.project(l.h)) }
+
+// TrainSequence runs truncated BPTT over tokens (from a zero initial
+// state), training the model to predict tokens[t+1] from tokens[..t].
+// It applies one SGD update with learning rate lr and returns the mean
+// cross-entropy loss. Sequences shorter than 2 are no-ops.
+func (l *LSTM) TrainSequence(tokens []int, lr float64) float64 {
+	if len(tokens) < 2 {
+		return 0
+	}
+	for _, x := range tokens {
+		if x < 0 || x >= l.V {
+			panic(fmt.Sprintf("nn: token %d out of vocabulary %d", x, l.V))
+		}
+	}
+	h := l.H
+	zn := l.E + h
+	T := len(tokens) - 1
+
+	// Forward pass, caching every step.
+	caches := make([]*stepCache, T)
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	for t := 0; t < T; t++ {
+		sc := l.forward(tokens[t], hPrev, cPrev)
+		caches[t] = sc
+		hPrev, cPrev = sc.h, sc.c
+	}
+
+	// Gradient accumulators.
+	gw := make([]float64, len(l.w))
+	gb := make([]float64, len(l.b))
+	gwo := make([]float64, len(l.wo))
+	gbo := make([]float64, len(l.bo))
+	gemb := make([]float64, len(l.emb))
+
+	dhNext := make([]float64, h)
+	dcNext := make([]float64, h)
+	var loss float64
+
+	for t := T - 1; t >= 0; t-- {
+		sc := caches[t]
+		target := tokens[t+1]
+		// Output layer loss at step t.
+		l.project(sc.h)
+		Softmax(l.probs, l.logits)
+		loss += -math.Log(math.Max(l.probs[target], 1e-12))
+		// dlogits = probs - onehot(target)
+		dh := make([]float64, h)
+		copy(dh, dhNext)
+		for v := 0; v < l.V; v++ {
+			dl := l.probs[v]
+			if v == target {
+				dl -= 1
+			}
+			if dl == 0 {
+				continue
+			}
+			gbo[v] += dl
+			row := l.wo[v*l.H : (v+1)*l.H]
+			grow := gwo[v*l.H : (v+1)*l.H]
+			for j := 0; j < h; j++ {
+				grow[j] += dl * sc.h[j]
+				dh[j] += dl * row[j]
+			}
+		}
+		// Cell backward.
+		dz := make([]float64, zn)
+		for j := 0; j < h; j++ {
+			do := dh[j] * sc.tanhC[j]
+			dc := dcNext[j] + dh[j]*sc.o[j]*(1-sc.tanhC[j]*sc.tanhC[j])
+			di := dc * sc.g[j]
+			dg := dc * sc.i[j]
+			df := dc * sc.cPrev[j]
+			dcNext[j] = dc * sc.f[j]
+
+			// Pre-activation gradients.
+			pi := di * sc.i[j] * (1 - sc.i[j])
+			pf := df * sc.f[j] * (1 - sc.f[j])
+			pg := dg * (1 - sc.g[j]*sc.g[j])
+			po := do * sc.o[j] * (1 - sc.o[j])
+
+			gb[0*h+j] += pi
+			gb[1*h+j] += pf
+			gb[2*h+j] += pg
+			gb[3*h+j] += po
+			for _, gate := range [4]struct {
+				p   float64
+				off int
+			}{{pi, 0}, {pf, 1}, {pg, 2}, {po, 3}} {
+				if gate.p == 0 {
+					continue
+				}
+				row := l.w[(gate.off*h+j)*zn : (gate.off*h+j+1)*zn]
+				grow := gw[(gate.off*h+j)*zn : (gate.off*h+j+1)*zn]
+				for k, v := range sc.z {
+					grow[k] += gate.p * v
+					dz[k] += gate.p * row[k]
+				}
+			}
+		}
+		// Split dz into embedding grad and dhNext.
+		x := sc.x
+		for k := 0; k < l.E; k++ {
+			gemb[x*l.E+k] += dz[k]
+		}
+		copy(dhNext, dz[l.E:])
+	}
+
+	// SGD with clipping.
+	applySGD(l.w, gw, lr, l.GradClip)
+	applySGD(l.b, gb, lr, l.GradClip)
+	applySGD(l.wo, gwo, lr, l.GradClip)
+	applySGD(l.bo, gbo, lr, l.GradClip)
+	applySGD(l.emb, gemb, lr, l.GradClip)
+	return loss / float64(T)
+}
+
+func applySGD(w, g []float64, lr, clipAt float64) {
+	for i, gi := range g {
+		if gi != 0 {
+			w[i] -= lr * clip(gi, clipAt)
+		}
+	}
+}

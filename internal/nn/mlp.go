@@ -1,0 +1,204 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MLP is a fully-connected feedforward network. The paper's shallow
+// Q-network is the three-layer case (input, one hidden layer, output),
+// but the implementation supports any depth. Hidden layers use the
+// configured activation; the output layer is linear (Q-values are
+// unbounded).
+type MLP struct {
+	sizes []int       // layer widths, len >= 2
+	w     [][]float64 // w[l][o*in+i]: layer l maps sizes[l] -> sizes[l+1]
+	b     [][]float64 // b[l][o]
+	act   Activation
+
+	// GradClip bounds each gradient component during TrainStep;
+	// 0 disables clipping.
+	GradClip float64
+
+	// scratch buffers for forward/backward, sized per layer.
+	acts   [][]float64 // acts[0] = input copy, acts[l+1] = layer l output
+	deltas [][]float64
+}
+
+// NewMLP builds a network with the given layer sizes (e.g. 4, 100, 5
+// for the paper's S=4, H=100, A=5 configuration), Xavier-initialized
+// from rng.
+func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %d", s))
+		}
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...), act: act}
+	m.w = make([][]float64, len(sizes)-1)
+	m.b = make([][]float64, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.w[l] = make([]float64, in*out)
+		m.b[l] = make([]float64, out)
+		for i := range m.w[l] {
+			m.w[l][i] = xavier(rng, in, out)
+		}
+	}
+	m.allocScratch()
+	return m
+}
+
+func (m *MLP) allocScratch() {
+	m.acts = make([][]float64, len(m.sizes))
+	m.deltas = make([][]float64, len(m.sizes))
+	for i, s := range m.sizes {
+		m.acts[i] = make([]float64, s)
+		m.deltas[i] = make([]float64, s)
+	}
+}
+
+// Sizes returns a copy of the layer widths.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// NumParams returns the total number of weights and biases; for the
+// paper's Table IV configuration (4,100,5) this is SH+HA+H+A = 1005.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.w {
+		n += len(m.w[l]) + len(m.b[l])
+	}
+	return n
+}
+
+// Forward computes the network output for x. The returned slice aliases
+// internal scratch and is valid until the next Forward/TrainStep call.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.sizes[0]))
+	}
+	copy(m.acts[0], x)
+	last := len(m.w) - 1
+	for l := 0; l < len(m.w); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		src, dst := m.acts[l], m.acts[l+1]
+		wl, bl := m.w[l], m.b[l]
+		for o := 0; o < out; o++ {
+			sum := bl[o]
+			row := wl[o*in : (o+1)*in]
+			for i, v := range src {
+				sum += row[i] * v
+			}
+			if l != last {
+				sum = m.act.apply(sum)
+			}
+			dst[o] = sum
+		}
+	}
+	return m.acts[len(m.acts)-1]
+}
+
+// TrainStep performs one SGD step of squared-error regression on a
+// single output unit (the Q-learning update of Equation 11: only the
+// taken action's Q-value is regressed toward the target). It returns
+// the pre-update squared error.
+func (m *MLP) TrainStep(x []float64, action int, target, lr float64) float64 {
+	out := m.Forward(x)
+	if action < 0 || action >= len(out) {
+		panic(fmt.Sprintf("nn: action %d out of range %d", action, len(out)))
+	}
+	diff := out[action] - target
+	// dLoss/dOut: squared error on the selected unit only.
+	last := len(m.sizes) - 1
+	for i := range m.deltas[last] {
+		m.deltas[last][i] = 0
+	}
+	m.deltas[last][action] = 2 * diff
+	m.backprop(lr)
+	return diff * diff
+}
+
+// TrainVector performs one SGD step of squared-error regression of the
+// whole output vector toward target; used by tests and by consumers
+// that need full-vector supervision. Returns the pre-update MSE.
+func (m *MLP) TrainVector(x, target []float64, lr float64) float64 {
+	out := m.Forward(x)
+	if len(target) != len(out) {
+		panic("nn: target size mismatch")
+	}
+	last := len(m.sizes) - 1
+	var mse float64
+	for i := range out {
+		d := out[i] - target[i]
+		m.deltas[last][i] = 2 * d / float64(len(out))
+		mse += d * d
+	}
+	m.backprop(lr)
+	return mse / float64(len(out))
+}
+
+// backprop propagates m.deltas[last] backwards and applies SGD with
+// learning rate lr. It assumes m.acts holds the activations from the
+// immediately preceding Forward call.
+func (m *MLP) backprop(lr float64) {
+	last := len(m.w) - 1
+	for l := last; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		src := m.acts[l]
+		dOut := m.deltas[l+1]
+		dIn := m.deltas[l]
+		for i := range dIn {
+			dIn[i] = 0
+		}
+		wl, bl := m.w[l], m.b[l]
+		for o := 0; o < out; o++ {
+			g := dOut[o]
+			if l != last {
+				g *= m.act.grad(m.acts[l+1][o])
+			}
+			if g == 0 {
+				continue
+			}
+			row := wl[o*in : (o+1)*in]
+			for i, v := range src {
+				dIn[i] += row[i] * g
+				row[i] -= lr * clip(g*v, m.GradClip)
+			}
+			bl[o] -= lr * clip(g, m.GradClip)
+		}
+	}
+}
+
+// Clone returns a deep copy sharing no state.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...), act: m.act, GradClip: m.GradClip}
+	c.w = make([][]float64, len(m.w))
+	c.b = make([][]float64, len(m.b))
+	for l := range m.w {
+		c.w[l] = append([]float64(nil), m.w[l]...)
+		c.b[l] = append([]float64(nil), m.b[l]...)
+	}
+	c.allocScratch()
+	return c
+}
+
+// CopyWeightsFrom overwrites this network's parameters with src's; the
+// two must have identical architecture. This is the paper's target-net
+// weight load (Algorithm 1, line 38).
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	if len(m.sizes) != len(src.sizes) {
+		panic("nn: architecture mismatch")
+	}
+	for i := range m.sizes {
+		if m.sizes[i] != src.sizes[i] {
+			panic("nn: architecture mismatch")
+		}
+	}
+	for l := range m.w {
+		copy(m.w[l], src.w[l])
+		copy(m.b[l], src.b[l])
+	}
+}

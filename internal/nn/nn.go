@@ -1,0 +1,129 @@
+// Package nn is a small from-scratch neural-network library built for
+// the ReSemble reproduction: a dense multilayer perceptron (the paper's
+// shallow Q-network, Section IV-C) and an LSTM cell (the Voyager-like
+// prefetcher of Section VI-B). Everything is float64, stdlib-only, and
+// deterministic given a seeded *rand.Rand.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Tanh
+	Sigmoid
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// apply computes the activation value.
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Tanh:
+		return math.Tanh(x)
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// grad computes the activation derivative given the activation OUTPUT y.
+func (a Activation) grad(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// xavier returns a Xavier/Glorot-uniform sample for a fanIn×fanOut
+// layer.
+func xavier(rng *rand.Rand, fanIn, fanOut int) float64 {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return (rng.Float64()*2 - 1) * limit
+}
+
+// Softmax writes the softmax of src into dst (may alias) and returns
+// dst. It is numerically stabilized by max subtraction.
+func Softmax(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic("nn: softmax length mismatch")
+	}
+	maxV := src[0]
+	for _, v := range src[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxV)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// Argmax returns the index of the largest element (first on ties) and
+// -1 for an empty slice.
+func Argmax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	bi := 0
+	for i, x := range v {
+		if x > v[bi] {
+			bi = i
+		}
+	}
+	return bi
+}
+
+// clip bounds g to [-c, c]; c <= 0 disables clipping.
+func clip(g, c float64) float64 {
+	if c <= 0 {
+		return g
+	}
+	if g > c {
+		return c
+	}
+	if g < -c {
+		return -c
+	}
+	return g
+}

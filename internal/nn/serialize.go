@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary MLP snapshot format (little-endian):
+//
+//	magic   [8]byte "RSMMLP01"
+//	act     uint32
+//	nLayers uint32 (len(sizes))
+//	sizes   nLayers × uint32
+//	weights per layer: float64s (out*in), then biases (out)
+
+var mlpMagic = [8]byte{'R', 'S', 'M', 'M', 'L', 'P', '0', '1'}
+
+// ErrBadModel is returned when decoding a stream that is not an MLP
+// snapshot.
+var ErrBadModel = errors.New("nn: bad model magic")
+
+// Save writes the network's architecture and parameters.
+func (m *MLP) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(mlpMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(m.act)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.sizes))); err != nil {
+		return err
+	}
+	for _, s := range m.sizes {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(s)); err != nil {
+			return err
+		}
+	}
+	for l := range m.w {
+		if err := writeFloats(bw, m.w[l]); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, m.b[l]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadMLP reads a snapshot written by Save.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != mlpMagic {
+		return nil, ErrBadModel
+	}
+	var act, nLayers uint32
+	if err := binary.Read(br, binary.LittleEndian, &act); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nLayers); err != nil {
+		return nil, err
+	}
+	if nLayers < 2 || nLayers > 64 {
+		return nil, fmt.Errorf("nn: unreasonable layer count %d", nLayers)
+	}
+	sizes := make([]int, nLayers)
+	for i := range sizes {
+		var s uint32
+		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+			return nil, err
+		}
+		if s == 0 || s > 1<<20 {
+			return nil, fmt.Errorf("nn: unreasonable layer size %d", s)
+		}
+		sizes[i] = int(s)
+	}
+	m := &MLP{sizes: sizes, act: Activation(act)}
+	m.w = make([][]float64, nLayers-1)
+	m.b = make([][]float64, nLayers-1)
+	for l := 0; l < int(nLayers)-1; l++ {
+		m.w[l] = make([]float64, sizes[l]*sizes[l+1])
+		m.b[l] = make([]float64, sizes[l+1])
+		if err := readFloats(br, m.w[l]); err != nil {
+			return nil, err
+		}
+		if err := readFloats(br, m.b[l]); err != nil {
+			return nil, err
+		}
+	}
+	m.allocScratch()
+	return m, nil
+}
+
+func writeFloats(w io.Writer, v []float64) error {
+	buf := make([]byte, 8)
+	for _, f := range v {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(f))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, v []float64) error {
+	buf := make([]byte, 8)
+	for i := range v {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := NewMLP(rng, ReLU, 4, 100, 5)
+	// Train a little so the weights are non-trivial.
+	for i := 0; i < 500; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		m.TrainStep(x, i%5, rng.Float64(), 0.05)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatalf("LoadMLP: %v", err)
+	}
+	if got.NumParams() != m.NumParams() {
+		t.Fatalf("params %d != %d", got.NumParams(), m.NumParams())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		a := append([]float64(nil), m.Forward(x)...)
+		b := got.Forward(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("outputs differ after round trip")
+			}
+		}
+	}
+}
+
+func TestMLPSaveLoadPreservesActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := NewMLP(rng, Tanh, 3, 8, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{-0.5, 0.3, 0.9}
+	a := append([]float64(nil), m.Forward(x)...)
+	b := got.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("activation not preserved")
+		}
+	}
+}
+
+func TestLoadMLPRejectsBadMagic(t *testing.T) {
+	if _, err := LoadMLP(bytes.NewReader([]byte("XXXXXXXXrest of stream"))); err != ErrBadModel {
+		t.Errorf("err = %v, want ErrBadModel", err)
+	}
+}
+
+func TestLoadMLPRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := NewMLP(rng, ReLU, 4, 10, 3)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadMLP(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestLoadedMLPIsTrainable(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := NewMLP(rng, ReLU, 2, 8, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := got.TrainStep([]float64{0.5, 0.5}, 0, 1.0, 0.1)
+	var last float64
+	for i := 0; i < 200; i++ {
+		last = got.TrainStep([]float64{0.5, 0.5}, 0, 1.0, 0.1)
+	}
+	if last >= first {
+		t.Errorf("loaded model did not train: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,187 @@
+// Package domino implements the Domino temporal prefetcher
+// (Bakhshalipour et al., "Domino Temporal Data Prefetcher", HPCA 2018),
+// the second temporal prefetcher used as ReSemble input (paper Table
+// II: 2 KB prefetch buffer, 256 B PointBuf, 128 B LogMiss, 64 B
+// FetchBuf; 2.4 KB budget).
+//
+// Domino records the global miss sequence in a history log and finds
+// the replay point by matching the last one *or two* miss addresses:
+// a two-miss match is more precise and is preferred; a one-miss match
+// provides fallback coverage. From the match point it replays the
+// logged sequence as prefetch suggestions.
+package domino
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes Domino.
+type Config struct {
+	// LogSize bounds the global miss-history log, in entries.
+	LogSize int
+	// IndexSize bounds the one- and two-miss index tables, in entries
+	// each.
+	IndexSize int
+	// Degree is the number of replayed successors suggested per access.
+	Degree int
+}
+
+func (c *Config) setDefaults() {
+	// Domino's history is stored off-chip in main memory (the paper
+	// notes this for both STMS and Domino), so the log and its indexes
+	// are sized to hold the full miss working set rather than an
+	// on-chip budget.
+	if c.LogSize == 0 {
+		c.LogSize = 1 << 16
+	}
+	if c.IndexSize == 0 {
+		c.IndexSize = 1 << 15
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+}
+
+// Prefetcher is the Domino temporal prefetcher.
+type Prefetcher struct {
+	cfg Config
+
+	// log is a ring buffer of the global miss history.
+	log     []mem.Line
+	logAt   int // next write position
+	wrapped bool
+
+	// idx1 maps a single miss line -> most recent log position where it
+	// occurred; idx2 maps a (prev,cur) pair hash -> log position of cur.
+	idx1     map[mem.Line]int
+	idx1Fifo []mem.Line
+	idx2     map[uint64]int
+	idx2Fifo []uint64
+
+	prev    mem.Line
+	hasPrev bool
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds a Domino prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "domino" }
+
+// Spatial implements prefetch.Prefetcher: Domino is temporal.
+func (p *Prefetcher) Spatial() bool { return false }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.log = make([]mem.Line, p.cfg.LogSize)
+	p.logAt = 0
+	p.wrapped = false
+	p.idx1 = make(map[mem.Line]int)
+	p.idx1Fifo = p.idx1Fifo[:0]
+	p.idx2 = make(map[uint64]int)
+	p.idx2Fifo = p.idx2Fifo[:0]
+	p.hasPrev = false
+}
+
+func pairKey(a, b mem.Line) uint64 {
+	return mem.FoldHash(a*0x9e3779b97f4a7c15^b, 32)
+}
+
+func (p *Prefetcher) idx1Insert(line mem.Line, pos int) {
+	if _, ok := p.idx1[line]; !ok {
+		p.idx1Fifo = append(p.idx1Fifo, line)
+		if len(p.idx1Fifo) > p.cfg.IndexSize {
+			old := p.idx1Fifo[0]
+			p.idx1Fifo = p.idx1Fifo[1:]
+			delete(p.idx1, old)
+		}
+	}
+	p.idx1[line] = pos
+}
+
+func (p *Prefetcher) idx2Insert(key uint64, pos int) {
+	if _, ok := p.idx2[key]; !ok {
+		p.idx2Fifo = append(p.idx2Fifo, key)
+		if len(p.idx2Fifo) > p.cfg.IndexSize {
+			old := p.idx2Fifo[0]
+			p.idx2Fifo = p.idx2Fifo[1:]
+			delete(p.idx2, old)
+		}
+	}
+	p.idx2[key] = pos
+}
+
+// logValid reports whether a log position still holds live history
+// (i.e. has not been overwritten since it was indexed). Because the
+// indexes store absolute positions into a ring, a position is valid as
+// long as it is within one log length of the write cursor; stale
+// positions may replay unrelated history, which only costs accuracy —
+// exactly the failure mode of the hardware design's bounded log.
+func (p *Prefetcher) logValid(pos int) bool {
+	return pos >= 0 && pos < len(p.log) && (p.wrapped || pos < p.logAt)
+}
+
+// Observe implements prefetch.Prefetcher. Domino trains on LLC misses
+// (and first-use prefetch hits, which stand for misses it covered).
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.sugBuf = p.sugBuf[:0]
+	miss := !a.Hit || a.PrefetchHit
+	if !miss {
+		return nil
+	}
+
+	// Predict before logging the current miss so the match reflects
+	// history up to (but excluding) this event, then replay successors.
+	var replayPos, found = -1, false
+	if p.hasPrev {
+		if pos, ok := p.idx2[pairKey(p.prev, a.Line)]; ok && p.logValid(pos) {
+			replayPos, found = pos, true
+		}
+	}
+	if !found {
+		if pos, ok := p.idx1[a.Line]; ok && p.logValid(pos) {
+			replayPos, found = pos, true
+		}
+	}
+	if found {
+		conf := 0.5
+		if p.hasPrev {
+			conf = 0.9
+		}
+		for d := 1; d <= p.cfg.Degree; d++ {
+			pos := (replayPos + d) % len(p.log)
+			if !p.logValid(pos) || pos == p.logAt {
+				break
+			}
+			line := p.log[pos]
+			if line == 0 || line == a.Line {
+				continue
+			}
+			p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: line, Confidence: conf})
+		}
+	}
+
+	// Log the miss and index it.
+	pos := p.logAt
+	p.log[pos] = a.Line
+	p.logAt++
+	if p.logAt == len(p.log) {
+		p.logAt = 0
+		p.wrapped = true
+	}
+	p.idx1Insert(a.Line, pos)
+	if p.hasPrev {
+		p.idx2Insert(pairKey(p.prev, a.Line), pos)
+	}
+	p.prev = a.Line
+	p.hasPrev = true
+	return p.sugBuf
+}

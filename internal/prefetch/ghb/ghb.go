@@ -1,0 +1,159 @@
+// Package ghb implements a Global History Buffer prefetcher in G/DC
+// (global, delta-correlating) mode (Nesbit & Smith, "Data Cache
+// Prefetching Using a Global History Buffer", HPCA 2004) — one of the
+// classic designs the paper's related work builds on. The miss stream's
+// line deltas are logged in a circular history buffer indexed by the
+// last two deltas; on a miss whose delta pair has occurred before, the
+// deltas that followed the previous occurrence are replayed as
+// prefetches.
+package ghb
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes the prefetcher.
+type Config struct {
+	// BufferSize is the circular global history buffer depth.
+	BufferSize int
+	// IndexSize bounds the delta-pair index table.
+	IndexSize int
+	// Degree is the number of replayed deltas per trigger.
+	Degree int
+}
+
+func (c *Config) setDefaults() {
+	if c.BufferSize == 0 {
+		c.BufferSize = 4096
+	}
+	if c.IndexSize == 0 {
+		c.IndexSize = 2048
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+}
+
+// Prefetcher is the GHB G/DC prefetcher.
+type Prefetcher struct {
+	cfg Config
+
+	deltas  []int64 // circular delta history
+	at      int
+	wrapped bool
+
+	idx     map[uint64]int // delta-pair key -> history position of the pair's SECOND delta
+	idxFifo []uint64
+
+	prev     mem.Line
+	prevPrev mem.Line
+	seen     int
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds a GHB prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "ghb" }
+
+// Spatial implements prefetch.Prefetcher: delta correlation predicts
+// relative to the trigger, i.e. a spatial output range.
+func (p *Prefetcher) Spatial() bool { return true }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.deltas = make([]int64, p.cfg.BufferSize)
+	p.at = 0
+	p.wrapped = false
+	p.idx = make(map[uint64]int)
+	p.idxFifo = p.idxFifo[:0]
+	p.seen = 0
+}
+
+func pairKey(d1, d2 int64) uint64 {
+	return mem.FoldHashSigned(d1, 32)*0x9e3779b97f4a7c15 ^ mem.FoldHashSigned(d2, 32)
+}
+
+func (p *Prefetcher) idxInsert(key uint64, pos int) {
+	if _, ok := p.idx[key]; !ok {
+		p.idxFifo = append(p.idxFifo, key)
+		if len(p.idxFifo) > p.cfg.IndexSize {
+			old := p.idxFifo[0]
+			p.idxFifo = p.idxFifo[1:]
+			delete(p.idx, old)
+		}
+	}
+	p.idx[key] = pos
+}
+
+func (p *Prefetcher) valid(pos int) bool {
+	return pos >= 0 && pos < len(p.deltas) && (p.wrapped || pos < p.at)
+}
+
+// Observe implements prefetch.Prefetcher. GHB trains on misses and
+// first-use prefetch hits.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.sugBuf = p.sugBuf[:0]
+	if a.Hit && !a.PrefetchHit {
+		return nil
+	}
+	p.seen++
+	if p.seen == 1 {
+		p.prev = a.Line
+		return nil
+	}
+	d1 := int64(a.Line) - int64(p.prev)
+	if d1 == 0 {
+		return nil
+	}
+
+	// Predict from the previous occurrence of the pair (d2, d1): replay
+	// the deltas that followed it. When the occurrence sits at (or
+	// near) the head — the steady-state case for short-period patterns
+	// like constant strides — there is little logged future to replay,
+	// so the remaining degree extrapolates by repeating the last known
+	// delta (collapsing to stride prefetching, as G/DC does).
+	if p.seen >= 3 {
+		d2 := int64(p.prev) - int64(p.prevPrev)
+		if pos, ok := p.idx[pairKey(d2, d1)]; ok && p.valid(pos) {
+			line := int64(a.Line)
+			lastDelta := d1
+			for k := 1; k <= p.cfg.Degree; k++ {
+				np := (pos + k) % len(p.deltas)
+				if p.valid(np) && np != p.at {
+					lastDelta = p.deltas[np]
+				}
+				line += lastDelta
+				if line <= 0 {
+					break
+				}
+				p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: mem.Line(line), Confidence: 0.6})
+			}
+		}
+	}
+
+	// Log the new delta and index the (previous delta, this delta) pair
+	// at this position.
+	pos := p.at
+	p.deltas[pos] = d1
+	p.at++
+	if p.at == len(p.deltas) {
+		p.at = 0
+		p.wrapped = true
+	}
+	if p.seen >= 3 {
+		d2 := int64(p.prev) - int64(p.prevPrev)
+		p.idxInsert(pairKey(d2, d1), pos)
+	}
+	p.prevPrev = p.prev
+	p.prev = a.Line
+	return p.sugBuf
+}

@@ -1,0 +1,115 @@
+package ghb
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: 0xA00, Addr: mem.LineAddr(l), Line: l, Hit: false}
+}
+
+// walk drives the prefetcher over a repeating delta pattern starting at
+// base, returning the last suggestions.
+func walk(p *Prefetcher, base mem.Line, deltas []int64, steps int) []prefetch.Suggestion {
+	line := base
+	var last []prefetch.Suggestion
+	for i := 0; i < steps; i++ {
+		last = p.Observe(access(line))
+		line = mem.Line(int64(line) + deltas[i%len(deltas)])
+	}
+	return last
+}
+
+func TestReplaysDeltaPattern(t *testing.T) {
+	p := New(Config{Degree: 3})
+	deltas := []int64{2, 5, 3}
+	walk(p, 1000, deltas, 60)
+	// Continue the pattern: after seeing pair (...,2) again the replay
+	// must produce the following deltas 5, 3, 2 cumulatively.
+	line := mem.Line(500000)
+	p.Observe(access(line))
+	p.Observe(access(line + 2)) // no prior context at this base
+	p.Observe(access(line + 7))
+	s := p.Observe(access(line + 10)) // pair (5,3) seen before -> next delta 2
+	if len(s) == 0 {
+		t.Fatal("no replay for a repeated delta pair")
+	}
+	if s[0].Line != line+12 {
+		t.Errorf("first suggestion = %d, want %d (+2)", s[0].Line, line+12)
+	}
+	if len(s) >= 2 && s[1].Line != line+17 {
+		t.Errorf("second suggestion = %d, want %d (+5)", s[1].Line, line+17)
+	}
+}
+
+func TestConstantStride(t *testing.T) {
+	p := New(Config{Degree: 2})
+	s := walk(p, 2000, []int64{4}, 50)
+	if len(s) != 2 {
+		t.Fatalf("suggestions = %d, want 2", len(s))
+	}
+	// Last access was 2000+49*4 = 2196; replayed deltas are +4, +4.
+	if s[0].Line != 2200 || s[1].Line != 2204 {
+		t.Errorf("suggestions = %+v, want 2200 and 2204", s)
+	}
+}
+
+func TestIgnoresHitsAndZeroDeltas(t *testing.T) {
+	p := New(Config{})
+	a := access(100)
+	a.Hit = true
+	if s := p.Observe(a); s != nil {
+		t.Errorf("hit produced suggestions: %+v", s)
+	}
+	p.Observe(access(100))
+	if s := p.Observe(access(100)); len(s) != 0 {
+		t.Errorf("zero delta produced suggestions: %+v", s)
+	}
+}
+
+func TestNoReplayWithoutHistory(t *testing.T) {
+	p := New(Config{})
+	if s := walk(p, 3000, []int64{7, 11}, 3); len(s) != 0 {
+		t.Errorf("replayed with no repeated pairs: %+v", s)
+	}
+}
+
+func TestIndexBounded(t *testing.T) {
+	p := New(Config{IndexSize: 32, BufferSize: 64})
+	line := mem.Line(1)
+	for i := 0; i < 3000; i++ {
+		line += mem.Line(1 + i%97) // ever-changing deltas
+		p.Observe(access(line))
+	}
+	if len(p.idx) > 33 {
+		t.Errorf("index exceeded bound: %d", len(p.idx))
+	}
+}
+
+func TestBufferWrap(t *testing.T) {
+	p := New(Config{BufferSize: 16, IndexSize: 16, Degree: 4})
+	walk(p, 4000, []int64{1, 2}, 200) // wraps the buffer many times
+	s := walk(p, 900000, []int64{1, 2}, 6)
+	if len(s) == 0 {
+		t.Error("no replay after buffer wraps on a steady pattern")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	walk(p, 5000, []int64{3}, 50)
+	p.Reset()
+	if s := walk(p, 6000, []int64{3}, 3); len(s) != 0 {
+		t.Errorf("reset GHB still replays: %+v", s)
+	}
+}
+
+func TestNameAndSpatial(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "ghb" || !p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

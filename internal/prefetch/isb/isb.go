@@ -1,0 +1,214 @@
+// Package isb implements the Irregular Stream Buffer (Jain & Lin,
+// "Linearizing Irregular Memory Accesses for Improved Correlated
+// Prefetching", MICRO 2013), one of the two temporal prefetchers used
+// as ReSemble input (paper Table II: 2K entries each for the PS-AMC and
+// SP-AMC, 8 KB budget).
+//
+// ISB linearizes each PC-localized miss stream into a contiguous
+// *structural* address space: consecutive correlated physical lines get
+// consecutive structural addresses. Two address-mapping caches keep the
+// translation — PS (physical→structural) and SP (structural→physical).
+// Prediction is then trivial stream-buffer behaviour in structural
+// space: on an access to physical line X at structural address s,
+// prefetch the physical lines mapped at s+1 .. s+degree.
+package isb
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes ISB.
+type Config struct {
+	// AMCSize bounds both address-mapping caches, in entries.
+	AMCSize int
+	// StreamChunk is the number of structural slots allocated to a PC
+	// stream at a time (the original uses 16-line structural pages).
+	StreamChunk int
+	// Degree is the number of structural successors prefetched.
+	Degree int
+	// TrainingUnits bounds the per-PC last-address table.
+	TrainingUnits int
+}
+
+func (c *Config) setDefaults() {
+	if c.AMCSize == 0 {
+		// The hardware design caches 2K entries on chip but backs the
+		// full mapping off-chip in the page table; we model the combined
+		// capacity (see DESIGN.md on metadata scaling).
+		c.AMCSize = 1 << 15
+	}
+	if c.StreamChunk == 0 {
+		c.StreamChunk = 16
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.TrainingUnits == 0 {
+		c.TrainingUnits = 1024
+	}
+}
+
+type psEntry struct {
+	structural uint64
+	counter    int // confidence counter, saturating at 3
+}
+
+// Prefetcher is the Irregular Stream Buffer.
+type Prefetcher struct {
+	cfg Config
+
+	// lastAddr tracks the previous physical line per PC (training unit).
+	lastAddr map[uint64]mem.Line
+	lastFifo []uint64
+	// ps maps physical line -> structural address.
+	ps     map[mem.Line]psEntry
+	psFifo []mem.Line
+	// sp maps structural address -> physical line.
+	sp     map[uint64]mem.Line
+	spFifo []uint64
+	// nextStructural is the structural-space allocation cursor.
+	nextStructural uint64
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds an ISB prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "isb" }
+
+// Spatial implements prefetch.Prefetcher: ISB predicts over the whole
+// address space (temporal).
+func (p *Prefetcher) Spatial() bool { return false }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.lastAddr = make(map[uint64]mem.Line)
+	p.lastFifo = p.lastFifo[:0]
+	p.ps = make(map[mem.Line]psEntry)
+	p.psFifo = p.psFifo[:0]
+	p.sp = make(map[uint64]mem.Line)
+	p.spFifo = p.spFifo[:0]
+	// Start allocation at one chunk in, keeping structural 0 unused.
+	p.nextStructural = uint64(p.cfg.StreamChunk)
+}
+
+func (p *Prefetcher) psInsert(line mem.Line, e psEntry) {
+	if _, ok := p.ps[line]; !ok {
+		p.psFifo = append(p.psFifo, line)
+		if len(p.psFifo) > p.cfg.AMCSize {
+			old := p.psFifo[0]
+			p.psFifo = p.psFifo[1:]
+			delete(p.ps, old)
+		}
+	}
+	p.ps[line] = e
+}
+
+func (p *Prefetcher) spInsert(s uint64, line mem.Line) {
+	if _, ok := p.sp[s]; !ok {
+		p.spFifo = append(p.spFifo, s)
+		if len(p.spFifo) > p.cfg.AMCSize {
+			old := p.spFifo[0]
+			p.spFifo = p.spFifo[1:]
+			delete(p.sp, old)
+		}
+	}
+	p.sp[s] = line
+}
+
+// allocChunk reserves a fresh structural chunk and returns its base.
+func (p *Prefetcher) allocChunk() uint64 {
+	base := p.nextStructural
+	p.nextStructural += uint64(p.cfg.StreamChunk)
+	return base
+}
+
+// train links prev -> cur in structural space for one PC stream.
+func (p *Prefetcher) train(prev, cur mem.Line) {
+	pe, prevMapped := p.ps[prev]
+	ce, curMapped := p.ps[cur]
+
+	switch {
+	case prevMapped && curMapped:
+		if ce.structural == pe.structural+1 {
+			// Mapping confirmed: strengthen.
+			if ce.counter < 3 {
+				ce.counter++
+				p.psInsert(cur, ce)
+			}
+			return
+		}
+		// Divergent correlation: weaken; remap when confidence is gone.
+		if ce.counter > 0 {
+			ce.counter--
+			p.psInsert(cur, ce)
+			return
+		}
+		p.remap(pe, cur)
+	case prevMapped && !curMapped:
+		p.remap(pe, cur)
+	default:
+		// prev unmapped: start a fresh stream chunk with prev at its
+		// base, then place cur right after it.
+		base := p.allocChunk()
+		p.psInsert(prev, psEntry{structural: base, counter: 1})
+		p.spInsert(base, prev)
+		p.psInsert(cur, psEntry{structural: base + 1, counter: 1})
+		p.spInsert(base+1, cur)
+	}
+}
+
+// remap places cur at pe.structural+1, allocating a new chunk when the
+// successor slot would cross the chunk boundary.
+func (p *Prefetcher) remap(pe psEntry, cur mem.Line) {
+	s := pe.structural + 1
+	chunk := uint64(p.cfg.StreamChunk)
+	if s/chunk != pe.structural/chunk {
+		s = p.allocChunk()
+	}
+	p.psInsert(cur, psEntry{structural: s, counter: 1})
+	p.spInsert(s, cur)
+}
+
+// Observe implements prefetch.Prefetcher. ISB trains on LLC misses and
+// first-use prefetch hits of its PC-localized streams.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.sugBuf = p.sugBuf[:0]
+	train := !a.Hit || a.PrefetchHit
+	if train {
+		if prev, ok := p.lastAddr[a.PC]; ok && prev != a.Line {
+			p.train(prev, a.Line)
+		}
+		if _, ok := p.lastAddr[a.PC]; !ok {
+			p.lastFifo = append(p.lastFifo, a.PC)
+			if len(p.lastFifo) > p.cfg.TrainingUnits {
+				old := p.lastFifo[0]
+				p.lastFifo = p.lastFifo[1:]
+				delete(p.lastAddr, old)
+			}
+		}
+		p.lastAddr[a.PC] = a.Line
+	}
+	// Predict: follow the structural stream.
+	e, ok := p.ps[a.Line]
+	if !ok {
+		return nil
+	}
+	conf := float64(e.counter+1) / 4
+	for d := uint64(1); d <= uint64(p.cfg.Degree); d++ {
+		phys, ok := p.sp[e.structural+d]
+		if !ok {
+			break
+		}
+		p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: phys, Confidence: conf})
+	}
+	return p.sugBuf
+}

@@ -1,0 +1,85 @@
+// Package prefetch defines the interface every hardware prefetcher in
+// the reproduction implements, plus the access context and suggestion
+// types exchanged with the ensemble controller.
+//
+// Per the paper's framework (Section IV), each prefetcher observes the
+// LLC demand-access stream and emits at most a handful of prefetch
+// suggestions per access; the ensemble controller consumes the top
+// suggestion of each prefetcher as its observation vector.
+package prefetch
+
+import (
+	"resemble/internal/mem"
+)
+
+// AccessContext describes one demand access at the LLC as seen by a
+// prefetcher.
+type AccessContext struct {
+	// Index is the position of this access in the LLC access stream.
+	Index int
+	// ID is the dynamic instruction number.
+	ID uint64
+	// PC is the program counter of the load.
+	PC uint64
+	// Addr is the accessed byte address.
+	Addr mem.Addr
+	// Line is the accessed cache-line address.
+	Line mem.Line
+	// Hit reports whether the access hit in the LLC.
+	Hit bool
+	// PrefetchHit reports whether the hit was the first demand use of a
+	// prefetched line.
+	PrefetchHit bool
+}
+
+// Suggestion is one prefetch candidate produced by a prefetcher.
+type Suggestion struct {
+	// Line is the suggested cache-line address to prefetch.
+	Line mem.Line
+	// Confidence is an optional prefetcher-specific score in [0,1];
+	// prefetchers that do not estimate confidence report 1.
+	Confidence float64
+}
+
+// Prefetcher is a hardware prefetcher operating on the LLC access
+// stream. Implementations are single-threaded: the simulator calls
+// Observe for every access in order.
+type Prefetcher interface {
+	// Name identifies the prefetcher ("bo", "spp", "isb", "domino", ...).
+	Name() string
+	// Spatial classifies the prefetcher's output range for ReSemble's
+	// preprocessing (Section IV-B): spatial prefetchers predict within a
+	// bounded region around the trigger, temporal ones across the whole
+	// address space.
+	Spatial() bool
+	// Observe processes one access and returns this access's prefetch
+	// suggestions, best first. The returned slice may be empty and is
+	// only valid until the next Observe call.
+	Observe(AccessContext) []Suggestion
+	// Reset discards all learned state.
+	Reset()
+}
+
+// Top returns the first suggestion of a list, or ok=false if empty.
+func Top(s []Suggestion) (Suggestion, bool) {
+	if len(s) == 0 {
+		return Suggestion{}, false
+	}
+	return s[0], true
+}
+
+// Nil is a Prefetcher that never suggests anything; it serves as the
+// no-prefetching baseline and as padding in ensemble configurations.
+type Nil struct{}
+
+// Name implements Prefetcher.
+func (Nil) Name() string { return "none" }
+
+// Spatial implements Prefetcher.
+func (Nil) Spatial() bool { return true }
+
+// Observe implements Prefetcher.
+func (Nil) Observe(AccessContext) []Suggestion { return nil }
+
+// Reset implements Prefetcher.
+func (Nil) Reset() {}

@@ -1,0 +1,28 @@
+package prefetch
+
+import "testing"
+
+func TestTop(t *testing.T) {
+	if _, ok := Top(nil); ok {
+		t.Error("Top(nil) should report !ok")
+	}
+	s := []Suggestion{{Line: 7, Confidence: 0.5}, {Line: 8}}
+	got, ok := Top(s)
+	if !ok || got.Line != 7 {
+		t.Errorf("Top = %+v ok=%v, want line 7", got, ok)
+	}
+}
+
+func TestNilPrefetcher(t *testing.T) {
+	var n Nil
+	if n.Name() != "none" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if got := n.Observe(AccessContext{Line: 5}); got != nil {
+		t.Errorf("Nil.Observe = %v, want nil", got)
+	}
+	n.Reset() // must not panic
+	if !n.Spatial() {
+		t.Error("Nil.Spatial should be true (degenerate)")
+	}
+}

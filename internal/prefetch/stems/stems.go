@@ -1,0 +1,195 @@
+// Package stems implements a simplified spatio-temporal memory
+// streaming prefetcher in the spirit of STeMS (Somogyi et al., ISCA
+// 2009), completing the paper's Table I taxonomy (the spatio-temporal
+// class). Like SMS/STeMS it learns per-trigger *spatial footprints*:
+// while a region (page) is live, the offsets touched within it are
+// accumulated; when the region ages out, the footprint is stored under
+// its trigger (PC, first offset). A later miss matching the trigger
+// reconstructs the footprint as prefetches, and a temporal link to the
+// region that followed provides the cross-region (temporal) component.
+//
+// The paper notes STeMS "suffers from low prefetching coverage and high
+// start-up latency" — properties this implementation reproduces and the
+// extended taxonomy experiment quantifies.
+package stems
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes the prefetcher.
+type Config struct {
+	// ActiveRegions bounds the regions being recorded.
+	ActiveRegions int
+	// PatternEntries bounds the trigger -> footprint table.
+	PatternEntries int
+	// Degree bounds prefetches per trigger.
+	Degree int
+}
+
+func (c *Config) setDefaults() {
+	if c.ActiveRegions == 0 {
+		c.ActiveRegions = 64
+	}
+	if c.PatternEntries == 0 {
+		c.PatternEntries = 2048
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+}
+
+// liveRegion accumulates a footprint for one page.
+type liveRegion struct {
+	page      mem.Page
+	triggerPC uint64
+	triggerOf int
+	footprint uint64 // bit per line offset
+	lru       uint64
+}
+
+// pattern is a learned footprint plus the temporal successor region
+// delta (next page - this page), zero when unknown.
+type pattern struct {
+	footprint uint64
+	nextDelta int64
+	trained   int
+}
+
+// Prefetcher is the simplified STeMS.
+type Prefetcher struct {
+	cfg   Config
+	live  map[mem.Page]*liveRegion
+	pats  map[uint64]*pattern
+	order []mem.Page // LRU order of live regions (approximate, FIFO)
+	clock uint64
+
+	lastPage    mem.Page
+	hasLastPage bool
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds the prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "stems" }
+
+// Spatial implements prefetch.Prefetcher: the footprint component is
+// region-bounded, so the output range is spatial.
+func (p *Prefetcher) Spatial() bool { return true }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.live = make(map[mem.Page]*liveRegion)
+	p.pats = make(map[uint64]*pattern)
+	p.order = p.order[:0]
+	p.clock = 0
+	p.hasLastPage = false
+}
+
+func triggerKey(pc uint64, offset int) uint64 {
+	return mem.FoldHash(pc*0x9e3779b97f4a7c15^uint64(offset), 32)
+}
+
+// commit stores a finished region's footprint under its trigger.
+func (p *Prefetcher) commit(r *liveRegion, nextPage mem.Page, haveNext bool) {
+	key := triggerKey(r.triggerPC, r.triggerOf)
+	pat, ok := p.pats[key]
+	if !ok {
+		if len(p.pats) >= p.cfg.PatternEntries {
+			// Evict an arbitrary entry (maps iterate pseudo-randomly;
+			// bounded-size behaviour is what matters here).
+			for k := range p.pats {
+				delete(p.pats, k)
+				break
+			}
+		}
+		pat = &pattern{}
+		p.pats[key] = pat
+	}
+	// Union footprints across visits; real STeMS stores ordered deltas,
+	// the union is the standard SMS simplification.
+	pat.footprint |= r.footprint
+	if haveNext {
+		pat.nextDelta = int64(nextPage) - int64(r.page)
+	}
+	pat.trained++
+}
+
+// Observe implements prefetch.Prefetcher. Training and prediction act
+// on misses and first-use prefetch hits.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.clock++
+	p.sugBuf = p.sugBuf[:0]
+	if a.Hit && !a.PrefetchHit {
+		return nil
+	}
+	page := mem.PageOf(a.Addr)
+	offset := int(mem.LineOffsetInPage(a.Addr))
+
+	r, ok := p.live[page]
+	if !ok {
+		// New region: evict the oldest live region into the pattern
+		// table, then start recording.
+		if len(p.live) >= p.cfg.ActiveRegions {
+			oldPage := p.order[0]
+			p.order = p.order[1:]
+			if old, ok := p.live[oldPage]; ok {
+				p.commit(old, page, true)
+				delete(p.live, oldPage)
+			}
+		}
+		r = &liveRegion{page: page, triggerPC: a.PC, triggerOf: offset}
+		p.live[page] = r
+		p.order = append(p.order, page)
+
+		// Trigger match: reconstruct the learned footprint.
+		if pat, ok := p.pats[triggerKey(a.PC, offset)]; ok {
+			p.reconstruct(page, offset, pat)
+		}
+	}
+	r.footprint |= 1 << uint(offset)
+	r.lru = p.clock
+	p.lastPage = page
+	p.hasLastPage = true
+	return p.sugBuf
+}
+
+// reconstruct emits the footprint lines (nearest offsets first) and the
+// temporal successor region's trigger line.
+func (p *Prefetcher) reconstruct(page mem.Page, trigger int, pat *pattern) {
+	base := mem.LineOf(mem.PageAddr(page))
+	conf := 0.5
+	if pat.trained > 2 {
+		conf = 0.8
+	}
+	// Walk offsets by distance from the trigger.
+	for d := 1; d < mem.LinesPerPage && len(p.sugBuf) < p.cfg.Degree; d++ {
+		for _, off := range [2]int{trigger + d, trigger - d} {
+			if off < 0 || off >= mem.LinesPerPage || len(p.sugBuf) >= p.cfg.Degree {
+				continue
+			}
+			if pat.footprint&(1<<uint(off)) != 0 {
+				p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: base + mem.Line(off), Confidence: conf})
+			}
+		}
+	}
+	// Temporal component: the next region's first line.
+	if pat.nextDelta != 0 && len(p.sugBuf) < p.cfg.Degree {
+		next := int64(page) + pat.nextDelta
+		if next > 0 {
+			p.sugBuf = append(p.sugBuf, prefetch.Suggestion{
+				Line:       mem.LineOf(mem.PageAddr(mem.Page(next))),
+				Confidence: conf * 0.5,
+			})
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package stems
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(pc uint64, l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: pc, Addr: mem.LineAddr(l), Line: l, Hit: false}
+}
+
+// visitRegion touches the given offsets of a page with one PC.
+func visitRegion(p *Prefetcher, pc uint64, page mem.Page, offsets []int) []prefetch.Suggestion {
+	base := mem.LineOf(mem.PageAddr(page))
+	var first []prefetch.Suggestion
+	for i, off := range offsets {
+		s := p.Observe(access(pc, base+mem.Line(off)))
+		if i == 0 {
+			first = append([]prefetch.Suggestion(nil), s...)
+		}
+	}
+	return first
+}
+
+func TestLearnsFootprint(t *testing.T) {
+	p := New(Config{ActiveRegions: 4, Degree: 4})
+	footprint := []int{5, 7, 9, 20}
+	// Visit many pages with the same trigger (PC, offset 5) and
+	// footprint; the small ActiveRegions forces commits.
+	for pg := 0; pg < 40; pg++ {
+		visitRegion(p, 0xAA, mem.Page(1000+pg), footprint)
+	}
+	// A fresh page triggered the same way must reconstruct the
+	// footprint immediately.
+	got := visitRegion(p, 0xAA, 9000, footprint[:1])
+	if len(got) == 0 {
+		t.Fatal("no reconstruction on trigger match")
+	}
+	base := mem.LineOf(mem.PageAddr(9000))
+	want := map[mem.Line]bool{base + 7: true, base + 9: true, base + 20: true}
+	found := 0
+	for _, s := range got {
+		if want[s.Line] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("reconstructed %d/3 footprint lines: %+v", found, got)
+	}
+}
+
+func TestTriggerSpecificity(t *testing.T) {
+	p := New(Config{ActiveRegions: 2, Degree: 4})
+	for pg := 0; pg < 30; pg++ {
+		visitRegion(p, 0xAA, mem.Page(2000+pg), []int{3, 10, 11})
+	}
+	// A different PC triggering a fresh page must not match.
+	if got := visitRegion(p, 0xBB, 9500, []int{3}); len(got) != 0 {
+		t.Errorf("foreign trigger reconstructed: %+v", got)
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New(Config{})
+	a := access(0xAA, 12345)
+	a.Hit = true
+	if s := p.Observe(a); s != nil {
+		t.Errorf("plain hit produced suggestions: %+v", s)
+	}
+}
+
+func TestPatternTableBounded(t *testing.T) {
+	p := New(Config{ActiveRegions: 2, PatternEntries: 16})
+	for pg := 0; pg < 500; pg++ {
+		visitRegion(p, uint64(0x1000+pg), mem.Page(3000+pg), []int{1, 2})
+	}
+	if len(p.pats) > 16 {
+		t.Errorf("pattern table exceeded bound: %d", len(p.pats))
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{ActiveRegions: 2})
+	for pg := 0; pg < 20; pg++ {
+		visitRegion(p, 0xAA, mem.Page(4000+pg), []int{2, 4})
+	}
+	p.Reset()
+	if got := visitRegion(p, 0xAA, 9999, []int{2}); len(got) != 0 {
+		t.Errorf("reset prefetcher still reconstructs: %+v", got)
+	}
+}
+
+func TestNameAndSpatial(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "stems" || !p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

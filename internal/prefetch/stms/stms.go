@@ -1,0 +1,129 @@
+// Package stms implements Sampled Temporal Memory Streaming (Wenisch
+// et al., "Practical Off-Chip Meta-data for Temporal Memory Streaming",
+// HPCA 2009), the global temporal prefetcher in the paper's taxonomy
+// (Table I). STMS logs the global miss sequence in a (conceptually
+// off-chip) circular history buffer with an index from miss address to
+// its most recent log position; on a miss that hits the index, it
+// streams the successors of the previous occurrence as prefetches.
+//
+// STMS differs from Domino in using only single-miss lookup (Domino
+// adds the two-miss index for precision) and in streaming a deeper
+// window per trigger.
+package stms
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes STMS.
+type Config struct {
+	// LogSize bounds the global history buffer, in entries. The real
+	// design stores this off-chip in DRAM, so it is sized to the miss
+	// working set.
+	LogSize int
+	// IndexSize bounds the address -> log position index.
+	IndexSize int
+	// Degree is the streaming depth per trigger.
+	Degree int
+}
+
+func (c *Config) setDefaults() {
+	if c.LogSize == 0 {
+		c.LogSize = 1 << 16
+	}
+	if c.IndexSize == 0 {
+		c.IndexSize = 1 << 15
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+}
+
+// Prefetcher is the STMS temporal prefetcher.
+type Prefetcher struct {
+	cfg Config
+
+	log     []mem.Line
+	logAt   int
+	wrapped bool
+
+	idx     map[mem.Line]int
+	idxFifo []mem.Line
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds an STMS prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "stms" }
+
+// Spatial implements prefetch.Prefetcher: STMS is temporal.
+func (p *Prefetcher) Spatial() bool { return false }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.log = make([]mem.Line, p.cfg.LogSize)
+	p.logAt = 0
+	p.wrapped = false
+	p.idx = make(map[mem.Line]int)
+	p.idxFifo = p.idxFifo[:0]
+}
+
+func (p *Prefetcher) idxInsert(line mem.Line, pos int) {
+	if _, ok := p.idx[line]; !ok {
+		p.idxFifo = append(p.idxFifo, line)
+		if len(p.idxFifo) > p.cfg.IndexSize {
+			old := p.idxFifo[0]
+			p.idxFifo = p.idxFifo[1:]
+			delete(p.idx, old)
+		}
+	}
+	p.idx[line] = pos
+}
+
+func (p *Prefetcher) logValid(pos int) bool {
+	return pos >= 0 && pos < len(p.log) && (p.wrapped || pos < p.logAt)
+}
+
+// Observe implements prefetch.Prefetcher. STMS trains on misses and
+// first-use prefetch hits (covered misses).
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.sugBuf = p.sugBuf[:0]
+	if a.Hit && !a.PrefetchHit {
+		return nil
+	}
+
+	// Stream from the previous occurrence.
+	if pos, ok := p.idx[a.Line]; ok && p.logValid(pos) {
+		for d := 1; d <= p.cfg.Degree; d++ {
+			np := (pos + d) % len(p.log)
+			if !p.logValid(np) || np == p.logAt {
+				break
+			}
+			line := p.log[np]
+			if line == 0 || line == a.Line {
+				continue
+			}
+			p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: line, Confidence: 0.6})
+		}
+	}
+
+	// Log and index the miss.
+	pos := p.logAt
+	p.log[pos] = a.Line
+	p.logAt++
+	if p.logAt == len(p.log) {
+		p.logAt = 0
+		p.wrapped = true
+	}
+	p.idxInsert(a.Line, pos)
+	return p.sugBuf
+}

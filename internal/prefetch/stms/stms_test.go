@@ -1,0 +1,88 @@
+package stms
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: 0x900, Addr: mem.LineAddr(l), Line: l, Hit: false}
+}
+
+var seq = []mem.Line{0xA01, 0x7B02, 0xC03, 0x3D04, 0xE05, 0x9F06}
+
+func TestStreamsAfterRepetition(t *testing.T) {
+	p := New(Config{Degree: 3})
+	for _, l := range seq {
+		p.Observe(access(l))
+	}
+	// Second pass: at seq[0], STMS must stream seq[1..3].
+	s := p.Observe(access(seq[0]))
+	if len(s) == 0 {
+		t.Fatal("no streaming on the second pass")
+	}
+	for i, sug := range s {
+		if sug.Line != seq[i+1] {
+			t.Errorf("suggestion %d = %#x, want %#x", i, sug.Line, seq[i+1])
+		}
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New(Config{})
+	for _, l := range seq {
+		a := access(l)
+		a.Hit = true
+		if got := p.Observe(a); got != nil {
+			t.Errorf("hit produced suggestions: %+v", got)
+		}
+	}
+	if got := p.Observe(access(seq[0])); len(got) != 0 {
+		t.Errorf("nothing was logged, got %+v", got)
+	}
+}
+
+func TestIndexBounded(t *testing.T) {
+	p := New(Config{IndexSize: 32, LogSize: 64})
+	for i := 0; i < 3000; i++ {
+		p.Observe(access(mem.Line(0x1000 + i*7)))
+	}
+	if len(p.idx) > 33 {
+		t.Errorf("index exceeded bound: %d", len(p.idx))
+	}
+}
+
+func TestLogWrap(t *testing.T) {
+	p := New(Config{LogSize: 8, IndexSize: 8, Degree: 4})
+	for i := 0; i < 100; i++ {
+		p.Observe(access(mem.Line(i%5 + 1)))
+	}
+	// Must not panic and must still produce some suggestions on a
+	// heavily repeating stream.
+	s := p.Observe(access(1))
+	if len(s) == 0 {
+		t.Error("no suggestions on a repeating stream across wraps")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	for r := 0; r < 2; r++ {
+		for _, l := range seq {
+			p.Observe(access(l))
+		}
+	}
+	p.Reset()
+	if s := p.Observe(access(seq[0])); len(s) != 0 {
+		t.Errorf("reset STMS still suggests: %+v", s)
+	}
+}
+
+func TestNameAndTemporal(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "stms" || p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

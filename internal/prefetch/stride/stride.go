@@ -1,0 +1,139 @@
+// Package stride implements a classic per-PC stride prefetcher
+// (reference-prediction-table style). It is not one of the paper's four
+// input prefetchers, but the framework is "open to architectures
+// equipped with various numbers and types of prefetchers" (Section V),
+// and the ablation benches use it as a fifth input to exercise
+// variable-width ensembles.
+package stride
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes the stride prefetcher.
+type Config struct {
+	// TableSize bounds the per-PC reference prediction table.
+	TableSize int
+	// Degree is the number of strided successors suggested.
+	Degree int
+	// ConfidenceMax saturates the 2-bit-style confidence counter.
+	ConfidenceMax int
+	// MinConfidence gates prediction.
+	MinConfidence int
+}
+
+func (c *Config) setDefaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 256
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.ConfidenceMax == 0 {
+		c.ConfidenceMax = 3
+	}
+	if c.MinConfidence == 0 {
+		c.MinConfidence = 2
+	}
+}
+
+type entry struct {
+	pc       uint64
+	valid    bool
+	lastLine mem.Line
+	stride   int64
+	conf     int
+	lru      uint64
+}
+
+// Prefetcher is a per-PC stride prefetcher.
+type Prefetcher struct {
+	cfg    Config
+	table  []entry
+	clock  uint64
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds a stride prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "stride" }
+
+// Spatial implements prefetch.Prefetcher.
+func (p *Prefetcher) Spatial() bool { return true }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.table = make([]entry, p.cfg.TableSize)
+	p.clock = 0
+}
+
+func (p *Prefetcher) lookup(pc uint64) *entry {
+	idx := int(mem.FoldHash(pc, 16)) % len(p.table)
+	var victim *entry
+	for w := 0; w < 2; w++ {
+		e := &p.table[(idx+w)%len(p.table)]
+		if e.valid && e.pc == pc {
+			return e
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+			}
+		} else if victim == nil || (victim.valid && e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	*victim = entry{pc: pc, valid: true, stride: 0, conf: 0}
+	return victim
+}
+
+// Observe implements prefetch.Prefetcher.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.clock++
+	p.sugBuf = p.sugBuf[:0]
+	e := p.lookup(a.PC)
+	defer func() {
+		e.lastLine = a.Line
+		e.lru = p.clock
+	}()
+	if e.lastLine == 0 && e.stride == 0 && e.conf == 0 {
+		return nil // fresh entry: no history yet
+	}
+	delta := int64(a.Line) - int64(e.lastLine)
+	if delta == 0 {
+		return nil
+	}
+	if delta == e.stride {
+		if e.conf < p.cfg.ConfidenceMax {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		}
+		if e.conf == 0 {
+			e.stride = delta
+		}
+		return nil
+	}
+	if e.conf < p.cfg.MinConfidence {
+		return nil
+	}
+	conf := float64(e.conf) / float64(p.cfg.ConfidenceMax)
+	for d := 1; d <= p.cfg.Degree; d++ {
+		cand := int64(a.Line) + e.stride*int64(d)
+		if cand <= 0 {
+			break
+		}
+		p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: mem.Line(cand), Confidence: conf})
+	}
+	return p.sugBuf
+}

@@ -1,0 +1,102 @@
+package stride
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(pc uint64, l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: pc, Addr: mem.LineAddr(l), Line: l}
+}
+
+func TestLearnsStride(t *testing.T) {
+	p := New(Config{Degree: 2})
+	var s []prefetch.Suggestion
+	for i := 0; i < 10; i++ {
+		s = p.Observe(access(0x400, mem.Line(1000+i*3)))
+	}
+	if len(s) != 2 {
+		t.Fatalf("suggestions = %d, want 2", len(s))
+	}
+	last := mem.Line(1000 + 9*3)
+	if s[0].Line != last+3 || s[1].Line != last+6 {
+		t.Errorf("suggestions = %+v, want +3 and +6", s)
+	}
+}
+
+func TestNegativeStride(t *testing.T) {
+	p := New(Config{Degree: 1})
+	var s []prefetch.Suggestion
+	for i := 0; i < 10; i++ {
+		s = p.Observe(access(0x400, mem.Line(10000-i*2)))
+	}
+	if len(s) != 1 || s[0].Line != mem.Line(10000-9*2-2) {
+		t.Errorf("suggestions = %+v, want descending stride", s)
+	}
+}
+
+func TestPerPCIndependence(t *testing.T) {
+	p := New(Config{Degree: 1})
+	for i := 0; i < 10; i++ {
+		p.Observe(access(0xA, mem.Line(1000+i*2)))
+		p.Observe(access(0xB, mem.Line(50000+i*5)))
+	}
+	// Suggestions alias the prefetcher's internal buffer, so check each
+	// before the next Observe call.
+	sA := p.Observe(access(0xA, mem.Line(1000+10*2)))
+	if len(sA) != 1 || sA[0].Line != mem.Line(1000+11*2) {
+		t.Errorf("PC A: %+v", sA)
+	}
+	sB := p.Observe(access(0xB, mem.Line(50000+10*5)))
+	if len(sB) != 1 || sB[0].Line != mem.Line(50000+11*5) {
+		t.Errorf("PC B: %+v", sB)
+	}
+}
+
+func TestNoSuggestionOnIrregular(t *testing.T) {
+	p := New(Config{})
+	lines := []mem.Line{5, 900, 17, 4242, 33, 80000, 2}
+	var total int
+	for _, l := range lines {
+		total += len(p.Observe(access(0x400, l)))
+	}
+	if total != 0 {
+		t.Errorf("irregular stream produced %d suggestions", total)
+	}
+}
+
+func TestConfidenceRecovery(t *testing.T) {
+	p := New(Config{Degree: 1})
+	for i := 0; i < 10; i++ {
+		p.Observe(access(0x400, mem.Line(1000+i)))
+	}
+	// One disruption lowers confidence but the stride should recover.
+	p.Observe(access(0x400, 99999))
+	var s []prefetch.Suggestion
+	for i := 0; i < 10; i++ {
+		s = p.Observe(access(0x400, mem.Line(200000+i)))
+	}
+	if len(s) != 1 || s[0].Line != mem.Line(200000+10) {
+		t.Errorf("did not recover after disruption: %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{Degree: 1})
+	for i := 0; i < 10; i++ {
+		p.Observe(access(0x400, mem.Line(1000+i)))
+	}
+	p.Reset()
+	if s := p.Observe(access(0x400, mem.Line(1010))); len(s) != 0 {
+		t.Errorf("reset stride prefetcher still suggests: %+v", s)
+	}
+}
+
+func TestNameAndSpatial(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "stride" || !p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

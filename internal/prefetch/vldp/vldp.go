@@ -1,0 +1,239 @@
+// Package vldp implements the Variable Length Delta Prefetcher
+// (Shevgoor et al., "Efficiently Prefetching Complex Address Patterns",
+// MICRO 2015), one of the spatial prefetchers in the paper's taxonomy
+// (Table I). VLDP keeps multiple delta-prediction tables keyed by
+// increasingly long delta histories; a longer-history match takes
+// precedence, so simple strides and complex repeating delta patterns
+// are both captured. Prediction chains multiple lookups to issue deep
+// prefetches within the page.
+package vldp
+
+import (
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes VLDP.
+type Config struct {
+	// HistoryLevels is the number of delta-history prediction tables
+	// (level i is keyed by the last i+1 deltas). The original uses 3.
+	HistoryLevels int
+	// TableSize is the number of entries per DPT level.
+	TableSize int
+	// DHBSize is the number of pages tracked by the delta history
+	// buffer.
+	DHBSize int
+	// Degree bounds prefetches per access.
+	Degree int
+	// CounterMax saturates the per-entry accuracy counters.
+	CounterMax int
+}
+
+func (c *Config) setDefaults() {
+	if c.HistoryLevels == 0 {
+		c.HistoryLevels = 3
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 256
+	}
+	if c.DHBSize == 0 {
+		c.DHBSize = 128
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.CounterMax == 0 {
+		c.CounterMax = 3
+	}
+}
+
+// dhbEntry tracks one page's recent delta history.
+type dhbEntry struct {
+	page       mem.Page
+	valid      bool
+	lastOffset int
+	deltas     []int // most recent last
+	lru        uint64
+}
+
+// dptEntry is one delta-prediction-table entry.
+type dptEntry struct {
+	key   uint64
+	valid bool
+	delta int // predicted next delta
+	conf  int
+	lru   uint64
+}
+
+// Prefetcher is the Variable Length Delta Prefetcher.
+type Prefetcher struct {
+	cfg   Config
+	dhb   []dhbEntry
+	dpt   [][]dptEntry // one table per history level
+	clock uint64
+
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds a VLDP prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "vldp" }
+
+// Spatial implements prefetch.Prefetcher: VLDP predicts in-page.
+func (p *Prefetcher) Spatial() bool { return true }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	p.dhb = make([]dhbEntry, p.cfg.DHBSize)
+	p.dpt = make([][]dptEntry, p.cfg.HistoryLevels)
+	for i := range p.dpt {
+		p.dpt[i] = make([]dptEntry, p.cfg.TableSize)
+	}
+	p.clock = 0
+}
+
+// historyKey hashes the last (level+1) deltas into a table key.
+func historyKey(deltas []int, level int) uint64 {
+	n := level + 1
+	var key uint64 = 0x9e3779b97f4a7c15
+	for _, d := range deltas[len(deltas)-n:] {
+		key = key*31 ^ uint64(mem.FoldHashSigned(int64(d), 16))
+	}
+	return key
+}
+
+func (p *Prefetcher) dhbLookup(page mem.Page) *dhbEntry {
+	idx := int(mem.FoldHash(page, 16)) % len(p.dhb)
+	var victim *dhbEntry
+	for w := 0; w < 2; w++ {
+		e := &p.dhb[(idx+w)%len(p.dhb)]
+		if e.valid && e.page == page {
+			return e
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+			}
+		} else if victim == nil || (victim.valid && e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	*victim = dhbEntry{page: page, valid: true, lastOffset: -1}
+	return victim
+}
+
+func (p *Prefetcher) dptLookup(level int, key uint64, alloc bool) *dptEntry {
+	tbl := p.dpt[level]
+	idx := int(key % uint64(len(tbl)))
+	var victim *dptEntry
+	for w := 0; w < 2; w++ {
+		e := &tbl[(idx+w)%len(tbl)]
+		if e.valid && e.key == key {
+			return e
+		}
+		if !e.valid {
+			if victim == nil || victim.valid {
+				victim = e
+			}
+		} else if victim == nil || (victim.valid && e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	if !alloc {
+		return nil
+	}
+	*victim = dptEntry{key: key, valid: true}
+	return victim
+}
+
+// train updates every history level whose key the page's delta history
+// can form, with the newly observed delta.
+func (p *Prefetcher) train(deltas []int, newDelta int) {
+	for level := 0; level < p.cfg.HistoryLevels; level++ {
+		if len(deltas) < level+1 {
+			break
+		}
+		e := p.dptLookup(level, historyKey(deltas, level), true)
+		e.lru = p.clock
+		if e.delta == newDelta {
+			if e.conf < p.cfg.CounterMax {
+				e.conf++
+			}
+		} else {
+			if e.conf > 0 {
+				e.conf--
+			} else {
+				e.delta = newDelta
+				e.conf = 1
+			}
+		}
+	}
+}
+
+// predict returns the highest-level confident prediction for the delta
+// history, preferring longer histories.
+func (p *Prefetcher) predict(deltas []int) (int, float64, bool) {
+	for level := p.cfg.HistoryLevels - 1; level >= 0; level-- {
+		if len(deltas) < level+1 {
+			continue
+		}
+		e := p.dptLookup(level, historyKey(deltas, level), false)
+		if e != nil && e.conf >= 2 {
+			return e.delta, float64(e.conf) / float64(p.cfg.CounterMax), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Observe implements prefetch.Prefetcher.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.clock++
+	p.sugBuf = p.sugBuf[:0]
+	page := mem.PageOf(a.Addr)
+	offset := int(mem.LineOffsetInPage(a.Addr))
+
+	e := p.dhbLookup(page)
+	e.lru = p.clock
+	if e.lastOffset >= 0 {
+		delta := offset - e.lastOffset
+		if delta != 0 {
+			if len(e.deltas) > 0 {
+				p.train(e.deltas, delta)
+			}
+			e.deltas = append(e.deltas, delta)
+			if len(e.deltas) > p.cfg.HistoryLevels {
+				e.deltas = e.deltas[1:]
+			}
+		}
+	}
+	e.lastOffset = offset
+
+	// Chained prediction within the page.
+	hist := append([]int(nil), e.deltas...)
+	cur := offset
+	for steps := 0; len(p.sugBuf) < p.cfg.Degree && steps < 2*mem.LinesPerPage; steps++ {
+		d, conf, ok := p.predict(hist)
+		if !ok {
+			break
+		}
+		next := cur + d
+		if next < 0 || next >= mem.LinesPerPage {
+			break
+		}
+		line := mem.LineOf(mem.PageAddr(page)) + mem.Line(next)
+		p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: line, Confidence: conf})
+		hist = append(hist, d)
+		if len(hist) > p.cfg.HistoryLevels {
+			hist = hist[1:]
+		}
+		cur = next
+	}
+	return p.sugBuf
+}

@@ -1,0 +1,114 @@
+package vldp
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: 0x800, Addr: mem.LineAddr(l), Line: l, Hit: false}
+}
+
+func walkPages(p *Prefetcher, firstPage, pages int, deltas []int) {
+	for pg := 0; pg < pages; pg++ {
+		base := mem.Line((firstPage + pg) * mem.LinesPerPage)
+		off := 0
+		for i := 0; off < mem.LinesPerPage && off >= 0; i++ {
+			p.Observe(access(base + mem.Line(off)))
+			off += deltas[i%len(deltas)]
+		}
+	}
+}
+
+func TestLearnsConstantStride(t *testing.T) {
+	p := New(Config{})
+	walkPages(p, 1000, 30, []int{3})
+	base := mem.Line(5000 * mem.LinesPerPage)
+	p.Observe(access(base))
+	p.Observe(access(base + 3))
+	s := p.Observe(access(base + 6))
+	if len(s) == 0 {
+		t.Fatal("no suggestions after stride-3 training")
+	}
+	if s[0].Line != base+9 {
+		t.Errorf("first suggestion = %d, want %d", s[0].Line, base+9)
+	}
+}
+
+func TestLearnsVariableDeltaPattern(t *testing.T) {
+	// Repeating pattern +1,+3: a single-delta predictor cannot decide,
+	// the longer-history tables can.
+	p := New(Config{})
+	walkPages(p, 2000, 60, []int{1, 3})
+	base := mem.Line(6000 * mem.LinesPerPage)
+	p.Observe(access(base))
+	p.Observe(access(base + 1)) // delta 1 -> next should be +3
+	s := p.Observe(access(base + 4))
+	if len(s) == 0 {
+		t.Fatal("no suggestions after +1/+3 training")
+	}
+	// After deltas (1,3) the next delta is 1, then 3...
+	if s[0].Line != base+5 {
+		t.Errorf("first suggestion = %d, want %d (+1)", s[0].Line, base+5)
+	}
+	if len(s) >= 2 && s[1].Line != base+8 {
+		t.Errorf("second suggestion = %d, want %d (+3)", s[1].Line, base+8)
+	}
+}
+
+func TestChainedPredictionsStayInPage(t *testing.T) {
+	p := New(Config{Degree: 8})
+	walkPages(p, 3000, 30, []int{5})
+	base := mem.Line(7000 * mem.LinesPerPage)
+	for off := 0; off < mem.LinesPerPage; off += 5 {
+		for _, s := range p.Observe(access(base + mem.Line(off))) {
+			if mem.PageOf(mem.LineAddr(s.Line)) != mem.PageOf(mem.LineAddr(base)) {
+				t.Fatalf("suggestion %d left the page", s.Line)
+			}
+		}
+	}
+}
+
+func TestNoSuggestionsUntrained(t *testing.T) {
+	p := New(Config{})
+	if s := p.Observe(access(424242)); len(s) != 0 {
+		t.Errorf("untrained VLDP suggested %+v", s)
+	}
+}
+
+func TestOscillatingPatternTerminates(t *testing.T) {
+	// +2/−2 oscillation: the chained walk must remain bounded.
+	p := New(Config{Degree: 8})
+	for pg := 0; pg < 30; pg++ {
+		base := mem.Line((8000 + pg) * mem.LinesPerPage)
+		for rep := 0; rep < 8; rep++ {
+			p.Observe(access(base + 10))
+			p.Observe(access(base + 12))
+		}
+	}
+	base := mem.Line(9900 * mem.LinesPerPage)
+	for rep := 0; rep < 32; rep++ {
+		p.Observe(access(base + 10))
+		p.Observe(access(base + 12))
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	walkPages(p, 100, 20, []int{2})
+	p.Reset()
+	base := mem.Line(9999 * mem.LinesPerPage)
+	p.Observe(access(base))
+	if s := p.Observe(access(base + 2)); len(s) != 0 {
+		t.Errorf("reset VLDP still suggests: %+v", s)
+	}
+}
+
+func TestNameAndSpatial(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "vldp" || !p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

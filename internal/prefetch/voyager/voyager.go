@@ -1,0 +1,212 @@
+// Package voyager implements a compact neural temporal prefetcher, the
+// stand-in for Voyager (Shi et al., ASPLOS 2021) used in the paper's
+// Section VI-B experiment. Like Voyager it models the miss stream with
+// an LSTM over a learned vocabulary of hash-bucketed addresses and
+// predicts without a spatial-range constraint; unlike the original (a
+// two-level hierarchical LSTM trained offline on GPUs for many epochs)
+// it must run online inside the simulator, so the design is split:
+//
+//   - an exact successor table records, per line, the line that last
+//     followed it (the candidate generator);
+//   - the LSTM, trained online with truncated BPTT over the token
+//     stream, supplies next-token probabilities that GATE and RANK the
+//     candidates — a candidate is only prefetched when the model
+//     assigns its token enough probability mass.
+//
+// The neural network is therefore on the decision path of every
+// prefetch (its output probabilities decide what is issued), while the
+// sample-hungry task of memorizing exact addresses is carried by the
+// table — the same division of labour Voyager's embedding layers and
+// output heads provide at scale (see DESIGN.md, Substitutions).
+package voyager
+
+import (
+	"math"
+	"math/rand"
+
+	"resemble/internal/mem"
+	"resemble/internal/nn"
+	"resemble/internal/prefetch"
+)
+
+// Config parameterizes the prefetcher.
+type Config struct {
+	// VocabBits sets the hash-bucket vocabulary to 2^VocabBits tokens
+	// (default 11, i.e. 2048).
+	VocabBits uint
+	// Embed and Hidden are the LSTM dimensions (defaults 16 and 32).
+	Embed, Hidden int
+	// SeqLen is the truncated-BPTT window (default 8 transitions).
+	SeqLen int
+	// TrainEvery trains one window every this many observed misses
+	// (default 4).
+	TrainEvery int
+	// LR is the SGD learning rate (default 0.05).
+	LR float64
+	// Degree is the maximum chained suggestions per access (default 2).
+	Degree int
+	// RelGate is the gating threshold as a multiple of the uniform
+	// probability 1/V (default 0.25): a candidate is issued unless the
+	// model assigns its token LESS than RelGate/V probability. A
+	// warming-up model's near-uniform distribution passes candidates
+	// through; once the model sharpens, the mass concentrates on the
+	// successors it believes in and disfavoured candidates fall under
+	// the gate.
+	RelGate float64
+	// Seed makes weight initialization deterministic.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.VocabBits == 0 {
+		c.VocabBits = 11
+	}
+	if c.Embed == 0 {
+		c.Embed = 16
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 8
+	}
+	if c.TrainEvery == 0 {
+		c.TrainEvery = 4
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Degree == 0 {
+		c.Degree = 2
+	}
+	if c.RelGate == 0 {
+		c.RelGate = 0.25
+	}
+}
+
+// Prefetcher is the LSTM-gated neural temporal prefetcher.
+type Prefetcher struct {
+	cfg   Config
+	model *nn.LSTM
+
+	// next records the line observed immediately after each line's most
+	// recent occurrence (the candidate generator; exact, FIFO-bounded).
+	next     map[mem.Line]mem.Line
+	nextFifo []mem.Line
+	// TableSize bounds the successor map (fixed at 1<<16 entries, the
+	// off-chip-metadata scale of the temporal prefetchers here).
+	tableSize int
+
+	prevLine mem.Line
+	havePrev bool
+	misses   int
+	history  []int
+
+	probs  []float64
+	sugBuf []prefetch.Suggestion
+}
+
+// New builds the prefetcher. A zero Config selects the defaults.
+func New(cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	p := &Prefetcher{cfg: cfg}
+	p.Reset()
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "voyager" }
+
+// Spatial implements prefetch.Prefetcher: like Voyager, predictions
+// span the whole address space.
+func (p *Prefetcher) Spatial() bool { return false }
+
+// Reset implements prefetch.Prefetcher.
+func (p *Prefetcher) Reset() {
+	v := 1 << p.cfg.VocabBits
+	p.model = nn.NewLSTM(rand.New(rand.NewSource(p.cfg.Seed)), v, p.cfg.Embed, p.cfg.Hidden)
+	p.tableSize = 1 << 16
+	p.next = make(map[mem.Line]mem.Line)
+	p.nextFifo = p.nextFifo[:0]
+	p.probs = make([]float64, v)
+	p.havePrev = false
+	p.misses = 0
+	p.history = p.history[:0]
+}
+
+func (p *Prefetcher) recordSuccessor(prev, cur mem.Line) {
+	if _, ok := p.next[prev]; !ok {
+		p.nextFifo = append(p.nextFifo, prev)
+		if len(p.nextFifo) > p.tableSize {
+			old := p.nextFifo[0]
+			p.nextFifo = p.nextFifo[1:]
+			delete(p.next, old)
+		}
+	}
+	p.next[prev] = cur
+}
+
+func (p *Prefetcher) token(line mem.Line) int {
+	return int(mem.FoldHash(line, p.cfg.VocabBits))
+}
+
+// Observe implements prefetch.Prefetcher. The model and successor table
+// advance on misses and first-use prefetch hits.
+func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	p.sugBuf = p.sugBuf[:0]
+	if a.Hit && !a.PrefetchHit {
+		return nil
+	}
+	tok := p.token(a.Line)
+
+	// Learn the successor edge prev -> current line.
+	if p.havePrev {
+		p.recordSuccessor(p.prevLine, a.Line)
+	}
+
+	// Online LSTM training over the token stream.
+	p.history = append(p.history, tok)
+	if len(p.history) > p.cfg.SeqLen+1 {
+		p.history = p.history[1:]
+	}
+	p.misses++
+	if p.misses%p.cfg.TrainEvery == 0 && len(p.history) >= 2 {
+		p.model.TrainSequence(p.history, p.cfg.LR)
+	}
+
+	// Advance the running state; the resulting distribution gates the
+	// chained successor candidates.
+	logits := p.model.Step(tok)
+	nn.Softmax(p.probs, logits)
+
+	v := float64(int(1) << p.cfg.VocabBits)
+	gate := p.cfg.RelGate / v
+	curLine := a.Line
+	for d := 0; d < p.cfg.Degree; d++ {
+		cand, ok := p.next[curLine]
+		if !ok || cand == curLine || cand == a.Line {
+			break
+		}
+		prob := p.probs[p.token(cand)]
+		if prob < gate {
+			break
+		}
+		// Confidence relative to uniform, saturating at 1.
+		conf := clamp01(math.Log2(1+prob*v) / 4)
+		p.sugBuf = append(p.sugBuf, prefetch.Suggestion{Line: cand, Confidence: conf})
+		curLine = cand
+	}
+	p.prevLine = a.Line
+	p.havePrev = true
+	return p.sugBuf
+}
+
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package voyager
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+func access(l mem.Line) prefetch.AccessContext {
+	return prefetch.AccessContext{PC: 0x700, Addr: mem.LineAddr(l), Line: l, Hit: false}
+}
+
+// loop is a short global temporal cycle with no spatial structure.
+var loop = []mem.Line{0x1111, 0x90222, 0x3333, 0xA0444, 0x5555, 0xB0666, 0x7777, 0xC0888}
+
+func TestLearnsTemporalLoop(t *testing.T) {
+	p := New(Config{Degree: 2, TrainEvery: 2})
+	// Train over many repetitions.
+	for r := 0; r < 60; r++ {
+		for _, l := range loop {
+			p.Observe(access(l))
+		}
+	}
+	// Measure prediction hits over one more cycle: suggestions for step
+	// i should include loop[i+1].
+	hits := 0
+	for i, l := range loop {
+		s := p.Observe(access(l))
+		next := loop[(i+1)%len(loop)]
+		for _, sug := range s {
+			if sug.Line == next {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(loop)/2 {
+		t.Errorf("predicted %d/%d next lines of a temporal loop", hits, len(loop))
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New(Config{})
+	a := access(0x1234)
+	a.Hit = true
+	if s := p.Observe(a); s != nil {
+		t.Errorf("plain hit produced suggestions: %+v", s)
+	}
+}
+
+func TestNeverSuggestsCurrentLine(t *testing.T) {
+	p := New(Config{Degree: 4})
+	for r := 0; r < 30; r++ {
+		for _, l := range loop {
+			for _, s := range p.Observe(access(l)) {
+				if s.Line == l {
+					t.Fatal("suggested the line being accessed")
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	p := New(Config{Degree: 2})
+	for r := 0; r < 20; r++ {
+		for _, l := range loop {
+			if s := p.Observe(access(l)); len(s) > 2 {
+				t.Fatalf("suggested %d lines at degree 2", len(s))
+			}
+		}
+	}
+}
+
+func TestConfidenceRange(t *testing.T) {
+	p := New(Config{Degree: 3})
+	for r := 0; r < 20; r++ {
+		for _, l := range loop {
+			for _, s := range p.Observe(access(l)) {
+				if s.Confidence < 0 || s.Confidence > 1.0001 {
+					t.Fatalf("confidence %v out of range", s.Confidence)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []mem.Line {
+		p := New(Config{Degree: 2, Seed: 5})
+		var out []mem.Line
+		for r := 0; r < 20; r++ {
+			for _, l := range loop {
+				for _, s := range p.Observe(access(l)) {
+					out = append(out, s.Line)
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different suggestion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("suggestions differ between equal-seed runs")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New(Config{})
+	for r := 0; r < 20; r++ {
+		for _, l := range loop {
+			p.Observe(access(l))
+		}
+	}
+	p.Reset()
+	// A reset model has no token->line decoding, so nothing decodable.
+	if s := p.Observe(access(loop[0])); len(s) != 0 {
+		t.Errorf("reset model still suggests: %+v", s)
+	}
+}
+
+func TestNameAndTemporal(t *testing.T) {
+	p := New(Config{})
+	if p.Name() != "voyager" || p.Spatial() {
+		t.Errorf("identity wrong: %q spatial=%v", p.Name(), p.Spatial())
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+// Integration tests asserting the paper's qualitative claims end to
+// end: prefetcher/workload affinity (Figure 1c) and the ensemble
+// ordering (Figures 8–10). These run the full stack — generators,
+// hierarchy, timing model, prefetchers, controllers — so they are
+// skipped under -short.
+
+import (
+	"testing"
+
+	"resemble/internal/core"
+	"resemble/internal/ensemble/sbp"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/trace"
+)
+
+func fourPF() []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		bo.New(bo.Config{}), spp.New(spp.Config{}),
+		isb.New(isb.Config{}), domino.New(domino.Config{}),
+	}
+}
+
+func runOn(t *testing.T, workload string, n int, src Source) (Result, Result) {
+	t.Helper()
+	tr := trace.MustLookup(workload).Generate(n)
+	cfg := DefaultConfig()
+	return Run(cfg, tr, src), RunBaseline(cfg, tr)
+}
+
+func TestFig1cSpatialWorkloadFavorsBO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	boRes, base := runOn(t, "433.lbm", 30000, FromPrefetcher(bo.New(bo.Config{}), 2))
+	isbRes, _ := runOn(t, "433.lbm", 30000, FromPrefetcher(isb.New(isb.Config{}), 2))
+	if boRes.IPCImprovement(base) <= isbRes.IPCImprovement(base) {
+		t.Errorf("BO (%.3f) should beat ISB (%.3f) on a streaming workload",
+			boRes.IPCImprovement(base), isbRes.IPCImprovement(base))
+	}
+	if boRes.Coverage < 0.5 {
+		t.Errorf("BO coverage on stream = %.3f, want > 0.5", boRes.Coverage)
+	}
+}
+
+func TestFig1cTemporalWorkloadFavorsISB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	isbRes, base := runOn(t, "471.omnetpp", 30000, FromPrefetcher(isb.New(isb.Config{}), 2))
+	boRes, _ := runOn(t, "471.omnetpp", 30000, FromPrefetcher(bo.New(bo.Config{}), 2))
+	if isbRes.IPCImprovement(base) <= boRes.IPCImprovement(base) {
+		t.Errorf("ISB (%.3f) should beat BO (%.3f) on pointer chasing",
+			isbRes.IPCImprovement(base), boRes.IPCImprovement(base))
+	}
+	if isbRes.Accuracy < 0.5 {
+		t.Errorf("ISB accuracy on pointer chasing = %.3f, want > 0.5", isbRes.Accuracy)
+	}
+}
+
+func TestEnsembleBeatsSBPOnInterleavedHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The paper's key criticism of SBP is response lag: a sub-optimal
+	// prefetcher keeps working for a whole evaluation period. On
+	// record-level interleaving of spatial and temporal streams the
+	// per-access RL controller must therefore win decisively (on long
+	// coarse phases the two are expected to be competitive).
+	ccfg := core.DefaultConfig()
+	ccfg.Batch = 64 // keep test runtime sane; see EXPERIMENTS.md
+	res, base := runOn(t, "hybrid.interleave", 40000, core.NewController(ccfg, fourPF()))
+	sbpRes, _ := runOn(t, "hybrid.interleave", 40000, sbp.New(sbp.Config{}, fourPF()))
+	if got, want := res.IPCImprovement(base), sbpRes.IPCImprovement(base); got <= want {
+		t.Errorf("ReSemble (%.3f) should beat SBP(E) (%.3f) on an interleaved hybrid", got, want)
+	}
+}
+
+func TestTabularBeatsSBPOnInterleavedHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ccfg := core.DefaultConfig()
+	ccfg.Batch = 64
+	res, base := runOn(t, "hybrid.interleave", 40000, core.NewTabularController(ccfg, fourPF()))
+	sbpRes, _ := runOn(t, "hybrid.interleave", 40000, sbp.New(sbp.Config{}, fourPF()))
+	if got, want := res.IPCImprovement(base), sbpRes.IPCImprovement(base); got <= want {
+		t.Errorf("ReSemble-T (%.3f) should beat SBP(E) (%.3f) on an interleaved hybrid", got, want)
+	}
+}
+
+func TestResembleAvoidsHarmOnIrregular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// On GAP-like irregular workloads every prefetcher pollutes; the RL
+	// controller must learn NP and keep the damage minimal — the
+	// paper's central adaptability claim.
+	ccfg := core.DefaultConfig()
+	ccfg.Batch = 64
+	res, base := runOn(t, "gap.bfs", 40000, core.NewController(ccfg, fourPF()))
+	dom, _ := runOn(t, "gap.bfs", 40000, FromPrefetcher(domino.New(domino.Config{}), 2))
+	if res.IPCImprovement(base) < dom.IPCImprovement(base) {
+		t.Errorf("ReSemble (%.3f) should hurt less than blind Domino (%.3f) on irregular accesses",
+			res.IPCImprovement(base), dom.IPCImprovement(base))
+	}
+	if res.IPCImprovement(base) < -0.05 {
+		t.Errorf("ReSemble IPC impact on irregular = %.3f, want > -5%% (mostly NP)", res.IPCImprovement(base))
+	}
+}
+
+func TestEnsembleCoversBothPatternClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// One controller instance must achieve solid coverage on BOTH a
+	// spatial and a temporal workload — the single-prefetcher baselines
+	// provably cannot (Fig 1c).
+	ccfg := core.DefaultConfig()
+	ccfg.Batch = 64
+	spatial, _ := runOn(t, "433.lbm", 30000, core.NewController(ccfg, fourPF()))
+	temporal, _ := runOn(t, "471.omnetpp", 30000, core.NewController(ccfg, fourPF()))
+	if spatial.Coverage < 0.4 {
+		t.Errorf("ensemble coverage on stream = %.3f, want > 0.4", spatial.Coverage)
+	}
+	if temporal.Coverage < 0.4 {
+		t.Errorf("ensemble coverage on pointer chase = %.3f, want > 0.4", temporal.Coverage)
+	}
+}

@@ -1,0 +1,538 @@
+// Package sim implements the trace-driven memory-hierarchy and core
+// timing simulator that stands in for the paper's ChampSim setup
+// (DESIGN.md, Substitutions). It models:
+//
+//   - a three-level data-cache hierarchy (L1D → L2 → LLC) with LRU and
+//     prefetch-bit tracking, scaled from the paper's Table V geometry;
+//   - a trace-driven out-of-order core: instructions dispatch at the
+//     issue width, occupy a finite ROB, and retire in order, so a
+//     long-latency miss exposes stall cycles only past the ROB slack —
+//     exactly the mechanism that makes prefetching improve IPC;
+//   - bounded memory-level parallelism: DRAM requests hold an MSHR slot
+//     and respect a minimum inter-request interval (bandwidth);
+//   - LLC prefetching with in-flight (pending) fills, so late
+//     prefetches hide only part of the miss latency, plus the paper's
+//     Figure 11 knobs: controller inference latency and low/high
+//     throughput modes.
+//
+// The prefetch decision logic is abstracted behind Source; individual
+// prefetchers and the ensemble controllers all plug in through it.
+package sim
+
+import (
+	"fmt"
+
+	"resemble/internal/cache"
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+	"resemble/internal/trace"
+)
+
+// Source decides what to prefetch on every LLC access. Individual
+// prefetchers are adapted via FromPrefetcher; ensemble controllers
+// implement Source directly.
+type Source interface {
+	// Name labels the source in results.
+	Name() string
+	// OnAccess observes one LLC access and returns the cache lines to
+	// prefetch for it (possibly none). The slice is only read before
+	// the next OnAccess call.
+	OnAccess(prefetch.AccessContext) []mem.Line
+	// Reset discards all learned state.
+	Reset()
+}
+
+// Config holds the simulation parameters (scaled from the paper's
+// Table V; see DefaultConfig).
+type Config struct {
+	L1D, L2, LLC cache.Config
+
+	// DRAMLatency is the additional latency of a memory access beyond
+	// the LLC, in cycles.
+	DRAMLatency uint64
+	// DRAMInterval is the minimum number of cycles between DRAM request
+	// issues (per-core bandwidth bound).
+	DRAMInterval uint64
+
+	// IssueWidth is the core's dispatch/retire width.
+	IssueWidth int
+	// ROB is the reorder-buffer capacity in instructions.
+	ROB int
+
+	// MaxDegree bounds the prefetch lines issued per access.
+	MaxDegree int
+
+	// PrefetchLatency is the controller inference latency in cycles
+	// added before a prefetch issues (Figure 11's T).
+	PrefetchLatency uint64
+	// LowThroughput models a non-pipelined controller that performs one
+	// inference per PrefetchLatency cycles: prefetch opportunities that
+	// arrive while the controller is busy are dropped (Figure 11 low
+	// TP). When false, the controller is fully pipelined (high TP).
+	LowThroughput bool
+
+	// WarmupFraction is the fraction of accesses used for warmup;
+	// statistics are collected on the remainder (the paper warms 20M of
+	// 100M instructions).
+	WarmupFraction float64
+}
+
+// DefaultConfig returns the evaluation configuration: the paper's
+// Table V hierarchy scaled by 64× to match the synthetic workloads'
+// footprints (see DESIGN.md), with Table V core parameters.
+func DefaultConfig() Config {
+	return Config{
+		L1D: cache.Config{Name: "L1D", Sets: 8, Ways: 8, Latency: 5, MSHRs: 16},
+		L2:  cache.Config{Name: "L2", Sets: 32, Ways: 8, Latency: 11, MSHRs: 32},
+		LLC: cache.Config{Name: "LLC", Sets: 128, Ways: 16, Latency: 21, MSHRs: 32},
+
+		DRAMLatency:  150,
+		DRAMInterval: 4,
+
+		IssueWidth: 4,
+		ROB:        256,
+
+		MaxDegree: 4,
+
+		WarmupFraction: 0.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, cc := range []cache.Config{c.L1D, c.L2, c.LLC} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("sim: issue width must be positive")
+	}
+	if c.ROB <= 0 {
+		return fmt.Errorf("sim: ROB must be positive")
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("sim: warmup fraction must be in [0,1)")
+	}
+	return nil
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Workload string
+	Source   string
+
+	// Instructions and Cycles cover the measured (post-warmup) region.
+	Instructions uint64
+	Cycles       float64
+	// IPC is Instructions/Cycles.
+	IPC float64
+
+	// LLCAccesses and LLCMisses are demand numbers at the LLC in the
+	// measured region. LLCMisses counts uncovered misses (late prefetch
+	// hits are covered).
+	LLCAccesses uint64
+	LLCMisses   uint64
+	// MPKI is uncovered LLC misses per kilo-instruction.
+	MPKI float64
+
+	// PrefetchesIssued counts prefetch requests sent to memory;
+	// UsefulPrefetches counts prefetched lines demand-referenced before
+	// eviction (including late prefetches hit while in flight);
+	// DroppedPrefetches counts suggestions dropped by the low-throughput
+	// controller model.
+	PrefetchesIssued  uint64
+	UsefulPrefetches  uint64
+	LatePrefetchHits  uint64
+	DroppedPrefetches uint64
+
+	// Accuracy is useful/issued; Coverage is useful/(useful+uncovered
+	// misses) — the paper's "ratio of useful prefetches to the overall
+	// cache misses".
+	Accuracy float64
+	Coverage float64
+
+	// Caches holds the per-level statistics for the measured region.
+	Caches map[string]cache.Stats
+}
+
+// IPCImprovement returns the relative IPC gain of r over base, e.g.
+// 0.25 for a 25% improvement.
+func (r Result) IPCImprovement(base Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return (r.IPC - base.IPC) / base.IPC
+}
+
+// pendingFill is an in-flight prefetch.
+type pendingFill struct {
+	line mem.Line
+	fill float64 // cycle at which the line lands in the LLC
+}
+
+// loadRetire records a load's retire time for the ROB-occupancy model.
+type loadRetire struct {
+	id     uint64  // instruction id
+	retire float64 // cycle the load retires
+}
+
+// Simulator runs traces through the hierarchy and timing model.
+type Simulator struct {
+	cfg Config
+
+	l1d, l2, llc *cache.Cache
+
+	// Timing state.
+	dispatch     float64 // dispatch clock of the most recent load
+	retire       float64 // retire clock of the most recent load
+	lastID       uint64  // instruction id of the most recent load
+	mshr         []float64
+	dramNextFree float64
+	robQ         []loadRetire
+
+	// Prefetch state.
+	pending      []pendingFill        // FIFO by fill time
+	pendingSet   map[mem.Line]float64 // line -> fill time
+	ctrlBusyTill float64              // low-TP controller availability
+
+	// Counters (reset at warmup boundary).
+	instrBase   uint64
+	cyclesBase  float64
+	llcAccesses uint64
+	llcMisses   uint64
+	issued      uint64
+	lateUseful  uint64
+	dropped     uint64
+
+	accessIdx int
+}
+
+// New builds a simulator; it panics on invalid configuration.
+func New(cfg Config) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MaxDegree <= 0 {
+		cfg.MaxDegree = 1
+	}
+	s := &Simulator{cfg: cfg}
+	s.l1d = cache.New(cfg.L1D)
+	s.l2 = cache.New(cfg.L2)
+	s.llc = cache.New(cfg.LLC)
+	s.pendingSet = make(map[mem.Line]float64)
+	s.mshr = make([]float64, 0, cfg.LLC.MSHRs)
+	return s
+}
+
+// Run simulates the trace with the given prefetch source (nil for no
+// prefetching) and returns the measured-region results.
+func Run(cfg Config, tr *trace.Trace, src Source) Result {
+	s := New(cfg)
+	return s.run(tr, src)
+}
+
+// RunBaseline simulates the trace without prefetching.
+func RunBaseline(cfg Config, tr *trace.Trace) Result {
+	return Run(cfg, tr, nil)
+}
+
+func (s *Simulator) run(tr *trace.Trace, src Source) Result {
+	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
+	for i, rec := range tr.Records {
+		if i == warmupEnd {
+			s.resetMeasurement(rec.ID)
+		}
+		s.step(rec, src)
+	}
+	return s.result(tr, src)
+}
+
+// resetMeasurement marks the warmup boundary.
+func (s *Simulator) resetMeasurement(firstID uint64) {
+	s.instrBase = firstID
+	s.cyclesBase = s.retireClock()
+	s.l1d.ResetStats()
+	s.l2.ResetStats()
+	s.llc.ResetStats()
+	s.llcAccesses = 0
+	s.llcMisses = 0
+	s.issued = 0
+	s.lateUseful = 0
+	s.dropped = 0
+}
+
+// retireClock returns the current end-of-execution estimate.
+func (s *Simulator) retireClock() float64 {
+	if s.retire > s.dispatch {
+		return s.retire
+	}
+	return s.dispatch
+}
+
+// step processes one trace record through timing, hierarchy and
+// prefetching.
+func (s *Simulator) step(rec trace.Record, src Source) {
+	w := float64(s.cfg.IssueWidth)
+
+	// Dispatch: advance by the instruction gap, bounded by ROB space.
+	gapInstr := float64(rec.ID - s.lastID)
+	dispatch := s.dispatch + gapInstr/w
+	// ROB constraint: instruction rec.ID dispatches only after
+	// instruction rec.ID-ROB has retired.
+	if rec.ID >= uint64(s.cfg.ROB) {
+		if rt, ok := s.retireTimeOf(rec.ID - uint64(s.cfg.ROB)); ok && rt > dispatch {
+			dispatch = rt
+		}
+	}
+
+	// Commit prefetch fills that have landed by now.
+	s.commitFills(dispatch)
+
+	// Access the hierarchy.
+	lat := s.access(rec, dispatch, src)
+
+	completion := dispatch + lat
+	// In-order retire at the issue width.
+	retire := s.retire + gapInstr/w
+	if completion > retire {
+		retire = completion
+	}
+
+	s.dispatch = dispatch
+	s.retire = retire
+	s.lastID = rec.ID
+	s.robQ = append(s.robQ, loadRetire{id: rec.ID, retire: retire})
+	// Trim entries older than one ROB window behind.
+	for len(s.robQ) > 1 && s.robQ[1].id+uint64(s.cfg.ROB) <= rec.ID {
+		s.robQ = s.robQ[1:]
+	}
+}
+
+// retireTimeOf estimates the retire time of instruction id using the
+// retire times of recorded loads: non-load instructions retire at the
+// issue width after the closest preceding load.
+func (s *Simulator) retireTimeOf(id uint64) (float64, bool) {
+	// Find the last load with id <= target.
+	var best *loadRetire
+	for i := len(s.robQ) - 1; i >= 0; i-- {
+		if s.robQ[i].id <= id {
+			best = &s.robQ[i]
+			break
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.retire + float64(id-best.id)/float64(s.cfg.IssueWidth), true
+}
+
+// access runs one demand access through L1D/L2/LLC/DRAM and returns its
+// load-to-use latency in cycles. It also drives the prefetch source on
+// LLC accesses.
+func (s *Simulator) access(rec trace.Record, now float64, src Source) float64 {
+	line := rec.Line()
+	if hit, _ := s.l1d.Access(line); hit {
+		return float64(s.cfg.L1D.Latency)
+	}
+	if hit, _ := s.l2.Access(line); hit {
+		s.l1d.Insert(line, false)
+		return float64(s.cfg.L2.Latency)
+	}
+
+	// LLC access: this is the stream prefetchers observe.
+	s.accessIdx++
+	s.llcAccesses++
+	hit, firstUse := s.llc.Access(line)
+	var lat float64
+	switch {
+	case hit:
+		lat = float64(s.cfg.LLC.Latency)
+	default:
+		if fill, ok := s.pendingSet[line]; ok {
+			// Late prefetch: the line is in flight; wait for the
+			// remaining latency (at least an LLC hit's worth).
+			s.lateUseful++
+			remaining := fill - now
+			if remaining < float64(s.cfg.LLC.Latency) {
+				remaining = float64(s.cfg.LLC.Latency)
+			}
+			lat = remaining
+			s.removePending(line)
+			s.llc.Insert(line, false)
+		} else {
+			// True miss: go to DRAM under MSHR and bandwidth bounds.
+			s.llcMisses++
+			start := s.dramIssue(now)
+			lat = (start - now) + float64(s.cfg.LLC.Latency) + float64(s.cfg.DRAMLatency)
+			s.llc.Insert(line, false)
+		}
+	}
+	s.l2.Insert(line, false)
+	s.l1d.Insert(line, false)
+
+	if src != nil {
+		ctx := prefetch.AccessContext{
+			Index:       s.accessIdx,
+			ID:          rec.ID,
+			PC:          rec.PC,
+			Addr:        rec.Addr,
+			Line:        line,
+			Hit:         hit,
+			PrefetchHit: firstUse,
+		}
+		s.issuePrefetches(src.OnAccess(ctx), now)
+	}
+	return lat
+}
+
+// dramIssue reserves a DRAM request slot at or after now, honouring
+// MSHR occupancy and the inter-request interval, and returns the issue
+// time.
+func (s *Simulator) dramIssue(now float64) float64 {
+	start := now
+	if start < s.dramNextFree {
+		start = s.dramNextFree
+	}
+	if len(s.mshr) >= s.cfg.LLC.MSHRs {
+		// Wait for the oldest outstanding request (FIFO completion
+		// order holds because latency is constant).
+		oldest := s.mshr[0]
+		s.mshr = s.mshr[1:]
+		if oldest > start {
+			start = oldest
+		}
+	}
+	// Drop completed entries from the front.
+	for len(s.mshr) > 0 && s.mshr[0] <= start {
+		s.mshr = s.mshr[1:]
+	}
+	s.mshr = append(s.mshr, start+float64(s.cfg.DRAMLatency))
+	s.dramNextFree = start + float64(s.cfg.DRAMInterval)
+	return start
+}
+
+// issuePrefetches sends the source's suggestions to memory, modelling
+// inference latency and the low-throughput controller.
+func (s *Simulator) issuePrefetches(lines []mem.Line, now float64) {
+	n := 0
+	for _, line := range lines {
+		if n >= s.cfg.MaxDegree {
+			break
+		}
+		if s.cfg.LowThroughput && s.cfg.PrefetchLatency > 0 {
+			if now < s.ctrlBusyTill {
+				s.dropped++
+				continue
+			}
+			s.ctrlBusyTill = now + float64(s.cfg.PrefetchLatency)
+		}
+		n++
+		if s.llc.Contains(line) {
+			continue
+		}
+		if _, inFlight := s.pendingSet[line]; inFlight {
+			continue
+		}
+		issue := now + float64(s.cfg.PrefetchLatency)
+		start := s.dramIssue(issue)
+		fill := start + float64(s.cfg.DRAMLatency) + float64(s.cfg.LLC.Latency)
+		s.issued++
+		s.pending = append(s.pending, pendingFill{line: line, fill: fill})
+		s.pendingSet[line] = fill
+	}
+}
+
+// commitFills inserts landed prefetches into the LLC.
+func (s *Simulator) commitFills(now float64) {
+	i := 0
+	for ; i < len(s.pending); i++ {
+		p := s.pending[i]
+		if p.fill > now {
+			break
+		}
+		if _, still := s.pendingSet[p.line]; !still {
+			continue // consumed early as a late prefetch hit
+		}
+		delete(s.pendingSet, p.line)
+		s.llc.Insert(p.line, true)
+	}
+	s.pending = s.pending[i:]
+}
+
+func (s *Simulator) removePending(line mem.Line) {
+	delete(s.pendingSet, line)
+	// The slice entry stays; commitFills skips consumed entries.
+}
+
+// result assembles the measured-region metrics.
+func (s *Simulator) result(tr *trace.Trace, src Source) Result {
+	r := Result{
+		Workload: tr.Name,
+		Source:   "none",
+		Caches: map[string]cache.Stats{
+			"L1D": s.l1d.Stats(),
+			"L2":  s.l2.Stats(),
+			"LLC": s.llc.Stats(),
+		},
+	}
+	if src != nil {
+		r.Source = src.Name()
+	}
+	r.Instructions = tr.Instructions() - s.instrBase
+	r.Cycles = s.retireClock() - s.cyclesBase
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instructions) / r.Cycles
+	}
+	r.LLCAccesses = s.llcAccesses
+	r.LLCMisses = s.llcMisses
+	r.PrefetchesIssued = s.issued
+	r.LatePrefetchHits = s.lateUseful
+	r.DroppedPrefetches = s.dropped
+	r.UsefulPrefetches = s.llc.Stats().UsefulPrefetch + s.lateUseful
+	if r.PrefetchesIssued > 0 {
+		r.Accuracy = float64(r.UsefulPrefetches) / float64(r.PrefetchesIssued)
+		// Prefetches issued during warmup but consumed after the reset
+		// can push the ratio over 1; clamp at the boundary.
+		if r.Accuracy > 1 {
+			r.Accuracy = 1
+		}
+	}
+	if tot := r.UsefulPrefetches + r.LLCMisses; tot > 0 {
+		r.Coverage = float64(r.UsefulPrefetches) / float64(tot)
+	}
+	if r.Instructions > 0 {
+		r.MPKI = float64(r.LLCMisses) * 1000 / float64(r.Instructions)
+	}
+	return r
+}
+
+// FromPrefetcher adapts an individual prefetcher to the Source
+// interface, issuing up to degree of its suggestions per access.
+func FromPrefetcher(p prefetch.Prefetcher, degree int) Source {
+	if degree <= 0 {
+		degree = 1
+	}
+	return &prefetcherSource{p: p, degree: degree}
+}
+
+type prefetcherSource struct {
+	p      prefetch.Prefetcher
+	degree int
+	buf    []mem.Line
+}
+
+func (ps *prefetcherSource) Name() string { return ps.p.Name() }
+
+func (ps *prefetcherSource) OnAccess(a prefetch.AccessContext) []mem.Line {
+	ps.buf = ps.buf[:0]
+	for i, sug := range ps.p.Observe(a) {
+		if i >= ps.degree {
+			break
+		}
+		ps.buf = append(ps.buf, sug.Line)
+	}
+	return ps.buf
+}
+
+func (ps *prefetcherSource) Reset() { ps.p.Reset() }

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+
+	"resemble/internal/cache"
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/trace"
+)
+
+// cacheSRRIP returns the SRRIP policy constant (helper keeps the test
+// body readable).
+func cacheSRRIP() cache.Policy { return cache.SRRIP }
+
+// nextLineSource prefetches the next `degree` sequential lines — a
+// near-oracle for streaming traces.
+type nextLineSource struct {
+	degree int
+	buf    []mem.Line
+}
+
+func (n *nextLineSource) Name() string { return "nextline" }
+func (n *nextLineSource) Reset()       {}
+func (n *nextLineSource) OnAccess(a prefetch.AccessContext) []mem.Line {
+	n.buf = n.buf[:0]
+	for d := 1; d <= n.degree; d++ {
+		n.buf = append(n.buf, a.Line+mem.Line(d))
+	}
+	return n.buf
+}
+
+// garbageSource prefetches lines nothing will ever touch.
+type garbageSource struct{ buf []mem.Line }
+
+func (g *garbageSource) Name() string { return "garbage" }
+func (g *garbageSource) Reset()       {}
+func (g *garbageSource) OnAccess(a prefetch.AccessContext) []mem.Line {
+	g.buf = g.buf[:0]
+	g.buf = append(g.buf, a.Line+1<<40)
+	return g.buf
+}
+
+func streamTrace(n int) *trace.Trace {
+	return trace.StreamGen{Regions: 4, RegionLines: 4096, PCs: 2}.Generate(n, 42)
+}
+
+func TestBaselineStreamHasMisses(t *testing.T) {
+	r := RunBaseline(DefaultConfig(), streamTrace(20000))
+	if r.IPC <= 0 {
+		t.Fatalf("IPC = %v, want > 0", r.IPC)
+	}
+	if r.LLCMisses == 0 {
+		t.Fatal("streaming trace should miss in the LLC")
+	}
+	if r.PrefetchesIssued != 0 || r.Accuracy != 0 {
+		t.Errorf("baseline should not prefetch: %+v", r)
+	}
+	if r.Instructions == 0 || r.Cycles <= 0 {
+		t.Errorf("empty measured region: %+v", r)
+	}
+}
+
+func TestNextLinePrefetchingImprovesStream(t *testing.T) {
+	tr := streamTrace(20000)
+	cfg := DefaultConfig()
+	base := RunBaseline(cfg, tr)
+	pf := Run(cfg, tr, &nextLineSource{degree: 2})
+	if pf.IPC <= base.IPC {
+		t.Fatalf("next-line prefetching did not help: base %.3f vs pf %.3f", base.IPC, pf.IPC)
+	}
+	if pf.Accuracy < 0.8 {
+		t.Errorf("next-line accuracy on stream = %.3f, want > 0.8", pf.Accuracy)
+	}
+	if pf.Coverage < 0.5 {
+		t.Errorf("next-line coverage on stream = %.3f, want > 0.5", pf.Coverage)
+	}
+	if imp := pf.IPCImprovement(base); imp <= 0 {
+		t.Errorf("IPCImprovement = %v, want > 0", imp)
+	}
+}
+
+func TestGarbagePrefetchingUselessAndHarmless(t *testing.T) {
+	tr := streamTrace(10000)
+	cfg := DefaultConfig()
+	base := RunBaseline(cfg, tr)
+	pf := Run(cfg, tr, &garbageSource{})
+	if pf.UsefulPrefetches != 0 {
+		t.Errorf("garbage prefetches counted useful: %d", pf.UsefulPrefetches)
+	}
+	if pf.Accuracy != 0 {
+		t.Errorf("accuracy = %v, want 0", pf.Accuracy)
+	}
+	// Garbage prefetching pollutes and consumes bandwidth: IPC must not
+	// improve.
+	if pf.IPC > base.IPC*1.01 {
+		t.Errorf("garbage prefetching improved IPC: %.3f vs %.3f", pf.IPC, base.IPC)
+	}
+}
+
+func TestMetricInvariants(t *testing.T) {
+	for _, name := range []string{"433.milc", "471.omnetpp", "gap.bfs", "hybrid.random"} {
+		tr := trace.MustLookup(name).Generate(8000)
+		r := Run(DefaultConfig(), tr, &nextLineSource{degree: 1})
+		if r.UsefulPrefetches > r.PrefetchesIssued {
+			t.Errorf("%s: useful %d > issued %d", name, r.UsefulPrefetches, r.PrefetchesIssued)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Errorf("%s: accuracy %v out of range", name, r.Accuracy)
+		}
+		if r.Coverage < 0 || r.Coverage > 1 {
+			t.Errorf("%s: coverage %v out of range", name, r.Coverage)
+		}
+		if r.IPC <= 0 || r.IPC > float64(DefaultConfig().IssueWidth) {
+			t.Errorf("%s: IPC %v out of range (width %d)", name, r.IPC, DefaultConfig().IssueWidth)
+		}
+	}
+}
+
+func TestPrefetchLatencyHurts(t *testing.T) {
+	tr := streamTrace(20000)
+	cfg := DefaultConfig()
+	fast := Run(cfg, tr, &nextLineSource{degree: 2})
+	cfg.PrefetchLatency = 200 // absurdly slow controller
+	slow := Run(cfg, tr, &nextLineSource{degree: 2})
+	if slow.IPC > fast.IPC {
+		t.Errorf("huge prefetch latency improved IPC: %.3f vs %.3f", slow.IPC, fast.IPC)
+	}
+	if slow.LatePrefetchHits == 0 {
+		t.Error("expected late prefetch hits with 200-cycle inference latency")
+	}
+}
+
+func TestLowThroughputDropsPrefetches(t *testing.T) {
+	tr := streamTrace(20000)
+	cfg := DefaultConfig()
+	cfg.PrefetchLatency = 20
+	cfg.LowThroughput = true
+	r := Run(cfg, tr, &nextLineSource{degree: 2})
+	if r.DroppedPrefetches == 0 {
+		t.Error("low-TP controller at 20-cycle latency should drop prefetches")
+	}
+	cfg.LowThroughput = false
+	hi := Run(cfg, tr, &nextLineSource{degree: 2})
+	if hi.DroppedPrefetches != 0 {
+		t.Errorf("high-TP controller dropped %d prefetches", hi.DroppedPrefetches)
+	}
+	if hi.Coverage < r.Coverage {
+		t.Errorf("high TP coverage %.3f < low TP %.3f", hi.Coverage, r.Coverage)
+	}
+}
+
+func TestFromPrefetcherRespectsDegree(t *testing.T) {
+	p := bo.New(bo.Config{})
+	src := FromPrefetcher(p, 1)
+	if src.Name() != "bo" {
+		t.Errorf("adapter name = %q", src.Name())
+	}
+	tr := streamTrace(5000)
+	r := Run(DefaultConfig(), tr, src)
+	if r.PrefetchesIssued == 0 {
+		t.Error("BO issued no prefetches on a stream")
+	}
+	// Degree 1 means at most one prefetch per LLC access.
+	if r.PrefetchesIssued > r.LLCAccesses {
+		t.Errorf("issued %d > LLC accesses %d at degree 1", r.PrefetchesIssued, r.LLCAccesses)
+	}
+}
+
+func TestMaxDegreeCapsIssues(t *testing.T) {
+	tr := streamTrace(10000)
+	cfg := DefaultConfig()
+	cfg.MaxDegree = 1
+	one := Run(cfg, tr, &nextLineSource{degree: 4})
+	cfg.MaxDegree = 4
+	four := Run(cfg, tr, &nextLineSource{degree: 4})
+	if one.PrefetchesIssued >= four.PrefetchesIssued {
+		t.Errorf("degree cap not effective: %d vs %d", one.PrefetchesIssued, four.PrefetchesIssued)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.IssueWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero issue width accepted")
+	}
+	bad = cfg
+	bad.WarmupFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("warmup fraction 1.5 accepted")
+	}
+	bad = cfg
+	bad.LLC.Sets = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+}
+
+func TestTemporalWorkloadBaselineSane(t *testing.T) {
+	// Pointer chasing has a big footprint: LLC misses must persist.
+	tr := trace.MustLookup("471.omnetpp").Generate(20000)
+	r := RunBaseline(DefaultConfig(), tr)
+	if r.LLCMisses == 0 {
+		t.Fatal("pointer-chase workload should miss the LLC")
+	}
+	if r.MPKI <= 0 {
+		t.Errorf("MPKI = %v, want > 0", r.MPKI)
+	}
+}
+
+func TestSRRIPHierarchyRuns(t *testing.T) {
+	// The simulator must work with either replacement policy; SRRIP
+	// changes victim choice, not correctness.
+	tr := streamTrace(10000)
+	cfg := DefaultConfig()
+	cfg.LLC.Policy = cacheSRRIP()
+	r := Run(cfg, tr, &nextLineSource{degree: 2})
+	if r.IPC <= 0 || r.IPC > float64(cfg.IssueWidth) {
+		t.Errorf("IPC %v out of range under SRRIP", r.IPC)
+	}
+	if r.UsefulPrefetches == 0 {
+		t.Error("no useful prefetches under SRRIP")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	tr := streamTrace(10000)
+	cfg := DefaultConfig()
+	cfg.WarmupFraction = 0.5
+	half := RunBaseline(cfg, tr)
+	cfg.WarmupFraction = 0
+	full := RunBaseline(cfg, tr)
+	// The measured instruction count must shrink with warmup.
+	if half.Instructions >= full.Instructions {
+		t.Errorf("warmup did not reduce measured instructions: %d vs %d",
+			half.Instructions, full.Instructions)
+	}
+	if half.LLCAccesses >= full.LLCAccesses {
+		t.Errorf("warmup did not reduce measured accesses: %d vs %d",
+			half.LLCAccesses, full.LLCAccesses)
+	}
+}
+
+func TestMSHRBoundSlowsBurst(t *testing.T) {
+	// Fewer MSHRs = less memory-level parallelism = lower IPC on a
+	// miss-heavy stream.
+	tr := trace.MustLookup("471.omnetpp").Generate(15000)
+	wide := DefaultConfig()
+	wide.LLC.MSHRs = 32
+	narrow := DefaultConfig()
+	narrow.LLC.MSHRs = 1
+	w := RunBaseline(wide, tr)
+	n := RunBaseline(narrow, tr)
+	if n.IPC >= w.IPC {
+		t.Errorf("1 MSHR (%.3f IPC) should not beat 32 MSHRs (%.3f IPC)", n.IPC, w.IPC)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := streamTrace(8000)
+	a := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
+	b := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
+	if a.IPC != b.IPC || a.PrefetchesIssued != b.PrefetchesIssued || a.UsefulPrefetches != b.UsefulPrefetches {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,285 @@
+// Package simpoint implements a SimPoint-style trace sampler (Hamerly
+// et al., "SimPoint 3.0"), the methodology the paper uses to reduce its
+// SPEC traces ("We use SimPoint to generate the memory miss traces").
+// A long trace is split into fixed-size intervals, each interval is
+// summarized by a feature vector (its distribution of hashed line
+// deltas — the memory-behaviour analogue of SimPoint's basic-block
+// vectors), the vectors are clustered with k-means, and the interval
+// closest to each centroid becomes that cluster's representative
+// simulation point with a weight proportional to the cluster size.
+//
+// Simulating only the representatives and combining their metrics by
+// weight approximates full-trace simulation at a fraction of the cost.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resemble/internal/mem"
+	"resemble/internal/trace"
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	// IntervalLen is the number of accesses per interval.
+	IntervalLen int
+	// K is the number of clusters (simulation points).
+	K int
+	// FeatureBits sets the delta-histogram dimensionality to
+	// 2^FeatureBits buckets.
+	FeatureBits uint
+	// MaxIters bounds the k-means iterations.
+	MaxIters int
+	// Seed drives the k-means initialization.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.IntervalLen == 0 {
+		c.IntervalLen = 2000
+	}
+	if c.K == 0 {
+		c.K = 6
+	}
+	if c.FeatureBits == 0 {
+		c.FeatureBits = 6
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Point is one chosen simulation point.
+type Point struct {
+	// Interval is the index of the representative interval.
+	Interval int
+	// Start and End delimit the representative's records in the source
+	// trace: [Start, End).
+	Start, End int
+	// Weight is the fraction of intervals its cluster covers.
+	Weight float64
+}
+
+// Result is the sampling outcome.
+type Result struct {
+	Points []Point
+	// Intervals is the number of intervals the trace was split into.
+	Intervals int
+}
+
+// Sample selects simulation points for the trace.
+func Sample(cfg Config, tr *trace.Trace) (Result, error) {
+	cfg.setDefaults()
+	n := tr.Len() / cfg.IntervalLen
+	if n < 1 {
+		return Result{}, fmt.Errorf("simpoint: trace has %d accesses, need at least one %d-access interval",
+			tr.Len(), cfg.IntervalLen)
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+
+	// Feature extraction: per-interval normalized histogram of hashed
+	// line deltas.
+	dim := 1 << cfg.FeatureBits
+	features := make([][]float64, n)
+	for i := range features {
+		f := make([]float64, dim)
+		lo, hi := i*cfg.IntervalLen, (i+1)*cfg.IntervalLen
+		for j := lo + 1; j < hi; j++ {
+			d := int64(tr.Records[j].Line()) - int64(tr.Records[j-1].Line())
+			f[mem.FoldHashSigned(d, cfg.FeatureBits)]++
+		}
+		normalize(f)
+		features[i] = f
+	}
+
+	assign := kmeans(rand.New(rand.NewSource(cfg.Seed)), features, k, cfg.MaxIters)
+
+	// Representative per cluster: the interval nearest its centroid.
+	centroids := centroidsOf(features, assign, k, dim)
+	counts := make([]int, k)
+	best := make([]int, k)
+	bestD := make([]float64, k)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, c := range assign {
+		counts[c]++
+		if d := dist2(features[i], centroids[c]); d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+
+	res := Result{Intervals: n}
+	for c := 0; c < k; c++ {
+		if best[c] < 0 {
+			continue // empty cluster
+		}
+		res.Points = append(res.Points, Point{
+			Interval: best[c],
+			Start:    best[c] * cfg.IntervalLen,
+			End:      (best[c] + 1) * cfg.IntervalLen,
+			Weight:   float64(counts[c]) / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Slice extracts a point's records as a standalone trace.
+func (p Point) Slice(tr *trace.Trace) *trace.Trace {
+	return tr.Slice(p.Start, p.End)
+}
+
+// SliceWithWarmup extracts the point's records preceded by up to one
+// interval of warmup context, returning the sub-trace and the fraction
+// of it that is warmup. Simulating a point cold overstates its miss
+// rate (the cache starts empty mid-trace); passing the returned
+// fraction as the simulator's WarmupFraction measures only the sample
+// itself — SimPoint's standard warmup treatment.
+func (p Point) SliceWithWarmup(tr *trace.Trace) (*trace.Trace, float64) {
+	warmLen := p.End - p.Start // one interval of context
+	start := p.Start - warmLen
+	if start < 0 {
+		start = 0
+	}
+	s := tr.Slice(start, p.End)
+	if s.Len() == 0 {
+		return s, 0
+	}
+	return s, float64(p.Start-start) / float64(s.Len())
+}
+
+// WeightedMetric combines per-point measurements into a full-trace
+// estimate: sum_i w_i · v_i (weights renormalized defensively).
+func WeightedMetric(points []Point, values []float64) float64 {
+	if len(points) != len(values) || len(points) == 0 {
+		return 0
+	}
+	var sum, wsum float64
+	for i, p := range points {
+		sum += p.Weight * values[i]
+		wsum += p.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		x := a[i] - b[i]
+		d += x * x
+	}
+	return d
+}
+
+// kmeans clusters features into k groups (k-means++ init, Lloyd
+// iterations) and returns the assignment.
+func kmeans(rng *rand.Rand, features [][]float64, k, maxIters int) []int {
+	n := len(features)
+	dim := len(features[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), features[first]...))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist2(features[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, d := range minD {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), features[pick]...)
+		centroids = append(centroids, c)
+		for i := range minD {
+			if d := dist2(features[i], c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, f := range features {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(f, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		centroids = centroidsOf(features, assign, k, dim)
+	}
+	return assign
+}
+
+// centroidsOf recomputes cluster means; empty clusters keep a zero
+// vector (their representative search skips them).
+func centroidsOf(features [][]float64, assign []int, k, dim int) [][]float64 {
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range centroids {
+		centroids[c] = make([]float64, dim)
+	}
+	for i, c := range assign {
+		counts[c]++
+		for j, v := range features[i] {
+			centroids[c][j] += v
+		}
+	}
+	for c := range centroids {
+		if counts[c] > 0 {
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return centroids
+}

@@ -1,0 +1,139 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+func TestSampleBasics(t *testing.T) {
+	tr := trace.MustLookup("602.gcc").Generate(40000)
+	res, err := Sample(Config{IntervalLen: 2000, K: 5}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals != 20 {
+		t.Errorf("intervals = %d, want 20", res.Intervals)
+	}
+	if len(res.Points) == 0 || len(res.Points) > 5 {
+		t.Fatalf("points = %d, want 1..5", len(res.Points))
+	}
+	var wsum float64
+	seen := map[int]bool{}
+	for _, p := range res.Points {
+		if p.Start != p.Interval*2000 || p.End != p.Start+2000 {
+			t.Errorf("point bounds wrong: %+v", p)
+		}
+		if p.Weight <= 0 || p.Weight > 1 {
+			t.Errorf("weight %v out of range", p.Weight)
+		}
+		if seen[p.Interval] {
+			t.Errorf("interval %d selected twice", p.Interval)
+		}
+		seen[p.Interval] = true
+		wsum += p.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", wsum)
+	}
+}
+
+func TestSampleTooShort(t *testing.T) {
+	tr := trace.MustLookup("433.lbm").Generate(100)
+	if _, err := Sample(Config{IntervalLen: 2000}, tr); err == nil {
+		t.Error("short trace accepted")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	tr := trace.MustLookup("hybrid.phases").Generate(30000)
+	a, err := Sample(Config{K: 4}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Sample(Config{K: 4}, tr)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestPhasesSeparateIntoClusters(t *testing.T) {
+	// A phase workload alternates pattern classes; distinct phases must
+	// land in distinct clusters, i.e. the representatives must span
+	// more than one interval region.
+	tr := trace.MustLookup("hybrid.phases").Generate(48000)
+	res, err := Sample(Config{IntervalLen: 2000, K: 4}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("phase workload collapsed to %d cluster(s)", len(res.Points))
+	}
+}
+
+func TestWeightedMetricApproximatesFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	// The SimPoint promise: simulating only the representatives and
+	// weighting their metrics approximates the full-trace result.
+	tr := trace.MustLookup("602.gcc").Generate(60000)
+	cfg := sim.DefaultConfig()
+	cfg.WarmupFraction = 0
+	full := sim.RunBaseline(cfg, tr)
+
+	res, err := Sample(Config{IntervalLen: 3000, K: 6}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ipcs []float64
+	for _, p := range res.Points {
+		sub, warm := p.SliceWithWarmup(tr)
+		pcfg := cfg
+		pcfg.WarmupFraction = warm
+		r := sim.RunBaseline(pcfg, sub)
+		ipcs = append(ipcs, r.IPC)
+	}
+	est := WeightedMetric(res.Points, ipcs)
+	relErr := math.Abs(est-full.IPC) / full.IPC
+	if relErr > 0.20 {
+		t.Errorf("weighted IPC %.3f vs full %.3f (rel err %.1f%%), want <= 20%%",
+			est, full.IPC, 100*relErr)
+	}
+}
+
+func TestWeightedMetricEdgeCases(t *testing.T) {
+	if WeightedMetric(nil, nil) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+	pts := []Point{{Weight: 0.25}, {Weight: 0.75}}
+	if got := WeightedMetric(pts, []float64{4, 8}); math.Abs(got-7) > 1e-12 {
+		t.Errorf("weighted = %v, want 7", got)
+	}
+	if WeightedMetric(pts, []float64{1}) != 0 {
+		t.Error("length mismatch should yield 0")
+	}
+}
+
+func TestSliceExtractsPoint(t *testing.T) {
+	tr := trace.MustLookup("433.milc").Generate(10000)
+	res, err := Sample(Config{IntervalLen: 1000, K: 3}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	s := p.Slice(tr)
+	if s.Len() != 1000 {
+		t.Errorf("slice length %d, want 1000", s.Len())
+	}
+	if s.Records[0] != tr.Records[p.Start] {
+		t.Error("slice does not start at the point's boundary")
+	}
+}

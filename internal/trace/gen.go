@@ -1,0 +1,447 @@
+package trace
+
+import (
+	"math/rand"
+
+	"resemble/internal/mem"
+)
+
+// A Generator produces a deterministic synthetic trace of n accesses
+// from a seed. Generators stand in for the paper's SimPoint-sampled
+// SPEC/GAP LLC miss traces; each models one of the access-pattern
+// classes the paper's motivation section analyzes (Figure 1).
+type Generator interface {
+	// Name identifies the pattern class.
+	Name() string
+	// Generate produces n access records deterministically from seed.
+	Generate(n int, seed int64) *Trace
+}
+
+// gapIn draws a compute gap (non-memory instructions between accesses)
+// in [lo, hi].
+func gapIn(rng *rand.Rand, lo, hi int) uint32 {
+	if hi <= lo {
+		return uint32(lo)
+	}
+	return uint32(lo + rng.Intn(hi-lo+1))
+}
+
+// StreamGen emits a sequential streaming pattern: consecutive cache
+// lines within large regions, moving to a fresh region occasionally.
+// This is the strongest spatial pattern (433.lbm-like); BO and SPP
+// cover it almost completely.
+type StreamGen struct {
+	// Regions is the number of distinct base regions cycled through.
+	Regions int
+	// RegionLines is how many consecutive lines are streamed per region
+	// before jumping to the next region.
+	RegionLines int
+	// PCs is the number of distinct load PCs attributed to the stream.
+	PCs int
+}
+
+// Name implements Generator.
+func (g StreamGen) Name() string { return "stream" }
+
+// Generate implements Generator.
+func (g StreamGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	regions := max(1, g.Regions)
+	regionLines := max(8, g.RegionLines)
+	npcs := max(1, g.PCs)
+	bases := make([]uint64, regions)
+	for i := range bases {
+		bases[i] = (0x10_0000_0000 + uint64(rng.Intn(1<<20))*mem.PageSize*8) &^ (mem.LineSize - 1)
+	}
+	pcs := makePCs(rng, npcs, 0x400000)
+	t := &Trace{Name: "stream"}
+	region, off := 0, 0
+	for i := 0; i < n; i++ {
+		addr := bases[region] + uint64(off)*mem.LineSize
+		t.Append(pcs[i%npcs], addr, gapIn(rng, 24, 56))
+		off++
+		if off >= regionLines {
+			off = 0
+			region = (region + 1) % regions
+			// Drift the region base so revisits are not exact replays.
+			bases[region] += uint64(regionLines) * mem.LineSize
+		}
+	}
+	return t
+}
+
+// StrideGen interleaves several independent strided streams, each with
+// its own PC and stride (433.milc-like). Autocorrelation shows strong
+// spikes at the interleave period; per-PC grouping collapses each
+// stream to a perfect stride.
+type StrideGen struct {
+	// Strides lists the per-stream stride in cache lines.
+	Strides []int
+	// StreamLen is how many accesses each stream performs before its
+	// base is re-randomized (models loop restarts).
+	StreamLen int
+}
+
+// Name implements Generator.
+func (g StrideGen) Name() string { return "multistride" }
+
+// Generate implements Generator.
+func (g StrideGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	strides := g.Strides
+	if len(strides) == 0 {
+		strides = []int{1, 2, 4, 8}
+	}
+	streamLen := max(64, g.StreamLen)
+	k := len(strides)
+	bases := make([]uint64, k)
+	count := make([]int, k)
+	for i := range bases {
+		bases[i] = (0x20_0000_0000 + uint64(i)<<32 + uint64(rng.Intn(1<<16))*mem.PageSize) &^ (mem.LineSize - 1)
+	}
+	pcs := makePCs(rng, k, 0x401000)
+	t := &Trace{Name: "multistride"}
+	for i := 0; i < n; i++ {
+		s := i % k
+		addr := bases[s] + uint64(count[s]*strides[s])*mem.LineSize
+		t.Append(pcs[s], addr, gapIn(rng, 16, 48))
+		count[s]++
+		if count[s] >= streamLen {
+			count[s] = 0
+			bases[s] = (0x20_0000_0000 + uint64(s)<<32 + uint64(rng.Intn(1<<16))*mem.PageSize) &^ (mem.LineSize - 1)
+		}
+	}
+	return t
+}
+
+// DeltaPatternGen replays a repeating signature of line deltas across a
+// long region, crossing page boundaries (621.wrf-like, SPP-friendly).
+// The long signature period produces the slow autocorrelation decay the
+// paper observes for 621.wrf.
+type DeltaPatternGen struct {
+	// Deltas is the repeating line-delta signature.
+	Deltas []int
+	// PCs is the number of load PCs rotated through.
+	PCs int
+	// RestartEvery re-bases the walk after this many accesses.
+	RestartEvery int
+}
+
+// Name implements Generator.
+func (g DeltaPatternGen) Name() string { return "deltapattern" }
+
+// Generate implements Generator.
+func (g DeltaPatternGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	deltas := g.Deltas
+	if len(deltas) == 0 {
+		deltas = []int{1, 3, 1, 5, 2, 1, 9, 1, 1, 4, 1, 7}
+	}
+	npcs := max(1, g.PCs)
+	restart := g.RestartEvery
+	if restart <= 0 {
+		restart = 4096
+	}
+	pcs := makePCs(rng, npcs, 0x402000)
+	base := uint64(0x30_0000_0000)
+	line := base >> mem.BlockBits
+	t := &Trace{Name: "deltapattern"}
+	for i := 0; i < n; i++ {
+		addr := line << mem.BlockBits
+		t.Append(pcs[i%npcs], addr, gapIn(rng, 32, 72))
+		line += uint64(deltas[i%len(deltas)])
+		if (i+1)%restart == 0 {
+			line = (base + uint64(rng.Intn(1<<18))*mem.PageSize) >> mem.BlockBits
+		}
+	}
+	return t
+}
+
+// TemporalLoopGen replays a fixed pseudo-random global sequence of
+// addresses over and over with occasional perturbation (mcf-like).
+// There is no spatial structure, but the global sequence repeats, which
+// is exactly what global temporal prefetchers (Domino, STMS) exploit.
+type TemporalLoopGen struct {
+	// SeqLen is the length of the repeated address sequence.
+	SeqLen int
+	// PerturbProb is the probability an access is replaced by a random
+	// address (injects compulsory misses).
+	PerturbProb float64
+	// PCs is the number of load PCs rotated through the sequence.
+	PCs int
+}
+
+// Name implements Generator.
+func (g TemporalLoopGen) Name() string { return "temporalloop" }
+
+// Generate implements Generator.
+func (g TemporalLoopGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	seqLen := max(16, g.SeqLen)
+	npcs := max(1, g.PCs)
+	seq := make([]uint64, seqLen)
+	for i := range seq {
+		seq[i] = (0x40_0000_0000 + uint64(rng.Intn(1<<24))*mem.LineSize) &^ (mem.LineSize - 1)
+	}
+	pcs := makePCs(rng, npcs, 0x403000)
+	t := &Trace{Name: "temporalloop"}
+	for i := 0; i < n; i++ {
+		addr := seq[i%seqLen]
+		if g.PerturbProb > 0 && rng.Float64() < g.PerturbProb {
+			addr = (0x48_0000_0000 + uint64(rng.Intn(1<<24))*mem.LineSize) &^ (mem.LineSize - 1)
+		}
+		t.Append(pcs[i%npcs], addr, gapIn(rng, 24, 64))
+	}
+	return t
+}
+
+// PointerChaseGen models PC-localized pointer chasing (471.omnetpp and
+// 623.xalancbmk-like): each load PC repeatedly traverses its own
+// randomized cyclic chain of heap addresses. Globally the trace looks
+// unpredictable (weak autocorrelation), but grouped by PC each stream
+// is perfectly periodic — the regime where ISB wins.
+type PointerChaseGen struct {
+	// Chains is the number of independent per-PC chains.
+	Chains int
+	// ChainLen is the number of nodes in each chain.
+	ChainLen int
+	// SwitchEvery controls how many consecutive steps one chain takes
+	// before the generator switches to another chain.
+	SwitchEvery int
+	// PerturbProb replaces a step with a random address.
+	PerturbProb float64
+}
+
+// Name implements Generator.
+func (g PointerChaseGen) Name() string { return "pointerchase" }
+
+// Generate implements Generator.
+func (g PointerChaseGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	chains := max(1, g.Chains)
+	chainLen := max(8, g.ChainLen)
+	switchEvery := max(1, g.SwitchEvery)
+	nodes := make([][]uint64, chains)
+	pos := make([]int, chains)
+	for c := range nodes {
+		nodes[c] = make([]uint64, chainLen)
+		for i := range nodes[c] {
+			// Scatter nodes across a wide heap so there is no spatial help.
+			nodes[c][i] = (0x50_0000_0000 + uint64(c)<<34 + uint64(rng.Intn(1<<24))*mem.LineSize) &^ (mem.LineSize - 1)
+		}
+	}
+	pcs := makePCs(rng, chains, 0x404000)
+	t := &Trace{Name: "pointerchase"}
+	cur := 0
+	for i := 0; i < n; i++ {
+		if i%switchEvery == 0 {
+			cur = rng.Intn(chains)
+		}
+		addr := nodes[cur][pos[cur]]
+		if g.PerturbProb > 0 && rng.Float64() < g.PerturbProb {
+			addr = (0x58_0000_0000 + uint64(rng.Intn(1<<24))*mem.LineSize) &^ (mem.LineSize - 1)
+		}
+		t.Append(pcs[cur], addr, gapIn(rng, 40, 96))
+		pos[cur] = (pos[cur] + 1) % chainLen
+	}
+	return t
+}
+
+// MarkovGen walks a sparse first-order Markov chain over a fixed set of
+// line addresses: each node has a few likely successors with skewed
+// probabilities. This models control-flow-dependent heap traversal
+// (between pointer chasing and random): temporal prefetchers capture
+// the high-probability edges, nothing captures the tail.
+type MarkovGen struct {
+	// Nodes is the number of distinct lines in the chain.
+	Nodes int
+	// Fanout is the number of successors per node.
+	Fanout int
+	// Skew is the probability of taking a node's first successor; the
+	// remainder is split evenly across the others.
+	Skew float64
+	// PCs is the number of load PCs rotated through.
+	PCs int
+}
+
+// Name implements Generator.
+func (g MarkovGen) Name() string { return "markov" }
+
+// Generate implements Generator.
+func (g MarkovGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := max(16, g.Nodes)
+	fanout := max(2, g.Fanout)
+	skew := g.Skew
+	if skew <= 0 || skew >= 1 {
+		skew = 0.7
+	}
+	addrs := make([]uint64, nodes)
+	succ := make([][]int, nodes)
+	for i := range addrs {
+		addrs[i] = (0x68_0000_0000 + uint64(rng.Intn(1<<24))*mem.LineSize) &^ (mem.LineSize - 1)
+		succ[i] = make([]int, fanout)
+		for j := range succ[i] {
+			succ[i][j] = rng.Intn(nodes)
+		}
+	}
+	pcs := makePCs(rng, max(1, g.PCs), 0x406000)
+	t := &Trace{Name: "markov"}
+	cur := 0
+	for i := 0; i < n; i++ {
+		t.Append(pcs[i%len(pcs)], addrs[cur], gapIn(rng, 24, 64))
+		if rng.Float64() < skew {
+			cur = succ[cur][0]
+		} else {
+			cur = succ[cur][1+rng.Intn(fanout-1)]
+		}
+	}
+	return t
+}
+
+// RandomGen emits uniformly random line addresses — the adversarial
+// floor where no prefetcher should earn reward and the controller
+// should learn to select NP (no prefetch).
+type RandomGen struct {
+	// Lines bounds the random line space.
+	Lines int
+	// PCs is the number of load PCs.
+	PCs int
+}
+
+// Name implements Generator.
+func (g RandomGen) Name() string { return "random" }
+
+// Generate implements Generator.
+func (g RandomGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	lines := max(1024, g.Lines)
+	npcs := max(1, g.PCs)
+	pcs := makePCs(rng, npcs, 0x405000)
+	t := &Trace{Name: "random"}
+	for i := 0; i < n; i++ {
+		addr := (0x60_0000_0000 + uint64(rng.Intn(lines))*mem.LineSize)
+		t.Append(pcs[rng.Intn(npcs)], addr, gapIn(rng, 24, 64))
+	}
+	return t
+}
+
+// PhaseGen concatenates phases drawn from sub-generators, modelling the
+// hybrid applications that motivate ensemble prefetching: different
+// phases favour different prefetchers, so a static choice loses.
+type PhaseGen struct {
+	// Subs are the phase generators cycled through.
+	Subs []Generator
+	// PhaseLen is the number of accesses per phase.
+	PhaseLen int
+	// TraceName overrides the emitted trace name.
+	TraceName string
+}
+
+// Name implements Generator.
+func (g PhaseGen) Name() string {
+	if g.TraceName != "" {
+		return g.TraceName
+	}
+	return "phases"
+}
+
+// Generate implements Generator.
+func (g PhaseGen) Generate(n int, seed int64) *Trace {
+	phaseLen := max(1, g.PhaseLen)
+	t := &Trace{Name: g.Name()}
+	if len(g.Subs) == 0 {
+		return t
+	}
+	// Each sub-generator produces one continuous stream up front; phase
+	// visits consume consecutive chunks of it. A revisited phase thus
+	// CONTINUES its pattern (a streaming phase touches fresh lines, a
+	// pointer-chase phase keeps cycling its chains) instead of replaying
+	// the identical address sequence — which would turn every phase into
+	// a temporal loop and defeat the hybrid-workload motivation.
+	k := len(g.Subs)
+	perSub := (n/k + phaseLen) // upper bound on each sub's consumption
+	streams := make([]*Trace, k)
+	used := make([]int, k)
+	for i, sub := range g.Subs {
+		streams[i] = sub.Generate(perSub+phaseLen, seed+int64(i)*7919)
+	}
+	phase := 0
+	for len(t.Records) < n {
+		want := min(phaseLen, n-len(t.Records))
+		si := phase % k
+		s := streams[si]
+		for j := 0; j < want && used[si] < len(s.Records); j++ {
+			r := s.Records[used[si]]
+			used[si]++
+			t.Append(r.PC, r.Addr, r.Gap)
+		}
+		phase++
+	}
+	if len(t.Records) > n {
+		t.Records = t.Records[:n]
+	}
+	return t
+}
+
+// InterleaveGen interleaves accesses from sub-generators record by
+// record (round-robin), modelling simultaneously active access streams.
+type InterleaveGen struct {
+	Subs      []Generator
+	TraceName string
+}
+
+// Name implements Generator.
+func (g InterleaveGen) Name() string {
+	if g.TraceName != "" {
+		return g.TraceName
+	}
+	return "interleave"
+}
+
+// Generate implements Generator.
+func (g InterleaveGen) Generate(n int, seed int64) *Trace {
+	t := &Trace{Name: g.Name()}
+	if len(g.Subs) == 0 {
+		return t
+	}
+	k := len(g.Subs)
+	per := (n + k - 1) / k
+	parts := make([]*Trace, k)
+	for i, sub := range g.Subs {
+		parts[i] = sub.Generate(per, seed+int64(i)*104729)
+	}
+	for i := 0; len(t.Records) < n; i++ {
+		p := parts[i%k]
+		j := i / k
+		if j >= len(p.Records) {
+			break
+		}
+		r := p.Records[j]
+		t.Append(r.PC, r.Addr, r.Gap)
+	}
+	return t
+}
+
+// makePCs fabricates npcs distinct program counters near base.
+func makePCs(rng *rand.Rand, npcs int, base uint64) []uint64 {
+	pcs := make([]uint64, npcs)
+	for i := range pcs {
+		pcs[i] = base + uint64(i)*4 + uint64(rng.Intn(4))*0x1000
+	}
+	return pcs
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

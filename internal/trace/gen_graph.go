@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"math/rand"
+
+	"resemble/internal/mem"
+)
+
+// Graph workload generators standing in for the GAP benchmark suite.
+// A synthetic power-law graph is laid out in CSR form (offset array +
+// neighbor array + per-vertex property array) and the generators emit
+// the memory accesses a real kernel would issue: sequential scans of
+// the CSR arrays mixed with data-dependent irregular property reads.
+// This reproduces GAP's hallmark profile: partially streamable, largely
+// irregular — the suite where the paper reports the lowest rewards
+// (Table VI).
+
+// csrGraph is a synthetic compressed-sparse-row graph.
+type csrGraph struct {
+	offsets []uint32 // len = V+1
+	neigh   []uint32 // len = E
+	// Base addresses of the three arrays.
+	offBase, neighBase, propBase uint64
+}
+
+// buildGraph constructs a power-law-ish graph with v vertices and
+// average degree deg, deterministically from rng.
+func buildGraph(rng *rand.Rand, v, deg int) *csrGraph {
+	g := &csrGraph{
+		offsets:   make([]uint32, v+1),
+		offBase:   0x70_0000_0000,
+		neighBase: 0x74_0000_0000,
+		propBase:  0x78_0000_0000,
+	}
+	// Skewed degrees: a few hubs, many low-degree vertices.
+	degrees := make([]int, v)
+	total := 0
+	for i := range degrees {
+		d := 1 + rng.Intn(deg)
+		if rng.Float64() < 0.02 {
+			d += deg * 8 // hub
+		}
+		degrees[i] = d
+		total += d
+	}
+	g.neigh = make([]uint32, 0, total)
+	for i := 0; i < v; i++ {
+		g.offsets[i] = uint32(len(g.neigh))
+		for j := 0; j < degrees[i]; j++ {
+			// Preferential-attachment flavour: bias toward low vertex ids.
+			var dst int
+			if rng.Float64() < 0.5 {
+				dst = rng.Intn(1 + i/2 + 1)
+			} else {
+				dst = rng.Intn(v)
+			}
+			g.neigh = append(g.neigh, uint32(dst))
+		}
+	}
+	g.offsets[v] = uint32(len(g.neigh))
+	return g
+}
+
+func (g *csrGraph) offsetAddr(v uint32) uint64 { return g.offBase + uint64(v)*4 }
+func (g *csrGraph) neighAddr(e uint32) uint64  { return g.neighBase + uint64(e)*4 }
+func (g *csrGraph) propAddr(v uint32) uint64   { return g.propBase + uint64(v)*8 }
+
+// GraphBFSGen emits the access stream of a breadth-first search:
+// frontier pops (sequential), offset reads, neighbor-array scans
+// (sequential within a vertex) and visited/property checks (irregular).
+type GraphBFSGen struct {
+	// Vertices and AvgDegree size the synthetic graph.
+	Vertices  int
+	AvgDegree int
+}
+
+// Name implements Generator.
+func (g GraphBFSGen) Name() string { return "gap.bfs" }
+
+// Generate implements Generator.
+func (g GraphBFSGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	v := max(256, g.Vertices)
+	cg := buildGraph(rng, v, max(4, g.AvgDegree))
+	pcOff, pcNeigh, pcProp := uint64(0x410000), uint64(0x410004), uint64(0x410008)
+	t := &Trace{Name: "gap.bfs"}
+	visited := make([]bool, v)
+	frontier := []uint32{0}
+	for len(t.Records) < n {
+		if len(frontier) == 0 {
+			// Restart from a random unvisited vertex (new BFS component /
+			// next source, as GAP's bfs does for multiple trials).
+			src := uint32(rng.Intn(v))
+			for i := range visited {
+				visited[i] = false
+			}
+			frontier = []uint32{src}
+		}
+		var next []uint32
+		for _, u := range frontier {
+			if len(t.Records) >= n {
+				break
+			}
+			t.Append(pcOff, cg.offsetAddr(u), gapIn(rng, 2, 5))
+			lo, hi := cg.offsets[u], cg.offsets[u+1]
+			for e := lo; e < hi && len(t.Records) < n; e++ {
+				t.Append(pcNeigh, cg.neighAddr(e), gapIn(rng, 1, 3))
+				w := cg.neigh[e]
+				t.Append(pcProp, cg.propAddr(w), gapIn(rng, 2, 6))
+				if !visited[w] {
+					visited[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	t.Records = t.Records[:n]
+	return t
+}
+
+// GraphPageRankGen emits PageRank iterations: a sequential sweep over
+// all vertices and their edges, with irregular reads of the source
+// ranks. Across iterations the edge scan repeats exactly, giving strong
+// global temporal structure on top of streaming.
+type GraphPageRankGen struct {
+	Vertices  int
+	AvgDegree int
+}
+
+// Name implements Generator.
+func (g GraphPageRankGen) Name() string { return "gap.pr" }
+
+// Generate implements Generator.
+func (g GraphPageRankGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	v := max(256, g.Vertices)
+	cg := buildGraph(rng, v, max(4, g.AvgDegree))
+	pcOff, pcNeigh, pcRank := uint64(0x420000), uint64(0x420004), uint64(0x420008)
+	t := &Trace{Name: "gap.pr"}
+	for len(t.Records) < n {
+		for u := uint32(0); int(u) < v && len(t.Records) < n; u++ {
+			t.Append(pcOff, cg.offsetAddr(u), gapIn(rng, 2, 4))
+			lo, hi := cg.offsets[u], cg.offsets[u+1]
+			for e := lo; e < hi && len(t.Records) < n; e++ {
+				t.Append(pcNeigh, cg.neighAddr(e), gapIn(rng, 1, 2))
+				t.Append(pcRank, cg.propAddr(cg.neigh[e]), gapIn(rng, 2, 5))
+			}
+		}
+	}
+	t.Records = t.Records[:n]
+	return t
+}
+
+// GraphCCGen emits connected-components (label propagation): edge scans
+// with irregular reads and writes of both endpoint labels. Labels
+// converge, so later sweeps repeat earlier access sequences.
+type GraphCCGen struct {
+	Vertices  int
+	AvgDegree int
+}
+
+// Name implements Generator.
+func (g GraphCCGen) Name() string { return "gap.cc" }
+
+// Generate implements Generator.
+func (g GraphCCGen) Generate(n int, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	v := max(256, g.Vertices)
+	cg := buildGraph(rng, v, max(4, g.AvgDegree))
+	pcNeigh, pcLabelU, pcLabelW := uint64(0x430004), uint64(0x430008), uint64(0x43000c)
+	t := &Trace{Name: "gap.cc"}
+	for len(t.Records) < n {
+		for u := uint32(0); int(u) < v && len(t.Records) < n; u++ {
+			lo, hi := cg.offsets[u], cg.offsets[u+1]
+			for e := lo; e < hi && len(t.Records) < n; e++ {
+				t.Append(pcNeigh, cg.neighAddr(e), gapIn(rng, 1, 3))
+				t.Append(pcLabelU, cg.propAddr(u), gapIn(rng, 1, 3))
+				t.Append(pcLabelW, cg.propAddr(cg.neigh[e]), gapIn(rng, 2, 5))
+			}
+		}
+	}
+	t.Records = t.Records[:n]
+	return t
+}
+
+// Ensure address bases stay line-aligned for property arrays of 8-byte
+// elements packed within lines (several vertices share one line, which
+// is what makes these reads partially cacheable).
+var _ = mem.LineSize

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic   [8]byte  "RSMTRC01"
+//	nameLen uint32
+//	name    [nameLen]byte
+//	count   uint64
+//	records count × {ID uint64, PC uint64, Addr uint64, Gap uint32}
+//
+// All integers are little-endian.
+
+var magic = [8]byte{'R', 'S', 'M', 'T', 'R', 'C', '0', '1'}
+
+// ErrBadMagic is returned when decoding a stream that does not start
+// with the trace magic bytes.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Write encodes the trace in the binary format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	name := []byte(t.Name)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Records))); err != nil {
+		return err
+	}
+	var buf [28]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint64(buf[0:8], r.ID)
+		binary.LittleEndian.PutUint64(buf[8:16], r.PC)
+		binary.LittleEndian.PutUint64(buf[16:24], r.Addr)
+		binary.LittleEndian.PutUint32(buf[24:28], r.Gap)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from the binary format.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	}
+	t := &Trace{Name: string(name), Records: make([]Record, count)}
+	var buf [28]byte
+	for i := range t.Records {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		t.Records[i] = Record{
+			ID:   binary.LittleEndian.Uint64(buf[0:8]),
+			PC:   binary.LittleEndian.Uint64(buf[8:16]),
+			Addr: binary.LittleEndian.Uint64(buf[16:24]),
+			Gap:  binary.LittleEndian.Uint32(buf[24:28]),
+		}
+	}
+	return t, nil
+}
+
+// WriteText encodes the trace in a human-readable one-record-per-line
+// form: "id pc addr gap" in hexadecimal (addresses) and decimal.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "%d 0x%x 0x%x %d\n", r.ID, r.PC, r.Addr, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text form produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# trace ") {
+				t.Name = strings.TrimSpace(strings.TrimPrefix(line, "# trace "))
+			}
+			continue
+		}
+		var rec Record
+		if _, err := fmt.Sscanf(line, "%d 0x%x 0x%x %d", &rec.ID, &rec.PC, &rec.Addr, &rec.Gap); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Workload is a named synthetic stand-in for one of the paper's
+// benchmark applications, with the generator tuned so the pattern class
+// matches the paper's characterization of that application.
+type Workload struct {
+	// Name mimics the paper's benchmark naming (e.g. "433.milc").
+	Name string
+	// Suite is one of "SPEC06", "SPEC17", "GAP", or "HYBRID".
+	Suite string
+	// Class is the dominant pattern class ("spatial", "temporal",
+	// "irregular", "hybrid") per the paper's Figure 1 analysis.
+	Class string
+	// Gen builds the trace.
+	Gen Generator
+	// Seed is the default seed for the workload.
+	Seed int64
+}
+
+// Generate produces n accesses of the workload at its default seed.
+func (w Workload) Generate(n int) *Trace {
+	t := w.Gen.Generate(n, w.Seed)
+	t.Name = w.Name
+	return t
+}
+
+// GenerateSeeded produces n accesses at an explicit seed.
+func (w Workload) GenerateSeeded(n int, seed int64) *Trace {
+	t := w.Gen.Generate(n, seed)
+	t.Name = w.Name
+	return t
+}
+
+// registry holds all named workloads.
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("trace: duplicate workload %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+func init() {
+	// --- SPEC CPU 2006 stand-ins ---
+	// 433.milc: interleaved strided lattice sweeps — strong short-lag
+	// autocorrelation that sharpens under PC grouping (Fig 1a/1b).
+	register(Workload{
+		Name: "433.milc", Suite: "SPEC06", Class: "spatial", Seed: 1433,
+		Gen: StrideGen{Strides: []int{1, 2, 4, 3}, StreamLen: 512},
+	})
+	// 433.lbm stand-in (case study in Fig 6): pure streaming sweeps.
+	register(Workload{
+		Name: "433.lbm", Suite: "SPEC06", Class: "spatial", Seed: 2470,
+		Gen: StreamGen{Regions: 6, RegionLines: 2048, PCs: 3},
+	})
+	// 471.omnetpp: discrete-event simulator chasing heap pointers —
+	// weak global autocorrelation, strong per-PC periodicity.
+	register(Workload{
+		Name: "471.omnetpp", Suite: "SPEC06", Class: "temporal", Seed: 1471,
+		Gen: PointerChaseGen{Chains: 12, ChainLen: 600, SwitchEvery: 24, PerturbProb: 0.02},
+	})
+	// 429.mcf: global temporal loops over network-simplex structures.
+	register(Workload{
+		Name: "429.mcf", Suite: "SPEC06", Class: "temporal", Seed: 1429,
+		Gen: TemporalLoopGen{SeqLen: 3000, PerturbProb: 0.05, PCs: 8},
+	})
+
+	// --- SPEC CPU 2017 stand-ins ---
+	// 621.wrf: long repeating delta signatures, slow AC decay (Fig 1a).
+	register(Workload{
+		Name: "621.wrf", Suite: "SPEC17", Class: "spatial", Seed: 1621,
+		Gen: DeltaPatternGen{Deltas: []int{1, 3, 1, 5, 2, 1, 9, 1, 1, 4, 1, 7, 2, 2, 1, 6}, PCs: 6, RestartEvery: 8192},
+	})
+	// 623.xalancbmk: XML tree walking — many short per-PC chains.
+	register(Workload{
+		Name: "623.xalancbmk", Suite: "SPEC17", Class: "temporal", Seed: 1623,
+		Gen: PointerChaseGen{Chains: 24, ChainLen: 180, SwitchEvery: 12, PerturbProb: 0.03},
+	})
+	// 654.roms (artifact demo app): ocean-model stencils — stream+stride mix.
+	register(Workload{
+		Name: "654.roms", Suite: "SPEC17", Class: "hybrid", Seed: 1654,
+		Gen: InterleaveGen{TraceName: "654.roms", Subs: []Generator{
+			StreamGen{Regions: 4, RegionLines: 1024, PCs: 2},
+			StrideGen{Strides: []int{2, 5}, StreamLen: 256},
+		}},
+	})
+	// 602.gcc: compiler — phase-alternating hybrid of spatial and temporal.
+	register(Workload{
+		Name: "602.gcc", Suite: "SPEC17", Class: "hybrid", Seed: 1602,
+		Gen: PhaseGen{TraceName: "602.gcc", PhaseLen: 6000, Subs: []Generator{
+			StreamGen{Regions: 3, RegionLines: 512, PCs: 2},
+			PointerChaseGen{Chains: 8, ChainLen: 300, SwitchEvery: 16, PerturbProb: 0.02},
+			DeltaPatternGen{Deltas: []int{1, 2, 1, 4}, PCs: 3, RestartEvery: 4096},
+		}},
+	})
+
+	// --- GAP stand-ins ---
+	// Graph sizes are chosen so the property and edge arrays exceed the
+	// scaled LLC by an order of magnitude, keeping the irregular reads
+	// miss-heavy as in the real GAP suite.
+	register(Workload{
+		Name: "gap.bfs", Suite: "GAP", Class: "irregular", Seed: 1701,
+		Gen: GraphBFSGen{Vertices: 24000, AvgDegree: 8},
+	})
+	register(Workload{
+		Name: "gap.pr", Suite: "GAP", Class: "irregular", Seed: 1702,
+		Gen: GraphPageRankGen{Vertices: 24000, AvgDegree: 8},
+	})
+	register(Workload{
+		Name: "gap.cc", Suite: "GAP", Class: "irregular", Seed: 1703,
+		Gen: GraphCCGen{Vertices: 24000, AvgDegree: 8},
+	})
+
+	// --- Hybrid showcase workloads (motivation scenario) ---
+	register(Workload{
+		Name: "hybrid.phases", Suite: "HYBRID", Class: "hybrid", Seed: 1801,
+		Gen: PhaseGen{TraceName: "hybrid.phases", PhaseLen: 8000, Subs: []Generator{
+			StreamGen{Regions: 4, RegionLines: 1024, PCs: 2},
+			PointerChaseGen{Chains: 10, ChainLen: 400, SwitchEvery: 20, PerturbProb: 0.02},
+			StrideGen{Strides: []int{1, 4}, StreamLen: 384},
+			TemporalLoopGen{SeqLen: 2000, PerturbProb: 0.04, PCs: 6},
+		}},
+	})
+	register(Workload{
+		Name: "hybrid.interleave", Suite: "HYBRID", Class: "hybrid", Seed: 1802,
+		Gen: InterleaveGen{TraceName: "hybrid.interleave", Subs: []Generator{
+			StreamGen{Regions: 2, RegionLines: 512, PCs: 2},
+			PointerChaseGen{Chains: 6, ChainLen: 256, SwitchEvery: 8, PerturbProb: 0.02},
+		}},
+	})
+	register(Workload{
+		Name: "hybrid.random", Suite: "HYBRID", Class: "irregular", Seed: 1803,
+		Gen: RandomGen{Lines: 1 << 22, PCs: 16},
+	})
+	// Markov-chain heap traversal: probabilistic temporal structure
+	// (high-probability edges learnable, tail unlearnable).
+	register(Workload{
+		Name: "hybrid.markov", Suite: "HYBRID", Class: "temporal", Seed: 1804,
+		Gen: MarkovGen{Nodes: 8000, Fanout: 4, Skew: 0.75, PCs: 8},
+	})
+}
+
+// Lookup returns the workload registered under name.
+func Lookup(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("trace: unknown workload %q (see trace.Names())", name)
+	}
+	return w, nil
+}
+
+// MustLookup is Lookup that panics on unknown names; for tests and
+// experiment tables with static names.
+func MustLookup(name string) Workload {
+	w, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuiteWorkloads returns the workloads of one suite, sorted by name.
+func SuiteWorkloads(suite string) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Suite == suite {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Suites returns the suite names in evaluation order.
+func Suites() []string { return []string{"SPEC06", "SPEC17", "GAP", "HYBRID"} }
+
+// MotivationWorkloads returns the four applications analyzed in the
+// paper's Figures 1, 6 and 7.
+func MotivationWorkloads() []Workload {
+	return []Workload{
+		MustLookup("433.milc"),
+		MustLookup("471.omnetpp"),
+		MustLookup("621.wrf"),
+		MustLookup("623.xalancbmk"),
+	}
+}
+
+// CaseStudyWorkloads returns the Fig 6/7 case-study set (the paper uses
+// 433.lbm in place of 433.milc there).
+func CaseStudyWorkloads() []Workload {
+	return []Workload{
+		MustLookup("433.lbm"),
+		MustLookup("471.omnetpp"),
+		MustLookup("621.wrf"),
+		MustLookup("623.xalancbmk"),
+	}
+}
+
+// EvaluationWorkloads returns the full Fig 8–10 sweep set: every SPEC06,
+// SPEC17 and GAP stand-in plus the hybrid showcases.
+func EvaluationWorkloads() []Workload {
+	var out []Workload
+	for _, s := range Suites() {
+		out = append(out, SuiteWorkloads(s)...)
+	}
+	return out
+}
