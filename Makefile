@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full CI gate: gofmt, vet, race-enabled tests for the
+# concurrency-sensitive packages, and the whole suite.
+check:
+	sh scripts/check.sh
+
+# Overhead benchmarks for the telemetry layer (see DESIGN.md).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkTelemetryOverhead' ./internal/telemetry/
+	$(GO) test -run xxx -bench 'BenchmarkSimulator' -benchtime 30x .
+
+fmt:
+	gofmt -w .

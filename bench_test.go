@@ -24,6 +24,7 @@ import (
 	"resemble/internal/prefetch/spp"
 	"resemble/internal/prefetch/voyager"
 	"resemble/internal/sim"
+	"resemble/internal/telemetry"
 	"resemble/internal/trace"
 )
 
@@ -266,6 +267,33 @@ func BenchmarkSimulatorBaseline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.RunBaseline(cfg, tr)
+	}
+	b.ReportMetric(float64(tr.Len()), "accesses/op")
+}
+
+// BenchmarkSimulatorTelemetry measures the same baseline simulation
+// with the telemetry layer enabled (window snapshots into a memory
+// sink, 1-in-64 sampled event tracing, all counters live). Comparing
+// against BenchmarkSimulatorBaseline bounds the observability overhead;
+// the budget is < 5% slowdown (see DESIGN.md for recorded numbers).
+func BenchmarkSimulatorTelemetry(b *testing.B) {
+	tr := benchTrace(20000)
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tel, err := telemetry.New(telemetry.Config{TraceSample: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tel.AddWindowSink(&telemetry.MemoryWindowSink{})
+		b.StartTimer()
+		sim.RunWithTelemetry(cfg, tr, nil, tel)
+		b.StopTimer()
+		if err := tel.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
 	}
 	b.ReportMetric(float64(tr.Len()), "accesses/op")
 }

@@ -8,6 +8,12 @@
 //	experiments -exp table6 -n 40000 # smaller traces
 //	experiments -list                # list experiment ids
 //
+// Telemetry: -telemetry DIR instruments every (workload, source)
+// simulation of the matrix experiments — a shared windows.jsonl with
+// per-run workload/source labels, a sampled event trace and a
+// manifest/metrics dump. -pprof DIR and -pprof-http ADDR enable
+// profiling of the whole sweep.
+//
 // Experiment ids map to the paper's evaluation artifacts; see DESIGN.md
 // for the per-experiment index and EXPERIMENTS.md for recorded results.
 package main
@@ -20,21 +26,34 @@ import (
 	"time"
 
 	"resemble/internal/experiments"
+	"resemble/internal/telemetry"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or 'all'")
-		n     = flag.Int("n", 60000, "accesses per workload trace")
-		batch = flag.Int("batch", 64, "controller training batch (paper: 256)")
-		seed  = flag.Int64("seed", 0, "seed offset for workloads and controllers")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp         = flag.String("exp", "all", "experiment id or 'all'")
+		n           = flag.Int("n", 60000, "accesses per workload trace")
+		batch       = flag.Int("batch", 64, "controller training batch (paper: 256)")
+		seed        = flag.Int64("seed", 0, "seed offset for workloads and controllers")
+		telDir      = flag.String("telemetry", "", "write manifest, window snapshots, metrics and a sampled trace to this directory")
+		traceOut    = flag.String("trace-out", "", "sampled event trace path (default <telemetry>/trace.jsonl; .csv switches format)")
+		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
+		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
+		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.ExperimentIDs(), "\n"))
-		return
+		return nil
 	}
 
 	opt := experiments.Options{
@@ -44,6 +63,50 @@ func main() {
 		Out:      os.Stdout,
 	}
 
+	if *telDir != "" || *traceOut != "" {
+		tel, terr := telemetry.New(telemetry.Config{
+			Dir:         *telDir,
+			TraceOut:    *traceOut,
+			TraceSample: *traceSample,
+		})
+		if terr != nil {
+			return terr
+		}
+		defer func() {
+			if cerr := tel.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		m := tel.Manifest()
+		m.Controller = *exp
+		m.Seed, m.Accesses = *seed, *n
+		m.SetConfig("options", struct {
+			Accesses int
+			Batch    int
+			Seed     int64
+		}{*n, *batch, *seed})
+		opt.Telemetry = tel
+	}
+
+	if *pprofHTTP != "" {
+		addr, herr := telemetry.ServePprof(*pprofHTTP)
+		if herr != nil {
+			return herr
+		}
+		fmt.Printf("pprof listening on %s\n", addr)
+	}
+	if *pprofDir != "" {
+		stop, perr := telemetry.StartProfiles(*pprofDir)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if cerr := stop(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.ExperimentIDs()
@@ -51,18 +114,17 @@ func main() {
 		ids = dedupeSweep(ids)
 	}
 	for _, id := range ids {
-		run, ok := experiments.Registry[id]
+		runExp, ok := experiments.Registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q; use -list", id)
 		}
 		start := time.Now()
-		if err := run(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
-			os.Exit(1)
+		if rerr := runExp(opt); rerr != nil {
+			return fmt.Errorf("experiment %s failed: %w", id, rerr)
 		}
 		fmt.Printf("-- %s done in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 // dedupeSweep collapses fig8/fig9/fig10 (one shared sweep) to a single

@@ -9,30 +9,37 @@
 //	resemble -trace /path/to/trace.bin -controller resemble-t
 //	resemble -workloads                         # list workloads
 //
+// Telemetry: -telemetry DIR enables the full observability layer — a
+// RunManifest (manifest.json), per-1K-access window snapshots
+// (windows.jsonl: reward, action shares, epsilon, IPC, MPKI), a
+// sampled structured event trace (trace.jsonl, 1-in-N via
+// -trace-sample) and a registry dump (metrics.json). -trace-out
+// redirects the event trace (a .csv suffix switches the format);
+// -pprof DIR writes cpu.pprof/heap.pprof; -pprof-http ADDR serves
+// net/http/pprof.
+//
 // Like the paper's artifact demo, the run can emit its decision logs:
 //
 //	resemble -workload 654.roms -controller resemble \
 //	    -pref roms.pref.txt -rewards roms.rewards.csv
 //
-// The .pref.txt file lists the prefetched addresses per access and the
-// .rewards.csv file records the reward sum and action proportions per
-// 1K-access window (the artifact's .rewards.csv equivalent).
+// Both are thin sinks over the telemetry layer: the .pref.txt file
+// lists the prefetched addresses per access (reconstructed from
+// full-rate prefetch-issue events) and the .rewards.csv file records
+// the reward sum and action shares per 1K-access window snapshot.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"bufio"
-
 	"resemble/internal/core"
 	"resemble/internal/ensemble/sbp"
 	"resemble/internal/experiments"
-	"resemble/internal/mem"
-	"resemble/internal/prefetch"
 	"resemble/internal/prefetch/bo"
 	"resemble/internal/prefetch/domino"
 	"resemble/internal/prefetch/isb"
@@ -40,6 +47,7 @@ import (
 	"resemble/internal/prefetch/stride"
 	"resemble/internal/prefetch/voyager"
 	"resemble/internal/sim"
+	"resemble/internal/telemetry"
 	"resemble/internal/trace"
 )
 
@@ -94,90 +102,207 @@ func loadTrace(workload, path string, n int, seed int64) (*trace.Trace, error) {
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole invocation so that every writer is flushed and
+// closed via defer on all exit paths, including errors — the old
+// os.Exit-style main could silently truncate -pref/-rewards files.
+func run() (err error) {
 	var (
-		workload  = flag.String("workload", "hybrid.phases", "registered workload name")
-		tracePath = flag.String("trace", "", "binary trace file (overrides -workload)")
-		ctrl      = flag.String("controller", "resemble", strings.Join(controllerNames, "|"))
-		n         = flag.Int("n", 60000, "accesses to generate")
-		batch     = flag.Int("batch", 64, "controller training batch")
-		seed      = flag.Int64("seed", 0, "seed offset")
-		latency   = flag.Uint64("latency", 0, "controller inference latency in cycles")
-		lowTP     = flag.Bool("lowtp", false, "low-throughput controller model")
-		prefOut   = flag.String("pref", "", "write prefetched addresses per access to this file")
-		rewardOut = flag.String("rewards", "", "write per-1K-window rewards and action shares (CSV)")
-		saveModel = flag.String("save", "", "save the trained model (resemble / resemble-t) to this file")
-		loadModel = flag.String("load", "", "load a previously saved model before running")
-		list      = flag.Bool("workloads", false, "list workloads and exit")
+		workload    = flag.String("workload", "hybrid.phases", "registered workload name")
+		tracePath   = flag.String("trace", "", "binary trace file (overrides -workload)")
+		ctrl        = flag.String("controller", "resemble", strings.Join(controllerNames, "|"))
+		n           = flag.Int("n", 60000, "accesses to generate")
+		batch       = flag.Int("batch", 64, "controller training batch")
+		seed        = flag.Int64("seed", 0, "seed offset")
+		latency     = flag.Uint64("latency", 0, "controller inference latency in cycles")
+		lowTP       = flag.Bool("lowtp", false, "low-throughput controller model")
+		prefOut     = flag.String("pref", "", "write prefetched addresses per access to this file")
+		rewardOut   = flag.String("rewards", "", "write per-1K-window rewards and action shares (CSV)")
+		telDir      = flag.String("telemetry", "", "write manifest, window snapshots, metrics and a sampled trace to this directory")
+		traceOut    = flag.String("trace-out", "", "sampled event trace path (default <telemetry>/trace.jsonl; .csv switches format)")
+		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
+		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
+		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
+		saveModel   = flag.String("save", "", "save the trained model (resemble / resemble-t) to this file")
+		loadModel   = flag.String("load", "", "load a previously saved model before running")
+		list        = flag.Bool("workloads", false, "list workloads and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(trace.Names(), "\n"))
-		return
+		return nil
 	}
 
 	tr, err := loadTrace(*workload, *tracePath, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	src, err := buildSource(*ctrl, *batch, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 
 	simCfg := sim.DefaultConfig()
 	simCfg.PrefetchLatency = *latency
 	simCfg.LowThroughput = *lowTP
 
+	// Telemetry collector: needed for -telemetry and for the thin
+	// artifact sinks (-pref/-rewards reconstruct their formats from the
+	// telemetry streams).
+	var tel *telemetry.Collector
+	if *telDir != "" || *traceOut != "" || *prefOut != "" || *rewardOut != "" {
+		tel, err = telemetry.New(telemetry.Config{
+			Dir:         *telDir,
+			TraceOut:    *traceOut,
+			TraceSample: *traceSample,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := tel.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		m := tel.Manifest()
+		m.Workload, m.Controller = tr.Name, *ctrl
+		m.Seed, m.Accesses = *seed, *n
+		m.SetConfig("sim", simCfg)
+		if *ctrl == "resemble" || *ctrl == "resemble-t" {
+			cfg := core.DefaultConfig()
+			cfg.Batch = *batch
+			cfg.Seed = 1 + *seed
+			m.SetConfig("controller", cfg)
+		}
+	}
+
+	if *pprofHTTP != "" {
+		addr, herr := telemetry.ServePprof(*pprofHTTP)
+		if herr != nil {
+			return herr
+		}
+		fmt.Printf("pprof listening on %s\n", addr)
+	}
+	if *pprofDir != "" {
+		stop, perr := telemetry.StartProfiles(*pprofDir)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if cerr := stop(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+
 	if *loadModel != "" {
 		if err := loadModelFile(src, *loadModel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("loaded model from %s\n", *loadModel)
 	}
 
-	var rec *recorder
-	if *prefOut != "" {
-		rec = &recorder{inner: src}
-		src = rec
-	}
-
-	base := sim.RunBaseline(simCfg, tr)
+	base := sim.RunWithTelemetry(simCfg, tr, nil, tel)
 	fmt.Printf("workload %s: %s\n", tr.Name, tr.ComputeStats())
 	fmt.Printf("baseline: IPC=%.3f MPKI=%.2f LLC misses=%d\n", base.IPC, base.MPKI, base.LLCMisses)
 	if src == nil {
-		return
+		return nil
 	}
-	r := sim.Run(simCfg, tr, src)
+
+	// The artifact sinks attach after the baseline run so they record
+	// only the controller's stream, like the old recorder did.
+	if *prefOut != "" {
+		ps, perr := newPrefSink(*prefOut)
+		if perr != nil {
+			return perr
+		}
+		tel.AddEventSink(ps, true)
+	}
+	if *rewardOut != "" {
+		f, ferr := os.Create(*rewardOut)
+		if ferr != nil {
+			return ferr
+		}
+		tel.AddWindowSink(telemetry.NewRewardsCSVSink(f))
+	}
+
+	r := sim.RunWithTelemetry(simCfg, tr, src, tel)
 	fmt.Printf("%s: accuracy=%.1f%% coverage=%.1f%% MPKI=%.2f IPC=%.3f (%+.1f%%)\n",
 		r.Source, 100*r.Accuracy, 100*r.Coverage, r.MPKI, r.IPC, 100*r.IPCImprovement(base))
 	fmt.Printf("  prefetches: issued=%d useful=%d late=%d dropped=%d\n",
 		r.PrefetchesIssued, r.UsefulPrefetches, r.LatePrefetchHits, r.DroppedPrefetches)
-
-	if rec != nil {
-		if err := rec.writePref(*prefOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if *prefOut != "" {
 		fmt.Printf("wrote prefetch log to %s\n", *prefOut)
 	}
 	if *rewardOut != "" {
-		if err := writeRewardsCSV(*rewardOut, src); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 		fmt.Printf("wrote reward/action windows to %s\n", *rewardOut)
 	}
+
 	if *saveModel != "" {
 		if err := saveModelFile(src, *saveModel); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("saved model to %s\n", *saveModel)
 	}
+	return nil
+}
+
+// prefSink reconstructs the artifact-style .pref.txt from full-rate
+// telemetry events: each LLC access event (hit/miss/late-hit) starts a
+// line, and every prefetch-issue event appends an address to it.
+type prefSink struct {
+	f   *os.File
+	w   *bufio.Writer
+	idx int
+	on  bool // a line is open
+}
+
+func newPrefSink(path string) (*prefSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &prefSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// WriteEvent implements telemetry.Sink.
+func (p *prefSink) WriteEvent(e telemetry.Event) error {
+	switch {
+	case e.Kind.IsAccess():
+		if p.on {
+			if err := p.w.WriteByte('\n'); err != nil {
+				return err
+			}
+			p.idx++
+		}
+		p.on = true
+		_, err := fmt.Fprintf(p.w, "%d", p.idx)
+		return err
+	case e.Kind == telemetry.KindPrefetchIssue && p.on:
+		_, err := fmt.Fprintf(p.w, " 0x%x", e.Addr)
+		return err
+	}
+	return nil
+}
+
+// Close implements telemetry.Sink.
+func (p *prefSink) Close() error {
+	if p.on {
+		if err := p.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	err := p.w.Flush()
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // modelSource is implemented by the RL controllers.
@@ -186,11 +311,7 @@ type modelSource interface {
 	LoadModel(io.Reader) error
 }
 
-// asModelSource unwraps a recorder and asserts model persistence.
 func asModelSource(src sim.Source) (modelSource, error) {
-	if rec, ok := src.(*recorder); ok {
-		src = rec.inner
-	}
 	m, ok := src.(modelSource)
 	if !ok {
 		return nil, fmt.Errorf("controller %q does not support model persistence", src.Name())
@@ -207,8 +328,11 @@ func saveModelFile(src sim.Source, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return m.SaveModel(f)
+	if err := m.SaveModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadModelFile(src sim.Source, path string) error {
@@ -222,87 +346,4 @@ func loadModelFile(src sim.Source, path string) error {
 	}
 	defer f.Close()
 	return m.LoadModel(f)
-}
-
-// recorder wraps a Source and logs the issued lines per access.
-type recorder struct {
-	inner sim.Source
-	log   [][]mem.Line
-}
-
-func (r *recorder) Name() string { return r.inner.Name() }
-func (r *recorder) Reset()       { r.inner.Reset(); r.log = r.log[:0] }
-func (r *recorder) OnAccess(a prefetch.AccessContext) []mem.Line {
-	lines := r.inner.OnAccess(a)
-	r.log = append(r.log, append([]mem.Line(nil), lines...))
-	return lines
-}
-
-// writePref emits the artifact-style .pref.txt: one line per LLC
-// access listing the prefetched byte addresses (empty when none).
-func (r *recorder) writePref(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	for i, lines := range r.log {
-		fmt.Fprintf(w, "%d", i)
-		for _, l := range lines {
-			fmt.Fprintf(w, " 0x%x", mem.LineAddr(l))
-		}
-		fmt.Fprintln(w)
-	}
-	return w.Flush()
-}
-
-// seriesSource is implemented by the RL controllers.
-type seriesSource interface {
-	RewardSeries() []float64
-	ActionSeries() []int8
-	ActionNames() []string
-}
-
-// writeRewardsCSV emits the artifact-style .rewards.csv: per 1K-access
-// window, the reward sum and the proportion of each action.
-func writeRewardsCSV(path string, src sim.Source) error {
-	if rec, ok := src.(*recorder); ok {
-		src = rec.inner
-	}
-	ss, ok := src.(seriesSource)
-	if !ok {
-		return fmt.Errorf("controller %q does not expose reward/action series", src.Name())
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	names := ss.ActionNames()
-	fmt.Fprint(w, "window,reward")
-	for _, n := range names {
-		fmt.Fprintf(w, ",%s", n)
-	}
-	fmt.Fprintln(w)
-	rewards := ss.RewardSeries()
-	acts := ss.ActionSeries()
-	const window = 1000
-	for lo := 0; lo+window <= len(acts) && lo+window <= len(rewards); lo += window {
-		var sum float64
-		for _, v := range rewards[lo : lo+window] {
-			sum += v
-		}
-		counts := make([]int, len(names))
-		for _, a := range acts[lo : lo+window] {
-			counts[a]++
-		}
-		fmt.Fprintf(w, "%d,%.1f", lo/window, sum)
-		for _, c := range counts {
-			fmt.Fprintf(w, ",%.3f", float64(c)/window)
-		}
-		fmt.Fprintln(w)
-	}
-	return w.Flush()
 }

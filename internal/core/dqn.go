@@ -1,11 +1,13 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"resemble/internal/mem"
 	"resemble/internal/nn"
 	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
 )
 
 // Controller is the MLP-based ReSemble ensemble controller (Sections
@@ -48,9 +50,57 @@ type Controller struct {
 	rewards []float64 // resolved reward per transition seq
 	acts    []int8    // chosen action per transition seq
 
+	// Telemetry accumulators (always maintained; they are a handful of
+	// integer ops per access).
+	rewardSum    float64
+	actionCounts []uint64
+	armIssued    []uint64
+	armUseful    []uint64
+	armUseless   []uint64
+
+	// Telemetry handles (nil unless AttachTelemetry was called).
+	tel      *telemetry.Collector
+	hTD      *telemetry.Histogram
+	cTrain   *telemetry.Counter
+	cSwitch  *telemetry.Counter
+	qWindow  []float64 // Q-values evaluated since the last probe
+	qPending bool      // a collector is attached, retain qWindow
+
 	// Diagnostics.
 	forcedNP int // accesses with no valid suggestion at all
 	chosenNP int // accesses where NP was selected despite valid options
+}
+
+// AttachTelemetry implements telemetry.Attachable: the controller
+// reports TD-error and training-cadence instruments into the
+// collector's registry, emits action/reward events, and starts
+// retaining evaluated Q-values for window probes.
+func (c *Controller) AttachTelemetry(t *telemetry.Collector) {
+	c.tel = t
+	c.qPending = t != nil
+	r := t.Registry()
+	c.hTD = r.Histogram("core.dqn.td_error")
+	c.cTrain = r.Counter("core.dqn.train_batches")
+	c.cSwitch = r.Counter("core.dqn.role_switches")
+}
+
+// TelemetryStats implements telemetry.ControllerProbe. The QValues
+// buffer is drained by the call; cumulative fields are diffed by the
+// collector.
+func (c *Controller) TelemetryStats() telemetry.ControllerStats {
+	qv := append([]float64(nil), c.qWindow...)
+	c.qWindow = c.qWindow[:0]
+	return telemetry.ControllerStats{
+		Steps:        c.step,
+		Epsilon:      c.cfg.epsilon(c.step),
+		RewardSum:    c.rewardSum,
+		ActionNames:  c.ActionNames(),
+		ActionCounts: c.actionCounts,
+		ArmIssued:    c.armIssued,
+		ArmUseful:    c.armUseful,
+		ArmUseless:   c.armUseless,
+		QValues:      qv,
+	}
 }
 
 // Diagnostics reports how many NP decisions were forced (no prefetcher
@@ -92,6 +142,12 @@ func (c *Controller) initModel() {
 	c.prevSeq = -1
 	c.rewards = c.rewards[:0]
 	c.acts = c.acts[:0]
+	c.rewardSum = 0
+	c.actionCounts = make([]uint64, c.NumActions())
+	c.armIssued = make([]uint64, c.NumActions())
+	c.armUseful = make([]uint64, c.NumActions())
+	c.armUseless = make([]uint64, c.NumActions())
+	c.qWindow = c.qWindow[:0]
 }
 
 // accumReward adds one line's outcome to its transition and finalizes
@@ -147,9 +203,11 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// DESIGN.md.)
 	c.hitSeq, c.expSeq = c.tracker.Resolve(seq, a.Line, c.hitSeq, c.expSeq)
 	for _, s := range c.hitSeq {
+		c.armUseful[c.acts[s]]++
 		c.accumReward(s, 1)
 	}
 	for _, s := range c.expSeq {
+		c.armUseless[c.acts[s]]++
 		c.accumReward(s, -1)
 	}
 
@@ -166,7 +224,11 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
 		action = c.rng.Intn(c.NumActions())
 	} else {
-		action = c.argmaxValid(c.target.Forward(c.state))
+		q := c.target.Forward(c.state)
+		if c.qPending {
+			c.qWindow = append(c.qWindow, q...)
+		}
+		action = c.argmaxValid(q)
 	}
 
 	// Execute (Alg 1 lines 15–20). Selecting an invalid (padded)
@@ -200,10 +262,14 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 			c.tracker.Add(seq, s.Line)
 		}
 		c.outstanding[seq] = len(c.out)
+		c.armIssued[action] += uint64(len(c.out))
 	}
 	c.recordAction(seq, action)
 	c.replay.Push(tr)
 	c.prevSeq = seq
+	if c.tel != nil {
+		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindAction, PC: a.PC, Addr: uint64(a.Addr), Action: int8(action)})
+	}
 
 	// Online training (Alg 1 lines 31–35).
 	if c.step%c.cfg.PolicyInterval == 0 {
@@ -213,6 +279,10 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	if c.step%c.cfg.TargetInterval == 0 {
 		c.policy, c.target = c.target, c.policy
 		c.policy.CopyWeightsFrom(c.target)
+		c.cSwitch.Inc()
+		if c.tel != nil {
+			c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindRoleSwitch})
+		}
 	}
 	return c.out
 }
@@ -227,7 +297,17 @@ func (c *Controller) trainPolicy() {
 			q := c.target.Forward(t.Next)
 			y += c.cfg.Gamma * maxf(q)
 		}
-		c.policy.TrainStep(t.State, t.Action, y, c.cfg.LR)
+		se := c.policy.TrainStep(t.State, t.Action, y, c.cfg.LR)
+		if c.hTD != nil {
+			// TrainStep returns the squared TD error; record |δ|.
+			c.hTD.Observe(math.Sqrt(se))
+		}
+	}
+	if len(c.batch) > 0 {
+		c.cTrain.Inc()
+		if c.tel != nil {
+			c.tel.Trace(telemetry.Event{Seq: uint64(c.step), Kind: telemetry.KindTrain})
+		}
 	}
 }
 
@@ -236,6 +316,10 @@ func (c *Controller) recordReward(seq int, r float64) {
 		c.rewards = append(c.rewards, 0)
 	}
 	c.rewards[seq] = r
+	c.rewardSum += r
+	if c.tel != nil && r != 0 {
+		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindReward, Reward: r})
+	}
 }
 
 func (c *Controller) recordAction(seq, a int) {
@@ -243,6 +327,7 @@ func (c *Controller) recordAction(seq, a int) {
 		c.acts = append(c.acts, 0)
 	}
 	c.acts[seq] = int8(a)
+	c.actionCounts[a]++
 }
 
 // RewardSeries returns the resolved reward of every transition, indexed

@@ -5,6 +5,7 @@ import (
 
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
 )
 
 // TabularController is the tabular variant of ReSemble (Section IV-F):
@@ -39,6 +40,50 @@ type TabularController struct {
 
 	rewards []float64
 	acts    []int8
+
+	// Telemetry accumulators (always maintained) and handles (nil
+	// unless AttachTelemetry was called).
+	rewardSum    float64
+	actionCounts []uint64
+	armIssued    []uint64
+	armUseful    []uint64
+	armUseless   []uint64
+	tel          *telemetry.Collector
+	hTD          *telemetry.Histogram
+	cUpdates     *telemetry.Counter
+	qWindow      []float64
+	qPending     bool
+}
+
+// AttachTelemetry implements telemetry.Attachable.
+func (c *TabularController) AttachTelemetry(t *telemetry.Collector) {
+	c.tel = t
+	c.qPending = t != nil
+	r := t.Registry()
+	c.hTD = r.Histogram("core.tabular.td_error")
+	c.cUpdates = r.Counter("core.tabular.updates")
+	r.Gauge("core.tabular.unique_states").Set(float64(len(c.tokens)))
+}
+
+// TelemetryStats implements telemetry.ControllerProbe; QValues is
+// drained by the call.
+func (c *TabularController) TelemetryStats() telemetry.ControllerStats {
+	qv := append([]float64(nil), c.qWindow...)
+	c.qWindow = c.qWindow[:0]
+	if c.tel != nil {
+		c.tel.Registry().Gauge("core.tabular.unique_states").Set(float64(len(c.tokens)))
+	}
+	return telemetry.ControllerStats{
+		Steps:        c.step,
+		Epsilon:      c.cfg.epsilon(c.step),
+		RewardSum:    c.rewardSum,
+		ActionNames:  c.ActionNames(),
+		ActionCounts: c.actionCounts,
+		ArmIssued:    c.armIssued,
+		ArmUseful:    c.armUseful,
+		ArmUseless:   c.armUseless,
+		QValues:      qv,
+	}
 }
 
 type tabTransition struct {
@@ -77,6 +122,12 @@ func (c *TabularController) initModel() {
 	c.prevSeq = -1
 	c.rewards = c.rewards[:0]
 	c.acts = c.acts[:0]
+	c.rewardSum = 0
+	c.actionCounts = make([]uint64, c.NumActions())
+	c.armIssued = make([]uint64, c.NumActions())
+	c.armUseful = make([]uint64, c.NumActions())
+	c.armUseless = make([]uint64, c.NumActions())
+	c.qWindow = c.qWindow[:0]
 }
 
 // Name implements sim.Source.
@@ -136,9 +187,11 @@ func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// transitions that already know their successor state.
 	c.hitSeq, c.expSeq = c.tracker.Resolve(seq, a.Line, c.hitSeq, c.expSeq)
 	for _, s := range c.hitSeq {
+		c.armUseful[c.acts[s]]++
 		c.applyReward(s, 1)
 	}
 	for _, s := range c.expSeq {
+		c.armUseless[c.acts[s]]++
 		c.applyReward(s, -1)
 	}
 
@@ -157,6 +210,9 @@ func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
 		action = c.rng.Intn(c.NumActions())
 	} else {
+		if c.qPending {
+			c.qWindow = append(c.qWindow, c.q[tok]...)
+		}
 		action = c.pickValid(c.q[tok])
 	}
 
@@ -173,10 +229,14 @@ func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
 			c.tracker.Add(seq, s.Line)
 		}
 		t.outstanding = len(c.out)
+		c.armIssued[action] += uint64(len(c.out))
 	}
 	c.recordAction(seq, action)
 	c.pending[seq] = t
 	c.prevSeq = seq
+	if c.tel != nil {
+		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindAction, PC: a.PC, Addr: uint64(a.Addr), Action: int8(action)})
+	}
 
 	// NP transitions resolve as soon as the successor arrives.
 	if prev, ok := c.pending[seq-1]; ok && prev.np && prev.hasNext {
@@ -210,7 +270,11 @@ func (c *TabularController) update(t *tabTransition, r float64) {
 		future = c.cfg.Gamma * maxf(c.q[t.nextTok])
 	}
 	qsa := &c.q[t.token][t.action]
+	if c.hTD != nil {
+		c.hTD.Observe(absf(r + future - *qsa))
+	}
 	*qsa += c.cfg.LR * (r + future - *qsa)
+	c.cUpdates.Inc()
 }
 
 func (c *TabularController) recordReward(seq int, r float64) {
@@ -218,6 +282,10 @@ func (c *TabularController) recordReward(seq int, r float64) {
 		c.rewards = append(c.rewards, 0)
 	}
 	c.rewards[seq] = r
+	c.rewardSum += r
+	if c.tel != nil && r != 0 {
+		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindReward, Reward: r})
+	}
 }
 
 func (c *TabularController) recordAction(seq, a int) {
@@ -225,6 +293,7 @@ func (c *TabularController) recordAction(seq, a int) {
 		c.acts = append(c.acts, 0)
 	}
 	c.acts[seq] = int8(a)
+	c.actionCounts[a]++
 }
 
 // RewardSeries returns the resolved reward per access (aliases internal

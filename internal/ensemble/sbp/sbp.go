@@ -12,6 +12,7 @@ package sbp
 import (
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
 )
 
 // Config parameterizes SBP(E).
@@ -46,6 +47,10 @@ type sandbox struct {
 	set    map[mem.Line]int
 	issues int // suggestions made this period
 	hits   int // suggestions matched this period
+
+	// Cumulative counts across periods, for telemetry.
+	cumIssues uint64
+	cumHits   uint64
 }
 
 func newSandbox(capacity int) *sandbox {
@@ -54,6 +59,7 @@ func newSandbox(capacity int) *sandbox {
 
 func (s *sandbox) add(line mem.Line, capacity int) {
 	s.issues++
+	s.cumIssues++
 	s.buf = append(s.buf, line)
 	s.set[line]++
 	if len(s.buf) > capacity {
@@ -73,6 +79,7 @@ func (s *sandbox) add(line mem.Line, capacity int) {
 func (s *sandbox) match(line mem.Line) {
 	if s.set[line] > 0 {
 		s.hits++
+		s.cumHits++
 	}
 }
 
@@ -97,6 +104,47 @@ type Controller struct {
 
 	out      []mem.Line
 	selected []int8 // active prefetcher per access, for diagnostics
+
+	// Telemetry (nil-safe handles; counts always maintained).
+	selCounts   []uint64 // per prefetcher + "none" slot, cumulative
+	issuedPerP  []uint64 // lines issued while each prefetcher was active
+	tel         *telemetry.Collector
+	cReselects  *telemetry.Counter
+	cSwitchover *telemetry.Counter
+}
+
+// AttachTelemetry implements telemetry.Attachable.
+func (c *Controller) AttachTelemetry(t *telemetry.Collector) {
+	c.tel = t
+	r := t.Registry()
+	c.cReselects = r.Counter("sbp.reselections")
+	c.cSwitchover = r.Counter("sbp.active_switches")
+}
+
+// TelemetryStats implements telemetry.ControllerProbe. SBP(E) has no
+// reward or Q-function; ArmUseful/ArmUseless report cumulative sandbox
+// hits and unmatched sandbox suggestions, which is the evidence the
+// greedy selection acts on.
+func (c *Controller) TelemetryStats() telemetry.ControllerStats {
+	names := make([]string, 0, len(c.prefetchers)+1)
+	for _, p := range c.prefetchers {
+		names = append(names, p.Name())
+	}
+	names = append(names, "none")
+	useful := make([]uint64, len(c.prefetchers)+1)
+	useless := make([]uint64, len(c.prefetchers)+1)
+	for i, box := range c.boxes {
+		useful[i] = box.cumHits
+		useless[i] = box.cumIssues - box.cumHits
+	}
+	return telemetry.ControllerStats{
+		Steps:        c.accessNum,
+		ActionNames:  names,
+		ActionCounts: c.selCounts,
+		ArmIssued:    c.issuedPerP,
+		ArmUseful:    useful,
+		ArmUseless:   useless,
+	}
 }
 
 // New builds the SBP(E) controller. It panics on an empty prefetcher
@@ -119,6 +167,8 @@ func (c *Controller) initState() {
 	c.active = -1
 	c.accessNum = 0
 	c.selected = c.selected[:0]
+	c.selCounts = make([]uint64, len(c.prefetchers)+1)
+	c.issuedPerP = make([]uint64, len(c.prefetchers)+1)
 }
 
 // Name implements sim.Source.
@@ -158,6 +208,7 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 				for _, s := range all {
 					c.out = append(c.out, s.Line)
 				}
+				c.issuedPerP[i] += uint64(len(all))
 			}
 		}
 	}
@@ -170,6 +221,7 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 		sel = int8(c.active)
 	}
 	c.selected = append(c.selected, sel)
+	c.selCounts[sel]++
 	return c.out
 }
 
@@ -196,6 +248,17 @@ func (c *Controller) reselect() {
 	}
 	if bestAcc < c.cfg.MinAccuracy {
 		best = -1
+	}
+	c.cReselects.Inc()
+	if best != c.active {
+		c.cSwitchover.Inc()
+		if c.tel != nil {
+			act := int8(len(c.prefetchers)) // "none" slot
+			if best >= 0 {
+				act = int8(best)
+			}
+			c.tel.Trace(telemetry.Event{Seq: uint64(c.accessNum), Kind: telemetry.KindAction, Action: act})
+		}
 	}
 	c.active = best
 	for _, box := range c.boxes {

@@ -31,7 +31,7 @@ func Ablations(o Options) ([]AblationRow, error) {
 	w := trace.MustLookup("602.gcc")
 	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
 	simCfg := sim.DefaultConfig()
-	base := sim.RunBaseline(simCfg, tr)
+	base := o.run(simCfg, tr, nil)
 
 	run := func(study, label string, mutate func(*core.Config), pfs []prefetch.Prefetcher) AblationRow {
 		cfg := o.controllerConfig()
@@ -41,7 +41,7 @@ func Ablations(o Options) ([]AblationRow, error) {
 		if pfs == nil {
 			pfs = FourPrefetchers()
 		}
-		r := sim.Run(simCfg, tr, core.NewController(cfg, pfs))
+		r := o.run(simCfg, tr, core.NewController(cfg, pfs))
 		row := AblationRow{
 			Study: study, Label: label,
 			IPC: r.IPC, Gain: r.IPCImprovement(base), Acc: r.Accuracy, Cov: r.Coverage,

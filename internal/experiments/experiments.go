@@ -20,6 +20,7 @@ import (
 	"resemble/internal/prefetch/stride"
 	"resemble/internal/prefetch/voyager"
 	"resemble/internal/sim"
+	"resemble/internal/telemetry"
 	"resemble/internal/trace"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	Seed int64
 	// Out receives the rendered tables/series; nil discards output.
 	Out io.Writer
+	// Telemetry, when non-nil, records per-window snapshots and sampled
+	// event traces for every (workload, source) simulation; each run is
+	// labeled via Collector.BeginRun so downstream analysis can split the
+	// shared windows.jsonl stream. Nil disables instrumentation.
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +62,13 @@ func (o Options) withDefaults() Options {
 
 func (o Options) printf(format string, args ...any) {
 	fmt.Fprintf(o.Out, format, args...)
+}
+
+// run simulates src (nil for the no-prefetch baseline) over tr with the
+// experiment's telemetry collector attached, so every experiment's
+// simulations appear in the shared window/trace streams.
+func (o Options) run(cfg sim.Config, tr *trace.Trace, src sim.Source) sim.Result {
+	return sim.RunWithTelemetry(cfg, tr, src, o.Telemetry)
 }
 
 // controllerConfig returns the framework configuration for experiments.
@@ -149,10 +162,10 @@ func runMatrix(o Options, workloads []trace.Workload, set SourceSet) []WorkloadR
 	var out []WorkloadRun
 	for _, w := range workloads {
 		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := sim.RunBaseline(simCfg, tr)
+		base := sim.RunWithTelemetry(simCfg, tr, nil, o.Telemetry)
 		for _, name := range set.Names {
 			src := set.Build(name, o)
-			res := sim.Run(simCfg, tr, src)
+			res := sim.RunWithTelemetry(simCfg, tr, src, o.Telemetry)
 			out = append(out, WorkloadRun{Workload: w.Name, Source: name, Result: res, Baseline: base})
 		}
 	}

@@ -61,9 +61,9 @@ func BudgetSensitivity(o Options) ([]BudgetPoint, error) {
 		var gains, covs []float64
 		for _, w := range trace.MotivationWorkloads() {
 			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-			base := sim.RunBaseline(simCfg, tr)
+			base := o.run(simCfg, tr, nil)
 			ctrl := core.NewController(o.controllerConfig(), budgetPrefetchers(s))
-			r := sim.Run(simCfg, tr, ctrl)
+			r := o.run(simCfg, tr, ctrl)
 			gains = append(gains, r.IPCImprovement(base))
 			covs = append(covs, r.Coverage)
 		}
@@ -117,8 +117,8 @@ func Taxonomy(o Options) ([]TaxonomyRow, error) {
 		for _, name := range workloads {
 			w := trace.MustLookup(name)
 			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-			base := sim.RunBaseline(simCfg, tr)
-			r := sim.Run(simCfg, tr, e.build())
+			base := o.run(simCfg, tr, nil)
+			r := o.run(simCfg, tr, e.build())
 			accs = append(accs, r.Accuracy)
 			covs = append(covs, r.Coverage)
 			gains = append(gains, r.IPCImprovement(base))

@@ -142,7 +142,7 @@ func Fig1c(o Options) ([]Fig1cRow, error) {
 	var out []Fig1cRow
 	for _, w := range trace.MotivationWorkloads() {
 		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := sim.RunBaseline(simCfg, tr)
+		base := o.run(simCfg, tr, nil)
 		for _, pf := range []string{"bo", "isb"} {
 			var src sim.Source
 			if pf == "bo" {
@@ -150,7 +150,7 @@ func Fig1c(o Options) ([]Fig1cRow, error) {
 			} else {
 				src = sim.FromPrefetcher(isb.New(isb.Config{}), 2)
 			}
-			r := sim.Run(simCfg, tr, src)
+			r := o.run(simCfg, tr, src)
 			row := Fig1cRow{
 				Workload:       w.Name,
 				Prefetcher:     pf,

@@ -53,11 +53,11 @@ func Fig12(o Options) (Fig12Result, error) {
 	simCfg := sim.DefaultConfig()
 	for _, w := range fig12Workloads() {
 		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := sim.RunBaseline(simCfg, tr)
+		base := o.run(simCfg, tr, nil)
 
-		alone := sim.Run(simCfg, tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
-		withV := sim.Run(simCfg, tr, core.NewController(o.controllerConfig(), VoyagerPrefetchers()))
-		plain := sim.Run(simCfg, tr, core.NewController(o.controllerConfig(), FourPrefetchers()))
+		alone := o.run(simCfg, tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
+		withV := o.run(simCfg, tr, core.NewController(o.controllerConfig(), VoyagerPrefetchers()))
+		plain := o.run(simCfg, tr, core.NewController(o.controllerConfig(), FourPrefetchers()))
 
 		row := Fig12Row{
 			Workload:        w.Name,

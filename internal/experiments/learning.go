@@ -56,7 +56,7 @@ func buildVariant(o Options, v ModelVariant) seriesController {
 func runVariant(o Options, w trace.Workload, v ModelVariant) (seriesController, sim.Result) {
 	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
 	ctrl := buildVariant(o, v)
-	res := sim.Run(sim.DefaultConfig(), tr, ctrl)
+	res := o.run(sim.DefaultConfig(), tr, ctrl)
 	return ctrl, res
 }
 

@@ -30,7 +30,7 @@ func Table4(o Options) (Table4Result, error) {
 			cfg.TableHashBits = bits
 			ctrl := core.NewTabularController(cfg, FourPrefetchers())
 			tr := w.GenerateSeeded(o.Accesses/4, w.Seed+o.Seed)
-			sim.Run(sim.DefaultConfig(), tr, ctrl)
+			o.run(sim.DefaultConfig(), tr, ctrl)
 			total += ctrl.UniqueStates()
 		}
 		res.MeasuredUniqueStates[bits] = total
@@ -120,9 +120,9 @@ func Fig11(o Options) ([]Fig11Point, error) {
 				simCfg := sim.DefaultConfig()
 				simCfg.PrefetchLatency = lat
 				simCfg.LowThroughput = !highTP
-				base := sim.RunBaseline(simCfg, tr)
+				base := o.run(simCfg, tr, nil)
 				ctrl := core.NewController(o.controllerConfig(), FourPrefetchers())
-				r := sim.Run(simCfg, tr, ctrl)
+				r := o.run(simCfg, tr, ctrl)
 				accs = append(accs, r.Accuracy)
 				covs = append(covs, r.Coverage)
 				gains = append(gains, r.IPCImprovement(base))

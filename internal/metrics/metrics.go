@@ -156,7 +156,7 @@ func Percentile(values []float64, p float64) float64 {
 type Summary struct {
 	N              int
 	Mean, Min, Max float64
-	P50, P90       float64
+	P50, P90, P99  float64
 }
 
 // Summarize computes a Summary of values.
@@ -177,10 +177,11 @@ func Summarize(values []float64) Summary {
 	s.Mean = Mean(values)
 	s.P50 = Percentile(values, 50)
 	s.P90 = Percentile(values, 90)
+	s.P99 = Percentile(values, 99)
 	return s
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f max=%.3f",
-		s.N, s.Mean, s.Min, s.P50, s.P90, s.Max)
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max)
 }

@@ -141,6 +141,66 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleElement(t *testing.T) {
+	single := []float64{7}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := Percentile(single, p); got != 7 {
+			t.Errorf("p%v of single element = %v, want 7", p, got)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %v, want 0", got)
+	}
+}
+
+func TestPercentileOutOfRangeClamps(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(v, -10); got != 1 {
+		t.Errorf("p(-10) = %v, want min", got)
+	}
+	if got := Percentile(v, 250); got != 5 {
+		t.Errorf("p(250) = %v, want max", got)
+	}
+}
+
+func TestWindowSumsExactFit(t *testing.T) {
+	// Window equal to the series length yields exactly one sum.
+	got := WindowSums([]float64{1, 2, 3}, 3)
+	if len(got) != 1 || got[0] != 6 {
+		t.Errorf("exact-fit WindowSums = %v, want [6]", got)
+	}
+	// One past the length yields nothing (trailing partial is dropped).
+	if got := WindowSums([]float64{1, 2, 3}, 4); got != nil {
+		t.Errorf("window > len = %v, want nil", got)
+	}
+}
+
+func TestGeoMeanAllZeros(t *testing.T) {
+	// All-zero input degenerates to the clamp epsilon: tiny but
+	// positive, never NaN or negative.
+	v := GeoMean([]float64{0, 0, 0})
+	if math.IsNaN(v) || v <= 0 || v > 1e-8 {
+		t.Errorf("GeoMean of zeros = %v, want tiny positive", v)
+	}
+}
+
+func TestSummaryP99(t *testing.T) {
+	// 1..100: nearest-rank percentiles are exact integers.
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	s := Summarize(v)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Errorf("P50/P90/P99 = %v/%v/%v, want 50/90/99", s.P50, s.P90, s.P99)
+	}
+	// A single element pins every percentile.
+	s = Summarize([]float64{3.5})
+	if s.P50 != 3.5 || s.P99 != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("single-element summary = %+v", s)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4})
 	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEq(s.Mean, 2.5, 1e-12) {

@@ -25,6 +25,7 @@ import (
 	"resemble/internal/cache"
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
 	"resemble/internal/trace"
 )
 
@@ -206,6 +207,49 @@ type Simulator struct {
 	dropped     uint64
 
 	accessIdx int
+
+	// Telemetry (all nil/zero when no collector is attached; the
+	// instrument handles are nil-safe, so the disabled cost is one nil
+	// check per call site).
+	tel        *telemetry.Collector
+	probe      telemetry.ControllerProbe
+	winSize    int
+	win        telemetry.SimWindow
+	winInstrID uint64 // rec.ID at the window start
+	winCycles  float64
+
+	// Per-window accumulators for counters that are not part of the
+	// snapshot. All registry counters are fed from these plain fields at
+	// window boundaries (flushCounters) instead of atomically on every
+	// event, keeping the instrumented hot path within its overhead
+	// budget (see BenchmarkSimulatorTelemetry).
+	winDups       uint64
+	winDRAMReqs   uint64
+	winMSHRStalls uint64
+
+	cHits, cMisses, cLateHits  *telemetry.Counter
+	cUseful, cIssued, cDropped *telemetry.Counter
+	cDup, cDRAMReq, cMSHRStall *telemetry.Counter
+	hOccupancy                 *telemetry.Histogram
+}
+
+// AttachTelemetry wires the simulator to a collector: registry
+// counters for the memory-system events, per-window snapshot emission,
+// and sampled event tracing. A nil collector detaches.
+func (s *Simulator) AttachTelemetry(tel *telemetry.Collector) {
+	s.tel = tel
+	s.winSize = tel.WindowSize()
+	r := tel.Registry()
+	s.cHits = r.Counter("sim.llc.hits")
+	s.cMisses = r.Counter("sim.llc.misses")
+	s.cLateHits = r.Counter("sim.llc.late_hits")
+	s.cUseful = r.Counter("sim.llc.useful_prefetches")
+	s.cIssued = r.Counter("sim.prefetch.issued")
+	s.cDropped = r.Counter("sim.prefetch.dropped")
+	s.cDup = r.Counter("sim.prefetch.duplicates")
+	s.cDRAMReq = r.Counter("sim.dram.requests")
+	s.cMSHRStall = r.Counter("sim.dram.mshr_stalls")
+	s.hOccupancy = r.Histogram("sim.dram.mshr_occupancy")
 }
 
 // New builds a simulator; it panics on invalid configuration.
@@ -237,13 +281,37 @@ func RunBaseline(cfg Config, tr *trace.Trace) Result {
 	return Run(cfg, tr, nil)
 }
 
+// RunWithTelemetry simulates the trace reporting into the collector:
+// it labels the run, attaches the collector to the simulator and — via
+// telemetry.Attachable — to the source, and emits per-window
+// snapshots. A nil collector degrades to a plain Run.
+func RunWithTelemetry(cfg Config, tr *trace.Trace, src Source, tel *telemetry.Collector) Result {
+	s := New(cfg)
+	s.AttachTelemetry(tel)
+	name := "none"
+	if src != nil {
+		name = src.Name()
+	}
+	tel.BeginRun(tr.Name, name)
+	if a, ok := src.(telemetry.Attachable); ok && tel != nil {
+		a.AttachTelemetry(tel)
+	}
+	return s.run(tr, src)
+}
+
 func (s *Simulator) run(tr *trace.Trace, src Source) Result {
+	if p, ok := src.(telemetry.ControllerProbe); ok {
+		s.probe = p
+	}
 	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
 	for i, rec := range tr.Records {
 		if i == warmupEnd {
 			s.resetMeasurement(rec.ID)
 		}
 		s.step(rec, src)
+	}
+	if s.winSize > 0 {
+		s.flushCounters()
 	}
 	return s.result(tr, src)
 }
@@ -290,6 +358,7 @@ func (s *Simulator) step(rec trace.Record, src Source) {
 	s.commitFills(dispatch)
 
 	// Access the hierarchy.
+	idxBefore := s.accessIdx
 	lat := s.access(rec, dispatch, src)
 
 	completion := dispatch + lat
@@ -301,6 +370,9 @@ func (s *Simulator) step(rec trace.Record, src Source) {
 
 	s.dispatch = dispatch
 	s.retire = retire
+	if s.winSize > 0 && s.accessIdx != idxBefore {
+		s.windowTick(rec)
+	}
 	s.lastID = rec.ID
 	s.robQ = append(s.robQ, loadRetire{id: rec.ID, retire: retire})
 	// Trim entries older than one ROB window behind.
@@ -343,11 +415,15 @@ func (s *Simulator) access(rec trace.Record, now float64, src Source) float64 {
 	// LLC access: this is the stream prefetchers observe.
 	s.accessIdx++
 	s.llcAccesses++
+	s.win.Accesses++
 	hit, firstUse := s.llc.Access(line)
 	var lat float64
+	kind := telemetry.KindMiss
 	switch {
 	case hit:
 		lat = float64(s.cfg.LLC.Latency)
+		kind = telemetry.KindHit
+		s.win.Hits++
 	default:
 		if fill, ok := s.pendingSet[line]; ok {
 			// Late prefetch: the line is in flight; wait for the
@@ -360,13 +436,27 @@ func (s *Simulator) access(rec trace.Record, now float64, src Source) float64 {
 			lat = remaining
 			s.removePending(line)
 			s.llc.Insert(line, false)
+			kind = telemetry.KindLateHit
+			s.win.LateHits++
+			s.win.Useful++
 		} else {
 			// True miss: go to DRAM under MSHR and bandwidth bounds.
 			s.llcMisses++
 			start := s.dramIssue(now)
 			lat = (start - now) + float64(s.cfg.LLC.Latency) + float64(s.cfg.DRAMLatency)
 			s.llc.Insert(line, false)
+			s.win.Misses++
 		}
+	}
+	if firstUse {
+		// First demand use of a prefetched line: the prefetch paid off.
+		s.win.Useful++
+	}
+	if s.tel != nil {
+		s.tel.Trace(telemetry.Event{
+			Seq: uint64(s.accessIdx), Cycle: now, Kind: kind,
+			PC: rec.PC, Addr: uint64(rec.Addr),
+		})
 	}
 	s.l2.Insert(line, false)
 	s.l1d.Insert(line, false)
@@ -402,6 +492,10 @@ func (s *Simulator) dramIssue(now float64) float64 {
 		if oldest > start {
 			start = oldest
 		}
+		s.winMSHRStalls++
+		if s.tel != nil {
+			s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: start, Kind: telemetry.KindMSHRStall})
+		}
 	}
 	// Drop completed entries from the front.
 	for len(s.mshr) > 0 && s.mshr[0] <= start {
@@ -409,6 +503,13 @@ func (s *Simulator) dramIssue(now float64) float64 {
 	}
 	s.mshr = append(s.mshr, start+float64(s.cfg.DRAMLatency))
 	s.dramNextFree = start + float64(s.cfg.DRAMInterval)
+	s.winDRAMReqs++
+	// Queue occupancy is sampled deterministically 1-in-8: the
+	// histogram's mutex is too expensive for every request, and the
+	// occupancy distribution survives uniform decimation.
+	if s.winDRAMReqs&7 == 0 {
+		s.hOccupancy.Observe(float64(len(s.mshr)))
+	}
 	return start
 }
 
@@ -423,21 +524,31 @@ func (s *Simulator) issuePrefetches(lines []mem.Line, now float64) {
 		if s.cfg.LowThroughput && s.cfg.PrefetchLatency > 0 {
 			if now < s.ctrlBusyTill {
 				s.dropped++
+				s.win.Dropped++
+				if s.tel != nil {
+					s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: now, Kind: telemetry.KindPrefetchDrop, Addr: uint64(mem.LineAddr(line))})
+				}
 				continue
 			}
 			s.ctrlBusyTill = now + float64(s.cfg.PrefetchLatency)
 		}
 		n++
 		if s.llc.Contains(line) {
+			s.winDups++
 			continue
 		}
 		if _, inFlight := s.pendingSet[line]; inFlight {
+			s.winDups++
 			continue
 		}
 		issue := now + float64(s.cfg.PrefetchLatency)
 		start := s.dramIssue(issue)
 		fill := start + float64(s.cfg.DRAMLatency) + float64(s.cfg.LLC.Latency)
 		s.issued++
+		s.win.Issued++
+		if s.tel != nil {
+			s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: start, Kind: telemetry.KindPrefetchIssue, Addr: uint64(mem.LineAddr(line))})
+		}
 		s.pending = append(s.pending, pendingFill{line: line, fill: fill})
 		s.pendingSet[line] = fill
 	}
@@ -456,8 +567,47 @@ func (s *Simulator) commitFills(now float64) {
 		}
 		delete(s.pendingSet, p.line)
 		s.llc.Insert(p.line, true)
+		if s.tel != nil {
+			s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: p.fill, Kind: telemetry.KindFill, Addr: uint64(mem.LineAddr(p.line))})
+		}
 	}
 	s.pending = s.pending[i:]
+}
+
+// windowTick advances the snapshot window after an LLC access and
+// emits a WindowSnapshot every winSize accesses. Windows cover the
+// whole run (warmup included): the learning trajectory the snapshots
+// exist to expose starts at access zero.
+func (s *Simulator) windowTick(rec trace.Record) {
+	if int(s.win.Accesses) < s.winSize {
+		return
+	}
+	clock := s.retireClock()
+	s.win.Instructions = rec.ID - s.winInstrID
+	s.win.Cycles = clock - s.winCycles
+	s.tel.EmitWindow(s.win, s.probe)
+	s.flushCounters()
+	s.win = telemetry.SimWindow{}
+	s.winInstrID = rec.ID
+	s.winCycles = clock
+}
+
+// flushCounters feeds the window's accumulated event counts into the
+// registry counters in one atomic Add each, so the per-event hot path
+// never touches an atomic. Called at window boundaries and at the end
+// of the run (the trailing partial window reaches the counters even
+// though no snapshot is emitted for it).
+func (s *Simulator) flushCounters() {
+	s.cHits.Add(s.win.Hits)
+	s.cMisses.Add(s.win.Misses)
+	s.cLateHits.Add(s.win.LateHits)
+	s.cUseful.Add(s.win.Useful)
+	s.cIssued.Add(s.win.Issued)
+	s.cDropped.Add(s.win.Dropped)
+	s.cDup.Add(s.winDups)
+	s.cDRAMReq.Add(s.winDRAMReqs)
+	s.cMSHRStall.Add(s.winMSHRStalls)
+	s.winDups, s.winDRAMReqs, s.winMSHRStalls = 0, 0, 0
 }
 
 func (s *Simulator) removePending(line mem.Line) {
@@ -520,6 +670,10 @@ type prefetcherSource struct {
 	p      prefetch.Prefetcher
 	degree int
 	buf    []mem.Line
+
+	accesses uint64
+	issuing  uint64 // accesses with at least one suggestion
+	lines    uint64 // lines issued
 }
 
 func (ps *prefetcherSource) Name() string { return ps.p.Name() }
@@ -532,7 +686,28 @@ func (ps *prefetcherSource) OnAccess(a prefetch.AccessContext) []mem.Line {
 		}
 		ps.buf = append(ps.buf, sug.Line)
 	}
+	ps.accesses++
+	if len(ps.buf) > 0 {
+		ps.issuing++
+		ps.lines += uint64(len(ps.buf))
+	}
 	return ps.buf
 }
 
-func (ps *prefetcherSource) Reset() { ps.p.Reset() }
+func (ps *prefetcherSource) Reset() {
+	ps.p.Reset()
+	ps.accesses, ps.issuing, ps.lines = 0, 0, 0
+}
+
+// TelemetryStats implements telemetry.ControllerProbe for a solo
+// prefetcher: a one-arm action space whose count is the accesses it
+// actually suggested on (usefulness is attributed by the simulator's
+// window counters, not here).
+func (ps *prefetcherSource) TelemetryStats() telemetry.ControllerStats {
+	return telemetry.ControllerStats{
+		Steps:        int(ps.accesses),
+		ActionNames:  []string{ps.p.Name()},
+		ActionCounts: []uint64{ps.issuing},
+		ArmIssued:    []uint64{ps.lines},
+	}
+}

@@ -1,0 +1,91 @@
+// Determinism regression test: telemetry must be a pure function of
+// (workload, seed). Every piece of the pipeline is deterministic by
+// construction — count-based event sampling, stride-decimated
+// histogram reservoirs, struct-ordered JSON — and this test pins that
+// property end to end by running the full simulator + DQN controller
+// twice and byte-comparing the marshalled windows, sampled events and
+// registry snapshot.
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"resemble/internal/core"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+func telemetryRun(t *testing.T, accesses int) (windows, events, registry []byte) {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true, TraceSample: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &telemetry.MemorySink{}
+	tel.AddEventSink(mem, false)
+
+	w, err := trace.Lookup("471.omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.GenerateSeeded(accesses, w.Seed)
+	cfg := core.DefaultConfig()
+	cfg.Batch = 64
+	cfg.Seed = 1
+	pfs := []prefetch.Prefetcher{
+		bo.New(bo.Config{}), spp.New(spp.Config{}),
+		isb.New(isb.Config{}), domino.New(domino.Config{}),
+	}
+	sim.RunWithTelemetry(sim.DefaultConfig(), tr, core.NewController(cfg, pfs), tel)
+
+	wins := tel.Windows()
+	if len(wins) == 0 {
+		t.Fatal("run emitted no window snapshots")
+	}
+	evs := mem.Events()
+	if len(evs) == 0 {
+		t.Fatal("run emitted no sampled events")
+	}
+	windows, err = json.Marshal(wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err = json.Marshal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry, err = json.Marshal(tel.Registry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return windows, events, registry
+}
+
+func TestTelemetryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulator run skipped in -short mode")
+	}
+	const accesses = 6000
+	w1, e1, r1 := telemetryRun(t, accesses)
+	w2, e2, r2 := telemetryRun(t, accesses)
+	if !bytes.Equal(w1, w2) {
+		t.Error("window snapshots differ between identical runs")
+	}
+	if !bytes.Equal(e1, e2) {
+		t.Error("sampled event traces differ between identical runs")
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("registry snapshots differ between identical runs")
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+// Event kinds emitted by the simulator (access/memory system) and the
+// RL controllers. Every LLC demand access emits exactly one of
+// KindHit/KindMiss/KindLateHit, so those three double as access
+// delimiters for full-rate sinks.
+const (
+	KindHit           Kind = iota // LLC demand hit
+	KindMiss                      // LLC demand miss to DRAM
+	KindLateHit                   // demand hit on an in-flight prefetch
+	KindFill                      // prefetch fill landed in the LLC
+	KindMSHRStall                 // DRAM issue delayed by a full MSHR
+	KindPrefetchIssue             // one prefetch line sent to memory
+	KindPrefetchDrop              // suggestion dropped (low-TP controller)
+	KindAction                    // controller chose an action (Action set)
+	KindReward                    // a transition's reward resolved (Reward set)
+	KindTrain                     // one policy training batch ran
+	KindRoleSwitch                // DQN policy/target role switch
+)
+
+var kindNames = [...]string{
+	"hit", "miss", "late_hit", "fill", "mshr_stall",
+	"prefetch_issue", "prefetch_drop", "action", "reward", "train",
+	"role_switch",
+}
+
+// IsAccess reports whether k marks an LLC demand access (hit, miss or
+// late-prefetch hit).
+func (k Kind) IsAccess() bool { return k <= KindLateHit }
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON emits the symbolic name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Event is one structured trace record. Seq is the LLC access sequence
+// number (the controller's step counter); Cycle is the simulator clock
+// at emission. Fields that do not apply to a Kind are zero and omitted
+// from JSON.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	Cycle  float64 `json:"cycle,omitempty"`
+	Kind   Kind    `json:"kind"`
+	PC     uint64  `json:"pc,omitempty"`
+	Addr   uint64  `json:"addr,omitempty"`
+	Action int8    `json:"action,omitempty"`
+	Reward float64 `json:"reward,omitempty"`
+}
+
+// Sink consumes traced events. Implementations need not be
+// thread-safe: the tracer serializes writes.
+type Sink interface {
+	WriteEvent(Event) error
+	Close() error
+}
+
+// JSONLSink writes one JSON object per event per line.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w; if w is also an io.Closer it is closed by
+// Close after the buffer is flushed.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// WriteEvent implements Sink.
+func (s *JSONLSink) WriteEvent(e Event) error { return s.enc.Encode(e) }
+
+// Close flushes and closes the underlying writer.
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CSVSink writes events as CSV with a fixed header.
+type CSVSink struct {
+	w      *bufio.Writer
+	c      io.Closer
+	wroteH bool
+}
+
+// NewCSVSink wraps w; if w is also an io.Closer it is closed by Close
+// after the buffer is flushed.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// WriteEvent implements Sink.
+func (s *CSVSink) WriteEvent(e Event) error {
+	if !s.wroteH {
+		s.wroteH = true
+		if _, err := s.w.WriteString("seq,cycle,kind,pc,addr,action,reward\n"); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(s.w, "%d,%.1f,%s,0x%x,0x%x,%d,%g\n",
+		e.Seq, e.Cycle, e.Kind, e.PC, e.Addr, e.Action, e.Reward)
+	return err
+}
+
+// Close flushes and closes the underlying writer.
+func (s *CSVSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemorySink retains events in memory, for tests and post-mortem
+// inspection.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// WriteEvent implements Sink.
+func (s *MemorySink) WriteEvent(e Event) error {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Sink (no-op).
+func (s *MemorySink) Close() error { return nil }
+
+// Events returns a copy of the retained events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event) error
+
+// WriteEvent implements Sink.
+func (f FuncSink) WriteEvent(e Event) error { return f(e) }
+
+// Close implements Sink (no-op).
+func (FuncSink) Close() error { return nil }

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// RunInfo identifies one simulation inside a collector session (a CLI
+// invocation may run a baseline plus a controller, or a whole sweep).
+type RunInfo struct {
+	Workload string `json:"workload"`
+	Source   string `json:"source"`
+}
+
+// Manifest records everything needed to reproduce and attribute a run:
+// the exact configuration and seed, the code version, and the resource
+// footprint. It is written as manifest.json next to the other
+// telemetry outputs when the collector closes.
+type Manifest struct {
+	// Tool and Args identify the invocation (os.Args).
+	Tool string   `json:"tool,omitempty"`
+	Args []string `json:"args,omitempty"`
+
+	// Workload/Controller/Seed/Accesses describe the primary run;
+	// Runs lists every (workload, source) pair simulated.
+	Workload   string    `json:"workload,omitempty"`
+	Controller string    `json:"controller,omitempty"`
+	Seed       int64     `json:"seed"`
+	Accesses   int       `json:"accesses,omitempty"`
+	Runs       []RunInfo `json:"runs,omitempty"`
+
+	// Config carries the marshalled simulator/controller configuration.
+	Config map[string]any `json:"config,omitempty"`
+
+	// GitDescribe is `git describe --always --dirty` at run time (empty
+	// outside a git checkout); GoVersion and NumCPU describe the
+	// environment.
+	GitDescribe string `json:"git_describe,omitempty"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+
+	// Start is the wall-clock start (RFC3339); WallTimeSec the total
+	// run duration, filled in at Close.
+	Start       string  `json:"start"`
+	WallTimeSec float64 `json:"wall_time_sec"`
+
+	// HeapAllocBytes and TotalAllocBytes come from
+	// runtime.ReadMemStats at Close: live heap and cumulative
+	// allocation over the run.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+}
+
+// newManifest seeds a manifest with environment facts.
+func newManifest(start time.Time) Manifest {
+	return Manifest{
+		Tool:        filepath.Base(os.Args[0]),
+		Args:        os.Args[1:],
+		GitDescribe: gitDescribe(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Start:       start.UTC().Format(time.RFC3339),
+	}
+}
+
+// SetConfig stores any JSON-marshallable configuration struct under the
+// given key (e.g. "sim", "controller").
+func (m *Manifest) SetConfig(key string, cfg any) {
+	if m == nil {
+		return
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return
+	}
+	var v any
+	if json.Unmarshal(b, &v) != nil {
+		return
+	}
+	if m.Config == nil {
+		m.Config = make(map[string]any)
+	}
+	m.Config[key] = v
+}
+
+// finish stamps the duration and memory footprint.
+func (m *Manifest) finish(start time.Time) {
+	m.WallTimeSec = time.Since(start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.HeapAllocBytes = ms.HeapAlloc
+	m.TotalAllocBytes = ms.TotalAlloc
+}
+
+// gitDescribe returns the checkout's `git describe --always --dirty`,
+// or "" when git or the repository is unavailable.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

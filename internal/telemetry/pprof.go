@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile written to dir/cpu.pprof and
+// returns a stop function that ends it and captures a post-GC heap
+// profile to dir/heap.pprof. The directory is created if needed.
+func StartProfiles(dir string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := rpprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		err := cpu.Close()
+		heap, herr := os.Create(filepath.Join(dir, "heap.pprof"))
+		if herr != nil {
+			if err == nil {
+				err = herr
+			}
+			return err
+		}
+		runtime.GC()
+		if werr := rpprof.WriteHeapProfile(heap); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := heap.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}
+
+// ServePprof serves the net/http/pprof handlers on addr (e.g. ":6060")
+// in a background goroutine. It binds synchronously so address errors
+// are reported to the caller, and returns the bound address (useful
+// with ":0").
+func ServePprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

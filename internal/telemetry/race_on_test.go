@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// budget tests skip under -race: instrumentation multiplies the cost of
+// every memory access and the budgets describe production builds.
+const raceEnabled = true

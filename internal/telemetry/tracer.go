@@ -1,0 +1,109 @@
+package telemetry
+
+// Tracer fans traced events out to a bounded in-memory ring and to
+// registered sinks. Sampling is deterministic 1-in-N by arrival order
+// (not random), so traces of identical runs are byte-identical — a
+// property the determinism regression test relies on. Sinks registered
+// full-rate (the -pref dump, reward bookkeeping) bypass sampling; the
+// ring and sampled sinks see every N-th event.
+type Tracer struct {
+	sample   uint64 // 1-in-N; 0 disables the sampled path entirely
+	n        uint64 // events seen
+	ring     []Event
+	ringNext int
+	ringWrap bool
+	sampled  []Sink
+	full     []Sink
+}
+
+// NewTracer builds a tracer with the given 1-in-N sampling rate and
+// ring capacity. sample <= 0 disables the sampled path (full-rate
+// sinks still receive everything); ringSize <= 0 disables the ring.
+func NewTracer(sample, ringSize int) *Tracer {
+	t := &Tracer{}
+	if sample > 0 {
+		t.sample = uint64(sample)
+	}
+	if ringSize > 0 {
+		t.ring = make([]Event, ringSize)
+	}
+	return t
+}
+
+// AddSink registers a sink. Full-rate sinks receive every event;
+// sampled sinks receive the 1-in-N selection.
+func (t *Tracer) AddSink(s Sink, fullRate bool) {
+	if t == nil || s == nil {
+		return
+	}
+	if fullRate {
+		t.full = append(t.full, s)
+	} else {
+		t.sampled = append(t.sampled, s)
+	}
+}
+
+// Trace records one event. Errors from sinks are dropped: tracing must
+// never abort a simulation (the final Close reports flush errors).
+func (t *Tracer) Trace(e Event) {
+	if t == nil {
+		return
+	}
+	for _, s := range t.full {
+		_ = s.WriteEvent(e)
+	}
+	if t.sample == 0 {
+		return
+	}
+	t.n++
+	if t.n%t.sample != 0 {
+		return
+	}
+	if t.ring != nil {
+		t.ring[t.ringNext] = e
+		t.ringNext++
+		if t.ringNext == len(t.ring) {
+			t.ringNext = 0
+			t.ringWrap = true
+		}
+	}
+	for _, s := range t.sampled {
+		_ = s.WriteEvent(e)
+	}
+}
+
+// Ring returns the retained sampled events in chronological order.
+func (t *Tracer) Ring() []Event {
+	if t == nil || t.ring == nil {
+		return nil
+	}
+	if !t.ringWrap {
+		return append([]Event(nil), t.ring[:t.ringNext]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.ringNext:]...)
+	return append(out, t.ring[:t.ringNext]...)
+}
+
+// Seen returns the number of events offered to the sampled path.
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Close closes every sink, returning the first error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range append(append([]Sink(nil), t.full...), t.sampled...) {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.full, t.sampled = nil, nil
+	return first
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"resemble/internal/metrics"
+)
+
+// SimWindow is the simulator's contribution to one window snapshot:
+// per-window deltas of its throughput counters (the simulator resets
+// these at each window boundary).
+type SimWindow struct {
+	// Accesses..Dropped count LLC-level events inside the window.
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	LateHits uint64
+	Useful   uint64
+	Issued   uint64
+	Dropped  uint64
+	// Instructions and Cycles are the window's retirement deltas.
+	Instructions uint64
+	Cycles       float64
+}
+
+// ControllerStats is the learning state a controller exposes to the
+// window snapshotter. Cumulative fields (RewardSum, ActionCounts,
+// Arm*) are diffed against the previous window by the Collector;
+// the Q* fields cover the period since the last probe (drained on
+// read).
+type ControllerStats struct {
+	// Steps is the controller's access counter.
+	Steps int
+	// Epsilon is the current exploration rate (0 for non-RL sources).
+	Epsilon float64
+	// RewardSum is the cumulative resolved reward.
+	RewardSum float64
+	// ActionNames labels the action space; ActionCounts counts chosen
+	// actions cumulatively, indexed like ActionNames.
+	ActionNames  []string
+	ActionCounts []uint64
+	// ArmIssued/ArmUseful/ArmUseless attribute prefetch lines to the arm
+	// that issued them, cumulatively (the NP slot stays zero).
+	ArmIssued  []uint64
+	ArmUseful  []uint64
+	ArmUseless []uint64
+	// QValues holds the Q-values the controller evaluated since the
+	// previous probe (drained on read; populated only while a collector
+	// is attached, so the buffer cannot grow unprobed).
+	QValues []float64
+}
+
+// ControllerProbe is implemented by prefetch sources that expose
+// per-window learning state (both ReSemble variants and SBP(E)).
+type ControllerProbe interface {
+	TelemetryStats() ControllerStats
+}
+
+// Attachable is implemented by prefetch sources that accept a
+// telemetry collector for event-level instrumentation; the simulator
+// attaches its collector to the source automatically.
+type Attachable interface {
+	AttachTelemetry(*Collector)
+}
+
+// ArmStats is the per-prefetcher share of one window.
+type ArmStats struct {
+	Name string `json:"name"`
+	// Share is the fraction of the window's actions choosing this arm.
+	Share float64 `json:"share"`
+	// Issued/Useful/Useless are this arm's prefetch-line outcomes
+	// resolved inside the window.
+	Issued  uint64 `json:"issued"`
+	Useful  uint64 `json:"useful"`
+	Useless uint64 `json:"useless"`
+}
+
+// WindowSnapshot is one emitted window: simulator throughput plus
+// controller learning state over WindowSize LLC accesses.
+type WindowSnapshot struct {
+	// Workload/Source label the run (set by BeginRun); Window is the
+	// zero-based window index within the run.
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Window   int    `json:"window"`
+
+	Accesses     uint64  `json:"accesses"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       float64 `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	Misses       uint64  `json:"misses"`
+	MPKI         float64 `json:"mpki"`
+	HitRate      float64 `json:"hit_rate"`
+
+	Issued   uint64  `json:"issued"`
+	Useful   uint64  `json:"useful"`
+	LateHits uint64  `json:"late_hits"`
+	Dropped  uint64  `json:"dropped"`
+	Accuracy float64 `json:"accuracy"`
+	Coverage float64 `json:"coverage"`
+
+	// RewardSum is the reward resolved inside the window; Epsilon the
+	// exploration rate at its end.
+	RewardSum float64    `json:"reward_sum"`
+	Epsilon   float64    `json:"epsilon"`
+	Arms      []ArmStats `json:"arms,omitempty"`
+
+	// Q summarizes the Q-values the controller evaluated during the
+	// window (zero Summary when the source is not an RL controller).
+	Q metrics.Summary `json:"q"`
+}
+
+// WindowSink consumes window snapshots.
+type WindowSink interface {
+	WriteWindow(WindowSnapshot) error
+	Close() error
+}
+
+// JSONLWindowSink writes one snapshot per line.
+type JSONLWindowSink struct {
+	w   *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewJSONLWindowSink wraps w; if w is also an io.Closer it is closed
+// by Close after the buffer is flushed.
+func NewJSONLWindowSink(w io.Writer) *JSONLWindowSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLWindowSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// WriteWindow implements WindowSink.
+func (s *JSONLWindowSink) WriteWindow(w WindowSnapshot) error { return s.enc.Encode(w) }
+
+// Close flushes and closes the underlying writer.
+func (s *JSONLWindowSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// RewardsCSVSink writes the artifact-style .rewards.csv: per window,
+// the resolved reward sum and each action's share. It is the thin-sink
+// replacement for the old cmd/resemble -rewards writer.
+type RewardsCSVSink struct {
+	w      *bufio.Writer
+	c      io.Closer
+	wroteH bool
+}
+
+// NewRewardsCSVSink wraps w; if w is also an io.Closer it is closed by
+// Close after the buffer is flushed.
+func NewRewardsCSVSink(w io.Writer) *RewardsCSVSink {
+	s := &RewardsCSVSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// WriteWindow implements WindowSink.
+func (s *RewardsCSVSink) WriteWindow(w WindowSnapshot) error {
+	if !s.wroteH {
+		s.wroteH = true
+		if _, err := s.w.WriteString("window,reward"); err != nil {
+			return err
+		}
+		for _, a := range w.Arms {
+			if _, err := fmt.Fprintf(s.w, ",%s", a.Name); err != nil {
+				return err
+			}
+		}
+		if err := s.w.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, "%d,%.1f", w.Window, w.RewardSum); err != nil {
+		return err
+	}
+	for _, a := range w.Arms {
+		if _, err := fmt.Fprintf(s.w, ",%.3f", a.Share); err != nil {
+			return err
+		}
+	}
+	return s.w.WriteByte('\n')
+}
+
+// Close flushes and closes the underlying writer.
+func (s *RewardsCSVSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// MemoryWindowSink retains snapshots in memory, for tests.
+type MemoryWindowSink struct {
+	windows []WindowSnapshot
+}
+
+// WriteWindow implements WindowSink.
+func (s *MemoryWindowSink) WriteWindow(w WindowSnapshot) error {
+	s.windows = append(s.windows, w)
+	return nil
+}
+
+// Close implements WindowSink (no-op).
+func (s *MemoryWindowSink) Close() error { return nil }
+
+// Windows returns the retained snapshots (not a copy).
+func (s *MemoryWindowSink) Windows() []WindowSnapshot { return s.windows }

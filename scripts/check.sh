@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repo's CI gate. Runs formatting, vet, the race-enabled
+# test subset for the concurrency-sensitive packages, and the full test
+# suite. Usage: scripts/check.sh (or `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race (telemetry, sim) =="
+go test -race ./internal/telemetry/... ./internal/sim/...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== OK =="
