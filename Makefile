@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+.PHONY: build test check bench fmt fault-matrix
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,8 @@ bench:
 
 fmt:
 	gofmt -w .
+
+# Graceful-degradation evaluation: masked vs unmasked ensemble vs solo
+# under each injected fault class (see DESIGN.md).
+fault-matrix:
+	$(GO) run ./cmd/experiments -exp faults

@@ -16,13 +16,26 @@
 //
 // Experiment ids map to the paper's evaluation artifacts; see DESIGN.md
 // for the per-experiment index and EXPERIMENTS.md for recorded results.
+//
+// Fault tolerance: -safe isolates each experiment (panics recovered,
+// -timeout bounds wall time, the suite continues past failures).
+// -checkpoint FILE records completed experiment ids — after a crash or
+// SIGINT/SIGTERM, -resume skips them:
+//
+//	experiments -exp all -safe -timeout 30m -checkpoint suite.progress
+//	^C
+//	experiments -exp all -safe -timeout 30m -checkpoint suite.progress -resume
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"resemble/internal/experiments"
@@ -47,9 +60,17 @@ func run() (err error) {
 		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
 		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
+		safe        = flag.Bool("safe", false, "isolate each experiment: recover panics, apply -timeout, continue past failures")
+		timeout     = flag.Duration("timeout", 0, "per-experiment deadline in -safe mode (0 = none)")
+		ckpPath     = flag.String("checkpoint", "", "suite progress file: completed experiment ids are recorded here (and on SIGINT/SIGTERM the suite stops at the next boundary)")
+		resume      = flag.Bool("resume", false, "skip experiments already recorded in the -checkpoint progress file")
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	if *resume && *ckpPath == "" {
+		return errors.New("-resume requires -checkpoint")
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.ExperimentIDs(), "\n"))
@@ -113,7 +134,97 @@ func run() (err error) {
 		// fig8/9/10 share one sweep; run it once.
 		ids = dedupeSweep(ids)
 	}
+
+	// Suite-level checkpoint/resume: completed experiment ids are
+	// recorded one per line, so an interrupted or crashed sweep picks up
+	// where it left off instead of redoing hours of finished work.
+	if *resume {
+		data, rerr := os.ReadFile(*ckpPath)
+		if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			return rerr
+		}
+		done := make(map[string]bool)
+		for _, id := range strings.Fields(string(data)) {
+			done[id] = true
+		}
+		var rest []string
+		for _, id := range ids {
+			if done[id] {
+				fmt.Printf("-- %s already completed (recorded in %s); skipping --\n", id, *ckpPath)
+				continue
+			}
+			rest = append(rest, id)
+		}
+		ids = rest
+	}
+	record := func(id string) error {
+		if *ckpPath == "" {
+			return nil
+		}
+		f, ferr := os.OpenFile(*ckpPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return ferr
+		}
+		if _, ferr = fmt.Fprintln(f, id); ferr != nil {
+			f.Close()
+			return ferr
+		}
+		return f.Close()
+	}
+	var interrupted atomic.Bool
+	if *ckpPath != "" {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "signal received; stopping after the current experiment...")
+			interrupted.Store(true)
+		}()
+	}
+	checkInterrupt := func() error {
+		if interrupted.Load() {
+			return fmt.Errorf("suite interrupted; completed experiments are recorded in %s (rerun with -resume)", *ckpPath)
+		}
+		return nil
+	}
+	finish := func() error {
+		// The suite completed: the progress file is stale now.
+		if *ckpPath != "" {
+			if rmErr := os.Remove(*ckpPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+				return rmErr
+			}
+		}
+		return nil
+	}
+
+	if *safe {
+		failed := 0
+		for _, id := range ids {
+			if err := checkInterrupt(); err != nil {
+				return err
+			}
+			r := experiments.RunSafe(id, opt, *timeout)
+			if r.Failed() {
+				failed++
+				fmt.Printf("-- %s FAILED after %s: %v --\n\n", r.ID, r.Duration.Round(time.Millisecond), r.Err)
+				continue
+			}
+			fmt.Printf("-- %s done in %s --\n\n", r.ID, r.Duration.Round(time.Millisecond))
+			if err := record(id); err != nil {
+				return err
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d experiments failed", failed, len(ids))
+		}
+		return finish()
+	}
+
 	for _, id := range ids {
+		if err := checkInterrupt(); err != nil {
+			return err
+		}
 		runExp, ok := experiments.Registry[id]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; use -list", id)
@@ -123,8 +234,11 @@ func run() (err error) {
 			return fmt.Errorf("experiment %s failed: %w", id, rerr)
 		}
 		fmt.Printf("-- %s done in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
+		if err := record(id); err != nil {
+			return err
+		}
 	}
-	return nil
+	return finish()
 }
 
 // dedupeSweep collapses fig8/fig9/fig10 (one shared sweep) to a single

@@ -27,15 +27,28 @@
 // lists the prefetched addresses per access (reconstructed from
 // full-rate prefetch-issue events) and the .rewards.csv file records
 // the reward sum and action shares per 1K-access window snapshot.
+//
+// Fault tolerance: -checkpoint FILE snapshots the whole run (simulator,
+// controller, RNG, telemetry) every -checkpoint-every records and on
+// SIGINT/SIGTERM; -resume continues from the snapshot and produces
+// byte-identical results to an uninterrupted run:
+//
+//	resemble -workload 471.omnetpp -checkpoint run.ckpt
+//	^C
+//	resemble -workload 471.omnetpp -checkpoint run.ckpt -resume
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"resemble/internal/core"
 	"resemble/internal/ensemble/sbp"
@@ -130,9 +143,16 @@ func run() (err error) {
 		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
 		saveModel   = flag.String("save", "", "save the trained model (resemble / resemble-t) to this file")
 		loadModel   = flag.String("load", "", "load a previously saved model before running")
+		ckpPath     = flag.String("checkpoint", "", "checkpoint the run to this file (written periodically and on SIGINT/SIGTERM)")
+		ckpEvery    = flag.Int("checkpoint-every", 100000, "checkpoint boundary spacing in trace records")
+		resume      = flag.Bool("resume", false, "resume the run from -checkpoint instead of starting over")
 		list        = flag.Bool("workloads", false, "list workloads and exit")
 	)
 	flag.Parse()
+
+	if *resume && *ckpPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 
 	if *list {
 		fmt.Println(strings.Join(trace.Names(), "\n"))
@@ -232,7 +252,41 @@ func run() (err error) {
 		tel.AddWindowSink(telemetry.NewRewardsCSVSink(f))
 	}
 
-	r := sim.RunWithTelemetry(simCfg, tr, src, tel)
+	var r sim.Result
+	if *ckpPath != "" {
+		// Fault-tolerant path: periodic checkpoints, plus a final one on
+		// SIGINT/SIGTERM so an interrupted run can continue with -resume.
+		var interrupted atomic.Bool
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "signal received; writing checkpoint...")
+			interrupted.Store(true)
+		}()
+		r, err = sim.RunResumable(simCfg, tr, src, sim.RunOpts{
+			Telemetry:       tel,
+			CheckpointPath:  *ckpPath,
+			CheckpointEvery: *ckpEvery,
+			Resume:          *resume,
+			Interrupt:       &interrupted,
+		})
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "checkpoint written to %s; rerun with -resume to continue\n", *ckpPath)
+			return err
+		}
+		if err != nil {
+			return err
+		}
+		// The run completed: the periodic checkpoint is stale now, and a
+		// later -resume from it would replay the tail of the trace.
+		if rmErr := os.Remove(*ckpPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			return rmErr
+		}
+	} else {
+		r = sim.RunWithTelemetry(simCfg, tr, src, tel)
+	}
 	fmt.Printf("%s: accuracy=%.1f%% coverage=%.1f%% MPKI=%.2f IPC=%.3f (%+.1f%%)\n",
 		r.Source, 100*r.Accuracy, 100*r.Coverage, r.MPKI, r.IPC, 100*r.IPCImprovement(base))
 	fmt.Printf("  prefetches: issued=%d useful=%d late=%d dropped=%d\n",

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"resemble/internal/core"
 	"resemble/internal/multicore"
@@ -46,11 +47,13 @@ func main() {
 	cfg := multicore.DefaultConfig()
 	base, err := multicore.Run(cfg, build(false))
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "multicore baseline run:", err)
+		os.Exit(1)
 	}
 	pf, err := multicore.Run(cfg, build(true))
 	if err != nil {
-		panic(err)
+		fmt.Fprintln(os.Stderr, "multicore prefetching run:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("4-core mix on a shared LLC (%d accesses each):\n\n", accesses)

@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/mem"
+)
+
+// wayState mirrors way with exported fields for gob.
+type wayState struct {
+	Tag        mem.Line
+	Valid      bool
+	LastUse    uint64
+	RRPV       uint8
+	Prefetched bool
+}
+
+// cacheState is the checkpoint payload of a Cache.
+type cacheState struct {
+	Sets, Ways int
+	Clock      uint64
+	Stats      Stats
+	Ways2      []wayState // all ways, set-major
+}
+
+// SaveState implements checkpoint.Stater: it snapshots the full
+// content (tags, LRU clocks, prefetch bits) and statistics.
+func (c *Cache) SaveState(w io.Writer) error {
+	st := cacheState{
+		Sets:  c.cfg.Sets,
+		Ways:  c.cfg.Ways,
+		Clock: c.clock,
+		Stats: c.stats,
+		Ways2: make([]wayState, 0, c.cfg.Sets*c.cfg.Ways),
+	}
+	for _, set := range c.sets {
+		for _, wy := range set {
+			st.Ways2 = append(st.Ways2, wayState{
+				Tag: wy.tag, Valid: wy.valid, LastUse: wy.lastUse,
+				RRPV: wy.rrpv, Prefetched: wy.prefetched,
+			})
+		}
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater. The snapshot must match the
+// cache's geometry; on any error the cache is left unchanged.
+func (c *Cache) LoadState(r io.Reader) error {
+	var st cacheState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("cache %s state: %w", c.cfg.Name, err)
+	}
+	if st.Sets != c.cfg.Sets || st.Ways != c.cfg.Ways {
+		return fmt.Errorf("cache %s state: geometry %dx%d does not match configured %dx%d",
+			c.cfg.Name, st.Sets, st.Ways, c.cfg.Sets, c.cfg.Ways)
+	}
+	if len(st.Ways2) != st.Sets*st.Ways {
+		return fmt.Errorf("cache %s state: %d ways for %dx%d geometry",
+			c.cfg.Name, len(st.Ways2), st.Sets, st.Ways)
+	}
+	c.clock = st.Clock
+	c.stats = st.Stats
+	k := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ws := st.Ways2[k]
+			c.sets[si][wi] = way{
+				tag: ws.Tag, valid: ws.Valid, lastUse: ws.LastUse,
+				rrpv: ws.RRPV, prefetched: ws.Prefetched,
+			}
+			k++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+// Package checkpoint implements fault-tolerant run snapshots: a
+// versioned, sectioned container file written atomically (temp +
+// rename) and sealed with a CRC32 footer, plus the Stater interface
+// every checkpointable component implements and a draw-counting RNG
+// source whose state is a (seed, draws) pair.
+//
+// A checkpoint is assembled by the simulator's resumable run loop
+// (internal/sim): it gathers one named section per component — the
+// trace cursor, the simulator/cache state, the prefetch source
+// (controller plus input prefetchers) and the telemetry collector —
+// and writes them as one file. On resume the sections are handed back
+// to the same components, which restore themselves exactly; an
+// interrupted-and-resumed run is byte-identical to an uninterrupted
+// one (see the determinism tests).
+//
+// File format (little-endian):
+//
+//	magic    [8]byte  "RSMCKP01"
+//	version  uint32
+//	nsect    uint32
+//	sections nsect × { nameLen uint16, name, dataLen uint64, data }
+//	crc      uint32   IEEE CRC32 of every preceding byte
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+var ckpMagic = [8]byte{'R', 'S', 'M', 'C', 'K', 'P', '0', '1'}
+
+// Errors returned when opening a corrupt or incompatible checkpoint.
+var (
+	ErrBadMagic = errors.New("checkpoint: bad magic")
+	ErrBadCRC   = errors.New("checkpoint: CRC mismatch (file corrupt or truncated)")
+)
+
+// Stater is implemented by every component that can snapshot its
+// complete run state into a checkpoint section and restore it later.
+// LoadState must either restore fully or leave the component usable;
+// a failed load must never panic.
+type Stater interface {
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
+
+// maxSectionName bounds section names; maxSectionSize bounds one
+// section's payload (1 GiB — far above any real state, small enough to
+// reject a corrupt length before allocating).
+const (
+	maxSectionName = 1 << 10
+	maxSectionSize = 1 << 30
+)
+
+// Builder assembles a checkpoint in memory before writing it in one
+// atomic operation.
+type Builder struct {
+	names []string
+	data  [][]byte
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add appends a named section whose payload is produced by save.
+// Section names must be unique and non-empty.
+func (b *Builder) Add(name string, save func(io.Writer) error) error {
+	if name == "" || len(name) > maxSectionName {
+		return fmt.Errorf("checkpoint: invalid section name %q", name)
+	}
+	for _, n := range b.names {
+		if n == name {
+			return fmt.Errorf("checkpoint: duplicate section %q", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return fmt.Errorf("checkpoint: section %q: %w", name, err)
+	}
+	if buf.Len() > maxSectionSize {
+		return fmt.Errorf("checkpoint: section %q exceeds %d bytes", name, maxSectionSize)
+	}
+	b.names = append(b.names, name)
+	b.data = append(b.data, buf.Bytes())
+	return nil
+}
+
+// WriteTo writes the container, including the CRC footer, to w.
+func (b *Builder) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(mw.Write(ckpMagic[:])); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Version)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.names)))
+	if err := count(mw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	for i, name := range b.names {
+		var nl [2]byte
+		binary.LittleEndian.PutUint16(nl[:], uint16(len(name)))
+		if err := count(mw.Write(nl[:])); err != nil {
+			return n, err
+		}
+		if err := count(io.WriteString(mw, name)); err != nil {
+			return n, err
+		}
+		var dl [8]byte
+		binary.LittleEndian.PutUint64(dl[:], uint64(len(b.data[i])))
+		if err := count(mw.Write(dl[:])); err != nil {
+			return n, err
+		}
+		if err := count(mw.Write(b.data[i])); err != nil {
+			return n, err
+		}
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	return n, count(w.Write(foot[:]))
+}
+
+// WriteFile writes the checkpoint atomically: the bytes go to a
+// temporary file in the destination directory which is then renamed
+// over path, so a crash mid-write never leaves a half-written
+// checkpoint under the final name.
+func (b *Builder) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := b.WriteTo(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// File is a parsed checkpoint.
+type File struct {
+	version  uint32
+	names    []string
+	sections map[string][]byte
+}
+
+// Read parses a checkpoint from r, validating the magic, version and
+// CRC before returning any section.
+func Read(r io.Reader) (*File, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(raw) < len(ckpMagic)+8+4 {
+		return nil, ErrBadCRC
+	}
+	if !bytes.Equal(raw[:8], ckpMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	body, foot := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot) {
+		return nil, ErrBadCRC
+	}
+	f := &File{sections: make(map[string][]byte)}
+	f.version = binary.LittleEndian.Uint32(body[8:12])
+	if f.version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", f.version, Version)
+	}
+	nsect := binary.LittleEndian.Uint32(body[12:16])
+	off := 16
+	for i := uint32(0); i < nsect; i++ {
+		if off+2 > len(body) {
+			return nil, ErrBadCRC
+		}
+		nl := int(binary.LittleEndian.Uint16(body[off : off+2]))
+		off += 2
+		if nl == 0 || nl > maxSectionName || off+nl > len(body) {
+			return nil, fmt.Errorf("checkpoint: section %d: bad name length %d", i, nl)
+		}
+		name := string(body[off : off+nl])
+		off += nl
+		if off+8 > len(body) {
+			return nil, ErrBadCRC
+		}
+		dl := binary.LittleEndian.Uint64(body[off : off+8])
+		off += 8
+		if dl > maxSectionSize || off+int(dl) > len(body) {
+			return nil, fmt.Errorf("checkpoint: section %q: bad length %d", name, dl)
+		}
+		f.names = append(f.names, name)
+		f.sections[name] = body[off : off+int(dl)]
+		off += int(dl)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last section", len(body)-off)
+	}
+	return f, nil
+}
+
+// ReadFile opens and parses the checkpoint at path.
+func ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	ck, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return ck, nil
+}
+
+// Version returns the parsed format version.
+func (f *File) Version() uint32 { return f.version }
+
+// Sections returns the section names in file order.
+func (f *File) Sections() []string { return append([]string(nil), f.names...) }
+
+// Has reports whether a named section is present.
+func (f *File) Has(name string) bool {
+	_, ok := f.sections[name]
+	return ok
+}
+
+// Section returns a reader over a named section's payload.
+func (f *File) Section(name string) (io.Reader, error) {
+	data, ok := f.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: missing section %q", name)
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Load hands a named section to load, typically a Stater's LoadState.
+func (f *File) Load(name string, load func(io.Reader) error) error {
+	r, err := f.Section(name)
+	if err != nil {
+		return err
+	}
+	if err := load(r); err != nil {
+		return fmt.Errorf("checkpoint: section %q: %w", name, err)
+	}
+	return nil
+}

@@ -68,6 +68,28 @@ type Config struct {
 	// Seed drives all stochastic choices (ε-greedy, replay sampling,
 	// weight init) for reproducibility.
 	Seed int64
+
+	// MaskFloor enables graceful degradation when positive: a prefetcher
+	// whose resolved-prefetch accuracy stays below this floor for
+	// MaskBadWindows consecutive evaluation windows is masked out of
+	// action selection (both exploitation and exploration) until a
+	// re-probe. Zero (the default) disables masking entirely and leaves
+	// the controller's behavior bit-identical to earlier versions.
+	MaskFloor float64
+	// MaskWindow is the evaluation window length in accesses
+	// (default 2048 when masking is enabled).
+	MaskWindow int
+	// MaskBadWindows is the number of consecutive below-floor windows
+	// before an arm is masked (default 2).
+	MaskBadWindows int
+	// MaskMinSamples is the minimum number of resolved prefetches in a
+	// window for the arm to be judged at all (default 16); quiet arms are
+	// left alone.
+	MaskMinSamples int
+	// MaskReprobe is the number of accesses a masked arm stays masked
+	// before it is given another chance (default 8×MaskWindow). Permanent
+	// faults re-mask quickly after the probe; transient ones recover.
+	MaskReprobe int
 }
 
 // DefaultConfig returns the paper's Table III configuration.
@@ -115,6 +137,12 @@ func (c Config) Validate() error {
 	}
 	if c.EpsDecay <= 0 {
 		return fmt.Errorf("core: epsilon decay must be positive")
+	}
+	if c.MaskFloor < 0 || c.MaskFloor > 1 {
+		return fmt.Errorf("core: mask floor must be in [0,1]")
+	}
+	if c.MaskWindow < 0 || c.MaskBadWindows < 0 || c.MaskMinSamples < 0 || c.MaskReprobe < 0 {
+		return fmt.Errorf("core: mask parameters must not be negative")
 	}
 	return nil
 }

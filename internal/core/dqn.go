@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"resemble/internal/checkpoint"
 	"resemble/internal/mem"
 	"resemble/internal/nn"
 	"resemble/internal/prefetch"
@@ -25,6 +26,7 @@ type Controller struct {
 	policy, target *nn.MLP
 	replay         *Replay
 	tracker        *RewardTracker
+	rngSrc         *checkpoint.RandSource
 	rng            *rand.Rand
 
 	step    int
@@ -69,6 +71,10 @@ type Controller struct {
 	// Diagnostics.
 	forcedNP int // accesses with no valid suggestion at all
 	chosenNP int // accesses where NP was selected despite valid options
+
+	// Graceful degradation: persistently useless arms are masked out of
+	// selection (no-op unless cfg.MaskFloor > 0).
+	mask armMask
 }
 
 // AttachTelemetry implements telemetry.Attachable: the controller
@@ -82,6 +88,12 @@ func (c *Controller) AttachTelemetry(t *telemetry.Collector) {
 	c.hTD = r.Histogram("core.dqn.td_error")
 	c.cTrain = r.Counter("core.dqn.train_batches")
 	c.cSwitch = r.Counter("core.dqn.role_switches")
+	c.mask.attach(r)
+	for _, p := range c.prefetchers {
+		if a, ok := p.(telemetry.Attachable); ok {
+			a.AttachTelemetry(t)
+		}
+	}
 }
 
 // TelemetryStats implements telemetry.ControllerProbe. The QValues
@@ -125,7 +137,11 @@ func NewController(cfg Config, prefetchers []prefetch.Prefetcher) *Controller {
 }
 
 func (c *Controller) initModel() {
-	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	// The counting source draws the same stream as rand.NewSource for
+	// every rand.Rand path used here, while making the RNG position a
+	// checkpointable (seed, draws) pair.
+	c.rngSrc = checkpoint.NewRandSource(c.cfg.Seed)
+	c.rng = rand.New(c.rngSrc)
 	in := len(c.prefetchers)
 	if c.cfg.UsePC {
 		in++
@@ -148,7 +164,15 @@ func (c *Controller) initModel() {
 	c.armUseful = make([]uint64, c.NumActions())
 	c.armUseless = make([]uint64, c.NumActions())
 	c.qWindow = c.qWindow[:0]
+	c.mask = newArmMask(c.cfg, c.NumActions())
 }
+
+// MaskedArms reports how many input prefetchers are currently masked
+// out of selection (always 0 with masking disabled).
+func (c *Controller) MaskedArms() int { return c.mask.activeCount() }
+
+// ArmMasked reports whether input prefetcher i is currently masked.
+func (c *Controller) ArmMasked(i int) bool { return c.mask.isMasked(i) }
 
 // accumReward adds one line's outcome to its transition and finalizes
 // the transition's reward when all its lines have resolved.
@@ -219,10 +243,12 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// ε-greedy action selection over the target net (Alg 1 lines
 	// 10–14). Exploitation masks padded (invalid) suggestions: picking
 	// one would just execute NP, so the argmax runs over the actions
-	// that can actually be carried out.
+	// that can actually be carried out. Degradation-masked arms are
+	// excluded from both branches.
+	c.mask.tick(c.armUseful, c.armUseless)
 	var action int
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
-		action = c.rng.Intn(c.NumActions())
+		action = c.mask.explore(c.rng, c.NumActions())
 	} else {
 		q := c.target.Forward(c.state)
 		if c.qPending {
@@ -383,7 +409,7 @@ func (c *Controller) QuantizationAgreement(frac uint) (float64, int) {
 func (c *Controller) argmaxValid(q []float64) int {
 	best := c.npAction() // NP is always executable
 	for i := range c.obs {
-		if c.obs[i].Valid && q[i] > q[best] {
+		if c.obs[i].Valid && !c.mask.isMasked(i) && q[i] > q[best] {
 			best = i
 		}
 	}

@@ -80,46 +80,65 @@ func (c *TabularController) SaveModel(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadModel replaces the Q-table with a previously saved snapshot.
+// LoadModel replaces the Q-table with a previously saved snapshot. The
+// stream is fully decoded and validated before any controller state is
+// touched, so a truncated or corrupt snapshot leaves the controller
+// exactly as it was.
 func (c *TabularController) LoadModel(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return err
+		return fmt.Errorf("core: reading table magic: %w", err)
 	}
 	if magic != tabMagic {
 		return ErrBadTable
 	}
 	var actions, rows uint32
 	if err := binary.Read(br, binary.LittleEndian, &actions); err != nil {
-		return err
+		return fmt.Errorf("core: reading table header: %w", noEOF(err))
 	}
 	if int(actions) != c.NumActions() {
 		return fmt.Errorf("core: table has %d actions, controller needs %d", actions, c.NumActions())
 	}
 	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-		return err
+		return fmt.Errorf("core: reading table header: %w", noEOF(err))
 	}
 	if rows > 1<<26 {
 		return fmt.Errorf("core: unreasonable row count %d", rows)
 	}
-	c.tokens = make(map[uint64]int, rows)
-	c.q = c.q[:0]
+	// Stage: decode everything into locals first.
+	tokens := make(map[uint64]int, rows)
+	q := make([][]float64, 0, min(int(rows), 1<<16))
 	for i := uint32(0); i < rows; i++ {
 		var key uint64
 		if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
-			return err
+			return fmt.Errorf("core: reading table row %d: %w", i, noEOF(err))
+		}
+		if _, dup := tokens[key]; dup {
+			return fmt.Errorf("core: table row %d: duplicate key %#x", i, key)
 		}
 		row := make([]float64, actions)
 		for j := range row {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return err
+				return fmt.Errorf("core: reading table row %d: %w", i, noEOF(err))
 			}
 			row[j] = math.Float64frombits(bits)
 		}
-		c.tokens[key] = len(c.q)
-		c.q = append(c.q, row)
+		tokens[key] = len(q)
+		q = append(q, row)
 	}
+	// Install only after the whole snapshot decoded cleanly.
+	c.tokens = tokens
+	c.q = q
 	return nil
+}
+
+// noEOF maps a clean EOF inside a structure to ErrUnexpectedEOF: once
+// past the magic the stream ending early is always a truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+)
+
+// savedTabular drives a controller briefly and returns its snapshot
+// plus the trained controller (for post-corruption comparison).
+func savedTabular(t *testing.T) (*TabularController, []byte, []mem.Line) {
+	t.Helper()
+	seq := makeLoop(32)
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{oracle("o", true, seq), garbage("g", false)})
+	driveLoop(t, c, seq, 2000)
+	var buf bytes.Buffer
+	if err := c.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return c, buf.Bytes(), seq
+}
+
+// TestTabularLoadTruncatedLeavesStateIntact: a truncated snapshot must
+// error without panicking, and — because decode is staged before
+// install — the controller's table must be exactly what it was before
+// the failed load.
+func TestTabularLoadTruncatedLeavesStateIntact(t *testing.T) {
+	c, data, seq := savedTabular(t)
+	beforeTokens := len(c.tokens)
+	beforeQ := append([][]float64(nil), c.q...)
+
+	for _, cut := range []int{0, 4, 8, 12, 16, len(data) / 2, len(data) - 1} {
+		if err := c.LoadModel(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+		if len(c.tokens) != beforeTokens || !reflect.DeepEqual(c.q, beforeQ) {
+			t.Fatalf("truncation at %d mutated controller state", cut)
+		}
+	}
+
+	// The controller must still run after the failed loads.
+	driveLoop(t, c, seq, 100)
+}
+
+// TestTabularLoadBitFlips: single-bit corruption anywhere in the header
+// region must be rejected or produce a decodable table — never a panic.
+// (Flips inside float payloads legitimately decode; the format carries
+// no checksum, which the checkpoint layer adds on top.)
+func TestTabularLoadBitFlips(t *testing.T) {
+	_, data, seq := savedTabular(t)
+	for byteIdx := 0; byteIdx < 16 && byteIdx < len(data); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[byteIdx] ^= 1 << bit
+			c := NewTabularController(testConfig(), []prefetch.Prefetcher{oracle("o", true, seq), garbage("g", false)})
+			_ = c.LoadModel(bytes.NewReader(mut)) // must not panic
+			driveLoop(t, c, seq, 10)              // must stay usable either way
+		}
+	}
+}
+
+// TestControllerLoadTruncated: the MLP controller path must reject
+// truncations without panicking and stay usable.
+func TestControllerLoadTruncated(t *testing.T) {
+	seq := makeLoop(32)
+	c := NewController(testConfig(), []prefetch.Prefetcher{oracle("o", true, seq), garbage("g", false)})
+	driveLoop(t, c, seq, 2000)
+	var buf bytes.Buffer
+	if err := c.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 4, 8, 12, 20, len(data) / 2, len(data) - 1} {
+		if err := c.LoadModel(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	driveLoop(t, c, seq, 100)
+}
+
+// TestTabularLoadRejectsDuplicateKeys: two rows with the same token key
+// would leave orphan Q-rows; the decoder must reject them.
+func TestTabularLoadRejectsDuplicateKeys(t *testing.T) {
+	_, data, _ := savedTabular(t)
+	// Row payload: 8-byte key + actions × 8-byte floats. Header is
+	// magic(8) + actions(4) + rows(4) = 16 bytes.
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{oracle("o", true, makeLoop(8)), garbage("g", false)})
+	rowLen := 8 + c.NumActions()*8
+	if len(data) < 16+2*rowLen {
+		t.Skip("snapshot too small for two rows")
+	}
+	mut := append([]byte(nil), data...)
+	copy(mut[16+rowLen:16+rowLen+8], mut[16:16+8]) // second key := first key
+	if err := c.LoadModel(bytes.NewReader(mut)); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}

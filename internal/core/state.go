@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/mem"
+	"resemble/internal/nn"
+	"resemble/internal/prefetch"
+)
+
+// Full-state checkpointing for both controllers (checkpoint.Stater).
+// Unlike SaveModel/LoadModel — which persist only the learned
+// parameters for reuse on other traces — SaveState captures everything
+// needed to continue the exact run: both networks, the replay memory,
+// the reward window, per-arm counters, the RNG position, and every
+// input prefetcher's tables. An interrupted-and-resumed run is
+// byte-identical to an uninterrupted one (see the determinism tests).
+
+// trackerState mirrors RewardTracker.
+type trackerState struct {
+	Window int
+	Seqs   []int
+	Lines  []mem.Line
+}
+
+func (t *RewardTracker) saveState() trackerState {
+	st := trackerState{Window: t.window}
+	for _, r := range t.recs {
+		st.Seqs = append(st.Seqs, r.seq)
+		st.Lines = append(st.Lines, r.line)
+	}
+	return st
+}
+
+func (t *RewardTracker) loadState(st trackerState) error {
+	if st.Window != t.window {
+		return fmt.Errorf("core: reward window %d does not match configured %d", st.Window, t.window)
+	}
+	if len(st.Seqs) != len(st.Lines) {
+		return fmt.Errorf("core: mismatched reward-tracker lengths")
+	}
+	t.recs = t.recs[:0]
+	for i := range st.Seqs {
+		t.recs = append(t.recs, pfRecord{seq: st.Seqs[i], line: st.Lines[i]})
+	}
+	return nil
+}
+
+// replayState mirrors Replay (Transition already has exported fields).
+type replayState struct {
+	Buf []Transition
+	N   int
+}
+
+// savePrefetchers snapshots each input prefetcher; all of them must
+// implement checkpoint.Stater.
+func savePrefetchers(ps []prefetch.Prefetcher) ([][]byte, error) {
+	out := make([][]byte, len(ps))
+	for i, p := range ps {
+		st, ok := p.(checkpoint.Stater)
+		if !ok {
+			return nil, fmt.Errorf("core: prefetcher %q does not support checkpointing", p.Name())
+		}
+		var buf bytes.Buffer
+		if err := st.SaveState(&buf); err != nil {
+			return nil, fmt.Errorf("core: prefetcher %q: %w", p.Name(), err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
+}
+
+func loadPrefetchers(ps []prefetch.Prefetcher, blobs [][]byte) error {
+	if len(blobs) != len(ps) {
+		return fmt.Errorf("core: snapshot has %d prefetchers, controller has %d", len(blobs), len(ps))
+	}
+	for i, p := range ps {
+		st, ok := p.(checkpoint.Stater)
+		if !ok {
+			return fmt.Errorf("core: prefetcher %q does not support checkpointing", p.Name())
+		}
+		if err := st.LoadState(bytes.NewReader(blobs[i])); err != nil {
+			return fmt.Errorf("core: prefetcher %q: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// controllerState is the gob payload of the DQN controller.
+type controllerState struct {
+	Seed     int64
+	RNGDraws uint64
+
+	Step    int
+	PrevSeq int
+
+	Policy, Target []byte // nn snapshot streams
+
+	Replay  replayState
+	Tracker trackerState
+
+	Outstanding map[int]int
+	RewardAcc   map[int]float64
+
+	Rewards []float64
+	Acts    []int8
+
+	RewardSum    float64
+	ActionCounts []uint64
+	ArmIssued    []uint64
+	ArmUseful    []uint64
+	ArmUseless   []uint64
+	QWindow      []float64
+
+	ForcedNP, ChosenNP int
+
+	Mask maskState
+
+	Prefetchers [][]byte
+}
+
+// SaveState implements checkpoint.Stater.
+func (c *Controller) SaveState(w io.Writer) error {
+	var policy, target bytes.Buffer
+	if err := c.policy.Save(&policy); err != nil {
+		return err
+	}
+	if err := c.target.Save(&target); err != nil {
+		return err
+	}
+	blobs, err := savePrefetchers(c.prefetchers)
+	if err != nil {
+		return err
+	}
+	seed, draws := c.rngSrc.State()
+	st := controllerState{
+		Seed: seed, RNGDraws: draws,
+		Step: c.step, PrevSeq: c.prevSeq,
+		Policy: policy.Bytes(), Target: target.Bytes(),
+		Replay:      replayState{Buf: c.replay.buf, N: c.replay.n},
+		Tracker:     c.tracker.saveState(),
+		Outstanding: c.outstanding, RewardAcc: c.rewardAcc,
+		Rewards: c.rewards, Acts: c.acts,
+		RewardSum: c.rewardSum, ActionCounts: c.actionCounts,
+		ArmIssued: c.armIssued, ArmUseful: c.armUseful, ArmUseless: c.armUseless,
+		QWindow:  c.qWindow,
+		ForcedNP: c.forcedNP, ChosenNP: c.chosenNP,
+		Mask:        c.mask.saveState(),
+		Prefetchers: blobs,
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater. The snapshot is fully
+// decoded and validated before any controller state is replaced, so a
+// failed load leaves the controller usable.
+func (c *Controller) LoadState(r io.Reader) error {
+	var st controllerState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: controller state: %w", err)
+	}
+	if st.Seed != c.cfg.Seed {
+		return fmt.Errorf("core: snapshot seed %d does not match configured %d", st.Seed, c.cfg.Seed)
+	}
+	if len(st.ActionCounts) != c.NumActions() {
+		return fmt.Errorf("core: snapshot has %d actions, controller needs %d", len(st.ActionCounts), c.NumActions())
+	}
+	if len(st.Replay.Buf) != c.replay.Cap() {
+		return fmt.Errorf("core: snapshot replay capacity %d does not match configured %d", len(st.Replay.Buf), c.replay.Cap())
+	}
+	policy, err := loadMLPMatching(st.Policy, c.policy)
+	if err != nil {
+		return fmt.Errorf("core: policy net: %w", err)
+	}
+	target, err := loadMLPMatching(st.Target, c.target)
+	if err != nil {
+		return fmt.Errorf("core: target net: %w", err)
+	}
+	if err := loadPrefetchers(c.prefetchers, st.Prefetchers); err != nil {
+		return err
+	}
+	if err := c.tracker.loadState(st.Tracker); err != nil {
+		return err
+	}
+	c.policy.CopyWeightsFrom(policy)
+	c.target.CopyWeightsFrom(target)
+	c.replay.buf = st.Replay.Buf
+	c.replay.n = st.Replay.N
+	c.rngSrc.Restore(st.Seed, st.RNGDraws)
+	c.step = st.Step
+	c.prevSeq = st.PrevSeq
+	c.outstanding = orEmptyInt(st.Outstanding)
+	c.rewardAcc = orEmptyFloat(st.RewardAcc)
+	c.rewards = st.Rewards
+	c.acts = st.Acts
+	c.rewardSum = st.RewardSum
+	c.actionCounts = st.ActionCounts
+	c.armIssued = orZeros(st.ArmIssued, c.NumActions())
+	c.armUseful = orZeros(st.ArmUseful, c.NumActions())
+	c.armUseless = orZeros(st.ArmUseless, c.NumActions())
+	c.qWindow = st.QWindow
+	c.forcedNP = st.ForcedNP
+	c.chosenNP = st.ChosenNP
+	c.mask.loadState(st.Mask, c.NumActions())
+	return nil
+}
+
+// tabularState is the gob payload of the tabular controller.
+type tabularState struct {
+	Seed     int64
+	RNGDraws uint64
+
+	Step    int
+	PrevSeq int
+
+	TokenKeys []uint64
+	TokenVals []int
+	Q         [][]float64
+
+	Tracker trackerState
+
+	PendingSeqs []int
+	Pending     []tabTransitionState
+
+	Rewards []float64
+	Acts    []int8
+
+	RewardSum    float64
+	ActionCounts []uint64
+	ArmIssued    []uint64
+	ArmUseful    []uint64
+	ArmUseless   []uint64
+	QWindow      []float64
+
+	Mask maskState
+
+	Prefetchers [][]byte
+}
+
+type tabTransitionState struct {
+	Token       int
+	Action      int
+	NP          bool
+	NextTok     int
+	HasNext     bool
+	Outstanding int
+	Acc         float64
+}
+
+// SaveState implements checkpoint.Stater.
+func (c *TabularController) SaveState(w io.Writer) error {
+	blobs, err := savePrefetchers(c.prefetchers)
+	if err != nil {
+		return err
+	}
+	seed, draws := c.rngSrc.State()
+	st := tabularState{
+		Seed: seed, RNGDraws: draws,
+		Step: c.step, PrevSeq: c.prevSeq,
+		Q:       c.q,
+		Tracker: c.tracker.saveState(),
+		Rewards: c.rewards, Acts: c.acts,
+		RewardSum: c.rewardSum, ActionCounts: c.actionCounts,
+		ArmIssued: c.armIssued, ArmUseful: c.armUseful, ArmUseless: c.armUseless,
+		QWindow:     c.qWindow,
+		Mask:        c.mask.saveState(),
+		Prefetchers: blobs,
+	}
+	for key, tok := range c.tokens {
+		st.TokenKeys = append(st.TokenKeys, key)
+		st.TokenVals = append(st.TokenVals, tok)
+	}
+	for seq, t := range c.pending {
+		st.PendingSeqs = append(st.PendingSeqs, seq)
+		st.Pending = append(st.Pending, tabTransitionState{
+			Token: t.token, Action: t.action, NP: t.np,
+			NextTok: t.nextTok, HasNext: t.hasNext,
+			Outstanding: t.outstanding, Acc: t.acc,
+		})
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater; decode-then-install, so a
+// failed load leaves the controller usable.
+func (c *TabularController) LoadState(r io.Reader) error {
+	var st tabularState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: tabular state: %w", err)
+	}
+	if st.Seed != c.cfg.Seed {
+		return fmt.Errorf("core: snapshot seed %d does not match configured %d", st.Seed, c.cfg.Seed)
+	}
+	if len(st.ActionCounts) != c.NumActions() {
+		return fmt.Errorf("core: snapshot has %d actions, controller needs %d", len(st.ActionCounts), c.NumActions())
+	}
+	if len(st.TokenKeys) != len(st.TokenVals) || len(st.TokenKeys) != len(st.Q) {
+		return fmt.Errorf("core: mismatched token-table lengths")
+	}
+	if len(st.PendingSeqs) != len(st.Pending) {
+		return fmt.Errorf("core: mismatched pending-transition lengths")
+	}
+	for _, row := range st.Q {
+		if len(row) != c.NumActions() {
+			return fmt.Errorf("core: Q row has %d actions, controller needs %d", len(row), c.NumActions())
+		}
+	}
+	if err := loadPrefetchers(c.prefetchers, st.Prefetchers); err != nil {
+		return err
+	}
+	if err := c.tracker.loadState(st.Tracker); err != nil {
+		return err
+	}
+	c.rngSrc.Restore(st.Seed, st.RNGDraws)
+	c.step = st.Step
+	c.prevSeq = st.PrevSeq
+	c.tokens = make(map[uint64]int, len(st.TokenKeys))
+	for i, key := range st.TokenKeys {
+		c.tokens[key] = st.TokenVals[i]
+	}
+	c.q = st.Q
+	c.pending = make(map[int]*tabTransition, len(st.PendingSeqs))
+	for i, seq := range st.PendingSeqs {
+		t := st.Pending[i]
+		c.pending[seq] = &tabTransition{
+			token: t.Token, action: t.Action, np: t.NP,
+			nextTok: t.NextTok, hasNext: t.HasNext,
+			outstanding: t.Outstanding, acc: t.Acc,
+		}
+	}
+	c.rewards = st.Rewards
+	c.acts = st.Acts
+	c.rewardSum = st.RewardSum
+	c.actionCounts = st.ActionCounts
+	c.armIssued = orZeros(st.ArmIssued, c.NumActions())
+	c.armUseful = orZeros(st.ArmUseful, c.NumActions())
+	c.armUseless = orZeros(st.ArmUseless, c.NumActions())
+	c.qWindow = st.QWindow
+	c.mask.loadState(st.Mask, c.NumActions())
+	return nil
+}
+
+// loadMLPMatching decodes an MLP snapshot and verifies it matches
+// want's architecture.
+func loadMLPMatching(data []byte, want *nn.MLP) (*nn.MLP, error) {
+	m, err := nn.LoadMLP(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	ws, gs := want.Sizes(), m.Sizes()
+	if len(ws) != len(gs) {
+		return nil, fmt.Errorf("core: model architecture %v, controller needs %v", gs, ws)
+	}
+	for i := range ws {
+		if ws[i] != gs[i] {
+			return nil, fmt.Errorf("core: model architecture %v, controller needs %v", gs, ws)
+		}
+	}
+	return m, nil
+}
+
+// gob encodes empty maps/slices as nil; restore them as allocated so
+// the hot path never writes to a nil map.
+func orEmptyInt(m map[int]int) map[int]int {
+	if m == nil {
+		return make(map[int]int)
+	}
+	return m
+}
+
+func orEmptyFloat(m map[int]float64) map[int]float64 {
+	if m == nil {
+		return make(map[int]float64)
+	}
+	return m
+}
+
+func orZeros(v []uint64, n int) []uint64 {
+	if v == nil {
+		return make([]uint64, n)
+	}
+	return v
+}

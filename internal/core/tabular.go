@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"resemble/internal/checkpoint"
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
 	"resemble/internal/telemetry"
@@ -23,6 +24,7 @@ type TabularController struct {
 	q      [][]float64    // token -> Q-values per action
 
 	tracker *RewardTracker
+	rngSrc  *checkpoint.RandSource
 	rng     *rand.Rand
 
 	step    int
@@ -53,6 +55,10 @@ type TabularController struct {
 	cUpdates     *telemetry.Counter
 	qWindow      []float64
 	qPending     bool
+
+	// Graceful degradation: persistently useless arms are masked out of
+	// selection (no-op unless cfg.MaskFloor > 0).
+	mask armMask
 }
 
 // AttachTelemetry implements telemetry.Attachable.
@@ -63,6 +69,12 @@ func (c *TabularController) AttachTelemetry(t *telemetry.Collector) {
 	c.hTD = r.Histogram("core.tabular.td_error")
 	c.cUpdates = r.Counter("core.tabular.updates")
 	r.Gauge("core.tabular.unique_states").Set(float64(len(c.tokens)))
+	c.mask.attach(r)
+	for _, p := range c.prefetchers {
+		if a, ok := p.(telemetry.Attachable); ok {
+			a.AttachTelemetry(t)
+		}
+	}
 }
 
 // TelemetryStats implements telemetry.ControllerProbe; QValues is
@@ -113,7 +125,8 @@ func NewTabularController(cfg Config, prefetchers []prefetch.Prefetcher) *Tabula
 }
 
 func (c *TabularController) initModel() {
-	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	c.rngSrc = checkpoint.NewRandSource(c.cfg.Seed)
+	c.rng = rand.New(c.rngSrc)
 	c.tokens = make(map[uint64]int)
 	c.q = c.q[:0]
 	c.tracker = NewRewardTracker(c.cfg.Window)
@@ -128,7 +141,15 @@ func (c *TabularController) initModel() {
 	c.armUseful = make([]uint64, c.NumActions())
 	c.armUseless = make([]uint64, c.NumActions())
 	c.qWindow = c.qWindow[:0]
+	c.mask = newArmMask(c.cfg, c.NumActions())
 }
+
+// MaskedArms reports how many input prefetchers are currently masked
+// out of selection (always 0 with masking disabled).
+func (c *TabularController) MaskedArms() int { return c.mask.activeCount() }
+
+// ArmMasked reports whether input prefetcher i is currently masked.
+func (c *TabularController) ArmMasked(i int) bool { return c.mask.isMasked(i) }
 
 // Name implements sim.Source.
 func (c *TabularController) Name() string { return "resemble-t" }
@@ -206,9 +227,10 @@ func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// breaks near-ties randomly (deterministic argmax would freeze on
 	// one of several equally good arms in a repeated state, while the
 	// MLP variant naturally alternates through approximation noise).
+	c.mask.tick(c.armUseful, c.armUseless)
 	var action int
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
-		action = c.rng.Intn(c.NumActions())
+		action = c.mask.explore(c.rng, c.NumActions())
 	} else {
 		if c.qPending {
 			c.qWindow = append(c.qWindow, c.q[tok]...)
@@ -324,7 +346,7 @@ func (c *TabularController) ActionNames() []string {
 func (c *TabularController) pickValid(q []float64) int {
 	best := c.npAction()
 	for i := range c.obs {
-		if c.obs[i].Valid && q[i] > q[best] {
+		if c.obs[i].Valid && !c.mask.isMasked(i) && q[i] > q[best] {
 			best = i
 		}
 	}
@@ -337,7 +359,7 @@ func (c *TabularController) pickValid(q []float64) int {
 	ties := 0
 	pick := best
 	for i := 0; i <= c.npAction(); i++ {
-		if i < c.npAction() && !c.obs[i].Valid {
+		if i < c.npAction() && (!c.obs[i].Valid || c.mask.isMasked(i)) {
 			continue
 		}
 		if q[i] >= q[best]-band {

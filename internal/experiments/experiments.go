@@ -45,6 +45,11 @@ type Options struct {
 	// labeled via Collector.BeginRun so downstream analysis can split the
 	// shared windows.jsonl stream. Nil disables instrumentation.
 	Telemetry *telemetry.Collector
+	// Faults, when non-nil, wraps every input prefetcher before it
+	// reaches a controller or solo source — the deterministic
+	// fault-injection hook (internal/faults). Returning the prefetcher
+	// unchanged leaves it healthy.
+	Faults func(prefetch.Prefetcher) prefetch.Prefetcher
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +74,22 @@ func (o Options) printf(format string, args ...any) {
 // simulations appear in the shared window/trace streams.
 func (o Options) run(cfg sim.Config, tr *trace.Trace, src sim.Source) sim.Result {
 	return sim.RunWithTelemetry(cfg, tr, src, o.Telemetry)
+}
+
+// wrap applies the fault-injection hook to one prefetcher.
+func (o Options) wrap(p prefetch.Prefetcher) prefetch.Prefetcher {
+	if o.Faults == nil {
+		return p
+	}
+	return o.Faults(p)
+}
+
+// wrapAll applies the fault-injection hook to a prefetcher set.
+func (o Options) wrapAll(pfs []prefetch.Prefetcher) []prefetch.Prefetcher {
+	for i := range pfs {
+		pfs[i] = o.wrap(pfs[i])
+	}
+	return pfs
 }
 
 // controllerConfig returns the framework configuration for experiments.
@@ -121,21 +142,21 @@ func EvaluationSources() SourceSet {
 		Build: func(name string, o Options) sim.Source {
 			switch name {
 			case "bo":
-				return sim.FromPrefetcher(bo.New(bo.Config{}), 2)
+				return sim.FromPrefetcher(o.wrap(bo.New(bo.Config{})), 2)
 			case "spp":
-				return sim.FromPrefetcher(spp.New(spp.Config{}), 2)
+				return sim.FromPrefetcher(o.wrap(spp.New(spp.Config{})), 2)
 			case "isb":
-				return sim.FromPrefetcher(isb.New(isb.Config{}), 2)
+				return sim.FromPrefetcher(o.wrap(isb.New(isb.Config{})), 2)
 			case "domino":
-				return sim.FromPrefetcher(domino.New(domino.Config{}), 2)
+				return sim.FromPrefetcher(o.wrap(domino.New(domino.Config{})), 2)
 			case "sbp-e":
-				return sbp.New(sbp.Config{}, FourPrefetchers())
+				return sbp.New(sbp.Config{}, o.wrapAll(FourPrefetchers()))
 			case "resemble":
-				return core.NewController(o.controllerConfig(), FourPrefetchers())
+				return core.NewController(o.controllerConfig(), o.wrapAll(FourPrefetchers()))
 			case "resemble-t":
 				cfg := o.controllerConfig()
 				cfg.TableHashBits = 8
-				return core.NewTabularController(cfg, FourPrefetchers())
+				return core.NewTabularController(cfg, o.wrapAll(FourPrefetchers()))
 			default:
 				panic(fmt.Sprintf("experiments: unknown source %q", name))
 			}
@@ -203,6 +224,7 @@ var Registry = map[string]func(Options) error{
 	"fig12":  func(o Options) error { _, err := Fig12(o); return err },
 	"config": func(o Options) error { PrintConfig(o); return nil },
 	// Extensions beyond the paper's evaluation (Section VIII future work).
+	"faults":    func(o Options) error { _, err := FaultMatrix(o); return err },
 	"multicore": func(o Options) error { _, err := Multicore(o); return err },
 	"budget":    func(o Options) error { _, err := BudgetSensitivity(o); return err },
 	"taxonomy":  func(o Options) error { _, err := Taxonomy(o); return err },
@@ -216,6 +238,6 @@ func ExperimentIDs() []string {
 		"fig1a", "fig1b", "fig1c", "config", "table4", "table6",
 		"fig6", "fig7", "fig8", "fig9", "fig10",
 		"table7", "fig11", "table8", "fig12",
-		"multicore", "budget", "taxonomy", "ablation",
+		"faults", "multicore", "budget", "taxonomy", "ablation",
 	}
 }

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"resemble/internal/core"
+	"resemble/internal/faults"
+	"resemble/internal/prefetch"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+// FaultRow is one fault class's comparison: the ensemble with
+// degradation masking on, the ensemble without it, and the faulted
+// prefetcher running solo.
+type FaultRow struct {
+	Mode        faults.Mode
+	Masked      sim.Result
+	Unmasked    sim.Result
+	SoloFaulted sim.Result
+	MaskedArms  int      // arms masked at the end of the masked run
+	MaskedNames []string // names of the masked input prefetchers
+}
+
+// FaultMatrixResult holds the fault-matrix experiment outcome.
+type FaultMatrixResult struct {
+	Workload string
+	Target   string // name of the faulted prefetcher
+	Baseline sim.Result
+	Healthy  sim.Result // un-faulted ensemble for reference
+	BestSolo string
+	BestRes  sim.Result // best healthy individual prefetcher
+	Rows     []FaultRow
+}
+
+// faultMaskConfig returns the controller configuration with graceful
+// degradation enabled at the evaluation operating point.
+func faultMaskConfig(cfg core.Config) core.Config {
+	cfg.MaskFloor = 0.2
+	cfg.MaskWindow = 1024
+	cfg.MaskBadWindows = 2
+	cfg.MaskMinSamples = 16
+	cfg.MaskReprobe = 16 * 1024
+	return cfg
+}
+
+// FaultMatrix runs the graceful-degradation evaluation: the BO input
+// prefetcher is broken with each deterministic fault class (stuck,
+// silent, noisy) and the masked ensemble, the unmasked ensemble and
+// the faulted prefetcher alone are compared against the healthy
+// ensemble and the best healthy individual prefetcher.
+//
+// The ensemble under test is the tabular controller: its optimistic
+// cold-start re-tries every arm in each unseen state, so without
+// masking a broken arm pollutes the cache for the whole run — the
+// worst case graceful degradation exists to fix. (The DQN's function
+// approximation generalizes avoidance of a dead arm across states by
+// itself; see TestMaskingDQNNeverWorse.)
+func FaultMatrix(o Options) (*FaultMatrixResult, error) {
+	o = o.withDefaults()
+	const workload = "433.lbm"
+	w, err := trace.Lookup(workload)
+	if err != nil {
+		return nil, err
+	}
+	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+	simCfg := sim.DefaultConfig()
+	ensembleConfig := func() core.Config {
+		cfg := o.controllerConfig()
+		cfg.TableHashBits = 8
+		return cfg
+	}
+
+	res := &FaultMatrixResult{Workload: workload}
+	res.Baseline = o.run(simCfg, tr, nil)
+
+	// Healthy references: the clean ensemble and the best solo.
+	res.Healthy = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), FourPrefetchers()))
+	for _, solo := range []string{"bo", "spp", "isb", "domino"} {
+		r := o.run(simCfg, tr, EvaluationSources().Build(solo, Options{Accesses: o.Accesses, Batch: o.Batch, Seed: o.Seed}))
+		if res.BestSolo == "" || r.IPC > res.BestRes.IPC {
+			res.BestSolo, res.BestRes = solo, r
+		}
+	}
+
+	// The faulted input: BO, the dominant spatial arm on this workload —
+	// breaking the arm the ensemble leans on is the worst case for an
+	// unmasked controller.
+	breakBO := func(mode faults.Mode) []prefetch.Prefetcher {
+		pfs := FourPrefetchers()
+		res.Target = pfs[0].Name()
+		pfs[0] = faults.Wrap(pfs[0], faults.Config{Mode: mode, Seed: 97 + o.Seed})
+		return pfs
+	}
+
+	for _, mode := range []faults.Mode{faults.Stuck, faults.Silent, faults.Noisy} {
+		var row FaultRow
+		row.Mode = mode
+
+		masked := core.NewTabularController(faultMaskConfig(ensembleConfig()), breakBO(mode))
+		row.Masked = o.run(simCfg, tr, masked)
+		row.MaskedArms = masked.MaskedArms()
+		for i := range FourPrefetchers() {
+			if masked.ArmMasked(i) {
+				row.MaskedNames = append(row.MaskedNames, FourPrefetchers()[i].Name())
+			}
+		}
+
+		row.Unmasked = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), breakBO(mode)))
+
+		row.SoloFaulted = o.run(simCfg, tr, sim.FromPrefetcher(
+			faults.Wrap(FourPrefetchers()[0], faults.Config{Mode: mode, Seed: 97 + o.Seed}), 2))
+
+		res.Rows = append(res.Rows, row)
+	}
+
+	render := func(label string, r sim.Result) {
+		o.printf("  %-14s acc=%5.1f%% cov=%5.1f%% MPKI=%6.2f IPC=%.3f (%+.1f%% vs base)\n",
+			label, 100*r.Accuracy, 100*r.Coverage, r.MPKI, r.IPC, 100*r.IPCImprovement(res.Baseline))
+	}
+	o.printf("Fault matrix — %s, faulted input: %s\n", workload, res.Target)
+	render("healthy", res.Healthy)
+	render("best solo ("+res.BestSolo+")", res.BestRes)
+	for _, row := range res.Rows {
+		o.printf("fault=%s\n", row.Mode)
+		render("masked", row.Masked)
+		render("unmasked", row.Unmasked)
+		render("solo faulted", row.SoloFaulted)
+		o.printf("  arms masked at end of run: %d %v\n", row.MaskedArms, row.MaskedNames)
+	}
+	return res, nil
+}

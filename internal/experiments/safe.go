@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// SafeResult records one fault-isolated experiment execution.
+type SafeResult struct {
+	ID       string
+	Err      error
+	Panicked bool
+	Panic    any
+	TimedOut bool
+	Duration time.Duration
+}
+
+// Failed reports whether the experiment did not complete cleanly.
+func (r SafeResult) Failed() bool { return r.Err != nil }
+
+// RunSafe executes one registered experiment inside a panic-recovering,
+// deadline-bounded wrapper, so a crash or hang in one experiment cannot
+// take down a whole suite. timeout <= 0 disables the deadline. On
+// timeout the experiment's goroutine is abandoned (Go cannot kill it);
+// the result reports TimedOut and the suite moves on — acceptable for a
+// salvage path whose alternative is losing the entire run.
+func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
+	run, ok := Registry[id]
+	if !ok {
+		return SafeResult{ID: id, Err: fmt.Errorf("experiments: unknown experiment %q", id)}
+	}
+	start := time.Now()
+	done := make(chan SafeResult, 1)
+	go func() {
+		r := SafeResult{ID: id}
+		defer func() {
+			if v := recover(); v != nil {
+				r.Panicked = true
+				r.Panic = v
+				r.Err = fmt.Errorf("experiments: %s panicked: %v", id, v)
+			}
+			r.Duration = time.Since(start)
+			done <- r
+		}()
+		r.Err = run(o)
+	}()
+	if timeout <= 0 {
+		return <-done
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(timeout):
+		return SafeResult{
+			ID: id, TimedOut: true, Duration: time.Since(start),
+			Err: fmt.Errorf("experiments: %s exceeded deadline %s", id, timeout),
+		}
+	}
+}
+
+// RunSuite runs every listed experiment via RunSafe, continuing past
+// failures, and returns one result per id in order.
+func RunSuite(ids []string, o Options, timeout time.Duration) []SafeResult {
+	out := make([]SafeResult, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, RunSafe(id, o, timeout))
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package faults implements deterministic fault injection for
+// robustness testing: seed-driven wrappers that make any
+// prefetch.Prefetcher misbehave in a controlled, reproducible way,
+// plus trace-corruption and sink write-error helpers for exercising
+// the I/O hardening paths.
+//
+// The ensemble's pitch is routing around a prefetcher that is wrong
+// for the current phase; this package makes it possible to test the
+// harder case — a prefetcher that is outright broken — and to measure
+// whether the controllers degrade gracefully (see the fault-matrix
+// experiment and the masking heuristic in internal/core).
+//
+// All injected behaviour is a pure function of (Config.Seed, access
+// stream): two runs with the same seed inject byte-identical faults,
+// so faulty runs stay checkpoint/resume-safe and regression-testable.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+// Mode selects the injected failure behaviour.
+type Mode int
+
+// Fault taxonomy (see DESIGN.md, Fault tolerance):
+//
+//   - Stuck: the prefetcher latches the first line it ever suggested
+//     and repeats it forever — a wedged state machine.
+//   - Silent: the prefetcher stops suggesting anything — a dead unit.
+//   - Noisy: the prefetcher emits uniformly random line addresses — a
+//     corrupted table streaming garbage.
+//   - Intermittent: the prefetcher alternates between healthy phases
+//     and noisy phases of Period accesses each — a marginal unit.
+const (
+	None Mode = iota
+	Stuck
+	Silent
+	Noisy
+	Intermittent
+)
+
+// Modes lists the injectable fault classes (excluding None).
+func Modes() []Mode { return []Mode{Stuck, Silent, Noisy, Intermittent} }
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Stuck:
+		return "stuck"
+	case Silent:
+		return "silent"
+	case Noisy:
+		return "noisy"
+	case Intermittent:
+		return "intermittent"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a fault-class name.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range append([]Mode{None}, Modes()...) {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return None, fmt.Errorf("faults: unknown mode %q (stuck|silent|noisy|intermittent|none)", s)
+}
+
+// Config parameterizes one injected fault.
+type Config struct {
+	// Mode is the fault class; None wraps transparently.
+	Mode Mode
+	// Seed drives every stochastic choice (noisy addresses). Two
+	// injectors with the same seed produce identical faults.
+	Seed int64
+	// Start is the access index at which the fault first manifests
+	// (the prefetcher is healthy before it).
+	Start int
+	// Period is the phase length of Intermittent faults (default 2048
+	// accesses healthy, then 2048 noisy, alternating).
+	Period int
+	// Degree is the number of random lines a noisy fault emits per
+	// access (default 2, matching the solo-prefetcher issue degree).
+	Degree int
+}
+
+func (c *Config) setDefaults() {
+	if c.Period <= 0 {
+		c.Period = 2048
+	}
+	if c.Degree <= 0 {
+		c.Degree = 2
+	}
+}
+
+// Prefetcher wraps an inner prefetcher with fault injection. The
+// inner prefetcher still observes every access (its tables keep
+// training, exactly like real broken hardware that still snoops the
+// bus), but its suggestions are replaced according to the fault mode.
+// It implements prefetch.Prefetcher, telemetry.Attachable and
+// checkpoint.Stater (when the inner prefetcher does).
+type Prefetcher struct {
+	inner prefetch.Prefetcher
+	cfg   Config
+
+	rngSrc *checkpoint.RandSource
+	rng    *rand.Rand
+	n      int // accesses seen
+
+	stuck     prefetch.Suggestion
+	haveStuck bool
+
+	injected uint64 // accesses with altered output
+	sugBuf   []prefetch.Suggestion
+
+	cInjected *telemetry.Counter
+}
+
+// Wrap builds a fault-injecting wrapper around p.
+func Wrap(p prefetch.Prefetcher, cfg Config) *Prefetcher {
+	cfg.setDefaults()
+	f := &Prefetcher{inner: p, cfg: cfg}
+	f.initRNG()
+	return f
+}
+
+func (f *Prefetcher) initRNG() {
+	f.rngSrc = checkpoint.NewRandSource(f.cfg.Seed)
+	f.rng = rand.New(f.rngSrc)
+}
+
+// Name implements prefetch.Prefetcher: the wrapper keeps the inner
+// name so action labels and observation ordering stay comparable
+// between faulty and healthy runs.
+func (f *Prefetcher) Name() string { return f.inner.Name() }
+
+// Mode returns the injected fault class.
+func (f *Prefetcher) Mode() Mode { return f.cfg.Mode }
+
+// Spatial implements prefetch.Prefetcher.
+func (f *Prefetcher) Spatial() bool { return f.inner.Spatial() }
+
+// Injected returns the number of accesses whose output was altered.
+func (f *Prefetcher) Injected() uint64 { return f.injected }
+
+// Reset implements prefetch.Prefetcher.
+func (f *Prefetcher) Reset() {
+	f.inner.Reset()
+	f.initRNG()
+	f.n = 0
+	f.haveStuck = false
+	f.stuck = prefetch.Suggestion{}
+	f.injected = 0
+}
+
+// AttachTelemetry implements telemetry.Attachable, surfacing the
+// injection count as a registry counter.
+func (f *Prefetcher) AttachTelemetry(t *telemetry.Collector) {
+	f.cInjected = t.Registry().Counter("faults.injected." + f.cfg.Mode.String() + "." + f.Name())
+	if a, ok := f.inner.(telemetry.Attachable); ok {
+		a.AttachTelemetry(t)
+	}
+}
+
+// active reports whether the fault manifests on the current access.
+func (f *Prefetcher) active() bool {
+	if f.cfg.Mode == None || f.n <= f.cfg.Start {
+		return false
+	}
+	if f.cfg.Mode == Intermittent {
+		phase := (f.n - f.cfg.Start - 1) / f.cfg.Period
+		return phase%2 == 1 // healthy first, then broken, alternating
+	}
+	return true
+}
+
+// Observe implements prefetch.Prefetcher.
+func (f *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
+	f.n++
+	sugs := f.inner.Observe(a)
+	// Latch the stuck line from the first healthy suggestion so the
+	// stuck output is a plausible address, as a wedged unit would emit.
+	if !f.haveStuck && len(sugs) > 0 {
+		f.stuck = sugs[0]
+		f.haveStuck = true
+	}
+	if !f.active() {
+		return sugs
+	}
+	f.injected++
+	f.cInjected.Inc()
+	switch f.cfg.Mode {
+	case Silent:
+		return nil
+	case Stuck:
+		if !f.haveStuck {
+			return nil
+		}
+		f.sugBuf = append(f.sugBuf[:0], f.stuck)
+		return f.sugBuf
+	default: // Noisy, Intermittent (broken phase)
+		f.sugBuf = f.sugBuf[:0]
+		for i := 0; i < f.cfg.Degree; i++ {
+			line := mem.Line(f.rng.Intn(1 << 30))
+			f.sugBuf = append(f.sugBuf, prefetch.Suggestion{Line: line, Confidence: 1})
+		}
+		return f.sugBuf
+	}
+}
+
+// faultState is the gob mirror of the wrapper's own state.
+type faultState struct {
+	N         int
+	Stuck     prefetch.Suggestion
+	HaveStuck bool
+	Injected  uint64
+	RNGSeed   int64
+	RNGDraws  uint64
+	Inner     []byte
+}
+
+// SaveState implements checkpoint.Stater; it requires the inner
+// prefetcher to implement it too.
+func (f *Prefetcher) SaveState(w io.Writer) error {
+	st, ok := f.inner.(checkpoint.Stater)
+	if !ok {
+		return fmt.Errorf("faults: inner prefetcher %q does not support checkpointing", f.inner.Name())
+	}
+	var inner writerBuf
+	if err := st.SaveState(&inner); err != nil {
+		return err
+	}
+	seed, draws := f.rngSrc.State()
+	return writeGob(w, faultState{
+		N: f.n, Stuck: f.stuck, HaveStuck: f.haveStuck, Injected: f.injected,
+		RNGSeed: seed, RNGDraws: draws, Inner: inner.b,
+	})
+}
+
+// LoadState implements checkpoint.Stater.
+func (f *Prefetcher) LoadState(r io.Reader) error {
+	st, ok := f.inner.(checkpoint.Stater)
+	if !ok {
+		return fmt.Errorf("faults: inner prefetcher %q does not support checkpointing", f.inner.Name())
+	}
+	var s faultState
+	if err := readGob(r, &s); err != nil {
+		return err
+	}
+	if err := st.LoadState(byteReader(s.Inner)); err != nil {
+		return err
+	}
+	f.n = s.N
+	f.stuck = s.Stuck
+	f.haveStuck = s.HaveStuck
+	f.injected = s.Injected
+	f.rngSrc.Restore(s.RNGSeed, s.RNGDraws)
+	f.rng = rand.New(f.rngSrc)
+	return nil
+}
+
+// CorruptBytes returns a copy of data with flips single-bit flips at
+// seed-determined positions — used to exercise binary-format
+// hardening (trace files, model snapshots, checkpoints).
+func CorruptBytes(data []byte, flips int, seed int64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < flips; i++ {
+		out[rng.Intn(len(out))] ^= 1 << rng.Intn(8)
+	}
+	return out
+}
+
+// FailingWriter wraps an io.Writer and starts returning Err after
+// FailAfter successful Write calls — used to verify that telemetry
+// sinks surface (or deliberately swallow) write errors without
+// aborting a simulation.
+type FailingWriter struct {
+	W         io.Writer
+	FailAfter int
+	Err       error
+
+	writes int
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	if f.writes >= f.FailAfter {
+		err := f.Err
+		if err == nil {
+			err = fmt.Errorf("faults: injected write error")
+		}
+		return 0, err
+	}
+	f.writes++
+	return f.W.Write(p)
+}
+
+// CorruptRecords returns a copy of tr in which a seed-determined
+// fraction rate of the records have their PC and Addr fields XOR-mixed
+// with random bits — simulating in-memory trace corruption without
+// breaking the file format. IDs and Gaps are preserved so the timing
+// model stays consistent.
+func CorruptRecords(tr *trace.Trace, rate float64, seed int64) *trace.Trace {
+	out := &trace.Trace{Name: tr.Name + ".corrupt"}
+	out.Records = append([]trace.Record(nil), tr.Records...)
+	if rate <= 0 || len(out.Records) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out.Records {
+		if rng.Float64() >= rate {
+			continue
+		}
+		out.Records[i].PC ^= rng.Uint64()
+		out.Records[i].Addr ^= mem.Addr(rng.Uint64())
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+)
+
+// writerBuf is a minimal io.Writer accumulating into a byte slice.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func byteReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func writeGob(w io.Writer, v any) error { return gob.NewEncoder(w).Encode(v) }
+
+func readGob(r io.Reader, v any) error { return gob.NewDecoder(r).Decode(v) }

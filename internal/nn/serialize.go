@@ -51,22 +51,33 @@ func (m *MLP) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadMLP reads a snapshot written by Save.
+// maxParams bounds the total parameter count a snapshot may declare
+// (64M float64s = 512MB). Per-layer size checks alone are not enough:
+// two layers of 2^20 units each would imply a 2^40-element weight
+// matrix.
+const maxParams = 1 << 26
+
+// LoadMLP reads a snapshot written by Save. A corrupt, truncated or
+// hostile stream returns an error — it never panics and never drives a
+// huge allocation from unvalidated header fields.
 func LoadMLP(r io.Reader) (*MLP, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
 	}
 	if magic != mlpMagic {
 		return nil, ErrBadModel
 	}
 	var act, nLayers uint32
 	if err := binary.Read(br, binary.LittleEndian, &act); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: reading header: %w", noEOF(err))
+	}
+	if Activation(act) != ReLU && Activation(act) != Tanh && Activation(act) != Sigmoid {
+		return nil, fmt.Errorf("nn: unknown activation %d", act)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &nLayers); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("nn: reading header: %w", noEOF(err))
 	}
 	if nLayers < 2 || nLayers > 64 {
 		return nil, fmt.Errorf("nn: unreasonable layer count %d", nLayers)
@@ -75,12 +86,19 @@ func LoadMLP(r io.Reader) (*MLP, error) {
 	for i := range sizes {
 		var s uint32
 		if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: reading layer sizes: %w", noEOF(err))
 		}
 		if s == 0 || s > 1<<20 {
 			return nil, fmt.Errorf("nn: unreasonable layer size %d", s)
 		}
 		sizes[i] = int(s)
+	}
+	params := 0
+	for l := 0; l < int(nLayers)-1; l++ {
+		params += sizes[l]*sizes[l+1] + sizes[l+1]
+		if params > maxParams {
+			return nil, fmt.Errorf("nn: model declares more than %d parameters", maxParams)
+		}
 	}
 	m := &MLP{sizes: sizes, act: Activation(act)}
 	m.w = make([][]float64, nLayers-1)
@@ -89,14 +107,23 @@ func LoadMLP(r io.Reader) (*MLP, error) {
 		m.w[l] = make([]float64, sizes[l]*sizes[l+1])
 		m.b[l] = make([]float64, sizes[l+1])
 		if err := readFloats(br, m.w[l]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: reading layer %d weights: %w", l, noEOF(err))
 		}
 		if err := readFloats(br, m.b[l]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("nn: reading layer %d biases: %w", l, noEOF(err))
 		}
 	}
 	m.allocScratch()
 	return m, nil
+}
+
+// noEOF maps a clean EOF inside a structure to ErrUnexpectedEOF: once
+// past the magic the stream ending early is always a truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 func writeFloats(w io.Writer, v []float64) error {

@@ -97,3 +97,40 @@ func TestLoadedMLPIsTrainable(t *testing.T) {
 		t.Errorf("loaded model did not train: %v -> %v", first, last)
 	}
 }
+
+// TestLoadMLPRejectsGiantModel: per-layer sizes within the individual
+// limit can still multiply into terabyte-scale weight matrices; the
+// total-parameter bound must reject the header before any allocation.
+func TestLoadMLPRejectsGiantModel(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("RSMMLP01"))
+	le := func(v uint32) {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		buf.Write(b[:])
+	}
+	le(0)       // activation: ReLU
+	le(3)       // nLayers
+	le(1 << 20) // each size passes the per-layer check...
+	le(1 << 20) // ...but the product is 2^40 parameters
+	le(4)
+	if _, err := LoadMLP(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("terabyte-scale model header accepted")
+	}
+}
+
+// TestLoadMLPRejectsUnknownActivation: an out-of-range activation enum
+// must be rejected instead of silently degrading to identity.
+func TestLoadMLPRejectsUnknownActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, ReLU, 3, 8, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 0xFF // activation field follows the 8-byte magic
+	if _, err := LoadMLP(bytes.NewReader(data)); err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package bo
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/mem"
+)
+
+// boState is the gob mirror of the prefetcher's mutable state.
+type boState struct {
+	RR         []mem.Line
+	Scores     []int
+	TestIdx    int
+	Passes     int
+	BestD      int
+	FillQ      []mem.Line
+	Confidence float64
+}
+
+// SaveState implements checkpoint.Stater.
+func (p *Prefetcher) SaveState(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(boState{
+		RR: p.rr, Scores: p.scores, TestIdx: p.testIdx, Passes: p.passes,
+		BestD: p.bestD, FillQ: p.fillQ, Confidence: p.confidence,
+	})
+}
+
+// LoadState implements checkpoint.Stater; on error the prefetcher is
+// left unchanged.
+func (p *Prefetcher) LoadState(r io.Reader) error {
+	var st boState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("bo state: %w", err)
+	}
+	if len(st.RR) != p.cfg.RRSize || len(st.Scores) != len(p.cfg.Offsets) {
+		return fmt.Errorf("bo state: table sizes %d/%d do not match configured %d/%d",
+			len(st.RR), len(st.Scores), p.cfg.RRSize, len(p.cfg.Offsets))
+	}
+	p.rr = st.RR
+	p.scores = st.Scores
+	p.testIdx = st.TestIdx
+	p.passes = st.Passes
+	p.bestD = st.BestD
+	p.fillQ = st.FillQ
+	p.confidence = st.Confidence
+	return nil
+}

@@ -1,0 +1,70 @@
+package domino
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/mem"
+)
+
+// dominoState is the gob mirror of the prefetcher's mutable state.
+// The index maps are stored in FIFO order (see the isb package note).
+type dominoState struct {
+	Log      []mem.Line
+	LogAt    int
+	Wrapped  bool
+	Idx1Fifo []mem.Line
+	Idx1Pos  []int // parallel to Idx1Fifo
+	Idx2Fifo []uint64
+	Idx2Pos  []int // parallel to Idx2Fifo
+	Prev     mem.Line
+	HasPrev  bool
+}
+
+// SaveState implements checkpoint.Stater.
+func (p *Prefetcher) SaveState(w io.Writer) error {
+	st := dominoState{
+		Log: p.log, LogAt: p.logAt, Wrapped: p.wrapped,
+		Idx1Fifo: p.idx1Fifo, Idx2Fifo: p.idx2Fifo,
+		Prev: p.prev, HasPrev: p.hasPrev,
+	}
+	for _, line := range p.idx1Fifo {
+		st.Idx1Pos = append(st.Idx1Pos, p.idx1[line])
+	}
+	for _, key := range p.idx2Fifo {
+		st.Idx2Pos = append(st.Idx2Pos, p.idx2[key])
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater; on error the prefetcher is
+// left unchanged.
+func (p *Prefetcher) LoadState(r io.Reader) error {
+	var st dominoState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("domino state: %w", err)
+	}
+	if len(st.Log) != p.cfg.LogSize {
+		return fmt.Errorf("domino state: log size %d does not match configured %d", len(st.Log), p.cfg.LogSize)
+	}
+	if len(st.Idx1Pos) != len(st.Idx1Fifo) || len(st.Idx2Pos) != len(st.Idx2Fifo) {
+		return fmt.Errorf("domino state: mismatched index lengths")
+	}
+	p.log = st.Log
+	p.logAt = st.LogAt
+	p.wrapped = st.Wrapped
+	p.idx1Fifo = st.Idx1Fifo
+	p.idx1 = make(map[mem.Line]int, len(st.Idx1Fifo))
+	for i, line := range st.Idx1Fifo {
+		p.idx1[line] = st.Idx1Pos[i]
+	}
+	p.idx2Fifo = st.Idx2Fifo
+	p.idx2 = make(map[uint64]int, len(st.Idx2Fifo))
+	for i, key := range st.Idx2Fifo {
+		p.idx2[key] = st.Idx2Pos[i]
+	}
+	p.prev = st.Prev
+	p.hasPrev = st.HasPrev
+	return nil
+}

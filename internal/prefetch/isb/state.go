@@ -1,0 +1,78 @@
+package isb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/mem"
+)
+
+type psEntryState struct {
+	Structural uint64
+	Counter    int
+}
+
+// isbState is the gob mirror of the prefetcher's mutable state. Maps
+// are stored in FIFO order so the checkpoint stream does not depend on
+// Go's randomized map iteration (the logical state round-trips either
+// way; FIFO order just keeps the payload stable for equal states).
+type isbState struct {
+	LastFifo       []uint64
+	LastAddr       []mem.Line // parallel to LastFifo
+	PSFifo         []mem.Line
+	PS             []psEntryState // parallel to PSFifo
+	SPFifo         []uint64
+	SP             []mem.Line // parallel to SPFifo
+	NextStructural uint64
+}
+
+// SaveState implements checkpoint.Stater.
+func (p *Prefetcher) SaveState(w io.Writer) error {
+	st := isbState{
+		LastFifo:       p.lastFifo,
+		PSFifo:         p.psFifo,
+		SPFifo:         p.spFifo,
+		NextStructural: p.nextStructural,
+	}
+	for _, pc := range p.lastFifo {
+		st.LastAddr = append(st.LastAddr, p.lastAddr[pc])
+	}
+	for _, line := range p.psFifo {
+		e := p.ps[line]
+		st.PS = append(st.PS, psEntryState{Structural: e.structural, Counter: e.counter})
+	}
+	for _, s := range p.spFifo {
+		st.SP = append(st.SP, p.sp[s])
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater; on error the prefetcher is
+// left unchanged.
+func (p *Prefetcher) LoadState(r io.Reader) error {
+	var st isbState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("isb state: %w", err)
+	}
+	if len(st.LastAddr) != len(st.LastFifo) || len(st.PS) != len(st.PSFifo) || len(st.SP) != len(st.SPFifo) {
+		return fmt.Errorf("isb state: mismatched table lengths")
+	}
+	p.lastFifo = st.LastFifo
+	p.lastAddr = make(map[uint64]mem.Line, len(st.LastFifo))
+	for i, pc := range st.LastFifo {
+		p.lastAddr[pc] = st.LastAddr[i]
+	}
+	p.psFifo = st.PSFifo
+	p.ps = make(map[mem.Line]psEntry, len(st.PSFifo))
+	for i, line := range st.PSFifo {
+		p.ps[line] = psEntry{structural: st.PS[i].Structural, counter: st.PS[i].Counter}
+	}
+	p.spFifo = st.SPFifo
+	p.sp = make(map[uint64]mem.Line, len(st.SPFifo))
+	for i, s := range st.SPFifo {
+		p.sp[s] = st.SP[i]
+	}
+	p.nextStructural = st.NextStructural
+	return nil
+}

@@ -1,0 +1,52 @@
+package stride
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"resemble/internal/mem"
+)
+
+type entryState struct {
+	PC       uint64
+	Valid    bool
+	LastLine mem.Line
+	Stride   int64
+	Conf     int
+	LRU      uint64
+}
+
+type strideState struct {
+	Table []entryState
+	Clock uint64
+}
+
+// SaveState implements checkpoint.Stater.
+func (p *Prefetcher) SaveState(w io.Writer) error {
+	st := strideState{Clock: p.clock}
+	for _, e := range p.table {
+		st.Table = append(st.Table, entryState{
+			PC: e.pc, Valid: e.valid, LastLine: e.lastLine,
+			Stride: e.stride, Conf: e.conf, LRU: e.lru,
+		})
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater; on error the prefetcher is
+// left unchanged.
+func (p *Prefetcher) LoadState(r io.Reader) error {
+	var st strideState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("stride state: %w", err)
+	}
+	if len(st.Table) != p.cfg.TableSize {
+		return fmt.Errorf("stride state: table size %d does not match configured %d", len(st.Table), p.cfg.TableSize)
+	}
+	for i, e := range st.Table {
+		p.table[i] = entry{pc: e.PC, valid: e.Valid, lastLine: e.LastLine, stride: e.Stride, conf: e.Conf, lru: e.LRU}
+	}
+	p.clock = st.Clock
+	return nil
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+// ErrInterrupted is returned by RunResumable when the run stopped on an
+// interrupt request before reaching the end of the trace. If a
+// checkpoint path was configured, a checkpoint covering the stop point
+// was written before returning.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// RunOpts parameterizes a fault-tolerant run.
+type RunOpts struct {
+	// Telemetry, when non-nil, is attached to the simulator and (via
+	// telemetry.Attachable) the source, exactly like RunWithTelemetry.
+	Telemetry *telemetry.Collector
+
+	// CheckpointPath enables checkpointing: the run state is snapshotted
+	// to this file (atomically, temp + rename) at every checkpoint
+	// boundary and on interrupt.
+	CheckpointPath string
+	// CheckpointEvery is the boundary spacing in trace records. The
+	// boundary condition is on the absolute trace position, so a resumed
+	// run checkpoints at the same points as an uninterrupted one.
+	CheckpointEvery int
+	// Resume loads CheckpointPath before running and continues from its
+	// cursor instead of record zero.
+	Resume bool
+
+	// Interrupt is polled after every record; when it becomes true the
+	// run writes a final checkpoint and returns ErrInterrupted. Signal
+	// handlers set it asynchronously.
+	Interrupt *atomic.Bool
+	// StopAfter, when positive, interrupts the run after this many
+	// records have been processed in this session (a deterministic
+	// interrupt for tests).
+	StopAfter int
+}
+
+// ckpMeta is the checkpoint's "meta" section: where to resume and what
+// run the snapshot belongs to.
+type ckpMeta struct {
+	Cursor    int // next record index to process
+	TraceName string
+	TraceLen  int
+	Source    string
+}
+
+// RunResumable simulates the trace like RunWithTelemetry but with
+// checkpoint/resume and interrupt support. On a completed run it
+// returns the measured-region result; on interrupt it returns
+// ErrInterrupted (wrapped with position info) after writing a final
+// checkpoint.
+//
+// Determinism contract: interrupting a run at any record boundary and
+// resuming it from the written checkpoint produces byte-identical
+// telemetry and results to the uninterrupted run. To keep that
+// property the snapshot is taken before the end-of-run counter flush —
+// the in-progress window accumulators travel through the checkpoint
+// and are flushed exactly once, by whichever session finishes.
+func RunResumable(cfg Config, tr *trace.Trace, src Source, opts RunOpts) (Result, error) {
+	s := New(cfg)
+	name := "none"
+	if src != nil {
+		name = src.Name()
+	}
+	if opts.Telemetry != nil {
+		s.AttachTelemetry(opts.Telemetry)
+		opts.Telemetry.BeginRun(tr.Name, name)
+		if a, ok := src.(telemetry.Attachable); ok {
+			a.AttachTelemetry(opts.Telemetry)
+		}
+	}
+	if p, ok := src.(telemetry.ControllerProbe); ok {
+		s.probe = p
+	}
+
+	start := 0
+	if opts.Resume {
+		cursor, err := s.loadCheckpoint(opts.CheckpointPath, tr, src, name, opts.Telemetry)
+		if err != nil {
+			return Result{}, err
+		}
+		start = cursor
+	}
+
+	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
+	processed := 0
+	for i := start; i < len(tr.Records); i++ {
+		rec := tr.Records[i]
+		if i == warmupEnd {
+			s.resetMeasurement(rec.ID)
+		}
+		s.step(rec, src)
+		processed++
+		cursor := i + 1
+		if cursor == len(tr.Records) {
+			break // run complete; no trailing checkpoint needed
+		}
+		interrupted := (opts.Interrupt != nil && opts.Interrupt.Load()) ||
+			(opts.StopAfter > 0 && processed >= opts.StopAfter)
+		boundary := opts.CheckpointEvery > 0 && cursor%opts.CheckpointEvery == 0
+		if opts.CheckpointPath != "" && (interrupted || boundary) {
+			if err := s.writeCheckpoint(opts.CheckpointPath, tr, src, name, opts.Telemetry, cursor); err != nil {
+				return Result{}, err
+			}
+		}
+		if interrupted {
+			return Result{}, fmt.Errorf("%w at record %d/%d", ErrInterrupted, cursor, len(tr.Records))
+		}
+	}
+	if s.winSize > 0 {
+		s.flushCounters()
+	}
+	return s.result(tr, src), nil
+}
+
+// writeCheckpoint snapshots the run into path: a meta section (cursor
+// and run identity), the simulator, the source, and the telemetry
+// collector when one is attached.
+func (s *Simulator) writeCheckpoint(path string, tr *trace.Trace, src Source, name string, tel *telemetry.Collector, cursor int) error {
+	b := checkpoint.NewBuilder()
+	meta := ckpMeta{Cursor: cursor, TraceName: tr.Name, TraceLen: len(tr.Records), Source: name}
+	if err := b.Add("meta", func(w io.Writer) error { return gob.NewEncoder(w).Encode(&meta) }); err != nil {
+		return err
+	}
+	if err := b.Add("sim", s.SaveState); err != nil {
+		return err
+	}
+	if src != nil {
+		st, ok := src.(checkpoint.Stater)
+		if !ok {
+			return fmt.Errorf("sim: source %q does not support checkpointing", name)
+		}
+		if err := b.Add("source", st.SaveState); err != nil {
+			return err
+		}
+	}
+	if tel != nil {
+		if err := b.Add("telemetry", tel.SaveState); err != nil {
+			return err
+		}
+	}
+	return b.WriteFile(path)
+}
+
+// loadCheckpoint restores the run state from path, validating that the
+// snapshot belongs to this (trace, source) pair, and returns the
+// resume cursor.
+func (s *Simulator) loadCheckpoint(path string, tr *trace.Trace, src Source, name string, tel *telemetry.Collector) (int, error) {
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var meta ckpMeta
+	if err := f.Load("meta", func(r io.Reader) error { return gob.NewDecoder(r).Decode(&meta) }); err != nil {
+		return 0, err
+	}
+	if meta.TraceName != tr.Name || meta.TraceLen != len(tr.Records) {
+		return 0, fmt.Errorf("sim: checkpoint belongs to trace %q (%d records), not %q (%d records)",
+			meta.TraceName, meta.TraceLen, tr.Name, len(tr.Records))
+	}
+	if meta.Source != name {
+		return 0, fmt.Errorf("sim: checkpoint belongs to source %q, not %q", meta.Source, name)
+	}
+	if meta.Cursor < 0 || meta.Cursor > len(tr.Records) {
+		return 0, fmt.Errorf("sim: checkpoint cursor %d out of range [0,%d]", meta.Cursor, len(tr.Records))
+	}
+	if err := f.Load("sim", s.LoadState); err != nil {
+		return 0, err
+	}
+	if src != nil {
+		st, ok := src.(checkpoint.Stater)
+		if !ok {
+			return 0, fmt.Errorf("sim: source %q does not support checkpointing", name)
+		}
+		if err := f.Load("source", st.LoadState); err != nil {
+			return 0, err
+		}
+	}
+	// Telemetry restore runs after BeginRun (which reset the window
+	// index and diff baseline) so the collector continues the original
+	// window sequence.
+	if tel != nil && f.Has("telemetry") {
+		if err := f.Load("telemetry", tel.LoadState); err != nil {
+			return 0, err
+		}
+	}
+	return meta.Cursor, nil
+}

@@ -1,0 +1,136 @@
+package sim_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/stride"
+	"resemble/internal/sim"
+	"resemble/internal/trace"
+)
+
+func resumeTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	w, err := trace.Lookup("471.omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.GenerateSeeded(n, w.Seed)
+}
+
+func TestRunResumableMatchesRun(t *testing.T) {
+	tr := resumeTrace(t, 8000)
+	cfg := sim.DefaultConfig()
+	want := sim.Run(cfg, tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2))
+	got, err := sim.RunResumable(cfg, tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2), sim.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("RunResumable result differs from Run:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestResumeDeterministicSolo interrupts a solo-prefetcher run at
+// several points (before and after the warmup boundary, on and off the
+// periodic-checkpoint grid) and verifies the resumed run's result is
+// identical to the uninterrupted run.
+func TestResumeDeterministicSolo(t *testing.T) {
+	tr := resumeTrace(t, 8000)
+	cfg := sim.DefaultConfig()
+	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
+	want, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stop := range []int{700, 1600, 4096, 7999} {
+		ckp := filepath.Join(t.TempDir(), "run.ckpt")
+		_, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{
+			CheckpointPath: ckp, CheckpointEvery: 1024, StopAfter: stop,
+		})
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("stop=%d: want ErrInterrupted, got %v", stop, err)
+		}
+		got, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{
+			CheckpointPath: ckp, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("stop=%d: resume: %v", stop, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("stop=%d: resumed result differs from uninterrupted:\nwant %+v\ngot  %+v", stop, want, got)
+		}
+	}
+}
+
+// TestResumeTwoInterrupts chains two interruptions: the state must
+// survive any number of stop/resume cycles.
+func TestResumeTwoInterrupts(t *testing.T) {
+	tr := resumeTrace(t, 8000)
+	cfg := sim.DefaultConfig()
+	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
+	want, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckp := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, StopAfter: 2000}); !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("first stop: %v", err)
+	}
+	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true, StopAfter: 3000}); !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("second stop: %v", err)
+	}
+	got, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("twice-resumed result differs from uninterrupted:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	tr := resumeTrace(t, 4000)
+	cfg := sim.DefaultConfig()
+	ckp := filepath.Join(t.TempDir(), "run.ckpt")
+	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
+	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, StopAfter: 1000}); !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong trace", func(t *testing.T) {
+		other := resumeTrace(t, 5000)
+		if _, err := sim.RunResumable(cfg, other, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true}); err == nil {
+			t.Error("resuming on a different trace must fail")
+		}
+	})
+	t.Run("wrong source", func(t *testing.T) {
+		src := sim.FromPrefetcher(bo.New(bo.Config{}), 2)
+		if _, err := sim.RunResumable(cfg, tr, src, sim.RunOpts{CheckpointPath: ckp, Resume: true}); err == nil {
+			t.Error("resuming with a different source must fail")
+		}
+	})
+	t.Run("corrupt file", func(t *testing.T) {
+		data, err := os.ReadFile(ckp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		bad := filepath.Join(t.TempDir(), "bad.ckpt")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: bad, Resume: true}); err == nil {
+			t.Error("resuming from a corrupt checkpoint must fail")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: filepath.Join(t.TempDir(), "none.ckpt"), Resume: true}); err == nil {
+			t.Error("resuming from a missing checkpoint must fail")
+		}
+	})
+}

@@ -694,6 +694,15 @@ func (ps *prefetcherSource) OnAccess(a prefetch.AccessContext) []mem.Line {
 	return ps.buf
 }
 
+// AttachTelemetry implements telemetry.Attachable by forwarding to the
+// adapted prefetcher when it is itself attachable (e.g. the fault
+// injection wrapper).
+func (ps *prefetcherSource) AttachTelemetry(t *telemetry.Collector) {
+	if a, ok := ps.p.(telemetry.Attachable); ok {
+		a.AttachTelemetry(t)
+	}
+}
+
 func (ps *prefetcherSource) Reset() {
 	ps.p.Reset()
 	ps.accesses, ps.issuing, ps.lines = 0, 0, 0

@@ -10,6 +10,9 @@ package telemetry_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"resemble/internal/core"
@@ -70,6 +73,100 @@ func telemetryRun(t *testing.T, accesses int) (windows, events, registry []byte)
 		t.Fatal(err)
 	}
 	return windows, events, registry
+}
+
+// resumableSetup builds a fresh collector + memory event sink and the
+// full DQN ensemble over a freshly generated trace, so every session
+// (uninterrupted, interrupted, resumed) starts from identical inputs.
+func resumableSetup(t *testing.T, accesses int) (*telemetry.Collector, *telemetry.MemorySink, *trace.Trace, sim.Source) {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true, TraceSample: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSink := &telemetry.MemorySink{}
+	tel.AddEventSink(memSink, false)
+	w, err := trace.Lookup("471.omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.GenerateSeeded(accesses, w.Seed)
+	cfg := core.DefaultConfig()
+	cfg.Batch = 64
+	cfg.Seed = 1
+	pfs := []prefetch.Prefetcher{
+		bo.New(bo.Config{}), spp.New(spp.Config{}),
+		isb.New(isb.Config{}), domino.New(domino.Config{}),
+	}
+	return tel, memSink, tr, core.NewController(cfg, pfs)
+}
+
+// TestResumeDeterminism is the acceptance test for checkpoint/resume:
+// interrupting a full simulator + DQN + telemetry run mid-trace and
+// resuming it from the checkpoint in a fresh session must produce
+// byte-identical window snapshots, sampled events, registry contents
+// and results to the uninterrupted run.
+func TestResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulator run skipped in -short mode")
+	}
+	const accesses = 6000
+	simCfg := sim.DefaultConfig()
+
+	tel, memSink, tr, src := resumableSetup(t, accesses)
+	wantRes, err := sim.RunResumable(simCfg, tr, src, sim.RunOpts{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWins := append([]telemetry.WindowSnapshot(nil), tel.Windows()...)
+	wantEvents := append([]telemetry.Event(nil), memSink.Events()...)
+	wantReg, err := json.Marshal(tel.Registry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stop := range []int{900, 3500} { // before and after warmup end
+		ckp := filepath.Join(t.TempDir(), "run.ckpt")
+
+		tel1, sink1, tr1, src1 := resumableSetup(t, accesses)
+		_, err := sim.RunResumable(simCfg, tr1, src1, sim.RunOpts{
+			Telemetry: tel1, CheckpointPath: ckp, CheckpointEvery: 1000, StopAfter: stop,
+		})
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("stop=%d: want ErrInterrupted, got %v", stop, err)
+		}
+
+		tel2, sink2, tr2, src2 := resumableSetup(t, accesses)
+		gotRes, err := sim.RunResumable(simCfg, tr2, src2, sim.RunOpts{
+			Telemetry: tel2, CheckpointPath: ckp, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("stop=%d: resume: %v", stop, err)
+		}
+
+		if !reflect.DeepEqual(wantRes, gotRes) {
+			t.Errorf("stop=%d: resumed result differs:\nwant %+v\ngot  %+v", stop, wantRes, gotRes)
+		}
+		gotWins := append(append([]telemetry.WindowSnapshot(nil), tel1.Windows()...), tel2.Windows()...)
+		wj, _ := json.Marshal(wantWins)
+		gj, _ := json.Marshal(gotWins)
+		if !bytes.Equal(wj, gj) {
+			t.Errorf("stop=%d: window snapshots differ between uninterrupted and interrupted+resumed runs", stop)
+		}
+		gotEvents := append(append([]telemetry.Event(nil), sink1.Events()...), sink2.Events()...)
+		ej, _ := json.Marshal(wantEvents)
+		gje, _ := json.Marshal(gotEvents)
+		if !bytes.Equal(ej, gje) {
+			t.Errorf("stop=%d: sampled event traces differ between uninterrupted and interrupted+resumed runs", stop)
+		}
+		gotReg, err := json.Marshal(tel2.Registry().Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantReg, gotReg) {
+			t.Errorf("stop=%d: registry snapshots differ between uninterrupted and interrupted+resumed runs", stop)
+		}
+	}
 }
 
 func TestTelemetryDeterminism(t *testing.T) {

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Checkpointing (checkpoint.Stater) for the collector. The snapshot
+// carries the registry's instrument values, the tracer position and
+// ring, and the collector's window-diff state, so a resumed run emits
+// the exact window/metric continuation an uninterrupted run would
+// have. Instrument values are restored onto the existing instruments
+// (matched by name), so handles already held by attached components
+// stay live.
+
+type histogramState struct {
+	Count   uint64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Samples []float64
+	Stride  uint64
+	Seen    uint64
+}
+
+type collectorState struct {
+	RunWorkload string
+	RunSource   string
+	WindowIdx   int
+	Prev        ControllerStats
+	HasPrev     bool
+
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]histogramState
+
+	TracerN  uint64
+	RingCap  int
+	Ring     []Event
+	RingNext int
+	RingWrap bool
+}
+
+// SaveState implements checkpoint.Stater.
+func (c *Collector) SaveState(w io.Writer) error {
+	if c == nil {
+		return errors.New("telemetry: cannot checkpoint a nil collector")
+	}
+	st := collectorState{
+		RunWorkload: c.runWorkload,
+		RunSource:   c.runSource,
+		WindowIdx:   c.windowIdx,
+		Prev:        c.prev,
+		HasPrev:     c.hasPrev,
+		Counters:    map[string]uint64{},
+		Gauges:      map[string]float64{},
+		Histograms:  map[string]histogramState{},
+	}
+	c.reg.mu.Lock()
+	for name, ctr := range c.reg.counters {
+		st.Counters[name] = ctr.Value()
+	}
+	for name, g := range c.reg.gauges {
+		st.Gauges[name] = g.Value()
+	}
+	for name, h := range c.reg.histograms {
+		h.mu.Lock()
+		st.Histograms[name] = histogramState{
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			Samples: append([]float64(nil), h.samples...),
+			Stride:  h.stride, Seen: h.seen,
+		}
+		h.mu.Unlock()
+	}
+	c.reg.mu.Unlock()
+	if t := c.tracer; t != nil {
+		st.TracerN = t.n
+		st.RingCap = len(t.ring)
+		st.Ring = append([]Event(nil), t.ring...)
+		st.RingNext = t.ringNext
+		st.RingWrap = t.ringWrap
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// LoadState implements checkpoint.Stater. Values land on the existing
+// named instruments (creating any the current process has not touched
+// yet); the tracer ring is restored only when capacities match — a
+// different ring configuration keeps the restored sampling position
+// but starts the ring empty.
+func (c *Collector) LoadState(r io.Reader) error {
+	if c == nil {
+		return errors.New("telemetry: cannot restore into a nil collector")
+	}
+	var st collectorState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("telemetry state: %w", err)
+	}
+	c.runWorkload = st.RunWorkload
+	c.runSource = st.RunSource
+	c.windowIdx = st.WindowIdx
+	c.prev = st.Prev
+	c.hasPrev = st.HasPrev
+	for name, v := range st.Counters {
+		c.reg.Counter(name).v.Store(v)
+	}
+	for name, v := range st.Gauges {
+		c.reg.Gauge(name).Set(v)
+	}
+	for name, hs := range st.Histograms {
+		h := c.reg.Histogram(name)
+		h.mu.Lock()
+		h.count = hs.Count
+		h.sum = hs.Sum
+		h.min = hs.Min
+		h.max = hs.Max
+		h.samples = append(h.samples[:0], hs.Samples...)
+		h.stride = hs.Stride
+		h.seen = hs.Seen
+		h.mu.Unlock()
+	}
+	if t := c.tracer; t != nil {
+		t.n = st.TracerN
+		if len(t.ring) == st.RingCap && st.RingCap > 0 {
+			copy(t.ring, st.Ring)
+			t.ringNext = st.RingNext
+			t.ringWrap = st.RingWrap
+		}
+	}
+	return nil
+}

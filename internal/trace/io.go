@@ -54,46 +54,78 @@ func Write(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace from the binary format.
+// maxNameLen and maxRecords bound the header fields of a trace file; a
+// corrupt or hostile header must not drive allocations.
+const (
+	maxNameLen = 1 << 20
+	maxRecords = 1 << 30
+)
+
+// Read decodes a trace from the binary format. Every decoding error is
+// wrapped with the byte offset where it occurred, and header-declared
+// sizes never drive allocation directly — the record slice grows as
+// records actually arrive, so a truncated or hostile header cannot
+// cause a giant up-front allocation.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
+	off := int64(0)
+	readFull := func(p []byte, what string) error {
+		n, err := io.ReadFull(br, p)
+		off += int64(n)
+		if err != nil {
+			if err == io.ErrUnexpectedEOF || (err == io.EOF && off > 0 && len(p) > 0) {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("trace: reading %s at byte %d: %w", what, off, err)
+		}
+		return nil
+	}
+
 	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+	if err := readFull(m[:], "magic"); err != nil {
 		return nil, err
 	}
 	if m != magic {
-		return nil, ErrBadMagic
+		return nil, fmt.Errorf("trace: at byte 0: %w", ErrBadMagic)
 	}
-	var nameLen uint32
-	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+	var hdr [4]byte
+	if err := readFull(hdr[:], "name length"); err != nil {
 		return nil, err
 	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	nameLen := binary.LittleEndian.Uint32(hdr[:])
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("trace: at byte %d: name length %d exceeds limit %d", off-4, nameLen, maxNameLen)
 	}
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
+	if err := readFull(name, "name"); err != nil {
 		return nil, err
 	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+	var cnt [8]byte
+	if err := readFull(cnt[:], "record count"); err != nil {
 		return nil, err
 	}
-	if count > 1<<32 {
-		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	count := binary.LittleEndian.Uint64(cnt[:])
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: at byte %d: record count %d exceeds limit %d", off-8, count, maxRecords)
 	}
-	t := &Trace{Name: string(name), Records: make([]Record, count)}
+	// Pre-size conservatively: trust the header only up to what a small
+	// file could plausibly hold; grow by append beyond that.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t := &Trace{Name: string(name), Records: make([]Record, 0, capHint)}
 	var buf [28]byte
-	for i := range t.Records {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+	for i := uint64(0); i < count; i++ {
+		if err := readFull(buf[:], fmt.Sprintf("record %d", i)); err != nil {
+			return nil, err
 		}
-		t.Records[i] = Record{
+		t.Records = append(t.Records, Record{
 			ID:   binary.LittleEndian.Uint64(buf[0:8]),
 			PC:   binary.LittleEndian.Uint64(buf[8:16]),
 			Addr: binary.LittleEndian.Uint64(buf[16:24]),
 			Gap:  binary.LittleEndian.Uint32(buf[24:28]),
-		}
+		})
 	}
 	return t, nil
 }

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encode returns the binary form of a trace for corruption tests.
+// Writing to a bytes.Buffer cannot fail, so errors are fatal here.
+func encode(tb testing.TB, tr *Trace) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func smallTrace() *Trace {
+	tr := &Trace{Name: "io-test"}
+	tr.Append(0x400, 0x1000, 3)
+	tr.Append(0x404, 0x1040, 2)
+	tr.Append(0x408, 0x2000, 5)
+	return tr
+}
+
+// TestReadTruncated: every possible truncation of a valid stream must
+// return an error (never panic, never a silent partial trace) and the
+// error must carry the byte offset.
+func TestReadTruncated(t *testing.T) {
+	data := encode(t, smallTrace())
+	for cut := 0; cut < len(data); cut++ {
+		_, err := Read(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d: no error", cut)
+		}
+		if cut > 0 && !strings.Contains(err.Error(), "byte") {
+			t.Errorf("truncation at byte %d: error %q lacks byte offset", cut, err)
+		}
+	}
+}
+
+// TestReadHostileHeader: header-declared sizes must be rejected before
+// they drive allocations.
+func TestReadHostileHeader(t *testing.T) {
+	base := encode(t, smallTrace())
+
+	// Claim a gigantic name.
+	bad := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(bad[8:12], 1<<30)
+	if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "name length") {
+		t.Errorf("giant name length: err = %v", err)
+	}
+
+	// Claim a gigantic record count: must error (truncation or limit),
+	// never attempt the full allocation.
+	nameLen := binary.LittleEndian.Uint32(base[8:12])
+	countOff := 12 + int(nameLen)
+	bad = append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(bad[countOff:countOff+8], 1<<40)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("giant record count: no error")
+	}
+
+	// A count slightly above the real record total must report the
+	// truncation as unexpected EOF, not clean EOF.
+	bad = append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(bad[countOff:countOff+8], 4)
+	_, err := Read(bytes.NewReader(bad))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("overcount: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// FuzzRead: arbitrary bytes must never panic the decoder, and any
+// stream it accepts must round-trip losslessly through Write.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RSMTRC01"))
+	f.Add(encode(f, smallTrace()))
+	f.Add(encode(f, MustLookup("471.omnetpp").Generate(64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if werr := Write(&out, tr); werr != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", werr)
+		}
+		tr2, rerr := Read(bytes.NewReader(out.Bytes()))
+		if rerr != nil {
+			t.Fatalf("re-decode of accepted trace failed: %v", rerr)
+		}
+		if tr.Name != tr2.Name || len(tr.Records) != len(tr2.Records) {
+			t.Fatalf("round trip mismatch: %q/%d vs %q/%d",
+				tr.Name, len(tr.Records), tr2.Name, len(tr2.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d mismatch", i)
+			}
+		}
+	})
+}

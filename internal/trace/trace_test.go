@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -98,7 +99,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 }
 
 func TestBinaryBadMagic(t *testing.T) {
-	if _, err := Read(bytes.NewReader([]byte("NOTATRACE........."))); err != ErrBadMagic {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE........."))); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("err = %v, want ErrBadMagic", err)
 	}
 }

@@ -20,6 +20,13 @@ go vet ./...
 echo "== go test -race (telemetry, sim) =="
 go test -race ./internal/telemetry/... ./internal/sim/...
 
+echo "== go test -race (fault tolerance) =="
+go test -race -run 'Fault|Masking|Resume|Checkpoint' \
+    ./internal/checkpoint/... ./internal/faults/... ./internal/experiments/...
+
+echo "== go test (fuzz corpus) =="
+go test -run Fuzz ./...
+
 echo "== go test ./... =="
 go test ./...
 
