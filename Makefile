@@ -1,6 +1,7 @@
 GO ?= go
+JOBS ?= 0
 
-.PHONY: build test check bench fmt fault-matrix
+.PHONY: build test check bench fmt fault-matrix suite
 
 build:
 	$(GO) build ./...
@@ -25,3 +26,8 @@ fmt:
 # under each injected fault class (see DESIGN.md).
 fault-matrix:
 	$(GO) run ./cmd/experiments -exp faults
+
+# Full evaluation sweep on the worker pool. JOBS=0 uses every CPU;
+# JOBS=1 is the serial reference (outputs are identical either way).
+suite:
+	$(GO) run ./cmd/experiments -exp all -jobs $(JOBS) -progress

@@ -5,8 +5,14 @@
 //
 //	experiments -exp fig8            # one experiment
 //	experiments -exp all             # every experiment
+//	experiments -exp all -jobs 8     # 8 concurrent simulations
 //	experiments -exp table6 -n 40000 # smaller traces
 //	experiments -list                # list experiment ids
+//
+// Parallelism: every experiment fans its (workload, source) simulations
+// out over a worker pool. -jobs bounds the pool (default: all CPUs;
+// -jobs 1 forces the serial path); outputs are byte-identical at every
+// level. -progress renders a live runs/total/ETA line on stderr.
 //
 // Telemetry: -telemetry DIR instruments every (workload, source)
 // simulation of the matrix experiments — a shared windows.jsonl with
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"resemble/internal/experiments"
+	"resemble/internal/sim"
 	"resemble/internal/telemetry"
 )
 
@@ -60,6 +67,8 @@ func run() (err error) {
 		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
 		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
+		jobs        = flag.Int("jobs", 0, "concurrent simulations per experiment (0 = all CPUs, 1 = serial); results are identical at every level")
+		progress    = flag.Bool("progress", false, "render a live runs-done/total/ETA line on stderr")
 		safe        = flag.Bool("safe", false, "isolate each experiment: recover panics, apply -timeout, continue past failures")
 		timeout     = flag.Duration("timeout", 0, "per-experiment deadline in -safe mode (0 = none)")
 		ckpPath     = flag.String("checkpoint", "", "suite progress file: completed experiment ids are recorded here (and on SIGINT/SIGTERM the suite stops at the next boundary)")
@@ -82,6 +91,12 @@ func run() (err error) {
 		Batch:    *batch,
 		Seed:     *seed,
 		Out:      os.Stdout,
+		Jobs:     *jobs,
+	}
+	if *progress {
+		p := experiments.NewProgress(os.Stderr)
+		opt.Progress = p
+		defer p.Finish()
 	}
 
 	if *telDir != "" || *traceOut != "" {
@@ -106,7 +121,7 @@ func run() (err error) {
 			Batch    int
 			Seed     int64
 		}{*n, *batch, *seed})
-		opt.Telemetry = tel
+		opt.Sim = append(opt.Sim, sim.WithTelemetry(tel))
 	}
 
 	if *pprofHTTP != "" {

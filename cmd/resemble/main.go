@@ -36,6 +36,11 @@
 //	resemble -workload 471.omnetpp -checkpoint run.ckpt
 //	^C
 //	resemble -workload 471.omnetpp -checkpoint run.ckpt -resume
+//
+// Parallelism: -jobs 2 simulates the baseline and the controller
+// concurrently on isolated telemetry collectors; the merged outputs
+// are byte-identical to a serial run. Incompatible with -checkpoint
+// and -pref (both need the serial stream).
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 
@@ -146,6 +152,7 @@ func run() (err error) {
 		ckpPath     = flag.String("checkpoint", "", "checkpoint the run to this file (written periodically and on SIGINT/SIGTERM)")
 		ckpEvery    = flag.Int("checkpoint-every", 100000, "checkpoint boundary spacing in trace records")
 		resume      = flag.Bool("resume", false, "resume the run from -checkpoint instead of starting over")
+		jobs        = flag.Int("jobs", 1, "run the baseline and controller simulations concurrently (>= 2; incompatible with -checkpoint and -pref)")
 		list        = flag.Bool("workloads", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -228,64 +235,119 @@ func run() (err error) {
 		fmt.Printf("loaded model from %s\n", *loadModel)
 	}
 
-	base := sim.RunWithTelemetry(simCfg, tr, nil, tel)
-	fmt.Printf("workload %s: %s\n", tr.Name, tr.ComputeStats())
-	fmt.Printf("baseline: IPC=%.3f MPKI=%.2f LLC misses=%d\n", base.IPC, base.MPKI, base.LLCMisses)
-	if src == nil {
+	// All simulations go through one Runner; variants (baseline,
+	// checkpointed, per-goroutine collectors) derive from it with With.
+	runner := sim.NewRunner(simCfg, sim.WithTelemetry(tel))
+
+	attachSinks := func() error {
+		// The artifact sinks attach after the baseline stream so they
+		// record only the controller's, like the old recorder did.
+		if *prefOut != "" {
+			ps, perr := newPrefSink(*prefOut)
+			if perr != nil {
+				return perr
+			}
+			tel.AddEventSink(ps, true)
+		}
+		if *rewardOut != "" {
+			f, ferr := os.Create(*rewardOut)
+			if ferr != nil {
+				return ferr
+			}
+			tel.AddWindowSink(telemetry.NewRewardsCSVSink(f))
+		}
 		return nil
 	}
 
-	// The artifact sinks attach after the baseline run so they record
-	// only the controller's stream, like the old recorder did.
-	if *prefOut != "" {
-		ps, perr := newPrefSink(*prefOut)
-		if perr != nil {
-			return perr
+	var base, r sim.Result
+	switch {
+	case *jobs > 1 && src != nil && *ckpPath == "" && *prefOut == "":
+		// Concurrent mode: baseline and controller simulate in parallel,
+		// each on an isolated child collector; merging base-then-ctrl
+		// afterwards (artifact sinks attached between the merges)
+		// reproduces the serial telemetry streams byte for byte. The
+		// -pref sink needs full-rate events, which child collectors do
+		// not carry, so that flag forces the serial path.
+		var baseCh, ctrlCh *telemetry.Collector
+		baseRunner := runner.With(sim.WithBaseline())
+		ctrlRunner := runner
+		if tel != nil {
+			baseCh, ctrlCh = tel.Child(), tel.Child()
+			baseRunner = baseRunner.With(sim.WithTelemetry(baseCh))
+			ctrlRunner = ctrlRunner.With(sim.WithTelemetry(ctrlCh))
 		}
-		tel.AddEventSink(ps, true)
-	}
-	if *rewardOut != "" {
-		f, ferr := os.Create(*rewardOut)
-		if ferr != nil {
-			return ferr
+		var baseErr, ctrlErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); base, baseErr = baseRunner.Run(tr, nil) }()
+		go func() { defer wg.Done(); r, ctrlErr = ctrlRunner.Run(tr, src) }()
+		wg.Wait()
+		if baseErr != nil {
+			return baseErr
 		}
-		tel.AddWindowSink(telemetry.NewRewardsCSVSink(f))
-	}
+		if ctrlErr != nil {
+			return ctrlErr
+		}
+		if tel != nil {
+			tel.Merge(baseCh)
+			if err := attachSinks(); err != nil {
+				return err
+			}
+			tel.Merge(ctrlCh)
+		}
+		fmt.Printf("workload %s: %s\n", tr.Name, tr.ComputeStats())
+		fmt.Printf("baseline: IPC=%.3f MPKI=%.2f LLC misses=%d\n", base.IPC, base.MPKI, base.LLCMisses)
 
-	var r sim.Result
-	if *ckpPath != "" {
-		// Fault-tolerant path: periodic checkpoints, plus a final one on
-		// SIGINT/SIGTERM so an interrupted run can continue with -resume.
-		var interrupted atomic.Bool
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-		defer signal.Stop(sigc)
-		go func() {
-			<-sigc
-			fmt.Fprintln(os.Stderr, "signal received; writing checkpoint...")
-			interrupted.Store(true)
-		}()
-		r, err = sim.RunResumable(simCfg, tr, src, sim.RunOpts{
-			Telemetry:       tel,
-			CheckpointPath:  *ckpPath,
-			CheckpointEvery: *ckpEvery,
-			Resume:          *resume,
-			Interrupt:       &interrupted,
-		})
-		if errors.Is(err, sim.ErrInterrupted) {
-			fmt.Fprintf(os.Stderr, "checkpoint written to %s; rerun with -resume to continue\n", *ckpPath)
-			return err
-		}
+	default:
+		base, err = runner.With(sim.WithBaseline()).Run(tr, nil)
 		if err != nil {
 			return err
 		}
-		// The run completed: the periodic checkpoint is stale now, and a
-		// later -resume from it would replay the tail of the trace.
-		if rmErr := os.Remove(*ckpPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
-			return rmErr
+		fmt.Printf("workload %s: %s\n", tr.Name, tr.ComputeStats())
+		fmt.Printf("baseline: IPC=%.3f MPKI=%.2f LLC misses=%d\n", base.IPC, base.MPKI, base.LLCMisses)
+		if src == nil {
+			return nil
 		}
-	} else {
-		r = sim.RunWithTelemetry(simCfg, tr, src, tel)
+		if err := attachSinks(); err != nil {
+			return err
+		}
+
+		if *ckpPath != "" {
+			// Fault-tolerant path: periodic checkpoints, plus a final one
+			// on SIGINT/SIGTERM so an interrupted run can continue with
+			// -resume.
+			var interrupted atomic.Bool
+			sigc := make(chan os.Signal, 1)
+			signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+			defer signal.Stop(sigc)
+			go func() {
+				<-sigc
+				fmt.Fprintln(os.Stderr, "signal received; writing checkpoint...")
+				interrupted.Store(true)
+			}()
+			opts := []sim.Option{
+				sim.WithCheckpoint(*ckpPath, *ckpEvery),
+				sim.WithInterrupt(&interrupted),
+			}
+			if *resume {
+				opts = append(opts, sim.WithResume())
+			}
+			r, err = runner.With(opts...).Run(tr, src)
+			if errors.Is(err, sim.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "checkpoint written to %s; rerun with -resume to continue\n", *ckpPath)
+				return err
+			}
+			if err != nil {
+				return err
+			}
+			// The run completed: the periodic checkpoint is stale now, and
+			// a later -resume from it would replay the tail of the trace.
+			if rmErr := os.Remove(*ckpPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+				return rmErr
+			}
+		} else if r, err = runner.Run(tr, src); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%s: accuracy=%.1f%% coverage=%.1f%% MPKI=%.2f IPC=%.3f (%+.1f%%)\n",
 		r.Source, 100*r.Accuracy, 100*r.Coverage, r.MPKI, r.IPC, 100*r.IPCImprovement(base))

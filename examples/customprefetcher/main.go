@@ -53,10 +53,10 @@ func main() {
 	}
 	ctrl := core.NewController(core.DefaultConfig(), inputs)
 
-	simCfg := sim.DefaultConfig()
+	runner := sim.NewRunner(sim.DefaultConfig())
 	tr := trace.MustLookup("hybrid.interleave").Generate(50000)
-	base := sim.RunBaseline(simCfg, tr)
-	res := sim.Run(simCfg, tr, ctrl)
+	base, _ := runner.With(sim.WithBaseline()).Run(tr, nil)
+	res, _ := runner.Run(tr, ctrl)
 
 	fmt.Printf("workload %s, baseline IPC %.3f\n", tr.Name, base.IPC)
 	fmt.Printf("ensemble(nextline, isb): IPC %+.1f%%, acc %.1f%%, cov %.1f%%\n",

@@ -32,11 +32,11 @@ func inputs() []prefetch.Prefetcher {
 
 func main() {
 	tr := trace.MustLookup("hybrid.interleave").Generate(60000) // record-level stream interleaving
-	simCfg := sim.DefaultConfig()
-	base := sim.RunBaseline(simCfg, tr)
+	runner := sim.NewRunner(sim.DefaultConfig())
+	base, _ := runner.With(sim.WithBaseline()).Run(tr, nil)
 
 	ctrl := core.NewController(core.DefaultConfig(), inputs())
-	res := sim.Run(simCfg, tr, ctrl)
+	res, _ := runner.Run(tr, ctrl)
 
 	// Dominant action per window: watch the controller switch
 	// prefetchers as phases alternate.
@@ -65,8 +65,12 @@ func main() {
 		fmt.Printf("  %-10s IPC %.3f (%+.1f%%)  acc %.1f%%  cov %.1f%%\n",
 			name, r.IPC, 100*r.IPCImprovement(base), 100*r.Accuracy, 100*r.Coverage)
 	}
+	run := func(src sim.Source) sim.Result {
+		r, _ := runner.Run(tr, src)
+		return r
+	}
 	report("resemble", res)
-	report("sbp-e", sim.Run(simCfg, tr, sbp.New(sbp.Config{}, inputs())))
-	report("bo", sim.Run(simCfg, tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2)))
-	report("isb", sim.Run(simCfg, tr, sim.FromPrefetcher(isb.New(isb.Config{}), 2)))
+	report("sbp-e", run(sbp.New(sbp.Config{}, inputs())))
+	report("bo", run(sim.FromPrefetcher(bo.New(bo.Config{}), 2)))
+	report("isb", run(sim.FromPrefetcher(isb.New(isb.Config{}), 2)))
 }

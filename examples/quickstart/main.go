@@ -36,9 +36,11 @@ func main() {
 	controller := core.NewController(core.DefaultConfig(), prefetchers)
 
 	// 4. Simulate: baseline without prefetching, then with ReSemble.
-	simCfg := sim.DefaultConfig()
-	base := sim.RunBaseline(simCfg, tr)
-	res := sim.Run(simCfg, tr, controller)
+	// One Runner serves both — WithBaseline derives the no-prefetch
+	// variant.
+	runner := sim.NewRunner(sim.DefaultConfig())
+	base, _ := runner.With(sim.WithBaseline()).Run(tr, nil)
+	res, _ := runner.Run(tr, controller)
 
 	fmt.Printf("baseline     IPC %.3f, LLC MPKI %.2f\n", base.IPC, base.MPKI)
 	fmt.Printf("resemble     IPC %.3f (%+.1f%%), accuracy %.1f%%, coverage %.1f%%\n",

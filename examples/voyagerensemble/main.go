@@ -22,20 +22,20 @@ import (
 )
 
 func main() {
-	simCfg := sim.DefaultConfig()
+	runner := sim.NewRunner(sim.DefaultConfig())
 	for _, name := range []string{"429.mcf", "433.milc"} {
 		tr := trace.MustLookup(name).Generate(50000)
-		base := sim.RunBaseline(simCfg, tr)
+		base, _ := runner.With(sim.WithBaseline()).Run(tr, nil)
 
 		// Voyager alone.
-		alone := sim.Run(simCfg, tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
+		alone, _ := runner.Run(tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
 
 		// Ensemble with Voyager replacing Domino.
 		withVoyager := core.NewController(core.DefaultConfig(), []prefetch.Prefetcher{
 			bo.New(bo.Config{}), spp.New(spp.Config{}),
 			isb.New(isb.Config{}), voyager.New(voyager.Config{}),
 		})
-		ens := sim.Run(simCfg, tr, withVoyager)
+		ens, _ := runner.Run(tr, withVoyager)
 
 		fmt.Printf("%s (baseline IPC %.3f):\n", name, base.IPC)
 		fmt.Printf("  voyager alone      %+6.1f%% IPC, acc %.1f%%\n",

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"resemble/internal/core"
 	"resemble/internal/ensemble/sbp"
@@ -38,18 +39,38 @@ type Options struct {
 	Batch int
 	// Seed offsets workload and controller seeds for repeated runs.
 	Seed int64
-	// Out receives the rendered tables/series; nil discards output.
+	// Out receives the rendered tables/series; nil discards output. It
+	// is wrapped in a mutex-guarded writer, so rendering stays intact
+	// even if an experiment prints from concurrent workers.
 	Out io.Writer
-	// Telemetry, when non-nil, records per-window snapshots and sampled
-	// event traces for every (workload, source) simulation; each run is
-	// labeled via Collector.BeginRun so downstream analysis can split the
-	// shared windows.jsonl stream. Nil disables instrumentation.
-	Telemetry *telemetry.Collector
-	// Faults, when non-nil, wraps every input prefetcher before it
-	// reaches a controller or solo source — the deterministic
-	// fault-injection hook (internal/faults). Returning the prefetcher
-	// unchanged leaves it healthy.
-	Faults func(prefetch.Prefetcher) prefetch.Prefetcher
+	// Jobs bounds the number of concurrent simulations of the worker
+	// pool; 0 defaults to runtime.NumCPU() and 1 forces the serial
+	// path. Results and telemetry streams are byte-identical at every
+	// job count (see DESIGN.md, "Parallel experiment engine").
+	Jobs int
+	// Sim holds the sim.Runner options applied to every simulation of
+	// the experiment — telemetry (sim.WithTelemetry), fault injection
+	// (sim.WithFaults), and any future cross-cutting concern. This is
+	// the same configuration surface direct simulator users have; the
+	// harness adds nothing on top.
+	Sim []sim.Option
+	// Progress, when non-nil, receives a live suite-level progress line
+	// (runs completed / total / ETA) as pool tasks finish.
+	Progress *Progress
+	// Traces overrides the trace cache; nil uses the process-wide
+	// shared cache (trace.Shared), so every workload trace is generated
+	// once and shared read-only across sources, experiments and
+	// workers.
+	Traces *trace.Cache
+
+	// runner is the resolved sim.Runner prototype (built from Sim by
+	// withDefaults); per-run variants derive from it via WithConfig and
+	// With.
+	runner *sim.Runner
+	// deadline, when set (RunSafe), makes the worker pool stop pulling
+	// tasks once passed, so a timed-out experiment winds down instead
+	// of running to completion in an abandoned goroutine.
+	deadline time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +83,12 @@ func (o Options) withDefaults() Options {
 	if o.Out == nil {
 		o.Out = io.Discard
 	}
+	if _, ok := o.Out.(*syncWriter); !ok {
+		o.Out = &syncWriter{w: o.Out}
+	}
+	if o.runner == nil {
+		o.runner = sim.NewRunner(sim.DefaultConfig(), o.Sim...)
+	}
 	return o
 }
 
@@ -69,27 +96,47 @@ func (o Options) printf(format string, args ...any) {
 	fmt.Fprintf(o.Out, format, args...)
 }
 
-// run simulates src (nil for the no-prefetch baseline) over tr with the
-// experiment's telemetry collector attached, so every experiment's
-// simulations appear in the shared window/trace streams.
+// simRunner returns the resolved Runner prototype (tolerating Options
+// values that skipped withDefaults, e.g. hand-built test fixtures).
+func (o Options) simRunner() *sim.Runner {
+	if o.runner == nil {
+		o.runner = sim.NewRunner(sim.DefaultConfig(), o.Sim...)
+	}
+	return o.runner
+}
+
+// telemetry returns the collector installed via sim.WithTelemetry (nil
+// when instrumentation is off).
+func (o Options) telemetry() *telemetry.Collector {
+	return o.simRunner().Telemetry()
+}
+
+// run simulates src (nil for the no-prefetch baseline) over tr through
+// the experiment's Runner, so every simulation shares the experiment's
+// telemetry and fault configuration.
 func (o Options) run(cfg sim.Config, tr *trace.Trace, src sim.Source) sim.Result {
-	return sim.RunWithTelemetry(cfg, tr, src, o.Telemetry)
+	res, _ := o.simRunner().WithConfig(cfg).Run(tr, src)
+	return res
 }
 
-// wrap applies the fault-injection hook to one prefetcher.
+// traceFor returns the workload's trace at the experiment's length and
+// seed offset, served from the trace cache.
+func (o Options) traceFor(w trace.Workload) *trace.Trace {
+	c := o.Traces
+	if c == nil {
+		c = trace.Shared()
+	}
+	return c.Get(w, o.Accesses, w.Seed+o.Seed)
+}
+
+// wrap applies the sim.WithFaults hook to one prefetcher.
 func (o Options) wrap(p prefetch.Prefetcher) prefetch.Prefetcher {
-	if o.Faults == nil {
-		return p
-	}
-	return o.Faults(p)
+	return o.simRunner().Wrap(p)
 }
 
-// wrapAll applies the fault-injection hook to a prefetcher set.
+// wrapAll applies the sim.WithFaults hook to a prefetcher set.
 func (o Options) wrapAll(pfs []prefetch.Prefetcher) []prefetch.Prefetcher {
-	for i := range pfs {
-		pfs[i] = o.wrap(pfs[i])
-	}
-	return pfs
+	return o.simRunner().WrapAll(pfs)
 }
 
 // controllerConfig returns the framework configuration for experiments.
@@ -176,21 +223,47 @@ type WorkloadRun struct {
 // IPCImprovement is the relative IPC gain over the baseline.
 func (w WorkloadRun) IPCImprovement() float64 { return w.Result.IPCImprovement(w.Baseline) }
 
-// runMatrix simulates every (workload, source) pair, reusing one
-// baseline run per workload.
-func runMatrix(o Options, workloads []trace.Workload, set SourceSet) []WorkloadRun {
+// runMatrix simulates every (workload, source) pair through the worker
+// pool, reusing one baseline run per workload, and reassembles the
+// results in deterministic matrix order (workload-major, baseline
+// first, sources in set order — the serial execution order).
+func runMatrix(o Options, workloads []trace.Workload, set SourceSet) ([]WorkloadRun, error) {
 	simCfg := sim.DefaultConfig()
-	var out []WorkloadRun
+	type task struct {
+		w      trace.Workload
+		source string // "" runs the no-prefetch baseline
+	}
+	var tasks []task
 	for _, w := range workloads {
-		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := sim.RunWithTelemetry(simCfg, tr, nil, o.Telemetry)
+		tasks = append(tasks, task{w: w})
 		for _, name := range set.Names {
-			src := set.Build(name, o)
-			res := sim.RunWithTelemetry(simCfg, tr, src, o.Telemetry)
-			out = append(out, WorkloadRun{Workload: w.Name, Source: name, Result: res, Baseline: base})
+			tasks = append(tasks, task{w: w, source: name})
 		}
 	}
-	return out
+	results := make([]sim.Result, len(tasks))
+	err := o.forEach(len(tasks), func(i int, o Options) {
+		t := tasks[i]
+		tr := o.traceFor(t.w)
+		var src sim.Source
+		if t.source != "" {
+			src = set.Build(t.source, o)
+		}
+		results[i] = o.run(simCfg, tr, src)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []WorkloadRun
+	i := 0
+	for _, w := range workloads {
+		base := results[i]
+		i++
+		for _, name := range set.Names {
+			out = append(out, WorkloadRun{Workload: w.Name, Source: name, Result: results[i], Baseline: base})
+			i++
+		}
+	}
+	return out, nil
 }
 
 // bySource groups runs per source preserving set order.

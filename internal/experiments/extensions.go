@@ -53,17 +53,31 @@ func budgetPrefetchers(s float64) []prefetch.Prefetcher {
 // scaled from a quarter to four times the Table II configuration.
 func BudgetSensitivity(o Options) ([]BudgetPoint, error) {
 	o = o.withDefaults()
+	simCfg := sim.DefaultConfig()
+	scales := []float64{0.25, 1, 4}
+	workloads := trace.MotivationWorkloads()
+	per := 2 * len(workloads) // baseline + ensemble per workload
+	results := make([]sim.Result, len(scales)*per)
+	err := o.forEach(len(results), func(i int, o Options) {
+		s, w := scales[i/per], workloads[(i%per)/2]
+		var src sim.Source
+		if i%2 == 1 {
+			src = core.NewController(o.controllerConfig(), budgetPrefetchers(s))
+		}
+		results[i] = o.run(simCfg, o.traceFor(w), src)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	o.printf("== Budget sensitivity (future work): ReSemble vs input budgets ==\n")
 	o.printf("%-8s %10s %10s\n", "scale", "dIPC", "coverage")
 	var out []BudgetPoint
-	simCfg := sim.DefaultConfig()
-	for _, s := range []float64{0.25, 1, 4} {
+	for si, s := range scales {
 		var gains, covs []float64
-		for _, w := range trace.MotivationWorkloads() {
-			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-			base := o.run(simCfg, tr, nil)
-			ctrl := core.NewController(o.controllerConfig(), budgetPrefetchers(s))
-			r := o.run(simCfg, tr, ctrl)
+		for wi := range workloads {
+			base := results[si*per+2*wi]
+			r := results[si*per+2*wi+1]
 			gains = append(gains, r.IPCImprovement(base))
 			covs = append(covs, r.Coverage)
 		}
@@ -111,14 +125,27 @@ func Taxonomy(o Options) ([]TaxonomyRow, error) {
 	// A representative cross-section keeps the LSTM runtime in check.
 	workloads := []string{"433.lbm", "433.milc", "471.omnetpp", "429.mcf", "602.gcc"}
 	simCfg := sim.DefaultConfig()
+	per := 2 * len(workloads) // baseline + prefetcher per workload
+	results := make([]sim.Result, len(entries)*per)
+	err := o.forEach(len(results), func(i int, o Options) {
+		e := entries[i/per]
+		w := trace.MustLookup(workloads[(i%per)/2])
+		var src sim.Source
+		if i%2 == 1 {
+			src = e.build()
+		}
+		results[i] = o.run(simCfg, o.traceFor(w), src)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []TaxonomyRow
-	for _, e := range entries {
+	for ei, e := range entries {
 		var accs, covs, gains []float64
-		for _, name := range workloads {
-			w := trace.MustLookup(name)
-			tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-			base := o.run(simCfg, tr, nil)
-			r := o.run(simCfg, tr, e.build())
+		for wi := range workloads {
+			base := results[ei*per+2*wi]
+			r := results[ei*per+2*wi+1]
 			accs = append(accs, r.Accuracy)
 			covs = append(covs, r.Coverage)
 			gains = append(gains, r.IPCImprovement(base))

@@ -168,17 +168,17 @@ func TestRunSuiteContinuesPastFailure(t *testing.T) {
 	}
 }
 
-// TestFaultHookWiring: the Options.Faults hook must reach the
+// TestFaultHookWiring: the sim.WithFaults plan must reach the
 // prefetchers inside built sources.
 func TestFaultHookWiring(t *testing.T) {
 	wrapped := 0
 	o := Options{
 		Accesses: 1000,
 		Batch:    64,
-		Faults: func(p prefetch.Prefetcher) prefetch.Prefetcher {
+		Sim: []sim.Option{sim.WithFaults(func(p prefetch.Prefetcher) prefetch.Prefetcher {
 			wrapped++
 			return faults.Wrap(p, faults.Config{Mode: faults.Silent})
-		},
+		})},
 	}
 	EvaluationSources().Build("resemble", o)
 	if wrapped != 4 {

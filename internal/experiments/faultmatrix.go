@@ -61,7 +61,6 @@ func FaultMatrix(o Options) (*FaultMatrixResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
 	simCfg := sim.DefaultConfig()
 	ensembleConfig := func() core.Config {
 		cfg := o.controllerConfig()
@@ -69,46 +68,78 @@ func FaultMatrix(o Options) (*FaultMatrixResult, error) {
 		return cfg
 	}
 
-	res := &FaultMatrixResult{Workload: workload}
-	res.Baseline = o.run(simCfg, tr, nil)
-
-	// Healthy references: the clean ensemble and the best solo.
-	res.Healthy = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), FourPrefetchers()))
-	for _, solo := range []string{"bo", "spp", "isb", "domino"} {
-		r := o.run(simCfg, tr, EvaluationSources().Build(solo, Options{Accesses: o.Accesses, Batch: o.Batch, Seed: o.Seed}))
-		if res.BestSolo == "" || r.IPC > res.BestRes.IPC {
-			res.BestSolo, res.BestRes = solo, r
-		}
-	}
-
 	// The faulted input: BO, the dominant spatial arm on this workload —
 	// breaking the arm the ensemble leans on is the worst case for an
 	// unmasked controller.
+	res := &FaultMatrixResult{Workload: workload, Target: FourPrefetchers()[0].Name()}
 	breakBO := func(mode faults.Mode) []prefetch.Prefetcher {
 		pfs := FourPrefetchers()
-		res.Target = pfs[0].Name()
 		pfs[0] = faults.Wrap(pfs[0], faults.Config{Mode: mode, Seed: 97 + o.Seed})
 		return pfs
 	}
 
-	for _, mode := range []faults.Mode{faults.Stuck, faults.Silent, faults.Noisy} {
-		var row FaultRow
-		row.Mode = mode
-
-		masked := core.NewTabularController(faultMaskConfig(ensembleConfig()), breakBO(mode))
-		row.Masked = o.run(simCfg, tr, masked)
-		row.MaskedArms = masked.MaskedArms()
-		for i := range FourPrefetchers() {
-			if masked.ArmMasked(i) {
-				row.MaskedNames = append(row.MaskedNames, FourPrefetchers()[i].Name())
+	// Task layout in serial execution order: baseline, healthy ensemble,
+	// the four solos, then (masked, unmasked, solo-faulted) per mode.
+	solos := []string{"bo", "spp", "isb", "domino"}
+	modes := []faults.Mode{faults.Stuck, faults.Silent, faults.Noisy}
+	modeBase := 2 + len(solos)
+	results := make([]sim.Result, modeBase+3*len(modes))
+	maskedCtrls := make([]*core.TabularController, len(modes))
+	err = o.forEach(len(results), func(i int, o Options) {
+		tr := o.traceFor(w)
+		switch {
+		case i == 0:
+			results[i] = o.run(simCfg, tr, nil)
+		case i == 1:
+			results[i] = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), FourPrefetchers()))
+		case i < modeBase:
+			// Solos run un-faulted on purpose: they are the healthy
+			// reference points, so the experiment's fault options must
+			// not wrap them.
+			src := EvaluationSources().Build(solos[i-2], Options{Accesses: o.Accesses, Batch: o.Batch, Seed: o.Seed})
+			results[i] = o.run(simCfg, tr, src)
+		default:
+			mode := modes[(i-modeBase)/3]
+			switch (i - modeBase) % 3 {
+			case 0:
+				masked := core.NewTabularController(faultMaskConfig(ensembleConfig()), breakBO(mode))
+				maskedCtrls[(i-modeBase)/3] = masked
+				results[i] = o.run(simCfg, tr, masked)
+			case 1:
+				results[i] = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), breakBO(mode)))
+			case 2:
+				results[i] = o.run(simCfg, tr, sim.FromPrefetcher(
+					faults.Wrap(FourPrefetchers()[0], faults.Config{Mode: mode, Seed: 97 + o.Seed}), 2))
 			}
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		row.Unmasked = o.run(simCfg, tr, core.NewTabularController(ensembleConfig(), breakBO(mode)))
-
-		row.SoloFaulted = o.run(simCfg, tr, sim.FromPrefetcher(
-			faults.Wrap(FourPrefetchers()[0], faults.Config{Mode: mode, Seed: 97 + o.Seed}), 2))
-
+	res.Baseline = results[0]
+	res.Healthy = results[1]
+	for si, solo := range solos {
+		r := results[2+si]
+		if res.BestSolo == "" || r.IPC > res.BestRes.IPC {
+			res.BestSolo, res.BestRes = solo, r
+		}
+	}
+	for mi, mode := range modes {
+		row := FaultRow{
+			Mode:        mode,
+			Masked:      results[modeBase+3*mi],
+			Unmasked:    results[modeBase+3*mi+1],
+			SoloFaulted: results[modeBase+3*mi+2],
+		}
+		if masked := maskedCtrls[mi]; masked != nil {
+			row.MaskedArms = masked.MaskedArms()
+			for i := range FourPrefetchers() {
+				if masked.ArmMasked(i) {
+					row.MaskedNames = append(row.MaskedNames, FourPrefetchers()[i].Name())
+				}
+			}
+		}
 		res.Rows = append(res.Rows, row)
 	}
 

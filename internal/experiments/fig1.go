@@ -69,7 +69,7 @@ func Fig1a(o Options) ([]ACResult, error) {
 	o.printf("== Fig 1a: autocorrelation of memory traces (delta series) ==\n")
 	var out []ACResult
 	for _, w := range trace.MotivationWorkloads() {
-		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+		tr := o.traceFor(w)
 		deltas := clampDeltas(tr.DeltaSeries())
 		ac := metrics.Autocorrelation(deltas, maxLag)
 		res := summarizeAC(w.Name, ac, len(deltas))
@@ -94,7 +94,7 @@ func Fig1b(o Options) ([]ACResult, error) {
 	o.printf("== Fig 1b: autocorrelation grouped by PC (per-PC delta series) ==\n")
 	var out []ACResult
 	for _, w := range trace.MotivationWorkloads() {
-		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+		tr := o.traceFor(w)
 		acc := make([]float64, perPCMaxLag+1)
 		var weight float64
 		var total int
@@ -136,21 +136,33 @@ type Fig1cRow struct {
 // 1c: accuracy, coverage, MPKI reduction, IPC improvement).
 func Fig1c(o Options) ([]Fig1cRow, error) {
 	o = o.withDefaults()
+	simCfg := sim.DefaultConfig()
+	workloads := trace.MotivationWorkloads()
+	pfs := []string{"bo", "isb"}
+	per := 1 + len(pfs) // baseline + one run per prefetcher
+	results := make([]sim.Result, len(workloads)*per)
+	err := o.forEach(len(results), func(i int, o Options) {
+		tr := o.traceFor(workloads[i/per])
+		var src sim.Source
+		switch i % per {
+		case 1:
+			src = sim.FromPrefetcher(bo.New(bo.Config{}), 2)
+		case 2:
+			src = sim.FromPrefetcher(isb.New(isb.Config{}), 2)
+		}
+		results[i] = o.run(simCfg, tr, src)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	o.printf("== Fig 1c: BO vs ISB on the motivation workloads ==\n")
 	o.printf("%-15s %-6s %8s %8s %8s %8s\n", "workload", "pf", "acc", "cov", "dMPKI", "dIPC")
-	simCfg := sim.DefaultConfig()
 	var out []Fig1cRow
-	for _, w := range trace.MotivationWorkloads() {
-		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := o.run(simCfg, tr, nil)
-		for _, pf := range []string{"bo", "isb"} {
-			var src sim.Source
-			if pf == "bo" {
-				src = sim.FromPrefetcher(bo.New(bo.Config{}), 2)
-			} else {
-				src = sim.FromPrefetcher(isb.New(isb.Config{}), 2)
-			}
-			r := o.run(simCfg, tr, src)
+	for wi, w := range workloads {
+		base := results[wi*per]
+		for pi, pf := range pfs {
+			r := results[wi*per+1+pi]
 			row := Fig1cRow{
 				Workload:       w.Name,
 				Prefetcher:     pf,

@@ -46,18 +46,34 @@ func fig12Workloads() []trace.Workload {
 // Voyager alone and the plain four-prefetcher ensemble.
 func Fig12(o Options) (Fig12Result, error) {
 	o = o.withDefaults()
+	var res Fig12Result
+	simCfg := sim.DefaultConfig()
+	workloads := fig12Workloads()
+	const per = 4 // baseline, voyager alone, ensemble+voyager, plain ensemble
+	results := make([]sim.Result, len(workloads)*per)
+	err := o.forEach(len(results), func(i int, o Options) {
+		tr := o.traceFor(workloads[i/per])
+		var src sim.Source
+		switch i % per {
+		case 1:
+			src = sim.FromPrefetcher(voyager.New(voyager.Config{}), 2)
+		case 2:
+			src = core.NewController(o.controllerConfig(), VoyagerPrefetchers())
+		case 3:
+			src = core.NewController(o.controllerConfig(), FourPrefetchers())
+		}
+		results[i] = o.run(simCfg, tr, src)
+	})
+	if err != nil {
+		return res, err
+	}
+
 	o.printf("== Fig 12: ReSemble with an NN (Voyager-like) input prefetcher ==\n")
 	o.printf("%-15s %12s %12s %12s\n", "workload", "voyager", "resemble+V", "resemble")
-	var res Fig12Result
 	var rA, rV, rP []float64
-	simCfg := sim.DefaultConfig()
-	for _, w := range fig12Workloads() {
-		tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-		base := o.run(simCfg, tr, nil)
-
-		alone := o.run(simCfg, tr, sim.FromPrefetcher(voyager.New(voyager.Config{}), 2))
-		withV := o.run(simCfg, tr, core.NewController(o.controllerConfig(), VoyagerPrefetchers()))
-		plain := o.run(simCfg, tr, core.NewController(o.controllerConfig(), FourPrefetchers()))
+	for wi, w := range workloads {
+		base := results[wi*per]
+		alone, withV, plain := results[wi*per+1], results[wi*per+2], results[wi*per+3]
 
 		row := Fig12Row{
 			Workload:        w.Name,

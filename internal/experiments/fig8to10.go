@@ -25,7 +25,10 @@ type EnsembleResult struct {
 func Fig8to10(o Options) ([]EnsembleResult, error) {
 	o = o.withDefaults()
 	set := EvaluationSources()
-	runs := runMatrix(o, trace.EvaluationWorkloads(), set)
+	runs, err := runMatrix(o, trace.EvaluationWorkloads(), set)
+	if err != nil {
+		return nil, err
+	}
 	grouped := bySource(runs, set.Names)
 
 	var out []EnsembleResult

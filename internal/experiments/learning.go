@@ -54,7 +54,7 @@ func buildVariant(o Options, v ModelVariant) seriesController {
 // runVariant simulates a controller variant on one workload and returns
 // the controller (holding its reward/action series) plus the result.
 func runVariant(o Options, w trace.Workload, v ModelVariant) (seriesController, sim.Result) {
-	tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
+	tr := o.traceFor(w)
 	ctrl := buildVariant(o, v)
 	res := o.run(sim.DefaultConfig(), tr, ctrl)
 	return ctrl, res
@@ -75,6 +75,29 @@ type Table6Row struct {
 func Table6(o Options) ([]Table6Row, error) {
 	o = o.withDefaults()
 	suites := []string{"SPEC06", "SPEC17", "GAP"}
+	variants := LearningVariants()
+	type cell struct {
+		v ModelVariant
+		w trace.Workload
+	}
+	var tasks []cell
+	for _, v := range variants {
+		for _, suite := range suites {
+			for _, w := range trace.SuiteWorkloads(suite) {
+				tasks = append(tasks, cell{v: v, w: w})
+			}
+		}
+	}
+	vals := make([]float64, len(tasks))
+	err := o.forEach(len(tasks), func(i int, o Options) {
+		ctrl, _ := runVariant(o, tasks[i].w, tasks[i].v)
+		sums := metrics.WindowSums(ctrl.RewardSeries(), rewardWindow)
+		vals[i] = metrics.Mean(sums)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	o.printf("== Table VI: average rewards of 1K-access windows ==\n")
 	o.printf("%-10s", "model")
 	for _, s := range suites {
@@ -82,14 +105,14 @@ func Table6(o Options) ([]Table6Row, error) {
 	}
 	o.printf("\n")
 	var out []Table6Row
-	for _, v := range LearningVariants() {
+	i := 0
+	for _, v := range variants {
 		o.printf("%-10s", v.Name)
 		for _, suite := range suites {
 			var perWorkload []float64
-			for _, w := range trace.SuiteWorkloads(suite) {
-				ctrl, _ := runVariant(o, w, v)
-				sums := metrics.WindowSums(ctrl.RewardSeries(), rewardWindow)
-				perWorkload = append(perWorkload, metrics.Mean(sums))
+			for range trace.SuiteWorkloads(suite) {
+				perWorkload = append(perWorkload, vals[i])
+				i++
 			}
 			avg := metrics.Mean(perWorkload)
 			out = append(out, Table6Row{Variant: v.Name, Suite: suite, AvgReward: avg})
@@ -114,25 +137,31 @@ type LearningCurve struct {
 // PC) on the four case-study applications.
 func Fig6(o Options) ([]LearningCurve, error) {
 	o = o.withDefaults()
-	o.printf("== Fig 6: learning curves (reward per 1K window, smoothing 10) ==\n")
 	variants := LearningVariants()
-	var out []LearningCurve
-	for _, w := range trace.CaseStudyWorkloads() {
-		for _, v := range variants {
-			ctrl, _ := runVariant(o, w, v)
-			sums := metrics.WindowSums(ctrl.RewardSeries(), rewardWindow)
-			sm := metrics.Smooth(sums, 10)
-			out = append(out, LearningCurve{Workload: w.Name, Variant: v.Name, WindowRewards: sm})
-			o.printf("%-15s %-8s", w.Name, v.Name)
-			step := len(sm) / 8
-			if step == 0 {
-				step = 1
-			}
-			for i := 0; i < len(sm); i += step {
-				o.printf(" %7.1f", sm[i])
-			}
-			o.printf("  (final %.1f)\n", sm[len(sm)-1])
+	workloads := trace.CaseStudyWorkloads()
+	out := make([]LearningCurve, len(workloads)*len(variants))
+	err := o.forEach(len(out), func(i int, o Options) {
+		w, v := workloads[i/len(variants)], variants[i%len(variants)]
+		ctrl, _ := runVariant(o, w, v)
+		sums := metrics.WindowSums(ctrl.RewardSeries(), rewardWindow)
+		out[i] = LearningCurve{Workload: w.Name, Variant: v.Name, WindowRewards: metrics.Smooth(sums, 10)}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	o.printf("== Fig 6: learning curves (reward per 1K window, smoothing 10) ==\n")
+	for _, c := range out {
+		sm := c.WindowRewards
+		o.printf("%-15s %-8s", c.Workload, c.Variant)
+		step := len(sm) / 8
+		if step == 0 {
+			step = 1
 		}
+		for i := 0; i < len(sm); i += step {
+			o.printf(" %7.1f", sm[i])
+		}
+		o.printf("  (final %.1f)\n", sm[len(sm)-1])
 	}
 	return out, nil
 }
@@ -158,19 +187,25 @@ type ActionStudy struct {
 // shares of the best MLP and tabular models per 1K-access window.
 func Fig7(o Options) ([]ActionStudy, error) {
 	o = o.withDefaults()
+	variants := []ModelVariant{{Name: "mlp"}, {Name: "tab8", Tab: true, Bits: 8}}
+	workloads := trace.CaseStudyWorkloads()
+	out := make([]ActionStudy, len(workloads)*len(variants))
+	err := o.forEach(len(out), func(i int, o Options) {
+		w, v := workloads[i/len(variants)], variants[i%len(variants)]
+		ctrl, _ := runVariant(o, w, v)
+		out[i] = actionStudy(w.Name, v.Name, ctrl)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	o.printf("== Fig 7: action shares per 1K window (mlp and tab8) ==\n")
-	var out []ActionStudy
-	for _, w := range trace.CaseStudyWorkloads() {
-		for _, v := range []ModelVariant{{Name: "mlp"}, {Name: "tab8", Tab: true, Bits: 8}} {
-			ctrl, _ := runVariant(o, w, v)
-			study := actionStudy(w.Name, v.Name, ctrl)
-			out = append(out, study)
-			o.printf("%-15s %-5s switchRate=%.2f dominant:", w.Name, v.Name, study.SwitchRate)
-			for i := 0; i < len(study.Windows); i += maxInt(1, len(study.Windows)/8) {
-				o.printf(" %s", dominant(study.Windows[i].Share))
-			}
-			o.printf("\n")
+	for _, study := range out {
+		o.printf("%-15s %-5s switchRate=%.2f dominant:", study.Workload, study.Variant, study.SwitchRate)
+		for i := 0; i < len(study.Windows); i += maxInt(1, len(study.Windows)/8) {
+			o.printf(" %s", dominant(study.Windows[i].Share))
 		}
+		o.printf("\n")
 	}
 	return out, nil
 }

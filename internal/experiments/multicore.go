@@ -34,11 +34,10 @@ func Multicore(o Options) (MulticoreResult, error) {
 	res := MulticoreResult{Mix: mix}
 	mcfg := multicore.DefaultConfig()
 
-	build := func(mk func() sim.Source) []multicore.Core {
+	build := func(o Options, mk func() sim.Source) []multicore.Core {
 		cores := make([]multicore.Core, len(mix))
 		for i, name := range mix {
-			w := trace.MustLookup(name)
-			cores[i] = multicore.Core{Trace: w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)}
+			cores[i] = multicore.Core{Trace: o.traceFor(trace.MustLookup(name))}
 			if mk != nil {
 				cores[i].Source = mk()
 			}
@@ -46,22 +45,31 @@ func Multicore(o Options) (MulticoreResult, error) {
 		return cores
 	}
 
-	base, err := multicore.Run(mcfg, build(nil))
-	if err != nil {
+	// The three system configurations are independent simulations; run
+	// them through the pool (cores within one configuration share an LLC
+	// and stay sequential inside multicore.Run).
+	makers := []func(o Options) func() sim.Source{
+		func(Options) func() sim.Source { return nil },
+		func(Options) func() sim.Source {
+			return func() sim.Source { return sbp.New(sbp.Config{}, FourPrefetchers()) }
+		},
+		func(o Options) func() sim.Source {
+			return func() sim.Source { return core.NewController(o.controllerConfig(), FourPrefetchers()) }
+		},
+	}
+	outs := make([]multicore.Result, len(makers))
+	errs := make([]error, len(makers))
+	if err := o.forEach(len(makers), func(i int, o Options) {
+		outs[i], errs[i] = multicore.Run(mcfg, build(o, makers[i](o)))
+	}); err != nil {
 		return res, err
 	}
-	withSBP, err := multicore.Run(mcfg, build(func() sim.Source {
-		return sbp.New(sbp.Config{}, FourPrefetchers())
-	}))
-	if err != nil {
-		return res, err
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
 	}
-	withRes, err := multicore.Run(mcfg, build(func() sim.Source {
-		return core.NewController(o.controllerConfig(), FourPrefetchers())
-	}))
-	if err != nil {
-		return res, err
-	}
+	base, withSBP, withRes := outs[0], outs[1], outs[2]
 
 	res.SBPSpeedup = withSBP.WeightedSpeedup(base)
 	res.ResembleSpeedup = withRes.WeightedSpeedup(base)

@@ -23,15 +23,26 @@ func Table4(o Options) (Table4Result, error) {
 	o = o.withDefaults()
 	res := Table4Result{MeasuredUniqueStates: map[uint]int{}}
 	// Measure unique states with short tabular runs over the suite.
-	for _, bits := range []uint{4, 8} {
+	allBits := []uint{4, 8}
+	workloads := trace.EvaluationWorkloads()
+	counts := make([]int, len(allBits)*len(workloads))
+	err := o.forEach(len(counts), func(i int, o Options) {
+		bits, w := allBits[i/len(workloads)], workloads[i%len(workloads)]
+		cfg := o.controllerConfig()
+		cfg.TableHashBits = bits
+		ctrl := core.NewTabularController(cfg, FourPrefetchers())
+		o.Accesses /= 4 // short runs suffice for state counting
+		tr := o.traceFor(w)
+		o.run(sim.DefaultConfig(), tr, ctrl)
+		counts[i] = ctrl.UniqueStates()
+	})
+	if err != nil {
+		return res, err
+	}
+	for bi, bits := range allBits {
 		total := 0
-		for _, w := range trace.EvaluationWorkloads() {
-			cfg := o.controllerConfig()
-			cfg.TableHashBits = bits
-			ctrl := core.NewTabularController(cfg, FourPrefetchers())
-			tr := w.GenerateSeeded(o.Accesses/4, w.Seed+o.Seed)
-			o.run(sim.DefaultConfig(), tr, ctrl)
-			total += ctrl.UniqueStates()
+		for wi := range workloads {
+			total += counts[bi*len(workloads)+wi]
 		}
 		res.MeasuredUniqueStates[bits] = total
 	}
@@ -109,20 +120,39 @@ func fig11Workloads() []trace.Workload {
 // controller.
 func Fig11(o Options) ([]Fig11Point, error) {
 	o = o.withDefaults()
+	modes := []bool{true, false}
+	lats := []uint64{0, 10, 20, 30, 40}
+	workloads := fig11Workloads()
+	// Two tasks per (mode, latency, workload) cell: baseline then MLP.
+	per := 2 * len(workloads)
+	results := make([]sim.Result, len(modes)*len(lats)*per)
+	err := o.forEach(len(results), func(i int, o Options) {
+		cell := i / per
+		highTP, lat := modes[cell/len(lats)], lats[cell%len(lats)]
+		w := workloads[(i%per)/2]
+		simCfg := sim.DefaultConfig()
+		simCfg.PrefetchLatency = lat
+		simCfg.LowThroughput = !highTP
+		var src sim.Source
+		if i%2 == 1 {
+			src = core.NewController(o.controllerConfig(), FourPrefetchers())
+		}
+		results[i] = o.run(simCfg, o.traceFor(w), src)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	o.printf("== Fig 11: performance vs prefetch latency ==\n")
 	o.printf("%-8s %-8s %8s %8s %8s\n", "latency", "TP", "acc", "cov", "dIPC")
 	var out []Fig11Point
-	for _, highTP := range []bool{true, false} {
-		for _, lat := range []uint64{0, 10, 20, 30, 40} {
+	for mi, highTP := range modes {
+		for li, lat := range lats {
 			var accs, covs, gains []float64
-			for _, w := range fig11Workloads() {
-				tr := w.GenerateSeeded(o.Accesses, w.Seed+o.Seed)
-				simCfg := sim.DefaultConfig()
-				simCfg.PrefetchLatency = lat
-				simCfg.LowThroughput = !highTP
-				base := o.run(simCfg, tr, nil)
-				ctrl := core.NewController(o.controllerConfig(), FourPrefetchers())
-				r := o.run(simCfg, tr, ctrl)
+			cell := mi*len(lats) + li
+			for wi := range workloads {
+				base := results[cell*per+2*wi]
+				r := results[cell*per+2*wi+1]
 				accs = append(accs, r.Accuracy)
 				covs = append(covs, r.Coverage)
 				gains = append(gains, r.IPCImprovement(base))

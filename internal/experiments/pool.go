@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+)
+
+// The parallel experiment engine. Every experiment decomposes into a
+// flat list of independent simulation tasks (one (workload, source)
+// run each) executed through forEach; rendering happens afterwards
+// from the collected slots, in the original serial order. Determinism
+// contract: the task list is built in the exact order the serial code
+// executed its runs, every task gets full isolation (its own
+// simulator, controller and — when telemetry is on — child collector),
+// and children are merged back in task order. Results and telemetry
+// streams are therefore byte-identical at every -jobs level; the
+// golden tests in pool_test.go pin this.
+
+// errDeadline marks a pool that stopped because the Options deadline
+// (set by RunSafe) passed before all tasks were dispatched.
+var errDeadline = errors.New("experiments: deadline exceeded")
+
+// jobs resolves the worker count.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.NumCPU()
+}
+
+// expired returns errDeadline (wrapped) once the deadline has passed.
+func (o Options) expired() error {
+	if o.deadline.IsZero() || time.Now().Before(o.deadline) {
+		return nil
+	}
+	return fmt.Errorf("%w (per-worker stop at %s)", errDeadline, o.deadline.Format(time.TimeOnly))
+}
+
+// withCollector rebinds the task's Runner to an isolated collector.
+func (o Options) withCollector(ch *telemetry.Collector) Options {
+	o.runner = o.simRunner().With(sim.WithTelemetry(ch))
+	return o
+}
+
+// forEach runs fn(i) for every index in [0,n) on the experiment's
+// worker pool. Each invocation receives an Options whose telemetry —
+// when enabled — is an isolated child collector, merged back into the
+// suite collector in index order after all tasks finish, so the
+// aggregate streams match a serial execution. Jobs<=1 runs inline on
+// the parent collector (the serial reference path). A panicking task
+// does not abort its siblings; the first panic (lowest index) is
+// re-raised after the pool drains so RunSafe isolation keeps working.
+// Returns errDeadline when the Options deadline cut the pool short.
+func (o Options) forEach(n int, fn func(i int, o Options)) error {
+	if n <= 0 {
+		return nil
+	}
+	o.Progress.add(n)
+	jobs := o.jobs()
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := o.expired(); err != nil {
+				return err
+			}
+			fn(i, o)
+			o.Progress.tick()
+		}
+		return nil
+	}
+
+	parent := o.telemetry()
+	children := make([]*telemetry.Collector, n)
+	panics := make([]any, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				to := o
+				if parent != nil {
+					children[i] = parent.Child()
+					to = o.withCollector(children[i])
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panics[i] = v
+						}
+					}()
+					fn(i, to)
+				}()
+				o.Progress.tick()
+			}
+		}()
+	}
+	var stopped error
+	for i := 0; i < n; i++ {
+		if err := o.expired(); err != nil {
+			stopped = err
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, ch := range children {
+		if ch != nil {
+			parent.Merge(ch)
+		}
+	}
+	for i, v := range panics {
+		if v != nil {
+			panic(fmt.Sprintf("experiments: pool task %d/%d panicked: %v", i, n, v))
+		}
+	}
+	return stopped
+}
+
+// syncWriter serializes writes to the underlying writer so result
+// lines from concurrent printers never interleave mid-line.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// Progress renders a live suite-level progress line: simulations
+// completed / total with an ETA extrapolated from the observed rate.
+// One Progress value is shared across every experiment of a suite (set
+// it once on the Options), so the totals span the whole sweep. All
+// methods are nil-safe and concurrency-safe.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress builds a progress tracker writing to w (typically
+// os.Stderr, keeping result streams clean).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now()}
+}
+
+// add grows the expected task total (called by each pool section).
+func (p *Progress) add(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	p.render()
+	p.mu.Unlock()
+}
+
+// tick records one completed task and refreshes the line.
+func (p *Progress) tick() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.render()
+	p.mu.Unlock()
+}
+
+// Finish terminates the progress line (call once, after the suite).
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "\rruns %d/%d done in %s%-12s\n",
+		p.done, p.total, time.Since(p.start).Round(time.Second), "")
+	p.mu.Unlock()
+}
+
+// render repaints the line; the caller holds p.mu.
+func (p *Progress) render() {
+	eta := "--"
+	if p.done > 0 && p.done < p.total {
+		rem := time.Duration(float64(time.Since(p.start)) / float64(p.done) * float64(p.total-p.done))
+		eta = rem.Round(time.Second).String()
+	}
+	pct := 0
+	if p.total > 0 {
+		pct = 100 * p.done / p.total
+	}
+	fmt.Fprintf(p.w, "\rruns %d/%d (%d%%) eta %-10s", p.done, p.total, pct, eta)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -20,16 +21,25 @@ func (r SafeResult) Failed() bool { return r.Err != nil }
 
 // RunSafe executes one registered experiment inside a panic-recovering,
 // deadline-bounded wrapper, so a crash or hang in one experiment cannot
-// take down a whole suite. timeout <= 0 disables the deadline. On
-// timeout the experiment's goroutine is abandoned (Go cannot kill it);
-// the result reports TimedOut and the suite moves on — acceptable for a
-// salvage path whose alternative is losing the entire run.
+// take down a whole suite. timeout <= 0 disables the deadline.
+//
+// The deadline is enforced per worker: it travels into the experiment's
+// Options, the worker pool stops dispatching tasks once it passes, and
+// the experiment returns errDeadline — so a timed-out experiment winds
+// down its goroutines instead of simulating on unobserved. The
+// select-based timeout remains as a backstop for code that hangs
+// outside the pool (in that case the goroutine is abandoned — Go
+// cannot kill it — and the suite moves on; acceptable for a salvage
+// path whose alternative is losing the entire run).
 func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 	run, ok := Registry[id]
 	if !ok {
 		return SafeResult{ID: id, Err: fmt.Errorf("experiments: unknown experiment %q", id)}
 	}
 	start := time.Now()
+	if timeout > 0 {
+		o.deadline = start.Add(timeout)
+	}
 	done := make(chan SafeResult, 1)
 	go func() {
 		r := SafeResult{ID: id}
@@ -38,6 +48,9 @@ func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 				r.Panicked = true
 				r.Panic = v
 				r.Err = fmt.Errorf("experiments: %s panicked: %v", id, v)
+			}
+			if errors.Is(r.Err, errDeadline) {
+				r.TimedOut = true
 			}
 			r.Duration = time.Since(start)
 			done <- r
@@ -50,7 +63,7 @@ func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 	select {
 	case r := <-done:
 		return r
-	case <-time.After(timeout):
+	case <-time.After(timeout + 2*time.Second):
 		return SafeResult{
 			ID: id, TimedOut: true, Duration: time.Since(start),
 			Err: fmt.Errorf("experiments: %s exceeded deadline %s", id, timeout),

@@ -12,13 +12,17 @@ import (
 	"resemble/internal/trace"
 )
 
-// ErrInterrupted is returned by RunResumable when the run stopped on an
+// ErrInterrupted is returned by Runner.Run when the run stopped on an
 // interrupt request before reaching the end of the trace. If a
 // checkpoint path was configured, a checkpoint covering the stop point
 // was written before returning.
 var ErrInterrupted = errors.New("sim: run interrupted")
 
 // RunOpts parameterizes a fault-tolerant run.
+//
+// Deprecated: pass the equivalent Options to NewRunner instead
+// (WithTelemetry, WithCheckpoint, WithResume, WithInterrupt,
+// WithStopAfter).
 type RunOpts struct {
 	// Telemetry, when non-nil, is attached to the simulator and (via
 	// telemetry.Attachable) the source, exactly like RunWithTelemetry.
@@ -55,45 +59,40 @@ type ckpMeta struct {
 	Source    string
 }
 
-// RunResumable simulates the trace like RunWithTelemetry but with
-// checkpoint/resume and interrupt support. On a completed run it
-// returns the measured-region result; on interrupt it returns
-// ErrInterrupted (wrapped with position info) after writing a final
-// checkpoint.
+// RunResumable simulates the trace with checkpoint/resume and
+// interrupt support.
 //
-// Determinism contract: interrupting a run at any record boundary and
-// resuming it from the written checkpoint produces byte-identical
-// telemetry and results to the uninterrupted run. To keep that
-// property the snapshot is taken before the end-of-run counter flush —
-// the in-progress window accumulators travel through the checkpoint
-// and are flushed exactly once, by whichever session finishes.
+// Deprecated: use NewRunner with WithTelemetry / WithCheckpoint /
+// WithResume / WithInterrupt / WithStopAfter and call Run.
 func RunResumable(cfg Config, tr *trace.Trace, src Source, opts RunOpts) (Result, error) {
-	s := New(cfg)
-	name := "none"
-	if src != nil {
-		name = src.Name()
+	ro := []Option{
+		WithTelemetry(opts.Telemetry),
+		WithCheckpoint(opts.CheckpointPath, opts.CheckpointEvery),
+		WithInterrupt(opts.Interrupt),
+		WithStopAfter(opts.StopAfter),
 	}
-	if opts.Telemetry != nil {
-		s.AttachTelemetry(opts.Telemetry)
-		opts.Telemetry.BeginRun(tr.Name, name)
-		if a, ok := src.(telemetry.Attachable); ok {
-			a.AttachTelemetry(opts.Telemetry)
-		}
-	}
-	if p, ok := src.(telemetry.ControllerProbe); ok {
-		s.probe = p
-	}
-
-	start := 0
 	if opts.Resume {
-		cursor, err := s.loadCheckpoint(opts.CheckpointPath, tr, src, name, opts.Telemetry)
-		if err != nil {
-			return Result{}, err
-		}
-		start = cursor
+		ro = append(ro, WithResume())
 	}
+	return NewRunner(cfg, ro...).Run(tr, src)
+}
 
+// simulate drives the record loop from start: warmup-boundary reset,
+// per-record stepping, and — when the settings ask for them —
+// checkpoint boundaries and interrupt polling. The common case (no
+// checkpointing, no interrupt source) takes a branch-free fast loop.
+func (s *Simulator) simulate(tr *trace.Trace, src Source, name string, start int, set settings) error {
 	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
+	if set.ckpPath == "" && set.interrupt == nil && set.stopAfter <= 0 {
+		for i := start; i < len(tr.Records); i++ {
+			rec := tr.Records[i]
+			if i == warmupEnd {
+				s.resetMeasurement(rec.ID)
+			}
+			s.step(rec, src)
+		}
+		return nil
+	}
 	processed := 0
 	for i := start; i < len(tr.Records); i++ {
 		rec := tr.Records[i]
@@ -106,22 +105,19 @@ func RunResumable(cfg Config, tr *trace.Trace, src Source, opts RunOpts) (Result
 		if cursor == len(tr.Records) {
 			break // run complete; no trailing checkpoint needed
 		}
-		interrupted := (opts.Interrupt != nil && opts.Interrupt.Load()) ||
-			(opts.StopAfter > 0 && processed >= opts.StopAfter)
-		boundary := opts.CheckpointEvery > 0 && cursor%opts.CheckpointEvery == 0
-		if opts.CheckpointPath != "" && (interrupted || boundary) {
-			if err := s.writeCheckpoint(opts.CheckpointPath, tr, src, name, opts.Telemetry, cursor); err != nil {
-				return Result{}, err
+		interrupted := (set.interrupt != nil && set.interrupt.Load()) ||
+			(set.stopAfter > 0 && processed >= set.stopAfter)
+		boundary := set.ckpEvery > 0 && cursor%set.ckpEvery == 0
+		if set.ckpPath != "" && (interrupted || boundary) {
+			if err := s.writeCheckpoint(set.ckpPath, tr, src, name, set.tel, cursor); err != nil {
+				return err
 			}
 		}
 		if interrupted {
-			return Result{}, fmt.Errorf("%w at record %d/%d", ErrInterrupted, cursor, len(tr.Records))
+			return fmt.Errorf("%w at record %d/%d", ErrInterrupted, cursor, len(tr.Records))
 		}
 	}
-	if s.winSize > 0 {
-		s.flushCounters()
-	}
-	return s.result(tr, src), nil
+	return nil
 }
 
 // writeCheckpoint snapshots the run into path: a meta section (cursor

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/telemetry"
+)
+
+// TestRunnerMatchesLegacyRun: the deprecated wrappers are thin shims
+// over Runner, so both entry points must produce identical results.
+func TestRunnerMatchesLegacyRun(t *testing.T) {
+	tr := streamTrace(20000)
+	legacy := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
+	got, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("Runner diverged from legacy Run:\nlegacy %+v\nrunner %+v", legacy, got)
+	}
+}
+
+// TestRunnerBaselineOption: WithBaseline ignores the source and matches
+// the deprecated RunBaseline.
+func TestRunnerBaselineOption(t *testing.T) {
+	tr := streamTrace(20000)
+	legacy := RunBaseline(DefaultConfig(), tr)
+	got, err := NewRunner(DefaultConfig(), WithBaseline()).Run(tr, &nextLineSource{degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("WithBaseline diverged from RunBaseline:\nlegacy %+v\nrunner %+v", legacy, got)
+	}
+	if got.PrefetchesIssued != 0 {
+		t.Errorf("baseline issued %d prefetches, want 0", got.PrefetchesIssued)
+	}
+}
+
+// TestRunnerTelemetryOption: WithTelemetry matches RunWithTelemetry —
+// same result and same window snapshots.
+func TestRunnerTelemetryOption(t *testing.T) {
+	tr := streamTrace(20000)
+	collect := func(run func(tel *telemetry.Collector) Result) (Result, []telemetry.WindowSnapshot) {
+		tel, err := telemetry.New(telemetry.Config{KeepWindows: true, TraceSample: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := run(tel)
+		return r, tel.Windows()
+	}
+	legacy, legacyWin := collect(func(tel *telemetry.Collector) Result {
+		return RunWithTelemetry(DefaultConfig(), tr, &nextLineSource{degree: 2}, tel)
+	})
+	got, gotWin := collect(func(tel *telemetry.Collector) Result {
+		r, err := NewRunner(DefaultConfig(), WithTelemetry(tel)).Run(tr, &nextLineSource{degree: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	})
+	if !reflect.DeepEqual(legacy, got) {
+		t.Errorf("results diverged:\nlegacy %+v\nrunner %+v", legacy, got)
+	}
+	if len(gotWin) == 0 {
+		t.Fatal("no window snapshots collected")
+	}
+	if !reflect.DeepEqual(legacyWin, gotWin) {
+		t.Errorf("window streams diverged: legacy %d windows, runner %d", len(legacyWin), len(gotWin))
+	}
+}
+
+// TestRunnerOptionMatrix runs every combination of the stateless
+// options and checks the combinations behave independently: telemetry
+// never changes results, baseline always suppresses prefetching.
+func TestRunnerOptionMatrix(t *testing.T) {
+	tr := streamTrace(12000)
+	plain, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewRunner(DefaultConfig(), WithBaseline()).Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, useTel := range []bool{false, true} {
+		for _, useBase := range []bool{false, true} {
+			var opts []Option
+			if useTel {
+				tel, terr := telemetry.New(telemetry.Config{KeepWindows: true})
+				if terr != nil {
+					t.Fatal(terr)
+				}
+				opts = append(opts, WithTelemetry(tel))
+			}
+			if useBase {
+				opts = append(opts, WithBaseline())
+			}
+			r, rerr := NewRunner(DefaultConfig(), opts...).Run(tr, &nextLineSource{degree: 2})
+			if rerr != nil {
+				t.Fatalf("tel=%v base=%v: %v", useTel, useBase, rerr)
+			}
+			want := plain
+			if useBase {
+				want = base
+			}
+			if !reflect.DeepEqual(r, want) {
+				t.Errorf("tel=%v base=%v diverged:\ngot  %+v\nwant %+v", useTel, useBase, r, want)
+			}
+		}
+	}
+}
+
+// TestRunnerWithDoesNotMutate: With/WithConfig derive copies; the
+// original Runner keeps its configuration, so a shared prototype can
+// safely hand out per-task variants.
+func TestRunnerWithDoesNotMutate(t *testing.T) {
+	r := NewRunner(DefaultConfig())
+	rb := r.With(WithBaseline())
+	if r.set.baseline {
+		t.Error("With mutated the original Runner")
+	}
+	if !rb.set.baseline {
+		t.Error("With dropped the new option")
+	}
+	cfg := DefaultConfig()
+	cfg.PrefetchLatency = 7
+	rc := rb.WithConfig(cfg)
+	if rc.Config().PrefetchLatency != 7 || !rc.set.baseline {
+		t.Errorf("WithConfig lost config or settings: %+v %+v", rc.Config(), rc.set)
+	}
+	if r.Config().PrefetchLatency == 7 {
+		t.Error("WithConfig mutated the original Runner")
+	}
+}
+
+// TestRunnerWrap: WithFaults routes prefetchers through the plan;
+// without a plan Wrap is the identity.
+func TestRunnerWrap(t *testing.T) {
+	var wrapped int
+	plan := func(p prefetch.Prefetcher) prefetch.Prefetcher { wrapped++; return p }
+	r := NewRunner(DefaultConfig(), WithFaults(plan))
+	p := bo.New(bo.Config{})
+	if r.Wrap(p) == nil || wrapped != 1 {
+		t.Fatalf("Wrap did not route through the plan (wrapped=%d)", wrapped)
+	}
+	r.WrapAll([]prefetch.Prefetcher{p, p})
+	if wrapped != 3 {
+		t.Errorf("WrapAll wrapped %d times, want 3", wrapped)
+	}
+	plainRunner := NewRunner(DefaultConfig())
+	if plainRunner.Wrap(p) != p {
+		t.Error("Wrap without a plan must be the identity")
+	}
+}
+
+// TestNilOptionsSkipped: nil options (conditional construction) are
+// tolerated.
+func TestNilOptionsSkipped(t *testing.T) {
+	r := NewRunner(DefaultConfig(), nil, WithBaseline(), nil)
+	if !r.set.baseline {
+		t.Error("nil options disturbed real ones")
+	}
+}

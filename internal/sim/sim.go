@@ -1,22 +1,3 @@
-// Package sim implements the trace-driven memory-hierarchy and core
-// timing simulator that stands in for the paper's ChampSim setup
-// (DESIGN.md, Substitutions). It models:
-//
-//   - a three-level data-cache hierarchy (L1D → L2 → LLC) with LRU and
-//     prefetch-bit tracking, scaled from the paper's Table V geometry;
-//   - a trace-driven out-of-order core: instructions dispatch at the
-//     issue width, occupy a finite ROB, and retire in order, so a
-//     long-latency miss exposes stall cycles only past the ROB slack —
-//     exactly the mechanism that makes prefetching improve IPC;
-//   - bounded memory-level parallelism: DRAM requests hold an MSHR slot
-//     and respect a minimum inter-request interval (bandwidth);
-//   - LLC prefetching with in-flight (pending) fills, so late
-//     prefetches hide only part of the miss latency, plus the paper's
-//     Figure 11 knobs: controller inference latency and low/high
-//     throughput modes.
-//
-// The prefetch decision logic is abstracted behind Source; individual
-// prefetchers and the ensemble controllers all plug in through it.
 package sim
 
 import (
@@ -271,49 +252,28 @@ func New(cfg Config) *Simulator {
 
 // Run simulates the trace with the given prefetch source (nil for no
 // prefetching) and returns the measured-region results.
+//
+// Deprecated: use NewRunner(cfg).Run(tr, src).
 func Run(cfg Config, tr *trace.Trace, src Source) Result {
-	s := New(cfg)
-	return s.run(tr, src)
+	res, _ := NewRunner(cfg).Run(tr, src)
+	return res
 }
 
 // RunBaseline simulates the trace without prefetching.
+//
+// Deprecated: use NewRunner(cfg, WithBaseline()).Run(tr, nil).
 func RunBaseline(cfg Config, tr *trace.Trace) Result {
-	return Run(cfg, tr, nil)
+	res, _ := NewRunner(cfg, WithBaseline()).Run(tr, nil)
+	return res
 }
 
-// RunWithTelemetry simulates the trace reporting into the collector:
-// it labels the run, attaches the collector to the simulator and — via
-// telemetry.Attachable — to the source, and emits per-window
-// snapshots. A nil collector degrades to a plain Run.
+// RunWithTelemetry simulates the trace reporting into the collector.
+// A nil collector degrades to a plain Run.
+//
+// Deprecated: use NewRunner(cfg, WithTelemetry(tel)).Run(tr, src).
 func RunWithTelemetry(cfg Config, tr *trace.Trace, src Source, tel *telemetry.Collector) Result {
-	s := New(cfg)
-	s.AttachTelemetry(tel)
-	name := "none"
-	if src != nil {
-		name = src.Name()
-	}
-	tel.BeginRun(tr.Name, name)
-	if a, ok := src.(telemetry.Attachable); ok && tel != nil {
-		a.AttachTelemetry(tel)
-	}
-	return s.run(tr, src)
-}
-
-func (s *Simulator) run(tr *trace.Trace, src Source) Result {
-	if p, ok := src.(telemetry.ControllerProbe); ok {
-		s.probe = p
-	}
-	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
-	for i, rec := range tr.Records {
-		if i == warmupEnd {
-			s.resetMeasurement(rec.ID)
-		}
-		s.step(rec, src)
-	}
-	if s.winSize > 0 {
-		s.flushCounters()
-	}
-	return s.result(tr, src)
+	res, _ := NewRunner(cfg, WithTelemetry(tel)).Run(tr, src)
+	return res
 }
 
 // resetMeasurement marks the warmup boundary.

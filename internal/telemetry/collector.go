@@ -62,6 +62,10 @@ type Collector struct {
 	windowIdx   int
 	prev        ControllerStats
 	hasPrev     bool
+
+	// capture retains the full sampled-event selection of a child
+	// collector (see Child) so Merge can replay it into the parent.
+	capture *MemorySink
 }
 
 // New builds a collector. When cfg.Dir is set the directory is created
@@ -152,7 +156,12 @@ func (c *Collector) AddWindowSink(s WindowSink) {
 }
 
 // BeginRun labels subsequent windows with a (workload, source) pair,
-// resets the window index, and appends the pair to the manifest.
+// resets the window index and the sampled-trace phase, and appends the
+// pair to the manifest. Restarting the sampling phase per run makes
+// the 1-in-N selection a function of the run alone, so a run's sampled
+// trace is identical whether the run executed serially on a shared
+// collector or on an isolated child collector merged in afterwards
+// (checkpoint restore still reinstates the exact mid-run phase).
 func (c *Collector) BeginRun(workload, source string) {
 	if c == nil {
 		return
@@ -161,6 +170,7 @@ func (c *Collector) BeginRun(workload, source string) {
 	c.windowIdx = 0
 	c.hasPrev = false
 	c.prev = ControllerStats{}
+	c.tracer.beginRun()
 	c.manifest.Runs = append(c.manifest.Runs, RunInfo{Workload: workload, Source: source})
 }
 

@@ -1,0 +1,154 @@
+package telemetry
+
+// Parallel-run support: a parent collector hands each concurrent
+// simulation an isolated Child collector, and folds the finished
+// children back in with Merge in deterministic task order. Because
+// window snapshots are fully self-contained (they carry their own
+// workload/source/window labels) and the sampled-trace phase restarts
+// at every BeginRun, the parent's window and trace streams after
+// merging equal the streams a serial execution of the same runs in the
+// same order would have produced. Registry instruments merge
+// arithmetically: counters add, gauges keep the last merged run's
+// value (matching serial last-write-wins), histograms fold their exact
+// count/sum/min/max and combine sample reservoirs (reservoir contents
+// — and hence percentile estimates — are deterministic for a fixed
+// merge order, but not bit-identical to single-stream accumulation).
+
+// Child returns an isolated in-memory collector for one concurrent
+// run. It inherits the parent's window size, sampling rate and ring
+// capacity but opens no files and writes to no external sinks; every
+// window snapshot and every sampled event is retained so Merge can
+// replay them into the parent. Child of a nil collector is nil (the
+// disabled path stays disabled).
+func (c *Collector) Child() *Collector {
+	if c == nil {
+		return nil
+	}
+	ch, err := New(Config{
+		WindowSize:  c.cfg.WindowSize,
+		TraceSample: c.cfg.TraceSample,
+		RingSize:    c.cfg.RingSize,
+		KeepWindows: true,
+	})
+	if err != nil {
+		// New without a Dir performs no I/O and cannot fail; keep the
+		// signature sink-free for callers.
+		panic(err)
+	}
+	if c.cfg.TraceSample > 0 {
+		ch.capture = &MemorySink{}
+		ch.tracer.AddSink(ch.capture, false)
+	}
+	return ch
+}
+
+// Merge folds a finished child collector into c: retained windows are
+// written through the parent's sinks (and kept when KeepWindows is
+// set), manifest run entries are appended, registry instruments are
+// combined, and the child's sampled events are replayed into the
+// parent's ring and trace sinks without re-sampling. Call it from one
+// goroutine at a time, in the order the runs would have executed
+// serially; the child must be done (no concurrent writers).
+func (c *Collector) Merge(ch *Collector) {
+	if c == nil || ch == nil {
+		return
+	}
+	for _, w := range ch.windows {
+		if c.cfg.KeepWindows {
+			c.windows = append(c.windows, w)
+		}
+		for _, s := range c.winSinks {
+			_ = s.WriteWindow(w)
+		}
+	}
+	// The parent continues as if it had just executed the child's last
+	// run: labels, window index and the controller diff baseline carry
+	// over, so a subsequent serial EmitWindow on the parent stays
+	// coherent.
+	c.runWorkload, c.runSource = ch.runWorkload, ch.runSource
+	c.windowIdx = ch.windowIdx
+	c.prev, c.hasPrev = ch.prev, ch.hasPrev
+	c.manifest.Runs = append(c.manifest.Runs, ch.manifest.Runs...)
+	c.reg.merge(ch.reg)
+	if ch.capture != nil {
+		for _, e := range ch.capture.Events() {
+			c.tracer.replay(e)
+		}
+	}
+	if c.tracer != nil && ch.tracer != nil {
+		c.tracer.n = ch.tracer.n
+	}
+}
+
+// merge folds o's instruments into r (see Merge for the semantics).
+func (r *Registry) merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	counters := make(map[string]uint64, len(o.counters))
+	for name, c := range o.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(o.gauges))
+	for name, g := range o.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(o.histograms))
+	for name, h := range o.histograms {
+		hists[name] = h
+	}
+	o.mu.Unlock()
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, h := range hists {
+		r.Histogram(name).merge(h)
+	}
+}
+
+// merge folds o's distribution into h: exact aggregates combine
+// exactly; the reservoirs concatenate and re-thin to the cap.
+func (h *Histogram) merge(o *Histogram) {
+	if h == nil || o == nil || h == o {
+		return
+	}
+	o.mu.Lock()
+	count, sum, min, max := o.count, o.sum, o.min, o.max
+	samples := append([]float64(nil), o.samples...)
+	stride := o.stride
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 {
+		h.min, h.max = min, max
+		h.stride = 1
+	} else {
+		if min < h.min {
+			h.min = min
+		}
+		if max > h.max {
+			h.max = max
+		}
+	}
+	h.count += count
+	h.sum += sum
+	if stride > h.stride {
+		h.stride = stride
+	}
+	h.samples = append(h.samples, samples...)
+	for len(h.samples) >= histCap {
+		keep := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			keep = append(keep, h.samples[i])
+		}
+		h.samples = keep
+		h.stride *= 2
+	}
+	h.mu.Unlock()
+}

@@ -85,6 +85,34 @@ func (t *Tracer) Ring() []Event {
 	return append(out, t.ring[:t.ringNext]...)
 }
 
+// beginRun restarts the deterministic sampling phase, making the
+// 1-in-N selection self-contained per run (see Collector.BeginRun).
+func (t *Tracer) beginRun() {
+	if t != nil {
+		t.n = 0
+	}
+}
+
+// replay feeds one already-sampled event to the ring and the sampled
+// sinks without re-sampling — used when merging a child collector's
+// retained selection into a parent.
+func (t *Tracer) replay(e Event) {
+	if t == nil {
+		return
+	}
+	if t.ring != nil {
+		t.ring[t.ringNext] = e
+		t.ringNext++
+		if t.ringNext == len(t.ring) {
+			t.ringNext = 0
+			t.ringWrap = true
+		}
+	}
+	for _, s := range t.sampled {
+		_ = s.WriteEvent(e)
+	}
+}
+
 // Seen returns the number of events offered to the sampled path.
 func (t *Tracer) Seen() uint64 {
 	if t == nil {

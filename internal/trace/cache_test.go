@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(0)
+	w := MustLookup("433.milc")
+	a := c.Get(w, 2000, 7)
+	b := c.Get(w, 2000, 7)
+	if a != b {
+		t.Error("second Get of the same key returned a different trace")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats after hit = %+v, want 1 hit / 1 miss", s)
+	}
+	// Different n and different seed are distinct keys.
+	if c.Get(w, 1000, 7) == a || c.Get(w, 2000, 8) == a {
+		t.Error("distinct keys shared a trace")
+	}
+	if s := c.Stats(); s.Misses != 3 || s.Entries != 3 {
+		t.Errorf("stats after distinct keys = %+v, want 3 misses / 3 entries", s)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Each 1000-record trace is ~32 KiB; bound the cache to two of them.
+	c := NewCache(2 * 1000 * recordBytes)
+	w := MustLookup("433.milc")
+	c.Get(w, 1000, 1)
+	c.Get(w, 1000, 2)
+	c.Get(w, 1000, 1) // refresh seed 1: seed 2 is now LRU
+	c.Get(w, 1000, 3) // evicts seed 2
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", s)
+	}
+	if s.Bytes > c.maxBytes {
+		t.Errorf("cache over bound: %d > %d", s.Bytes, c.maxBytes)
+	}
+	c.Get(w, 1000, 1) // survived the eviction
+	if s := c.Stats(); s.Hits != 2 {
+		t.Errorf("refreshed entry was evicted instead of the LRU one: %+v", s)
+	}
+	c.Get(w, 1000, 2) // regenerates
+	if s := c.Stats(); s.Misses != 4 || s.Evictions != 2 {
+		t.Errorf("stats after re-Get of evicted key = %+v, want 4 misses / 2 evictions", s)
+	}
+}
+
+func TestCacheOversizedEntryStillServes(t *testing.T) {
+	c := NewCache(1) // smaller than any trace
+	w := MustLookup("433.milc")
+	a := c.Get(w, 500, 1)
+	if a == nil || len(a.Records) != 500 {
+		t.Fatal("oversized trace not returned")
+	}
+	if c.Get(w, 500, 1) != a {
+		t.Error("the sole entry must be retained even over the bound")
+	}
+	c.Get(w, 500, 2) // replaces it
+	if s := c.Stats(); s.Entries != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want the newest single entry retained", s)
+	}
+}
+
+// TestCacheSingleflight: concurrent Gets of one key must generate the
+// trace exactly once and all observe the same instance. Run under
+// -race this also proves the synchronization.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(0)
+	w := MustLookup("471.omnetpp")
+	const goroutines = 16
+	got := make([]*Trace, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.Get(w, 3000, 42)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d saw a different trace instance", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		t.Errorf("trace generated %d times, want 1", s.Misses)
+	}
+}
+
+func TestSharedCacheIsProcessWide(t *testing.T) {
+	if Shared() != Shared() {
+		t.Error("Shared returned distinct caches")
+	}
+}

@@ -20,9 +20,15 @@ go vet ./...
 echo "== go test -race (telemetry, sim) =="
 go test -race ./internal/telemetry/... ./internal/sim/...
 
+echo "== go test -race (parallel engine, trace cache) =="
+go test -race -short ./internal/experiments/... ./internal/trace/...
+
 echo "== go test -race (fault tolerance) =="
 go test -race -run 'Fault|Masking|Resume|Checkpoint' \
     ./internal/checkpoint/... ./internal/faults/... ./internal/experiments/...
+
+echo "== pooled-path benchmark smoke =="
+go test -run xxx -bench BenchmarkMatrixPool -benchtime 1x ./internal/experiments/
 
 echo "== go test (fuzz corpus) =="
 go test -run Fuzz ./...
