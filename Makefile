@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: build test check bench fmt fault-matrix suite
+.PHONY: build test check bench fmt fault-matrix suite soak
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,11 @@ bench:
 
 fmt:
 	gofmt -w .
+
+# Chaos/soak harness: boots service instances, injects faults, asserts
+# degradation + recovery + clean drain + no goroutine leaks (DESIGN.md §9).
+soak:
+	$(GO) run ./cmd/resembled -soak
 
 # Graceful-degradation evaluation: masked vs unmasked ensemble vs solo
 # under each injected fault class (see DESIGN.md).

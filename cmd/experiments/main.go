@@ -222,7 +222,12 @@ func run() (err error) {
 			r := experiments.RunSafe(id, opt, *timeout)
 			if r.Failed() {
 				failed++
-				fmt.Printf("-- %s FAILED after %s: %v --\n\n", r.ID, r.Duration.Round(time.Millisecond), r.Err)
+				if summary := r.ProgressSummary(); r.TimedOut && summary != "" {
+					fmt.Printf("-- %s TIMED OUT after %s: %s --\n\n",
+						r.ID, r.Duration.Round(time.Millisecond), summary)
+				} else {
+					fmt.Printf("-- %s FAILED after %s: %v --\n\n", r.ID, r.Duration.Round(time.Millisecond), r.Err)
+				}
 				continue
 			}
 			fmt.Printf("-- %s done in %s --\n\n", r.ID, r.Duration.Round(time.Millisecond))

@@ -1,0 +1,130 @@
+// Command resembled runs the ReSemble simulation engine as a
+// resilient long-running service, or — with -soak — as a chaos/soak
+// harness that starts the service in-process, attacks it with
+// injected faults over real HTTP, and asserts that every resilience
+// mechanism engages and recovers.
+//
+// Daemon mode:
+//
+//	resembled -addr 127.0.0.1:8080 -workers 4 -checkpoint state.ckpt
+//
+// serves the JSON API (POST /v1/run, GET /healthz /readyz /metrics,
+// POST /drain) until SIGINT/SIGTERM, then drains gracefully: admission
+// closes, in-flight simulations finish, a final checkpoint is written.
+//
+// Soak mode:
+//
+//	resembled -soak -soak.duration 10s
+//
+// phases through zero-fault equivalence (service windows must be
+// byte-identical to a batch sim.Runner over the same requests), a
+// chaos window (stuck arm + failing checkpoint writer + slow handlers:
+// breakers must open, overload must shed with 503 + Retry-After,
+// readiness must flip), recovery (chaos off: readiness and breakers
+// must heal), and a drain audit (final checkpoint valid, goroutines
+// back to baseline). Any violated assertion exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"resemble/internal/service"
+	"resemble/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8321", "listen address")
+		workers    = flag.Int("workers", 2, "simulation worker count")
+		queue      = flag.Int("queue", 32, "admission queue depth")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound")
+		ckpt       = flag.String("checkpoint", "", "service checkpoint path (empty = off)")
+		ckptEvery  = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval")
+		resume     = flag.Bool("resume", false, "restore service counters from -checkpoint")
+		accesses   = flag.Int("accesses", 20000, "default trace length per request")
+		telDir     = flag.String("telemetry", "", "telemetry output directory (empty = off)")
+		soak       = flag.Bool("soak", false, "run the chaos/soak harness instead of serving")
+		soakFor    = flag.Duration("soak.duration", 10*time.Second, "approximate soak length")
+		soakAccess = flag.Int("soak.accesses", 4000, "trace length per soak request")
+	)
+	flag.Parse()
+
+	if *soak {
+		os.Exit(runSoak(soakConfig{
+			duration: *soakFor,
+			accesses: *soakAccess,
+			workers:  *workers,
+			logf:     logf,
+		}))
+	}
+
+	var tel *telemetry.Collector
+	if *telDir != "" {
+		var err error
+		tel, err = telemetry.New(telemetry.Config{Dir: *telDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	s, err := service.New(service.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		DrainTimeout:    *drainT,
+		DefaultAccesses: *accesses,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		Telemetry:       tel,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
+		os.Exit(1)
+	}
+	if err := s.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
+		os.Exit(1)
+	}
+	logf("resembled: serving on %s (pid %d); SIGINT/SIGTERM drains", s.Addr(), os.Getpid())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logf("resembled: %v received; draining", sig)
+		// A second signal aborts the drain.
+		go func() {
+			<-sigs
+			logf("resembled: second signal; exiting without full drain")
+			os.Exit(1)
+		}()
+	case <-s.Drained():
+		// POST /drain already ran the full drain; Close below is an
+		// idempotent no-op and the process exits instead of lingering.
+		logf("resembled: drained via POST /drain; exiting")
+	}
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "resembled: drain: %v\n", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		if err := tel.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "resembled: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/core"
+	"resemble/internal/resilience"
+	"resemble/internal/service"
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+type soakConfig struct {
+	duration time.Duration
+	accesses int
+	workers  int
+	logf     func(string, ...any)
+}
+
+// soak drives the phases and accumulates assertion failures.
+type soak struct {
+	cfg      soakConfig
+	failures int
+}
+
+func (k *soak) failf(format string, args ...any) {
+	k.failures++
+	k.cfg.logf("soak: FAIL: "+format, args...)
+}
+
+func (k *soak) passf(format string, args ...any) {
+	k.cfg.logf("soak: ok: "+format, args...)
+}
+
+// runSoak executes the chaos/soak harness and returns the exit code.
+func runSoak(cfg soakConfig) int {
+	k := &soak{cfg: cfg}
+	baseline := runtime.NumGoroutine()
+
+	k.phaseEquivalence()
+	k.phaseChaosAndRecovery()
+
+	// Everything the harness started must be gone: poll the goroutine
+	// count back to baseline (small allowance for http client
+	// keep-alive reapers and runtime bookkeeping).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		k.failf("goroutines leaked: %d now vs %d at start", n, baseline)
+		_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+	} else {
+		k.passf("no leaked goroutines (%d -> %d)", baseline, n)
+	}
+
+	if k.failures > 0 {
+		k.cfg.logf("soak: %d assertion(s) FAILED", k.failures)
+		return 1
+	}
+	k.cfg.logf("soak: all phases passed")
+	return 0
+}
+
+// post fires one request and returns the status, Retry-After header
+// and decoded response.
+func (k *soak) post(addr string, req service.Request) (int, string, service.Response) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		k.failf("POST /v1/run: %v", err)
+		return 0, "", service.Response{}
+	}
+	defer resp.Body.Close()
+	var out service.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		k.failf("decode response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), out
+}
+
+// phaseEquivalence pins the zero-fault contract: the service's merged
+// telemetry window stream is byte-identical to a batch sim.Runner
+// executing the same requests serially.
+func (k *soak) phaseEquivalence() {
+	k.cfg.logf("soak: phase 1: zero-fault batch equivalence")
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		k.failf("telemetry: %v", err)
+		return
+	}
+	s, err := service.New(service.Config{
+		Workers:         k.cfg.workers,
+		DefaultAccesses: k.cfg.accesses,
+		Telemetry:       tel,
+	})
+	if err != nil {
+		k.failf("service.New: %v", err)
+		return
+	}
+	if err := s.Start(); err != nil {
+		k.failf("service.Start: %v", err)
+		return
+	}
+
+	reqs := []service.Request{
+		{Workload: "433.milc", Controller: "resemble-t", Accesses: k.cfg.accesses},
+		{Workload: "471.omnetpp", Controller: "bo", Accesses: k.cfg.accesses},
+		{Workload: "433.lbm", Controller: "sbp-e", Accesses: k.cfg.accesses},
+		{Workload: "433.milc", Controller: "none", Accesses: k.cfg.accesses},
+	}
+	for i, req := range reqs {
+		status, _, out := k.post(s.Addr(), req)
+		if status != http.StatusOK {
+			k.failf("request %d: status %d (%s)", i, status, out.Error)
+		}
+		if len(out.ExcludedArms) != 0 {
+			k.failf("request %d: zero-fault run excluded arms %v", i, out.ExcludedArms)
+		}
+	}
+	if err := s.Close(); err != nil {
+		k.failf("drain: %v", err)
+	}
+
+	// Batch reference: same requests, serially, one runner + collector.
+	// A never-started service with identical config supplies identical
+	// source construction (all breakers closed).
+	batchTel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		k.failf("telemetry: %v", err)
+		return
+	}
+	ref, err := service.New(service.Config{DefaultAccesses: k.cfg.accesses, Telemetry: batchTel})
+	if err != nil {
+		k.failf("reference service: %v", err)
+		return
+	}
+	runner := sim.NewRunner(sim.DefaultConfig(), sim.WithTelemetry(batchTel))
+	for i, req := range reqs {
+		w, err := trace.Lookup(req.Workload)
+		if err != nil {
+			k.failf("lookup %q: %v", req.Workload, err)
+			return
+		}
+		src, _, err := ref.BuildSource(req)
+		if err != nil {
+			k.failf("reference source %d: %v", i, err)
+			return
+		}
+		tr := trace.Shared().Get(w, req.Accesses, w.Seed+req.Seed)
+		if _, err := runner.Run(tr, src); err != nil {
+			k.failf("batch run %d: %v", i, err)
+			return
+		}
+	}
+
+	got, _ := json.Marshal(tel.Windows())
+	want, _ := json.Marshal(batchTel.Windows())
+	switch {
+	case len(tel.Windows()) == 0:
+		k.failf("service produced no telemetry windows")
+	case !bytes.Equal(got, want):
+		k.failf("service windows diverge from batch (%d vs %d windows)",
+			len(tel.Windows()), len(batchTel.Windows()))
+	default:
+		k.passf("windows byte-identical to batch (%d windows)", len(tel.Windows()))
+	}
+}
+
+// phaseChaosAndRecovery runs the fault window — stuck arm, failing
+// checkpoint writer, slow handlers under a tiny queue — asserts every
+// resilience mechanism engages, then lifts the chaos and asserts the
+// service heals and drains to a valid final checkpoint.
+func (k *soak) phaseChaosAndRecovery() {
+	k.cfg.logf("soak: phase 2: chaos window (stuck arm, failing checkpoint writer, slow handlers)")
+	dir, err := os.MkdirTemp("", "resembled-soak")
+	if err != nil {
+		k.failf("tempdir: %v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "service.ckpt")
+
+	chaos := &service.Chaos{
+		StuckArm:           "bo",
+		FaultSeed:          97,
+		CheckpointFailures: 2,
+	}
+	s, err := service.New(service.Config{
+		Workers:    1,
+		QueueDepth: 2,
+		// Periodic checkpoints tick inside the chaos window so the
+		// injected write failures actually hit the retry pipeline.
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 200 * time.Millisecond,
+		Chaos:           chaos,
+		ControllerConfig: func(req service.Request) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Seed = 1 + req.Seed
+			cfg.Batch = 64
+			cfg.MaskFloor = 0.2
+			cfg.MaskWindow = 512
+			cfg.MaskBadWindows = 2
+			cfg.MaskMinSamples = 8
+			cfg.MaskReprobe = 1 << 20
+			return cfg
+		},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: 2,
+			OpenFor:          300 * time.Millisecond,
+			HalfOpenProbes:   1,
+		},
+	})
+	if err != nil {
+		k.failf("chaos service.New: %v", err)
+		return
+	}
+	if err := s.Start(); err != nil {
+		k.failf("chaos service.Start: %v", err)
+		return
+	}
+
+	// Stuck arm: consecutive masked runs must trip BO's breaker.
+	ensemble := service.Request{Workload: "433.lbm", Controller: "resemble-t", Accesses: 2 * k.cfg.accesses}
+	tripDeadline := time.Now().Add(k.cfg.duration)
+	for s.Breaker("bo").State() != resilience.Open && time.Now().Before(tripDeadline) {
+		if status, _, out := k.post(s.Addr(), ensemble); status != http.StatusOK {
+			k.failf("ensemble run under chaos: status %d (%s)", status, out.Error)
+			break
+		}
+	}
+	if st := s.Breaker("bo").State(); st != resilience.Open {
+		k.failf("bo breaker = %v, want open (stuck arm not detected)", st)
+	} else {
+		k.passf("stuck arm tripped its breaker (trips=%d)", s.Breaker("bo").Trips())
+	}
+
+	// Solo requests for the broken arm are refused with the shedding
+	// contract while the breaker is open.
+	if status, retryAfter, _ := k.post(s.Addr(), service.Request{
+		Workload: "433.milc", Controller: "bo", Accesses: k.cfg.accesses,
+	}); status != http.StatusServiceUnavailable || retryAfter == "" {
+		k.failf("solo broken arm: status %d retry-after %q, want 503 with Retry-After", status, retryAfter)
+	} else {
+		k.passf("open breaker refuses solo requests (503 + Retry-After)")
+	}
+
+	// Overload: slow handlers + 1 worker + 2-deep queue must shed part
+	// of a burst and flip readiness.
+	chaos.SlowHandler = 250 * time.Millisecond
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		okN, shedN int
+	)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, retryAfter, _ := k.post(s.Addr(), service.Request{
+				Workload: "433.milc", Controller: "none", Accesses: k.cfg.accesses,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case status == http.StatusOK:
+				okN++
+			case status == http.StatusServiceUnavailable && retryAfter != "":
+				shedN++
+			default:
+				k.failf("burst: unexpected status %d (retry-after %q)", status, retryAfter)
+			}
+		}()
+	}
+	sawUnready := false
+	for j := 0; j < 100 && !sawUnready; j++ {
+		if resp, err := http.Get("http://" + s.Addr() + "/readyz"); err == nil {
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				sawUnready = true
+			}
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	if okN == 0 || shedN == 0 {
+		k.failf("burst outcomes ok=%d shed=%d, want both nonzero", okN, shedN)
+	} else {
+		k.passf("overload shed %d/%d requests with 503 + Retry-After", shedN, okN+shedN)
+	}
+	if !sawUnready {
+		k.failf("/readyz never flipped to 503 under saturation")
+	} else {
+		k.passf("/readyz flipped to 503 under saturation")
+	}
+
+	// Recovery: chaos off, breaker half-opens, a clean probe closes it,
+	// readiness returns.
+	k.cfg.logf("soak: phase 3: recovery")
+	chaos.Stop()
+	time.Sleep(350 * time.Millisecond) // past OpenFor
+	readyDeadline := time.Now().Add(3 * time.Second)
+	ready := false
+	for !ready && time.Now().Before(readyDeadline) {
+		if resp, err := http.Get("http://" + s.Addr() + "/readyz"); err == nil {
+			ready = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if !ready {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !ready {
+		k.failf("/readyz did not recover after chaos stopped")
+	} else {
+		k.passf("/readyz recovered")
+	}
+	status, _, out := k.post(s.Addr(), ensemble)
+	if status != http.StatusOK {
+		k.failf("probe run: status %d (%s)", status, out.Error)
+	}
+	for _, arm := range out.ExcludedArms {
+		if arm == "bo" {
+			k.failf("recovered arm still excluded: %v", out.ExcludedArms)
+		}
+	}
+	if st := s.Breaker("bo").State(); st != resilience.Closed {
+		k.failf("bo breaker = %v after clean probe, want closed", st)
+	} else {
+		k.passf("breaker closed after clean probe run")
+	}
+
+	// Drain: final checkpoint must land despite the injected write
+	// failures earlier (the retry layer absorbed them).
+	k.cfg.logf("soak: phase 4: drain audit")
+	if err := s.Close(); err != nil {
+		k.failf("drain: %v", err)
+	}
+	st := s.Stats()
+	if st.CkpRetries < 2 {
+		k.failf("checkpoint retries = %d, want >= 2 (injected failures not exercised)", st.CkpRetries)
+	} else {
+		k.passf("checkpoint writer retried %d times over injected failures", st.CkpRetries)
+	}
+	f, err := checkpoint.ReadFile(ckpt)
+	switch {
+	case err != nil:
+		k.failf("final checkpoint: %v", err)
+	case !f.Has("service"):
+		k.failf("final checkpoint missing service section")
+	default:
+		k.passf("drained to a valid final checkpoint (%s)", fmt.Sprintf("%v", f.Sections()))
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 )
 
 // Version is the current checkpoint format version.
@@ -138,33 +137,10 @@ func (b *Builder) WriteTo(w io.Writer) (int64, error) {
 // WriteFile writes the checkpoint atomically: the bytes go to a
 // temporary file in the destination directory which is then renamed
 // over path, so a crash mid-write never leaves a half-written
-// checkpoint under the final name.
+// checkpoint under the final name. For transient-failure tolerance use
+// WriteFileRetry.
 func (b *Builder) WriteFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := b.WriteTo(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	return nil
+	return b.WriteFileVia(path, nil)
 }
 
 // File is a parsed checkpoint.
@@ -209,6 +185,9 @@ func Read(r io.Reader) (*File, error) {
 		}
 		name := string(body[off : off+nl])
 		off += nl
+		if _, dup := f.sections[name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate section %q", name)
+		}
 		if off+8 > len(body) {
 			return nil, ErrBadCRC
 		}

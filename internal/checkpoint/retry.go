@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"resemble/internal/resilience"
+)
+
+// Retrying atomic writes. A checkpoint write that fails transiently
+// (ENOSPC races, network filesystems, an injected fault) should not
+// kill a long run whose whole point is surviving interruption, so the
+// write paths of internal/sim and internal/service route through
+// WriteFileRetry: each attempt is the same atomic temp+rename
+// operation, separated by bounded exponential backoff. A failed
+// attempt never leaves a partial file under the final name and never
+// clobbers the previous good checkpoint.
+
+// DefaultWriteRetry is the policy the simulator and the service use
+// for checkpoint writes: 4 attempts over roughly half a second. Small
+// enough not to stall a drain, large enough to ride out transient
+// filesystem hiccups.
+func DefaultWriteRetry() resilience.Retry {
+	return resilience.Retry{
+		Attempts: 4,
+		Backoff:  resilience.Backoff{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	}
+}
+
+// WriteFileVia writes the checkpoint atomically like WriteFile, but
+// routes the container bytes of the attempt through wrap (nil is the
+// identity). The wrapper sees exactly the bytes headed for the
+// temporary file; fault-injection tests pass a faults.FailingWriter
+// here to simulate a device that dies mid-write. Sync, close and
+// rename always act on the real file, so atomicity is unaffected by
+// the wrapper.
+func (b *Builder) WriteFileVia(path string, wrap func(io.Writer) io.Writer) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var w io.Writer = tmp
+	if wrap != nil {
+		w = wrap(tmp)
+	}
+	if _, err := b.WriteTo(w); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// WriteFileRetry writes the checkpoint atomically, retrying transient
+// failures under the policy (the zero Retry means defaults: 3
+// attempts). wrap is applied to every attempt as in WriteFileVia; ctx
+// cancellation aborts between attempts and mid-backoff. The previous
+// checkpoint at path survives until an attempt fully succeeds.
+func (b *Builder) WriteFileRetry(ctx context.Context, path string, pol resilience.Retry, wrap func(io.Writer) io.Writer) error {
+	return pol.Do(ctx, func() error { return b.WriteFileVia(path, wrap) })
+}

@@ -1,0 +1,184 @@
+// External test package: it exercises the checkpoint retry path with
+// the fault-injection helpers of internal/faults, which itself imports
+// checkpoint.
+package checkpoint_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/faults"
+	"resemble/internal/resilience"
+)
+
+func testBuilder(t *testing.T) *checkpoint.Builder {
+	t.Helper()
+	b := checkpoint.NewBuilder()
+	if err := b.Add("payload", func(w io.Writer) error {
+		_, err := w.Write([]byte("some checkpoint section data"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// failNWrites wraps each attempt's file writer in a faults.FailingWriter
+// for the first n attempts, then passes through untouched — a device
+// that errors transiently and then recovers.
+func failNWrites(n int) (wrap func(io.Writer) io.Writer, attempts *int) {
+	attempts = new(int)
+	return func(w io.Writer) io.Writer {
+		*attempts++
+		if *attempts <= n {
+			return &faults.FailingWriter{W: w, FailAfter: 0}
+		}
+		return w
+	}, attempts
+}
+
+// TestWriteFileRetryTransient proves the bounded-retry contract with
+// the existing failing-writer fault helper: two injected write
+// failures, then success — the file appears, parses cleanly, and the
+// policy slept exactly twice with growing backoff.
+func TestWriteFileRetryTransient(t *testing.T) {
+	b := testBuilder(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	wrap, attempts := failNWrites(2)
+	var delays []time.Duration
+	pol := resilience.Retry{
+		Attempts: 4,
+		Backoff:  resilience.Backoff{Base: time.Millisecond, Jitter: -1},
+		Sleep:    func(d time.Duration) { delays = append(delays, d) },
+	}
+	if err := b.WriteFileRetry(context.Background(), path, pol, wrap); err != nil {
+		t.Fatalf("WriteFileRetry: %v", err)
+	}
+	if *attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two injected failures, one success)", *attempts)
+	}
+	if len(delays) != 2 || delays[1] <= delays[0] {
+		t.Fatalf("backoff delays = %v, want 2 growing delays", delays)
+	}
+	f, err := checkpoint.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile after retried write: %v", err)
+	}
+	if !f.Has("payload") {
+		t.Fatal("retried checkpoint lost its section")
+	}
+}
+
+// TestWriteFileRetryBounded: a writer that never recovers exhausts the
+// attempt bound, the error surfaces, and no file (partial or
+// otherwise) exists under the final name.
+func TestWriteFileRetryBounded(t *testing.T) {
+	b := testBuilder(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	injected := errors.New("injected device error")
+	attempts := 0
+	wrap := func(w io.Writer) io.Writer {
+		attempts++
+		return &faults.FailingWriter{W: w, FailAfter: 0, Err: injected}
+	}
+	pol := resilience.Retry{Attempts: 3, Sleep: func(time.Duration) {}}
+	err := b.WriteFileRetry(context.Background(), path, pol, wrap)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want wrapped injected error", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (bounded)", attempts)
+	}
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatalf("failed retries must not leave a file under the final name (stat: %v)", serr)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("failed retries left %d stray temp files", len(ents))
+	}
+}
+
+// TestWriteFileRetryKeepsPreviousCheckpoint: when every attempt fails,
+// the last good checkpoint at path is untouched — a broken writer must
+// never destroy the state it cannot replace.
+func TestWriteFileRetryKeepsPreviousCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := testBuilder(t).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := checkpoint.NewBuilder()
+	if err := b2.Add("payload", func(w io.Writer) error {
+		_, err := w.Write([]byte("newer state that will fail to persist"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wrap := func(w io.Writer) io.Writer { return &faults.FailingWriter{W: w, FailAfter: 0} }
+	pol := resilience.Retry{Attempts: 2, Sleep: func(time.Duration) {}}
+	if err := b2.WriteFileRetry(context.Background(), path, pol, wrap); err == nil {
+		t.Fatal("expected the injected failure to surface")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(good) {
+		t.Fatal("failed retries corrupted the previous good checkpoint")
+	}
+}
+
+// TestWriteFileRetryContext: cancellation mid-backoff aborts promptly.
+func TestWriteFileRetryContext(t *testing.T) {
+	b := testBuilder(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	wrap := func(w io.Writer) io.Writer { return &faults.FailingWriter{W: w, FailAfter: 0} }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pol := resilience.Retry{Attempts: 5, Backoff: resilience.Backoff{Base: time.Hour}}
+	start := time.Now()
+	err := b.WriteFileRetry(ctx, path, pol, wrap)
+	if err == nil {
+		t.Fatal("expected an error from the cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled retry did not abort promptly")
+	}
+}
+
+// TestFailingWriterPartialWrites exercises the seam with a writer that
+// fails after some successful writes, leaving a torn temp stream: the
+// retry still converges and the final file is a valid container.
+func TestFailingWriterPartialWrites(t *testing.T) {
+	b := testBuilder(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	attempt := 0
+	wrap := func(w io.Writer) io.Writer {
+		attempt++
+		if attempt == 1 {
+			return &faults.FailingWriter{W: w, FailAfter: 2} // dies mid-container
+		}
+		return w
+	}
+	pol := resilience.Retry{Attempts: 2, Sleep: func(time.Duration) {}}
+	if err := b.WriteFileRetry(context.Background(), path, pol, wrap); err != nil {
+		t.Fatalf("WriteFileRetry: %v", err)
+	}
+	if _, err := checkpoint.ReadFile(path); err != nil {
+		t.Fatalf("file after torn first attempt: %v", err)
+	}
+}

@@ -145,7 +145,9 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 // completed / total with an ETA extrapolated from the observed rate.
 // One Progress value is shared across every experiment of a suite (set
 // it once on the Options), so the totals span the whole sweep. All
-// methods are nil-safe and concurrency-safe.
+// methods are nil-safe and concurrency-safe. A nil writer makes the
+// tracker silent — counting still works, nothing renders — which is
+// how RunSafe accounts for partial progress without owning a terminal.
 type Progress struct {
 	mu    sync.Mutex
 	w     io.Writer
@@ -155,9 +157,20 @@ type Progress struct {
 }
 
 // NewProgress builds a progress tracker writing to w (typically
-// os.Stderr, keeping result streams clean).
+// os.Stderr, keeping result streams clean). A nil w counts silently.
 func NewProgress(w io.Writer) *Progress {
 	return &Progress{w: w, start: time.Now()}
+}
+
+// Counts returns the completed and expected simulation-run totals
+// accumulated so far (zeros for a nil tracker).
+func (p *Progress) Counts() (done, total int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.total
 }
 
 // add grows the expected task total (called by each pool section).
@@ -188,13 +201,19 @@ func (p *Progress) Finish() {
 		return
 	}
 	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil {
+		return
+	}
 	fmt.Fprintf(p.w, "\rruns %d/%d done in %s%-12s\n",
 		p.done, p.total, time.Since(p.start).Round(time.Second), "")
-	p.mu.Unlock()
 }
 
 // render repaints the line; the caller holds p.mu.
 func (p *Progress) render() {
+	if p.w == nil {
+		return
+	}
 	eta := "--"
 	if p.done > 0 && p.done < p.total {
 		rem := time.Duration(float64(time.Since(p.start)) / float64(p.done) * float64(p.total-p.done))

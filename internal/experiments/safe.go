@@ -14,10 +14,28 @@ type SafeResult struct {
 	Panic    any
 	TimedOut bool
 	Duration time.Duration
+
+	// RunsDone and RunsTotal are the simulation runs this experiment
+	// completed and expected (from its Progress accounting), so a
+	// timed-out experiment reports its salvageable partial progress
+	// instead of a bare failure. Both are zero when the experiment
+	// never reached its worker pool.
+	RunsDone  int
+	RunsTotal int
 }
 
 // Failed reports whether the experiment did not complete cleanly.
 func (r SafeResult) Failed() bool { return r.Err != nil }
+
+// ProgressSummary renders the completed/remaining run counts, e.g.
+// "18/42 runs done (24 remaining)"; empty when nothing was counted.
+func (r SafeResult) ProgressSummary() string {
+	if r.RunsTotal == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d runs done (%d remaining)",
+		r.RunsDone, r.RunsTotal, r.RunsTotal-r.RunsDone)
+}
 
 // RunSafe executes one registered experiment inside a panic-recovering,
 // deadline-bounded wrapper, so a crash or hang in one experiment cannot
@@ -40,6 +58,17 @@ func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 	if timeout > 0 {
 		o.deadline = start.Add(timeout)
 	}
+	// A silent Progress tracker (nil writer) keeps run accounting alive
+	// even when the caller did not ask for a progress line, so partial
+	// progress survives into the SafeResult on timeout.
+	if o.Progress == nil {
+		o.Progress = NewProgress(nil)
+	}
+	done0, total0 := o.Progress.Counts()
+	counts := func(r *SafeResult) {
+		d, t := o.Progress.Counts()
+		r.RunsDone, r.RunsTotal = d-done0, t-total0
+	}
 	done := make(chan SafeResult, 1)
 	go func() {
 		r := SafeResult{ID: id}
@@ -52,6 +81,7 @@ func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 			if errors.Is(r.Err, errDeadline) {
 				r.TimedOut = true
 			}
+			counts(&r)
 			r.Duration = time.Since(start)
 			done <- r
 		}()
@@ -64,10 +94,12 @@ func RunSafe(id string, o Options, timeout time.Duration) SafeResult {
 	case r := <-done:
 		return r
 	case <-time.After(timeout + 2*time.Second):
-		return SafeResult{
+		r := SafeResult{
 			ID: id, TimedOut: true, Duration: time.Since(start),
 			Err: fmt.Errorf("experiments: %s exceeded deadline %s", id, timeout),
 		}
+		counts(&r)
+		return r
 	}
 }
 

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// registerTestExperiment installs a synthetic experiment for the
+// test's lifetime.
+func registerTestExperiment(t *testing.T, id string, run func(Options) error) {
+	t.Helper()
+	if _, clash := Registry[id]; clash {
+		t.Fatalf("test experiment id %q collides with a real experiment", id)
+	}
+	Registry[id] = run
+	t.Cleanup(func() { delete(Registry, id) })
+}
+
+// TestRunSafePartialProgress: when the deadline cuts an experiment
+// short, the SafeResult reports how many of its simulation runs had
+// completed instead of a bare timeout.
+func TestRunSafePartialProgress(t *testing.T) {
+	const total = 40
+	registerTestExperiment(t, "safe-test-partial", func(o Options) error {
+		return o.forEach(total, func(int, Options) {
+			time.Sleep(10 * time.Millisecond)
+		})
+	})
+	r := RunSafe("safe-test-partial", Options{Jobs: 1}, 60*time.Millisecond)
+	if !r.TimedOut {
+		t.Fatalf("experiment did not time out (err %v, %d/%d runs)", r.Err, r.RunsDone, r.RunsTotal)
+	}
+	if r.RunsTotal != total {
+		t.Fatalf("RunsTotal = %d, want %d", r.RunsTotal, total)
+	}
+	if r.RunsDone <= 0 || r.RunsDone >= total {
+		t.Fatalf("RunsDone = %d, want partial progress in (0,%d)", r.RunsDone, total)
+	}
+	summary := r.ProgressSummary()
+	if !strings.Contains(summary, "runs done") || !strings.Contains(summary, "remaining") {
+		t.Fatalf("ProgressSummary = %q, want completed/remaining counts", summary)
+	}
+}
+
+// TestRunSafeCompleteCounts: a clean run accounts for every simulation.
+func TestRunSafeCompleteCounts(t *testing.T) {
+	registerTestExperiment(t, "safe-test-complete", func(o Options) error {
+		return o.forEach(5, func(int, Options) {})
+	})
+	r := RunSafe("safe-test-complete", Options{Jobs: 1}, time.Minute)
+	if r.Failed() || r.TimedOut {
+		t.Fatalf("clean run failed: %+v", r)
+	}
+	if r.RunsDone != 5 || r.RunsTotal != 5 {
+		t.Fatalf("counts = %d/%d, want 5/5", r.RunsDone, r.RunsTotal)
+	}
+}
+
+// TestRunSafeSharedProgressDelta: with a caller-supplied Progress that
+// already carries counts from earlier experiments, RunSafe reports
+// only this experiment's delta.
+func TestRunSafeSharedProgressDelta(t *testing.T) {
+	p := NewProgress(nil)
+	p.add(7)
+	for i := 0; i < 7; i++ {
+		p.tick()
+	}
+	registerTestExperiment(t, "safe-test-delta", func(o Options) error {
+		return o.forEach(3, func(int, Options) {})
+	})
+	r := RunSafe("safe-test-delta", Options{Jobs: 1, Progress: p}, time.Minute)
+	if r.RunsDone != 3 || r.RunsTotal != 3 {
+		t.Fatalf("delta counts = %d/%d, want 3/3 (shared tracker leaked in)", r.RunsDone, r.RunsTotal)
+	}
+}
+
+// TestProgressNilWriter: a silent tracker counts without rendering and
+// never dereferences its writer.
+func TestProgressNilWriter(t *testing.T) {
+	p := NewProgress(nil)
+	p.add(4)
+	p.tick()
+	p.tick()
+	p.Finish()
+	if done, tot := p.Counts(); done != 2 || tot != 4 {
+		t.Fatalf("Counts = %d/%d, want 2/4", done, tot)
+	}
+	var nilP *Progress
+	if done, tot := nilP.Counts(); done != 0 || tot != 0 {
+		t.Fatalf("nil Counts = %d/%d, want 0/0", done, tot)
+	}
+}
+
+// TestSafeResultProgressSummaryEmpty: no counted runs, no summary —
+// the caller falls back to the plain error line.
+func TestSafeResultProgressSummaryEmpty(t *testing.T) {
+	if s := (SafeResult{}).ProgressSummary(); s != "" {
+		t.Fatalf("ProgressSummary = %q, want empty", s)
+	}
+}

@@ -1,0 +1,82 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes per-attempt delays: Base doubling (or growing by
+// Factor) up to Max, with "full jitter" — the delay is drawn uniformly
+// from [ (1-Jitter)·d, d ] so synchronized retriers decorrelate. The
+// zero value is usable and selects the defaults below.
+type Backoff struct {
+	// Base is the pre-jitter delay of the first retry (default 10ms).
+	Base time.Duration
+	// Max caps the pre-jitter delay (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the randomized fraction of each delay in (0,1]
+	// (default 0.5; a negative value disables jitter entirely).
+	Jitter float64
+	// Source drives the jitter draws; nil uses the (locked) global
+	// math/rand source. Injecting a checkpoint.RandSource makes delay
+	// sequences deterministic and resumable (see
+	// TestBackoffJitterDeterminism); an injected source is drawn from
+	// without locking, so share one across goroutines only if it is
+	// itself synchronized.
+	Source rand.Source
+}
+
+const (
+	defaultBase   = 10 * time.Millisecond
+	defaultMax    = 5 * time.Second
+	defaultFactor = 2.0
+	defaultJitter = 0.5
+)
+
+// Delay returns the backoff delay before retry number attempt
+// (attempt 1 is the first retry). Attempts below 1 read as 1.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = defaultBase
+	}
+	if max <= 0 {
+		max = defaultMax
+	}
+	if factor < 1 {
+		factor = defaultFactor
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(base)
+	for i := 1; i < attempt && d < float64(max); i++ {
+		d *= factor
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	jitter := b.Jitter
+	if jitter < 0 {
+		return time.Duration(d)
+	}
+	if jitter == 0 {
+		jitter = defaultJitter
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	// Uniform draw from [(1-jitter)·d, d].
+	lo := d * (1 - jitter)
+	return time.Duration(lo + b.float64()*(d-lo))
+}
+
+// float64 draws one jitter sample from the configured source.
+func (b Backoff) float64() float64 {
+	if b.Source == nil {
+		return rand.Float64()
+	}
+	return rand.New(b.Source).Float64()
+}

@@ -1,0 +1,104 @@
+package resilience_test
+
+import (
+	"testing"
+	"time"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/resilience"
+)
+
+// delays draws the first n backoff delays from a fresh policy seeded
+// with the counting RNG.
+func delays(seed int64, n int) []time.Duration {
+	b := resilience.Backoff{
+		Base:   10 * time.Millisecond,
+		Max:    time.Second,
+		Source: checkpoint.NewRandSource(seed),
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = b.Delay(i + 1)
+	}
+	return out
+}
+
+// TestBackoffJitterDeterminism pins the jitter to the counting RNG:
+// the same seed reproduces the exact delay sequence (so backoff
+// schedules are replayable across checkpoint/resume), and different
+// seeds decorrelate.
+func TestBackoffJitterDeterminism(t *testing.T) {
+	a, b := delays(7, 12), delays(7, 12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v != %v under the same seed", i, a[i], b[i])
+		}
+	}
+	c := delays(8, 12)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical delay sequence")
+	}
+}
+
+// TestBackoffJitterResumable checks the counting-RNG contract end to
+// end: restoring a source to a recorded draw position continues the
+// identical jitter stream.
+func TestBackoffJitterResumable(t *testing.T) {
+	src := checkpoint.NewRandSource(3)
+	b := resilience.Backoff{Base: time.Millisecond, Max: time.Second, Source: src}
+	for i := 1; i <= 5; i++ {
+		b.Delay(i)
+	}
+	seed, draws := src.State()
+	var want []time.Duration
+	for i := 6; i <= 10; i++ {
+		want = append(want, b.Delay(i))
+	}
+
+	resumed := checkpoint.NewRandSource(0)
+	resumed.Restore(seed, draws)
+	rb := resilience.Backoff{Base: time.Millisecond, Max: time.Second, Source: resumed}
+	for i := 6; i <= 10; i++ {
+		if got := rb.Delay(i); got != want[i-6] {
+			t.Fatalf("resumed delay %d = %v, want %v", i, got, want[i-6])
+		}
+	}
+}
+
+// TestBackoffBounds checks growth, the cap, and the jitter window.
+func TestBackoffBounds(t *testing.T) {
+	b := resilience.Backoff{
+		Base:   10 * time.Millisecond,
+		Max:    80 * time.Millisecond,
+		Jitter: 0.5,
+		Source: checkpoint.NewRandSource(1),
+	}
+	for attempt := 1; attempt <= 10; attempt++ {
+		// Pre-jitter delay: min(base·2^(attempt-1), max).
+		pre := 10 * time.Millisecond << (attempt - 1)
+		if pre > 80*time.Millisecond {
+			pre = 80 * time.Millisecond
+		}
+		d := b.Delay(attempt)
+		if d < pre/2 || d > pre {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, pre/2, pre)
+		}
+	}
+}
+
+// TestBackoffNoJitter checks the deterministic no-jitter path.
+func TestBackoffNoJitter(t *testing.T) {
+	b := resilience.Backoff{Base: 4 * time.Millisecond, Max: 100 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{4, 8, 16, 32, 64, 100, 100}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}

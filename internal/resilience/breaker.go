@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states: Closed passes everything through, Open rejects
+// everything until the open interval elapses, HalfOpen admits a
+// bounded number of probes to decide between re-closing and
+// re-opening.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value is usable.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that
+	// trips a closed breaker (default 3).
+	FailureThreshold int
+	// OpenFor is how long a tripped breaker rejects before moving to
+	// half-open (default 5s).
+	OpenFor time.Duration
+	// HalfOpenProbes is the number of consecutive probe successes that
+	// re-close a half-open breaker (default 2). The first probe failure
+	// re-opens it.
+	HalfOpenProbes int
+	// Now replaces time.Now in tests.
+	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change — the
+	// service layer hangs telemetry and logging here. It is called
+	// with the breaker's lock held; keep it fast and non-reentrant.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker driven by explicit Report
+// calls. It contains no embedded policy about what a failure is — the
+// service keys per-arm breakers off the controller's accuracy-masking
+// signal, the checkpoint path keys one off write errors — and is safe
+// for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	cfg       BreakerConfig
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	openedAt  time.Time // when the breaker last tripped
+	trips     uint64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// transition moves the breaker to next; the caller holds b.mu.
+func (b *Breaker) transition(next BreakerState) {
+	if b.state == next {
+		return
+	}
+	prev := b.state
+	b.state = next
+	switch next {
+	case Open:
+		b.trips++
+		b.openedAt = b.cfg.Now()
+	case HalfOpen:
+		b.successes = 0
+	case Closed:
+		b.failures = 0
+	}
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(prev, next)
+	}
+}
+
+// Allow reports whether a request may proceed, moving an expired open
+// breaker to half-open on the way. Half-open admits every caller (the
+// probe bound is enforced on the success side); the service keeps
+// half-open traffic naturally small because only one worker probes a
+// re-included arm at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transition(HalfOpen)
+	}
+	return b.state != Open
+}
+
+// Report feeds one observed outcome into the state machine.
+func (b *Breaker) Report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.transition(Open)
+		}
+	case Open:
+		// A straggler from before the trip; the breaker only leaves
+		// Open through Allow's timer.
+	case HalfOpen:
+		if !success {
+			b.transition(Open)
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.transition(Closed)
+		}
+	}
+}
+
+// State returns the current state (advancing Open to HalfOpen when the
+// open interval has elapsed, so observers and admitters agree).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transition(HalfOpen)
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

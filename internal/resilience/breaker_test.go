@@ -1,0 +1,143 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func report(b *Breaker, outcomes ...bool) {
+	for _, ok := range outcomes {
+		b.Report(ok)
+	}
+}
+
+// TestBreakerStateMachine drives the breaker through scripted
+// sequences and checks every resulting state.
+func TestBreakerStateMachine(t *testing.T) {
+	const openFor = 10 * time.Second
+	cases := []struct {
+		name  string
+		steps func(b *Breaker, clk *fakeClock)
+		want  BreakerState
+	}{
+		{"fresh breaker is closed", func(b *Breaker, clk *fakeClock) {}, Closed},
+		{"successes keep it closed", func(b *Breaker, clk *fakeClock) {
+			report(b, true, true, true, true)
+		}, Closed},
+		{"failures below threshold stay closed", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false)
+		}, Closed},
+		{"success resets the consecutive count", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, true, false, false)
+		}, Closed},
+		{"threshold consecutive failures trip it", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+		}, Open},
+		{"open rejects until the interval elapses", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor - time.Millisecond)
+		}, Open},
+		{"open interval elapsing yields half-open", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor)
+		}, HalfOpen},
+		{"half-open probe failure re-opens", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor)
+			b.Allow() // half-open admits the probe
+			report(b, false)
+		}, Open},
+		{"one probe success is not enough to close", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor)
+			b.Allow()
+			report(b, true)
+		}, HalfOpen},
+		{"enough probe successes re-close", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor)
+			b.Allow()
+			report(b, true, true)
+		}, Closed},
+		{"re-closed breaker needs a fresh failure streak", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			clk.advance(openFor)
+			b.Allow()
+			report(b, true, true) // closed again
+			report(b, false, false)
+		}, Closed},
+		{"straggler reports while open are ignored", func(b *Breaker, clk *fakeClock) {
+			report(b, false, false, false)
+			report(b, true, true, true, true)
+		}, Open},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := NewBreaker(BreakerConfig{
+				FailureThreshold: 3,
+				OpenFor:          openFor,
+				HalfOpenProbes:   2,
+				Now:              clk.now,
+			})
+			tc.steps(b, clk)
+			if got := b.State(); got != tc.want {
+				t.Fatalf("state = %v, want %v", got, tc.want)
+			}
+			if tc.want == Open && b.Allow() {
+				t.Fatal("open breaker must not admit")
+			}
+			if tc.want != Open && !b.Allow() {
+				t.Fatal("non-open breaker must admit")
+			}
+		})
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   1,
+		Now:              clk.now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+	report(b, false, false) // trips
+	clk.advance(time.Second)
+	b.Allow()       // half-open
+	report(b, true) // closes
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, transitions[i], want[i])
+		}
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	report(b, false, false) // below default threshold 3
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	report(b, false)
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+}

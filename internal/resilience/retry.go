@@ -1,0 +1,182 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBudgetExhausted is returned (wrapped around the last operation
+// error) when a retry was wanted but the shared Budget denied it.
+var ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+
+// Budget is a shared retry token bucket in the gRPC style: each retry
+// spends one token, each success refunds Ratio tokens (capped at
+// Capacity). When many callers fail at once the bucket drains and
+// further retries are denied, so a dependency outage costs one attempt
+// per request instead of Attempts — the retry layer stops amplifying
+// the very overload it is reacting to. A nil *Budget allows every
+// retry.
+type Budget struct {
+	// Capacity is the maximum token balance (default 10).
+	Capacity float64
+	// Ratio is the fraction of a token refunded per success
+	// (default 0.1: ten successes buy one retry).
+	Ratio float64
+
+	mu     sync.Mutex
+	tokens float64
+	init   bool
+}
+
+func (b *Budget) defaults() (cap, ratio float64) {
+	cap, ratio = b.Capacity, b.Ratio
+	if cap <= 0 {
+		cap = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return cap, ratio
+}
+
+// Spend consumes one retry token, reporting whether the retry may
+// proceed. Nil receivers always allow.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cap, _ := b.defaults()
+	if !b.init {
+		b.tokens = cap
+		b.init = true
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Refund credits one success. Nil receivers no-op.
+func (b *Budget) Refund() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cap, ratio := b.defaults()
+	if !b.init {
+		b.tokens = cap
+		b.init = true
+	}
+	b.tokens += ratio
+	if b.tokens > cap {
+		b.tokens = cap
+	}
+}
+
+// Tokens returns the current balance (Capacity for an untouched
+// budget, 0 for nil).
+func (b *Budget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cap, _ := b.defaults()
+	if !b.init {
+		return cap
+	}
+	return b.tokens
+}
+
+// Retry bounds repeated attempts of a fallible operation. The zero
+// value retries twice (three attempts total) with default backoff.
+type Retry struct {
+	// Attempts is the total number of tries including the first
+	// (default 3; 1 disables retrying).
+	Attempts int
+	// Backoff schedules the delay before each retry.
+	Backoff Backoff
+	// Budget, when non-nil, is consulted before every retry; a drained
+	// budget fails fast with ErrBudgetExhausted.
+	Budget *Budget
+	// Retryable filters errors; nil treats every error as transient.
+	// Context cancellation/deadline errors are never retried.
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes each scheduled retry (attempt is
+	// the attempt that just failed, starting at 1) — the service layer
+	// hangs telemetry counters here.
+	OnRetry func(attempt int, delay time.Duration, err error)
+	// Sleep replaces time.Sleep in tests; it still races against ctx.
+	Sleep func(time.Duration)
+}
+
+// Do runs op until it succeeds, the attempt bound or budget is
+// exhausted, the error is not retryable, or ctx is done. The context
+// deadline propagates through the sleeps: a deadline that expires
+// mid-backoff aborts immediately with the last operation error wrapped
+// alongside ctx.Err().
+func (r Retry) Do(ctx context.Context, op func() error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				if err == nil {
+					return cerr
+				}
+				return fmt.Errorf("%w (context: %w)", err, cerr)
+			}
+		}
+		err = op()
+		if err == nil {
+			r.Budget.Refund()
+			return nil
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("%w (after %d attempts)", err, attempt)
+		}
+		if r.Retryable != nil && !r.Retryable(err) {
+			return err
+		}
+		if !r.Budget.Spend() {
+			return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
+		}
+		delay := r.Backoff.Delay(attempt)
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, delay, err)
+		}
+		if serr := r.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%w (context: %w)", err, serr)
+		}
+	}
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func (r Retry) sleep(ctx context.Context, d time.Duration) error {
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep makes retry tests instantaneous while recording the
+// scheduled delays.
+func noSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	err := Retry{Attempts: 5, Sleep: noSleep(&delays)}.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+}
+
+func TestRetryBoundedAttempts(t *testing.T) {
+	var delays []time.Duration
+	calls := 0
+	base := errors.New("persistent")
+	err := Retry{Attempts: 4, Sleep: noSleep(&delays)}.Do(context.Background(), func() error {
+		calls++
+		return base
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped %v", err, base)
+	}
+}
+
+func TestRetryNonRetryableFailsFast(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry{
+		Attempts:  5,
+		Retryable: func(err error) bool { return !errors.Is(err, fatal) },
+		Sleep:     func(time.Duration) {},
+	}.Do(context.Background(), func() error {
+		calls++
+		return fatal
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry of non-retryable errors)", calls)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatalf("err = %v, want %v", err, fatal)
+	}
+}
+
+// TestRetryBudget drains a shared budget: once it is empty further
+// retries are denied with ErrBudgetExhausted, and successes refund it.
+func TestRetryBudget(t *testing.T) {
+	budget := &Budget{Capacity: 2, Ratio: 1}
+	r := Retry{Attempts: 10, Budget: budget, Sleep: func(time.Duration) {}}
+	fail := errors.New("down")
+
+	// First call: spends both tokens, then the budget denies.
+	calls := 0
+	err := r.Do(context.Background(), func() error { calls++; return fail })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (1 initial + 2 budgeted retries)", calls)
+	}
+	// Budget empty: a failing call gets no retries at all.
+	calls = 0
+	if err := r.Do(context.Background(), func() error { calls++; return fail }); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (budget drained)", calls)
+	}
+	// A success refunds Ratio=1 tokens; one retry is possible again.
+	if err := r.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	calls = 0
+	r.Do(context.Background(), func() error { calls++; return fail })
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (refunded one retry)", calls)
+	}
+}
+
+// TestRetryContextDeadline checks deadline propagation: an expired
+// context aborts between attempts and reports both the operation error
+// and the context error.
+func TestRetryContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fail := errors.New("down")
+	calls := 0
+	err := Retry{Attempts: 10, Sleep: func(time.Duration) {}}.Do(ctx, func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return fail
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (cancellation observed before attempt 3)", calls)
+	}
+	if !errors.Is(err, fail) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want both the op error and context.Canceled", err)
+	}
+}
+
+// TestRetryContextCancelsBackoffSleep checks the real sleep path races
+// against the context instead of waiting the delay out.
+func TestRetryContextCancelsBackoffSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fail := errors.New("down")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Retry{
+		Attempts: 3,
+		Backoff:  Backoff{Base: time.Hour, Jitter: -1},
+	}.Do(ctx, func() error { return fail })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backoff sleep ignored cancellation (took %v)", elapsed)
+	}
+	if !errors.Is(err, fail) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want both the op error and context.Canceled", err)
+	}
+}
+
+func TestRetryOnRetryObserver(t *testing.T) {
+	var attempts []int
+	fail := errors.New("down")
+	Retry{
+		Attempts: 3,
+		OnRetry:  func(attempt int, d time.Duration, err error) { attempts = append(attempts, attempt) },
+		Sleep:    func(time.Duration) {},
+	}.Do(context.Background(), func() error { return fail })
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Fatalf("observed retries after attempts %v, want [1 2]", attempts)
+	}
+}

@@ -1,0 +1,11 @@
+package service
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// writeGob / readGob are the checkpoint-section codecs for the
+// service's persisted counters.
+func writeGob(w io.Writer, v any) error { return gob.NewEncoder(w).Encode(v) }
+func readGob(r io.Reader, v any) error  { return gob.NewDecoder(r).Decode(v) }

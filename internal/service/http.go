@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"resemble/internal/resilience"
+	"resemble/internal/trace"
+)
+
+// Request is one simulation job submitted to POST /v1/run.
+type Request struct {
+	// Workload is a suite workload name (see trace.Names()).
+	Workload string `json:"workload"`
+	// Controller selects the prefetch source: an ensemble controller
+	// ("resemble", "resemble-t", "sbp-e"), a solo arm ("bo", "spp",
+	// "isb", "domino"), or "none" for the no-prefetch baseline.
+	Controller string `json:"controller"`
+	// Accesses is the trace length (0 = the service default).
+	Accesses int `json:"accesses,omitempty"`
+	// Seed offsets the workload's trace seed and the controller seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Response is the outcome of one simulation request.
+type Response struct {
+	Workload          string  `json:"workload,omitempty"`
+	Controller        string  `json:"controller,omitempty"`
+	Accesses          int     `json:"accesses,omitempty"`
+	Seed              int64   `json:"seed"`
+	IPC               float64 `json:"ipc,omitempty"`
+	MPKI              float64 `json:"mpki,omitempty"`
+	Accuracy          float64 `json:"accuracy,omitempty"`
+	Coverage          float64 `json:"coverage,omitempty"`
+	Instructions      uint64  `json:"instructions,omitempty"`
+	LLCMisses         uint64  `json:"llc_misses,omitempty"`
+	PrefetchesIssued  uint64  `json:"prefetches_issued,omitempty"`
+	UsefulPrefetches  uint64  `json:"useful_prefetches,omitempty"`
+	DroppedPrefetches uint64  `json:"dropped_prefetches,omitempty"`
+	// ExcludedArms lists ensemble arms left out because their circuit
+	// breakers were open at admission.
+	ExcludedArms []string `json:"excluded_arms,omitempty"`
+	// MaskedArms lists arms the controller's accuracy masking had
+	// quarantined when the run ended.
+	MaskedArms []string `json:"masked_arms,omitempty"`
+	DurationMS float64  `json:"duration_ms,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// retryAfter is the Retry-After hint attached to every 503.
+const retryAfter = "1"
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/run   submit a simulation, wait for its result
+//	GET  /healthz  liveness (200 while the process serves HTTP)
+//	GET  /readyz   readiness (503 while saturated or draining)
+//	GET  /metrics  telemetry registry snapshot + service counters
+//	GET  /stats    service counters only
+//	POST /drain    begin graceful shutdown (202)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on error
+}
+
+// unavailable answers 503 with the shedding contract's Retry-After.
+func unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeJSON(w, http.StatusServiceUnavailable, Response{Error: msg})
+}
+
+// handleRun validates, admits and awaits one simulation request.
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Workload == "" || req.Controller == "" {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "workload and controller are required"})
+		return
+	}
+	if _, err := trace.Lookup(req.Workload); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	if !validController(req.Controller) {
+		writeJSON(w, http.StatusBadRequest,
+			Response{Error: fmt.Sprintf("unknown controller %q (want one of %v)", req.Controller, Controllers())})
+		return
+	}
+	if req.Accesses == 0 {
+		req.Accesses = s.cfg.DefaultAccesses
+	}
+	if req.Accesses < 0 || req.Accesses > s.cfg.MaxAccesses {
+		writeJSON(w, http.StatusBadRequest,
+			Response{Error: fmt.Sprintf("accesses %d out of range [1,%d]", req.Accesses, s.cfg.MaxAccesses)})
+		return
+	}
+
+	t, err := s.admit(r.Context(), req)
+	if err != nil {
+		s.counter("service.requests.shed").Inc()
+		unavailable(w, err.Error())
+		return
+	}
+	select {
+	case <-t.done:
+		if t.status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		writeJSON(w, t.status, t.resp)
+	case <-r.Context().Done():
+		// Client gave up; cancel the task (the worker will observe the
+		// interrupt and wind down) but keep the connection contract.
+		t.cancel()
+		writeJSON(w, http.StatusGatewayTimeout, Response{Error: "client cancelled"})
+	}
+}
+
+// admit sequences the request into the bounded queue under the
+// admission lock, so queue FIFO order and telemetry commit order
+// agree. Shedding and draining surface as errors for the 503 path.
+func (s *Service) admit(parent context.Context, req Request) (*task, error) {
+	ctx, cancel := context.WithTimeout(parent, s.cfg.RequestTimeout)
+	t := &task{req: req, ctx: ctx, cancel: cancel, done: make(chan struct{})}
+
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.State() != Ready {
+		cancel()
+		s.stats.rejected.Add(1)
+		return nil, errors.New("service is draining")
+	}
+	t.seq = s.nextSeq
+	if err := s.queue.Offer(t); err != nil {
+		cancel()
+		if errors.Is(err, resilience.ErrShed) {
+			s.stats.shed.Add(1)
+			return nil, fmt.Errorf("queue full (%d deep): request shed", s.queue.Capacity())
+		}
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
+	s.nextSeq++
+	s.stats.admitted.Add(1)
+	s.counter("service.requests.admitted").Inc()
+	return t, nil
+}
+
+func validController(name string) bool {
+	for _, c := range Controllers() {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It stays 200 through draining — liveness is not readiness.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": s.State().String()})
+}
+
+// handleReadyz is the readiness probe: 200 only while the service is
+// admitting and the queue has headroom. Load balancers stop routing
+// here first, before the queue starts shedding.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	state := s.State()
+	switch {
+	case state != Ready:
+		unavailable(w, "not ready: "+state.String())
+	case s.queue.Saturated():
+		unavailable(w, "not ready: admission queue saturated")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ok",
+			"queue_depth": s.queue.Depth(),
+			"queue_cap":   s.queue.Capacity(),
+		})
+	}
+}
+
+// handleMetrics dumps the telemetry registry snapshot (when telemetry
+// is enabled) plus the service counters.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{"service": s.Stats()}
+	if reg := s.cfg.Telemetry.Registry(); reg != nil {
+		out["registry"] = reg.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStats dumps the service counters.
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleDrain starts a graceful drain in the background and returns
+// immediately; poll /healthz for state=stopped.
+func (s *Service) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout+10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}

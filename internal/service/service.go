@@ -1,0 +1,573 @@
+// Package service turns the batch reproduction into a long-running,
+// self-protecting prefetch-simulation server: a supervised engine that
+// owns a sim.Runner, accepts simulation requests over a JSON HTTP API,
+// and stays correct and available when dependencies misbehave under
+// sustained load.
+//
+// The resilience layout (see DESIGN.md §9):
+//
+//   - admission: a bounded resilience.Queue sheds the newest arrivals
+//     with 503 + Retry-After once full, and the readiness probe flips
+//     to unready while the queue is saturated;
+//   - execution: a pool of panic-recovering workers, restarted with
+//     backoff by the supervisor, each bounding its run with the
+//     request deadline (propagated through context into the
+//     simulator's interrupt flag) and watched by a wedge watchdog;
+//   - degradation: one circuit breaker per ensemble arm, fed by the
+//     controller's accuracy-masking signal (internal/core) — an arm
+//     that ends several consecutive runs masked is excluded from new
+//     ensembles until its breaker half-opens and a probe run clears
+//     it;
+//   - persistence: service counters are checkpointed periodically and
+//     on drain through internal/checkpoint's retrying atomic writes;
+//   - observability: every decision surfaces through the telemetry
+//     registry and the /metrics endpoint.
+//
+// On the happy path the resilience layer is observation-only: a
+// zero-fault soak produces telemetry window output byte-identical to
+// the equivalent batch sim.Runner invocation (pinned by
+// TestServiceHappyPathMatchesBatch).
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resemble/internal/checkpoint"
+	"resemble/internal/core"
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/resilience"
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+// Config parameterizes a Service. The zero value listens on an
+// ephemeral localhost port with sensible defaults.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Workers is the simulation worker count (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue (default 32).
+	QueueDepth int
+	// RequestTimeout bounds one simulation request end to end
+	// (default 60s). The deadline propagates into the simulator via
+	// its interrupt flag, so a timed-out run winds down instead of
+	// simulating on unobserved.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain (default 30s).
+	DrainTimeout time.Duration
+	// DefaultAccesses is the trace length when a request omits it
+	// (default 20000); MaxAccesses is the admission cap (default 500k).
+	DefaultAccesses int
+	MaxAccesses     int
+
+	// CheckpointPath enables service-state checkpoints (periodic and
+	// on drain); CheckpointEvery is the period (default 15s).
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+	// Resume restores the service counters from CheckpointPath at
+	// startup when the file exists.
+	Resume bool
+
+	// Telemetry, when non-nil, instruments every simulation (window
+	// snapshots, sampled events) and carries the service's registry
+	// metrics. Nil disables instrumentation; the service still tracks
+	// its own Stats.
+	Telemetry *telemetry.Collector
+	// SimConfig overrides the simulation configuration (nil = default).
+	SimConfig *sim.Config
+	// Breaker parameterizes the per-arm circuit breakers.
+	Breaker resilience.BreakerConfig
+	// DisableMasking turns off the controllers' accuracy masking (and
+	// with it the breaker feedback signal). Masking is on by default:
+	// it is the degradation signal the breakers key off.
+	DisableMasking bool
+	// ControllerConfig, when non-nil, overrides the ensemble controller
+	// configuration derived for a request (the default is the batch
+	// experiment configuration plus the robustness fault-matrix masking
+	// operating point). Tests and soak harnesses use it to shrink the
+	// masking windows so degradation trips quickly.
+	ControllerConfig func(Request) core.Config
+	// Traces overrides the trace cache (nil = trace.Shared()).
+	Traces *trace.Cache
+	// Chaos, when non-nil, injects faults into the serving path — see
+	// the Chaos type. Nil means no injection and no overhead.
+	Chaos *Chaos
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.DefaultAccesses <= 0 {
+		c.DefaultAccesses = 20000
+	}
+	if c.MaxAccesses <= 0 {
+		c.MaxAccesses = 500000
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 15 * time.Second
+	}
+	if c.Traces == nil {
+		c.Traces = trace.Shared()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ArmNames lists the ensemble input prefetchers the service builds,
+// in controller arm order — the breaker set is keyed by these names.
+func ArmNames() []string { return []string{"bo", "spp", "isb", "domino"} }
+
+// newArm constructs one input prefetcher by name.
+func newArm(name string) (prefetch.Prefetcher, error) {
+	switch name {
+	case "bo":
+		return bo.New(bo.Config{}), nil
+	case "spp":
+		return spp.New(spp.Config{}), nil
+	case "isb":
+		return isb.New(isb.Config{}), nil
+	case "domino":
+		return domino.New(domino.Config{}), nil
+	}
+	return nil, fmt.Errorf("service: unknown arm %q", name)
+}
+
+// Controllers lists the accepted request controllers: the ensemble
+// controllers, the individual arms, and "none" (baseline).
+func Controllers() []string {
+	return append([]string{"resemble", "resemble-t", "sbp-e", "none"}, ArmNames()...)
+}
+
+// maskProbe is the slice of the controller API the breaker feedback
+// uses; both core controllers implement it.
+type maskProbe interface {
+	ArmMasked(i int) bool
+	MaskedArms() int
+}
+
+// State is the service lifecycle position.
+type State int32
+
+// Lifecycle: Starting (constructed, not yet serving), Ready
+// (admitting), Draining (rejecting new work, finishing queued work),
+// Stopped (drained, final checkpoint written).
+const (
+	Starting State = iota
+	Ready
+	Draining
+	Stopped
+)
+
+func (s State) String() string {
+	switch s {
+	case Starting:
+		return "starting"
+	case Ready:
+		return "ready"
+	case Draining:
+		return "draining"
+	case Stopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// Service is the resilient prefetch-simulation daemon engine.
+type Service struct {
+	cfg    Config
+	runner *sim.Runner
+
+	state atomic.Int32
+
+	queue    *resilience.Queue[*task]
+	breakers map[string]*resilience.Breaker
+	budget   *resilience.Budget
+
+	ln  net.Listener
+	srv *http.Server
+
+	// admitMu serializes admission so queue order equals telemetry
+	// commit order.
+	admitMu sync.Mutex
+	nextSeq uint64
+	commits committer
+
+	workers  sync.WaitGroup // worker goroutines
+	loops    sync.WaitGroup // supervisor, watchdog, checkpoint loop
+	httpDone chan struct{}  // closed when the http server goroutine exits
+	stopCh   chan struct{}  // closed on drain to stop the background loops
+
+	busy []workerStatus // per-worker heartbeat slots
+
+	stats serviceCounters
+
+	drainOnce sync.Once
+	drainErr  error
+	drained   chan struct{} // closed when drain completes
+
+	// metric handles (nil-safe when telemetry is off)
+	mQueueDepth *telemetry.Gauge
+	mBreaker    map[string]*telemetry.Gauge
+}
+
+// serviceCounters is the service's own always-on accounting (the
+// telemetry registry mirrors it when instrumentation is enabled).
+type serviceCounters struct {
+	admitted, completed, shed, rejected atomic.Uint64
+	failed, timedOut                    atomic.Uint64
+	panics, restarts, wedged            atomic.Uint64
+	ckpWrites, ckpRetries, ckpFailures  atomic.Uint64
+	maskedRuns                          atomic.Uint64
+}
+
+// workerStatus is one worker's heartbeat slot for the watchdog.
+type workerStatus struct {
+	busySince atomic.Int64 // unix nanos; 0 = idle
+	reported  atomic.Bool  // wedge already counted for this task
+	label     atomic.Value // string: request being served
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	State         string            `json:"state"`
+	QueueDepth    int               `json:"queue_depth"`
+	QueueCapacity int               `json:"queue_capacity"`
+	Admitted      uint64            `json:"requests_admitted"`
+	Completed     uint64            `json:"requests_completed"`
+	Shed          uint64            `json:"requests_shed"`
+	Rejected      uint64            `json:"requests_rejected"`
+	Failed        uint64            `json:"requests_failed"`
+	TimedOut      uint64            `json:"requests_timed_out"`
+	Panics        uint64            `json:"worker_panics"`
+	Restarts      uint64            `json:"worker_restarts"`
+	Wedged        uint64            `json:"tasks_wedged"`
+	MaskedRuns    uint64            `json:"runs_with_masked_arms"`
+	CkpWrites     uint64            `json:"checkpoint_writes"`
+	CkpRetries    uint64            `json:"checkpoint_retries"`
+	CkpFailures   uint64            `json:"checkpoint_failures"`
+	Breakers      map[string]string `json:"breakers"`
+	BreakerTrips  map[string]uint64 `json:"breaker_trips"`
+}
+
+// New validates the configuration and builds a stopped service; Start
+// makes it listen and admit.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	simCfg := sim.DefaultConfig()
+	if cfg.SimConfig != nil {
+		simCfg = *cfg.SimConfig
+	}
+	s := &Service{
+		cfg:      cfg,
+		breakers: make(map[string]*resilience.Breaker),
+		budget:   &resilience.Budget{Capacity: 10, Ratio: 0.1},
+		httpDone: make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		drained:  make(chan struct{}),
+		busy:     make([]workerStatus, cfg.Workers),
+		mBreaker: make(map[string]*telemetry.Gauge),
+	}
+	s.runner = sim.NewRunner(simCfg, sim.WithTelemetry(cfg.Telemetry))
+	reg := cfg.Telemetry.Registry()
+	s.mQueueDepth = reg.Gauge("service.queue.depth")
+	for _, arm := range ArmNames() {
+		arm := arm
+		bcfg := cfg.Breaker
+		gauge := reg.Gauge("service.breaker.state." + arm)
+		s.mBreaker[arm] = gauge
+		trips := reg.Counter("service.breaker.trips." + arm)
+		prev := bcfg.OnTransition
+		bcfg.OnTransition = func(from, to resilience.BreakerState) {
+			gauge.Set(float64(to))
+			if to == resilience.Open {
+				trips.Inc()
+			}
+			s.cfg.Logf("service: breaker %s: %s -> %s", arm, from, to)
+			if prev != nil {
+				prev(from, to)
+			}
+		}
+		s.breakers[arm] = resilience.NewBreaker(bcfg)
+	}
+	s.queue = resilience.NewQueue[*task](cfg.QueueDepth, func(depth, capacity int) {
+		s.mQueueDepth.Set(float64(depth))
+	})
+	s.commits.parent = cfg.Telemetry
+	s.commits.parked = make(map[uint64]*telemetry.Collector)
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		if err := s.loadCheckpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Service) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// State returns the lifecycle position.
+func (s *Service) State() State { return State(s.state.Load()) }
+
+// Breaker returns the named arm's breaker (nil when unknown) — used
+// by the in-process soak assertions.
+func (s *Service) Breaker(arm string) *resilience.Breaker { return s.breakers[arm] }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		State:         s.State().String(),
+		QueueDepth:    s.queue.Depth(),
+		QueueCapacity: s.queue.Capacity(),
+		Admitted:      s.stats.admitted.Load(),
+		Completed:     s.stats.completed.Load(),
+		Shed:          s.stats.shed.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Failed:        s.stats.failed.Load(),
+		TimedOut:      s.stats.timedOut.Load(),
+		Panics:        s.stats.panics.Load(),
+		Restarts:      s.stats.restarts.Load(),
+		Wedged:        s.stats.wedged.Load(),
+		MaskedRuns:    s.stats.maskedRuns.Load(),
+		CkpWrites:     s.stats.ckpWrites.Load(),
+		CkpRetries:    s.stats.ckpRetries.Load(),
+		CkpFailures:   s.stats.ckpFailures.Load(),
+		Breakers:      map[string]string{},
+		BreakerTrips:  map[string]uint64{},
+	}
+	for name, b := range s.breakers {
+		st.Breakers[name] = b.State().String()
+		st.BreakerTrips[name] = b.Trips()
+	}
+	return st
+}
+
+// Start binds the listener and launches the workers, the supervisor
+// loops and the HTTP server. It returns once the service is ready.
+func (s *Service) Start() error {
+	if !s.state.CompareAndSwap(int32(Starting), int32(Ready)) {
+		return fmt.Errorf("service: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		defer close(s.httpDone)
+		// http.ErrServerClosed is the normal shutdown path.
+		if serr := s.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			s.cfg.Logf("service: http server: %v", serr)
+		}
+	}()
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.startWorker(i)
+	}
+	s.loops.Add(1)
+	go s.watchdog()
+	if s.cfg.CheckpointPath != "" {
+		s.loops.Add(1)
+		go s.checkpointLoop()
+	}
+	s.cfg.Logf("service: ready on %s (%d workers, queue %d)",
+		s.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
+	return nil
+}
+
+// Drain gracefully stops the service: admission closes (new requests
+// get 503 + Retry-After), queued and in-flight work completes, the
+// background loops stop, a final checkpoint is written, and the HTTP
+// server shuts down. Idempotent; every caller gets the same result.
+func (s *Service) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.state.Store(int32(Draining))
+		s.cfg.Logf("service: draining (queue depth %d)", s.queue.Depth())
+		s.queue.Close()
+		close(s.stopCh)
+
+		done := make(chan struct{})
+		go func() {
+			s.workers.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.drainErr = fmt.Errorf("service: drain aborted: %w", ctx.Err())
+		case <-time.After(s.cfg.DrainTimeout):
+			s.drainErr = fmt.Errorf("service: drain timed out after %s", s.cfg.DrainTimeout)
+		}
+		s.loops.Wait()
+
+		if s.cfg.CheckpointPath != "" {
+			if err := s.writeCheckpoint(ctx); err != nil {
+				s.cfg.Logf("service: final checkpoint: %v", err)
+				if s.drainErr == nil {
+					s.drainErr = err
+				}
+			}
+		}
+		if s.srv != nil {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := s.srv.Shutdown(shutCtx); err != nil && s.drainErr == nil {
+				s.drainErr = fmt.Errorf("service: http shutdown: %w", err)
+			}
+			<-s.httpDone
+		}
+		s.state.Store(int32(Stopped))
+		s.cfg.Logf("service: stopped (served %d, shed %d, failed %d)",
+			s.stats.completed.Load(), s.stats.shed.Load(), s.stats.failed.Load())
+		close(s.drained)
+	})
+	<-s.drained
+	return s.drainErr
+}
+
+// Close drains with the configured drain timeout.
+func (s *Service) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout+10*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// Drained reports whether the service has fully stopped.
+func (s *Service) Drained() <-chan struct{} { return s.drained }
+
+// counter returns a registry counter handle (nil-safe when telemetry
+// is disabled).
+func (s *Service) counter(name string) *telemetry.Counter {
+	return s.cfg.Telemetry.Registry().Counter(name)
+}
+
+// checkpointLoop periodically persists the service counters.
+func (s *Service) checkpointLoop() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CheckpointEvery)
+			if err := s.writeCheckpoint(ctx); err != nil {
+				s.cfg.Logf("service: periodic checkpoint: %v", err)
+			}
+			cancel()
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// serviceState is the gob mirror of the persisted counters.
+type serviceState struct {
+	Admitted, Completed, Shed, Rejected uint64
+	Failed, TimedOut                    uint64
+	Panics, Restarts, Wedged            uint64
+	BreakerTrips                        map[string]uint64
+}
+
+// writeCheckpoint persists the counters through the retrying atomic
+// writer; injected checkpoint faults (Chaos.CheckpointFailures) are
+// ridden out by the retry policy and surface in the retry counters.
+func (s *Service) writeCheckpoint(ctx context.Context) error {
+	b := checkpoint.NewBuilder()
+	st := serviceState{
+		Admitted:     s.stats.admitted.Load(),
+		Completed:    s.stats.completed.Load(),
+		Shed:         s.stats.shed.Load(),
+		Rejected:     s.stats.rejected.Load(),
+		Failed:       s.stats.failed.Load(),
+		TimedOut:     s.stats.timedOut.Load(),
+		Panics:       s.stats.panics.Load(),
+		Restarts:     s.stats.restarts.Load(),
+		Wedged:       s.stats.wedged.Load(),
+		BreakerTrips: map[string]uint64{},
+	}
+	for name, br := range s.breakers {
+		st.BreakerTrips[name] = br.Trips()
+	}
+	if err := b.Add("service", func(w io.Writer) error { return writeGob(w, st) }); err != nil {
+		return err
+	}
+	pol := checkpoint.DefaultWriteRetry()
+	pol.Budget = s.budget
+	pol.OnRetry = func(attempt int, d time.Duration, err error) {
+		s.stats.ckpRetries.Add(1)
+		s.counter("service.checkpoint.retries").Inc()
+		s.cfg.Logf("service: checkpoint write attempt %d failed (%v); retrying in %s", attempt, err, d)
+	}
+	var wrap func(io.Writer) io.Writer
+	if s.cfg.Chaos != nil {
+		wrap = s.cfg.Chaos.wrapCheckpointWriter
+	}
+	err := b.WriteFileRetry(ctx, s.cfg.CheckpointPath, pol, wrap)
+	if err != nil {
+		s.stats.ckpFailures.Add(1)
+		s.counter("service.checkpoint.failures").Inc()
+		return err
+	}
+	s.stats.ckpWrites.Add(1)
+	s.counter("service.checkpoint.writes").Inc()
+	return nil
+}
+
+// loadCheckpoint restores persisted counters at startup (Resume).
+func (s *Service) loadCheckpoint() error {
+	f, err := checkpoint.ReadFile(s.cfg.CheckpointPath)
+	if err != nil {
+		return fmt.Errorf("service: resume: %w", err)
+	}
+	var st serviceState
+	if err := f.Load("service", func(r io.Reader) error { return readGob(r, &st) }); err != nil {
+		return fmt.Errorf("service: resume: %w", err)
+	}
+	s.stats.admitted.Store(st.Admitted)
+	s.stats.completed.Store(st.Completed)
+	s.stats.shed.Store(st.Shed)
+	s.stats.rejected.Store(st.Rejected)
+	s.stats.failed.Store(st.Failed)
+	s.stats.timedOut.Store(st.TimedOut)
+	s.stats.panics.Store(st.Panics)
+	s.stats.restarts.Store(st.Restarts)
+	s.stats.wedged.Store(st.Wedged)
+	// Breakers restart closed: the masking signal re-learns the state
+	// of the world faster than a stale open/half-open snapshot would.
+	return nil
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -146,7 +147,11 @@ func (s *Simulator) writeCheckpoint(path string, tr *trace.Trace, src Source, na
 			return err
 		}
 	}
-	return b.WriteFile(path)
+	// Transient write failures (a full disk racing a cleanup, flaky
+	// network filesystems) are retried with backoff; each attempt is
+	// atomic, so the previous good checkpoint survives until a write
+	// fully lands.
+	return b.WriteFileRetry(context.Background(), path, checkpoint.DefaultWriteRetry(), nil)
 }
 
 // loadCheckpoint restores the run state from path, validating that the

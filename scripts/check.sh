@@ -23,6 +23,9 @@ go test -race ./internal/telemetry/... ./internal/sim/...
 echo "== go test -race (parallel engine, trace cache) =="
 go test -race -short ./internal/experiments/... ./internal/trace/...
 
+echo "== go test -race (resilience, service) =="
+go test -race ./internal/resilience/... ./internal/service/...
+
 echo "== go test -race (fault tolerance) =="
 go test -race -run 'Fault|Masking|Resume|Checkpoint' \
     ./internal/checkpoint/... ./internal/faults/... ./internal/experiments/...
@@ -32,6 +35,9 @@ go test -run xxx -bench BenchmarkMatrixPool -benchtime 1x ./internal/experiments
 
 echo "== go test (fuzz corpus) =="
 go test -run Fuzz ./...
+
+echo "== soak smoke (resembled chaos/soak harness) =="
+go run ./cmd/resembled -soak
 
 echo "== go test ./... =="
 go test ./...
