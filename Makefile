@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: build test check bench fmt fault-matrix suite soak
+.PHONY: build test check bench bench-track fmt fault-matrix suite soak
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ check:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkTelemetryOverhead' ./internal/telemetry/
 	$(GO) test -run xxx -bench 'BenchmarkSimulator' -benchtime 30x .
+
+# Benchmark-regression tracker: runs the pinned benchmark set, records
+# BENCH_5.json with an environment manifest, and fails on a >15%
+# regression against the newest prior BENCH_*.json (see DESIGN.md §10).
+bench-track:
+	$(GO) run ./cmd/bench -out BENCH_5.json
 
 fmt:
 	gofmt -w .

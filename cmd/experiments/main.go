@@ -37,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +66,8 @@ func run() (err error) {
 		telDir      = flag.String("telemetry", "", "write manifest, window snapshots, metrics and a sampled trace to this directory")
 		traceOut    = flag.String("trace-out", "", "sampled event trace path (default <telemetry>/trace.jsonl; .csv switches format)")
 		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
+		chromeOut   = flag.String("trace-chrome", "", "write the span trace as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		logLevel    = flag.String("log-level", "", "structured suite logging on stderr (debug|info|warn|error; empty disables)")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
 		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
 		jobs        = flag.Int("jobs", 0, "concurrent simulations per experiment (0 = all CPUs, 1 = serial); results are identical at every level")
@@ -76,6 +79,11 @@ func run() (err error) {
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+
+	logger, lerr := suiteLogger(*logLevel)
+	if lerr != nil {
+		return lerr
+	}
 
 	if *resume && *ckpPath == "" {
 		return errors.New("-resume requires -checkpoint")
@@ -99,11 +107,12 @@ func run() (err error) {
 		defer p.Finish()
 	}
 
-	if *telDir != "" || *traceOut != "" {
+	if *telDir != "" || *traceOut != "" || *chromeOut != "" {
 		tel, terr := telemetry.New(telemetry.Config{
 			Dir:         *telDir,
 			TraceOut:    *traceOut,
 			TraceSample: *traceSample,
+			ChromeOut:   *chromeOut,
 		})
 		if terr != nil {
 			return terr
@@ -219,17 +228,21 @@ func run() (err error) {
 			if err := checkInterrupt(); err != nil {
 				return err
 			}
+			logger.Info("experiment start", "exp", id, "safe", true)
 			r := experiments.RunSafe(id, opt, *timeout)
 			if r.Failed() {
 				failed++
 				if summary := r.ProgressSummary(); r.TimedOut && summary != "" {
+					logger.Error("experiment timed out", "exp", r.ID, "dur", r.Duration, "progress", summary)
 					fmt.Printf("-- %s TIMED OUT after %s: %s --\n\n",
 						r.ID, r.Duration.Round(time.Millisecond), summary)
 				} else {
+					logger.Error("experiment failed", "exp", r.ID, "dur", r.Duration, "err", r.Err)
 					fmt.Printf("-- %s FAILED after %s: %v --\n\n", r.ID, r.Duration.Round(time.Millisecond), r.Err)
 				}
 				continue
 			}
+			logger.Info("experiment done", "exp", r.ID, "dur", r.Duration)
 			fmt.Printf("-- %s done in %s --\n\n", r.ID, r.Duration.Round(time.Millisecond))
 			if err := record(id); err != nil {
 				return err
@@ -249,16 +262,34 @@ func run() (err error) {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q; use -list", id)
 		}
+		logger.Info("experiment start", "exp", id)
 		start := time.Now()
 		if rerr := runExp(opt); rerr != nil {
+			logger.Error("experiment failed", "exp", id, "dur", time.Since(start), "err", rerr)
 			return fmt.Errorf("experiment %s failed: %w", id, rerr)
 		}
+		logger.Info("experiment done", "exp", id, "dur", time.Since(start))
 		fmt.Printf("-- %s done in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
 		if err := record(id); err != nil {
 			return err
 		}
 	}
 	return finish()
+}
+
+// suiteLogger builds the structured suite logger: a text slog handler
+// on stderr at the requested level, or a discard logger when level is
+// empty. Experiment lifecycle records carry an "exp" attr so they
+// correlate with telemetry span tracks and window labels.
+func suiteLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug|info|warn|error", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 // dedupeSweep collapses fig8/fig9/fig10 (one shared sweep) to a single

@@ -145,6 +145,9 @@ func run() (err error) {
 		telDir      = flag.String("telemetry", "", "write manifest, window snapshots, metrics and a sampled trace to this directory")
 		traceOut    = flag.String("trace-out", "", "sampled event trace path (default <telemetry>/trace.jsonl; .csv switches format)")
 		traceSample = flag.Int("trace-sample", 64, "event trace sampling: keep 1 in N (0 disables)")
+		chromeOut   = flag.String("trace-chrome", "", "write the span trace as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+		explainOut  = flag.String("explain", "", "write sampled RL decision records (state, Q-values, epsilon, chosen arm, reward) as JSONL to this file")
+		explainN    = flag.Int("explain-sample", 32, "decision explainability sampling: keep 1 in N (with -explain or -telemetry)")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof and heap.pprof to this directory")
 		pprofHTTP   = flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. :6060)")
 		saveModel   = flag.String("save", "", "save the trained model (resemble / resemble-t) to this file")
@@ -183,11 +186,19 @@ func run() (err error) {
 	// artifact sinks (-pref/-rewards reconstruct their formats from the
 	// telemetry streams).
 	var tel *telemetry.Collector
-	if *telDir != "" || *traceOut != "" || *prefOut != "" || *rewardOut != "" {
+	if *telDir != "" || *traceOut != "" || *prefOut != "" || *rewardOut != "" ||
+		*chromeOut != "" || *explainOut != "" {
+		sample := 0
+		if *explainOut != "" || *telDir != "" {
+			sample = *explainN
+		}
 		tel, err = telemetry.New(telemetry.Config{
-			Dir:         *telDir,
-			TraceOut:    *traceOut,
-			TraceSample: *traceSample,
+			Dir:           *telDir,
+			TraceOut:      *traceOut,
+			TraceSample:   *traceSample,
+			ChromeOut:     *chromeOut,
+			ExplainOut:    *explainOut,
+			ExplainSample: sample,
 		})
 		if err != nil {
 			return err

@@ -28,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,25 +50,38 @@ func main() {
 		resume     = flag.Bool("resume", false, "restore service counters from -checkpoint")
 		accesses   = flag.Int("accesses", 20000, "default trace length per request")
 		telDir     = flag.String("telemetry", "", "telemetry output directory (empty = off)")
+		chromeOut  = flag.String("trace-chrome", "", "write the span trace as Chrome trace-event JSON (chrome://tracing, Perfetto) to this file on exit")
+		explainN   = flag.Int("explain-sample", 32, "RL decision explainability: record 1 in N decisions for /v1/explain (0 disables)")
+		logLevel   = flag.String("log-level", "info", "structured request/lifecycle logging on stderr (debug|info|warn|error; empty disables)")
 		soak       = flag.Bool("soak", false, "run the chaos/soak harness instead of serving")
 		soakFor    = flag.Duration("soak.duration", 10*time.Second, "approximate soak length")
 		soakAccess = flag.Int("soak.accesses", 4000, "trace length per soak request")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *soak {
 		os.Exit(runSoak(soakConfig{
-			duration: *soakFor,
-			accesses: *soakAccess,
-			workers:  *workers,
-			logf:     logf,
+			duration:  *soakFor,
+			accesses:  *soakAccess,
+			workers:   *workers,
+			chromeOut: *chromeOut,
+			logf:      logf,
 		}))
 	}
 
 	var tel *telemetry.Collector
-	if *telDir != "" {
-		var err error
-		tel, err = telemetry.New(telemetry.Config{Dir: *telDir})
+	if *telDir != "" || *chromeOut != "" || *explainN > 0 {
+		tel, err = telemetry.New(telemetry.Config{
+			Dir:           *telDir,
+			ChromeOut:     *chromeOut,
+			ExplainSample: *explainN,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
 			os.Exit(1)
@@ -85,7 +99,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		Resume:          *resume,
 		Telemetry:       tel,
-		Logf:            logf,
+		Logger:          logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
@@ -127,4 +141,19 @@ func main() {
 
 func logf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// buildLogger constructs the daemon's structured logger: a text slog
+// handler on stderr at the requested level, or a discard logger when
+// level is empty. The service tags every request record with its seq
+// and root span ID, correlating logs with the span trace.
+func buildLogger(level string) (*slog.Logger, error) {
+	if level == "" {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug|info|warn|error", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }

@@ -22,10 +22,11 @@ import (
 )
 
 type soakConfig struct {
-	duration time.Duration
-	accesses int
-	workers  int
-	logf     func(string, ...any)
+	duration  time.Duration
+	accesses  int
+	workers   int
+	chromeOut string // write + self-validate a Chrome trace from phase 1
+	logf      func(string, ...any)
 }
 
 // soak drives the phases and accumulates assertion failures.
@@ -95,7 +96,7 @@ func (k *soak) post(addr string, req service.Request) (int, string, service.Resp
 // executing the same requests serially.
 func (k *soak) phaseEquivalence() {
 	k.cfg.logf("soak: phase 1: zero-fault batch equivalence")
-	tel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true, ChromeOut: k.cfg.chromeOut})
 	if err != nil {
 		k.failf("telemetry: %v", err)
 		return
@@ -174,8 +175,43 @@ func (k *soak) phaseEquivalence() {
 		k.failf("service windows diverge from batch (%d vs %d windows)",
 			len(tel.Windows()), len(batchTel.Windows()))
 	default:
-		k.passf("windows byte-identical to batch (%d windows)", len(tel.Windows()))
+		k.passf("windows byte-identical to batch with spans enabled (%d windows)", len(tel.Windows()))
 	}
+
+	// Closing the collector flushes the span trace; with -trace-chrome
+	// the harness validates its own output end-to-end.
+	if err := tel.Close(); err != nil {
+		k.failf("telemetry close: %v", err)
+	}
+	if k.cfg.chromeOut != "" {
+		if err := telemetry.ValidateChromeTraceFile(k.cfg.chromeOut); err != nil {
+			k.failf("chrome trace %s invalid: %v", k.cfg.chromeOut, err)
+		} else {
+			k.passf("chrome trace written and validated (%s)", k.cfg.chromeOut)
+		}
+	}
+}
+
+// scrapeReady fetches /metrics, asserts the exposition parses against
+// the OpenMetrics grammar, and returns the service_ready gauge value.
+func (k *soak) scrapeReady(addr string) (float64, bool) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	samples, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		k.failf("/metrics exposition invalid: %v", err)
+		return 0, false
+	}
+	for _, smp := range samples {
+		if smp.Name == "service_ready" {
+			return smp.Value, true
+		}
+	}
+	k.failf("/metrics has no service_ready gauge")
+	return 0, false
 }
 
 // phaseChaosAndRecovery runs the fault window — stuck arm, failing
@@ -197,9 +233,15 @@ func (k *soak) phaseChaosAndRecovery() {
 		FaultSeed:          97,
 		CheckpointFailures: 2,
 	}
+	chaosTel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		k.failf("chaos telemetry: %v", err)
+		return
+	}
 	s, err := service.New(service.Config{
 		Workers:    1,
 		QueueDepth: 2,
+		Telemetry:  chaosTel,
 		// Periodic checkpoints tick inside the chaos window so the
 		// injected write failures actually hit the retry pipeline.
 		CheckpointPath:  ckpt,
@@ -229,6 +271,12 @@ func (k *soak) phaseChaosAndRecovery() {
 	if err := s.Start(); err != nil {
 		k.failf("chaos service.Start: %v", err)
 		return
+	}
+
+	// The ready gauge on /metrics starts at 1; the overload window below
+	// must drag it to 0 and recovery must restore it.
+	if v, ok := k.scrapeReady(s.Addr()); ok && v != 1 {
+		k.failf("service_ready gauge = %v at start, want 1", v)
 	}
 
 	// Stuck arm: consecutive masked runs must trip BO's breaker.
@@ -284,12 +332,16 @@ func (k *soak) phaseChaosAndRecovery() {
 		}()
 	}
 	sawUnready := false
-	for j := 0; j < 100 && !sawUnready; j++ {
+	sawGaugeZero := false
+	for j := 0; j < 100 && !(sawUnready && sawGaugeZero); j++ {
 		if resp, err := http.Get("http://" + s.Addr() + "/readyz"); err == nil {
 			if resp.StatusCode == http.StatusServiceUnavailable {
 				sawUnready = true
 			}
 			resp.Body.Close()
+		}
+		if v, ok := k.scrapeReady(s.Addr()); ok && v == 0 {
+			sawGaugeZero = true
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -303,6 +355,11 @@ func (k *soak) phaseChaosAndRecovery() {
 		k.failf("/readyz never flipped to 503 under saturation")
 	} else {
 		k.passf("/readyz flipped to 503 under saturation")
+	}
+	if !sawGaugeZero {
+		k.failf("service_ready gauge never dropped to 0 under saturation")
+	} else {
+		k.passf("service_ready gauge dropped to 0 under saturation")
 	}
 
 	// Recovery: chaos off, breaker half-opens, a clean probe closes it,
@@ -325,6 +382,11 @@ func (k *soak) phaseChaosAndRecovery() {
 		k.failf("/readyz did not recover after chaos stopped")
 	} else {
 		k.passf("/readyz recovered")
+	}
+	if v, ok := k.scrapeReady(s.Addr()); ok && v != 1 {
+		k.failf("service_ready gauge = %v after recovery, want 1", v)
+	} else if ok {
+		k.passf("service_ready gauge back to 1 after recovery")
 	}
 	status, _, out := k.post(s.Addr(), ensemble)
 	if status != http.StatusOK {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -29,8 +30,14 @@ func main() {
 		inspect  = flag.String("inspect", "", "print statistics of a binary trace file")
 		autocorr = flag.Bool("autocorr", false, "also print autocorrelation (lags 1..16)")
 		list     = flag.Bool("workloads", false, "list workloads and exit")
+		verbose  = flag.Bool("v", false, "structured generation log on stderr")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.DiscardHandler)
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	switch {
 	case *list:
@@ -51,6 +58,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		logger.Info("generating trace", "workload", w.Name, "accesses", *n, "seed", w.Seed+*seed)
 		tr := w.GenerateSeeded(*n, w.Seed+*seed)
 		if *out == "" {
 			if *text {

@@ -75,6 +75,11 @@ type Controller struct {
 	// Graceful degradation: persistently useless arms are masked out of
 	// selection (no-op unless cfg.MaskFloor > 0).
 	mask armMask
+
+	// Explainability: decisions sampled by the collector wait here until
+	// the reward window resolves them (bounded by the window size).
+	explainPending map[int]*telemetry.Decision
+	explainNames   []string
 }
 
 // AttachTelemetry implements telemetry.Attachable: the controller
@@ -165,6 +170,8 @@ func (c *Controller) initModel() {
 	c.armUseless = make([]uint64, c.NumActions())
 	c.qWindow = c.qWindow[:0]
 	c.mask = newArmMask(c.cfg, c.NumActions())
+	c.explainPending = nil
+	c.explainNames = nil
 }
 
 // MaskedArms reports how many input prefetchers are currently masked
@@ -247,14 +254,20 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// excluded from both branches.
 	c.mask.tick(c.armUseful, c.armUseless)
 	var action int
+	var q []float64
+	explored := false
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
+		explored = true
 		action = c.mask.explore(c.rng, c.NumActions())
 	} else {
-		q := c.target.Forward(c.state)
+		q = c.target.Forward(c.state)
 		if c.qPending {
 			c.qWindow = append(c.qWindow, q...)
 		}
 		action = c.argmaxValid(q)
+	}
+	if c.tel.ExplainTick() {
+		c.explain(seq, action, explored, q)
 	}
 
 	// Execute (Alg 1 lines 15–20). Selecting an invalid (padded)
@@ -346,6 +359,55 @@ func (c *Controller) recordReward(seq int, r float64) {
 	if c.tel != nil && r != 0 {
 		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindReward, Reward: r})
 	}
+	if d, ok := c.explainPending[seq]; ok {
+		delete(c.explainPending, seq)
+		d.Reward = r
+		d.Resolved = true
+		c.tel.RecordDecision(*d)
+	}
+}
+
+// explain registers a sampled decision record for seq; recordReward
+// emits it once the reward window resolves the decision. q is the
+// Q-vector the selection used, or nil on the exploration branch (the
+// record recomputes it — the target net's Forward is side-effect-free
+// for training).
+func (c *Controller) explain(seq, action int, explored bool, q []float64) {
+	if q == nil {
+		q = c.target.Forward(c.state)
+	}
+	d := &telemetry.Decision{
+		Seq:        uint64(seq),
+		Epsilon:    c.cfg.epsilon(seq),
+		Explored:   explored,
+		State:      append([]float64(nil), c.state...),
+		Q:          append([]float64(nil), q...),
+		Action:     action,
+		ActionName: c.actionName(action),
+	}
+	if c.mask.anyMasked() {
+		for i := 0; i < c.NumActions(); i++ {
+			if c.mask.isMasked(i) {
+				d.MaskedArms = append(d.MaskedArms, c.actionName(i))
+			}
+		}
+	}
+	if c.explainPending == nil {
+		c.explainPending = map[int]*telemetry.Decision{}
+	}
+	c.explainPending[seq] = d
+}
+
+// actionName resolves one action index to its display name, caching
+// the ActionNames slice (stable for the controller's lifetime).
+func (c *Controller) actionName(i int) string {
+	if c.explainNames == nil {
+		c.explainNames = c.ActionNames()
+	}
+	if i < 0 || i >= len(c.explainNames) {
+		return "?"
+	}
+	return c.explainNames[i]
 }
 
 func (c *Controller) recordAction(seq, a int) {

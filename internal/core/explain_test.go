@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"resemble/internal/mem"
+	"resemble/internal/prefetch"
+	"resemble/internal/telemetry"
+)
+
+// explainDrive attaches a sample-every-decision collector, drives the
+// controller, and returns the emitted decision records.
+func explainDrive(t *testing.T, ctrl interface {
+	OnAccess(prefetch.AccessContext) []mem.Line
+	RewardSeries() []float64
+	ActionSeries() []int8
+	AttachTelemetry(*telemetry.Collector)
+}, steps int) []telemetry.Decision {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{ExplainSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AttachTelemetry(tel)
+	driveLoop(t, ctrl, makeLoop(64), steps)
+	return tel.Decisions()
+}
+
+// checkDecisions pins the explainability contract: every record's
+// chosen arm matches the action the controller actually recorded at
+// that decision seq, the Q vector covers the action space, and only
+// resolved (rewarded) decisions are emitted.
+func checkDecisions(t *testing.T, ds []telemetry.Decision, acts []int8, names []string, steps int) {
+	t.Helper()
+	if len(ds) == 0 {
+		t.Fatal("no decisions recorded at ExplainSample=1")
+	}
+	// Rewards resolve one access later; at most the last in-flight
+	// decisions may still be pending when the run stops.
+	if len(ds) < steps-8 {
+		t.Errorf("recorded %d decisions over %d steps; sampling every decision should capture nearly all", len(ds), steps)
+	}
+	for _, d := range ds {
+		if d.Seq >= uint64(len(acts)) {
+			t.Fatalf("decision seq %d outside action series (len %d)", d.Seq, len(acts))
+		}
+		if got, want := d.Action, int(acts[d.Seq]); got != want {
+			t.Errorf("decision %d: recorded action %d, controller acted %d", d.Seq, got, want)
+		}
+		if d.Action < 0 || d.Action >= len(names) {
+			t.Fatalf("decision %d: action %d outside arm space %v", d.Seq, d.Action, names)
+		}
+		if d.ActionName != names[d.Action] {
+			t.Errorf("decision %d: action name %q, want %q", d.Seq, d.ActionName, names[d.Action])
+		}
+		if len(d.Q) != len(names) {
+			t.Errorf("decision %d: %d Q-values for %d arms", d.Seq, len(d.Q), len(names))
+		}
+		if d.Epsilon < 0 || d.Epsilon > 1 {
+			t.Errorf("decision %d: epsilon %v outside [0,1]", d.Seq, d.Epsilon)
+		}
+		if !d.Resolved {
+			t.Errorf("decision %d emitted without a resolved reward", d.Seq)
+		}
+	}
+}
+
+func TestDQNExplainDecisions(t *testing.T) {
+	seq := makeLoop(64)
+	c := NewController(testConfig(), []prefetch.Prefetcher{
+		garbage("g1", true),
+		oracle("oracle", false, seq),
+	})
+	const steps = 2000
+	ds := explainDrive(t, c, steps)
+	checkDecisions(t, ds, c.ActionSeries(), c.ActionNames(), steps)
+	// The DQN view must carry the state features it acted on.
+	for _, d := range ds {
+		if len(d.State) == 0 {
+			t.Fatalf("decision %d: DQN record has no state vector", d.Seq)
+		}
+	}
+}
+
+func TestTabularExplainDecisions(t *testing.T) {
+	seq := makeLoop(64)
+	c := NewTabularController(testConfig(), []prefetch.Prefetcher{
+		garbage("g1", true),
+		oracle("oracle", false, seq),
+	})
+	const steps = 2000
+	ds := explainDrive(t, c, steps)
+	checkDecisions(t, ds, c.ActionSeries(), c.ActionNames(), steps)
+}
+
+// TestExplainSamplingRate: 1-in-N sampling must emit ~steps/N records,
+// deterministically.
+func TestExplainSamplingRate(t *testing.T) {
+	seq := makeLoop(64)
+	run := func() int {
+		c := NewTabularController(testConfig(), []prefetch.Prefetcher{garbage("g1", true), oracle("oracle", false, seq)})
+		tel, err := telemetry.New(telemetry.Config{ExplainSample: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AttachTelemetry(tel)
+		driveLoop(t, c, seq, 2000)
+		return len(tel.Decisions())
+	}
+	n1, n2 := run(), run()
+	if n1 != n2 {
+		t.Errorf("sampled decision counts differ across identical runs: %d vs %d", n1, n2)
+	}
+	if n1 < 2000/64-2 || n1 > 2000/64+2 {
+		t.Errorf("1-in-64 sampling over 2000 steps emitted %d records, want ~%d", n1, 2000/64)
+	}
+}
+
+// TestExplainDisabled: with sampling off no records accumulate.
+func TestExplainDisabled(t *testing.T) {
+	seq := makeLoop(64)
+	c := NewController(testConfig(), []prefetch.Prefetcher{garbage("g1", true)})
+	tel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachTelemetry(tel)
+	driveLoop(t, c, seq, 500)
+	if n := len(tel.Decisions()); n != 0 {
+		t.Errorf("explain disabled but %d decisions recorded", n)
+	}
+}

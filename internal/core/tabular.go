@@ -59,6 +59,11 @@ type TabularController struct {
 	// Graceful degradation: persistently useless arms are masked out of
 	// selection (no-op unless cfg.MaskFloor > 0).
 	mask armMask
+
+	// Explainability: decisions sampled by the collector wait here until
+	// the reward window resolves them (bounded by the window size).
+	explainPending map[int]*telemetry.Decision
+	explainNames   []string
 }
 
 // AttachTelemetry implements telemetry.Attachable.
@@ -142,6 +147,8 @@ func (c *TabularController) initModel() {
 	c.armUseless = make([]uint64, c.NumActions())
 	c.qWindow = c.qWindow[:0]
 	c.mask = newArmMask(c.cfg, c.NumActions())
+	c.explainPending = nil
+	c.explainNames = nil
 }
 
 // MaskedArms reports how many input prefetchers are currently masked
@@ -229,13 +236,18 @@ func (c *TabularController) OnAccess(a prefetch.AccessContext) []mem.Line {
 	// MLP variant naturally alternates through approximation noise).
 	c.mask.tick(c.armUseful, c.armUseless)
 	var action int
+	explored := false
 	if c.rng.Float64() < c.cfg.epsilon(seq) {
+		explored = true
 		action = c.mask.explore(c.rng, c.NumActions())
 	} else {
 		if c.qPending {
 			c.qWindow = append(c.qWindow, c.q[tok]...)
 		}
 		action = c.pickValid(c.q[tok])
+	}
+	if c.tel.ExplainTick() {
+		c.explain(seq, key, tok, action, explored)
 	}
 
 	c.out = c.out[:0]
@@ -308,6 +320,49 @@ func (c *TabularController) recordReward(seq int, r float64) {
 	if c.tel != nil && r != 0 {
 		c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindReward, Reward: r})
 	}
+	if d, ok := c.explainPending[seq]; ok {
+		delete(c.explainPending, seq)
+		d.Reward = r
+		d.Resolved = true
+		c.tel.RecordDecision(*d)
+	}
+}
+
+// explain registers a sampled decision record for seq; recordReward
+// emits it once the reward window resolves the decision.
+func (c *TabularController) explain(seq int, key uint64, tok, action int, explored bool) {
+	d := &telemetry.Decision{
+		Seq:        uint64(seq),
+		Epsilon:    c.cfg.epsilon(seq),
+		Explored:   explored,
+		StateKey:   key,
+		Q:          append([]float64(nil), c.q[tok]...),
+		Action:     action,
+		ActionName: c.actionName(action),
+	}
+	if c.mask.anyMasked() {
+		for i := 0; i < c.NumActions(); i++ {
+			if c.mask.isMasked(i) {
+				d.MaskedArms = append(d.MaskedArms, c.actionName(i))
+			}
+		}
+	}
+	if c.explainPending == nil {
+		c.explainPending = map[int]*telemetry.Decision{}
+	}
+	c.explainPending[seq] = d
+}
+
+// actionName resolves one action index to its display name, caching
+// the ActionNames slice (stable for the controller's lifetime).
+func (c *TabularController) actionName(i int) string {
+	if c.explainNames == nil {
+		c.explainNames = c.ActionNames()
+	}
+	if i < 0 || i >= len(c.explainNames) {
+		return "?"
+	}
+	return c.explainNames[i]
 }
 
 func (c *TabularController) recordAction(seq, a int) {

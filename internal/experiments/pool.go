@@ -43,9 +43,17 @@ func (o Options) expired() error {
 	return fmt.Errorf("%w (per-worker stop at %s)", errDeadline, o.deadline.Format(time.TimeOnly))
 }
 
-// withCollector rebinds the task's Runner to an isolated collector.
-func (o Options) withCollector(ch *telemetry.Collector) Options {
-	o.runner = o.simRunner().With(sim.WithTelemetry(ch))
+// forTask rebinds the task's Runner to its per-task span track and,
+// when ch is non-nil, to an isolated child collector. Keying the span
+// track by task index — not by (workload, source), which sweeps may
+// repeat — gives every task slot its own deterministic ordinal space,
+// so span trees are identical at every -jobs level.
+func (o Options) forTask(i int, ch *telemetry.Collector) Options {
+	opts := []sim.Option{sim.WithSpanTrack(fmt.Sprintf("task:%d", i))}
+	if ch != nil {
+		opts = append(opts, sim.WithTelemetry(ch))
+	}
+	o.runner = o.simRunner().With(opts...)
 	return o
 }
 
@@ -72,7 +80,7 @@ func (o Options) forEach(n int, fn func(i int, o Options)) error {
 			if err := o.expired(); err != nil {
 				return err
 			}
-			fn(i, o)
+			fn(i, o.forTask(i, nil))
 			o.Progress.tick()
 		}
 		return nil
@@ -88,11 +96,10 @@ func (o Options) forEach(n int, fn func(i int, o Options)) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				to := o
 				if parent != nil {
 					children[i] = parent.Child()
-					to = o.withCollector(children[i])
 				}
+				to := o.forTask(i, children[i])
 				func() {
 					defer func() {
 						if v := recover(); v != nil {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"testing"
+
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+// spanIdentity strips timestamps: the determinism contract covers the
+// tree structure (IDs, parents, tracks, names), not wall-clock.
+type spanIdentity struct {
+	ID, Parent telemetry.SpanID
+	Track      string
+	Name       string
+}
+
+// spansAt runs fig1c at the given job count with an in-memory
+// collector and returns the normalized span set.
+func spansAt(t *testing.T, jobs int) []spanIdentity {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{
+		Accesses: 3000,
+		Batch:    64,
+		Out:      io.Discard,
+		Jobs:     jobs,
+		Sim:      []sim.Option{sim.WithTelemetry(tel)},
+		Traces:   trace.NewCache(0),
+	}
+	if _, err := Fig1c(o); err != nil {
+		t.Fatal(err)
+	}
+	spans := tel.Spans()
+	ids := make([]spanIdentity, len(spans))
+	for i, s := range spans {
+		ids[i] = spanIdentity{s.ID, s.Parent, s.Track, s.Name}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].ID != ids[j].ID {
+			return ids[i].ID < ids[j].ID
+		}
+		return ids[i].Name < ids[j].Name
+	})
+	return ids
+}
+
+// TestPoolSpanDeterminism extends the pool's golden contract to the
+// span tree: a serial run and an 8-way pooled run must produce the
+// same set of (ID, Parent, Track, Name) spans, and every parent
+// pointer must resolve inside the set. scripts/check.sh runs this
+// under -race.
+func TestPoolSpanDeterminism(t *testing.T) {
+	serial := spansAt(t, 1)
+	pooled := spansAt(t, 8)
+	if len(serial) == 0 {
+		t.Fatal("serial run recorded no spans; the comparison is vacuous")
+	}
+	if len(serial) != len(pooled) {
+		t.Fatalf("span counts diverge: serial %d, pooled %d", len(serial), len(pooled))
+	}
+	for i := range serial {
+		if serial[i] != pooled[i] {
+			t.Errorf("span %d diverges:\n  serial %+v\n  pooled %+v", i, serial[i], pooled[i])
+		}
+	}
+	for _, set := range [][]spanIdentity{serial, pooled} {
+		ids := map[telemetry.SpanID]bool{}
+		for _, s := range set {
+			ids[s.ID] = true
+		}
+		for _, s := range set {
+			if s.Parent != 0 && !ids[s.Parent] {
+				t.Errorf("span %016x (%s on %s) has dangling parent %016x",
+					uint64(s.ID), s.Name, s.Track, uint64(s.Parent))
+			}
+		}
+	}
+	// Per-task tracks are what keep pooled ordinals aligned with the
+	// serial path; make sure they are actually in play.
+	hasTask := false
+	for _, s := range serial {
+		if len(s.Track) > 5 && s.Track[:5] == "task:" {
+			hasTask = true
+			break
+		}
+	}
+	if !hasTask {
+		t.Error("no task:<i> tracks recorded; pool span instrumentation is not wired")
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"resemble/internal/resilience"
+	"resemble/internal/telemetry"
 	"resemble/internal/trace"
 )
 
@@ -56,18 +58,22 @@ const retryAfter = "1"
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/run   submit a simulation, wait for its result
-//	GET  /healthz  liveness (200 while the process serves HTTP)
-//	GET  /readyz   readiness (503 while saturated or draining)
-//	GET  /metrics  telemetry registry snapshot + service counters
-//	GET  /stats    service counters only
-//	POST /drain    begin graceful shutdown (202)
+//	POST /v1/run        submit a simulation, wait for its result
+//	GET  /v1/explain    recent sampled RL decision records
+//	GET  /healthz       liveness (200 while the process serves HTTP)
+//	GET  /readyz        readiness (503 while saturated or draining)
+//	GET  /metrics       OpenMetrics/Prometheus text exposition
+//	GET  /metrics.json  telemetry registry snapshot + service counters
+//	GET  /stats         service counters only
+//	POST /drain         begin graceful shutdown (202)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	return mux
@@ -151,6 +157,14 @@ func (s *Service) admit(parent context.Context, req Request) (*task, error) {
 		return nil, errors.New("service is draining")
 	}
 	t.seq = s.nextSeq
+	// The request span roots the task's trace tree; admission itself is
+	// its first child. Both must exist before Offer publishes the task:
+	// a worker may dequeue it immediately, and the queue handoff is the
+	// only happens-before edge it gets. Created under admitMu, so span
+	// ordinals follow admission order. On shed the spans are never
+	// ended, so nothing is recorded for requests that were never run.
+	t.span = s.cfg.Telemetry.StartSpan(fmt.Sprintf("req:%04d", t.seq), "request")
+	asp := t.span.Child("admission")
 	if err := s.queue.Offer(t); err != nil {
 		cancel()
 		if errors.Is(err, resilience.ErrShed) {
@@ -163,6 +177,7 @@ func (s *Service) admit(parent context.Context, req Request) (*task, error) {
 	s.nextSeq++
 	s.stats.admitted.Add(1)
 	s.counter("service.requests.admitted").Inc()
+	asp.End()
 	return t, nil
 }
 
@@ -200,14 +215,55 @@ func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleMetrics dumps the telemetry registry snapshot (when telemetry
-// is enabled) plus the service counters.
+// handleMetrics serves the OpenMetrics/Prometheus text exposition:
+// registry instruments plus the service's own counters, queue and
+// breaker gauges, retry-budget level and runtime health gauges. The
+// per-arm breaker instruments fold into labeled families
+// (service_breaker_state{arm="bo"}).
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metricsSnapshot()
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	_ = telemetry.WritePrometheus(w, snap,
+		telemetry.LabelRule{Prefix: "service.breaker.state", Label: "arm"},
+		telemetry.LabelRule{Prefix: "service.breaker.trips", Label: "arm"})
+}
+
+// handleMetricsJSON dumps the telemetry registry snapshot (when
+// telemetry is enabled) plus the service counters — the JSON view
+// that used to live at /metrics.
+func (s *Service) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	out := map[string]any{"service": s.Stats()}
 	if reg := s.cfg.Telemetry.Registry(); reg != nil {
 		out["registry"] = reg.Snapshot()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExplain returns the most recent sampled RL decision records
+// (?n= bounds the count, default 50, max 1000). Empty when telemetry
+// or explain sampling is disabled.
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "n must be a positive integer"})
+			return
+		}
+		n = min(v, 1000)
+	}
+	ds := s.cfg.Telemetry.Decisions()
+	if len(ds) > n {
+		ds = ds[len(ds)-n:]
+	}
+	if ds == nil {
+		ds = []telemetry.Decision{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sample_rate": s.cfg.Telemetry.ExplainSample(),
+		"count":       len(ds),
+		"decisions":   ds,
+	})
 }
 
 // handleStats dumps the service counters.

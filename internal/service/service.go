@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -105,8 +106,13 @@ type Config struct {
 	// Chaos, when non-nil, injects faults into the serving path — see
 	// the Chaos type. Nil means no injection and no overhead.
 	Chaos *Chaos
-	// Logf receives operational log lines (nil discards them).
+	// Logf receives operational log lines (nil discards them unless
+	// Logger is set, in which case they route through it at Info).
 	Logf func(format string, args ...any)
+	// Logger receives structured request/lifecycle logs carrying the
+	// correlation IDs (admission seq, span ID) that also appear in the
+	// span trace. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -138,7 +144,14 @@ func (c Config) withDefaults() Config {
 		c.Traces = trace.Shared()
 	}
 	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+		if lg := c.Logger; lg != nil {
+			c.Logf = func(format string, args ...any) { lg.Info(fmt.Sprintf(format, args...)) }
+		} else {
+			c.Logf = func(string, ...any) {}
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -236,8 +249,11 @@ type Service struct {
 	drainErr  error
 	drained   chan struct{} // closed when drain completes
 
+	start time.Time // process-health uptime anchor
+
 	// metric handles (nil-safe when telemetry is off)
 	mQueueDepth *telemetry.Gauge
+	mReady      *telemetry.Gauge
 	mBreaker    map[string]*telemetry.Gauge
 }
 
@@ -297,10 +313,12 @@ func New(cfg Config) (*Service, error) {
 		drained:  make(chan struct{}),
 		busy:     make([]workerStatus, cfg.Workers),
 		mBreaker: make(map[string]*telemetry.Gauge),
+		start:    time.Now(),
 	}
 	s.runner = sim.NewRunner(simCfg, sim.WithTelemetry(cfg.Telemetry))
 	reg := cfg.Telemetry.Registry()
 	s.mQueueDepth = reg.Gauge("service.queue.depth")
+	s.mReady = reg.Gauge("service.ready")
 	for _, arm := range ArmNames() {
 		arm := arm
 		bcfg := cfg.Breaker
@@ -322,6 +340,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.queue = resilience.NewQueue[*task](cfg.QueueDepth, func(depth, capacity int) {
 		s.mQueueDepth.Set(float64(depth))
+		s.updateReady()
 	})
 	s.commits.parent = cfg.Telemetry
 	s.commits.parked = make(map[uint64]*telemetry.Collector)
@@ -347,6 +366,73 @@ func (s *Service) State() State { return State(s.state.Load()) }
 // Breaker returns the named arm's breaker (nil when unknown) — used
 // by the in-process soak assertions.
 func (s *Service) Breaker(arm string) *resilience.Breaker { return s.breakers[arm] }
+
+// ready mirrors the /readyz decision: admitting and not saturated.
+func (s *Service) ready() bool {
+	return s.State() == Ready && !s.queue.Saturated()
+}
+
+// updateReady publishes the readiness decision as the service.ready
+// gauge, so /readyz flips are visible as a 1→0→1 transition on
+// /metrics. Refreshed on every queue depth change, on lifecycle
+// transitions, and at scrape time.
+func (s *Service) updateReady() {
+	v := 0.0
+	if s.ready() {
+		v = 1
+	}
+	s.mReady.Set(v)
+}
+
+// metricsSnapshot assembles the exposition view: the telemetry
+// registry snapshot (empty when telemetry is off) with the service's
+// own authoritative counters, queue/breaker/retry-budget gauges and
+// the runtime health gauges overlaid. The service counters override
+// the registry mirrors of the same names, so /metrics is correct even
+// when instrumentation is disabled or a resume restored the counters.
+func (s *Service) metricsSnapshot() telemetry.RegistrySnapshot {
+	reg := s.cfg.Telemetry.Registry()
+	telemetry.UpdateRuntimeGauges(reg, s.start)
+	s.updateReady()
+	snap := reg.Snapshot()
+	st := s.Stats()
+	snap.Counters["service.requests.admitted"] = st.Admitted
+	snap.Counters["service.requests.completed"] = st.Completed
+	snap.Counters["service.requests.shed"] = st.Shed
+	snap.Counters["service.requests.rejected"] = st.Rejected
+	snap.Counters["service.requests.failed"] = st.Failed
+	snap.Counters["service.requests.timeout"] = st.TimedOut
+	snap.Counters["service.workers.panics"] = st.Panics
+	snap.Counters["service.workers.restarts"] = st.Restarts
+	snap.Counters["service.workers.wedged"] = st.Wedged
+	snap.Counters["service.runs.masked"] = st.MaskedRuns
+	snap.Counters["service.checkpoint.writes"] = st.CkpWrites
+	snap.Counters["service.checkpoint.retries"] = st.CkpRetries
+	snap.Counters["service.checkpoint.failures"] = st.CkpFailures
+	snap.Gauges["service.queue.depth"] = float64(st.QueueDepth)
+	snap.Gauges["service.queue.capacity"] = float64(st.QueueCapacity)
+	snap.Gauges["service.state"] = float64(s.state.Load())
+	ready := 0.0
+	if s.ready() {
+		ready = 1
+	}
+	snap.Gauges["service.ready"] = ready
+	snap.Gauges["service.retry.budget"] = s.budget.Tokens()
+	for name, b := range s.breakers {
+		snap.Gauges["service.breaker.state."+name] = float64(b.State())
+		snap.Counters["service.breaker.trips."+name] = b.Trips()
+	}
+	if reg == nil {
+		// No registry to carry the runtime gauges: compute them into a
+		// throwaway registry so the exposition stays complete.
+		tmp := telemetry.NewRegistry()
+		telemetry.UpdateRuntimeGauges(tmp, s.start)
+		for name, v := range tmp.Snapshot().Gauges {
+			snap.Gauges[name] = v
+		}
+	}
+	return snap
+}
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
@@ -383,6 +469,7 @@ func (s *Service) Start() error {
 	if !s.state.CompareAndSwap(int32(Starting), int32(Ready)) {
 		return fmt.Errorf("service: already started")
 	}
+	s.updateReady()
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -417,6 +504,7 @@ func (s *Service) Start() error {
 func (s *Service) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		s.state.Store(int32(Draining))
+		s.updateReady()
 		s.cfg.Logf("service: draining (queue depth %d)", s.queue.Depth())
 		s.queue.Close()
 		close(s.stopCh)

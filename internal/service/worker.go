@@ -24,6 +24,7 @@ type task struct {
 	req    Request
 	ctx    context.Context
 	cancel context.CancelFunc
+	span   *telemetry.Span // request span (nil when telemetry is off)
 
 	done   chan struct{} // closed when resp/status are final
 	resp   Response
@@ -156,6 +157,20 @@ func (s *Service) watchdog() {
 // serve runs one admitted task end to end. Panics are answered as 500
 // and then re-raised so the supervision layer restarts the worker.
 func (s *Service) serve(i int, t *task) {
+	began := time.Now()
+	wsp := t.span.Child("worker.serve")
+	defer func() {
+		wsp.End()
+		t.span.End()
+		s.cfg.Logger.Info("request served",
+			"seq", t.seq,
+			"span", fmt.Sprintf("%016x", uint64(t.span.Ref().ID)),
+			"workload", t.req.Workload,
+			"controller", t.req.Controller,
+			"status", t.status,
+			"worker", i,
+			"dur_ms", float64(time.Since(began))/float64(time.Millisecond))
+	}()
 	slot := &s.busy[i]
 	slot.label.Store(t.req.Workload + "/" + t.req.Controller)
 	slot.busySince.Store(time.Now().UnixNano())
@@ -237,9 +252,21 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 	// down at the next record instead of simulating on unobserved.
 	var stop atomic.Bool
 	defer context.AfterFunc(t.ctx, func() { stop.Store(true) })()
+	if t.ctx.Err() != nil {
+		// Already expired (e.g. the deadline passed while queued or
+		// stalled): AfterFunc only schedules its callback on a new
+		// goroutine, which a short CPU-bound run on GOMAXPROCS=1 can
+		// finish ahead of. Seed the flag synchronously so the run
+		// interrupts at its first record.
+		stop.Store(true)
+	}
 
+	// The run's spans record on the isolated child collector but parent
+	// under the request span (cross-collector SpanRef), so the merged
+	// trace reads request → admission → worker.serve → sim.run → ….
 	child := s.cfg.Telemetry.Child()
-	runner := s.runner.With(sim.WithTelemetry(child), sim.WithInterrupt(&stop))
+	runner := s.runner.With(sim.WithTelemetry(child), sim.WithInterrupt(&stop),
+		sim.WithSpanParent(t.span.Ref()))
 	began := time.Now()
 	res, err := runner.Run(tr, src)
 	if err != nil {

@@ -110,7 +110,10 @@ func (s *Simulator) simulate(tr *trace.Trace, src Source, name string, start int
 			(set.stopAfter > 0 && processed >= set.stopAfter)
 		boundary := set.ckpEvery > 0 && cursor%set.ckpEvery == 0
 		if set.ckpPath != "" && (interrupted || boundary) {
-			if err := s.writeCheckpoint(set.ckpPath, tr, src, name, set.tel, cursor); err != nil {
+			csp := set.tel.RunSpanChild("checkpoint.write")
+			err := s.writeCheckpoint(set.ckpPath, tr, src, name, set.tel, cursor)
+			csp.End()
+			if err != nil {
 				return err
 			}
 		}

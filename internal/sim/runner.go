@@ -10,14 +10,16 @@ import (
 
 // settings holds the resolved functional-option values of a Runner.
 type settings struct {
-	tel       *telemetry.Collector
-	ckpPath   string
-	ckpEvery  int
-	resume    bool
-	interrupt *atomic.Bool
-	stopAfter int
-	baseline  bool
-	faults    func(prefetch.Prefetcher) prefetch.Prefetcher
+	tel        *telemetry.Collector
+	ckpPath    string
+	ckpEvery   int
+	resume     bool
+	interrupt  *atomic.Bool
+	stopAfter  int
+	baseline   bool
+	faults     func(prefetch.Prefetcher) prefetch.Prefetcher
+	spanTrack  string
+	spanParent telemetry.SpanRef
 }
 
 // Option configures a Runner (see the package documentation for the
@@ -73,6 +75,22 @@ func WithInterrupt(flag *atomic.Bool) Option {
 // in this session — a deterministic interrupt for tests.
 func WithStopAfter(n int) Option {
 	return func(s *settings) { s.stopAfter = n }
+}
+
+// WithSpanTrack names the span-trace track the run's sim.run span is
+// rooted on. Span IDs derive from (track, name, ordinal), so harnesses
+// that run tasks concurrently pin one track per task slot (e.g.
+// "task:3") to keep span trees identical across parallelism levels.
+// Default: "<trace>/<source>".
+func WithSpanTrack(track string) Option {
+	return func(s *settings) { s.spanTrack = track }
+}
+
+// WithSpanParent parents the run's sim.run span under a span owned by
+// another collector (e.g. the service's per-request span), correlating
+// request → run → window-commit across collector boundaries.
+func WithSpanParent(ref telemetry.SpanRef) Option {
+	return func(s *settings) { s.spanParent = ref }
 }
 
 // Runner is the single entry point for trace-driven simulation. It
@@ -176,18 +194,41 @@ func (r *Runner) Run(tr *trace.Trace, src Source) (Result, error) {
 		s.probe = p
 	}
 
+	var runSpan *telemetry.Span
+	if tel := r.set.tel; tel != nil {
+		if r.set.spanParent.ID != 0 {
+			runSpan = tel.StartSpanUnder(r.set.spanParent, "sim.run")
+		} else {
+			track := r.set.spanTrack
+			if track == "" {
+				track = tr.Name + "/" + name
+			}
+			runSpan = tel.StartSpan(track, "sim.run")
+		}
+		tel.SetRunSpan(runSpan)
+		defer func() {
+			tel.SetRunSpan(nil)
+			runSpan.End()
+		}()
+	}
+
 	start := 0
 	if r.set.resume {
+		lsp := runSpan.Child("checkpoint.load")
 		cursor, err := s.loadCheckpoint(r.set.ckpPath, tr, src, name, r.set.tel)
+		lsp.End()
 		if err != nil {
 			return Result{}, err
 		}
 		start = cursor
 	}
 
+	ssp := runSpan.Child("sim.simulate")
 	if err := s.simulate(tr, src, name, start, r.set); err != nil {
+		ssp.End()
 		return Result{}, err
 	}
+	ssp.End()
 	if s.winSize > 0 {
 		s.flushCounters()
 	}

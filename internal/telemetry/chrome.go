@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: spans render as complete ("X") events in
+// the Trace Event JSON format, loadable in chrome://tracing and
+// Perfetto. Each span track becomes one thread row (with a
+// thread_name metadata record), and X events are sorted so their ts
+// values are monotone per row — the property the check.sh validity
+// gate asserts.
+
+// chromeEvent is one Trace Event (phase "X" complete event or "M"
+// metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the spans as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	tids := map[string]int{}
+	var tracks []string
+	for _, s := range spans {
+		if _, ok := tids[s.Track]; !ok {
+			tids[s.Track] = 0
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Strings(tracks)
+	evs := make([]chromeEvent, 0, len(spans)+len(tracks))
+	for i, t := range tracks {
+		tids[t] = i + 1
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": t},
+		})
+	}
+	xs := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]any{"id": fmt.Sprintf("%016x", uint64(s.ID))}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", uint64(s.Parent))
+		}
+		xs = append(xs, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: s.DurUS,
+			Pid: 1, Tid: tids[s.Track], Args: args,
+		})
+	}
+	// Monotone ts per tid; ties put the longer (enclosing) span first.
+	sort.SliceStable(xs, func(i, j int) bool {
+		if xs[i].Tid != xs[j].Tid {
+			return xs[i].Tid < xs[j].Tid
+		}
+		if xs[i].Ts != xs[j].Ts {
+			return xs[i].Ts < xs[j].Ts
+		}
+		return xs[i].Dur > xs[j].Dur
+	})
+	evs = append(evs, xs...)
+	return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: evs, DisplayUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the spans to path as Chrome trace JSON.
+func WriteChromeTraceFile(path string, spans []SpanRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ValidateChromeTrace checks that r holds a loadable Chrome trace:
+// valid JSON with a non-empty traceEvents array, only phases this
+// exporter emits, non-negative durations, and ts monotone
+// (non-decreasing) per tid in file order.
+func ValidateChromeTrace(r io.Reader) error {
+	var ct struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		return errors.New("chrome trace: no events")
+	}
+	last := map[int]float64{}
+	seenX := false
+	for i, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X":
+			seenX = true
+			if e.Name == "" {
+				return fmt.Errorf("chrome trace: event %d has no name", i)
+			}
+			if e.Dur < 0 {
+				return fmt.Errorf("chrome trace: event %d (%s) has negative dur %v", i, e.Name, e.Dur)
+			}
+			if prev, ok := last[e.Tid]; ok && e.Ts < prev {
+				return fmt.Errorf("chrome trace: event %d (%s) ts %v < %v: not monotone on tid %d",
+					i, e.Name, e.Ts, prev, e.Tid)
+			}
+			last[e.Tid] = e.Ts
+		default:
+			return fmt.Errorf("chrome trace: event %d has unsupported phase %q", i, e.Ph)
+		}
+	}
+	if !seenX {
+		return errors.New("chrome trace: no complete (ph=X) events")
+	}
+	return nil
+}
+
+// ValidateChromeTraceFile validates the Chrome trace at path.
+func ValidateChromeTraceFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ValidateChromeTrace(f)
+}

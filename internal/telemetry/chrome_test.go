@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// traceSpans builds a realistic two-track span set through the public
+// span API.
+func traceSpans(t *testing.T) []SpanRecord {
+	t.Helper()
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		run := c.StartSpan([]string{"task:0", "task:1"}[i], "sim.run")
+		run.Child("checkpoint.load").End()
+		run.Child("sim.simulate").End()
+		run.End()
+	}
+	return c.Spans()
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	spans := traceSpans(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("written trace fails its own validator: %v\n%s", err, buf.String())
+	}
+	// The JSON must be loadable as the Chrome trace-event envelope with
+	// one thread-name metadata event per track plus one X per span.
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete int
+	for _, e := range tr.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		}
+	}
+	if meta != 2 {
+		t.Errorf("thread metadata events = %d, want 2 (one per track)", meta)
+	}
+	if complete != len(spans) {
+		t.Errorf("complete events = %d, want %d", complete, len(spans))
+	}
+}
+
+func TestChromeTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteChromeTraceFile(path, traceSpans(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTraceFile(path); err != nil {
+		t.Fatalf("file round trip: %v", err)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "nope",
+		"empty events":    `{"traceEvents":[]}`,
+		"unknown phase":   `{"traceEvents":[{"ph":"B","name":"x","tid":1,"ts":0}]}`,
+		"unnamed event":   `{"traceEvents":[{"ph":"X","tid":1,"ts":0,"dur":1}]}`,
+		"negative dur":    `{"traceEvents":[{"ph":"X","name":"x","tid":1,"ts":0,"dur":-5}]}`,
+		"ts not monotone": `{"traceEvents":[{"ph":"X","name":"a","tid":1,"ts":10,"dur":1},{"ph":"X","name":"b","tid":1,"ts":5,"dur":1}]}`,
+	}
+	for name, in := range cases {
+		if err := ValidateChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, in)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"resemble/internal/metrics"
@@ -30,6 +32,22 @@ type Config struct {
 	// KeepWindows retains every window snapshot in memory (tests and
 	// in-process consumers; file sinks are unaffected).
 	KeepWindows bool
+	// SpanCap bounds the retained span records (default 16384, oldest
+	// half dropped on overflow); negative disables the cap.
+	SpanCap int
+	// ChromeOut, when non-empty, writes the retained spans as Chrome
+	// trace-event JSON to this path on Close.
+	ChromeOut string
+	// ExplainSample enables 1-in-N controller decision explainability
+	// records; 0 disables (the hot path stays a single branch).
+	ExplainSample int
+	// ExplainOut, when non-empty, streams decision records as JSONL to
+	// this path (default Dir/decisions.jsonl when Dir is set and
+	// ExplainSample is on).
+	ExplainOut string
+	// DecisionCap bounds the in-memory decision ring (default 4096,
+	// oldest half dropped); negative disables the cap.
+	DecisionCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +56,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RingSize <= 0 {
 		c.RingSize = 4096
+	}
+	if c.SpanCap == 0 {
+		c.SpanCap = 16384
+	}
+	if c.DecisionCap == 0 {
+		c.DecisionCap = 4096
 	}
 	return c
 }
@@ -66,6 +90,25 @@ type Collector struct {
 	// capture retains the full sampled-event selection of a child
 	// collector (see Child) so Merge can replay it into the parent.
 	capture *MemorySink
+
+	// obsMu guards the observability state below — span ordinals and
+	// retained spans/decisions — which, unlike the rest of the
+	// collector, is read concurrently (HTTP scrape/explain handlers)
+	// while runs are writing.
+	obsMu     sync.Mutex
+	spans     []SpanRecord
+	spanDrops uint64
+	spanCap   int
+	rootSeq   map[string]uint64
+	childSeq  map[SpanID]uint64
+	runSpan   *Span
+
+	explainN  uint64
+	decisions []Decision
+	decCap    int
+	decFile   *os.File
+	decBuf    *bufio.Writer
+	decEnc    *json.Encoder
 }
 
 // New builds a collector. When cfg.Dir is set the directory is created
@@ -74,10 +117,14 @@ type Collector struct {
 func New(cfg Config) (*Collector, error) {
 	cfg = cfg.withDefaults()
 	c := &Collector{
-		cfg:    cfg,
-		reg:    NewRegistry(),
-		tracer: NewTracer(cfg.TraceSample, cfg.RingSize),
-		start:  time.Now(),
+		cfg:      cfg,
+		reg:      NewRegistry(),
+		tracer:   NewTracer(cfg.TraceSample, cfg.RingSize),
+		start:    time.Now(),
+		spanCap:  cfg.SpanCap,
+		decCap:   cfg.DecisionCap,
+		rootSeq:  map[string]uint64{},
+		childSeq: map[SpanID]uint64{},
 	}
 	c.manifest = newManifest(c.start)
 	if cfg.Dir != "" {
@@ -104,6 +151,17 @@ func New(cfg Config) (*Collector, error) {
 				c.tracer.AddSink(NewCSVSink(f), false)
 			} else {
 				c.tracer.AddSink(NewJSONLSink(f), false)
+			}
+		}
+	}
+	if cfg.ExplainSample > 0 {
+		path := cfg.ExplainOut
+		if path == "" && cfg.Dir != "" {
+			path = filepath.Join(cfg.Dir, "decisions.jsonl")
+		}
+		if path != "" {
+			if err := c.openExplainOut(path); err != nil {
+				return nil, fmt.Errorf("telemetry: %w", err)
 			}
 		}
 	}
@@ -171,6 +229,9 @@ func (c *Collector) BeginRun(workload, source string) {
 	c.hasPrev = false
 	c.prev = ControllerStats{}
 	c.tracer.beginRun()
+	c.obsMu.Lock()
+	c.explainN = 0 // decision sampling restarts per run, like the tracer phase
+	c.obsMu.Unlock()
 	c.manifest.Runs = append(c.manifest.Runs, RunInfo{Workload: workload, Source: source})
 }
 
@@ -181,6 +242,8 @@ func (c *Collector) EmitWindow(w SimWindow, probe ControllerProbe) {
 	if c == nil {
 		return
 	}
+	wsp := c.RunSpanChild("window.commit")
+	defer wsp.End()
 	snap := WindowSnapshot{
 		Workload:     c.runWorkload,
 		Source:       c.runSource,
@@ -319,6 +382,20 @@ func (c *Collector) Close() error {
 			first = err
 		}
 	}
+	if err := c.closeExplainOut(); err != nil && first == nil {
+		first = err
+	}
+	spans := c.Spans()
+	if c.cfg.Dir != "" && len(spans) > 0 {
+		if err := writeSpansJSONL(filepath.Join(c.cfg.Dir, "spans.jsonl"), spans); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.cfg.ChromeOut != "" {
+		if err := WriteChromeTraceFile(c.cfg.ChromeOut, spans); err != nil && first == nil {
+			first = err
+		}
+	}
 	if c.cfg.Dir != "" {
 		if err := writeJSON(filepath.Join(c.cfg.Dir, "metrics.json"), c.reg.Snapshot()); err != nil && first == nil {
 			first = err
@@ -329,6 +406,27 @@ func (c *Collector) Close() error {
 		}
 	}
 	return first
+}
+
+// writeSpansJSONL writes one span record per line.
+func writeSpansJSONL(path string, spans []SpanRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON atomically-ish writes v as indented JSON to path.

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantilesExact: below the reservoir cap every
+// observation is retained, so nearest-rank quantiles are exact.
+func TestHistogramQuantilesExact(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if s.Summary.P50 != 500 {
+		t.Errorf("P50 = %v, want 500 (exact below reservoir cap)", s.Summary.P50)
+	}
+	if s.Summary.P99 != 990 {
+		t.Errorf("P99 = %v, want 990 (exact below reservoir cap)", s.Summary.P99)
+	}
+}
+
+// TestHistogramQuantilesLargeN: past the cap the reservoir thins to a
+// uniform stride subsample; quantiles must stay within a few strides
+// of truth — the reservoir's bucket resolution.
+func TestHistogramQuantilesLargeN(t *testing.T) {
+	const n = 100000
+	var h Histogram
+	// A deterministic LCG permutes the ramp so retention order is not
+	// correlated with value order.
+	x := uint64(12345)
+	for i := 0; i < n; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h.Observe(float64(x % n))
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	retained := s.Summary.N
+	if retained == 0 || retained >= histCap {
+		t.Fatalf("retained %d samples, want (0, %d)", retained, histCap)
+	}
+	// Resolution: with k retained samples of a uniform distribution,
+	// nearest-rank error is O(range/k); sampling noise adds
+	// O(range/sqrt(k)). Bound at 5 sigma of the sampling noise.
+	tol := 5 * float64(n) / math.Sqrt(float64(retained))
+	if got, want := s.Summary.P50, 0.50*n; math.Abs(got-want) > tol {
+		t.Errorf("P50 = %v, want %v +- %v", got, want, tol)
+	}
+	if got, want := s.Summary.P99, 0.99*n; math.Abs(got-want) > tol {
+		t.Errorf("P99 = %v, want %v +- %v", got, want, tol)
+	}
+	if s.Summary.P50 >= s.Summary.P99 {
+		t.Errorf("quantiles out of order: P50 %v >= P99 %v", s.Summary.P50, s.Summary.P99)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	// Empty: everything zero, no NaNs.
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Summary.N != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	if s.Summary.P50 != 0 || s.Summary.P99 != 0 {
+		t.Errorf("empty quantiles = %v/%v, want 0/0", s.Summary.P50, s.Summary.P99)
+	}
+
+	// Single sample pins every statistic.
+	h.Observe(42.5)
+	s = h.Snapshot()
+	if s.Count != 1 || s.Min != 42.5 || s.Max != 42.5 || s.Sum != 42.5 {
+		t.Errorf("single-sample snapshot = %+v", s)
+	}
+	if s.Summary.P50 != 42.5 || s.Summary.P99 != 42.5 {
+		t.Errorf("single-sample quantiles = %v/%v, want 42.5", s.Summary.P50, s.Summary.P99)
+	}
+
+	// Nil handle is a no-op.
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Snapshot().Count != 0 {
+		t.Error("nil histogram must snapshot to zero")
+	}
+}

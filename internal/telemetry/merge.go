@@ -29,6 +29,11 @@ func (c *Collector) Child() *Collector {
 		TraceSample: c.cfg.TraceSample,
 		RingSize:    c.cfg.RingSize,
 		KeepWindows: true,
+		// Children never drop observability records: the parent applies
+		// its own caps when the child merges back in.
+		SpanCap:       -1,
+		ExplainSample: c.cfg.ExplainSample,
+		DecisionCap:   -1,
 	})
 	if err != nil {
 		// New without a Dir performs no I/O and cannot fail; keep the
@@ -39,6 +44,16 @@ func (c *Collector) Child() *Collector {
 		ch.capture = &MemorySink{}
 		ch.tracer.AddSink(ch.capture, false)
 	}
+	// Root-span ordinals continue from the parent's state so a pool
+	// section that reuses a track name (task:0 in every section) derives
+	// the same span IDs a serial execution on the parent would. All
+	// children of a section are created before any merges back, so every
+	// child sees the same snapshot.
+	c.obsMu.Lock()
+	for k, v := range c.rootSeq {
+		ch.rootSeq[k] = v
+	}
+	c.obsMu.Unlock()
 	return ch
 }
 
@@ -78,6 +93,43 @@ func (c *Collector) Merge(ch *Collector) {
 	if c.tracer != nil && ch.tracer != nil {
 		c.tracer.n = ch.tracer.n
 	}
+	// Spans and decisions replay verbatim: identity is deterministic
+	// (derived from parent/track/name/ordinal on the child), so merged
+	// records are the ones a serial execution would have produced.
+	ch.obsMu.Lock()
+	spans := append([]SpanRecord(nil), ch.spans...)
+	decisions := append([]Decision(nil), ch.decisions...)
+	explainN := ch.explainN
+	rootSeq := make(map[string]uint64, len(ch.rootSeq))
+	for k, v := range ch.rootSeq {
+		rootSeq[k] = v
+	}
+	ch.obsMu.Unlock()
+	for _, s := range spans {
+		c.addSpan(s)
+	}
+	c.obsMu.Lock()
+	for k, v := range rootSeq {
+		if v > c.rootSeq[k] {
+			c.rootSeq[k] = v // adopt the child's track advance (see Child)
+		}
+	}
+	c.obsMu.Unlock()
+	for _, d := range decisions {
+		c.obsMu.Lock()
+		if c.decEnc != nil {
+			_ = c.decEnc.Encode(d)
+		}
+		if c.decCap > 0 && len(c.decisions) >= c.decCap {
+			n := copy(c.decisions, c.decisions[len(c.decisions)/2:])
+			c.decisions = c.decisions[:n]
+		}
+		c.decisions = append(c.decisions, d)
+		c.obsMu.Unlock()
+	}
+	c.obsMu.Lock()
+	c.explainN = explainN
+	c.obsMu.Unlock()
 }
 
 // merge folds o's instruments into r (see Merge for the semantics).

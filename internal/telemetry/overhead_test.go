@@ -50,13 +50,28 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			h.Observe(float64(i & 1023))
 		}
 	})
+	b.Run("span-disabled", func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			col.RunSpanChild("x").End()
+		}
+	})
+	b.Run("explain-disabled", func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			if col.ExplainTick() {
+				b.Fatal("nil collector ticked")
+			}
+		}
+	})
 }
 
 // TestDisabledHotPathUnder5ns enforces the overhead budget from the
 // telemetry design: a disabled (nil-handle) counter increment plus a
 // disabled trace call must cost less than 5 ns combined, so leaving
 // instrumentation compiled into the simulator hot loop is free in
-// practice.
+// practice. The span and explain paths added later carry the same
+// budget, checked separately so a regression names its culprit.
 func TestDisabledHotPathUnder5ns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing assertion skipped in -short mode")
@@ -64,7 +79,11 @@ func TestDisabledHotPathUnder5ns(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing assertion skipped under -race: instrumentation inflates the nil-check path")
 	}
-	res := testing.Benchmark(func(b *testing.B) {
+	measure := func(f func(b *testing.B)) float64 {
+		res := testing.Benchmark(f)
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	if ns := measure(func(b *testing.B) {
 		c := benchHandles.c
 		col := benchHandles.col
 		e := Event{Kind: KindHit}
@@ -72,9 +91,25 @@ func TestDisabledHotPathUnder5ns(t *testing.T) {
 			c.Inc()
 			col.Trace(e)
 		}
-	})
-	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
-	if nsPerOp >= 5 {
-		t.Errorf("disabled hot path costs %.2f ns/op, budget is < 5 ns", nsPerOp)
+	}); ns >= 5 {
+		t.Errorf("disabled counter+trace path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+	if ns := measure(func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			col.RunSpanChild("x").End()
+		}
+	}); ns >= 5 {
+		t.Errorf("disabled span path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+	if ns := measure(func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			if col.ExplainTick() {
+				b.Fatal("nil collector ticked")
+			}
+		}
+	}); ns >= 5 {
+		t.Errorf("disabled explain path costs %.2f ns/op, budget is < 5 ns", ns)
 	}
 }

@@ -1,0 +1,361 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus/OpenMetrics text exposition for the registry. Metric
+// names in the registry are dotted ("sim.accesses"); exposition
+// sanitizes them to underscore form ("sim_accesses"), appends the
+// conventional _total suffix to counters, and renders histograms as
+// summaries with exact-count quantiles from the reservoir. A small
+// relabel-rule mechanism turns families of per-entity instruments
+// ("service.breaker.state.bo", ".spp", ...) into one labeled family
+// (service_breaker_state{arm="bo"}), which is how per-arm breaker
+// state reaches dashboards without a cardinality explosion in the
+// registry itself.
+
+// PromContentType is the Content-Type served on /metrics.
+const PromContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// LabelRule folds instruments named Prefix+"."+rest into a single
+// family named Prefix with Label=rest.
+type LabelRule struct {
+	Prefix string
+	Label  string
+}
+
+// promName sanitizes a dotted registry name into a legal Prometheus
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	s := b.String()
+	if s == "" {
+		return "_"
+	}
+	return s
+}
+
+// applyRules splits name into (family, labels) per the relabel rules.
+func applyRules(name string, rules []LabelRule) (string, string) {
+	for _, r := range rules {
+		if strings.HasPrefix(name, r.Prefix+".") && len(name) > len(r.Prefix)+1 {
+			val := name[len(r.Prefix)+1:]
+			return promName(r.Prefix), "{" + r.Label + `="` + escapeLabel(val) + `"}`
+		}
+	}
+	return promName(name), ""
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promFamily accumulates the sample lines of one metric family.
+type promFamily struct {
+	kind  string
+	lines []string
+}
+
+// WritePrometheus renders a registry snapshot in the OpenMetrics text
+// format (which the Prometheus v0.0.4 text parser also accepts):
+// counters with the _total suffix, gauges verbatim, histograms as
+// summaries with quantile 0.5/0.9/0.99 plus _sum and _count, families
+// sorted by name, terminated by "# EOF".
+func WritePrometheus(w io.Writer, snap RegistrySnapshot, rules ...LabelRule) error {
+	fams := map[string]*promFamily{}
+	family := func(name, kind string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{kind: kind}
+			fams[name] = f
+		}
+		return f
+	}
+	for name, v := range snap.Counters {
+		base, labels := applyRules(name, rules)
+		f := family(base, "counter")
+		f.lines = append(f.lines, base+"_total"+labels+" "+strconv.FormatUint(v, 10))
+	}
+	for name, v := range snap.Gauges {
+		base, labels := applyRules(name, rules)
+		f := family(base, "gauge")
+		f.lines = append(f.lines, base+labels+" "+formatFloat(v))
+	}
+	for name, h := range snap.Histograms {
+		base, _ := applyRules(name, rules)
+		f := family(base, "summary")
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.Summary.P50}, {"0.9", h.Summary.P90}, {"0.99", h.Summary.P99}} {
+			f.lines = append(f.lines, base+`{quantile="`+q.q+`"} `+formatFloat(q.v))
+		}
+		f.lines = append(f.lines, base+"_sum "+formatFloat(h.Sum))
+		f.lines = append(f.lines, base+"_count "+strconv.FormatUint(h.Count, 10))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+		sort.Strings(f.lines)
+		for _, l := range f.lines {
+			bw.WriteString(l)
+			bw.WriteByte('\n')
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePrometheus validates text against the exposition grammar and
+// returns the samples. It checks metric- and label-name character
+// sets, label-value quoting, float syntax, that every sample belongs
+// to a family declared by a preceding # TYPE line (accounting for the
+// _total/_sum/_count suffixes), and that the stream ends with # EOF.
+func ParsePrometheus(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	var samples []PromSample
+	sawEOF := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("prom line %d: content after # EOF", lineNo)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" {
+				sawEOF = true
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP" && fields[1] != "UNIT") {
+				return nil, fmt.Errorf("prom line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom line %d: malformed TYPE %q", lineNo, line)
+				}
+				if !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("prom line %d: bad family name %q", lineNo, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped", "unknown":
+				default:
+					return nil, fmt.Errorf("prom line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+		}
+		if familyOf(s.Name, types) == "" {
+			return nil, fmt.Errorf("prom line %d: sample %q has no # TYPE declaration", lineNo, s.Name)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("prom: missing # EOF terminator")
+	}
+	return samples, nil
+}
+
+// familyOf resolves a sample name to its declared family, trying the
+// exact name first and then the conventional suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_total", "_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[base]; declared {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseSampleLine parses `name{label="value",...} value`.
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp is legal; take the first field as the value.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", body)
+		}
+		name := body[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		body = body[eq+1:]
+		if body == "" || body[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		end := -1
+		for j := 1; j < len(body); j++ {
+			if body[j] == '\\' {
+				j++
+				continue
+			}
+			if body[j] == '"' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		val := body[1:end]
+		val = strings.ReplaceAll(val, `\n`, "\n")
+		val = strings.ReplaceAll(val, `\"`, `"`)
+		val = strings.ReplaceAll(val, `\\`, `\`)
+		out[name] = val
+		body = body[end+1:]
+		if body != "" {
+			if body[0] != ',' {
+				return fmt.Errorf("missing comma after label %q", name)
+			}
+			body = body[1:]
+		}
+	}
+	return nil
+}
+
+// UpdateRuntimeGauges refreshes the process-health gauges (goroutine
+// count, heap in use, cumulative GC pause, GC cycles, uptime) on reg.
+// Called at scrape time, not on a timer — ReadMemStats is too heavy
+// for the hot path.
+func UpdateRuntimeGauges(reg *Registry, start time.Time) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("runtime.heap.inuse.bytes").Set(float64(ms.HeapInuse))
+	reg.Gauge("runtime.gc.pause.seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	reg.Gauge("runtime.gc.cycles").Set(float64(ms.NumGC))
+	reg.Gauge("process.uptime.seconds").Set(time.Since(start).Seconds())
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// roundTrip writes snap and parses it back, failing the test on
+// either side.
+func roundTrip(t *testing.T, snap RegistrySnapshot, rules ...LabelRule) []PromSample {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap, rules...); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("exposition does not parse against its own grammar: %v\nexposition:\n%s", err, buf.String())
+	}
+	return samples
+}
+
+func sampleValue(t *testing.T, samples []PromSample, name string, labels map[string]string) float64 {
+	t.Helper()
+outer:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue outer
+			}
+		}
+		return s.Value
+	}
+	t.Fatalf("no sample %s %v", name, labels)
+	return 0
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.accesses").Add(12345)
+	reg.Counter("service.requests.admitted").Add(7)
+	reg.Gauge("service.queue.depth").Set(3)
+	reg.Gauge("runtime.heap.inuse.bytes").Set(1.5e6)
+	reg.Counter("service.breaker.trips.bo").Add(2)
+	reg.Gauge("service.breaker.state.bo").Set(1)
+	reg.Gauge(`service.breaker.state.we"ird\arm`).Set(2)
+	h := reg.Histogram("sim.window.ipc")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	samples := roundTrip(t, reg.Snapshot(),
+		LabelRule{Prefix: "service.breaker.state", Label: "arm"},
+		LabelRule{Prefix: "service.breaker.trips", Label: "arm"})
+
+	if got := sampleValue(t, samples, "sim_accesses_total", nil); got != 12345 {
+		t.Errorf("sim_accesses_total = %v, want 12345", got)
+	}
+	if got := sampleValue(t, samples, "service_queue_depth", nil); got != 3 {
+		t.Errorf("service_queue_depth = %v, want 3", got)
+	}
+	if got := sampleValue(t, samples, "service_breaker_state", map[string]string{"arm": "bo"}); got != 1 {
+		t.Errorf("breaker state{arm=bo} = %v, want 1", got)
+	}
+	if got := sampleValue(t, samples, "service_breaker_trips_total", map[string]string{"arm": "bo"}); got != 2 {
+		t.Errorf("breaker trips{arm=bo} = %v, want 2", got)
+	}
+	// Escaped label values survive the round trip verbatim.
+	if got := sampleValue(t, samples, "service_breaker_state", map[string]string{"arm": `we"ird\arm`}); got != 2 {
+		t.Errorf(`breaker state{arm=we"ird\arm} = %v, want 2`, got)
+	}
+	// Histograms render as summaries: quantiles + _sum + _count.
+	if got := sampleValue(t, samples, "sim_window_ipc", map[string]string{"quantile": "0.5"}); got != 50 {
+		t.Errorf("ipc p50 = %v, want 50", got)
+	}
+	if got := sampleValue(t, samples, "sim_window_ipc_count", nil); got != 100 {
+		t.Errorf("ipc count = %v, want 100", got)
+	}
+	if got := sampleValue(t, samples, "sim_window_ipc_sum", nil); got != 5050 {
+		t.Errorf("ipc sum = %v, want 5050", got)
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Inc()
+	reg.Gauge("z.last").Set(1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition must end with # EOF, got:\n%s", out)
+	}
+	// Deterministic output: families sorted by name, TYPE precedes
+	// samples.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Error("exposition is not deterministic across identical snapshots")
+	}
+	if strings.Index(out, "# TYPE a_b counter") > strings.Index(out, "a_b_total") {
+		t.Errorf("TYPE line must precede its samples:\n%s", out)
+	}
+}
+
+func TestParsePrometheusRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"missing EOF":        "# TYPE a counter\na_total 1\n",
+		"sample without":     "a_total 1\n# EOF\n",
+		"bad metric name":    "# TYPE a counter\n9a 1\n# EOF\n",
+		"bad value":          "# TYPE a gauge\na one\n# EOF\n",
+		"unquoted label":     "# TYPE a gauge\na{x=1} 1\n# EOF\n",
+		"unterminated label": "# TYPE a gauge\na{x=\"1 1\n# EOF\n",
+		"content after EOF":  "# EOF\na 1\n",
+		"bad TYPE kind":      "# TYPE a widget\na 1\n# EOF\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition:\n%s", name, in)
+		}
+	}
+	// And the minimal valid stream parses.
+	if _, err := ParsePrometheus(strings.NewReader("# EOF\n")); err != nil {
+		t.Errorf("empty exposition with EOF must parse: %v", err)
+	}
+}
+
+func TestUpdateRuntimeGauges(t *testing.T) {
+	reg := NewRegistry()
+	start := time.Now().Add(-2 * time.Second)
+	UpdateRuntimeGauges(reg, start)
+	snap := reg.Snapshot()
+	if snap.Gauges["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap.inuse.bytes"] <= 0 {
+		t.Errorf("heap gauge = %v, want > 0", snap.Gauges["runtime.heap.inuse.bytes"])
+	}
+	if up := snap.Gauges["process.uptime.seconds"]; up < 2 {
+		t.Errorf("uptime = %v, want >= 2s", up)
+	}
+	UpdateRuntimeGauges(nil, start) // nil registry is a no-op
+}

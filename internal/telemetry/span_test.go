@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// spanKey is a span's identity without its timestamps: deterministic
+// IDs mean two runs of the same structure agree on exactly these
+// fields, regardless of scheduling.
+type spanKey struct {
+	ID, Parent SpanID
+	Track      string
+	Name       string
+}
+
+func keysOf(spans []SpanRecord) []spanKey {
+	out := make([]spanKey, len(spans))
+	for i, s := range spans {
+		out[i] = spanKey{s.ID, s.Parent, s.Track, s.Name}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// buildTree records the experiment pool's span structure on c:
+// sections run sequentially, and within a section each task owns its
+// own "task:<i>" track. Track names repeat across sections, which is
+// exactly what the root-ordinal continuity machinery exists for.
+func buildTree(c *Collector, sections, tasks int) {
+	for s := 0; s < sections; s++ {
+		for i := 0; i < tasks; i++ {
+			recordTask(c, i)
+		}
+	}
+}
+
+// recordTask records one task's sim.run tree on its own track.
+func recordTask(c *Collector, i int) {
+	run := c.StartSpan([]string{"task:0", "task:1", "task:2"}[i%3], "sim.run")
+	run.Child("checkpoint.load").End()
+	run.Child("sim.simulate").End()
+	run.End()
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	a, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTree(a, 2, 3)
+	buildTree(b, 2, 3)
+	ka, kb := keysOf(a.Spans()), keysOf(b.Spans())
+	if len(ka) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if len(ka) != len(kb) {
+		t.Fatalf("span counts differ: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Errorf("span %d differs: %+v vs %+v", i, ka[i], kb[i])
+		}
+	}
+	// Repeated (track, name) roots must get distinct ordinals, not
+	// colliding IDs.
+	seen := map[SpanID]bool{}
+	for _, k := range ka {
+		if seen[k.ID] {
+			t.Fatalf("duplicate span ID %016x", uint64(k.ID))
+		}
+		seen[k.ID] = true
+	}
+}
+
+// TestSpanMergeMatchesSerial is the jobs=1 vs jobs=N contract at the
+// collector level: the pool's span structure recorded directly on a
+// parent (serial) must be identical — as a set of
+// (ID, Parent, Track, Name) — to forking one child per task,
+// recording concurrently and merging, across multiple sequential
+// sections that reuse the same track names. Run under -race this
+// also shakes out span bookkeeping races.
+func TestSpanMergeMatchesSerial(t *testing.T) {
+	const sections, tasks = 3, 3
+	serial, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTree(serial, sections, tasks)
+
+	parent, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sections; s++ {
+		// One child per task, created up front (as the pool does), then
+		// recording concurrently; merge order is deterministic by index.
+		children := make([]*Collector, tasks)
+		for i := range children {
+			children[i] = parent.Child()
+		}
+		var wg sync.WaitGroup
+		for i := range children {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				recordTask(children[i], i)
+			}(i)
+		}
+		wg.Wait()
+		for _, ch := range children {
+			parent.Merge(ch)
+		}
+	}
+
+	want, got := keysOf(serial.Spans()), keysOf(parent.Spans())
+	if len(got) != len(want) {
+		t.Fatalf("merged span count %d, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span %d: merged %+v, serial %+v", i, got[i], want[i])
+		}
+	}
+	assertNoDanglingParents(t, parent.Spans())
+}
+
+func assertNoDanglingParents(t *testing.T, spans []SpanRecord) {
+	t.Helper()
+	ids := map[SpanID]bool{}
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	for _, s := range spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			t.Errorf("span %016x (%s) has dangling parent %016x",
+				uint64(s.ID), s.Name, uint64(s.Parent))
+		}
+	}
+}
+
+func TestStartSpanUnder(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := c.StartSpan("req:0001", "request")
+	child := c.StartSpanUnder(root.Ref(), "sim.run")
+	child.End()
+	root.End()
+
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["sim.run"].Parent != byName["request"].ID {
+		t.Errorf("sim.run parent = %016x, want request ID %016x",
+			uint64(byName["sim.run"].Parent), uint64(byName["request"].ID))
+	}
+	if byName["sim.run"].Track != "req:0001" {
+		t.Errorf("child span track = %q, want parent's track", byName["sim.run"].Track)
+	}
+
+	// A zero ref falls back to a detached root rather than inventing a
+	// parent that does not exist.
+	d := c.StartSpanUnder(SpanRef{}, "orphan")
+	d.End()
+	assertNoDanglingParents(t, c.Spans())
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	c, err := New(Config{SpanCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		c.StartSpan("t", "s").End()
+	}
+	if got := len(c.Spans()); got > 8 {
+		t.Errorf("retained %d spans, cap 8", got)
+	}
+	if c.SpanDrops() == 0 {
+		t.Error("drops not counted after overflowing the cap")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var c *Collector
+	sp := c.StartSpan("t", "s")
+	sp.Child("x").End()
+	sp.End()
+	c.StartSpanUnder(SpanRef{ID: 1, Track: "t"}, "y").End()
+	c.RunSpanChild("z").End()
+	c.SetRunSpan(nil)
+	if c.Spans() != nil || c.SpanDrops() != 0 {
+		t.Error("nil collector must report no spans")
+	}
+	var nilSpan *Span
+	nilSpan.End()
+	nilSpan.Child("c").End()
+	if nilSpan.Ref() != (SpanRef{}) {
+		t.Error("nil span ref must be zero")
+	}
+}
+
+// TestSpanIdempotentEnd: End twice records once.
+func TestSpanIdempotentEnd(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := c.StartSpan("t", "s")
+	sp.End()
+	sp.End()
+	if got := len(c.Spans()); got != 1 {
+		t.Errorf("double End recorded %d spans, want 1", got)
+	}
+}

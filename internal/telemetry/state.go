@@ -41,6 +41,8 @@ type collectorState struct {
 	Ring     []Event
 	RingNext int
 	RingWrap bool
+
+	ExplainN uint64
 }
 
 // SaveState implements checkpoint.Stater.
@@ -82,6 +84,9 @@ func (c *Collector) SaveState(w io.Writer) error {
 		st.RingNext = t.ringNext
 		st.RingWrap = t.ringWrap
 	}
+	c.obsMu.Lock()
+	st.ExplainN = c.explainN
+	c.obsMu.Unlock()
 	return gob.NewEncoder(w).Encode(st)
 }
 
@@ -129,5 +134,8 @@ func (c *Collector) LoadState(r io.Reader) error {
 			t.ringWrap = st.RingWrap
 		}
 	}
+	c.obsMu.Lock()
+	c.explainN = st.ExplainN
+	c.obsMu.Unlock()
 	return nil
 }

@@ -36,8 +36,24 @@ go test -run xxx -bench BenchmarkMatrixPool -benchtime 1x ./internal/experiments
 echo "== go test (fuzz corpus) =="
 go test -run Fuzz ./...
 
-echo "== soak smoke (resembled chaos/soak harness) =="
-go run ./cmd/resembled -soak
+echo "== disabled-telemetry overhead budget (counters, trace, spans, explain) =="
+go test -run DisabledHotPath -count 1 ./internal/telemetry/
+
+echo "== soak smoke (resembled chaos/soak harness, chrome trace) =="
+tracetmp=$(mktemp -d)
+trap 'rm -rf "$tracetmp"' EXIT
+go run ./cmd/resembled -soak -trace-chrome "$tracetmp/soak-trace.json"
+
+echo "== chrome trace validity (parses, ts monotone per track) =="
+go run ./cmd/resemble -workload 433.milc -controller resemble-t -n 4000 \
+    -trace-chrome "$tracetmp/run-trace.json" -explain "$tracetmp/decisions.jsonl" >/dev/null
+go run ./cmd/bench -validate-chrome "$tracetmp/run-trace.json"
+go run ./cmd/bench -validate-chrome "$tracetmp/soak-trace.json"
+
+echo "== bench regression gate =="
+# Compares the two newest BENCH_*.json files; skips cleanly when the
+# history has fewer than two entries.
+go run ./cmd/bench -compare-only
 
 echo "== go test ./... =="
 go test ./...
