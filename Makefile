@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: build test check bench bench-track fmt fault-matrix suite soak
+.PHONY: build test check bench bench-track profile fmt fault-matrix suite soak
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,13 @@ bench:
 # regression against the newest prior BENCH_*.json (see DESIGN.md §10).
 bench-track:
 	$(GO) run ./cmd/bench -out BENCH_5.json
+
+# Continuous profiling: runs the pinned benchmarks under CPU+alloc
+# profiling, writes PROF_<n>.json (top-N attribution tables decoded by
+# internal/pprofparse), and runs the alloc-budget and hotspot-diff
+# gates (see DESIGN.md §11).
+profile:
+	$(GO) run ./cmd/bench -profile -out BENCH_6.json
 
 fmt:
 	gofmt -w .

@@ -48,14 +48,35 @@ import (
 	"math/rand"
 )
 
-// Result is one pinned benchmark's measurement.
+// Result is one pinned benchmark's measurement. Schema 2: allocs/op
+// and bytes/op are recorded for every benchmark (explicit zeros
+// included — an allocation-free path is a measurement, not a gap),
+// and each benchmark carries its allocs/op budget so the gate travels
+// with the history.
 type Result struct {
-	Name        string             `json:"name"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
-	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
-	Iterations  int                `json:"iterations"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	Name         string             `json:"name"`
+	NsPerOp      float64            `json:"ns_per_op"`
+	AllocsPerOp  int64              `json:"allocs_per_op"`
+	BytesPerOp   int64              `json:"bytes_per_op"`
+	AllocsBudget int64              `json:"allocs_budget,omitempty"`
+	Iterations   int                `json:"iterations"`
+	Extra        map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchSchema versions the BENCH_<n>.json layout. 2 adds universal
+// allocs/bytes per op plus per-benchmark allocs_budget.
+const benchSchema = 2
+
+// allocBudgets pins the allocs/op budget per benchmark — roughly 1.25x
+// the measured baseline (BENCH_5 era plus the attribution layer), so
+// ordinary drift passes and a structural allocation regression fails.
+// A budget of 0 means ungated.
+var allocBudgets = map[string]int64{
+	"sim.step":        80000,
+	"dqn.forward":     16,
+	"tabular.update":  8,
+	"pool.throughput": 140000,
+	"service.request": 12000,
 }
 
 // Env is the environment manifest recorded with every report, so a
@@ -70,11 +91,15 @@ type Env struct {
 
 // Report is the BENCH_<n>.json schema.
 type Report struct {
-	Schema  int      `json:"schema"`
-	Created string   `json:"created"`
-	Quick   bool     `json:"quick,omitempty"`
-	Env     Env      `json:"env"`
-	Results []Result `json:"results"`
+	Schema  int    `json:"schema"`
+	Created string `json:"created"`
+	Quick   bool   `json:"quick,omitempty"`
+	// Profiled marks reports taken under -profile: the CPU profiler
+	// and the finer MemProfileRate inflate ns/op by 10-20%, so timings
+	// are only comparable between like-for-like runs.
+	Profiled bool     `json:"profiled,omitempty"`
+	Env      Env      `json:"env"`
+	Results  []Result `json:"results"`
 }
 
 func main() {
@@ -93,6 +118,7 @@ func run() error {
 		compareOnly = flag.Bool("compare-only", false, "compare the two newest BENCH_*.json files without running benchmarks")
 		dir         = flag.String("dir", ".", "directory holding BENCH_*.json history")
 		chrome      = flag.String("validate-chrome", "", "validate a Chrome trace-event file and exit")
+		profile     = flag.Bool("profile", false, "capture per-benchmark CPU+alloc profiles, write PROF_<n>.json, and run the hotspot gate")
 	)
 	flag.Parse()
 
@@ -105,7 +131,10 @@ func run() error {
 	}
 
 	if *compareOnly {
-		return compareNewest(*dir, *threshold)
+		if err := compareNewest(*dir, *threshold); err != nil {
+			return err
+		}
+		return compareNewestProf(*dir)
 	}
 
 	if *quick {
@@ -117,7 +146,7 @@ func run() error {
 	}
 
 	rep := Report{
-		Schema:  1,
+		Schema:  benchSchema,
 		Created: time.Now().UTC().Format(time.RFC3339),
 		Quick:   *quick,
 		Env: Env{
@@ -129,16 +158,23 @@ func run() error {
 		},
 	}
 
+	var prof *profiler
+	if *profile {
+		prof = newProfiler(*quick)
+		rep.Profiled = true
+	}
+
 	scale := 1
 	if *quick {
 		scale = 4
 	}
 	for _, bm := range pinned(scale) {
 		fmt.Fprintf(os.Stderr, "running %-18s ... ", bm.name)
-		res, err := bm.run()
+		res, err := prof.wrap(bm.name, bm.run)
 		if err != nil {
 			return fmt.Errorf("%s: %w", bm.name, err)
 		}
+		res.AllocsBudget = allocBudgets[res.Name]
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op\n", res.NsPerOp)
 		rep.Results = append(rep.Results, res)
 	}
@@ -150,6 +186,11 @@ func run() error {
 	if *out == "" || *quick {
 		fmt.Println(string(enc))
 		if *quick {
+			// Quick profiling is a smoke signal: decode, print, no
+			// files, no gates.
+			if prof != nil {
+				prof.printTop(5)
+			}
 			return nil
 		}
 	}
@@ -160,6 +201,26 @@ func run() error {
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
 	}
 
+	var profPath string
+	if prof != nil {
+		profPath = profPathFor(*out, *dir)
+		penc, err := json.MarshalIndent(prof.rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(profPath, append(penc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmark profiles)\n", profPath, len(prof.rep.Benchmarks))
+	}
+
+	// Allocation budgets gate against the report itself, so they hold
+	// even on a fresh checkout with no history.
+	if breaches := budgetBreaches(&rep); len(breaches) > 0 {
+		return fmt.Errorf("%d allocation budget breach(es):\n  %s",
+			len(breaches), joinLines(breaches))
+	}
+
 	// Gate against the newest prior report, excluding the file we just
 	// wrote. No prior history means this run records the baseline.
 	prior, name, err := newestReport(*dir, *out)
@@ -168,9 +229,22 @@ func run() error {
 	}
 	if prior == nil {
 		fmt.Println("no prior BENCH_*.json; baseline recorded, regression gate skipped")
-		return nil
+	} else if err := gate(prior, &rep, name, *threshold); err != nil {
+		return err
 	}
-	return gate(prior, &rep, name, *threshold)
+
+	if prof != nil {
+		priorProf, profName, err := newestProfReport(*dir, profPath)
+		if err != nil {
+			return err
+		}
+		if priorProf == nil {
+			fmt.Println("no prior PROF_*.json; profile baseline recorded, hotspot gate skipped")
+			return nil
+		}
+		return profGate(priorProf, &prof.rep, profName)
+	}
+	return nil
 }
 
 // pinnedBench is one named benchmark with its runner.
@@ -312,6 +386,11 @@ func benchServiceLatency(accesses, requests int) (Result, error) {
 
 	body, _ := json.Marshal(service.Request{Workload: "433.milc", Controller: "resemble-t", Accesses: accesses})
 	durs := make([]time.Duration, 0, requests)
+	// Process-wide allocation delta across the request loop, divided by
+	// requests: not as clean as testing.B accounting (it includes the
+	// worker side — intentionally, that IS the request cost), but exact
+	// counters via runtime/metrics.
+	allocStart := telemetry.ReadAllocCounters()
 	for i := 0; i < requests; i++ {
 		start := time.Now()
 		resp, err := http.Post("http://"+s.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
@@ -336,12 +415,15 @@ func benchServiceLatency(accesses, requests int) (Result, error) {
 		}
 		return float64(durs[idx].Nanoseconds())
 	}
+	allocEnd := telemetry.ReadAllocCounters()
 	p50, p99 := quantile(0.50), quantile(0.99)
 	return Result{
-		Name:       "service.request",
-		NsPerOp:    p50,
-		Iterations: requests,
-		Extra:      map[string]float64{"p50_ns": p50, "p99_ns": p99},
+		Name:        "service.request",
+		NsPerOp:     p50,
+		AllocsPerOp: int64(allocEnd.Objects-allocStart.Objects) / int64(requests),
+		BytesPerOp:  int64(allocEnd.Bytes-allocStart.Bytes) / int64(requests),
+		Iterations:  requests,
+		Extra:       map[string]float64{"p50_ns": p50, "p99_ns": p99},
 	}, nil
 }
 
@@ -433,19 +515,43 @@ func compareNewest(dir string, threshold float64) error {
 	return gate(prev, cur, files[len(files)-2], threshold)
 }
 
+// budgetBreaches reports every benchmark in rep whose allocs/op
+// exceeds its recorded budget (budget 0 = ungated).
+func budgetBreaches(rep *Report) []string {
+	var breaches []string
+	for _, r := range rep.Results {
+		if r.AllocsBudget > 0 && r.AllocsPerOp > r.AllocsBudget {
+			breaches = append(breaches, fmt.Sprintf(
+				"%s: %d allocs/op exceeds budget %d", r.Name, r.AllocsPerOp, r.AllocsBudget))
+		}
+	}
+	return breaches
+}
+
 // gate compares cur against prior and fails on regressions beyond
-// threshold. Quick-mode reports are never gated — single-iteration
-// timings are smoke signals, not measurements.
+// threshold, and on any allocation-budget breach in cur. Quick-mode
+// reports are never gated — single-iteration timings are smoke
+// signals, not measurements.
 func gate(prior, cur *Report, priorName string, threshold float64) error {
 	if prior.Quick || cur.Quick {
 		fmt.Println("quick-mode report in comparison; regression gate skipped")
+		return nil
+	}
+	if prior.Profiled != cur.Profiled {
+		// Profiler overhead makes the timings incomparable; the
+		// allocation budgets are self-contained and still apply.
+		fmt.Println("profiling differs between reports; ns/op gate skipped (alloc budgets still apply)")
+		if breaches := budgetBreaches(cur); len(breaches) > 0 {
+			return fmt.Errorf("%d allocation budget breach(es):\n  %s",
+				len(breaches), joinLines(breaches))
+		}
 		return nil
 	}
 	priorByName := make(map[string]Result, len(prior.Results))
 	for _, r := range prior.Results {
 		priorByName[r.Name] = r
 	}
-	var regressions []string
+	regressions := budgetBreaches(cur)
 	for _, r := range cur.Results {
 		p, ok := priorByName[r.Name]
 		if !ok || p.NsPerOp <= 0 {

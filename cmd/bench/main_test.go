@@ -1,0 +1,127 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resemble/internal/pprofparse"
+)
+
+func report(results ...Result) *Report {
+	return &Report{Schema: benchSchema, Results: results}
+}
+
+// TestGateBudgetBreach: a seeded allocs/op budget breach fails the
+// gate even when ns/op is flat.
+func TestGateBudgetBreach(t *testing.T) {
+	prior := report(Result{Name: "sim.step", NsPerOp: 1000, AllocsPerOp: 100, AllocsBudget: 120})
+	cur := report(Result{Name: "sim.step", NsPerOp: 1000, AllocsPerOp: 121, AllocsBudget: 120})
+	err := gate(prior, cur, "BENCH_1.json", 0.15)
+	if err == nil {
+		t.Fatal("budget breach passed the gate")
+	}
+	if !strings.Contains(err.Error(), "exceeds budget") || !strings.Contains(err.Error(), "sim.step") {
+		t.Errorf("breach error does not name the benchmark and budget: %v", err)
+	}
+}
+
+func TestGateBudgetWithin(t *testing.T) {
+	prior := report(Result{Name: "sim.step", NsPerOp: 1000, AllocsPerOp: 100, AllocsBudget: 120})
+	cur := report(Result{Name: "sim.step", NsPerOp: 1010, AllocsPerOp: 119, AllocsBudget: 120})
+	if err := gate(prior, cur, "BENCH_1.json", 0.15); err != nil {
+		t.Fatalf("within-budget report failed the gate: %v", err)
+	}
+	// Budget 0 means ungated regardless of allocs/op.
+	cur = report(Result{Name: "sim.step", NsPerOp: 1000, AllocsPerOp: 1 << 40})
+	if err := gate(prior, cur, "BENCH_1.json", 0.15); err != nil {
+		t.Fatalf("ungated benchmark failed the gate: %v", err)
+	}
+}
+
+// TestGateNsRegressionStillFails: the original ns/op gate survives the
+// schema bump.
+func TestGateNsRegressionStillFails(t *testing.T) {
+	prior := report(Result{Name: "sim.step", NsPerOp: 1000})
+	cur := report(Result{Name: "sim.step", NsPerOp: 1300})
+	if err := gate(prior, cur, "BENCH_1.json", 0.15); err == nil {
+		t.Fatal("30% ns/op regression passed the gate")
+	}
+}
+
+func profBench(name string, total int64, funcs ...pprofparse.Entry) ProfBench {
+	return ProfBench{Name: name, AllocBytesTop: funcs, TotalAllocBytes: total}
+}
+
+// TestProfGateNewSymbol: a symbol entering the top-10 flat alloc-bytes
+// table with >= 5% of the benchmark's bytes fails the hotspot gate.
+func TestProfGateNewSymbol(t *testing.T) {
+	prior := &ProfReport{Schema: profSchema, Benchmarks: []ProfBench{
+		profBench("sim.step", 1000,
+			pprofparse.Entry{Func: "sim.run", Flat: 600},
+			pprofparse.Entry{Func: "trace.gen", Flat: 400}),
+	}}
+	cur := &ProfReport{Schema: profSchema, Benchmarks: []ProfBench{
+		profBench("sim.step", 1100,
+			pprofparse.Entry{Func: "sim.run", Flat: 600},
+			pprofparse.Entry{Func: "evil.alloc", Flat: 100}, // 9% of total: hotspot
+			pprofparse.Entry{Func: "trace.gen", Flat: 400}),
+	}}
+	err := profGate(prior, cur, "PROF_1.json")
+	if err == nil {
+		t.Fatal("new alloc hotspot passed the gate")
+	}
+	if !strings.Contains(err.Error(), "evil.alloc") {
+		t.Errorf("hotspot error does not name the symbol: %v", err)
+	}
+}
+
+// TestProfGateIgnoresTailNoise: newcomers below the 5% floor pass.
+func TestProfGateIgnoresTailNoise(t *testing.T) {
+	prior := &ProfReport{Schema: profSchema, Benchmarks: []ProfBench{
+		profBench("sim.step", 1000, pprofparse.Entry{Func: "sim.run", Flat: 990}),
+	}}
+	cur := &ProfReport{Schema: profSchema, Benchmarks: []ProfBench{
+		profBench("sim.step", 1000,
+			pprofparse.Entry{Func: "sim.run", Flat: 980},
+			pprofparse.Entry{Func: "tiny.helper", Flat: 20}), // 2%: noise
+	}}
+	if err := profGate(prior, cur, "PROF_1.json"); err != nil {
+		t.Fatalf("tail noise failed the gate: %v", err)
+	}
+}
+
+func TestProfGateSkipsQuick(t *testing.T) {
+	prior := &ProfReport{Schema: profSchema, Quick: true}
+	cur := &ProfReport{Schema: profSchema, Benchmarks: []ProfBench{
+		profBench("sim.step", 100, pprofparse.Entry{Func: "anything", Flat: 100}),
+	}}
+	if err := profGate(prior, cur, "PROF_1.json"); err != nil {
+		t.Fatalf("quick prior should skip the gate: %v", err)
+	}
+}
+
+func TestProfPathFor(t *testing.T) {
+	if got := profPathFor(filepath.Join("x", "BENCH_7.json"), "."); got != filepath.Join("x", "PROF_7.json") {
+		t.Errorf("profPathFor with -out = %q", got)
+	}
+	if got := profPathFor("", t.TempDir()); filepath.Base(got) != "PROF_1.json" {
+		t.Errorf("profPathFor with empty history = %q", got)
+	}
+}
+
+// TestGateSkipsNsWhenProfilingDiffers: profiler overhead makes ns/op
+// incomparable across profiled/unprofiled runs; the budget gate still
+// holds.
+func TestGateSkipsNsWhenProfilingDiffers(t *testing.T) {
+	prior := report(Result{Name: "sim.step", NsPerOp: 1000})
+	cur := report(Result{Name: "sim.step", NsPerOp: 1300})
+	cur.Profiled = true
+	if err := gate(prior, cur, "BENCH_1.json", 0.15); err != nil {
+		t.Fatalf("profiled-vs-unprofiled ns delta failed the gate: %v", err)
+	}
+	cur.Results[0].AllocsPerOp, cur.Results[0].AllocsBudget = 200, 100
+	if err := gate(prior, cur, "BENCH_1.json", 0.15); err == nil {
+		t.Fatal("budget breach passed the gate on a profiled report")
+	}
+}

@@ -1,0 +1,358 @@
+package main
+
+// Profiling mode for the benchmark tracker (-profile): every pinned
+// benchmark runs under a CPU profile and between two snapshots of the
+// cumulative allocation profile. The deltas are decoded in-process by
+// internal/pprofparse into top-N flat/cumulative tables and written to
+// a PROF_<n>.json paired with the BENCH_<n>.json report, giving the
+// regression history symbol-level attribution: not just "sim.step got
+// slower / allocates more" but *which function* owns the growth.
+//
+// The PROF history also feeds a hotspot gate: a symbol entering a
+// benchmark's top-10 flat alloc-bytes table that was absent from the
+// prior PROF report — and owns at least 5% of the benchmark's
+// allocated bytes — fails the run, catching accidental allocation
+// hotspots that stay inside the coarse allocs/op budget.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	rpprof "runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"resemble/internal/pprofparse"
+)
+
+// profSchema versions the PROF_<n>.json layout.
+const profSchema = 1
+
+// profTopN bounds the per-benchmark symbol tables.
+const profTopN = 10
+
+// ProfBench is one benchmark's decoded profile summary.
+type ProfBench struct {
+	Name string `json:"name"`
+	// CPUTop is the top of the flat CPU-nanoseconds table.
+	CPUTop []pprofparse.Entry `json:"cpu_top,omitempty"`
+	// AllocBytesTop / AllocObjectsTop are per-function allocation
+	// deltas across the benchmark run (alloc_space / alloc_objects),
+	// flat-sorted. Values are sampled (MemProfileRate), not exact.
+	AllocBytesTop     []pprofparse.Entry `json:"alloc_bytes_top,omitempty"`
+	AllocObjectsTop   []pprofparse.Entry `json:"alloc_objects_top,omitempty"`
+	TotalAllocBytes   int64              `json:"total_alloc_bytes"`
+	TotalAllocObjects int64              `json:"total_alloc_objects"`
+	// Notes records non-fatal capture degradations (e.g. the CPU
+	// profiler was already claimed by another caller).
+	Notes string `json:"notes,omitempty"`
+}
+
+// ProfReport is the PROF_<n>.json schema.
+type ProfReport struct {
+	Schema     int         `json:"schema"`
+	Created    string      `json:"created"`
+	Quick      bool        `json:"quick,omitempty"`
+	Benchmarks []ProfBench `json:"benchmarks"`
+}
+
+// profiler wraps pinned-benchmark runs with profile capture. A nil
+// profiler is a transparent pass-through.
+type profiler struct {
+	rep ProfReport
+}
+
+func newProfiler(quick bool) *profiler {
+	// Finer allocation sampling: the default 512KiB rate leaves small
+	// benchmarks (dqn.forward, tabular.update) statistically invisible.
+	runtime.MemProfileRate = 32 * 1024
+	return &profiler{rep: ProfReport{
+		Schema:  profSchema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Quick:   quick,
+	}}
+}
+
+// wrap runs one pinned benchmark under profile capture. Capture
+// failures degrade to notes — they never fail the benchmark itself.
+func (p *profiler) wrap(name string, run func() (Result, error)) (Result, error) {
+	if p == nil {
+		return run()
+	}
+	pb := ProfBench{Name: name}
+	before, berr := allocsSnapshot()
+
+	var cpuBuf bytes.Buffer
+	cpuErr := rpprof.StartCPUProfile(&cpuBuf)
+	res, runErr := run()
+	if cpuErr == nil {
+		rpprof.StopCPUProfile()
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+
+	after, aerr := allocsSnapshot()
+	switch {
+	case berr != nil:
+		pb.Notes = note(pb.Notes, fmt.Sprintf("alloc snapshot (before): %v", berr))
+	case aerr != nil:
+		pb.Notes = note(pb.Notes, fmt.Sprintf("alloc snapshot (after): %v", aerr))
+	default:
+		pb.AllocBytesTop = topDiff(before, after, "alloc_space")
+		pb.AllocObjectsTop = topDiff(before, after, "alloc_objects")
+		pb.TotalAllocBytes = totalDelta(before, after, "alloc_space")
+		pb.TotalAllocObjects = totalDelta(before, after, "alloc_objects")
+	}
+
+	if cpuErr != nil {
+		pb.Notes = note(pb.Notes, fmt.Sprintf("cpu profile unavailable: %v", cpuErr))
+	} else if cp, err := pprofparse.ParseData(cpuBuf.Bytes()); err != nil {
+		pb.Notes = note(pb.Notes, fmt.Sprintf("cpu profile decode: %v", err))
+	} else {
+		pb.CPUTop = cp.TopByName("cpu", profTopN)
+	}
+
+	p.rep.Benchmarks = append(p.rep.Benchmarks, pb)
+	return res, nil
+}
+
+func note(existing, add string) string {
+	if existing == "" {
+		return add
+	}
+	return existing + "; " + add
+}
+
+// allocsSnapshot decodes the cumulative allocation profile
+// (alloc_space/alloc_objects since process start, post-GC so inuse
+// numbers are settled too).
+func allocsSnapshot() (*pprofparse.Profile, error) {
+	prof := rpprof.Lookup("allocs")
+	if prof == nil {
+		return nil, fmt.Errorf("allocs profile not registered")
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		return nil, err
+	}
+	return pprofparse.ParseData(buf.Bytes())
+}
+
+// selfProfilingPrefixes: allocations made by the profiling machinery
+// itself (serializing the snapshots) land between the two snapshots
+// and would crowd the tables with constant noise. They carry no signal
+// about the benchmark, so the diff drops them.
+var selfProfilingPrefixes = []string{"runtime/pprof.", "compress/"}
+
+func isSelfProfiling(fn string) bool {
+	for _, p := range selfProfilingPrefixes {
+		if strings.HasPrefix(fn, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// topDiff returns the top flat entries of (after - before) for the
+// named sample type, with the profiler's own allocations filtered.
+func topDiff(before, after *pprofparse.Profile, typeName string) []pprofparse.Entry {
+	entries := pprofparse.DiffProfiles(before, after, typeName)
+	kept := entries[:0]
+	for _, e := range entries {
+		if !isSelfProfiling(e.Func) {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) > profTopN {
+		kept = kept[:profTopN]
+	}
+	return kept
+}
+
+// totalDelta is the total-value delta for the named sample type.
+func totalDelta(before, after *pprofparse.Profile, typeName string) int64 {
+	bi, ai := before.TypeIndex(typeName), after.TypeIndex(typeName)
+	if bi < 0 || ai < 0 {
+		return 0
+	}
+	return after.Total(ai) - before.Total(bi)
+}
+
+// printTop writes a human summary of the profile report to stdout —
+// the whole output of a -profile -quick smoke run.
+func (p *profiler) printTop(n int) {
+	for _, b := range p.rep.Benchmarks {
+		fmt.Printf("profile %s: %d alloc bytes, %d objects\n", b.Name, b.TotalAllocBytes, b.TotalAllocObjects)
+		limit := func(e []pprofparse.Entry) []pprofparse.Entry {
+			if len(e) > n {
+				return e[:n]
+			}
+			return e
+		}
+		for _, e := range limit(b.AllocBytesTop) {
+			fmt.Printf("  alloc %12d flat %12d cum  %s\n", e.Flat, e.Cum, e.Func)
+		}
+		for _, e := range limit(b.CPUTop) {
+			fmt.Printf("  cpu   %12d flat %12d cum  %s\n", e.Flat, e.Cum, e.Func)
+		}
+		if b.Notes != "" {
+			fmt.Printf("  note: %s\n", b.Notes)
+		}
+	}
+}
+
+// --- PROF file history ---
+
+var profFileRE = regexp.MustCompile(`^PROF_(\d+)\.json$`)
+
+// profPathFor pairs the PROF file with the BENCH report: the index
+// comes from -out BENCH_<n>.json when given, else from the newest
+// BENCH file in dir (so an uncommitted run refreshes that baseline's
+// attribution), else 1.
+func profPathFor(out, dir string) string {
+	if out != "" {
+		if m := benchFileRE.FindStringSubmatch(filepath.Base(out)); m != nil {
+			return filepath.Join(filepath.Dir(out), "PROF_"+m[1]+".json")
+		}
+	}
+	files, err := benchFiles(dir)
+	if err == nil && len(files) > 0 {
+		m := benchFileRE.FindStringSubmatch(filepath.Base(files[len(files)-1]))
+		if m != nil {
+			return filepath.Join(dir, "PROF_"+m[1]+".json")
+		}
+	}
+	return filepath.Join(dir, "PROF_1.json")
+}
+
+// profFiles lists PROF_*.json in dir sorted by numeric suffix.
+func profFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		name string
+		n    int
+	}
+	var files []numbered
+	for _, e := range entries {
+		m := profFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		files = append(files, numbered{e.Name(), n})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = filepath.Join(dir, f.name)
+	}
+	return out, nil
+}
+
+func readProfReport(path string) (*ProfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ProfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// newestProfReport loads the PROF file with the highest suffix,
+// excluding the path just written. nil with no error when empty.
+func newestProfReport(dir, exclude string) (*ProfReport, string, error) {
+	files, err := profFiles(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		if exclude != "" && filepath.Base(files[i]) == filepath.Base(exclude) {
+			continue
+		}
+		r, err := readProfReport(files[i])
+		if err != nil {
+			return nil, "", err
+		}
+		return r, files[i], nil
+	}
+	return nil, "", nil
+}
+
+// --- hotspot gate ---
+
+// newSymbolMinFraction: a newcomer must own at least this fraction of
+// the benchmark's allocated bytes to fail the gate — symbols drifting
+// in and out of the top-10 tail are noise, a 5% owner is a hotspot.
+const newSymbolMinFraction = 0.05
+
+// profGate fails when a symbol enters a benchmark's top-10 flat
+// alloc-bytes table that was absent from the prior report and owns at
+// least newSymbolMinFraction of that benchmark's allocated bytes.
+func profGate(prior, cur *ProfReport, priorName string) error {
+	if prior.Quick || cur.Quick {
+		fmt.Println("quick-mode profile in comparison; hotspot gate skipped")
+		return nil
+	}
+	priorByName := make(map[string]ProfBench, len(prior.Benchmarks))
+	for _, b := range prior.Benchmarks {
+		priorByName[b.Name] = b
+	}
+	var fails []string
+	for _, b := range cur.Benchmarks {
+		pb, ok := priorByName[b.Name]
+		if !ok || len(pb.AllocBytesTop) == 0 || len(b.AllocBytesTop) == 0 {
+			continue
+		}
+		minFlat := int64(float64(b.TotalAllocBytes) * newSymbolMinFraction)
+		if minFlat < 1 {
+			minFlat = 1
+		}
+		newcomers := pprofparse.NewSymbols(pb.AllocBytesTop, b.AllocBytesTop, profTopN, minFlat)
+		for _, sym := range newcomers {
+			fails = append(fails, fmt.Sprintf("%s: new alloc hotspot %s (>=%d B, %d%% threshold)",
+				b.Name, sym, minFlat, int(100*newSymbolMinFraction)))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d new allocation hotspot(s) vs %s:\n  %s",
+			len(fails), priorName, joinLines(fails))
+	}
+	fmt.Printf("no new allocation hotspots vs %s\n", priorName)
+	return nil
+}
+
+// compareNewestProf runs the hotspot gate over the two newest PROF
+// files; fewer than two skips cleanly, like the bench comparison.
+func compareNewestProf(dir string) error {
+	files, err := profFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(files) < 2 {
+		fmt.Printf("profile history has %d file(s); hotspot gate skipped (need 2)\n", len(files))
+		return nil
+	}
+	prev, err := readProfReport(files[len(files)-2])
+	if err != nil {
+		return err
+	}
+	cur, err := readProfReport(files[len(files)-1])
+	if err != nil {
+		return err
+	}
+	return profGate(prev, cur, files[len(files)-2])
+}

@@ -134,10 +134,11 @@ func run() (err error) {
 	}
 
 	if *pprofHTTP != "" {
-		addr, herr := telemetry.ServePprof(*pprofHTTP)
+		addr, psrv, herr := telemetry.ServePprof(*pprofHTTP)
 		if herr != nil {
 			return herr
 		}
+		defer psrv.Close()
 		fmt.Printf("pprof listening on %s\n", addr)
 	}
 	if *pprofDir != "" {

@@ -56,6 +56,9 @@ func main() {
 		soak       = flag.Bool("soak", false, "run the chaos/soak harness instead of serving")
 		soakFor    = flag.Duration("soak.duration", 10*time.Second, "approximate soak length")
 		soakAccess = flag.Int("soak.accesses", 4000, "trace length per soak request")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off); drained with the service")
+		profDir    = flag.String("profile-dir", "", "enable the profile capture manager (POST /debug/profile/capture) writing under this directory")
+		allocAttr  = flag.Bool("alloc-attribution", true, "per-phase allocation attribution in telemetry (requires a telemetry sink to surface)")
 	)
 	flag.Parse()
 
@@ -78,9 +81,10 @@ func main() {
 	var tel *telemetry.Collector
 	if *telDir != "" || *chromeOut != "" || *explainN > 0 {
 		tel, err = telemetry.New(telemetry.Config{
-			Dir:           *telDir,
-			ChromeOut:     *chromeOut,
-			ExplainSample: *explainN,
+			Dir:              *telDir,
+			ChromeOut:        *chromeOut,
+			ExplainSample:    *explainN,
+			AllocAttribution: *allocAttr,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "resembled: %v\n", err)
@@ -100,6 +104,8 @@ func main() {
 		Resume:          *resume,
 		Telemetry:       tel,
 		Logger:          logger,
+		PprofAddr:       *pprofAddr,
+		Profile:         service.ProfileConfig{Dir: *profDir},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)

@@ -105,6 +105,9 @@ func (k *soak) phaseEquivalence() {
 		Workers:         k.cfg.workers,
 		DefaultAccesses: k.cfg.accesses,
 		Telemetry:       tel,
+		// The pprof sidecar rides along so the drain path and the
+		// end-of-soak goroutine audit cover its serve goroutine too.
+		PprofAddr: "127.0.0.1:0",
 	})
 	if err != nil {
 		k.failf("service.New: %v", err)
@@ -114,6 +117,13 @@ func (k *soak) phaseEquivalence() {
 		k.failf("service.Start: %v", err)
 		return
 	}
+	if resp, err := http.Get("http://" + s.PprofAddr() + "/debug/pprof/"); err != nil || resp.StatusCode != http.StatusOK {
+		k.failf("pprof sidecar index: err=%v", err)
+	} else {
+		resp.Body.Close()
+		k.passf("pprof sidecar serving on %s", s.PprofAddr())
+	}
+	pprofAddr := s.PprofAddr()
 
 	reqs := []service.Request{
 		{Workload: "433.milc", Controller: "resemble-t", Accesses: k.cfg.accesses},
@@ -132,6 +142,11 @@ func (k *soak) phaseEquivalence() {
 	}
 	if err := s.Close(); err != nil {
 		k.failf("drain: %v", err)
+	}
+	if _, err := http.Get("http://" + pprofAddr + "/debug/pprof/"); err == nil {
+		k.failf("pprof sidecar still serving after drain")
+	} else {
+		k.passf("pprof sidecar shut down with the service")
 	}
 
 	// Batch reference: same requests, serially, one runner + collector.
@@ -214,6 +229,69 @@ func (k *soak) scrapeReady(addr string) (float64, bool) {
 	return 0, false
 }
 
+// auditAttribution asserts the per-phase allocation counters reach the
+// exposition with phase labels once runs have completed.
+func (k *soak) auditAttribution(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		k.failf("attribution scrape: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	samples, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		k.failf("/metrics exposition invalid: %v", err)
+		return
+	}
+	phases := map[string]bool{}
+	for _, smp := range samples {
+		if smp.Name == "phase_allocs_bytes_total" {
+			phases[smp.Labels["phase"]] = true
+		}
+	}
+	if !phases["sim.run"] || !phases["request"] {
+		k.failf("phase_allocs_bytes missing core phases (got %v)", phases)
+		return
+	}
+	k.passf("per-phase allocation counters on /metrics (%d phases)", len(phases))
+}
+
+// auditCapture takes an on-demand profile capture over HTTP and
+// validates the manifest: files on disk, decoded top alloc symbols.
+func (k *soak) auditCapture(addr string) {
+	resp, err := http.Post("http://"+addr+"/debug/profile/capture?cpu_ms=50", "", nil)
+	if err != nil {
+		k.failf("profile capture: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var info service.CaptureInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		k.failf("capture manifest decode (status %d): %v", resp.StatusCode, err)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		k.failf("capture status %d: %s", resp.StatusCode, info.Error)
+		return
+	}
+	if info.Seq < 1 || len(info.Files) == 0 {
+		k.failf("capture manifest incomplete: %+v", info)
+		return
+	}
+	for _, f := range info.Files {
+		if _, err := os.Stat(filepath.Join(info.Dir, f)); err != nil {
+			k.failf("capture file %s: %v", f, err)
+			return
+		}
+	}
+	if len(info.TopAllocSpace) == 0 {
+		k.failf("capture manifest has no decoded alloc symbols")
+		return
+	}
+	k.passf("on-demand capture %d: %v, top alloc %s",
+		info.Seq, info.Files, info.TopAllocSpace[0].Func)
+}
+
 // phaseChaosAndRecovery runs the fault window — stuck arm, failing
 // checkpoint writer, slow handlers under a tiny queue — asserts every
 // resilience mechanism engages, then lifts the chaos and asserts the
@@ -233,7 +311,10 @@ func (k *soak) phaseChaosAndRecovery() {
 		FaultSeed:          97,
 		CheckpointFailures: 2,
 	}
-	chaosTel, err := telemetry.New(telemetry.Config{})
+	// Attribution on in the chaos window: phase 1 keeps it off to
+	// preserve the byte-identity contract, here it must survive chaos
+	// and surface on /metrics.
+	chaosTel, err := telemetry.New(telemetry.Config{AllocAttribution: true})
 	if err != nil {
 		k.failf("chaos telemetry: %v", err)
 		return
@@ -242,6 +323,7 @@ func (k *soak) phaseChaosAndRecovery() {
 		Workers:    1,
 		QueueDepth: 2,
 		Telemetry:  chaosTel,
+		Profile:    service.ProfileConfig{Dir: filepath.Join(dir, "profiles"), Ring: 2},
 		// Periodic checkpoints tick inside the chaos window so the
 		// injected write failures actually hit the retry pipeline.
 		CheckpointPath:  ckpt,
@@ -402,6 +484,12 @@ func (k *soak) phaseChaosAndRecovery() {
 	} else {
 		k.passf("breaker closed after clean probe run")
 	}
+
+	// Attribution and capture audit: per-phase allocation counters must
+	// be on /metrics, and an on-demand capture must produce a manifest
+	// whose heap profile round-trips through the in-tree decoder.
+	k.auditAttribution(s.Addr())
+	k.auditCapture(s.Addr())
 
 	// Drain: final checkpoint must land despite the injected write
 	// failures earlier (the retry layer absorbed them).

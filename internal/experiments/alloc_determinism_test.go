@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"resemble/internal/sim"
+	"resemble/internal/telemetry"
+	"resemble/internal/trace"
+)
+
+// allocAttributionRun executes Fig1c with allocation attribution on at
+// the given job level and returns (a) the deterministic projection of
+// the merged per-phase attribution — phase names and visit counts,
+// marshalled — and (b) the windows stream with the nondeterministic
+// byte/object values stripped.
+func allocAttributionRun(t *testing.T, jobs int) (phases []byte, windows string) {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{Dir: t.TempDir(), AllocAttribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o := Options{
+		Accesses: 4000,
+		Batch:    64,
+		Out:      &out,
+		Jobs:     jobs,
+		Sim:      []sim.Option{sim.WithTelemetry(tel)},
+		Traces:   trace.NewCache(0),
+	}
+	if _, err := Fig1c(o); err != nil {
+		t.Fatal(err)
+	}
+
+	type phaseCount struct {
+		Phase string `json:"phase"`
+		Count uint64 `json:"count"`
+	}
+	var proj []phaseCount
+	for _, pa := range tel.PhaseAllocs() {
+		if pa.AllocObjects == 0 && pa.AllocBytes != 0 {
+			t.Errorf("phase %s: bytes without objects", pa.Phase)
+		}
+		proj = append(proj, phaseCount{pa.Phase, pa.Count})
+	}
+	enc, err := json.Marshal(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip the process-global counters from the window stream; the
+	// remaining fields must survive the merge untouched.
+	var kept []string
+	dec := json.NewDecoder(strings.NewReader(windowsJSON(t, tel)))
+	for dec.More() {
+		var m map[string]any
+		if err := dec.Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "alloc_bytes")
+		delete(m, "alloc_objects")
+		line, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept = append(kept, string(line))
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return enc, strings.Join(kept, "\n")
+}
+
+func windowsJSON(t *testing.T, tel *telemetry.Collector) string {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, w := range tel.Windows() {
+		if err := enc.Encode(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestAllocAttributionPoolDeterminism pins the merge contract for the
+// attribution layer: with AllocAttribution enabled, a serial run and a
+// pooled run produce byte-identical phase-name/visit-count projections
+// and byte-identical windows once the process-global byte/object
+// values (legitimately nondeterministic under concurrency) are
+// stripped.
+func TestAllocAttributionPoolDeterminism(t *testing.T) {
+	serialPhases, serialWindows := allocAttributionRun(t, 1)
+	pooledPhases, pooledWindows := allocAttributionRun(t, 8)
+
+	if !bytes.Equal(serialPhases, pooledPhases) {
+		t.Errorf("phase attribution diverges between jobs=1 and jobs=8:\n serial: %s\n pooled: %s",
+			serialPhases, pooledPhases)
+	}
+	if len(serialPhases) == 0 || string(serialPhases) == "null" {
+		t.Fatal("attribution-enabled run recorded no phases")
+	}
+	for _, want := range []string{"sim.run", "sim.simulate", "window.commit"} {
+		if !strings.Contains(string(serialPhases), want) {
+			t.Errorf("phase %q missing from attribution: %s", want, serialPhases)
+		}
+	}
+	if serialWindows != pooledWindows {
+		t.Error("deterministic window fields diverge between jobs=1 and jobs=8 with attribution enabled")
+	}
+}

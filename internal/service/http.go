@@ -66,6 +66,11 @@ const retryAfter = "1"
 //	GET  /metrics.json  telemetry registry snapshot + service counters
 //	GET  /stats         service counters only
 //	POST /drain         begin graceful shutdown (202)
+//
+// When the capture manager is configured (Config.Profile.Dir):
+//
+//	POST /debug/profile/capture   take a CPU+heap capture now
+//	GET  /debug/profile/captures  list the retained capture manifests
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -76,6 +81,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /drain", s.handleDrain)
+	if s.profiles != nil {
+		mux.HandleFunc("POST /debug/profile/capture", s.handleProfileCapture)
+		mux.HandleFunc("GET /debug/profile/captures", s.handleProfileList)
+	}
 	return mux
 }
 
@@ -225,7 +234,40 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", telemetry.PromContentType)
 	_ = telemetry.WritePrometheus(w, snap,
 		telemetry.LabelRule{Prefix: "service.breaker.state", Label: "arm"},
-		telemetry.LabelRule{Prefix: "service.breaker.trips", Label: "arm"})
+		telemetry.LabelRule{Prefix: "service.breaker.trips", Label: "arm"},
+		telemetry.LabelRule{Prefix: "phase.allocs.count", Label: "phase"},
+		telemetry.LabelRule{Prefix: "phase.allocs.bytes", Label: "phase"},
+		telemetry.LabelRule{Prefix: "phase.allocs.objects", Label: "phase"})
+}
+
+// handleProfileCapture takes an on-demand capture. ?cpu_ms= overrides
+// the CPU window (0 skips it); the heap snapshot is always taken.
+func (s *Service) handleProfileCapture(w http.ResponseWriter, r *http.Request) {
+	cpuDur := time.Duration(-1) // configured default
+	if q := r.URL.Query().Get("cpu_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, Response{Error: "cpu_ms must be a non-negative integer"})
+			return
+		}
+		cpuDur = time.Duration(ms) * time.Millisecond
+	}
+	p99 := s.hLatency.Snapshot().Summary.P99
+	info, err := s.profiles.Capture("manual: POST /debug/profile/capture", cpuDur, p99, 0)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, Response{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleProfileList returns the retained capture manifests.
+func (s *Service) handleProfileList(w http.ResponseWriter, _ *http.Request) {
+	list := s.profiles.List()
+	if list == nil {
+		list = []CaptureInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "captures": list})
 }
 
 // handleMetricsJSON dumps the telemetry registry snapshot (when

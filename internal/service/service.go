@@ -106,6 +106,13 @@ type Config struct {
 	// Chaos, when non-nil, injects faults into the serving path — see
 	// the Chaos type. Nil means no injection and no overhead.
 	Chaos *Chaos
+	// PprofAddr, when non-empty, serves the net/http/pprof handlers on
+	// a separate listener (e.g. "127.0.0.1:0"); the server is shut down
+	// on drain.
+	PprofAddr string
+	// Profile configures the capture manager (see ProfileConfig); the
+	// zero value disables it.
+	Profile ProfileConfig
 	// Logf receives operational log lines (nil discards them unless
 	// Logger is set, in which case they route through it at Info).
 	Logf func(format string, args ...any)
@@ -230,6 +237,11 @@ type Service struct {
 	ln  net.Listener
 	srv *http.Server
 
+	pprofAddr string       // bound pprof listen address (empty when off)
+	pprofSrv  *http.Server // shut down on drain
+
+	profiles *captureManager // nil when ProfileConfig is disabled
+
 	// admitMu serializes admission so queue order equals telemetry
 	// commit order.
 	admitMu sync.Mutex
@@ -255,6 +267,9 @@ type Service struct {
 	mQueueDepth *telemetry.Gauge
 	mReady      *telemetry.Gauge
 	mBreaker    map[string]*telemetry.Gauge
+	// hLatency tracks end-to-end request latency in milliseconds; the
+	// capture manager's p99 auto-trigger reads it.
+	hLatency *telemetry.Histogram
 }
 
 // serviceCounters is the service's own always-on accounting (the
@@ -319,6 +334,15 @@ func New(cfg Config) (*Service, error) {
 	reg := cfg.Telemetry.Registry()
 	s.mQueueDepth = reg.Gauge("service.queue.depth")
 	s.mReady = reg.Gauge("service.ready")
+	s.hLatency = reg.Histogram("service.request.latency.ms")
+	if s.hLatency == nil {
+		// No telemetry registry: keep a standalone histogram so the
+		// capture manager's p99 trigger still has a signal.
+		s.hLatency = &telemetry.Histogram{}
+	}
+	if cfg.Profile.enabled() {
+		s.profiles = newCaptureManager(cfg.Profile, cfg.Logf, reg.Counter("service.profile.captures"))
+	}
 	for _, arm := range ArmNames() {
 		arm := arm
 		bcfg := cfg.Breaker
@@ -362,6 +386,10 @@ func (s *Service) Addr() string {
 
 // State returns the lifecycle position.
 func (s *Service) State() State { return State(s.state.Load()) }
+
+// PprofAddr returns the bound pprof listen address (empty when
+// Config.PprofAddr is unset or before Start).
+func (s *Service) PprofAddr() string { return s.pprofAddr }
 
 // Breaker returns the named arm's breaker (nil when unknown) — used
 // by the in-process soak assertions.
@@ -418,6 +446,17 @@ func (s *Service) metricsSnapshot() telemetry.RegistrySnapshot {
 	}
 	snap.Gauges["service.ready"] = ready
 	snap.Gauges["service.retry.budget"] = s.budget.Tokens()
+	// Per-phase allocation attribution (empty unless the collector runs
+	// with Config.AllocAttribution): one counter triple per phase,
+	// folded into labeled families by the /metrics relabel rules.
+	for _, pa := range s.cfg.Telemetry.PhaseAllocs() {
+		snap.Counters["phase.allocs.count."+pa.Phase] = pa.Count
+		snap.Counters["phase.allocs.bytes."+pa.Phase] = pa.AllocBytes
+		snap.Counters["phase.allocs.objects."+pa.Phase] = pa.AllocObjects
+	}
+	if s.profiles != nil {
+		snap.Counters["service.profile.captures"] = uint64(s.profiles.Count())
+	}
 	for name, b := range s.breakers {
 		snap.Gauges["service.breaker.state."+name] = float64(b.State())
 		snap.Counters["service.breaker.trips."+name] = b.Trips()
@@ -483,6 +522,15 @@ func (s *Service) Start() error {
 			s.cfg.Logf("service: http server: %v", serr)
 		}
 	}()
+	if s.cfg.PprofAddr != "" {
+		addr, psrv, perr := telemetry.ServePprof(s.cfg.PprofAddr)
+		if perr != nil {
+			ln.Close()
+			return fmt.Errorf("service: pprof: %w", perr)
+		}
+		s.pprofAddr, s.pprofSrv = addr, psrv
+		s.cfg.Logf("service: pprof on %s", addr)
+	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.startWorker(i)
 	}
@@ -491,6 +539,10 @@ func (s *Service) Start() error {
 	if s.cfg.CheckpointPath != "" {
 		s.loops.Add(1)
 		go s.checkpointLoop()
+	}
+	if s.profiles != nil && s.profiles.cfg.autoEnabled() {
+		s.loops.Add(1)
+		go s.profileLoop()
 	}
 	s.cfg.Logf("service: ready on %s (%d workers, queue %d)",
 		s.Addr(), s.cfg.Workers, s.cfg.QueueDepth)
@@ -538,6 +590,13 @@ func (s *Service) Drain(ctx context.Context) error {
 				s.drainErr = fmt.Errorf("service: http shutdown: %w", err)
 			}
 			<-s.httpDone
+		}
+		if s.pprofSrv != nil {
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := s.pprofSrv.Shutdown(shutCtx); err != nil && s.drainErr == nil {
+				s.drainErr = fmt.Errorf("service: pprof shutdown: %w", err)
+			}
 		}
 		s.state.Store(int32(Stopped))
 		s.cfg.Logf("service: stopped (served %d, shed %d, failed %d)",
@@ -595,6 +654,9 @@ type serviceState struct {
 // writer; injected checkpoint faults (Chaos.CheckpointFailures) are
 // ridden out by the retry policy and surface in the retry counters.
 func (s *Service) writeCheckpoint(ctx context.Context) error {
+	// Aggregate-only attribution: the periodic persist runs outside any
+	// request span, so charge it as a named phase instead.
+	defer s.cfg.Telemetry.StartAllocPhase("service.checkpoint").End()
 	b := checkpoint.NewBuilder()
 	st := serviceState{
 		Admitted:     s.stats.admitted.Load(),

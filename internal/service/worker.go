@@ -162,6 +162,7 @@ func (s *Service) serve(i int, t *task) {
 	defer func() {
 		wsp.End()
 		t.span.End()
+		s.hLatency.Observe(float64(time.Since(began)) / float64(time.Millisecond))
 		s.cfg.Logger.Info("request served",
 			"seq", t.seq,
 			"span", fmt.Sprintf("%016x", uint64(t.span.Ref().ID)),

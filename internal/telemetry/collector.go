@@ -48,6 +48,12 @@ type Config struct {
 	// DecisionCap bounds the in-memory decision ring (default 4096,
 	// oldest half dropped); negative disables the cap.
 	DecisionCap int
+	// AllocAttribution samples the process allocation counters around
+	// every span and window boundary and aggregates the deltas per phase
+	// (see alloc.go). Off by default: the sampled values are
+	// process-global and nondeterministic, so byte-compared telemetry
+	// output must leave it off.
+	AllocAttribution bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,17 +97,23 @@ type Collector struct {
 	// collector (see Child) so Merge can replay it into the parent.
 	capture *MemorySink
 
-	// obsMu guards the observability state below — span ordinals and
-	// retained spans/decisions — which, unlike the rest of the
-	// collector, is read concurrently (HTTP scrape/explain handlers)
-	// while runs are writing.
-	obsMu     sync.Mutex
-	spans     []SpanRecord
-	spanDrops uint64
-	spanCap   int
-	rootSeq   map[string]uint64
-	childSeq  map[SpanID]uint64
-	runSpan   *Span
+	// allocOn enables per-phase allocation attribution; winAlloc is the
+	// counter sample at the last window boundary (run-thread only).
+	allocOn  bool
+	winAlloc allocTick
+
+	// obsMu guards the observability state below — span ordinals,
+	// retained spans/decisions and phase-alloc aggregates — which,
+	// unlike the rest of the collector, is read concurrently (HTTP
+	// scrape/explain handlers) while runs are writing.
+	obsMu       sync.Mutex
+	spans       []SpanRecord
+	spanDrops   uint64
+	spanCap     int
+	rootSeq     map[string]uint64
+	childSeq    map[SpanID]uint64
+	runSpan     *Span
+	phaseAllocs map[string]*PhaseAlloc
 
 	explainN  uint64
 	decisions []Decision
@@ -117,14 +129,16 @@ type Collector struct {
 func New(cfg Config) (*Collector, error) {
 	cfg = cfg.withDefaults()
 	c := &Collector{
-		cfg:      cfg,
-		reg:      NewRegistry(),
-		tracer:   NewTracer(cfg.TraceSample, cfg.RingSize),
-		start:    time.Now(),
-		spanCap:  cfg.SpanCap,
-		decCap:   cfg.DecisionCap,
-		rootSeq:  map[string]uint64{},
-		childSeq: map[SpanID]uint64{},
+		cfg:         cfg,
+		reg:         NewRegistry(),
+		tracer:      NewTracer(cfg.TraceSample, cfg.RingSize),
+		start:       time.Now(),
+		spanCap:     cfg.SpanCap,
+		decCap:      cfg.DecisionCap,
+		rootSeq:     map[string]uint64{},
+		childSeq:    map[SpanID]uint64{},
+		allocOn:     cfg.AllocAttribution,
+		phaseAllocs: map[string]*PhaseAlloc{},
 	}
 	c.manifest = newManifest(c.start)
 	if cfg.Dir != "" {
@@ -228,6 +242,9 @@ func (c *Collector) BeginRun(workload, source string) {
 	c.windowIdx = 0
 	c.hasPrev = false
 	c.prev = ControllerStats{}
+	if c.allocOn {
+		c.winAlloc = readAllocTick()
+	}
 	c.tracer.beginRun()
 	c.obsMu.Lock()
 	c.explainN = 0 // decision sampling restarts per run, like the tracer phase
@@ -315,6 +332,13 @@ func (c *Collector) EmitWindow(w SimWindow, probe ControllerProbe) {
 		c.hasPrev = true
 	}
 
+	if c.allocOn {
+		now := readAllocTick()
+		snap.AllocBytes = now.bytes - c.winAlloc.bytes
+		snap.AllocObjects = now.objects - c.winAlloc.objects
+		c.winAlloc = now
+	}
+
 	if c.cfg.KeepWindows {
 		c.windows = append(c.windows, snap)
 	}
@@ -399,6 +423,11 @@ func (c *Collector) Close() error {
 	if c.cfg.Dir != "" {
 		if err := writeJSON(filepath.Join(c.cfg.Dir, "metrics.json"), c.reg.Snapshot()); err != nil && first == nil {
 			first = err
+		}
+		if pas := c.PhaseAllocs(); len(pas) > 0 {
+			if err := writeJSON(filepath.Join(c.cfg.Dir, "alloc_phases.json"), pas); err != nil && first == nil {
+				first = err
+			}
 		}
 		c.manifest.finish(c.start)
 		if err := writeJSON(filepath.Join(c.cfg.Dir, "manifest.json"), c.manifest); err != nil && first == nil {

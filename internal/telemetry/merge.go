@@ -31,9 +31,10 @@ func (c *Collector) Child() *Collector {
 		KeepWindows: true,
 		// Children never drop observability records: the parent applies
 		// its own caps when the child merges back in.
-		SpanCap:       -1,
-		ExplainSample: c.cfg.ExplainSample,
-		DecisionCap:   -1,
+		SpanCap:          -1,
+		ExplainSample:    c.cfg.ExplainSample,
+		DecisionCap:      -1,
+		AllocAttribution: c.cfg.AllocAttribution,
 	})
 	if err != nil {
 		// New without a Dir performs no I/O and cannot fail; keep the
@@ -107,6 +108,12 @@ func (c *Collector) Merge(ch *Collector) {
 	ch.obsMu.Unlock()
 	for _, s := range spans {
 		c.addSpan(s)
+	}
+	// Phase-alloc aggregates fold additively; the merged phase names and
+	// counts equal a serial execution's (the byte/object values are
+	// process-global samples and carry whatever concurrency inflated).
+	for _, pa := range ch.PhaseAllocs() {
+		c.mergePhaseAlloc(pa)
 	}
 	c.obsMu.Lock()
 	for k, v := range rootSeq {

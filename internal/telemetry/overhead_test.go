@@ -64,6 +64,22 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 		}
 	})
+	b.Run("alloc-phase-disabled", func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			col.StartAllocPhase("x").End()
+		}
+	})
+	b.Run("alloc-phase-enabled", func(b *testing.B) {
+		col, err := New(Config{AllocAttribution: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			col.StartAllocPhase("x").End()
+		}
+	})
 }
 
 // TestDisabledHotPathUnder5ns enforces the overhead budget from the
@@ -111,5 +127,50 @@ func TestDisabledHotPathUnder5ns(t *testing.T) {
 		}
 	}); ns >= 5 {
 		t.Errorf("disabled explain path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+	if ns := measure(func(b *testing.B) {
+		col := benchHandles.col
+		for i := 0; i < b.N; i++ {
+			col.StartAllocPhase("x").End()
+		}
+	}); ns >= 5 {
+		t.Errorf("disabled alloc-phase path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+}
+
+// TestEnabledAllocAttributionOverheadUnder2PercentOfWindow pins the
+// enabled-path cost of allocation attribution at window granularity:
+// one Start+End pair (two runtime/metrics reads plus the map update)
+// must stay under 2% of a telemetry window's simulation time. The
+// window cost comes from the recorded sim.step baseline — ~329
+// ns/access (BENCH_5/BENCH_6) over the 1000-access window, so the
+// budget is ~6.6µs per attributed phase, a bar the ~1µs pair clears
+// with generous slack on any plausible machine.
+func TestEnabledAllocAttributionOverheadUnder2PercentOfWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion skipped under -race")
+	}
+	const (
+		nsPerAccess  = 329.0 // sim.step ns/access baseline
+		windowSize   = 1000  // accesses per telemetry window
+		maxFraction  = 0.02
+		budgetNsPair = nsPerAccess * windowSize * maxFraction
+	)
+	col, err := New(Config{AllocAttribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col.StartAllocPhase("overhead.probe").End()
+		}
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	if ns >= budgetNsPair {
+		t.Errorf("enabled alloc-phase pair costs %.0f ns, budget is < %.0f ns (2%% of a %d-access window)",
+			ns, budgetNsPair, windowSize)
 	}
 }

@@ -344,7 +344,9 @@ func parseLabels(body string, out map[string]string) error {
 }
 
 // UpdateRuntimeGauges refreshes the process-health gauges (goroutine
-// count, heap in use, cumulative GC pause, GC cycles, uptime) on reg.
+// count, heap in use, cumulative GC pause, GC cycles, uptime) on reg,
+// plus the runtime/metrics-backed set (heap liveness, allocation
+// totals, GC-pause and sched-latency quantiles — see runtime.go).
 // Called at scrape time, not on a timer — ReadMemStats is too heavy
 // for the hot path.
 func UpdateRuntimeGauges(reg *Registry, start time.Time) {
@@ -358,4 +360,5 @@ func UpdateRuntimeGauges(reg *Registry, start time.Time) {
 	reg.Gauge("runtime.gc.pause.seconds").Set(float64(ms.PauseTotalNs) / 1e9)
 	reg.Gauge("runtime.gc.cycles").Set(float64(ms.NumGC))
 	reg.Gauge("process.uptime.seconds").Set(time.Since(start).Seconds())
+	UpdateRuntimeMetrics(reg)
 }

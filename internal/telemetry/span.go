@@ -28,13 +28,18 @@ import (
 type SpanID uint64
 
 // SpanRecord is one finished span as retained, merged and exported.
+// The Alloc* fields are populated only under Config.AllocAttribution
+// (and stay omitted from JSON otherwise): they are the process-global
+// heap-allocation delta over the span's lifetime.
 type SpanRecord struct {
-	ID      SpanID  `json:"id"`
-	Parent  SpanID  `json:"parent,omitempty"`
-	Track   string  `json:"track"`
-	Name    string  `json:"name"`
-	StartUS float64 `json:"start_us"`
-	DurUS   float64 `json:"dur_us"`
+	ID           SpanID  `json:"id"`
+	Parent       SpanID  `json:"parent,omitempty"`
+	Track        string  `json:"track"`
+	Name         string  `json:"name"`
+	StartUS      float64 `json:"start_us"`
+	DurUS        float64 `json:"dur_us"`
+	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64  `json:"alloc_objects,omitempty"`
 }
 
 // SpanRef is a collector-independent reference to a live span, used to
@@ -60,6 +65,21 @@ type Span struct {
 	name   string
 	start  time.Time
 	done   bool
+
+	// alloc holds the allocation-counter sample taken when the span
+	// opened; valid only when allocOn is set (see alloc.go).
+	alloc   allocTick
+	allocOn bool
+}
+
+// beginAlloc samples the allocation counters for a freshly opened span
+// when the owning collector has attribution enabled.
+func (s *Span) beginAlloc(c *Collector) *Span {
+	if c.allocOn {
+		s.allocOn = true
+		s.alloc = readAllocTick()
+	}
+	return s
 }
 
 // spanID derives the deterministic identity of a span.
@@ -93,7 +113,7 @@ func (c *Collector) StartSpan(track, name string) *Span {
 	ord := c.rootSeq[track+"\x00"+name]
 	c.rootSeq[track+"\x00"+name] = ord + 1
 	c.obsMu.Unlock()
-	return &Span{c: c, id: spanID(0, track, name, ord), track: track, name: name, start: time.Now()}
+	return (&Span{c: c, id: spanID(0, track, name, ord), track: track, name: name, start: time.Now()}).beginAlloc(c)
 }
 
 // StartSpanUnder opens a span parented under ref — possibly a span
@@ -110,7 +130,7 @@ func (c *Collector) StartSpanUnder(ref SpanRef, name string) *Span {
 	ord := c.childSeq[ref.ID]
 	c.childSeq[ref.ID] = ord + 1
 	c.obsMu.Unlock()
-	return &Span{c: c, id: spanID(ref.ID, ref.Track, name, ord), parent: ref.ID, track: ref.Track, name: name, start: time.Now()}
+	return (&Span{c: c, id: spanID(ref.ID, ref.Track, name, ord), parent: ref.ID, track: ref.Track, name: name, start: time.Now()}).beginAlloc(c)
 }
 
 // Child opens a sub-span on the same track and collector.
@@ -123,7 +143,7 @@ func (s *Span) Child(name string) *Span {
 	ord := c.childSeq[s.id]
 	c.childSeq[s.id] = ord + 1
 	c.obsMu.Unlock()
-	return &Span{c: c, id: spanID(s.id, s.track, name, ord), parent: s.id, track: s.track, name: name, start: time.Now()}
+	return (&Span{c: c, id: spanID(s.id, s.track, name, ord), parent: s.id, track: s.track, name: name, start: time.Now()}).beginAlloc(c)
 }
 
 // Ref returns a collector-independent reference to s for
@@ -142,14 +162,21 @@ func (s *Span) End() {
 	}
 	s.done = true
 	now := time.Now()
-	s.c.addSpan(SpanRecord{
+	rec := SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
 		Track:   s.track,
 		Name:    s.name,
 		StartUS: durUS(s.start.Sub(processEpoch)),
 		DurUS:   durUS(now.Sub(s.start)),
-	})
+	}
+	if s.allocOn {
+		tick := readAllocTick()
+		rec.AllocBytes = tick.bytes - s.alloc.bytes
+		rec.AllocObjects = tick.objects - s.alloc.objects
+		s.c.recordPhaseAlloc(s.name, rec.AllocBytes, rec.AllocObjects)
+	}
+	s.c.addSpan(rec)
 }
 
 func durUS(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

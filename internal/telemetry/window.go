@@ -111,6 +111,12 @@ type WindowSnapshot struct {
 	// Q summarizes the Q-values the controller evaluated during the
 	// window (zero Summary when the source is not an RL controller).
 	Q metrics.Summary `json:"q"`
+
+	// AllocBytes/AllocObjects are the process heap-allocation deltas
+	// over the window, populated only under Config.AllocAttribution
+	// (omitted — and byte-identical to older output — otherwise).
+	AllocBytes   uint64 `json:"alloc_bytes,omitempty"`
+	AllocObjects uint64 `json:"alloc_objects,omitempty"`
 }
 
 // WindowSink consumes window snapshots.

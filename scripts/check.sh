@@ -36,8 +36,14 @@ go test -run xxx -bench BenchmarkMatrixPool -benchtime 1x ./internal/experiments
 echo "== go test (fuzz corpus) =="
 go test -run Fuzz ./...
 
-echo "== disabled-telemetry overhead budget (counters, trace, spans, explain) =="
+echo "== disabled-telemetry overhead budget (counters, trace, spans, explain, alloc attribution) =="
 go test -run DisabledHotPath -count 1 ./internal/telemetry/
+
+echo "== profiling round-trip (real allocs profile through pprofparse) =="
+go test -run TestAllocsProfileRoundTrip -count 1 ./internal/pprofparse/
+
+echo "== bench profiling smoke (capture + decode + top tables) =="
+go run ./cmd/bench -profile -quick >/dev/null
 
 echo "== soak smoke (resembled chaos/soak harness, chrome trace) =="
 tracetmp=$(mktemp -d)
