@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: build test check bench bench-track profile fmt fault-matrix suite soak
+.PHONY: build test check bench bench-track profile fmt fault-matrix suite soak cluster-soak
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ fmt:
 # degradation + recovery + clean drain + no goroutine leaks (DESIGN.md §9).
 soak:
 	$(GO) run ./cmd/resembled -soak
+
+# Cluster chaos harness: 3 in-process backends behind a resemblefront
+# coordinator; kills/wedges/restarts backends mid-stream and asserts
+# failover, hedging, readmission, ordered drain, zero lost requests and
+# byte-identical merged telemetry (DESIGN.md §12).
+cluster-soak:
+	$(GO) run -race ./cmd/resemblefront -soak
 
 # Graceful-degradation evaluation: masked vs unmasked ensemble vs solo
 # under each injected fault class (see DESIGN.md).

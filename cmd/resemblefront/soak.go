@@ -1,0 +1,465 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"resemble/internal/cluster"
+	"resemble/internal/resilience"
+	"resemble/internal/service"
+	"resemble/internal/telemetry"
+)
+
+type clusterSoakConfig struct {
+	duration   time.Duration
+	accesses   int
+	hedgeAfter time.Duration // 0 = harness default
+	logf       func(string, ...any)
+}
+
+// clusterSoak drives the phases and accumulates assertion failures.
+type clusterSoak struct {
+	cfg      clusterSoakConfig
+	failures int
+
+	front    *cluster.Front
+	frontTel *telemetry.Collector
+	// sent is the admission-order request log every accepted request
+	// lands in; the final determinism audit replays it on a single
+	// instance and byte-compares the merged windows.
+	sent []service.Request
+}
+
+func (k *clusterSoak) failf(format string, args ...any) {
+	k.failures++
+	k.cfg.logf("cluster-soak: FAIL: "+format, args...)
+}
+
+func (k *clusterSoak) passf(format string, args ...any) {
+	k.cfg.logf("cluster-soak: ok: "+format, args...)
+}
+
+// backend is one in-process resembled instance under the front door.
+type backend struct {
+	svc   *service.Service
+	tel   *telemetry.Collector
+	chaos *service.Chaos
+	addr  string
+}
+
+// startBackend boots one resembled instance. addr "" picks a port;
+// the restart path passes the dead instance's address back in.
+func (k *clusterSoak) startBackend(addr string) *backend {
+	chaos := &service.Chaos{}
+	tel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		k.failf("backend telemetry: %v", err)
+		return nil
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	svc, err := service.New(service.Config{
+		Addr:            addr,
+		Workers:         2,
+		QueueDepth:      16,
+		DefaultAccesses: k.cfg.accesses,
+		Telemetry:       tel,
+		Chaos:           chaos,
+		// Arm breakers are per-instance adaptive state: which arms a
+		// run gets depends on the instance's history, so a fleet that
+		// sharded the history differently would legitimately diverge
+		// from a single instance. The determinism audit pins the
+		// contract with that adaptation quiesced — an unreachable
+		// threshold on every backend and on the reference.
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1 << 30},
+	})
+	if err != nil {
+		k.failf("backend service.New(%s): %v", addr, err)
+		return nil
+	}
+	if err := svc.Start(); err != nil {
+		k.failf("backend service.Start(%s): %v", addr, err)
+		return nil
+	}
+	return &backend{svc: svc, tel: tel, chaos: chaos, addr: svc.Addr()}
+}
+
+// runClusterSoak executes the cluster chaos harness: 3 backends behind
+// a front door, determinism -> kill/failover/restart -> wedge/hedge ->
+// ordered drain, with a goroutine-leak audit at the end. Returns the
+// exit code.
+func runClusterSoak(cfg clusterSoakConfig) int {
+	if cfg.hedgeAfter <= 0 {
+		cfg.hedgeAfter = 150 * time.Millisecond
+	}
+	k := &clusterSoak{cfg: cfg}
+	baseline := runtime.NumGoroutine()
+
+	k.run()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		k.failf("goroutines leaked: %d now vs %d at start", n, baseline)
+		_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+	} else {
+		k.passf("no leaked goroutines (%d -> %d)", baseline, n)
+	}
+
+	if k.failures > 0 {
+		k.cfg.logf("cluster-soak: %d assertion(s) FAILED", k.failures)
+		return 1
+	}
+	k.cfg.logf("cluster-soak: all phases passed")
+	return 0
+}
+
+// post fires one request through the front door, records it in the
+// admission log on success, and returns the status and response.
+func (k *clusterSoak) post(req service.Request) (int, service.Response) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+k.front.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		k.failf("POST /v1/run: %v", err)
+		return 0, service.Response{}
+	}
+	defer resp.Body.Close()
+	var out service.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		k.failf("decode response (status %d): %v", resp.StatusCode, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		k.sent = append(k.sent, req)
+	}
+	return resp.StatusCode, out
+}
+
+func (k *clusterSoak) mustOK(what string, req service.Request) {
+	if status, out := k.post(req); status != http.StatusOK {
+		k.failf("%s: status %d (%s)", what, status, out.Error)
+	}
+}
+
+// scrape pulls the front's /metrics, validates the exposition against
+// the OpenMetrics grammar, and returns the samples.
+func (k *clusterSoak) scrape() []telemetry.PromSample {
+	resp, err := http.Get("http://" + k.front.Addr() + "/metrics")
+	if err != nil {
+		k.failf("/metrics scrape: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	samples, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		k.failf("/metrics exposition invalid: %v", err)
+		return nil
+	}
+	return samples
+}
+
+func (k *clusterSoak) run() {
+	k.cfg.logf("cluster-soak: phase 1: 3-backend fleet, zero-fault determinism")
+	var backends []*backend
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		b := k.startBackend("")
+		if b == nil {
+			return
+		}
+		backends = append(backends, b)
+		addrs = append(addrs, b.addr)
+	}
+	byAddr := func(addr string) *backend {
+		for _, b := range backends {
+			if b.addr == addr {
+				return b
+			}
+		}
+		return nil
+	}
+
+	frontTel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		k.failf("front telemetry: %v", err)
+		return
+	}
+	k.frontTel = frontTel
+	front, err := cluster.New(cluster.Config{
+		Backends:       addrs,
+		HedgeAfter:     k.cfg.hedgeAfter,
+		MaxInFlight:    16,
+		RequestTimeout: 60 * time.Second,
+		DrainTimeout:   15 * time.Second,
+		DrainBackends:  true,
+		Probe: cluster.ProbeConfig{
+			Interval: 25 * time.Millisecond,
+			Breaker: resilience.BreakerConfig{
+				FailureThreshold: 3,
+				OpenFor:          400 * time.Millisecond,
+				HalfOpenProbes:   1,
+			},
+		},
+		Telemetry: frontTel,
+		Logf:      k.cfg.logf,
+	})
+	if err != nil {
+		k.failf("cluster.New: %v", err)
+		return
+	}
+	if err := front.Start(); err != nil {
+		k.failf("front.Start: %v", err)
+		return
+	}
+	k.front = front
+
+	reqs := []service.Request{
+		{Workload: "433.milc", Controller: "resemble-t", Accesses: k.cfg.accesses},
+		{Workload: "471.omnetpp", Controller: "bo", Accesses: k.cfg.accesses},
+		{Workload: "433.lbm", Controller: "sbp-e", Accesses: k.cfg.accesses},
+		{Workload: "433.milc", Controller: "none", Accesses: k.cfg.accesses, Seed: 1},
+		{Workload: "471.omnetpp", Controller: "resemble-t", Accesses: k.cfg.accesses, Seed: 2},
+		{Workload: "433.lbm", Controller: "resemble-t", Accesses: k.cfg.accesses, Seed: 3},
+	}
+	owners := map[string]bool{}
+	for i, req := range reqs {
+		k.mustOK("phase-1 request", req)
+		if o, ok := front.Ring().Lookup(cluster.RouteKey(req)); ok {
+			_ = i
+			owners[o] = true
+		}
+	}
+	if n := len(k.frontTel.Windows()); n == 0 {
+		k.failf("front collector merged no windows after phase 1")
+	} else {
+		k.passf("phase 1: %d requests over %d owner backends merged %d windows",
+			len(reqs), len(owners), n)
+	}
+
+	// Phase 2: kill a backend mid-stream (SIGKILL-equivalent: HTTP
+	// severed without drain), assert failover keeps every request
+	// whole, the prober ejects it, and a restart on the same address
+	// readmits through half-open.
+	k.cfg.logf("cluster-soak: phase 2: kill/failover/restart")
+	killReq := service.Request{Workload: "433.milc", Controller: "resemble-t", Accesses: k.cfg.accesses, Seed: 42}
+	victimAddr, _ := front.Ring().Lookup(cluster.RouteKey(killReq))
+	victim := byAddr(victimAddr)
+	victim.svc.Abort()
+	k.passf("killed backend %s (owner of the probe key)", victimAddr)
+
+	before := front.Stats()
+	k.mustOK("request to killed owner", killReq)
+	for i := 0; i < 4; i++ {
+		req := reqs[i%len(reqs)]
+		req.Seed += int64(50 + i)
+		k.mustOK("phase-2 request", req)
+	}
+	after := front.Stats()
+	if after.Failovers <= before.Failovers {
+		k.failf("failovers did not advance past a killed backend (%d -> %d)",
+			before.Failovers, after.Failovers)
+	} else {
+		k.passf("failover carried %d requests past the killed backend (failovers %d)",
+			after.Completed-before.Completed, after.Failovers-before.Failovers)
+	}
+
+	ejectDeadline := time.Now().Add(k.cfg.duration)
+	for front.Health().Breaker(victimAddr).State() != resilience.Open && time.Now().Before(ejectDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := front.Health().Breaker(victimAddr).State(); st != resilience.Open {
+		k.failf("killed backend's breaker = %v, want open", st)
+	} else {
+		k.passf("prober ejected the killed backend")
+	}
+	ejectionsSeen := false
+	for _, smp := range k.scrape() {
+		if smp.Name == "cluster_backend_ejections_total" &&
+			smp.Labels["backend"] == victimAddr && smp.Value >= 1 {
+			ejectionsSeen = true
+		}
+	}
+	if !ejectionsSeen {
+		k.failf("fleet /metrics missing cluster_backend_ejections_total{backend=%q} >= 1", victimAddr)
+	} else {
+		k.passf("ejection visible on fleet /metrics with a backend label")
+	}
+
+	// The dead instance's engine is still running (only its HTTP front
+	// was severed); reap it so the leak audit stays honest.
+	if err := victim.svc.Close(); err != nil {
+		k.failf("reaping aborted backend: %v", err)
+	}
+	if err := victim.tel.Close(); err != nil {
+		k.failf("aborted backend telemetry close: %v", err)
+	}
+
+	// Restart on the same address and wait for half-open readmission.
+	replacement := k.startBackend(victimAddr)
+	if replacement == nil {
+		return
+	}
+	backends[indexOf(addrs, victimAddr)] = replacement
+	readmitDeadline := time.Now().Add(k.cfg.duration)
+	for front.Health().Breaker(victimAddr).State() != resilience.Closed && time.Now().Before(readmitDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := front.Health().Breaker(victimAddr).State(); st != resilience.Closed {
+		k.failf("restarted backend's breaker = %v, want closed (readmission)", st)
+	} else {
+		k.passf("restarted backend readmitted through half-open (transitions=%d)",
+			front.Health().Breaker(victimAddr).Transitions())
+	}
+	preRestart := front.Stats().Failovers
+	k.mustOK("request to restarted owner", killReq)
+	if got := front.Stats().Failovers; got != preRestart {
+		k.failf("request to readmitted backend still failed over (%d -> %d)", preRestart, got)
+	} else {
+		k.passf("readmitted backend serves its keys again")
+	}
+
+	// Phase 3: wedge a living backend's handlers; the hedge must carry
+	// its keys to the next backend inside the tail-latency budget.
+	k.cfg.logf("cluster-soak: phase 3: wedged backend, hedged requests")
+	wedgeReq := service.Request{Workload: "433.lbm", Controller: "resemble-t", Accesses: k.cfg.accesses, Seed: 77}
+	wedgeAddr, _ := front.Ring().Lookup(cluster.RouteKey(wedgeReq))
+	wedged := byAddr(wedgeAddr)
+	wedged.chaos.SlowHandler = 10 * time.Second
+	preHedge := front.Stats()
+	began := time.Now()
+	k.mustOK("request to wedged owner", wedgeReq)
+	took := time.Since(began)
+	postHedge := front.Stats()
+	if postHedge.Hedges <= preHedge.Hedges || postHedge.HedgeWins <= preHedge.HedgeWins {
+		k.failf("hedge did not fire/win against a wedged backend (hedges %d -> %d, wins %d -> %d)",
+			preHedge.Hedges, postHedge.Hedges, preHedge.HedgeWins, postHedge.HedgeWins)
+	} else if took > 5*time.Second {
+		k.failf("hedged request took %v — wedged backend still on the critical path", took)
+	} else {
+		k.passf("hedge won against the wedged backend in %v", took.Round(time.Millisecond))
+	}
+	wedged.chaos.Stop()
+
+	// Phase 4: ordered drain and the fleet-wide determinism audit.
+	k.cfg.logf("cluster-soak: phase 4: ordered drain + merged-window determinism audit")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := front.Drain(ctx); err != nil {
+		k.failf("front drain: %v", err)
+	}
+	for _, b := range backends {
+		if st := b.svc.State(); st != service.Stopped {
+			k.failf("backend %s state = %v after fleet drain, want stopped", b.addr, st)
+		}
+		if err := b.svc.Close(); err != nil { // idempotent
+			k.failf("backend %s close: %v", b.addr, err)
+		}
+		if err := b.tel.Close(); err != nil {
+			k.failf("backend %s telemetry close: %v", b.addr, err)
+		}
+	}
+	k.passf("fleet drained (front door first, backends quiesced in address order)")
+
+	st := front.Stats()
+	if st.Admitted != st.Completed || st.Failed != 0 {
+		k.failf("lost accepted requests: admitted %d, completed %d, failed %d",
+			st.Admitted, st.Completed, st.Failed)
+	} else {
+		k.passf("no lost accepted requests (%d admitted, %d completed, %d failovers, %d hedges)",
+			st.Admitted, st.Completed, st.Failovers, st.Hedges)
+	}
+	if st.MergePending != 0 {
+		k.failf("%d runs still parked in the merge reorder buffer", st.MergePending)
+	}
+
+	// Determinism: replay the admission log serially on one instance;
+	// the sharded fleet's merged windows must byte-match it.
+	refTel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		k.failf("reference telemetry: %v", err)
+		return
+	}
+	ref, err := service.New(service.Config{
+		Workers:         1,
+		DefaultAccesses: k.cfg.accesses,
+		Telemetry:       refTel,
+		Breaker:         resilience.BreakerConfig{FailureThreshold: 1 << 30},
+	})
+	if err != nil {
+		k.failf("reference service: %v", err)
+		return
+	}
+	if err := ref.Start(); err != nil {
+		k.failf("reference start: %v", err)
+		return
+	}
+	for i, req := range k.sent {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post("http://"+ref.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			k.failf("reference request %d: %v", i, err)
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			k.failf("reference request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if err := ref.Close(); err != nil {
+		k.failf("reference drain: %v", err)
+	}
+	got, _ := json.Marshal(k.frontTel.Windows())
+	want, _ := json.Marshal(refTel.Windows())
+	switch {
+	case len(k.frontTel.Windows()) == 0:
+		k.failf("fleet produced no merged windows")
+	case !bytes.Equal(got, want):
+		k.failf("fleet windows diverge from single instance (%d vs %d windows) despite kill/failover/hedge chaos",
+			len(k.frontTel.Windows()), len(refTel.Windows()))
+		k.dumpDivergence(k.frontTel.Windows(), refTel.Windows())
+	default:
+		k.passf("fleet windows byte-identical to a single instance across %d requests (%d windows)",
+			len(k.sent), len(k.frontTel.Windows()))
+	}
+	if err := refTel.Close(); err != nil {
+		k.failf("reference telemetry close: %v", err)
+	}
+	if err := k.frontTel.Close(); err != nil {
+		k.failf("front telemetry close: %v", err)
+	}
+}
+
+// dumpDivergence pinpoints the first window where the fleet's merged
+// stream and the single-instance reference disagree.
+func (k *clusterSoak) dumpDivergence(got, want []telemetry.WindowSnapshot) {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if !bytes.Equal(g, w) {
+			k.cfg.logf("cluster-soak: first divergence at window %d:\n  fleet: %s\n  ref:   %s", i, g, w)
+			return
+		}
+	}
+	k.cfg.logf("cluster-soak: streams agree for %d windows; lengths %d vs %d", n, len(got), len(want))
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

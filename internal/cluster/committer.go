@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"sync"
+
+	"resemble/internal/telemetry"
+)
+
+// committer is the cross-process twin of the service layer's in-memory
+// committer: it merges each run's telemetry windows — shipped back in
+// the backend's /v1/run response — into the front door's collector in
+// admission-seq order, parking out-of-order arrivals. Failover and
+// hedging make completion order even less predictable than a worker
+// pool's, but the merged windows.jsonl still reads exactly as if one
+// instance had served every admission serially.
+type committer struct {
+	mu     sync.Mutex
+	parent *telemetry.Collector
+	next   uint64
+	parked map[uint64][]telemetry.WindowSnapshot
+}
+
+func newCommitter(parent *telemetry.Collector) *committer {
+	return &committer{parent: parent, parked: make(map[uint64][]telemetry.WindowSnapshot)}
+}
+
+// commit hands in seq's windows (nil for a failed or window-less
+// request — the slot still advances) and flushes every consecutively
+// ready run. Each flushed run is rebuilt into a child collector and
+// folded in through Collector.Merge, the same path the worker pool
+// uses in-process.
+func (c *committer) commit(seq uint64, windows []telemetry.WindowSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.parked[seq] = windows
+	for {
+		ws, ok := c.parked[c.next]
+		if !ok {
+			return
+		}
+		delete(c.parked, c.next)
+		if len(ws) > 0 && c.parent != nil {
+			ch := c.parent.Child()
+			for _, w := range ws {
+				ch.ReplayWindow(w)
+			}
+			c.parent.Merge(ch)
+		}
+		c.next++
+	}
+}
+
+// pending returns how many runs are parked waiting for an earlier seq.
+func (c *committer) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.parked)
+}

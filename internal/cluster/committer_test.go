@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"resemble/internal/metrics"
+	"resemble/internal/telemetry"
+)
+
+// clusterWindows fabricates one run's windows with floats that must
+// survive the wire bit-for-bit.
+func clusterWindows(workload string, n int) []telemetry.WindowSnapshot {
+	out := make([]telemetry.WindowSnapshot, n)
+	for i := range out {
+		f := float64(i)
+		out[i] = telemetry.WindowSnapshot{
+			Workload:  workload,
+			Source:    "resemble-t",
+			Window:    i,
+			Accesses:  1000,
+			IPC:       0.1 + f/7,
+			MPKI:      1.0 / (f + 1.5),
+			RewardSum: -0.125 + f,
+			Epsilon:   0.9999999 / (f + 1),
+			Q:         metrics.Summary{N: i, Mean: f / 9, Min: -f, Max: f},
+		}
+	}
+	return out
+}
+
+func newKeepCollector(t *testing.T) *telemetry.Collector {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+// TestCommitterReorders: runs arriving out of admission order are
+// parked and flushed in seq order — the merged window stream reads as
+// if the runs completed serially.
+func TestCommitterReorders(t *testing.T) {
+	parent := newKeepCollector(t)
+	c := newCommitter(parent)
+
+	c.commit(2, clusterWindows("w2", 2))
+	if got := c.pending(); got != 1 {
+		t.Fatalf("pending after out-of-order commit = %d, want 1", got)
+	}
+	if n := len(parent.Windows()); n != 0 {
+		t.Fatalf("parent saw %d windows before seq 0 arrived", n)
+	}
+
+	c.commit(0, clusterWindows("w0", 2))
+	if got := c.pending(); got != 1 {
+		t.Fatalf("pending after seq 0 = %d, want 1 (seq 2 still parked)", got)
+	}
+	c.commit(1, clusterWindows("w1", 2))
+	if got := c.pending(); got != 0 {
+		t.Fatalf("pending after seq 1 = %d, want 0", got)
+	}
+
+	var order []string
+	for _, w := range parent.Windows() {
+		order = append(order, w.Workload)
+	}
+	want := []string{"w0", "w0", "w1", "w1", "w2", "w2"}
+	if len(order) != len(want) {
+		t.Fatalf("merged %d windows, want %d (%v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("window %d from run %q, want %q (full order %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+// TestCommitterFailedSlot: a failed or window-less run still advances
+// its seq slot so later runs are not parked forever.
+func TestCommitterFailedSlot(t *testing.T) {
+	parent := newKeepCollector(t)
+	c := newCommitter(parent)
+	c.commit(1, clusterWindows("w1", 1))
+	c.commit(0, nil) // failed run: slot advances, nothing merged
+	if got := c.pending(); got != 0 {
+		t.Fatalf("pending = %d, want 0", got)
+	}
+	ws := parent.Windows()
+	if len(ws) != 1 || ws[0].Workload != "w1" {
+		t.Fatalf("merged windows = %+v, want exactly w1's", ws)
+	}
+}
+
+// TestCommitterNilParent: a front door without telemetry still runs
+// the seq machinery without panicking.
+func TestCommitterNilParent(t *testing.T) {
+	c := newCommitter(nil)
+	c.commit(1, clusterWindows("w1", 1))
+	c.commit(0, clusterWindows("w0", 1))
+	if got := c.pending(); got != 0 {
+		t.Fatalf("pending = %d, want 0", got)
+	}
+}

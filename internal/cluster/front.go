@@ -1,0 +1,743 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resemble/internal/resilience"
+	"resemble/internal/service"
+	"resemble/internal/telemetry"
+)
+
+// Config parameterizes a Front. Backends is required; everything else
+// has serviceable defaults.
+type Config struct {
+	// Addr is the front door's listen address (default "127.0.0.1:0").
+	Addr string
+	// Backends lists the resembled instances ("host:port") the front
+	// door routes across. Required, duplicates ignored.
+	Backends []string
+	// Replicas is the consistent-hash virtual-node count per backend
+	// (default DefaultReplicas).
+	Replicas int
+
+	// HedgeAfter launches a hedged copy of a request on the next
+	// healthy backend when the primary hasn't answered within this
+	// duration; the first answer wins. 0 disables hedging. Safe
+	// because the deterministic run contract makes every execution of
+	// a request byte-equivalent.
+	HedgeAfter time.Duration
+	// RetryBudget is the shared failover token bucket's capacity
+	// (default 10; each failover spends a token, each success refunds
+	// a tenth) — a fleet-wide outage costs one attempt per request
+	// instead of MaxAttempts.
+	RetryBudget float64
+	// MaxAttempts bounds how many distinct backends one request may
+	// try, hedges included (default: all of them).
+	MaxAttempts int
+
+	// MaxInFlight bounds concurrently admitted requests; excess load
+	// is shed with 503 + Retry-After before reaching any backend
+	// (default 64).
+	MaxInFlight int
+	// RequestTimeout bounds one request end to end across all
+	// failover and hedge attempts (default 120s).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the front door's own drain, and each
+	// backend's quiesce when DrainBackends is set (default 30s).
+	DrainTimeout time.Duration
+	// DrainBackends makes Drain quiesce the backends in address order
+	// after the front door itself has drained.
+	DrainBackends bool
+
+	// Probe parameterizes the active health prober.
+	Probe ProbeConfig
+
+	// Telemetry, when non-nil, carries the front door's registry
+	// metrics and receives every run's windows, merged in
+	// admission-seq order (the cluster determinism contract). Nil
+	// disables both; runs are still routed.
+	Telemetry *telemetry.Collector
+	// Logf receives operational log lines (nil discards them unless
+	// Logger is set); Logger receives structured request logs.
+	Logf   func(format string, args ...any)
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 10
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		if lg := c.Logger; lg != nil {
+			c.Logf = func(format string, args ...any) { lg.Info(fmt.Sprintf(format, args...)) }
+		} else {
+			c.Logf = func(string, ...any) {}
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// backendCounters is the front door's per-backend accounting.
+type backendCounters struct {
+	served    atomic.Uint64 // successful responses
+	failovers atomic.Uint64 // failures here that moved the request on
+	hedges    atomic.Uint64 // hedge attempts launched here
+	retries   atomic.Uint64 // failover attempts launched here
+}
+
+// frontCounters is the front door's own always-on accounting.
+type frontCounters struct {
+	admitted, completed, failed atomic.Uint64
+	shed, rejected              atomic.Uint64
+	failovers, hedges           atomic.Uint64
+	hedgeWins, retriesDenied    atomic.Uint64
+}
+
+// Front is the cluster coordinator: one HTTP front door that
+// consistent-hashes /v1/run requests across N resembled backends with
+// health-gated failover, hedging, bounded admission and seq-ordered
+// telemetry merging. See the package doc for the layer map.
+type Front struct {
+	cfg    Config
+	ring   *Ring
+	health *Health
+	budget *resilience.Budget
+	client *http.Client
+
+	ln       net.Listener
+	srv      *http.Server
+	httpDone chan struct{}
+
+	state atomic.Int32 // service.State
+
+	admitMu sync.Mutex
+	nextSeq uint64
+	commits *committer
+
+	tokens chan struct{} // in-flight slots
+
+	stats   frontCounters
+	perBack map[string]*backendCounters
+
+	drainOnce sync.Once
+	drainErr  error
+	drained   chan struct{}
+
+	start time.Time
+}
+
+// New validates the configuration and builds a stopped front door;
+// Start makes it listen and route.
+func New(cfg Config) (*Front, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: at least one backend is required")
+	}
+	f := &Front{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas),
+		budget:   &resilience.Budget{Capacity: cfg.RetryBudget, Ratio: 0.1},
+		client:   &http.Client{}, // per-request contexts bound the round trips
+		httpDone: make(chan struct{}),
+		tokens:   make(chan struct{}, cfg.MaxInFlight),
+		perBack:  make(map[string]*backendCounters),
+		drained:  make(chan struct{}),
+		commits:  newCommitter(cfg.Telemetry),
+		start:    time.Now(),
+	}
+	for _, b := range cfg.Backends {
+		f.ring.Add(b)
+		if _, ok := f.perBack[b]; !ok {
+			f.perBack[b] = &backendCounters{}
+		}
+	}
+	probe := cfg.Probe
+	probe.Logf = cfg.Logf
+	f.health = NewHealth(f.ring.Backends(), probe)
+	return f, nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (f *Front) Addr() string {
+	if f.ln == nil {
+		return ""
+	}
+	return f.ln.Addr().String()
+}
+
+// State returns the lifecycle position (service.State semantics).
+func (f *Front) State() service.State { return service.State(f.state.Load()) }
+
+// Health exposes the prober for soak/test assertions.
+func (f *Front) Health() *Health { return f.health }
+
+// Ring exposes the routing ring for soak/test assertions.
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Start binds the listener, launches the HTTP server and the health
+// prober, and begins admitting.
+func (f *Front) Start() error {
+	if !f.state.CompareAndSwap(int32(service.Starting), int32(service.Ready)) {
+		return errors.New("cluster: front already started")
+	}
+	ln, err := net.Listen("tcp", f.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	f.ln = ln
+	f.srv = &http.Server{Handler: f.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		defer close(f.httpDone)
+		if serr := f.srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			f.cfg.Logf("cluster: http server: %v", serr)
+		}
+	}()
+	f.health.Start()
+	f.cfg.Logf("cluster: front door ready on %s over %d backends %v",
+		f.Addr(), f.ring.Len(), f.ring.Backends())
+	return nil
+}
+
+// Handler returns the front door's HTTP API:
+//
+//	POST /v1/run     route a simulation to its backend (failover/hedge)
+//	GET  /healthz    front-door liveness
+//	GET  /readyz     front-door readiness (503 draining/overloaded)
+//	GET  /metrics    fleet-wide OpenMetrics exposition
+//	GET  /stats      front counters + per-backend health JSON
+//	POST /drain      graceful front-door drain (202)
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", f.handleRun)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.HandleFunc("GET /stats", f.handleStats)
+	mux.HandleFunc("POST /drain", f.handleDrain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// unavailable answers 503 with the uniform backpressure contract.
+func unavailable(w http.ResponseWriter, reason, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+		"status": "unavailable",
+		"reason": reason,
+		"error":  msg,
+	})
+}
+
+// RouteKey derives the consistent-hash key from the request's
+// workload/trace identity — controller excluded on purpose, so every
+// run over the same trace lands on the backend whose trace cache
+// already holds it. Exported so harnesses can ask the ring who owns a
+// request.
+func RouteKey(req service.Request) string {
+	return fmt.Sprintf("%s|%d|%d", req.Workload, req.Accesses, req.Seed)
+}
+
+// handleRun admits, routes and answers one simulation request.
+func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
+	if f.State() != service.Ready {
+		f.stats.rejected.Add(1)
+		unavailable(w, service.ReadyReasonDraining, "front door is draining")
+		return
+	}
+	select {
+	case f.tokens <- struct{}{}:
+	default:
+		f.stats.shed.Add(1)
+		unavailable(w, service.ReadyReasonOverloaded,
+			fmt.Sprintf("front door at %d in-flight requests: shed", cap(f.tokens)))
+		return
+	}
+	defer func() { <-f.tokens }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, service.Response{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var req service.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, service.Response{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Workload == "" || req.Controller == "" {
+		writeJSON(w, http.StatusBadRequest, service.Response{Error: "workload and controller are required"})
+		return
+	}
+	// Windows ride back for the admission-seq merge whenever the front
+	// door carries a collector; the client only sees them if it asked.
+	clientWantsWindows := req.ReturnWindows
+	if f.cfg.Telemetry != nil {
+		req.ReturnWindows = true
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, service.Response{Error: err.Error()})
+		return
+	}
+
+	began := time.Now()
+	seq := f.admit()
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
+	defer cancel()
+	a := f.dispatch(ctx, RouteKey(req), payload)
+
+	if a.status == http.StatusOK {
+		f.commits.commit(seq, a.resp.Windows)
+		f.stats.completed.Add(1)
+		if bc := f.perBack[a.backend]; bc != nil {
+			bc.served.Add(1)
+		}
+		if !clientWantsWindows {
+			a.resp.Windows = nil
+		}
+		f.cfg.Logger.Info("request routed",
+			"seq", seq, "backend", a.backend, "hedged", a.hedged,
+			"workload", req.Workload, "controller", req.Controller,
+			"dur_ms", float64(time.Since(began))/float64(time.Millisecond))
+		writeJSON(w, http.StatusOK, a.resp)
+		return
+	}
+	// Terminal failure: the seq slot still advances so later runs merge.
+	f.commits.commit(seq, nil)
+	f.stats.failed.Add(1)
+	status := a.status
+	switch {
+	case status == 0 && errors.Is(a.err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case status == 0:
+		status = http.StatusBadGateway
+	}
+	resp := a.resp
+	if resp.Error == "" && a.err != nil {
+		resp.Error = a.err.Error()
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	f.cfg.Logger.Warn("request failed",
+		"seq", seq, "backend", a.backend, "status", status, "err", resp.Error)
+	writeJSON(w, status, resp)
+}
+
+// admit assigns the admission sequence number that fixes the request's
+// place in the merged telemetry stream.
+func (f *Front) admit() uint64 {
+	f.admitMu.Lock()
+	defer f.admitMu.Unlock()
+	seq := f.nextSeq
+	f.nextSeq++
+	f.stats.admitted.Add(1)
+	return seq
+}
+
+// attempt is the outcome of one backend try.
+type attempt struct {
+	backend string
+	hedged  bool
+	status  int
+	resp    service.Response
+	err     error
+}
+
+func (a attempt) ok() bool { return a.err == nil && a.status == http.StatusOK }
+
+// terminal reports a response that must not be retried: the backend
+// answered authoritatively with a client error.
+func (a attempt) terminal() bool {
+	return a.err == nil && a.status >= 400 && a.status < 500
+}
+
+// dispatch routes one request through the failover/hedge state
+// machine: the key's ring sequence (health-filtered) is tried in
+// order; a failed attempt fails over to the next backend if the retry
+// budget allows, and a silent primary is hedged on the next backend
+// after HedgeAfter. The first success wins and cancels the rest.
+func (f *Front) dispatch(ctx context.Context, key string, payload []byte) attempt {
+	order := f.health.Order(f.ring.Sequence(key))
+	if f.cfg.MaxAttempts > 0 && len(order) > f.cfg.MaxAttempts {
+		order = order[:f.cfg.MaxAttempts]
+	}
+	if len(order) == 0 {
+		return attempt{status: http.StatusServiceUnavailable,
+			resp: service.Response{Error: "no backends configured"}}
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // reaps the losers
+	results := make(chan attempt, len(order))
+	launched := 0
+	launch := func(hedged bool) {
+		b := order[launched]
+		launched++
+		bc := f.perBack[b]
+		switch {
+		case hedged:
+			f.stats.hedges.Add(1)
+			if bc != nil {
+				bc.hedges.Add(1)
+			}
+		case launched > 1:
+			if bc != nil {
+				bc.retries.Add(1)
+			}
+		}
+		go func() { results <- f.tryBackend(actx, b, payload, hedged) }()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if f.cfg.HedgeAfter > 0 {
+		ht := time.NewTimer(f.cfg.HedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	outstanding := 1
+	var last attempt
+	for {
+		select {
+		case a := <-results:
+			outstanding--
+			if a.ok() {
+				f.budget.Refund()
+				if a.hedged {
+					f.stats.hedgeWins.Add(1)
+				}
+				return a
+			}
+			if a.terminal() {
+				return a
+			}
+			last = a
+			if bc := f.perBack[a.backend]; bc != nil && launched < len(order) {
+				bc.failovers.Add(1)
+			}
+			if launched < len(order) {
+				if f.budget.Spend() {
+					f.stats.failovers.Add(1)
+					launch(false)
+					outstanding++
+					continue
+				}
+				f.stats.retriesDenied.Add(1)
+				f.cfg.Logf("cluster: retry budget exhausted for %s", a.backend)
+			}
+			if outstanding == 0 {
+				return last
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(order) {
+				launch(true)
+				outstanding++
+			}
+		case <-actx.Done():
+			if last.backend != "" {
+				return last
+			}
+			return attempt{err: actx.Err()}
+		}
+	}
+}
+
+// tryBackend performs one backend round trip. Transport failures and
+// timeouts feed the backend's breaker; a plain HTTP answer of any
+// status reports healthy (the server is alive — readiness is the
+// prober's business). A context cancellation reports nothing: losing
+// a hedge race is not a health signal.
+func (f *Front) tryBackend(ctx context.Context, backend string, payload []byte, hedged bool) attempt {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+backend+"/v1/run", bytes.NewReader(payload))
+	if err != nil {
+		return attempt{backend: backend, hedged: hedged, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			f.health.Report(backend, false)
+		}
+		return attempt{backend: backend, hedged: hedged, err: fmt.Errorf("backend %s: %w", backend, err)}
+	}
+	defer resp.Body.Close()
+	var out service.Response
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&out); derr != nil {
+		// Severed mid-body: a killed backend from the client's side.
+		if !errors.Is(derr, context.Canceled) {
+			f.health.Report(backend, false)
+		}
+		return attempt{backend: backend, hedged: hedged,
+			err: fmt.Errorf("backend %s: truncated response: %w", backend, derr)}
+	}
+	f.health.Report(backend, true)
+	return attempt{backend: backend, hedged: hedged, status: resp.StatusCode, resp: out}
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": f.State().String()})
+}
+
+func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case f.State() != service.Ready:
+		unavailable(w, service.ReadyReasonDraining, "front door is draining")
+	case len(f.tokens) >= cap(f.tokens):
+		unavailable(w, service.ReadyReasonOverloaded, "front door in-flight limit reached")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":           "ok",
+			"in_flight":        len(f.tokens),
+			"max_in_flight":    cap(f.tokens),
+			"healthy_backends": f.health.HealthyCount(),
+			"backends":         f.ring.Len(),
+		})
+	}
+}
+
+// Stats is the front door's JSON counter view.
+type Stats struct {
+	State         string          `json:"state"`
+	Admitted      uint64          `json:"requests_admitted"`
+	Completed     uint64          `json:"requests_completed"`
+	Failed        uint64          `json:"requests_failed"`
+	Shed          uint64          `json:"requests_shed"`
+	Rejected      uint64          `json:"requests_rejected"`
+	Failovers     uint64          `json:"failovers"`
+	Hedges        uint64          `json:"hedges"`
+	HedgeWins     uint64          `json:"hedge_wins"`
+	RetriesDenied uint64          `json:"retries_denied"`
+	RetryTokens   float64         `json:"retry_tokens"`
+	MergePending  int             `json:"merge_pending"`
+	Backends      []BackendStatus `json:"backends"`
+}
+
+// Stats snapshots the front counters and per-backend health.
+func (f *Front) Stats() Stats {
+	return Stats{
+		State:         f.State().String(),
+		Admitted:      f.stats.admitted.Load(),
+		Completed:     f.stats.completed.Load(),
+		Failed:        f.stats.failed.Load(),
+		Shed:          f.stats.shed.Load(),
+		Rejected:      f.stats.rejected.Load(),
+		Failovers:     f.stats.failovers.Load(),
+		Hedges:        f.stats.hedges.Load(),
+		HedgeWins:     f.stats.hedgeWins.Load(),
+		RetriesDenied: f.stats.retriesDenied.Load(),
+		RetryTokens:   f.budget.Tokens(),
+		MergePending:  f.commits.pending(),
+		Backends:      f.health.Status(),
+	}
+}
+
+func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+// handleMetrics serves the fleet-wide OpenMetrics exposition: the
+// front door's registry (when telemetry is on) overlaid with its own
+// counters and one labeled family per backend for health state,
+// ejections, failovers, hedges, retries and reported queue depth.
+func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := f.cfg.Telemetry.Registry()
+	telemetry.UpdateRuntimeGauges(reg, f.start)
+	snap := reg.Snapshot()
+	st := f.Stats()
+	snap.Counters["cluster.requests.admitted"] = st.Admitted
+	snap.Counters["cluster.requests.completed"] = st.Completed
+	snap.Counters["cluster.requests.failed"] = st.Failed
+	snap.Counters["cluster.requests.shed"] = st.Shed
+	snap.Counters["cluster.requests.rejected"] = st.Rejected
+	snap.Counters["cluster.failovers"] = st.Failovers
+	snap.Counters["cluster.hedges"] = st.Hedges
+	snap.Counters["cluster.hedge.wins"] = st.HedgeWins
+	snap.Counters["cluster.retries.denied"] = st.RetriesDenied
+	snap.Gauges["cluster.retry.budget"] = st.RetryTokens
+	snap.Gauges["cluster.inflight"] = float64(len(f.tokens))
+	snap.Gauges["cluster.inflight.max"] = float64(cap(f.tokens))
+	snap.Gauges["cluster.merge.pending"] = float64(st.MergePending)
+	snap.Gauges["cluster.state"] = float64(f.state.Load())
+	ready := 0.0
+	if f.State() == service.Ready && len(f.tokens) < cap(f.tokens) {
+		ready = 1
+	}
+	snap.Gauges["cluster.ready"] = ready
+	snap.Gauges["cluster.backends.healthy"] = float64(f.health.HealthyCount())
+	for _, bs := range st.Backends {
+		snap.Gauges["cluster.backend.state."+bs.Backend] = breakerStateValue(bs.State)
+		snap.Gauges["cluster.backend.queue.depth."+bs.Backend] = float64(bs.QueueDepth)
+		snap.Counters["cluster.backend.ejections."+bs.Backend] = bs.Ejections
+		snap.Counters["cluster.backend.transitions."+bs.Backend] = bs.Transitions
+		snap.Counters["cluster.backend.probe.failures."+bs.Backend] = bs.Failures
+		bc := f.perBack[bs.Backend]
+		if bc == nil {
+			continue
+		}
+		snap.Counters["cluster.backend.served."+bs.Backend] = bc.served.Load()
+		snap.Counters["cluster.backend.failovers."+bs.Backend] = bc.failovers.Load()
+		snap.Counters["cluster.backend.hedges."+bs.Backend] = bc.hedges.Load()
+		snap.Counters["cluster.backend.retries."+bs.Backend] = bc.retries.Load()
+	}
+	if reg == nil {
+		tmp := telemetry.NewRegistry()
+		telemetry.UpdateRuntimeGauges(tmp, f.start)
+		for name, v := range tmp.Snapshot().Gauges {
+			snap.Gauges[name] = v
+		}
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	_ = telemetry.WritePrometheus(w, snap,
+		telemetry.LabelRule{Prefix: "cluster.backend.state", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.queue.depth", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.ejections", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.transitions", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.probe.failures", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.served", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.failovers", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.hedges", Label: "backend"},
+		telemetry.LabelRule{Prefix: "cluster.backend.retries", Label: "backend"})
+}
+
+// breakerStateValue maps a breaker state name to the gauge encoding
+// the service layer uses (closed 0, open 1, half-open 2).
+func breakerStateValue(name string) float64 {
+	switch name {
+	case resilience.Open.String():
+		return float64(resilience.Open)
+	case resilience.HalfOpen.String():
+		return float64(resilience.HalfOpen)
+	default:
+		return float64(resilience.Closed)
+	}
+}
+
+// handleDrain starts a graceful drain in the background (202).
+func (f *Front) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.DrainTimeout+10*time.Second)
+		defer cancel()
+		_ = f.Drain(ctx)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "draining"})
+}
+
+// Drain gracefully stops the front door: admission closes (new
+// requests get 503 + Retry-After), in-flight requests finish (the
+// HTTP shutdown waits for them), the prober stops, and — when
+// DrainBackends is set — every backend is quiesced in address order.
+// Idempotent; every caller gets the same result.
+func (f *Front) Drain(ctx context.Context) error {
+	f.drainOnce.Do(func() {
+		f.state.Store(int32(service.Draining))
+		f.cfg.Logf("cluster: draining front door (%d in flight)", len(f.tokens))
+		if f.srv != nil {
+			shutCtx, cancel := context.WithTimeout(context.Background(), f.cfg.DrainTimeout)
+			defer cancel()
+			if err := f.srv.Shutdown(shutCtx); err != nil {
+				f.drainErr = fmt.Errorf("cluster: http shutdown: %w", err)
+			}
+			<-f.httpDone
+		}
+		f.health.Stop()
+		if f.cfg.DrainBackends {
+			f.drainBackends(ctx)
+		}
+		f.state.Store(int32(service.Stopped))
+		f.cfg.Logf("cluster: front door stopped (served %d, failed %d, failovers %d, hedges %d)",
+			f.stats.completed.Load(), f.stats.failed.Load(),
+			f.stats.failovers.Load(), f.stats.hedges.Load())
+		close(f.drained)
+	})
+	<-f.drained
+	return f.drainErr
+}
+
+// drainBackends quiesces the fleet in address order: POST /drain to
+// each backend, then wait for it to report stopped (or go away) before
+// moving to the next — no thundering simultaneous shutdown.
+func (f *Front) drainBackends(ctx context.Context) {
+	backends := f.ring.Backends()
+	sort.Strings(backends)
+	for _, b := range backends {
+		f.cfg.Logf("cluster: draining backend %s", b)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+b+"/drain", nil)
+		if err != nil {
+			continue
+		}
+		if resp, derr := f.client.Do(req); derr != nil {
+			f.cfg.Logf("cluster: backend %s drain request: %v (skipping)", b, derr)
+			continue
+		} else {
+			resp.Body.Close()
+		}
+		deadline := time.Now().Add(f.cfg.DrainTimeout)
+		for time.Now().Before(deadline) && ctx.Err() == nil {
+			resp, herr := f.client.Get("http://" + b + "/healthz")
+			if herr != nil {
+				break // server gone: drained all the way down
+			}
+			var body struct {
+				State string `json:"state"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if body.State == service.Stopped.String() {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		f.cfg.Logf("cluster: backend %s quiesced", b)
+	}
+}
+
+// Close drains with the configured drain timeout.
+func (f *Front) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.DrainTimeout+10*time.Second)
+	defer cancel()
+	return f.Drain(ctx)
+}
+
+// Drained reports whether the front door has fully stopped.
+func (f *Front) Drained() <-chan struct{} { return f.drained }

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resemble/internal/resilience"
+	"resemble/internal/service"
+)
+
+// readyzStub is a minimal backend exposing only /readyz, with a
+// switchable answer.
+type readyzStub struct {
+	srv    *httptest.Server
+	addr   string
+	status atomic.Int32 // HTTP status to answer
+	reason atomic.Value // string reason in 503 bodies
+}
+
+func newReadyzStub(t *testing.T) *readyzStub {
+	t.Helper()
+	s := &readyzStub{}
+	s.status.Store(http.StatusOK)
+	s.reason.Store(service.ReadyReasonOverloaded)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		code := int(s.status.Load())
+		w.WriteHeader(code)
+		if code == http.StatusOK {
+			w.Write([]byte(`{"status":"ok","queue_depth":3}`))
+			return
+		}
+		reason, _ := s.reason.Load().(string)
+		w.Write([]byte(`{"status":"unavailable","reason":"` + reason + `"}`))
+	})
+	s.srv = httptest.NewServer(mux)
+	s.addr = s.srv.Listener.Addr().String()
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHealthEjectionAndReadmission drives the full failover state
+// machine against a live stub: healthy -> failing (ejected) ->
+// recovered (readmitted through half-open).
+func TestHealthEjectionAndReadmission(t *testing.T) {
+	stub := newReadyzStub(t)
+	h := NewHealth([]string{stub.addr}, ProbeConfig{
+		Interval: 10 * time.Millisecond,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: 2,
+			OpenFor:          50 * time.Millisecond,
+			HalfOpenProbes:   1,
+		},
+	})
+	h.Start()
+	defer h.Stop()
+
+	waitFor(t, "first healthy probe", func() bool {
+		st := h.Status()[0]
+		return st.Probes > 0 && st.Reason == "ok" && st.QueueDepth == 3
+	})
+	if !h.Allowed(stub.addr) {
+		t.Fatal("healthy backend not allowed")
+	}
+
+	stub.status.Store(http.StatusServiceUnavailable)
+	waitFor(t, "ejection", func() bool {
+		return h.Breaker(stub.addr).State() == resilience.Open
+	})
+	if st := h.Status()[0]; st.Ejections == 0 || st.Reason != service.ReadyReasonOverloaded {
+		t.Fatalf("ejected status = %+v, want ejections > 0 and overloaded reason", st)
+	}
+
+	stub.status.Store(http.StatusOK)
+	waitFor(t, "readmission", func() bool {
+		return h.Breaker(stub.addr).State() == resilience.Closed
+	})
+	if !h.Allowed(stub.addr) {
+		t.Fatal("readmitted backend not allowed")
+	}
+}
+
+// TestHealthUnreachable: a dead address ejects with reason
+// "unreachable".
+func TestHealthUnreachable(t *testing.T) {
+	stub := newReadyzStub(t)
+	addr := stub.addr
+	stub.srv.Close() // kill before probing starts
+	h := NewHealth([]string{addr}, ProbeConfig{
+		Interval: 10 * time.Millisecond,
+		Breaker:  resilience.BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute},
+	})
+	h.Start()
+	defer h.Stop()
+	waitFor(t, "unreachable ejection", func() bool {
+		st := h.Status()[0]
+		return st.State == resilience.Open.String() && st.Reason == "unreachable"
+	})
+	if h.Allowed(addr) {
+		t.Fatal("unreachable backend still allowed")
+	}
+}
+
+// TestHealthOrder: ejected backends are filtered out of the failover
+// sequence; when everything is ejected the raw sequence comes back so
+// a request still gets one attempt.
+func TestHealthOrder(t *testing.T) {
+	h := NewHealth([]string{"a:1", "b:1"}, ProbeConfig{
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1, OpenFor: time.Minute},
+	})
+	// Not started: no probes, breakers fed directly.
+	seq := []string{"a:1", "b:1"}
+	if got := h.Order(seq); len(got) != 2 {
+		t.Fatalf("all-healthy order = %v", got)
+	}
+	h.Report("a:1", false) // trips at one failure
+	got := h.Order(seq)
+	if len(got) != 1 || got[0] != "b:1" {
+		t.Fatalf("order with a:1 ejected = %v, want [b:1]", got)
+	}
+	h.Report("b:1", false)
+	if got := h.Order(seq); len(got) != 2 {
+		t.Fatalf("all-ejected order = %v, want full sequence fallback", got)
+	}
+	if h.Allowed("nobody:0") {
+		t.Fatal("unknown backend allowed")
+	}
+	if h.HealthyCount() != 0 {
+		t.Fatalf("healthy count = %d, want 0", h.HealthyCount())
+	}
+}

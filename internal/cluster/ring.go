@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per backend. 128 points
+// per backend keeps the worst-case ownership imbalance of a small
+// fleet within a few percent while the ring stays tiny (3 backends =
+// 384 points, one binary search per lookup).
+const DefaultReplicas = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash    uint64
+	backend string
+}
+
+// Ring is a consistent-hash ring over backend names. Keys map to the
+// first point clockwise from their hash; removing a backend remaps
+// only the keys that backend owned, and adding one steals keys only
+// for the new backend — the property FuzzRing pins. Safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by (hash, backend)
+	backends map[string]struct{}
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// backend (<= 0 uses DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, backends: make(map[string]struct{})}
+}
+
+// hashKey positions a request key on the ring: FNV-1a then a
+// splitmix64 finalizer, because raw FNV over near-identical strings
+// (vnode labels differing in one digit) leaves enough structure to
+// unbalance a small ring.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// pointHash places backend's i-th virtual node.
+func pointHash(backend string, i int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(backend))
+	return mix64(h.Sum64() + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a backend's virtual nodes; adding a present backend is a
+// no-op.
+func (r *Ring) Add(backend string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[backend]; ok {
+		return
+	}
+	r.backends[backend] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: pointHash(backend, i), backend: backend})
+	}
+	// Ties broken by name so the ring order is a pure function of the
+	// membership set — two front doors with the same -backends list
+	// route identically.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].backend < r.points[j].backend
+	})
+}
+
+// Remove deletes a backend's virtual nodes; removing an absent backend
+// is a no-op.
+func (r *Ring) Remove(backend string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[backend]; !ok {
+		return
+	}
+	delete(r.backends, backend)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.backend != backend {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Backends returns the members in sorted order.
+func (r *Ring) Backends() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.backends))
+	for b := range r.backends {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.backends)
+}
+
+// Lookup returns the backend owning key (ok=false on an empty ring).
+func (r *Ring) Lookup(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(hashKey(key))].backend, true
+}
+
+// Sequence returns every distinct backend in ring order starting from
+// key's owner — the failover order: index 0 is the primary, index 1
+// the first failover/hedge target, and so on.
+func (r *Ring) Sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.backends))
+	seen := make(map[string]struct{}, len(r.backends))
+	for i, n := r.search(hashKey(key)), len(r.points); len(seen) < len(r.backends); i++ {
+		p := r.points[i%n]
+		if _, ok := seen[p.backend]; ok {
+			continue
+		}
+		seen[p.backend] = struct{}{}
+		out = append(out, p.backend)
+	}
+	return out
+}
+
+// search finds the index of the first point clockwise from h; the
+// caller holds at least a read lock and guarantees a non-empty ring.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrap
+	}
+	return i
+}

@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("433.milc|%d|%d", 20000, i)
+	}
+	return keys
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("k"); ok {
+		t.Fatal("empty ring resolved a key")
+	}
+	if seq := r.Sequence("k"); seq != nil {
+		t.Fatalf("empty ring sequence = %v", seq)
+	}
+	r.Remove("ghost") // no-op, no panic
+}
+
+func TestRingLookupStable(t *testing.T) {
+	r := NewRing(0)
+	for _, b := range []string{"b0", "b1", "b2"} {
+		r.Add(b)
+	}
+	for _, k := range sampleKeys(100) {
+		first, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("lookup %q failed", k)
+		}
+		for i := 0; i < 3; i++ {
+			if got, _ := r.Lookup(k); got != first {
+				t.Fatalf("lookup %q flapped: %q then %q", k, first, got)
+			}
+		}
+	}
+}
+
+// TestRingDeterministicAcrossInstances: two rings built from the same
+// membership (in different insertion orders) route identically — two
+// front doors with the same -backends flag agree on every key.
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, n := range []string{"10.0.0.1:8321", "10.0.0.2:8321", "10.0.0.3:8321"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"10.0.0.3:8321", "10.0.0.1:8321", "10.0.0.2:8321"} {
+		b.Add(n)
+	}
+	for _, k := range sampleKeys(200) {
+		ba, _ := a.Lookup(k)
+		bb, _ := b.Lookup(k)
+		if ba != bb {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, ba, bb)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := NewRing(0)
+	backends := []string{"b0", "b1", "b2"}
+	for _, b := range backends {
+		r.Add(b)
+	}
+	counts := map[string]int{}
+	keys := sampleKeys(3000)
+	for _, k := range keys {
+		b, _ := r.Lookup(k)
+		counts[b]++
+	}
+	for _, b := range backends {
+		share := float64(counts[b]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("backend %s owns %.0f%% of keys (counts %v) — ring badly unbalanced",
+				b, share*100, counts)
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r := NewRing(0)
+	for _, b := range []string{"b0", "b1", "b2", "b3"} {
+		r.Add(b)
+	}
+	for _, k := range sampleKeys(50) {
+		seq := r.Sequence(k)
+		if len(seq) != 4 {
+			t.Fatalf("sequence length %d, want 4", len(seq))
+		}
+		owner, _ := r.Lookup(k)
+		if seq[0] != owner {
+			t.Fatalf("sequence[0] = %q, owner = %q", seq[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence repeats %q: %v", b, seq)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestRingMinimalRemap pins the consistent-hashing contract directly:
+// removing a backend remaps only the keys it owned (everything else
+// stays put), and adding one steals keys only for itself.
+func TestRingMinimalRemap(t *testing.T) {
+	r := NewRing(0)
+	backends := []string{"b0", "b1", "b2", "b3"}
+	for _, b := range backends {
+		r.Add(b)
+	}
+	keys := sampleKeys(2000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+
+	r.Remove("b2")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if before[k] != "b2" && after != before[k] {
+			t.Fatalf("key %q moved %q -> %q though b2 was removed", k, before[k], after)
+		}
+		if before[k] == "b2" {
+			moved++
+			if after == "b2" {
+				t.Fatalf("key %q still maps to removed backend", k)
+			}
+		}
+	}
+	// Remap fraction equals the removed backend's share: roughly 1/4,
+	// never more than a badly unbalanced ring could own.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.55 {
+		t.Fatalf("removal remapped %.0f%% of keys", frac*100)
+	}
+
+	mid := map[string]string{}
+	for _, k := range keys {
+		mid[k], _ = r.Lookup(k)
+	}
+	r.Add("b4")
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if after != mid[k] && after != "b4" {
+			t.Fatalf("key %q moved %q -> %q on adding b4", k, mid[k], after)
+		}
+	}
+}
+
+// FuzzRing drives arbitrary add/remove sequences and checks the two
+// invariants routing correctness rests on: a key never resolves to a
+// non-member (in particular never to a just-removed backend), and
+// membership changes only remap the replaced share — a removal moves
+// exactly the removed backend's keys, an addition steals keys only for
+// the newcomer.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x83, 3, 1})
+	f.Add([]byte{0, 0, 1, 0x80, 0x80, 2})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 0x87, 0x86, 0x85})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		r := NewRing(16) // small replica count: collisions more likely
+		keys := sampleKeys(64)
+		snapshot := func() map[string]string {
+			m := map[string]string{}
+			for _, k := range keys {
+				if b, ok := r.Lookup(k); ok {
+					m[k] = b
+				}
+			}
+			return m
+		}
+		members := map[string]bool{}
+		for _, op := range ops {
+			name := fmt.Sprintf("b%d", op&0x7f%8)
+			before := snapshot()
+			if op&0x80 == 0 { // add
+				r.Add(name)
+				wasMember := members[name]
+				members[name] = true
+				after := snapshot()
+				for k, b := range after {
+					if prev, ok := before[k]; ok && b != prev {
+						if wasMember || b != name {
+							t.Fatalf("add %s moved key %q from %q to %q", name, k, prev, b)
+						}
+					}
+				}
+			} else { // remove
+				r.Remove(name)
+				wasMember := members[name]
+				delete(members, name)
+				after := snapshot()
+				for k, b := range after {
+					if b == name {
+						t.Fatalf("key %q maps to removed backend %q", k, name)
+					}
+					if prev := before[k]; wasMember && prev != name && b != prev {
+						t.Fatalf("remove %s moved unrelated key %q from %q to %q", name, k, prev, b)
+					}
+				}
+			}
+			// Every resolution lands on a live member and Sequence agrees
+			// with the membership set.
+			if got := r.Len(); got != len(members) {
+				t.Fatalf("ring has %d members, want %d", got, len(members))
+			}
+			for _, k := range keys[:8] {
+				b, ok := r.Lookup(k)
+				if !ok {
+					if len(members) != 0 {
+						t.Fatalf("lookup failed with %d members", len(members))
+					}
+					continue
+				}
+				if !members[b] {
+					t.Fatalf("key %q resolved to non-member %q", k, b)
+				}
+				if seq := r.Sequence(k); len(seq) != len(members) || seq[0] != b {
+					t.Fatalf("sequence %v inconsistent with lookup %q and %d members", seq, b, len(members))
+				}
+			}
+		}
+	})
+}

@@ -73,13 +73,14 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 // signal, the checkpoint path keys one off write errors — and is safe
 // for concurrent use.
 type Breaker struct {
-	mu        sync.Mutex
-	cfg       BreakerConfig
-	state     BreakerState
-	failures  int       // consecutive failures while closed
-	successes int       // consecutive probe successes while half-open
-	openedAt  time.Time // when the breaker last tripped
-	trips     uint64
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	failures    int       // consecutive failures while closed
+	successes   int       // consecutive probe successes while half-open
+	openedAt    time.Time // when the breaker last tripped
+	trips       uint64
+	transitions uint64 // every state change, not just trips
 }
 
 // NewBreaker builds a closed breaker.
@@ -94,6 +95,7 @@ func (b *Breaker) transition(next BreakerState) {
 	}
 	prev := b.state
 	b.state = next
+	b.transitions++
 	switch next {
 	case Open:
 		b.trips++
@@ -167,4 +169,21 @@ func (b *Breaker) Trips() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// StateName returns the current state's label ("closed", "open",
+// "half-open"), advancing an expired open breaker like State does.
+// External observers — the cluster front door's per-backend
+// cluster_backend_state families — use it so they never depend on the
+// numeric encoding of BreakerState.
+func (b *Breaker) StateName() string { return b.State().String() }
+
+// Transitions returns the total number of state changes the breaker
+// has made (trips, half-open probes and re-closes all count). A
+// steadily climbing transition count with a low trip count is the
+// flap signature the fleet dashboards alert on.
+func (b *Breaker) Transitions() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
 }

@@ -130,6 +130,70 @@ func TestBreakerTransitionsObserved(t *testing.T) {
 	}
 }
 
+// TestBreakerReadmission pins the half-open → closed readmission path
+// the cluster front door depends on, through the external observer
+// accessors (StateName, Transitions): an ejected backend's breaker
+// must re-close after HalfOpenProbes clean probes, and the transition
+// count must record every hop. Run under -race by scripts/check.sh —
+// the probe loop and the request path report concurrently in the
+// front door, so the accessors are also hammered from two goroutines.
+func TestBreakerReadmission(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   2,
+		Now:              clk.now,
+	})
+	if got := b.StateName(); got != "closed" {
+		t.Fatalf("StateName = %q, want closed", got)
+	}
+	report(b, false, false) // eject
+	if got := b.StateName(); got != "open" {
+		t.Fatalf("StateName after trip = %q, want open", got)
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("expired open breaker must admit the readmission probe")
+	}
+	if got := b.StateName(); got != "half-open" {
+		t.Fatalf("StateName past OpenFor = %q, want half-open", got)
+	}
+	report(b, true) // first probe
+	if got := b.StateName(); got != "half-open" {
+		t.Fatalf("StateName after 1/2 probes = %q, want half-open", got)
+	}
+	report(b, true) // second probe readmits
+	if got := b.StateName(); got != "closed" {
+		t.Fatalf("StateName after readmission = %q, want closed", got)
+	}
+	// closed→open, open→half-open, half-open→closed.
+	if got := b.Transitions(); got != 3 {
+		t.Fatalf("Transitions = %d, want 3", got)
+	}
+
+	// Concurrent observers against a live report stream: no torn reads
+	// under -race, and the state must settle closed once the stream is
+	// all-success.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = b.StateName()
+			_ = b.Transitions()
+			_ = b.Trips()
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		b.Report(true)
+		b.Allow()
+	}
+	<-done
+	if got := b.StateName(); got != "closed" {
+		t.Fatalf("StateName after success stream = %q, want closed", got)
+	}
+}
+
 func TestBreakerDefaults(t *testing.T) {
 	b := NewBreaker(BreakerConfig{})
 	report(b, false, false) // below default threshold 3

@@ -26,6 +26,12 @@ type Request struct {
 	Accesses int `json:"accesses,omitempty"`
 	// Seed offsets the workload's trace seed and the controller seed.
 	Seed int64 `json:"seed,omitempty"`
+	// ReturnWindows asks for the run's telemetry window snapshots in
+	// the response, so a coordinator in another process can merge them
+	// in its own admission order (the cluster determinism contract).
+	// Requires the service to run with a telemetry collector; without
+	// one the response simply carries no windows.
+	ReturnWindows bool `json:"return_windows,omitempty"`
 }
 
 // Response is the outcome of one simulation request.
@@ -51,6 +57,10 @@ type Response struct {
 	MaskedArms []string `json:"masked_arms,omitempty"`
 	DurationMS float64  `json:"duration_ms,omitempty"`
 	Error      string   `json:"error,omitempty"`
+	// Windows carries the run's telemetry window snapshots when the
+	// request set ReturnWindows (and telemetry is enabled) — exactly
+	// the stream the run's child collector committed, in order.
+	Windows []telemetry.WindowSnapshot `json:"windows,omitempty"`
 }
 
 // retryAfter is the Retry-After hint attached to every 503.
@@ -205,16 +215,42 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": s.State().String()})
 }
 
+// Readiness reasons reported by /readyz 503s. The cluster front
+// door's health prober branches on them: "draining" means the backend
+// is leaving on purpose (route away, don't alarm), "overloaded" means
+// it is alive but saturated (route away, expect it back).
+const (
+	ReadyReasonDraining   = "draining"
+	ReadyReasonOverloaded = "overloaded"
+	ReadyReasonStarting   = "starting"
+)
+
+// notReady answers a readiness 503 with a machine-readable reason.
+// Every 503 the service emits carries Retry-After — readiness
+// included, not just the shed path — so clients and coordinators get
+// one uniform backpressure contract.
+func notReady(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status": "unavailable",
+		"reason": reason,
+	})
+}
+
 // handleReadyz is the readiness probe: 200 only while the service is
 // admitting and the queue has headroom. Load balancers stop routing
-// here first, before the queue starts shedding.
+// here first, before the queue starts shedding. The 503 body carries
+// a distinct reason ("draining" vs "overloaded") so a coordinator can
+// tell a deliberate departure from transient saturation.
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	state := s.State()
 	switch {
+	case state == Starting:
+		notReady(w, ReadyReasonStarting)
 	case state != Ready:
-		unavailable(w, "not ready: "+state.String())
+		notReady(w, ReadyReasonDraining)
 	case s.queue.Saturated():
-		unavailable(w, "not ready: admission queue saturated")
+		notReady(w, ReadyReasonOverloaded)
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":      "ok",

@@ -257,6 +257,8 @@ type Service struct {
 
 	stats serviceCounters
 
+	aborted atomic.Bool // Abort severed the HTTP front (chaos harness)
+
 	drainOnce sync.Once
 	drainErr  error
 	drained   chan struct{} // closed when drain completes
@@ -584,12 +586,17 @@ func (s *Service) Drain(ctx context.Context) error {
 			}
 		}
 		if s.srv != nil {
-			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			if err := s.srv.Shutdown(shutCtx); err != nil && s.drainErr == nil {
-				s.drainErr = fmt.Errorf("service: http shutdown: %w", err)
+			if s.aborted.Load() {
+				// Abort already closed the server; Serve has returned.
+				<-s.httpDone
+			} else {
+				shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := s.srv.Shutdown(shutCtx); err != nil && s.drainErr == nil {
+					s.drainErr = fmt.Errorf("service: http shutdown: %w", err)
+				}
+				<-s.httpDone
 			}
-			<-s.httpDone
 		}
 		if s.pprofSrv != nil {
 			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -607,7 +614,21 @@ func (s *Service) Drain(ctx context.Context) error {
 	return s.drainErr
 }
 
-// Close drains with the configured drain timeout.
+// Abort severs the service's HTTP front immediately — the listener
+// and every established connection close mid-flight, with no drain
+// and no goodbye. From a remote peer's point of view this is
+// indistinguishable from a SIGKILL: in-flight requests die with a
+// connection error and new connects are refused. The engine behind
+// the front (workers, queue, loops) keeps running; the cluster chaos
+// harness uses Abort to simulate losing a backend and later calls
+// Close to reap the carcass without tripping the goroutine-leak audit.
+func (s *Service) Abort() {
+	if s.srv == nil || !s.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	s.cfg.Logf("service: ABORT: http front severed (simulated kill)")
+	_ = s.srv.Close()
+}
 func (s *Service) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout+10*time.Second)
 	defer cancel()

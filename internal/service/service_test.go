@@ -290,6 +290,139 @@ func TestServiceProbes(t *testing.T) {
 	}
 }
 
+// getReadyz fetches /readyz and decodes status, Retry-After and the
+// machine-readable reason.
+func getReadyz(t *testing.T, addr string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Reason string `json:"reason"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), body.Reason
+}
+
+// TestReadyzReasons pins the readiness contract the cluster front door
+// branches on: a draining service reports reason "draining", a
+// saturated one "overloaded", and both 503s carry Retry-After.
+func TestReadyzReasons(t *testing.T) {
+	t.Run("draining", func(t *testing.T) {
+		s := startService(t, nil)
+		// Flip the lifecycle without tearing down the HTTP server so the
+		// probe can still be scraped mid-drain.
+		s.state.Store(int32(Draining))
+		status, retryAfter, reason := getReadyz(t, s.Addr())
+		if status != http.StatusServiceUnavailable || reason != ReadyReasonDraining {
+			t.Fatalf("readyz = %d reason %q, want 503 %q", status, reason, ReadyReasonDraining)
+		}
+		if retryAfter == "" {
+			t.Fatal("draining 503 missing Retry-After")
+		}
+		s.state.Store(int32(Ready)) // let Close drain normally
+	})
+	t.Run("overloaded", func(t *testing.T) {
+		s := startService(t, func(c *Config) {
+			c.Workers = 1
+			c.QueueDepth = 1
+			c.RequestTimeout = 2 * time.Second
+			// The stall is context-bounded, so the worker frees itself at
+			// the request deadline and the drain stays fast.
+			c.Chaos = &Chaos{SlowHandler: time.Hour}
+		})
+		// One request occupies the worker, the next fills the 1-deep
+		// queue; readyz must then report overloaded.
+		for i := 0; i < 3; i++ {
+			go func() {
+				body, _ := json.Marshal(Request{Workload: "433.milc", Controller: "none", Accesses: 1000})
+				resp, err := http.Post("http://"+s.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			status, retryAfter, reason := getReadyz(t, s.Addr())
+			if status == http.StatusServiceUnavailable {
+				if reason != ReadyReasonOverloaded {
+					t.Fatalf("saturated readyz reason = %q, want %q", reason, ReadyReasonOverloaded)
+				}
+				if retryAfter == "" {
+					t.Fatal("overloaded 503 missing Retry-After")
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("readyz never reported overloaded under saturation")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestReturnWindows: a request with ReturnWindows gets the run's
+// committed window stream in the response — byte-identical to the
+// windows the service's own collector merged for that run — and a
+// request without it gets none.
+func TestReturnWindows(t *testing.T) {
+	tel, err := telemetry.New(telemetry.Config{KeepWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startService(t, func(c *Config) { c.Telemetry = tel })
+	status, plain := post(t, s, Request{Workload: "433.milc", Controller: "bo", Accesses: 3000})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, plain.Error)
+	}
+	if len(plain.Windows) != 0 {
+		t.Fatalf("response without ReturnWindows carried %d windows", len(plain.Windows))
+	}
+	status, out := post(t, s, Request{Workload: "433.milc", Controller: "bo", Accesses: 3000, ReturnWindows: true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d (%s)", status, out.Error)
+	}
+	if len(out.Windows) == 0 {
+		t.Fatal("ReturnWindows response carried no windows")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The second run's committed windows are the collector's tail.
+	all := tel.Windows()
+	if len(all) != 2*len(out.Windows) {
+		t.Fatalf("collector windows %d, want %d (two identical runs)", len(all), 2*len(out.Windows))
+	}
+	got, _ := json.Marshal(out.Windows)
+	want, _ := json.Marshal(all[len(all)-len(out.Windows):])
+	if !bytes.Equal(got, want) {
+		t.Fatal("shipped windows diverge from the committed stream")
+	}
+}
+
+// TestAbortSeversHTTP: Abort refuses new connections immediately (the
+// SIGKILL stand-in for the cluster chaos harness) while Close still
+// reaps the engine cleanly afterwards.
+func TestAbortSeversHTTP(t *testing.T) {
+	s := startService(t, nil)
+	if got := getStatus(t, s, "/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz before abort = %d", got)
+	}
+	s.Abort()
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("aborted service still answering HTTP")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after abort: %v", err)
+	}
+	if s.State() != Stopped {
+		t.Fatalf("state = %v, want stopped", s.State())
+	}
+}
+
 // TestServiceRejectsAfterDrainStarts: a request racing the drain gets
 // a clean 503, never a hang.
 func TestServiceRejectsAfterDrainStarts(t *testing.T) {

@@ -283,6 +283,12 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 		s.counter("service.runs.masked").Inc()
 	}
 	s.commits.commit(t.seq, child)
+	// Merge leaves the child's window slice intact, so the shipped
+	// windows are exactly the stream just committed to the parent.
+	var windows []telemetry.WindowSnapshot
+	if req.ReturnWindows {
+		windows = child.Windows()
+	}
 
 	return Response{
 		Workload:          res.Workload,
@@ -301,6 +307,7 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 		ExcludedArms:      excluded,
 		MaskedArms:        masked,
 		DurationMS:        float64(time.Since(began)) / float64(time.Millisecond),
+		Windows:           windows,
 	}, http.StatusOK, nil
 }
 

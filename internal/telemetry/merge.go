@@ -139,6 +139,32 @@ func (c *Collector) Merge(ch *Collector) {
 	c.obsMu.Unlock()
 }
 
+// ReplayWindow appends a fully-formed window snapshot to the
+// collector as if it had just been emitted locally: retained under
+// KeepWindows, written through the window sinks, and the run-label /
+// window-index carry-over updated so a later Merge of this collector
+// behaves exactly like a merge of the child that originally emitted
+// the snapshot. The cluster front door uses it to rebuild a per-run
+// child from windows shipped back across a process boundary in a
+// backend's /v1/run response: replaying a run's windows in order into
+// a fresh child and merging that child is byte-identical to merging
+// the in-process child itself (the probe diff state cannot be
+// reconstructed, but it only shapes windows emitted *after* the
+// replayed ones, and a rebuilt child never emits).
+func (c *Collector) ReplayWindow(w WindowSnapshot) {
+	if c == nil {
+		return
+	}
+	if c.cfg.KeepWindows {
+		c.windows = append(c.windows, w)
+	}
+	for _, s := range c.winSinks {
+		_ = s.WriteWindow(w)
+	}
+	c.runWorkload, c.runSource = w.Workload, w.Source
+	c.windowIdx = w.Window + 1
+}
+
 // merge folds o's instruments into r (see Merge for the semantics).
 func (r *Registry) merge(o *Registry) {
 	if r == nil || o == nil {

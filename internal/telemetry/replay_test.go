@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"resemble/internal/metrics"
+)
+
+// fakeWindows fabricates a deterministic run's worth of snapshots with
+// every numeric field exercised (including awkward floats that must
+// survive a JSON round trip bit-for-bit).
+func fakeWindows(workload, source string, n int) []WindowSnapshot {
+	out := make([]WindowSnapshot, n)
+	for i := range out {
+		f := float64(i)
+		out[i] = WindowSnapshot{
+			Workload:     workload,
+			Source:       source,
+			Window:       i,
+			Accesses:     1000,
+			Instructions: 4000 + uint64(i),
+			Cycles:       12345.678 + f/3,
+			IPC:          0.1 + f/7,
+			Misses:       100 - uint64(i),
+			MPKI:         1.0 / (f + 1.5),
+			HitRate:      f / float64(n),
+			Issued:       uint64(i * 3),
+			Useful:       uint64(i * 2),
+			Accuracy:     2.0 / 3.0,
+			Coverage:     1.0 / 3.0,
+			RewardSum:    -0.125 + f,
+			Epsilon:      0.9999999 / (f + 1),
+			Arms: []ArmStats{
+				{Name: "bo", Share: f / 10, Issued: uint64(i)},
+				{Name: "spp", Share: 1 - f/10, Useful: uint64(i)},
+			},
+			Q: metrics.Summary{N: i, Mean: f / 9, Min: -f, Max: f},
+		}
+	}
+	return out
+}
+
+// TestReplayWindowRoundTrip pins the cross-process window contract the
+// cluster front door relies on: marshaling a child's windows (as a
+// backend response does), unmarshaling them on the far side, replaying
+// them into a fresh collector and merging produces a byte-identical
+// window stream — floats and all.
+func TestReplayWindowRoundTrip(t *testing.T) {
+	orig := fakeWindows("433.milc", "resemble-t", 5)
+
+	// The wire: encode/decode as the backend response would.
+	wire, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped []WindowSnapshot
+	if err := json.Unmarshal(wire, &shipped); err != nil {
+		t.Fatal(err)
+	}
+
+	parent, err := New(Config{KeepWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Child()
+	for _, w := range shipped {
+		child.ReplayWindow(w)
+	}
+	parent.Merge(child)
+
+	got, _ := json.Marshal(parent.Windows())
+	want, _ := json.Marshal(orig)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replayed windows diverge:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMergeOutOfSeqChildren reproduces the front-door reorder buffer:
+// per-run children arriving out of admission-seq order (a failover or
+// hedge completing late) parked and merged strictly in seq order must
+// produce output byte-identical to an in-order merge of the same
+// children. This is the cross-process twin of the worker-pool
+// determinism tests: here the children are rebuilt from shipped
+// windows rather than handed over in memory.
+func TestMergeOutOfSeqChildren(t *testing.T) {
+	runs := [][]WindowSnapshot{
+		fakeWindows("433.milc", "resemble-t", 3),
+		fakeWindows("433.lbm", "bo", 2),
+		fakeWindows("471.omnetpp", "sbp-e", 4),
+		fakeWindows("433.milc", "none", 1),
+	}
+	rebuild := func(parent *Collector, ws []WindowSnapshot) *Collector {
+		ch := parent.Child()
+		for _, w := range ws {
+			ch.ReplayWindow(w)
+		}
+		return ch
+	}
+
+	// Reference: children merged in admission order.
+	ref, err := New(Config{KeepWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range runs {
+		ref.Merge(rebuild(ref, ws))
+	}
+	want, _ := json.Marshal(ref.Windows())
+
+	// Out-of-order arrival (3, 0, 2, 1) through a reorder buffer that
+	// parks children until their seq is next.
+	parent, err := New(Config{KeepWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := map[int]*Collector{}
+	next := 0
+	for _, seq := range []int{3, 0, 2, 1} {
+		parked[seq] = rebuild(parent, runs[seq])
+		for {
+			ch, ok := parked[next]
+			if !ok {
+				break
+			}
+			delete(parked, next)
+			parent.Merge(ch)
+			next++
+		}
+	}
+	if next != len(runs) {
+		t.Fatalf("reorder buffer flushed %d of %d children", next, len(runs))
+	}
+	got, _ := json.Marshal(parent.Windows())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("out-of-seq merge diverges from in-order merge:\n got %s\nwant %s", got, want)
+	}
+}

@@ -23,8 +23,8 @@ go test -race ./internal/telemetry/... ./internal/sim/...
 echo "== go test -race (parallel engine, trace cache) =="
 go test -race -short ./internal/experiments/... ./internal/trace/...
 
-echo "== go test -race (resilience, service) =="
-go test -race ./internal/resilience/... ./internal/service/...
+echo "== go test -race (resilience, service, cluster) =="
+go test -race ./internal/resilience/... ./internal/service/... ./internal/cluster/...
 
 echo "== go test -race (fault tolerance) =="
 go test -race -run 'Fault|Masking|Resume|Checkpoint' \
@@ -49,6 +49,9 @@ echo "== soak smoke (resembled chaos/soak harness, chrome trace) =="
 tracetmp=$(mktemp -d)
 trap 'rm -rf "$tracetmp"' EXIT
 go run ./cmd/resembled -soak -trace-chrome "$tracetmp/soak-trace.json"
+
+echo "== cluster soak smoke (resemblefront chaos harness, race-enabled) =="
+go run -race ./cmd/resemblefront -soak -soak.duration 5s -soak.accesses 2000
 
 echo "== chrome trace validity (parses, ts monotone per track) =="
 go run ./cmd/resemble -workload 433.milc -controller resemble-t -n 4000 \
