@@ -20,17 +20,17 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkSimulator' -benchtime 30x .
 
 # Benchmark-regression tracker: runs the pinned benchmark set, records
-# BENCH_5.json with an environment manifest, and fails on a >15%
+# BENCH_8.json with an environment manifest, and fails on a >15%
 # regression against the newest prior BENCH_*.json (see DESIGN.md §10).
 bench-track:
-	$(GO) run ./cmd/bench -out BENCH_5.json
+	$(GO) run ./cmd/bench -out BENCH_8.json
 
 # Continuous profiling: runs the pinned benchmarks under CPU+alloc
 # profiling, writes PROF_<n>.json (top-N attribution tables decoded by
 # internal/pprofparse), and runs the alloc-budget and hotspot-diff
 # gates (see DESIGN.md §11).
 profile:
-	$(GO) run ./cmd/bench -profile -out BENCH_6.json
+	$(GO) run ./cmd/bench -profile -out BENCH_8.json
 
 fmt:
 	gofmt -w .

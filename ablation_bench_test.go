@@ -29,8 +29,14 @@ func ablationRun(b *testing.B, mutate func(*core.Config), pfs []prefetch.Prefetc
 	}
 	tr := trace.MustLookup("602.gcc").Generate(12000)
 	simCfg := sim.DefaultConfig()
-	base := sim.RunBaseline(simCfg, tr)
-	res := sim.Run(simCfg, tr, core.NewController(cfg, pfs))
+	base, err := sim.NewRunner(simCfg, sim.WithBaseline()).Run(tr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.NewRunner(simCfg).Run(tr, core.NewController(cfg, pfs))
+	if err != nil {
+		b.Fatal(err)
+	}
 	return res.IPCImprovement(base), res.Accuracy
 }
 
@@ -135,7 +141,9 @@ func BenchmarkAblationFixedPointInference(b *testing.B) {
 			var agree float64
 			for i := 0; i < b.N; i++ {
 				ctrl := core.NewController(cfg, experiments.FourPrefetchers())
-				sim.Run(sim.DefaultConfig(), tr, ctrl)
+				if _, err := sim.NewRunner(sim.DefaultConfig()).Run(tr, ctrl); err != nil {
+					b.Fatal(err)
+				}
 				agree, _ = ctrl.QuantizationAgreement(frac)
 			}
 			b.ReportMetric(100*agree, "argmax-agree%")

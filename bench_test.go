@@ -266,7 +266,9 @@ func BenchmarkSimulatorBaseline(b *testing.B) {
 	cfg := sim.DefaultConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.RunBaseline(cfg, tr)
+		if _, err := sim.NewRunner(cfg, sim.WithBaseline()).Run(tr, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(tr.Len()), "accesses/op")
 }
@@ -288,7 +290,9 @@ func BenchmarkSimulatorTelemetry(b *testing.B) {
 		}
 		tel.AddWindowSink(&telemetry.MemoryWindowSink{})
 		b.StartTimer()
-		sim.RunWithTelemetry(cfg, tr, nil, tel)
+		if _, err := sim.NewRunner(cfg, sim.WithTelemetry(tel)).Run(tr, nil); err != nil {
+			b.Fatal(err)
+		}
 		b.StopTimer()
 		if err := tel.Close(); err != nil {
 			b.Fatal(err)

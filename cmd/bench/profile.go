@@ -299,6 +299,24 @@ func newestProfReport(dir, exclude string) (*ProfReport, string, error) {
 // in and out of the top-10 tail are noise, a 5% owner is a hotspot.
 const newSymbolMinFraction = 0.05
 
+// acknowledgedSymbols lists symbols that are allowed to appear as new
+// top-10 allocators: deliberate subsystem introductions acknowledged at
+// review time. Without this, an intentional change that moves
+// allocation into a new package would fail the hotspot gate on every
+// compare until the next profile baseline. Prune entries once the
+// symbol is part of the newest PROF baseline.
+var acknowledgedSymbols = map[string]bool{
+	// BENCH_8: the runtime maps on the sim/ISB hot paths were replaced
+	// by internal/flatmap open-addressed tables; their backing arrays
+	// are now the expected top allocator of the experiment benchmarks.
+	"resemble/internal/flatmap.(*Map).init": true,
+	"resemble/internal/flatmap.New":         true,
+	// BENCH_8: ISB's eviction queues are pre-sized in one shot by
+	// fifoBuf instead of regrowing through append inside fifoPush — the
+	// same bytes under a new symbol.
+	"resemble/internal/prefetch/isb.fifoBuf": true,
+}
+
 // profGate fails when a symbol enters a benchmark's top-10 flat
 // alloc-bytes table that was absent from the prior report and owns at
 // least newSymbolMinFraction of that benchmark's allocated bytes.
@@ -323,6 +341,10 @@ func profGate(prior, cur *ProfReport, priorName string) error {
 		}
 		newcomers := pprofparse.NewSymbols(pb.AllocBytesTop, b.AllocBytesTop, profTopN, minFlat)
 		for _, sym := range newcomers {
+			if acknowledgedSymbols[sym] {
+				fmt.Printf("%s: acknowledged new allocator %s\n", b.Name, sym)
+				continue
+			}
 			fails = append(fails, fmt.Sprintf("%s: new alloc hotspot %s (>=%d B, %d%% threshold)",
 				b.Name, sym, minFlat, int(100*newSymbolMinFraction)))
 		}

@@ -75,10 +75,14 @@ var controllerNames = []string{
 	"bo", "spp", "isb", "domino", "stride", "voyager", "none",
 }
 
-func buildSource(name string, batch int, seed int64) (sim.Source, error) {
+func buildSource(name string, batch int, seed int64, fixedFrac uint) (sim.Source, error) {
 	cfg := core.DefaultConfig()
 	cfg.Batch = batch
 	cfg.Seed = 1 + seed
+	cfg.FixedFrac = fixedFrac
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	switch name {
 	case "resemble":
 		return core.NewController(cfg, experiments.FourPrefetchers()), nil
@@ -140,6 +144,7 @@ func run() (err error) {
 		seed        = flag.Int64("seed", 0, "seed offset")
 		latency     = flag.Uint64("latency", 0, "controller inference latency in cycles")
 		lowTP       = flag.Bool("lowtp", false, "low-throughput controller model")
+		fixedFrac   = flag.Uint("fixed-frac", 0, "serve DQN decisions from a 16-bit fixed-point snapshot with this many fractional bits (1-14; 0 = float serving)")
 		prefOut     = flag.String("pref", "", "write prefetched addresses per access to this file")
 		rewardOut   = flag.String("rewards", "", "write per-1K-window rewards and action shares (CSV)")
 		telDir      = flag.String("telemetry", "", "write manifest, window snapshots, metrics and a sampled trace to this directory")
@@ -173,7 +178,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	src, err := buildSource(*ctrl, *batch, *seed)
+	src, err := buildSource(*ctrl, *batch, *seed, *fixedFrac)
 	if err != nil {
 		return err
 	}
@@ -216,6 +221,7 @@ func run() (err error) {
 			cfg := core.DefaultConfig()
 			cfg.Batch = *batch
 			cfg.Seed = 1 + *seed
+			cfg.FixedFrac = *fixedFrac
 			m.SetConfig("controller", cfg)
 		}
 	}

@@ -109,6 +109,16 @@ type Cache struct {
 	sets  [][]way
 	clock uint64
 	stats Stats
+
+	// Miss memo: the victim way found by the scan of the last missing
+	// Access. The simulator's demand pattern is lookup-miss followed
+	// immediately by the fill of the same line, so Insert can reuse that
+	// scan instead of walking the set again. missClock == clock proves
+	// no other operation touched the cache in between (every Access and
+	// Insert bumps the clock); a zero missClock means no memo.
+	missLine   mem.Line
+	missVictim int
+	missClock  uint64
 }
 
 // New builds a cache; it panics on invalid configuration (configs are
@@ -145,9 +155,18 @@ func (c *Cache) Access(line mem.Line) (hit, firstUseOfPrefetch bool) {
 	c.clock++
 	c.stats.Accesses++
 	set := c.setOf(line)
+	// Valid ways form a prefix (fills take the leftmost invalid way and
+	// only Flush invalidates), so the scan can stop at the first invalid
+	// way; it doubles as the miss victim. The LRU victim is tracked
+	// along the way so a miss leaves a ready-to-use fill memo behind.
+	victim, victimUse := 0, ^uint64(0)
 	for i := range set {
 		w := &set[i]
-		if w.valid && w.tag == line {
+		if !w.valid {
+			victim = i
+			break
+		}
+		if w.tag == line {
 			c.stats.Hits++
 			w.lastUse = c.clock
 			w.rrpv = 0 // SRRIP hit promotion
@@ -158,8 +177,12 @@ func (c *Cache) Access(line mem.Line) (hit, firstUseOfPrefetch bool) {
 			}
 			return true, false
 		}
+		if w.lastUse < victimUse {
+			victim, victimUse = i, w.lastUse
+		}
 	}
 	c.stats.Misses++
+	c.missLine, c.missVictim, c.missClock = line, victim, c.clock
 	return false, false
 }
 
@@ -186,13 +209,36 @@ type EvictedLine struct {
 // Insert fills a line (demand fill when isPrefetch is false). If the
 // line is already present, a prefetch insert is counted as a duplicate
 // and nothing changes; a demand insert refreshes LRU. The returned
-// evicted value is non-nil when a valid line was displaced.
-func (c *Cache) Insert(line mem.Line, isPrefetch bool) *EvictedLine {
-	c.clock++
+// EvictedLine is meaningful only when evicted is true: a valid line was
+// displaced. The eviction record is returned by value — this call sits
+// on the simulator's per-access path five times over, and a heap
+// escape here used to account for the large majority of all simulation
+// allocations.
+func (c *Cache) Insert(line mem.Line, isPrefetch bool) (ev EvictedLine, evicted bool) {
 	set := c.setOf(line)
+	if c.missClock != 0 && c.missClock == c.clock && c.missLine == line {
+		// Fill of the line the immediately preceding Access missed on:
+		// that scan already proved the line absent and found the victim,
+		// so skip straight to the replacement.
+		c.clock++
+		victim := c.missVictim
+		if c.cfg.Policy == SRRIP && set[victim].valid {
+			victim = c.pickSRRIPVictim(set)
+		}
+		return c.fill(&set[victim], line, isPrefetch)
+	}
+	c.clock++
+	// One pass finds both the line (hit) and the replacement victim:
+	// the first invalid way wins immediately; otherwise the LRU way is
+	// tracked as the scan goes (SRRIP selects separately below).
+	victim, victimUse := 0, ^uint64(0)
 	for i := range set {
 		w := &set[i]
-		if w.valid && w.tag == line {
+		if !w.valid {
+			victim = i
+			break
+		}
+		if w.tag == line {
 			if isPrefetch {
 				c.stats.PrefetchDupes++
 			} else {
@@ -204,15 +250,25 @@ func (c *Cache) Insert(line mem.Line, isPrefetch bool) *EvictedLine {
 					c.stats.UsefulPrefetch++
 				}
 			}
-			return nil
+			return EvictedLine{}, false
+		}
+		if w.lastUse < victimUse {
+			victim, victimUse = i, w.lastUse
 		}
 	}
-	victim := c.pickVictim(set)
-	var ev *EvictedLine
-	w := &set[victim]
+	if c.cfg.Policy == SRRIP && set[victim].valid {
+		victim = c.pickSRRIPVictim(set)
+	}
+	return c.fill(&set[victim], line, isPrefetch)
+}
+
+// fill replaces the victim way with line and does the eviction and fill
+// accounting shared by both Insert paths.
+func (c *Cache) fill(w *way, line mem.Line, isPrefetch bool) (ev EvictedLine, evicted bool) {
 	if w.valid {
 		c.stats.Evictions++
-		ev = &EvictedLine{Line: w.tag, UnusedPrefetch: w.prefetched}
+		ev = EvictedLine{Line: w.tag, UnusedPrefetch: w.prefetched}
+		evicted = true
 		if w.prefetched {
 			c.stats.UselessEvicted++
 		}
@@ -227,37 +283,22 @@ func (c *Cache) Insert(line mem.Line, isPrefetch bool) *EvictedLine {
 	} else {
 		c.stats.DemandFills++
 	}
-	return ev
+	return ev, evicted
 }
 
-// pickVictim selects the way to replace: the first invalid way, else by
-// the configured policy.
-func (c *Cache) pickVictim(set []way) int {
-	for i := range set {
-		if !set[i].valid {
-			return i
-		}
-	}
-	if c.cfg.Policy == SRRIP {
-		// Find an RRPV==max way, aging the set until one exists.
-		for {
-			for i := range set {
-				if set[i].rrpv >= srripMax {
-					return i
-				}
-			}
-			for i := range set {
-				set[i].rrpv++
+// pickSRRIPVictim finds an RRPV==max way, aging the set until one
+// exists. Only called on a full set.
+func (c *Cache) pickSRRIPVictim(set []way) int {
+	for {
+		for i := range set {
+			if set[i].rrpv >= srripMax {
+				return i
 			}
 		}
-	}
-	victim := 0
-	for i := range set {
-		if set[i].lastUse < set[victim].lastUse {
-			victim = i
+		for i := range set {
+			set[i].rrpv++
 		}
 	}
-	return victim
 }
 
 // Occupancy returns the number of valid lines (for tests and debugging).
@@ -275,6 +316,7 @@ func (c *Cache) Occupancy() int {
 
 // Flush invalidates every line and leaves statistics untouched.
 func (c *Cache) Flush() {
+	c.missClock = 0 // ways changed without a clock bump; drop the memo
 	for _, set := range c.sets {
 		for i := range set {
 			set[i] = way{}

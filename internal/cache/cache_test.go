@@ -69,9 +69,9 @@ func TestUselessPrefetchEviction(t *testing.T) {
 	c := New(Config{Name: "t", Sets: 1, Ways: 2})
 	c.Insert(1, true) // unused prefetch
 	c.Insert(2, false)
-	ev := c.Insert(3, false) // must evict line 1 (LRU)
-	if ev == nil || ev.Line != 1 || !ev.UnusedPrefetch {
-		t.Fatalf("eviction = %+v, want unused prefetch of line 1", ev)
+	ev, ok := c.Insert(3, false) // must evict line 1 (LRU)
+	if !ok || ev.Line != 1 || !ev.UnusedPrefetch {
+		t.Fatalf("eviction = %+v (evicted=%v), want unused prefetch of line 1", ev, ok)
 	}
 	if s := c.Stats(); s.UselessEvicted != 1 {
 		t.Errorf("UselessEvicted = %d, want 1", s.UselessEvicted)
@@ -82,10 +82,10 @@ func TestLRUOrder(t *testing.T) {
 	c := New(Config{Name: "t", Sets: 1, Ways: 2})
 	c.Insert(1, false)
 	c.Insert(2, false)
-	c.Access(1)              // 1 is now MRU
-	ev := c.Insert(3, false) // should evict 2
-	if ev == nil || ev.Line != 2 {
-		t.Fatalf("evicted %+v, want line 2", ev)
+	c.Access(1)                  // 1 is now MRU
+	ev, ok := c.Insert(3, false) // should evict 2
+	if !ok || ev.Line != 2 {
+		t.Fatalf("evicted %+v (evicted=%v), want line 2", ev, ok)
 	}
 	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
 		t.Error("wrong residency after LRU eviction")
@@ -118,9 +118,9 @@ func TestContainsDoesNotPerturb(t *testing.T) {
 	c.Insert(1, false)
 	c.Insert(2, false)
 	c.Contains(1) // must NOT refresh LRU
-	ev := c.Insert(3, false)
-	if ev == nil || ev.Line != 1 {
-		t.Fatalf("evicted %+v, want line 1 (Contains must not touch LRU)", ev)
+	ev, ok := c.Insert(3, false)
+	if !ok || ev.Line != 1 {
+		t.Fatalf("evicted %+v (evicted=%v), want line 1 (Contains must not touch LRU)", ev, ok)
 	}
 	if got := c.Stats().Accesses; got != 0 {
 		t.Errorf("Contains counted as access: %d", got)

@@ -63,6 +63,7 @@ func (c *Cache) LoadState(r io.Reader) error {
 	}
 	c.clock = st.Clock
 	c.stats = st.Stats
+	c.missClock = 0 // memo refers to pre-restore contents
 	k := 0
 	for si := range c.sets {
 		for wi := range c.sets[si] {

@@ -69,6 +69,16 @@ type Config struct {
 	// weight init) for reproducibility.
 	Seed int64
 
+	// FixedFrac enables the 16-bit fixed-point serving path when
+	// positive: action selection runs on a Q(15-frac).frac snapshot of
+	// the target network (the hardware representation of Table VIII),
+	// refreshed at every role switch, while training stays in float64.
+	// Valid values are 1..14 fractional bits; zero (the default) serves
+	// from the float network. Table VIII's 16-bit budget corresponds to
+	// frac = 10, which empirically keeps argmax agreement with the float
+	// path above 99% (see TestQuantizedServingAgreement).
+	FixedFrac uint
+
 	// MaskFloor enables graceful degradation when positive: a prefetcher
 	// whose resolved-prefetch accuracy stays below this floor for
 	// MaskBadWindows consecutive evaluation windows is masked out of
@@ -143,6 +153,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaskWindow < 0 || c.MaskBadWindows < 0 || c.MaskMinSamples < 0 || c.MaskReprobe < 0 {
 		return fmt.Errorf("core: mask parameters must not be negative")
+	}
+	if c.FixedFrac > 14 {
+		return fmt.Errorf("core: fixed-point fractional bits %d out of range [0,14]", c.FixedFrac)
 	}
 	return nil
 }

@@ -29,6 +29,13 @@ type Controller struct {
 	rngSrc         *checkpoint.RandSource
 	rng            *rand.Rand
 
+	// fixed is the 16-bit serving snapshot of the target network (nil
+	// unless cfg.FixedFrac > 0). It is requantized in place at every
+	// role switch — the only points where the target's weights change —
+	// so it is always a pure function of the current target and needs no
+	// separate checkpoint state.
+	fixed *nn.FixedMLP
+
 	step    int
 	prevSeq int // seq of the previous transition (-1 initially)
 
@@ -42,6 +49,9 @@ type Controller struct {
 	expSeq  []int
 	out     []mem.Line
 	actions []int
+	qBuf    []float64   // serving-side Q-vector (action selection)
+	nexts   [][]float64 // trainPolicy: next-states with HasNext
+	qBatch  [][]float64 // trainPolicy: batched target Q-vectors
 
 	// Per-transition reward accumulation: a prefetching transition's
 	// reward is the sum over its issued lines (±1 each), finalized when
@@ -155,6 +165,14 @@ func (c *Controller) initModel() {
 	c.policy = nn.NewMLP(c.rng, nn.ReLU, in, c.cfg.Hidden, actions)
 	c.policy.GradClip = 1
 	c.target = c.policy.Clone()
+	c.fixed = nil
+	if c.cfg.FixedFrac > 0 {
+		f, err := nn.Quantize(c.target, c.cfg.FixedFrac)
+		if err != nil {
+			panic(err) // unreachable: Validate bounds FixedFrac
+		}
+		c.fixed = f
+	}
 	c.replay = NewReplay(c.cfg.ReplayN)
 	c.tracker = NewRewardTracker(c.cfg.Window)
 	c.outstanding = make(map[int]int)
@@ -247,11 +265,12 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 		c.replay.SetNext(c.prevSeq, c.state)
 	}
 
-	// ε-greedy action selection over the target net (Alg 1 lines
-	// 10–14). Exploitation masks padded (invalid) suggestions: picking
-	// one would just execute NP, so the argmax runs over the actions
-	// that can actually be carried out. Degradation-masked arms are
-	// excluded from both branches.
+	// ε-greedy action selection over the serving network (Alg 1 lines
+	// 10–14): the float target net, or its fixed-point snapshot when
+	// cfg.FixedFrac is set. Exploitation masks padded (invalid)
+	// suggestions: picking one would just execute NP, so the argmax runs
+	// over the actions that can actually be carried out.
+	// Degradation-masked arms are excluded from both branches.
 	c.mask.tick(c.armUseful, c.armUseless)
 	var action int
 	var q []float64
@@ -260,7 +279,7 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 		explored = true
 		action = c.mask.explore(c.rng, c.NumActions())
 	} else {
-		q = c.target.Forward(c.state)
+		q = c.serveQ(c.state)
 		if c.qPending {
 			c.qWindow = append(c.qWindow, q...)
 		}
@@ -314,10 +333,13 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	if c.step%c.cfg.PolicyInterval == 0 {
 		c.trainPolicy()
 	}
-	// Role switch (Alg 1 lines 36–39).
+	// Role switch (Alg 1 lines 36–39). The target's weights change only
+	// here, so refreshing the serving snapshot at this point keeps it an
+	// exact function of the current target (checkpoint/resume-safe).
 	if c.step%c.cfg.TargetInterval == 0 {
 		c.policy, c.target = c.target, c.policy
 		c.policy.CopyWeightsFrom(c.target)
+		c.refreshFixed()
 		c.cSwitch.Inc()
 		if c.tel != nil {
 			c.tel.Trace(telemetry.Event{Seq: uint64(seq), Kind: telemetry.KindRoleSwitch})
@@ -326,15 +348,54 @@ func (c *Controller) OnAccess(a prefetch.AccessContext) []mem.Line {
 	return c.out
 }
 
+// serveQ evaluates the serving network's Q-vector for state into the
+// controller's reusable qBuf: the fixed-point snapshot when quantized
+// serving is enabled, the float target net otherwise. The result is
+// valid until the next serveQ call.
+func (c *Controller) serveQ(state []float64) []float64 {
+	if c.fixed != nil {
+		c.qBuf = c.fixed.ForwardInto(c.qBuf, state)
+	} else {
+		c.qBuf = c.target.ForwardInto(c.qBuf, state)
+	}
+	return c.qBuf
+}
+
+// refreshFixed re-snapshots the fixed-point serving network from the
+// current target. Called wherever the target's weights change: role
+// switches and checkpoint restore.
+func (c *Controller) refreshFixed() {
+	if c.fixed == nil {
+		return
+	}
+	if err := c.fixed.Requantize(c.target); err != nil {
+		panic(err) // unreachable: architecture is fixed for the controller's lifetime
+	}
+}
+
 // trainPolicy performs one batch of Q-learning updates on the policy
-// net using lazily-sampled valid transitions (Equations 9–11).
+// net using lazily-sampled valid transitions (Equations 9–11). Target
+// Q-vectors for the whole batch are computed in one ForwardBatch call —
+// the target net is frozen between role switches, so batching all its
+// forwards ahead of the policy updates is bitwise identical to
+// interleaving them. Bootstrap targets always come from the float
+// target network, even under quantized serving: Equation 9's max-Q
+// regression target should not inherit quantization error.
 func (c *Controller) trainPolicy() {
 	c.batch = c.replay.SampleValid(c.rng, c.cfg.Batch, c.batch)
+	c.nexts = c.nexts[:0]
+	for _, t := range c.batch {
+		if t.HasNext {
+			c.nexts = append(c.nexts, t.Next)
+		}
+	}
+	c.qBatch = c.target.ForwardBatch(c.qBatch, c.nexts)
+	qi := 0
 	for _, t := range c.batch {
 		y := t.Reward
 		if t.HasNext {
-			q := c.target.Forward(t.Next)
-			y += c.cfg.Gamma * maxf(q)
+			y += c.cfg.Gamma * maxf(c.qBatch[qi])
+			qi++
 		}
 		se := c.policy.TrainStep(t.State, t.Action, y, c.cfg.LR)
 		if c.hTD != nil {
@@ -370,11 +431,11 @@ func (c *Controller) recordReward(seq int, r float64) {
 // explain registers a sampled decision record for seq; recordReward
 // emits it once the reward window resolves the decision. q is the
 // Q-vector the selection used, or nil on the exploration branch (the
-// record recomputes it — the target net's Forward is side-effect-free
-// for training).
+// record recomputes it on the serving path — inference is
+// side-effect-free for training).
 func (c *Controller) explain(seq, action int, explored bool, q []float64) {
 	if q == nil {
-		q = c.target.Forward(c.state)
+		q = c.serveQ(c.state)
 	}
 	d := &telemetry.Decision{
 		Seq:        uint64(seq),
@@ -462,7 +523,10 @@ func (c *Controller) QuantizationAgreement(frac uint) (float64, int) {
 	if len(states) == 0 {
 		return 1, 0
 	}
-	f := nn.Quantize(c.target, frac)
+	f, err := nn.Quantize(c.target, frac)
+	if err != nil {
+		return 0, 0
+	}
 	return nn.ArgmaxAgreement(c.target, f, states), len(states)
 }
 

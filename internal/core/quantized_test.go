@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"resemble/internal/prefetch"
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/domino"
+	"resemble/internal/prefetch/isb"
+	"resemble/internal/prefetch/spp"
+	"resemble/internal/trace"
+)
+
+func ensembleArms() []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		bo.New(bo.Config{}), spp.New(spp.Config{}),
+		isb.New(isb.Config{}), domino.New(domino.Config{}),
+	}
+}
+
+// driveTrace feeds a workload trace's access stream into the controller
+// the way the simulator presents LLC accesses.
+func driveTrace(c *Controller, tr *trace.Trace, from int) {
+	for i := from; i < len(tr.Records); i++ {
+		rec := tr.Records[i]
+		c.OnAccess(prefetch.AccessContext{
+			Index: i, ID: rec.ID, PC: rec.PC, Addr: rec.Addr, Line: rec.Line(),
+		})
+	}
+}
+
+// TestQuantizedServingAgreement is the acceptance test for the
+// fixed-point serving path: after training on a real workload stream,
+// the 16-bit Q(frac) network must pick the same argmax action as the
+// float network on nearly every replay-memory state. The tolerance is
+// not 1.0 because quantization rounds each weight to the nearest
+// 2^-frac; states whose top two Q-values are within the accumulated
+// rounding error (~1e-3 at frac=10 for these layer widths) can
+// legitimately flip — across workloads those near-ties stay rare.
+func TestQuantizedServingAgreement(t *testing.T) {
+	const frac = 10 // Table VIII's 16-bit operating point
+	for _, name := range []string{"433.milc", "471.omnetpp", "gap.bfs"} {
+		cfg := testConfig()
+		cfg.Seed = 7
+		c := NewController(cfg, ensembleArms())
+		driveTrace(c, trace.MustLookup(name).Generate(5000), 0)
+		agree, n := c.QuantizationAgreement(frac)
+		if n == 0 {
+			t.Fatalf("%s: no replay states to evaluate", name)
+		}
+		if agree < 0.95 {
+			t.Errorf("%s: quantized/float argmax agreement %.3f over %d states, want >= 0.95",
+				name, agree, n)
+		}
+	}
+}
+
+// TestQuantizedServingLearns: serving decisions from the fixed-point
+// snapshot must not break learning — the controller still locks onto a
+// perfect oracle arm (same scenario as TestControllerLearnsGoodPrefetcher).
+func TestQuantizedServingLearns(t *testing.T) {
+	seq := makeLoop(64)
+	pfs := []prefetch.Prefetcher{
+		garbage("g1", true),
+		oracle("oracle", false, seq),
+		garbage("g2", false),
+	}
+	cfg := testConfig()
+	cfg.FixedFrac = 10
+	c := NewController(cfg, pfs)
+	driveLoop(t, c, seq, 6000)
+	if got := tailMeanReward(c.RewardSeries(), 0.25); got < 0.6 {
+		t.Errorf("tail mean reward = %.3f under quantized serving, want > 0.6", got)
+	}
+}
+
+// TestQuantizedServingCheckpointDeterminism: with FixedFrac set, an
+// interrupted-and-resumed controller run replays exactly like an
+// uninterrupted one. This works because the fixed snapshot is a pure
+// function of the target network — LoadState rebuilds it from the
+// restored weights instead of checkpointing quantized parameters.
+func TestQuantizedServingCheckpointDeterminism(t *testing.T) {
+	cfg := testConfig()
+	cfg.FixedFrac = 10
+	cfg.Seed = 3
+	tr := trace.MustLookup("471.omnetpp").Generate(4000)
+	const stop = 2000
+
+	full := NewController(cfg, ensembleArms())
+	driveTrace(full, tr, 0)
+
+	a := NewController(cfg, ensembleArms())
+	for i := 0; i < stop; i++ {
+		rec := tr.Records[i]
+		a.OnAccess(prefetch.AccessContext{
+			Index: i, ID: rec.ID, PC: rec.PC, Addr: rec.Addr, Line: rec.Line(),
+		})
+	}
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	b := NewController(cfg, ensembleArms())
+	if err := b.LoadState(&buf); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	driveTrace(b, tr, stop)
+
+	wantActs, gotActs := full.ActionSeries(), b.ActionSeries()
+	if len(wantActs) != len(gotActs) {
+		t.Fatalf("action series length %d vs %d", len(wantActs), len(gotActs))
+	}
+	for i := range wantActs {
+		if wantActs[i] != gotActs[i] {
+			t.Fatalf("resumed run diverged at decision %d: action %d vs %d", i, wantActs[i], gotActs[i])
+		}
+	}
+	wantR, gotR := full.RewardSeries(), b.RewardSeries()
+	if len(wantR) != len(gotR) {
+		t.Fatalf("reward series length %d vs %d", len(wantR), len(gotR))
+	}
+	for i := range wantR {
+		if wantR[i] != gotR[i] {
+			t.Fatalf("resumed run reward diverged at %d: %v vs %v", i, wantR[i], gotR[i])
+		}
+	}
+}

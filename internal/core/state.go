@@ -188,6 +188,10 @@ func (c *Controller) LoadState(r io.Reader) error {
 	}
 	c.policy.CopyWeightsFrom(policy)
 	c.target.CopyWeightsFrom(target)
+	// The fixed serving snapshot is a pure function of the target net
+	// and carries no state of its own; rebuild it from the restored
+	// weights.
+	c.refreshFixed()
 	c.replay.buf = st.Replay.Buf
 	c.replay.n = st.Replay.N
 	c.rngSrc.Restore(st.Seed, st.RNGDraws)

@@ -39,6 +39,10 @@ type Options struct {
 	Batch int
 	// Seed offsets workload and controller seeds for repeated runs.
 	Seed int64
+	// FixedFrac, when non-zero, serves DQN action selection from a
+	// 16-bit fixed-point snapshot with this many fractional bits
+	// (core.Config.FixedFrac); 0 keeps float64 serving.
+	FixedFrac uint
 	// Out receives the rendered tables/series; nil discards output. It
 	// is wrapped in a mutex-guarded writer, so rendering stays intact
 	// even if an experiment prints from concurrent workers.
@@ -144,6 +148,7 @@ func (o Options) controllerConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Batch = o.Batch
 	cfg.Seed = 1 + o.Seed
+	cfg.FixedFrac = o.FixedFrac
 	return cfg
 }
 

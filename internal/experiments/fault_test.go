@@ -35,7 +35,10 @@ func degradationRun(t *testing.T, mode faults.Mode, masked bool) (sim.Result, in
 	pfs := FourPrefetchers()
 	pfs[0] = faults.Wrap(pfs[0], faults.Config{Mode: mode, Seed: 97})
 	ctrl := core.NewTabularController(cfg, pfs)
-	res := sim.Run(sim.DefaultConfig(), tr, ctrl)
+	res, err := sim.NewRunner(sim.DefaultConfig()).Run(tr, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return res, ctrl.MaskedArms(), ctrl.ArmMasked(0)
 }
 
@@ -100,7 +103,11 @@ func TestMaskingDQNNeverWorse(t *testing.T) {
 		}
 		pfs := FourPrefetchers()
 		pfs[0] = faults.Wrap(pfs[0], faults.Config{Mode: faults.Noisy, Seed: 97})
-		return sim.Run(sim.DefaultConfig(), tr, core.NewController(cfg, pfs))
+		res, err := sim.NewRunner(sim.DefaultConfig()).Run(tr, core.NewController(cfg, pfs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 	maskedRes, unmaskedRes := run(true), run(false)
 	if maskedRes.Accuracy < unmaskedRes.Accuracy-0.02 {
@@ -119,7 +126,11 @@ func TestMaskingDisabledIsIdentical(t *testing.T) {
 	}
 	tr := w.GenerateSeeded(12000, w.Seed)
 	run := func(cfg core.Config) sim.Result {
-		return sim.Run(sim.DefaultConfig(), tr, core.NewController(cfg, FourPrefetchers()))
+		res, err := sim.NewRunner(sim.DefaultConfig()).Run(tr, core.NewController(cfg, FourPrefetchers()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 	cfg := core.DefaultConfig()
 	cfg.Batch = 64

@@ -1,0 +1,228 @@
+// Package flatmap provides a fixed-purpose open-addressed hash table
+// from uint64 keys to uint64 values, used on simulator hot paths in
+// place of the runtime map. Linear probing with backward-shift
+// deletion keeps probe chains short under the constant insert/delete
+// churn of FIFO-bounded tables, and specializing to uint64 removes the
+// runtime's hashing and bucket-group indirection. Iteration order is a
+// pure function of the operation history (no per-process seed), so
+// state serialized from a Map is deterministic across runs.
+//
+// The key ^uint64(0) is reserved as the empty-slot sentinel. Every key
+// the simulator stores (cache-line addresses, PCs, structural
+// addresses) is far below it; Set panics on the sentinel to keep the
+// invariant visible.
+package flatmap
+
+import "math/bits"
+
+const emptyKey = ^uint64(0)
+
+// fibMul is the 64-bit Fibonacci hashing constant (2^64 / phi).
+const fibMul = 0x9E3779B97F4A7C15
+
+// Map is an open-addressed uint64 -> uint64 hash table. The zero value
+// is not ready for use; call New.
+type Map struct {
+	keys  []uint64
+	vals  []uint64
+	mask  uint64
+	shift uint
+	n     int
+	limit int // grow when n would exceed this (half the slots)
+}
+
+// New builds a map pre-sized to hold capacity entries without growing.
+func New(capacity int) *Map {
+	m := &Map{}
+	m.init(slotsFor(capacity))
+	return m
+}
+
+// slotsFor returns the power-of-two slot count for a requested
+// capacity, keeping the load factor at or below 1/2.
+func slotsFor(capacity int) int {
+	slots := 8
+	for slots < 2*capacity {
+		slots <<= 1
+	}
+	return slots
+}
+
+func (m *Map) init(slots int) {
+	m.keys = make([]uint64, slots)
+	for i := range m.keys {
+		m.keys[i] = emptyKey
+	}
+	m.vals = make([]uint64, slots)
+	m.mask = uint64(slots - 1)
+	m.shift = uint(64 - bits.TrailingZeros(uint(slots)))
+	m.n = 0
+	m.limit = slots / 2
+}
+
+// home is the preferred slot of a key: multiply-shift hashing keeps the
+// top bits, which mix best under the Fibonacci constant.
+func (m *Map) home(k uint64) uint64 {
+	return (k * fibMul) >> m.shift
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return m.n }
+
+// Get returns the value stored for k.
+func (m *Map) Get(k uint64) (uint64, bool) {
+	i := m.home(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			return m.vals[i], true
+		}
+		if kk == emptyKey {
+			return 0, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// Contains reports whether k is present.
+func (m *Map) Contains(k uint64) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Set stores v under k, inserting or overwriting.
+func (m *Map) Set(k, v uint64) {
+	if k == emptyKey {
+		panic("flatmap: reserved key")
+	}
+	i := m.home(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			m.vals[i] = v
+			return
+		}
+		if kk == emptyKey {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	if m.n == m.limit {
+		m.rehash(len(m.keys) * 2)
+		// The vacancy found above is stale after the rehash.
+		i = m.home(k)
+		for m.keys[i] != emptyKey {
+			i = (i + 1) & m.mask
+		}
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
+}
+
+// Swap stores v under k and reports whether k was already present
+// (returning the previous value). It is Set with the membership answer
+// from the same probe, for callers that track insertions separately.
+func (m *Map) Swap(k, v uint64) (prev uint64, existed bool) {
+	if k == emptyKey {
+		panic("flatmap: reserved key")
+	}
+	i := m.home(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			prev = m.vals[i]
+			m.vals[i] = v
+			return prev, true
+		}
+		if kk == emptyKey {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	if m.n == m.limit {
+		m.rehash(len(m.keys) * 2)
+		i = m.home(k)
+		for m.keys[i] != emptyKey {
+			i = (i + 1) & m.mask
+		}
+	}
+	m.keys[i] = k
+	m.vals[i] = v
+	m.n++
+	return 0, false
+}
+
+func (m *Map) rehash(slots int) {
+	oldKeys, oldVals := m.keys, m.vals
+	m.init(slots)
+	for i, k := range oldKeys {
+		if k == emptyKey {
+			continue
+		}
+		j := m.home(k)
+		for m.keys[j] != emptyKey {
+			j = (j + 1) & m.mask
+		}
+		m.keys[j] = k
+		m.vals[j] = oldVals[i]
+		m.n++
+	}
+}
+
+// Delete removes k, reporting whether it was present. Backward-shift
+// deletion re-packs the probe chain so no tombstones accumulate.
+func (m *Map) Delete(k uint64) bool {
+	i := m.home(k)
+	for {
+		kk := m.keys[i]
+		if kk == k {
+			break
+		}
+		if kk == emptyKey {
+			return false
+		}
+		i = (i + 1) & m.mask
+	}
+	m.n--
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		kj := m.keys[j]
+		if kj == emptyKey {
+			break
+		}
+		// kj may move into the vacated slot i only if its home lies
+		// cyclically at or before i (moving it cannot break its own
+		// probe chain).
+		if ((j - m.home(kj)) & m.mask) >= ((j - i) & m.mask) {
+			m.keys[i] = kj
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.keys[i] = emptyKey
+	return true
+}
+
+// Clear removes every entry, keeping the table's capacity.
+func (m *Map) Clear() {
+	for i := range m.keys {
+		m.keys[i] = emptyKey
+	}
+	m.n = 0
+}
+
+// Range calls f for each entry in slot order (deterministic for a
+// given operation history) until f returns false. The map must not be
+// mutated during the walk.
+func (m *Map) Range(f func(k, v uint64) bool) {
+	for i, k := range m.keys {
+		if k == emptyKey {
+			continue
+		}
+		if !f(k, m.vals[i]) {
+			return
+		}
+	}
+}

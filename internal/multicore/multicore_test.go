@@ -54,7 +54,10 @@ func TestSingleCoreMatchesShape(t *testing.T) {
 	// A single-core multicore run should be in the same ballpark as the
 	// single-core simulator (identical timing model, shared structures
 	// degenerate).
-	solo := sim.RunBaseline(sim.DefaultConfig(), tr)
+	solo, err := sim.NewRunner(sim.DefaultConfig(), sim.WithBaseline()).Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ratio := r.IPC / solo.IPC
 	if ratio < 0.9 || ratio > 1.1 {
 		t.Errorf("single-core multicore IPC %.3f deviates from solo %.3f", r.IPC, solo.IPC)

@@ -10,7 +10,9 @@ import (
 // ("16-bit fixed point"). Weights and activations are quantized to
 // Q(15-frac).frac; accumulation is 64-bit so layer dot products cannot
 // overflow. Training stays in float64 on the policy network; the
-// quantized network serves the forward path only.
+// quantized network serves the forward path only. Refresh a snapshot
+// from the live float network with Requantize — it rewrites the
+// parameters in place without allocating.
 type FixedMLP struct {
 	sizes []int
 	frac  uint // fractional bits
@@ -19,34 +21,63 @@ type FixedMLP struct {
 	act   Activation
 
 	acts [][]int64
+	out  []float64 // dequantized output scratch for Forward
 }
 
-// Quantize snapshots m at the given number of fractional bits
-// (1..14). Weights outside the representable range saturate.
-func Quantize(m *MLP, frac uint) *FixedMLP {
+// Quantize snapshots m at the given number of fractional bits (1..14)
+// and reports an error when frac is outside that range. Weights outside
+// the representable range saturate.
+func Quantize(m *MLP, frac uint) (*FixedMLP, error) {
 	if frac < 1 || frac > 14 {
-		panic(fmt.Sprintf("nn: fractional bits %d out of range [1,14]", frac))
+		return nil, fmt.Errorf("nn: fractional bits %d out of range [1,14]", frac)
 	}
 	f := &FixedMLP{sizes: m.Sizes(), frac: frac, act: m.act}
-	scale := float64(int64(1) << frac)
 	f.w = make([][]int16, len(m.w))
 	f.b = make([][]int64, len(m.b))
 	for l := range m.w {
 		f.w[l] = make([]int16, len(m.w[l]))
-		for i, v := range m.w[l] {
-			f.w[l][i] = toQ15(v, scale)
-		}
 		f.b[l] = make([]int64, len(m.b[l]))
-		for i, v := range m.b[l] {
-			// Bias participates at the accumulator scale frac+frac.
-			f.b[l][i] = int64(math.Round(v * scale * scale))
-		}
 	}
 	f.acts = make([][]int64, len(f.sizes))
 	for i, s := range f.sizes {
 		f.acts[i] = make([]int64, s)
 	}
-	return f
+	f.out = make([]float64, f.sizes[len(f.sizes)-1])
+	f.requantize(m)
+	return f, nil
+}
+
+// Requantize refreshes the snapshot's parameters from m in place,
+// allocating nothing. m must have the architecture and activation the
+// snapshot was built from. This is the serving-side refresh hook: the
+// controller trains in float64 and re-snapshots at every target-network
+// role switch.
+func (f *FixedMLP) Requantize(m *MLP) error {
+	if len(m.sizes) != len(f.sizes) || m.act != f.act {
+		return fmt.Errorf("nn: requantize architecture mismatch")
+	}
+	for i := range f.sizes {
+		if m.sizes[i] != f.sizes[i] {
+			return fmt.Errorf("nn: requantize architecture mismatch")
+		}
+	}
+	f.requantize(m)
+	return nil
+}
+
+func (f *FixedMLP) requantize(m *MLP) {
+	scale := float64(int64(1) << f.frac)
+	for l := range m.w {
+		wl := f.w[l]
+		for i, v := range m.w[l] {
+			wl[i] = toQ15(v, scale)
+		}
+		bl := f.b[l]
+		for i, v := range m.b[l] {
+			// Bias participates at the accumulator scale frac+frac.
+			bl[i] = int64(math.Round(v * scale * scale))
+		}
+	}
 }
 
 func toQ15(v, scale float64) int16 {
@@ -63,6 +94,12 @@ func toQ15(v, scale float64) int16 {
 // Frac returns the fractional-bit width.
 func (f *FixedMLP) Frac() uint { return f.frac }
 
+// InputDim returns the input width the network accepts.
+func (f *FixedMLP) InputDim() int { return f.sizes[0] }
+
+// OutputDim returns the width of the output vector.
+func (f *FixedMLP) OutputDim() int { return f.sizes[len(f.sizes)-1] }
+
 // Bytes returns the storage of the quantized parameters (2 bytes per
 // weight; biases counted at 2 bytes as in the hardware estimate).
 func (f *FixedMLP) Bytes() int {
@@ -74,11 +111,18 @@ func (f *FixedMLP) Bytes() int {
 }
 
 // Forward quantizes x, runs integer inference and returns dequantized
-// outputs. The returned slice aliases internal scratch.
-type fixedOut = []float64
+// outputs. The returned slice aliases internal scratch and is valid
+// until the next Forward call.
+func (f *FixedMLP) Forward(x []float64) []float64 {
+	f.out = f.ForwardInto(f.out, x)
+	return f.out
+}
 
-// Forward runs fixed-point inference on a float input vector.
-func (f *FixedMLP) Forward(x []float64) fixedOut {
+// ForwardInto runs fixed-point inference on a float input vector,
+// writing the dequantized output into dst's backing array when cap(dst)
+// suffices. The caller owns dst; passing the previous return value back
+// in runs allocation-free.
+func (f *FixedMLP) ForwardInto(dst, x []float64) []float64 {
 	if len(x) != f.sizes[0] {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), f.sizes[0]))
 	}
@@ -90,38 +134,36 @@ func (f *FixedMLP) Forward(x []float64) fixedOut {
 	last := len(f.w) - 1
 	for l := 0; l < len(f.w); l++ {
 		nin, nout := f.sizes[l], f.sizes[l+1]
-		src, dst := f.acts[l], f.acts[l+1]
+		src, act := f.acts[l], f.acts[l+1]
 		wl, bl := f.w[l], f.b[l]
+		relu := l != last && f.act == ReLU
+		requant := l != last && f.act != ReLU
 		for o := 0; o < nout; o++ {
-			sum := bl[o]
-			row := wl[o*nin : (o+1)*nin]
-			for i, v := range src {
-				sum += int64(row[i]) * v
-			}
+			sum := bl[o] + dotQ(wl[o*nin:(o+1)*nin], src)
 			// Rescale from 2*frac back to frac.
 			sum >>= f.frac
-			if l != last {
-				// ReLU is exact in fixed point; other activations fall
-				// back to a dequantize/requantize round trip (a lookup
-				// table in hardware).
-				switch f.act {
-				case ReLU:
-					if sum < 0 {
-						sum = 0
-					}
-				default:
-					sum = int64(math.Round(f.act.apply(float64(sum)/scale) * scale))
+			if relu {
+				// ReLU is exact in fixed point.
+				if sum < 0 {
+					sum = 0
 				}
+			} else if requant {
+				// Other activations fall back to a dequantize/requantize
+				// round trip (a lookup table in hardware).
+				sum = int64(math.Round(f.act.apply(float64(sum)/scale) * scale))
 			}
-			dst[o] = sum
+			act[o] = sum
 		}
 	}
 	outQ := f.acts[len(f.acts)-1]
-	out := make([]float64, len(outQ))
-	for i, q := range outQ {
-		out[i] = float64(q) / scale
+	if cap(dst) < len(outQ) {
+		dst = make([]float64, len(outQ))
 	}
-	return out
+	dst = dst[:len(outQ)]
+	for i, q := range outQ {
+		dst[i] = float64(q) / scale
+	}
+	return dst
 }
 
 // ArgmaxAgreement measures how often the quantized network selects the

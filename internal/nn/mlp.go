@@ -23,6 +23,10 @@ type MLP struct {
 	// scratch buffers for forward/backward, sized per layer.
 	acts   [][]float64 // acts[0] = input copy, acts[l+1] = layer l output
 	deltas [][]float64
+
+	// ping-pong activation planes for ForwardBatch, sized lazily to
+	// batch×maxWidth.
+	batchA, batchB []float64
 }
 
 // NewMLP builds a network with the given layer sizes (e.g. 4, 100, 5
@@ -74,9 +78,38 @@ func (m *MLP) NumParams() int {
 	return n
 }
 
+// InputDim returns the input width the network accepts.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// OutputDim returns the width of the output vector.
+func (m *MLP) OutputDim() int { return m.sizes[len(m.sizes)-1] }
+
 // Forward computes the network output for x. The returned slice aliases
 // internal scratch and is valid until the next Forward/TrainStep call.
 func (m *MLP) Forward(x []float64) []float64 {
+	m.forward(x)
+	return m.acts[len(m.acts)-1]
+}
+
+// ForwardInto computes the network output for x, writing it into dst's
+// backing array when cap(dst) suffices, and returns the output slice.
+// Unlike Forward, the result does not alias network scratch: the caller
+// owns dst and may hold it across subsequent inference or training
+// calls. A steady-state caller that passes the previous return value
+// back in runs allocation-free.
+func (m *MLP) ForwardInto(dst, x []float64) []float64 {
+	m.forward(x)
+	out := m.acts[len(m.acts)-1]
+	if cap(dst) < len(out) {
+		dst = make([]float64, len(out))
+	}
+	dst = dst[:len(out)]
+	copy(dst, out)
+	return dst
+}
+
+// forward runs inference on x, leaving per-layer activations in m.acts.
+func (m *MLP) forward(x []float64) {
 	if len(x) != m.sizes[0] {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.sizes[0]))
 	}
@@ -87,18 +120,70 @@ func (m *MLP) Forward(x []float64) []float64 {
 		src, dst := m.acts[l], m.acts[l+1]
 		wl, bl := m.w[l], m.b[l]
 		for o := 0; o < out; o++ {
-			sum := bl[o]
-			row := wl[o*in : (o+1)*in]
-			for i, v := range src {
-				sum += row[i] * v
-			}
+			sum := bl[o] + dot(wl[o*in:(o+1)*in], src)
 			if l != last {
 				sum = m.act.apply(sum)
 			}
 			dst[o] = sum
 		}
 	}
-	return m.acts[len(m.acts)-1]
+}
+
+// ForwardBatch runs inference on every row of xs, amortizing the layer
+// traversal: each weight row is loaded once per layer and swept across
+// the whole batch, instead of re-streaming the full weight matrix per
+// sample as repeated Forward calls do. Row j of the result is the
+// output for xs[j], bitwise identical to Forward(xs[j]) — both paths
+// share the same dot kernel — so batched and unbatched callers stay on
+// one determinism contract. Results are written into dst's rows when
+// capacities allow (pass the previous return value back in to run
+// allocation-free) and dst is returned resized to len(xs) rows.
+func (m *MLP) ForwardBatch(dst, xs [][]float64) [][]float64 {
+	n := len(xs)
+	outW := m.OutputDim()
+	dst = growRows(dst, n, outW)
+	if n == 0 {
+		return dst
+	}
+	maxW := 0
+	for _, s := range m.sizes {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	if cap(m.batchA) < n*maxW {
+		m.batchA = make([]float64, n*maxW)
+		m.batchB = make([]float64, n*maxW)
+	}
+	cur, nxt := m.batchA[:cap(m.batchA)], m.batchB[:cap(m.batchB)]
+	inW := m.sizes[0]
+	for j, x := range xs {
+		if len(x) != inW {
+			panic(fmt.Sprintf("nn: input size %d, want %d", len(x), inW))
+		}
+		copy(cur[j*inW:(j+1)*inW], x)
+	}
+	last := len(m.w) - 1
+	for l := 0; l < len(m.w); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		wl, bl := m.w[l], m.b[l]
+		for o := 0; o < out; o++ {
+			row := wl[o*in : (o+1)*in]
+			bias := bl[o]
+			for j := 0; j < n; j++ {
+				sum := bias + dot(row, cur[j*in:(j+1)*in])
+				if l != last {
+					sum = m.act.apply(sum)
+				}
+				nxt[j*out+o] = sum
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	for j := 0; j < n; j++ {
+		copy(dst[j], cur[j*outW:(j+1)*outW])
+	}
+	return dst
 }
 
 // TrainStep performs one SGD step of squared-error regression on a

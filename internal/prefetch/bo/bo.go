@@ -78,10 +78,11 @@ type Prefetcher struct {
 	rr []mem.Line // direct-mapped recent-requests table
 
 	scores     []int
-	testIdx    int // next offset index to test
-	passes     int // completed passes over the offset list this phase
-	bestD      int // current prefetch offset; 0 means disabled
-	fillQ      []mem.Line
+	testIdx    int        // next offset index to test
+	passes     int        // completed passes over the offset list this phase
+	bestD      int        // current prefetch offset; 0 means disabled
+	fillQ      []mem.Line // head-indexed fill-delay queue
+	fillHead   int
 	out        [1]prefetch.Suggestion
 	sugBuf     []prefetch.Suggestion
 	confidence float64
@@ -112,6 +113,7 @@ func (p *Prefetcher) Reset() {
 	p.passes = 0
 	p.bestD = 1 // start with next-line until learning says otherwise
 	p.fillQ = p.fillQ[:0]
+	p.fillHead = 0
 	p.confidence = 0.5
 }
 
@@ -134,10 +136,15 @@ func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
 		// FillDelay trains later, so offset d scores when X-d was
 		// demanded long enough ago for its prefetch to have completed —
 		// this biases selection toward timely offsets.
+		if p.fillHead > 0 && p.fillHead >= len(p.fillQ)-p.fillHead {
+			n := copy(p.fillQ, p.fillQ[p.fillHead:])
+			p.fillQ = p.fillQ[:n]
+			p.fillHead = 0
+		}
 		p.fillQ = append(p.fillQ, a.Line)
-		if len(p.fillQ) > p.cfg.FillDelay {
-			p.rrInsert(p.fillQ[0])
-			p.fillQ = p.fillQ[1:]
+		if len(p.fillQ)-p.fillHead > p.cfg.FillDelay {
+			p.rrInsert(p.fillQ[p.fillHead])
+			p.fillHead++
 		}
 	}
 	if p.bestD == 0 {

@@ -23,7 +23,8 @@ type boState struct {
 func (p *Prefetcher) SaveState(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(boState{
 		RR: p.rr, Scores: p.scores, TestIdx: p.testIdx, Passes: p.passes,
-		BestD: p.bestD, FillQ: p.fillQ, Confidence: p.confidence,
+		// Only the live region of the head-indexed queue is state.
+		BestD: p.bestD, FillQ: p.fillQ[p.fillHead:], Confidence: p.confidence,
 	})
 }
 
@@ -44,6 +45,7 @@ func (p *Prefetcher) LoadState(r io.Reader) error {
 	p.passes = st.Passes
 	p.bestD = st.BestD
 	p.fillQ = st.FillQ
+	p.fillHead = 0
 	p.confidence = st.Confidence
 	return nil
 }

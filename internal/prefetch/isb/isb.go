@@ -14,6 +14,7 @@
 package isb
 
 import (
+	"resemble/internal/flatmap"
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
 )
@@ -54,19 +55,39 @@ type psEntry struct {
 	counter    int // confidence counter, saturating at 3
 }
 
+// packPS encodes a psEntry for the flat PS-AMC table. The counter
+// saturates at 3, so two bits hold it; structural addresses stay far
+// below 2^62 (they grow by StreamChunk per new stream chunk).
+func packPS(e psEntry) uint64 { return e.structural<<2 | uint64(e.counter) }
+
+func unpackPS(v uint64) psEntry {
+	return psEntry{structural: v >> 2, counter: int(v & 3)}
+}
+
 // Prefetcher is the Irregular Stream Buffer.
+//
+// The three tables are open-addressed flat maps (internal/flatmap)
+// bounded by FIFO eviction queues. The queues are head-indexed
+// (eviction advances a cursor; push compacts the dead prefix once it
+// outgrows the live region) so steady-state eviction is amortized O(1)
+// without reslicing churn — the same scheme the simulator uses for its
+// MSHR/ROB queues.
 type Prefetcher struct {
 	cfg Config
 
 	// lastAddr tracks the previous physical line per PC (training unit).
-	lastAddr map[uint64]mem.Line
+	lastAddr *flatmap.Map
 	lastFifo []uint64
-	// ps maps physical line -> structural address.
-	ps     map[mem.Line]psEntry
+	lastHead int
+	// ps maps physical line -> packed psEntry (structural address and
+	// confidence counter).
+	ps     *flatmap.Map
 	psFifo []mem.Line
+	psHead int
 	// sp maps structural address -> physical line.
-	sp     map[uint64]mem.Line
+	sp     *flatmap.Map
 	spFifo []uint64
+	spHead int
 	// nextStructural is the structural-space allocation cursor.
 	nextStructural uint64
 
@@ -88,40 +109,111 @@ func (p *Prefetcher) Name() string { return "isb" }
 // address space (temporal).
 func (p *Prefetcher) Spatial() bool { return false }
 
+// amcHint caps the AMC table pre-size. Pre-sizing skips the many small
+// growth steps that otherwise spread table moves across the training
+// hot path, but sizing for the full 32K capacity makes every Reset
+// clear megabytes of table — worse than the growth it avoids for
+// short-lived instances. 4K keeps creation cheap and covers the
+// working set of typical runs.
+const amcHint = 4096
+
 // Reset implements prefetch.Prefetcher.
 func (p *Prefetcher) Reset() {
-	p.lastAddr = make(map[uint64]mem.Line)
-	p.lastFifo = p.lastFifo[:0]
-	p.ps = make(map[mem.Line]psEntry)
-	p.psFifo = p.psFifo[:0]
-	p.sp = make(map[uint64]mem.Line)
-	p.spFifo = p.spFifo[:0]
+	psHint := p.cfg.AMCSize + 1
+	if psHint > amcHint {
+		psHint = amcHint
+	}
+	p.lastAddr = flatmap.New(p.cfg.TrainingUnits + 1)
+	p.lastFifo = fifoBuf(p.lastFifo, p.cfg.TrainingUnits+1)
+	p.lastHead = 0
+	p.ps = flatmap.New(psHint)
+	p.psFifo = fifoBuf(p.psFifo, psHint)
+	p.psHead = 0
+	p.sp = flatmap.New(psHint)
+	p.spFifo = fifoBuf(p.spFifo, psHint)
+	p.spHead = 0
 	// Start allocation at one chunk in, keeping structural 0 unused.
 	p.nextStructural = uint64(p.cfg.StreamChunk)
 }
 
-func (p *Prefetcher) psInsert(line mem.Line, e psEntry) {
-	if _, ok := p.ps[line]; !ok {
-		p.psFifo = append(p.psFifo, line)
-		if len(p.psFifo) > p.cfg.AMCSize {
-			old := p.psFifo[0]
-			p.psFifo = p.psFifo[1:]
-			delete(p.ps, old)
-		}
+// fifoBuf returns an empty FIFO buffer of at least the given capacity,
+// reusing buf's allocation when it is already big enough. Pre-sizing
+// matters: the queues otherwise regrow through the whole append
+// doubling ladder on every fresh instance, which used to be a fifth of
+// all experiment allocations.
+func fifoBuf(buf []uint64, capacity int) []uint64 {
+	if cap(buf) >= capacity {
+		return buf[:0]
 	}
-	p.ps[line] = e
+	return make([]uint64, 0, capacity)
 }
 
-func (p *Prefetcher) spInsert(s uint64, line mem.Line) {
-	if _, ok := p.sp[s]; !ok {
-		p.spFifo = append(p.spFifo, s)
-		if len(p.spFifo) > p.cfg.AMCSize {
-			old := p.spFifo[0]
-			p.spFifo = p.spFifo[1:]
-			delete(p.sp, old)
-		}
+// fifoPush appends v to a head-indexed FIFO, first compacting away the
+// dead prefix once it outgrows the live region. All three queues share
+// the uint64 element representation (mem.Line is an alias).
+func fifoPush(buf []uint64, head int, v uint64) ([]uint64, int) {
+	if head > 0 && head >= len(buf)-head {
+		n := copy(buf, buf[head:])
+		buf = buf[:n]
+		head = 0
 	}
-	p.sp[s] = line
+	return append(buf, v), head
+}
+
+// psInsert stores a PS mapping when the caller does not know whether
+// line is already present: a single-probe upsert, with FIFO
+// bookkeeping only when the key turned out to be new.
+func (p *Prefetcher) psInsert(line mem.Line, e psEntry) {
+	if _, existed := p.ps.Swap(line, packPS(e)); existed {
+		return
+	}
+	p.psTrack(line)
+}
+
+// psInsertNew stores a PS mapping the caller has proven absent,
+// evicting the FIFO-oldest entry at capacity.
+func (p *Prefetcher) psInsertNew(line mem.Line, e psEntry) {
+	p.ps.Set(line, packPS(e))
+	p.psTrack(line)
+}
+
+// psTrack records a newly inserted key in the PS FIFO and evicts the
+// oldest mapping at capacity. The new key cannot be the eviction
+// victim: it was absent from the map, hence absent from the live FIFO
+// region, and the push that added it cannot immediately reach the head.
+func (p *Prefetcher) psTrack(line mem.Line) {
+	p.psFifo, p.psHead = fifoPush(p.psFifo, p.psHead, line)
+	if len(p.psFifo)-p.psHead > p.cfg.AMCSize {
+		old := p.psFifo[p.psHead]
+		p.psHead++
+		p.ps.Delete(old)
+	}
+}
+
+// spInsert stores an SP mapping when the caller does not know whether
+// s is already present (single-probe upsert, as psInsert).
+func (p *Prefetcher) spInsert(s uint64, line mem.Line) {
+	if _, existed := p.sp.Swap(s, line); existed {
+		return
+	}
+	p.spTrack(s)
+}
+
+// spInsertNew stores an SP mapping the caller has proven absent,
+// evicting the FIFO-oldest entry at capacity.
+func (p *Prefetcher) spInsertNew(s uint64, line mem.Line) {
+	p.sp.Set(s, line)
+	p.spTrack(s)
+}
+
+// spTrack mirrors psTrack for the SP-AMC.
+func (p *Prefetcher) spTrack(s uint64) {
+	p.spFifo, p.spHead = fifoPush(p.spFifo, p.spHead, s)
+	if len(p.spFifo)-p.spHead > p.cfg.AMCSize {
+		old := p.spFifo[p.spHead]
+		p.spHead++
+		p.sp.Delete(old)
+	}
 }
 
 // allocChunk reserves a fresh structural chunk and returns its base.
@@ -131,80 +223,106 @@ func (p *Prefetcher) allocChunk() uint64 {
 	return base
 }
 
-// train links prev -> cur in structural space for one PC stream.
-func (p *Prefetcher) train(prev, cur mem.Line) {
-	pe, prevMapped := p.ps[prev]
-	ce, curMapped := p.ps[cur]
+// train links prev -> cur in structural space for one PC stream. It
+// returns cur's mapping as left in the PS-AMC (training always leaves
+// cur mapped), letting Observe's prediction step skip the re-lookup.
+func (p *Prefetcher) train(prev, cur mem.Line) psEntry {
+	pv, prevMapped := p.ps.Get(prev)
+	cv, curMapped := p.ps.Get(cur)
 
 	switch {
 	case prevMapped && curMapped:
+		pe, ce := unpackPS(pv), unpackPS(cv)
 		if ce.structural == pe.structural+1 {
-			// Mapping confirmed: strengthen.
+			// Mapping confirmed: strengthen. cur is present, so assign
+			// directly — its FIFO position is unchanged.
 			if ce.counter < 3 {
 				ce.counter++
-				p.psInsert(cur, ce)
+				p.ps.Set(cur, packPS(ce))
 			}
-			return
+			return ce
 		}
 		// Divergent correlation: weaken; remap when confidence is gone.
 		if ce.counter > 0 {
 			ce.counter--
-			p.psInsert(cur, ce)
-			return
+			p.ps.Set(cur, packPS(ce))
+			return ce
 		}
-		p.remap(pe, cur)
-	case prevMapped && !curMapped:
-		p.remap(pe, cur)
+		return p.remap(pe, cur, true)
+	case prevMapped:
+		return p.remap(unpackPS(pv), cur, false)
 	default:
 		// prev unmapped: start a fresh stream chunk with prev at its
-		// base, then place cur right after it.
+		// base, then place cur right after it. prev is proven absent;
+		// cur must be re-checked because inserting prev can evict it.
+		// The chunk's structural slots are freshly allocated and so
+		// never present in the SP-AMC.
 		base := p.allocChunk()
-		p.psInsert(prev, psEntry{structural: base, counter: 1})
-		p.spInsert(base, prev)
-		p.psInsert(cur, psEntry{structural: base + 1, counter: 1})
-		p.spInsert(base+1, cur)
+		p.psInsertNew(prev, psEntry{structural: base, counter: 1})
+		p.spInsertNew(base, prev)
+		e := psEntry{structural: base + 1, counter: 1}
+		p.psInsert(cur, e)
+		p.spInsertNew(base+1, cur)
+		return e
 	}
 }
 
 // remap places cur at pe.structural+1, allocating a new chunk when the
-// successor slot would cross the chunk boundary.
-func (p *Prefetcher) remap(pe psEntry, cur mem.Line) {
+// successor slot would cross the chunk boundary. curMapped tells remap
+// whether cur is currently in the PS-AMC (the caller just looked it up
+// and nothing can evict it before the insert below).
+func (p *Prefetcher) remap(pe psEntry, cur mem.Line, curMapped bool) psEntry {
 	s := pe.structural + 1
 	chunk := uint64(p.cfg.StreamChunk)
 	if s/chunk != pe.structural/chunk {
 		s = p.allocChunk()
 	}
-	p.psInsert(cur, psEntry{structural: s, counter: 1})
+	e := psEntry{structural: s, counter: 1}
+	if curMapped {
+		p.ps.Set(cur, packPS(e))
+	} else {
+		p.psInsertNew(cur, e)
+	}
 	p.spInsert(s, cur)
+	return e
 }
 
 // Observe implements prefetch.Prefetcher. ISB trains on LLC misses and
 // first-use prefetch hits of its PC-localized streams.
 func (p *Prefetcher) Observe(a prefetch.AccessContext) []prefetch.Suggestion {
 	p.sugBuf = p.sugBuf[:0]
-	train := !a.Hit || a.PrefetchHit
-	if train {
-		if prev, ok := p.lastAddr[a.PC]; ok && prev != a.Line {
-			p.train(prev, a.Line)
-		}
-		if _, ok := p.lastAddr[a.PC]; !ok {
-			p.lastFifo = append(p.lastFifo, a.PC)
-			if len(p.lastFifo) > p.cfg.TrainingUnits {
-				old := p.lastFifo[0]
-				p.lastFifo = p.lastFifo[1:]
-				delete(p.lastAddr, old)
+	var e psEntry
+	var mapped bool
+	if !a.Hit || a.PrefetchHit {
+		prev, known := p.lastAddr.Get(a.PC)
+		if !known {
+			p.lastFifo, p.lastHead = fifoPush(p.lastFifo, p.lastHead, a.PC)
+			if len(p.lastFifo)-p.lastHead > p.cfg.TrainingUnits {
+				old := p.lastFifo[p.lastHead]
+				p.lastHead++
+				p.lastAddr.Delete(old)
 			}
 		}
-		p.lastAddr[a.PC] = a.Line
+		p.lastAddr.Set(a.PC, a.Line)
+		if known && prev != a.Line {
+			e, mapped = p.train(prev, a.Line), true
+		} else {
+			var v uint64
+			v, mapped = p.ps.Get(a.Line)
+			e = unpackPS(v)
+		}
+	} else {
+		var v uint64
+		v, mapped = p.ps.Get(a.Line)
+		e = unpackPS(v)
 	}
-	// Predict: follow the structural stream.
-	e, ok := p.ps[a.Line]
-	if !ok {
+	if !mapped {
 		return nil
 	}
+	// Predict: follow the structural stream.
 	conf := float64(e.counter+1) / 4
 	for d := uint64(1); d <= uint64(p.cfg.Degree); d++ {
-		phys, ok := p.sp[e.structural+d]
+		phys, ok := p.sp.Get(e.structural + d)
 		if !ok {
 			break
 		}

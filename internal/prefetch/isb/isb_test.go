@@ -118,8 +118,8 @@ func TestAMCBounded(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		p.Observe(access(0x400, mem.Line(0x1000+i*17)))
 	}
-	if len(p.ps) > 64+1 || len(p.sp) > 64+1 {
-		t.Errorf("AMC exceeded bound: ps=%d sp=%d", len(p.ps), len(p.sp))
+	if p.ps.Len() > 64+1 || p.sp.Len() > 64+1 {
+		t.Errorf("AMC exceeded bound: ps=%d sp=%d", p.ps.Len(), p.sp.Len())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"resemble/internal/flatmap"
 	"resemble/internal/mem"
 )
 
@@ -29,21 +30,28 @@ type isbState struct {
 
 // SaveState implements checkpoint.Stater.
 func (p *Prefetcher) SaveState(w io.Writer) error {
+	// Only the live FIFO regions (past the head cursors) are state; the
+	// dead prefixes are an implementation artifact of the head-indexed
+	// queues, so checkpoints stay byte-identical regardless of when the
+	// last compaction happened.
 	st := isbState{
-		LastFifo:       p.lastFifo,
-		PSFifo:         p.psFifo,
-		SPFifo:         p.spFifo,
+		LastFifo:       p.lastFifo[p.lastHead:],
+		PSFifo:         p.psFifo[p.psHead:],
+		SPFifo:         p.spFifo[p.spHead:],
 		NextStructural: p.nextStructural,
 	}
-	for _, pc := range p.lastFifo {
-		st.LastAddr = append(st.LastAddr, p.lastAddr[pc])
+	for _, pc := range st.LastFifo {
+		line, _ := p.lastAddr.Get(pc)
+		st.LastAddr = append(st.LastAddr, line)
 	}
-	for _, line := range p.psFifo {
-		e := p.ps[line]
+	for _, line := range st.PSFifo {
+		v, _ := p.ps.Get(line)
+		e := unpackPS(v)
 		st.PS = append(st.PS, psEntryState{Structural: e.structural, Counter: e.counter})
 	}
-	for _, s := range p.spFifo {
-		st.SP = append(st.SP, p.sp[s])
+	for _, s := range st.SPFifo {
+		line, _ := p.sp.Get(s)
+		st.SP = append(st.SP, line)
 	}
 	return gob.NewEncoder(w).Encode(st)
 }
@@ -58,20 +66,20 @@ func (p *Prefetcher) LoadState(r io.Reader) error {
 	if len(st.LastAddr) != len(st.LastFifo) || len(st.PS) != len(st.PSFifo) || len(st.SP) != len(st.SPFifo) {
 		return fmt.Errorf("isb state: mismatched table lengths")
 	}
-	p.lastFifo = st.LastFifo
-	p.lastAddr = make(map[uint64]mem.Line, len(st.LastFifo))
+	p.lastFifo, p.lastHead = st.LastFifo, 0
+	p.lastAddr = flatmap.New(len(st.LastFifo))
 	for i, pc := range st.LastFifo {
-		p.lastAddr[pc] = st.LastAddr[i]
+		p.lastAddr.Set(pc, st.LastAddr[i])
 	}
-	p.psFifo = st.PSFifo
-	p.ps = make(map[mem.Line]psEntry, len(st.PSFifo))
+	p.psFifo, p.psHead = st.PSFifo, 0
+	p.ps = flatmap.New(len(st.PSFifo))
 	for i, line := range st.PSFifo {
-		p.ps[line] = psEntry{structural: st.PS[i].Structural, counter: st.PS[i].Counter}
+		p.ps.Set(line, packPS(psEntry{structural: st.PS[i].Structural, counter: st.PS[i].Counter}))
 	}
-	p.spFifo = st.SPFifo
-	p.sp = make(map[uint64]mem.Line, len(st.SPFifo))
+	p.spFifo, p.spHead = st.SPFifo, 0
+	p.sp = flatmap.New(len(st.SPFifo))
 	for i, s := range st.SPFifo {
-		p.sp[s] = st.SP[i]
+		p.sp.Set(s, st.SP[i])
 	}
 	p.nextStructural = st.NextStructural
 	return nil

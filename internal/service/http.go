@@ -26,6 +26,11 @@ type Request struct {
 	Accesses int `json:"accesses,omitempty"`
 	// Seed offsets the workload's trace seed and the controller seed.
 	Seed int64 `json:"seed,omitempty"`
+	// FixedFrac, when non-zero, makes DQN controllers serve action
+	// selection from a 16-bit fixed-point model snapshot with this many
+	// fractional bits (1..14); 0 keeps float64 serving. Ignored by
+	// non-DQN controllers.
+	FixedFrac uint `json:"fixed_frac,omitempty"`
 	// ReturnWindows asks for the run's telemetry window snapshots in
 	// the response, so a coordinator in another process can merge them
 	// in its own admission order (the cluster determinism contract).
@@ -138,6 +143,11 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.Accesses < 0 || req.Accesses > s.cfg.MaxAccesses {
 		writeJSON(w, http.StatusBadRequest,
 			Response{Error: fmt.Sprintf("accesses %d out of range [1,%d]", req.Accesses, s.cfg.MaxAccesses)})
+		return
+	}
+	if req.FixedFrac > 14 {
+		writeJSON(w, http.StatusBadRequest,
+			Response{Error: fmt.Sprintf("fixed_frac %d out of range [0,14]", req.FixedFrac)})
 		return
 	}
 

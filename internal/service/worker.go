@@ -397,6 +397,7 @@ func (s *Service) controllerConfig(req Request) core.Config {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = 1 + req.Seed
+	cfg.FixedFrac = req.FixedFrac
 	if !s.cfg.DisableMasking {
 		cfg.MaskFloor = 0.2
 		cfg.MaskWindow = 1024

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// TestStepSteadyStateZeroAlloc pins the hot-path allocation contract
+// (doc.go, "Hot-path allocation discipline"): once the queues and cache
+// structures are warm, stepping the simulator allocates nothing — with
+// or without a prefetch source. The head-indexed MSHR/ROB/pending
+// queues and the by-value cache eviction path are what make this hold;
+// a regression here shows up as a nonzero allocs/op long before it
+// shows up in wall-clock benchmarks.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  Source
+	}{
+		{"baseline", nil},
+		{"nextline", &nextLineSource{degree: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := streamTrace(30000)
+			s := New(DefaultConfig())
+			const warm = 20000
+			for i := 0; i < warm; i++ {
+				s.step(tr.Records[i], tc.src)
+			}
+			i := warm
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.step(tr.Records[i], tc.src)
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state step allocates %.2f/op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -44,6 +44,16 @@
 // share one configuration path.
 //
 // The legacy entry points (Run, RunBaseline, RunWithTelemetry,
-// RunResumable) remain as thin deprecated wrappers over Runner for one
-// release.
+// RunResumable and the RunOpts carrier) have been removed after their
+// deprecation release; Runner options are the only way to configure a
+// run.
+//
+// # Hot-path allocation discipline
+//
+// The steady-state per-record path (step → access → dramIssue /
+// issuePrefetches / commitFills) allocates nothing: the MSHR, ROB and
+// pending-fill queues are head-indexed FIFOs over preallocated backing
+// arrays, and cache insertions return eviction records by value. Code
+// added to this path must preserve that property — it is pinned by
+// allocation-guard tests and the cmd/bench allocation budgets.
 package sim

@@ -30,7 +30,7 @@ func runOn(t *testing.T, workload string, n int, src Source) (Result, Result) {
 	t.Helper()
 	tr := trace.MustLookup(workload).Generate(n)
 	cfg := DefaultConfig()
-	return Run(cfg, tr, src), RunBaseline(cfg, tr)
+	return runSim(cfg, tr, src), runBaseline(cfg, tr)
 }
 
 func TestFig1cSpatialWorkloadFavorsBO(t *testing.T) {

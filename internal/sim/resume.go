@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync/atomic"
 
 	"resemble/internal/checkpoint"
 	"resemble/internal/telemetry"
@@ -19,38 +18,6 @@ import (
 // was written before returning.
 var ErrInterrupted = errors.New("sim: run interrupted")
 
-// RunOpts parameterizes a fault-tolerant run.
-//
-// Deprecated: pass the equivalent Options to NewRunner instead
-// (WithTelemetry, WithCheckpoint, WithResume, WithInterrupt,
-// WithStopAfter).
-type RunOpts struct {
-	// Telemetry, when non-nil, is attached to the simulator and (via
-	// telemetry.Attachable) the source, exactly like RunWithTelemetry.
-	Telemetry *telemetry.Collector
-
-	// CheckpointPath enables checkpointing: the run state is snapshotted
-	// to this file (atomically, temp + rename) at every checkpoint
-	// boundary and on interrupt.
-	CheckpointPath string
-	// CheckpointEvery is the boundary spacing in trace records. The
-	// boundary condition is on the absolute trace position, so a resumed
-	// run checkpoints at the same points as an uninterrupted one.
-	CheckpointEvery int
-	// Resume loads CheckpointPath before running and continues from its
-	// cursor instead of record zero.
-	Resume bool
-
-	// Interrupt is polled after every record; when it becomes true the
-	// run writes a final checkpoint and returns ErrInterrupted. Signal
-	// handlers set it asynchronously.
-	Interrupt *atomic.Bool
-	// StopAfter, when positive, interrupts the run after this many
-	// records have been processed in this session (a deterministic
-	// interrupt for tests).
-	StopAfter int
-}
-
 // ckpMeta is the checkpoint's "meta" section: where to resume and what
 // run the snapshot belongs to.
 type ckpMeta struct {
@@ -58,24 +25,6 @@ type ckpMeta struct {
 	TraceName string
 	TraceLen  int
 	Source    string
-}
-
-// RunResumable simulates the trace with checkpoint/resume and
-// interrupt support.
-//
-// Deprecated: use NewRunner with WithTelemetry / WithCheckpoint /
-// WithResume / WithInterrupt / WithStopAfter and call Run.
-func RunResumable(cfg Config, tr *trace.Trace, src Source, opts RunOpts) (Result, error) {
-	ro := []Option{
-		WithTelemetry(opts.Telemetry),
-		WithCheckpoint(opts.CheckpointPath, opts.CheckpointEvery),
-		WithInterrupt(opts.Interrupt),
-		WithStopAfter(opts.StopAfter),
-	}
-	if opts.Resume {
-		ro = append(ro, WithResume())
-	}
-	return NewRunner(cfg, ro...).Run(tr, src)
 }
 
 // simulate drives the record loop from start: warmup-boundary reset,

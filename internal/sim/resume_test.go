@@ -22,16 +22,19 @@ func resumeTrace(t *testing.T, n int) *trace.Trace {
 	return w.GenerateSeeded(n, w.Seed)
 }
 
-func TestRunResumableMatchesRun(t *testing.T) {
+func TestCheckpointRunnerMatchesPlainRun(t *testing.T) {
 	tr := resumeTrace(t, 8000)
 	cfg := sim.DefaultConfig()
-	want := sim.Run(cfg, tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2))
-	got, err := sim.RunResumable(cfg, tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2), sim.RunOpts{})
+	want, err := sim.NewRunner(cfg).Run(tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.NewRunner(cfg, sim.WithCheckpoint("", 0)).Run(tr, sim.FromPrefetcher(bo.New(bo.Config{}), 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(want, got) {
-		t.Errorf("RunResumable result differs from Run:\nwant %+v\ngot  %+v", want, got)
+		t.Errorf("checkpoint-capable runner result differs from plain run:\nwant %+v\ngot  %+v", want, got)
 	}
 }
 
@@ -43,21 +46,17 @@ func TestResumeDeterministicSolo(t *testing.T) {
 	tr := resumeTrace(t, 8000)
 	cfg := sim.DefaultConfig()
 	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
-	want, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{})
+	want, err := sim.NewRunner(cfg).Run(tr, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, stop := range []int{700, 1600, 4096, 7999} {
 		ckp := filepath.Join(t.TempDir(), "run.ckpt")
-		_, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{
-			CheckpointPath: ckp, CheckpointEvery: 1024, StopAfter: stop,
-		})
+		_, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 1024), sim.WithStopAfter(stop)).Run(tr, mk())
 		if !errors.Is(err, sim.ErrInterrupted) {
 			t.Fatalf("stop=%d: want ErrInterrupted, got %v", stop, err)
 		}
-		got, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{
-			CheckpointPath: ckp, Resume: true,
-		})
+		got, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithResume()).Run(tr, mk())
 		if err != nil {
 			t.Fatalf("stop=%d: resume: %v", stop, err)
 		}
@@ -73,18 +72,18 @@ func TestResumeTwoInterrupts(t *testing.T) {
 	tr := resumeTrace(t, 8000)
 	cfg := sim.DefaultConfig()
 	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
-	want, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{})
+	want, err := sim.NewRunner(cfg).Run(tr, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
 	ckp := filepath.Join(t.TempDir(), "run.ckpt")
-	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, StopAfter: 2000}); !errors.Is(err, sim.ErrInterrupted) {
+	if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithStopAfter(2000)).Run(tr, mk()); !errors.Is(err, sim.ErrInterrupted) {
 		t.Fatalf("first stop: %v", err)
 	}
-	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true, StopAfter: 3000}); !errors.Is(err, sim.ErrInterrupted) {
+	if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithResume(), sim.WithStopAfter(3000)).Run(tr, mk()); !errors.Is(err, sim.ErrInterrupted) {
 		t.Fatalf("second stop: %v", err)
 	}
-	got, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true})
+	got, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithResume()).Run(tr, mk())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,19 +97,19 @@ func TestResumeValidation(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	ckp := filepath.Join(t.TempDir(), "run.ckpt")
 	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
-	if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: ckp, StopAfter: 1000}); !errors.Is(err, sim.ErrInterrupted) {
+	if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithStopAfter(1000)).Run(tr, mk()); !errors.Is(err, sim.ErrInterrupted) {
 		t.Fatal(err)
 	}
 
 	t.Run("wrong trace", func(t *testing.T) {
 		other := resumeTrace(t, 5000)
-		if _, err := sim.RunResumable(cfg, other, mk(), sim.RunOpts{CheckpointPath: ckp, Resume: true}); err == nil {
+		if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithResume()).Run(other, mk()); err == nil {
 			t.Error("resuming on a different trace must fail")
 		}
 	})
 	t.Run("wrong source", func(t *testing.T) {
 		src := sim.FromPrefetcher(bo.New(bo.Config{}), 2)
-		if _, err := sim.RunResumable(cfg, tr, src, sim.RunOpts{CheckpointPath: ckp, Resume: true}); err == nil {
+		if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(ckp, 0), sim.WithResume()).Run(tr, src); err == nil {
 			t.Error("resuming with a different source must fail")
 		}
 	})
@@ -124,12 +123,12 @@ func TestResumeValidation(t *testing.T) {
 		if err := os.WriteFile(bad, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: bad, Resume: true}); err == nil {
+		if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(bad, 0), sim.WithResume()).Run(tr, mk()); err == nil {
 			t.Error("resuming from a corrupt checkpoint must fail")
 		}
 	})
 	t.Run("missing file", func(t *testing.T) {
-		if _, err := sim.RunResumable(cfg, tr, mk(), sim.RunOpts{CheckpointPath: filepath.Join(t.TempDir(), "none.ckpt"), Resume: true}); err == nil {
+		if _, err := sim.NewRunner(cfg, sim.WithCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), 0), sim.WithResume()).Run(tr, mk()); err == nil {
 			t.Error("resuming from a missing checkpoint must fail")
 		}
 	})

@@ -9,67 +9,75 @@ import (
 	"resemble/internal/telemetry"
 )
 
-// TestRunnerMatchesLegacyRun: the deprecated wrappers are thin shims
-// over Runner, so both entry points must produce identical results.
-func TestRunnerMatchesLegacyRun(t *testing.T) {
+// TestRunnerDeterministicRepeat: two identical runs through the Runner
+// produce identical results (the Runner builds a fresh Simulator per
+// Run, so no state leaks between them).
+func TestRunnerDeterministicRepeat(t *testing.T) {
 	tr := streamTrace(20000)
-	legacy := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
-	got, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
+	first, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(legacy, got) {
-		t.Errorf("Runner diverged from legacy Run:\nlegacy %+v\nrunner %+v", legacy, got)
+	second, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("repeated runs diverged:\nfirst  %+v\nsecond %+v", first, second)
 	}
 }
 
-// TestRunnerBaselineOption: WithBaseline ignores the source and matches
-// the deprecated RunBaseline.
+// TestRunnerBaselineOption: WithBaseline ignores the source entirely —
+// passing a real source produces the same result as passing nil, with
+// no prefetches issued.
 func TestRunnerBaselineOption(t *testing.T) {
 	tr := streamTrace(20000)
-	legacy := RunBaseline(DefaultConfig(), tr)
+	withNil, err := NewRunner(DefaultConfig(), WithBaseline()).Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := NewRunner(DefaultConfig(), WithBaseline()).Run(tr, &nextLineSource{degree: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(legacy, got) {
-		t.Errorf("WithBaseline diverged from RunBaseline:\nlegacy %+v\nrunner %+v", legacy, got)
+	if !reflect.DeepEqual(withNil, got) {
+		t.Errorf("WithBaseline result depends on the source:\nnil    %+v\nsource %+v", withNil, got)
 	}
 	if got.PrefetchesIssued != 0 {
 		t.Errorf("baseline issued %d prefetches, want 0", got.PrefetchesIssued)
 	}
 }
 
-// TestRunnerTelemetryOption: WithTelemetry matches RunWithTelemetry —
-// same result and same window snapshots.
+// TestRunnerTelemetryOption: WithTelemetry observes without perturbing —
+// the result matches an uninstrumented run, the window streams of two
+// instrumented runs are identical, and windows are actually emitted.
 func TestRunnerTelemetryOption(t *testing.T) {
 	tr := streamTrace(20000)
-	collect := func(run func(tel *telemetry.Collector) Result) (Result, []telemetry.WindowSnapshot) {
+	collect := func() (Result, []telemetry.WindowSnapshot) {
 		tel, err := telemetry.New(telemetry.Config{KeepWindows: true, TraceSample: 16})
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := run(tel)
-		return r, tel.Windows()
-	}
-	legacy, legacyWin := collect(func(tel *telemetry.Collector) Result {
-		return RunWithTelemetry(DefaultConfig(), tr, &nextLineSource{degree: 2}, tel)
-	})
-	got, gotWin := collect(func(tel *telemetry.Collector) Result {
 		r, err := NewRunner(DefaultConfig(), WithTelemetry(tel)).Run(tr, &nextLineSource{degree: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return r
-	})
-	if !reflect.DeepEqual(legacy, got) {
-		t.Errorf("results diverged:\nlegacy %+v\nrunner %+v", legacy, got)
+		return r, tel.Windows()
+	}
+	plain, err := NewRunner(DefaultConfig()).Run(tr, &nextLineSource{degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotWin := collect()
+	again, againWin := collect()
+	if !reflect.DeepEqual(plain, got) {
+		t.Errorf("telemetry perturbed the result:\nplain %+v\ntel   %+v", plain, got)
 	}
 	if len(gotWin) == 0 {
 		t.Fatal("no window snapshots collected")
 	}
-	if !reflect.DeepEqual(legacyWin, gotWin) {
-		t.Errorf("window streams diverged: legacy %d windows, runner %d", len(legacyWin), len(gotWin))
+	if !reflect.DeepEqual(got, again) || !reflect.DeepEqual(gotWin, againWin) {
+		t.Errorf("window streams diverged across identical runs: %d vs %d windows", len(gotWin), len(againWin))
 	}
 }
 

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"resemble/internal/cache"
+	"resemble/internal/flatmap"
 	"resemble/internal/mem"
 	"resemble/internal/prefetch"
 	"resemble/internal/telemetry"
@@ -165,18 +167,30 @@ type Simulator struct {
 
 	l1d, l2, llc *cache.Cache
 
-	// Timing state.
+	// Timing state. The three FIFO queues (mshr, robQ, pending) are
+	// head-indexed: consuming the front advances the head instead of
+	// reslicing (s = s[1:] forces append to reallocate the backing array
+	// every few pushes), and pushes compact the live region back to the
+	// start once the backing array fills. Live contents are
+	// buf[head:len(buf)], oldest first; steady state allocates nothing.
 	dispatch     float64 // dispatch clock of the most recent load
 	retire       float64 // retire clock of the most recent load
 	lastID       uint64  // instruction id of the most recent load
 	mshr         []float64
+	mshrHead     int
 	dramNextFree float64
 	robQ         []loadRetire
+	robHead      int
 
 	// Prefetch state.
-	pending      []pendingFill        // FIFO by fill time
-	pendingSet   map[mem.Line]float64 // line -> fill time
-	ctrlBusyTill float64              // low-TP controller availability
+	pending  []pendingFill // FIFO by fill time
+	pendHead int
+	// pendingSet maps in-flight line -> fill time (float64 bits). A flat
+	// open-addressed table: in-flight membership is probed on every miss
+	// and every candidate prefetch, making this the hottest map in the
+	// simulator.
+	pendingSet   *flatmap.Map
+	ctrlBusyTill float64 // low-TP controller availability
 
 	// Counters (reset at warmup boundary).
 	instrBase   uint64
@@ -245,35 +259,14 @@ func New(cfg Config) *Simulator {
 	s.l1d = cache.New(cfg.L1D)
 	s.l2 = cache.New(cfg.L2)
 	s.llc = cache.New(cfg.LLC)
-	s.pendingSet = make(map[mem.Line]float64)
+	s.pendingSet = flatmap.New(64)
 	s.mshr = make([]float64, 0, cfg.LLC.MSHRs)
+	// The ROB queue holds at most one entry per id in a ROB-sized window
+	// plus the retained predecessor and the just-appended record; sizing
+	// it up front means the append in step never grows it.
+	s.robQ = make([]loadRetire, 0, cfg.ROB+2)
+	s.pending = make([]pendingFill, 0, 64)
 	return s
-}
-
-// Run simulates the trace with the given prefetch source (nil for no
-// prefetching) and returns the measured-region results.
-//
-// Deprecated: use NewRunner(cfg).Run(tr, src).
-func Run(cfg Config, tr *trace.Trace, src Source) Result {
-	res, _ := NewRunner(cfg).Run(tr, src)
-	return res
-}
-
-// RunBaseline simulates the trace without prefetching.
-//
-// Deprecated: use NewRunner(cfg, WithBaseline()).Run(tr, nil).
-func RunBaseline(cfg Config, tr *trace.Trace) Result {
-	res, _ := NewRunner(cfg, WithBaseline()).Run(tr, nil)
-	return res
-}
-
-// RunWithTelemetry simulates the trace reporting into the collector.
-// A nil collector degrades to a plain Run.
-//
-// Deprecated: use NewRunner(cfg, WithTelemetry(tel)).Run(tr, src).
-func RunWithTelemetry(cfg Config, tr *trace.Trace, src Source, tel *telemetry.Collector) Result {
-	res, _ := NewRunner(cfg, WithTelemetry(tel)).Run(tr, src)
-	return res
 }
 
 // resetMeasurement marks the warmup boundary.
@@ -334,28 +327,37 @@ func (s *Simulator) step(rec trace.Record, src Source) {
 		s.windowTick(rec)
 	}
 	s.lastID = rec.ID
+	if len(s.robQ) == cap(s.robQ) && s.robHead > 0 {
+		n := copy(s.robQ, s.robQ[s.robHead:])
+		s.robQ = s.robQ[:n]
+		s.robHead = 0
+	}
 	s.robQ = append(s.robQ, loadRetire{id: rec.ID, retire: retire})
 	// Trim entries older than one ROB window behind.
-	for len(s.robQ) > 1 && s.robQ[1].id+uint64(s.cfg.ROB) <= rec.ID {
-		s.robQ = s.robQ[1:]
+	for len(s.robQ)-s.robHead > 1 && s.robQ[s.robHead+1].id+uint64(s.cfg.ROB) <= rec.ID {
+		s.robHead++
 	}
 }
 
 // retireTimeOf estimates the retire time of instruction id using the
 // retire times of recorded loads: non-load instructions retire at the
-// issue width after the closest preceding load.
+// issue width after the closest preceding load. The queue is sorted by
+// id, so the last load with id <= target is found by binary search (the
+// linear backwards scan this replaces was O(ROB) per step).
 func (s *Simulator) retireTimeOf(id uint64) (float64, bool) {
-	// Find the last load with id <= target.
-	var best *loadRetire
-	for i := len(s.robQ) - 1; i >= 0; i-- {
-		if s.robQ[i].id <= id {
-			best = &s.robQ[i]
-			break
+	lo, hi := s.robHead, len(s.robQ)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.robQ[mid].id <= id {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	if best == nil {
+	if lo == s.robHead {
 		return 0, false
 	}
+	best := &s.robQ[lo-1]
 	return best.retire + float64(id-best.id)/float64(s.cfg.IssueWidth), true
 }
 
@@ -385,11 +387,11 @@ func (s *Simulator) access(rec trace.Record, now float64, src Source) float64 {
 		kind = telemetry.KindHit
 		s.win.Hits++
 	default:
-		if fill, ok := s.pendingSet[line]; ok {
+		if fv, ok := s.pendingSet.Get(line); ok {
 			// Late prefetch: the line is in flight; wait for the
 			// remaining latency (at least an LLC hit's worth).
 			s.lateUseful++
-			remaining := fill - now
+			remaining := math.Float64frombits(fv) - now
 			if remaining < float64(s.cfg.LLC.Latency) {
 				remaining = float64(s.cfg.LLC.Latency)
 			}
@@ -444,11 +446,11 @@ func (s *Simulator) dramIssue(now float64) float64 {
 	if start < s.dramNextFree {
 		start = s.dramNextFree
 	}
-	if len(s.mshr) >= s.cfg.LLC.MSHRs {
+	if len(s.mshr)-s.mshrHead >= s.cfg.LLC.MSHRs {
 		// Wait for the oldest outstanding request (FIFO completion
 		// order holds because latency is constant).
-		oldest := s.mshr[0]
-		s.mshr = s.mshr[1:]
+		oldest := s.mshr[s.mshrHead]
+		s.mshrHead++
 		if oldest > start {
 			start = oldest
 		}
@@ -458,8 +460,13 @@ func (s *Simulator) dramIssue(now float64) float64 {
 		}
 	}
 	// Drop completed entries from the front.
-	for len(s.mshr) > 0 && s.mshr[0] <= start {
-		s.mshr = s.mshr[1:]
+	for len(s.mshr) > s.mshrHead && s.mshr[s.mshrHead] <= start {
+		s.mshrHead++
+	}
+	if len(s.mshr) == cap(s.mshr) && s.mshrHead > 0 {
+		n := copy(s.mshr, s.mshr[s.mshrHead:])
+		s.mshr = s.mshr[:n]
+		s.mshrHead = 0
 	}
 	s.mshr = append(s.mshr, start+float64(s.cfg.DRAMLatency))
 	s.dramNextFree = start + float64(s.cfg.DRAMInterval)
@@ -468,7 +475,7 @@ func (s *Simulator) dramIssue(now float64) float64 {
 	// histogram's mutex is too expensive for every request, and the
 	// occupancy distribution survives uniform decimation.
 	if s.winDRAMReqs&7 == 0 {
-		s.hOccupancy.Observe(float64(len(s.mshr)))
+		s.hOccupancy.Observe(float64(len(s.mshr) - s.mshrHead))
 	}
 	return start
 }
@@ -497,7 +504,7 @@ func (s *Simulator) issuePrefetches(lines []mem.Line, now float64) {
 			s.winDups++
 			continue
 		}
-		if _, inFlight := s.pendingSet[line]; inFlight {
+		if s.pendingSet.Contains(line) {
 			s.winDups++
 			continue
 		}
@@ -509,29 +516,33 @@ func (s *Simulator) issuePrefetches(lines []mem.Line, now float64) {
 		if s.tel != nil {
 			s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: start, Kind: telemetry.KindPrefetchIssue, Addr: uint64(mem.LineAddr(line))})
 		}
+		if len(s.pending) == cap(s.pending) && s.pendHead > 0 {
+			n := copy(s.pending, s.pending[s.pendHead:])
+			s.pending = s.pending[:n]
+			s.pendHead = 0
+		}
 		s.pending = append(s.pending, pendingFill{line: line, fill: fill})
-		s.pendingSet[line] = fill
+		s.pendingSet.Set(line, math.Float64bits(fill))
 	}
 }
 
 // commitFills inserts landed prefetches into the LLC.
 func (s *Simulator) commitFills(now float64) {
-	i := 0
+	i := s.pendHead
 	for ; i < len(s.pending); i++ {
 		p := s.pending[i]
 		if p.fill > now {
 			break
 		}
-		if _, still := s.pendingSet[p.line]; !still {
+		if !s.pendingSet.Delete(p.line) {
 			continue // consumed early as a late prefetch hit
 		}
-		delete(s.pendingSet, p.line)
 		s.llc.Insert(p.line, true)
 		if s.tel != nil {
 			s.tel.Trace(telemetry.Event{Seq: uint64(s.accessIdx), Cycle: p.fill, Kind: telemetry.KindFill, Addr: uint64(mem.LineAddr(p.line))})
 		}
 	}
-	s.pending = s.pending[i:]
+	s.pendHead = i
 }
 
 // windowTick advances the snapshot window after an LLC access and
@@ -571,7 +582,7 @@ func (s *Simulator) flushCounters() {
 }
 
 func (s *Simulator) removePending(line mem.Line) {
-	delete(s.pendingSet, line)
+	s.pendingSet.Delete(line)
 	// The slice entry stays; commitFills skips consumed entries.
 }
 

@@ -42,12 +42,30 @@ func (g *garbageSource) OnAccess(a prefetch.AccessContext) []mem.Line {
 	return g.buf
 }
 
+// runSim / runBaseline are test-local shorthands over the Runner API
+// (the old package-level Run/RunBaseline wrappers are gone).
+func runSim(cfg Config, tr *trace.Trace, src Source) Result {
+	res, err := NewRunner(cfg).Run(tr, src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func runBaseline(cfg Config, tr *trace.Trace) Result {
+	res, err := NewRunner(cfg, WithBaseline()).Run(tr, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 func streamTrace(n int) *trace.Trace {
 	return trace.StreamGen{Regions: 4, RegionLines: 4096, PCs: 2}.Generate(n, 42)
 }
 
 func TestBaselineStreamHasMisses(t *testing.T) {
-	r := RunBaseline(DefaultConfig(), streamTrace(20000))
+	r := runBaseline(DefaultConfig(), streamTrace(20000))
 	if r.IPC <= 0 {
 		t.Fatalf("IPC = %v, want > 0", r.IPC)
 	}
@@ -65,8 +83,8 @@ func TestBaselineStreamHasMisses(t *testing.T) {
 func TestNextLinePrefetchingImprovesStream(t *testing.T) {
 	tr := streamTrace(20000)
 	cfg := DefaultConfig()
-	base := RunBaseline(cfg, tr)
-	pf := Run(cfg, tr, &nextLineSource{degree: 2})
+	base := runBaseline(cfg, tr)
+	pf := runSim(cfg, tr, &nextLineSource{degree: 2})
 	if pf.IPC <= base.IPC {
 		t.Fatalf("next-line prefetching did not help: base %.3f vs pf %.3f", base.IPC, pf.IPC)
 	}
@@ -84,8 +102,8 @@ func TestNextLinePrefetchingImprovesStream(t *testing.T) {
 func TestGarbagePrefetchingUselessAndHarmless(t *testing.T) {
 	tr := streamTrace(10000)
 	cfg := DefaultConfig()
-	base := RunBaseline(cfg, tr)
-	pf := Run(cfg, tr, &garbageSource{})
+	base := runBaseline(cfg, tr)
+	pf := runSim(cfg, tr, &garbageSource{})
 	if pf.UsefulPrefetches != 0 {
 		t.Errorf("garbage prefetches counted useful: %d", pf.UsefulPrefetches)
 	}
@@ -102,7 +120,7 @@ func TestGarbagePrefetchingUselessAndHarmless(t *testing.T) {
 func TestMetricInvariants(t *testing.T) {
 	for _, name := range []string{"433.milc", "471.omnetpp", "gap.bfs", "hybrid.random"} {
 		tr := trace.MustLookup(name).Generate(8000)
-		r := Run(DefaultConfig(), tr, &nextLineSource{degree: 1})
+		r := runSim(DefaultConfig(), tr, &nextLineSource{degree: 1})
 		if r.UsefulPrefetches > r.PrefetchesIssued {
 			t.Errorf("%s: useful %d > issued %d", name, r.UsefulPrefetches, r.PrefetchesIssued)
 		}
@@ -121,9 +139,9 @@ func TestMetricInvariants(t *testing.T) {
 func TestPrefetchLatencyHurts(t *testing.T) {
 	tr := streamTrace(20000)
 	cfg := DefaultConfig()
-	fast := Run(cfg, tr, &nextLineSource{degree: 2})
+	fast := runSim(cfg, tr, &nextLineSource{degree: 2})
 	cfg.PrefetchLatency = 200 // absurdly slow controller
-	slow := Run(cfg, tr, &nextLineSource{degree: 2})
+	slow := runSim(cfg, tr, &nextLineSource{degree: 2})
 	if slow.IPC > fast.IPC {
 		t.Errorf("huge prefetch latency improved IPC: %.3f vs %.3f", slow.IPC, fast.IPC)
 	}
@@ -137,12 +155,12 @@ func TestLowThroughputDropsPrefetches(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PrefetchLatency = 20
 	cfg.LowThroughput = true
-	r := Run(cfg, tr, &nextLineSource{degree: 2})
+	r := runSim(cfg, tr, &nextLineSource{degree: 2})
 	if r.DroppedPrefetches == 0 {
 		t.Error("low-TP controller at 20-cycle latency should drop prefetches")
 	}
 	cfg.LowThroughput = false
-	hi := Run(cfg, tr, &nextLineSource{degree: 2})
+	hi := runSim(cfg, tr, &nextLineSource{degree: 2})
 	if hi.DroppedPrefetches != 0 {
 		t.Errorf("high-TP controller dropped %d prefetches", hi.DroppedPrefetches)
 	}
@@ -158,7 +176,7 @@ func TestFromPrefetcherRespectsDegree(t *testing.T) {
 		t.Errorf("adapter name = %q", src.Name())
 	}
 	tr := streamTrace(5000)
-	r := Run(DefaultConfig(), tr, src)
+	r := runSim(DefaultConfig(), tr, src)
 	if r.PrefetchesIssued == 0 {
 		t.Error("BO issued no prefetches on a stream")
 	}
@@ -172,9 +190,9 @@ func TestMaxDegreeCapsIssues(t *testing.T) {
 	tr := streamTrace(10000)
 	cfg := DefaultConfig()
 	cfg.MaxDegree = 1
-	one := Run(cfg, tr, &nextLineSource{degree: 4})
+	one := runSim(cfg, tr, &nextLineSource{degree: 4})
 	cfg.MaxDegree = 4
-	four := Run(cfg, tr, &nextLineSource{degree: 4})
+	four := runSim(cfg, tr, &nextLineSource{degree: 4})
 	if one.PrefetchesIssued >= four.PrefetchesIssued {
 		t.Errorf("degree cap not effective: %d vs %d", one.PrefetchesIssued, four.PrefetchesIssued)
 	}
@@ -205,7 +223,7 @@ func TestConfigValidate(t *testing.T) {
 func TestTemporalWorkloadBaselineSane(t *testing.T) {
 	// Pointer chasing has a big footprint: LLC misses must persist.
 	tr := trace.MustLookup("471.omnetpp").Generate(20000)
-	r := RunBaseline(DefaultConfig(), tr)
+	r := runBaseline(DefaultConfig(), tr)
 	if r.LLCMisses == 0 {
 		t.Fatal("pointer-chase workload should miss the LLC")
 	}
@@ -220,7 +238,7 @@ func TestSRRIPHierarchyRuns(t *testing.T) {
 	tr := streamTrace(10000)
 	cfg := DefaultConfig()
 	cfg.LLC.Policy = cacheSRRIP()
-	r := Run(cfg, tr, &nextLineSource{degree: 2})
+	r := runSim(cfg, tr, &nextLineSource{degree: 2})
 	if r.IPC <= 0 || r.IPC > float64(cfg.IssueWidth) {
 		t.Errorf("IPC %v out of range under SRRIP", r.IPC)
 	}
@@ -233,9 +251,9 @@ func TestWarmupExcludedFromStats(t *testing.T) {
 	tr := streamTrace(10000)
 	cfg := DefaultConfig()
 	cfg.WarmupFraction = 0.5
-	half := RunBaseline(cfg, tr)
+	half := runBaseline(cfg, tr)
 	cfg.WarmupFraction = 0
-	full := RunBaseline(cfg, tr)
+	full := runBaseline(cfg, tr)
 	// The measured instruction count must shrink with warmup.
 	if half.Instructions >= full.Instructions {
 		t.Errorf("warmup did not reduce measured instructions: %d vs %d",
@@ -255,8 +273,8 @@ func TestMSHRBoundSlowsBurst(t *testing.T) {
 	wide.LLC.MSHRs = 32
 	narrow := DefaultConfig()
 	narrow.LLC.MSHRs = 1
-	w := RunBaseline(wide, tr)
-	n := RunBaseline(narrow, tr)
+	w := runBaseline(wide, tr)
+	n := runBaseline(narrow, tr)
 	if n.IPC >= w.IPC {
 		t.Errorf("1 MSHR (%.3f IPC) should not beat 32 MSHRs (%.3f IPC)", n.IPC, w.IPC)
 	}
@@ -264,8 +282,8 @@ func TestMSHRBoundSlowsBurst(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	tr := streamTrace(8000)
-	a := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
-	b := Run(DefaultConfig(), tr, &nextLineSource{degree: 2})
+	a := runSim(DefaultConfig(), tr, &nextLineSource{degree: 2})
+	b := runSim(DefaultConfig(), tr, &nextLineSource{degree: 2})
 	if a.IPC != b.IPC || a.PrefetchesIssued != b.PrefetchesIssued || a.UsefulPrefetches != b.UsefulPrefetches {
 		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
 	}

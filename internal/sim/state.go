@@ -5,8 +5,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"resemble/internal/checkpoint"
+	"resemble/internal/flatmap"
 	"resemble/internal/mem"
 	"resemble/internal/telemetry"
 )
@@ -62,7 +64,7 @@ type simState struct {
 func (s *Simulator) SaveState(w io.Writer) error {
 	st := simState{
 		Dispatch: s.dispatch, Retire: s.retire, LastID: s.lastID,
-		MSHR: s.mshr, DRAMNextFree: s.dramNextFree,
+		DRAMNextFree: s.dramNextFree,
 		CtrlBusyTill: s.ctrlBusyTill,
 		InstrBase:    s.instrBase, CyclesBase: s.cyclesBase,
 		LLCAccesses: s.llcAccesses, LLCMisses: s.llcMisses,
@@ -71,18 +73,23 @@ func (s *Simulator) SaveState(w io.Writer) error {
 		Win:       s.win, WinInstrID: s.winInstrID, WinCycles: s.winCycles,
 		WinDups: s.winDups, WinDRAMReqs: s.winDRAMReqs, WinMSHRStalls: s.winMSHRStalls,
 	}
-	for _, lr := range s.robQ {
+	// Only the live (head-onward) regions of the FIFO queues are part of
+	// the run state; the head offsets themselves are an in-memory layout
+	// detail, so snapshots stay byte-compatible with earlier versions.
+	st.MSHR = s.mshr[s.mshrHead:]
+	for _, lr := range s.robQ[s.robHead:] {
 		st.RobIDs = append(st.RobIDs, lr.id)
 		st.RobRetires = append(st.RobRetires, lr.retire)
 	}
-	for _, p := range s.pending {
+	for _, p := range s.pending[s.pendHead:] {
 		st.PendingLines = append(st.PendingLines, p.line)
 		st.PendingFills = append(st.PendingFills, p.fill)
 	}
-	for line, fill := range s.pendingSet {
+	s.pendingSet.Range(func(line, fv uint64) bool {
 		st.SetLines = append(st.SetLines, line)
-		st.SetFills = append(st.SetFills, fill)
-	}
+		st.SetFills = append(st.SetFills, math.Float64frombits(fv))
+		return true
+	})
 	for _, cs := range []struct {
 		c   checkpoint.Stater
 		dst *[]byte
@@ -123,18 +130,21 @@ func (s *Simulator) LoadState(r io.Reader) error {
 	}
 	s.dispatch, s.retire, s.lastID = st.Dispatch, st.Retire, st.LastID
 	s.mshr = append(s.mshr[:0], st.MSHR...)
+	s.mshrHead = 0
 	s.dramNextFree = st.DRAMNextFree
 	s.robQ = s.robQ[:0]
+	s.robHead = 0
 	for i := range st.RobIDs {
 		s.robQ = append(s.robQ, loadRetire{id: st.RobIDs[i], retire: st.RobRetires[i]})
 	}
 	s.pending = s.pending[:0]
+	s.pendHead = 0
 	for i := range st.PendingLines {
 		s.pending = append(s.pending, pendingFill{line: st.PendingLines[i], fill: st.PendingFills[i]})
 	}
-	s.pendingSet = make(map[mem.Line]float64, len(st.SetLines))
+	s.pendingSet = flatmap.New(len(st.SetLines))
 	for i := range st.SetLines {
-		s.pendingSet[st.SetLines[i]] = st.SetFills[i]
+		s.pendingSet.Set(st.SetLines[i], math.Float64bits(st.SetFills[i]))
 	}
 	s.ctrlBusyTill = st.CtrlBusyTill
 	s.instrBase, s.cyclesBase = st.InstrBase, st.CyclesBase

@@ -87,7 +87,10 @@ func TestWeightedMetricApproximatesFullRun(t *testing.T) {
 	tr := trace.MustLookup("602.gcc").Generate(60000)
 	cfg := sim.DefaultConfig()
 	cfg.WarmupFraction = 0
-	full := sim.RunBaseline(cfg, tr)
+	full, err := sim.NewRunner(cfg, sim.WithBaseline()).Run(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	res, err := Sample(Config{IntervalLen: 3000, K: 6}, tr)
 	if err != nil {
@@ -98,7 +101,10 @@ func TestWeightedMetricApproximatesFullRun(t *testing.T) {
 		sub, warm := p.SliceWithWarmup(tr)
 		pcfg := cfg
 		pcfg.WarmupFraction = warm
-		r := sim.RunBaseline(pcfg, sub)
+		r, err := sim.NewRunner(pcfg, sim.WithBaseline()).Run(sub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		ipcs = append(ipcs, r.IPC)
 	}
 	est := WeightedMetric(res.Points, ipcs)

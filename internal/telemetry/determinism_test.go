@@ -47,7 +47,9 @@ func telemetryRun(t *testing.T, accesses int) (windows, events, registry []byte)
 		bo.New(bo.Config{}), spp.New(spp.Config{}),
 		isb.New(isb.Config{}), domino.New(domino.Config{}),
 	}
-	sim.RunWithTelemetry(sim.DefaultConfig(), tr, core.NewController(cfg, pfs), tel)
+	if _, err := sim.NewRunner(sim.DefaultConfig(), sim.WithTelemetry(tel)).Run(tr, core.NewController(cfg, pfs)); err != nil {
+		t.Fatal(err)
+	}
 
 	wins := tel.Windows()
 	if len(wins) == 0 {
@@ -114,7 +116,7 @@ func TestResumeDeterminism(t *testing.T) {
 	simCfg := sim.DefaultConfig()
 
 	tel, memSink, tr, src := resumableSetup(t, accesses)
-	wantRes, err := sim.RunResumable(simCfg, tr, src, sim.RunOpts{Telemetry: tel})
+	wantRes, err := sim.NewRunner(simCfg, sim.WithTelemetry(tel)).Run(tr, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,17 +131,17 @@ func TestResumeDeterminism(t *testing.T) {
 		ckp := filepath.Join(t.TempDir(), "run.ckpt")
 
 		tel1, sink1, tr1, src1 := resumableSetup(t, accesses)
-		_, err := sim.RunResumable(simCfg, tr1, src1, sim.RunOpts{
-			Telemetry: tel1, CheckpointPath: ckp, CheckpointEvery: 1000, StopAfter: stop,
-		})
+		_, err := sim.NewRunner(simCfg,
+			sim.WithTelemetry(tel1), sim.WithCheckpoint(ckp, 1000), sim.WithStopAfter(stop),
+		).Run(tr1, src1)
 		if !errors.Is(err, sim.ErrInterrupted) {
 			t.Fatalf("stop=%d: want ErrInterrupted, got %v", stop, err)
 		}
 
 		tel2, sink2, tr2, src2 := resumableSetup(t, accesses)
-		gotRes, err := sim.RunResumable(simCfg, tr2, src2, sim.RunOpts{
-			Telemetry: tel2, CheckpointPath: ckp, Resume: true,
-		})
+		gotRes, err := sim.NewRunner(simCfg,
+			sim.WithTelemetry(tel2), sim.WithCheckpoint(ckp, 1000), sim.WithResume(),
+		).Run(tr2, src2)
 		if err != nil {
 			t.Fatalf("stop=%d: resume: %v", stop, err)
 		}

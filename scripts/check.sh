@@ -17,6 +17,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== zero-alloc hot-path guards (race-enabled quick gate) =="
+# The allocation-free serving/step contract (DESIGN.md §13): steady-state
+# simulator stepping and fixed-point forward must not allocate, and
+# Requantize must refresh parameters in place.
+go test -race -count 1 -run 'TestStepSteadyStateZeroAlloc' ./internal/sim/
+go test -race -count 1 -run 'TestFixedForwardIntoZeroAlloc|TestRequantizeTracksRetrainedWeights' ./internal/nn/
+
 echo "== go test -race (telemetry, sim) =="
 go test -race ./internal/telemetry/... ./internal/sim/...
 
