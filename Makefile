@@ -43,7 +43,10 @@ soak:
 # Cluster chaos harness: 3 in-process backends behind a resemblefront
 # coordinator; kills/wedges/restarts backends mid-stream and asserts
 # failover, hedging, readmission, ordered drain, zero lost requests and
-# byte-identical merged telemetry (DESIGN.md §12).
+# byte-identical merged telemetry (DESIGN.md §12). Includes the durable
+# store phases (DESIGN.md §14): a run killed mid-flight resumes from its
+# last checkpoint on the next ring backend with byte-identical windows,
+# and every store-corruption arm is detected and quarantined.
 cluster-soak:
 	$(GO) run -race ./cmd/resemblefront -soak
 

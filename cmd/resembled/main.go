@@ -34,8 +34,10 @@ import (
 	"syscall"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/service"
 	"resemble/internal/telemetry"
+	"resemble/internal/trace"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func main() {
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound")
 		ckpt       = flag.String("checkpoint", "", "service checkpoint path (empty = off)")
 		ckptEvery  = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval")
+		storeDir   = flag.String("store-dir", "", "durable artifact store root (empty = off): runs checkpoint into it, /v1/run accepts resume_from, and the trace cache gains a content-addressed disk tier")
+		runCkp     = flag.Int("run-checkpoint-every", 0, "accesses between per-run store checkpoints when -store-dir is set (0 = engine default)")
 		resume     = flag.Bool("resume", false, "restore service counters from -checkpoint")
 		accesses   = flag.Int("accesses", 20000, "default trace length per request")
 		telDir     = flag.String("telemetry", "", "telemetry output directory (empty = off)")
@@ -92,20 +96,38 @@ func main() {
 		}
 	}
 
+	var store *cas.Store
+	if *storeDir != "" {
+		st, rep, err := cas.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resembled: store: %v\n", err)
+			os.Exit(1)
+		}
+		if !rep.Clean() {
+			logf("resembled: store recovery sweep repaired: %s", rep)
+		}
+		store = st
+		// Give trace synthesis a durable second tier: one generation of
+		// each (workload, length, seed) per machine, not per process.
+		trace.Shared().AttachStore(store)
+	}
+
 	s, err := service.New(service.Config{
-		Addr:            *addr,
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		RequestTimeout:  *timeout,
-		DrainTimeout:    *drainT,
-		DefaultAccesses: *accesses,
-		CheckpointPath:  *ckpt,
-		CheckpointEvery: *ckptEvery,
-		Resume:          *resume,
-		Telemetry:       tel,
-		Logger:          logger,
-		PprofAddr:       *pprofAddr,
-		Profile:         service.ProfileConfig{Dir: *profDir},
+		Addr:               *addr,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drainT,
+		DefaultAccesses:    *accesses,
+		CheckpointPath:     *ckpt,
+		CheckpointEvery:    *ckptEvery,
+		Resume:             *resume,
+		Store:              store,
+		RunCheckpointEvery: *runCkp,
+		Telemetry:          tel,
+		Logger:             logger,
+		PprofAddr:          *pprofAddr,
+		Profile:            service.ProfileConfig{Dir: *profDir},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "resembled: %v\n", err)

@@ -22,12 +22,17 @@
 //	resemblefront -soak -soak.duration 10s
 //
 // runs the cluster chaos harness: three in-process backends behind a
-// front door, a determinism phase (merged windows byte-identical to a
-// single instance), a chaos phase (one backend killed mid-stream —
-// failover, ejection, restart, readmission; one backend wedged —
-// hedges fire), and a drain audit (ordered quiesce, zero lost
-// accepted requests, no leaked goroutines). Any violated assertion
-// exits nonzero.
+// front door sharing one artifact store, a determinism phase (merged
+// windows byte-identical to a single instance), a chaos phase (one
+// backend killed mid-stream — failover, ejection, restart,
+// readmission; one backend killed mid-run — the failover resumes the
+// run from its durable checkpoint on the next ring backend; one
+// backend wedged — hedges fire), a drain audit (ordered quiesce, zero
+// lost accepted requests, resumed runs byte-identical to a serial
+// replay, no leaked goroutines), and a store-corruption audit
+// (bit-flipped, truncated, torn-temp and index-dropped artifacts all
+// detected, never served, quarantined or repaired). Any violated
+// assertion exits nonzero.
 package main
 
 import (
@@ -40,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/cluster"
 	"resemble/internal/telemetry"
 )
@@ -59,6 +65,7 @@ type options struct {
 	timeout       time.Duration
 	drainTimeout  time.Duration
 	drainBackends bool
+	storeDir      string
 	telDir        string
 	logLevel      string
 	soak          bool
@@ -84,6 +91,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.timeout, "timeout", 120*time.Second, "per-request deadline across all attempts")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound")
 	fs.BoolVar(&o.drainBackends, "drain-backends", false, "quiesce the backends in address order when draining")
+	fs.StringVar(&o.storeDir, "store-dir", "", "shared artifact store root (must be the same filesystem path the backends use); failover retries resume interrupted runs from its checkpoints (empty = scratch retries)")
 	fs.StringVar(&o.telDir, "telemetry", "", "merged telemetry output directory (empty = off)")
 	fs.StringVar(&o.logLevel, "log-level", "info", "structured logging on stderr (debug|info|warn|error; empty disables)")
 	fs.BoolVar(&o.soak, "soak", false, "run the cluster chaos harness instead of serving")
@@ -140,6 +148,19 @@ func main() {
 		}
 	}
 
+	var store *cas.Store
+	if o.storeDir != "" {
+		st, rep, err := cas.Open(o.storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resemblefront: store: %v\n", err)
+			os.Exit(1)
+		}
+		if !rep.Clean() {
+			logf("resemblefront: store recovery sweep repaired: %s", rep)
+		}
+		store = st
+	}
+
 	f, err := cluster.New(cluster.Config{
 		Addr:           o.addr,
 		Backends:       o.backends,
@@ -151,6 +172,7 @@ func main() {
 		RequestTimeout: o.timeout,
 		DrainTimeout:   o.drainTimeout,
 		DrainBackends:  o.drainBackends,
+		Store:          store,
 		Probe: cluster.ProbeConfig{
 			Interval: o.probeEvery,
 			Timeout:  o.probeTimeout,

@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/cluster"
+	"resemble/internal/faults"
 	"resemble/internal/resilience"
 	"resemble/internal/service"
 	"resemble/internal/telemetry"
@@ -30,6 +34,10 @@ type clusterSoak struct {
 
 	front    *cluster.Front
 	frontTel *telemetry.Collector
+	// store is the fleet-shared artifact store: every backend
+	// checkpoints runs into it and the front door resumes failovers
+	// from it.
+	store *cas.Store
 	// sent is the admission-order request log every accepted request
 	// lands in; the final determinism audit replays it on a single
 	// instance and byte-compares the merged windows.
@@ -72,6 +80,10 @@ func (k *clusterSoak) startBackend(addr string) *backend {
 		DefaultAccesses: k.cfg.accesses,
 		Telemetry:       tel,
 		Chaos:           chaos,
+		Store:           k.store,
+		// Checkpoint densely so a kill at any point mid-run has a
+		// recent resume point behind it.
+		RunCheckpointEvery: 512,
 		// Arm breakers are per-instance adaptive state: which arms a
 		// run gets depends on the instance's history, so a fleet that
 		// sharded the history differently would legitimately diverge
@@ -168,6 +180,18 @@ func (k *clusterSoak) scrape() []telemetry.PromSample {
 
 func (k *clusterSoak) run() {
 	k.cfg.logf("cluster-soak: phase 1: 3-backend fleet, zero-fault determinism")
+	storeDir, err := os.MkdirTemp("", "resemble-cluster-soak-store-")
+	if err != nil {
+		k.failf("store dir: %v", err)
+		return
+	}
+	defer os.RemoveAll(storeDir)
+	store, rep, err := cas.Open(storeDir)
+	if err != nil || !rep.Clean() {
+		k.failf("shared store open: report %v, err %v", rep, err)
+		return
+	}
+	k.store = store
 	var backends []*backend
 	var addrs []string
 	for i := 0; i < 3; i++ {
@@ -200,6 +224,7 @@ func (k *clusterSoak) run() {
 		RequestTimeout: 60 * time.Second,
 		DrainTimeout:   15 * time.Second,
 		DrainBackends:  true,
+		Store:          store,
 		Probe: cluster.ProbeConfig{
 			Interval: 25 * time.Millisecond,
 			Breaker: resilience.BreakerConfig{
@@ -326,9 +351,123 @@ func (k *clusterSoak) run() {
 		k.passf("readmitted backend serves its keys again")
 	}
 
-	// Phase 3: wedge a living backend's handlers; the hedge must carry
+	// Phase 3: kill the owner of a long run mid-flight, once its
+	// periodic checkpoints are durable in the shared store. A dedicated
+	// hedge-free front drives this phase: with hedging on, a scratch
+	// hedge can already be in flight when the owner dies and win the
+	// race legitimately, proving nothing about resume. The failover
+	// retry must carry the run to the next ring backend with
+	// resume_from set, the continuation must report itself, and its
+	// window stream must be byte-identical to an undisturbed
+	// single-instance run.
+	k.cfg.logf("cluster-soak: phase 3: kill mid-run, resume on the next ring backend")
+	front2, err := cluster.New(cluster.Config{
+		Backends:       addrs,
+		MaxInFlight:    4,
+		RequestTimeout: 60 * time.Second,
+		DrainTimeout:   15 * time.Second,
+		Store:          store,
+		Probe:          cluster.ProbeConfig{Interval: 25 * time.Millisecond},
+		Logf:           k.cfg.logf,
+	})
+	if err != nil {
+		k.failf("resume front: %v", err)
+		return
+	}
+	if err := front2.Start(); err != nil {
+		k.failf("resume front start: %v", err)
+		return
+	}
+	resumeReq := service.Request{Workload: "433.milc", Controller: "bo",
+		Accesses: k.cfg.accesses * 40, Seed: 99, ReturnWindows: true}
+	seq := front2.Ring().Sequence(cluster.RouteKey(resumeReq))
+	if len(seq) < 2 {
+		k.failf("ring sequence too short for a failover: %v", seq)
+		return
+	}
+	owner := byAddr(seq[0])
+	// Earlier phases already ran store-backed runs on this backend, so
+	// gate the kill on checkpoint writes past a baseline, not on the
+	// cumulative counter.
+	ckpBase := owner.svc.Stats().RunCkpWrites
+	type resumeOutcome struct {
+		status int
+		out    service.Response
+	}
+	resCh := make(chan resumeOutcome, 1)
+	go func() {
+		body, _ := json.Marshal(resumeReq)
+		resp, err := http.Post("http://"+front2.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resCh <- resumeOutcome{}
+			return
+		}
+		defer resp.Body.Close()
+		var out service.Response
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		resCh <- resumeOutcome{resp.StatusCode, out}
+	}()
+	ckpDeadline := time.Now().Add(60 * time.Second)
+	for owner.svc.Stats().RunCkpWrites < ckpBase+2 && time.Now().Before(ckpDeadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if owner.svc.Stats().RunCkpWrites < ckpBase+2 {
+		k.failf("owner %s wrote no run checkpoints to kill against", seq[0])
+	}
+	owner.svc.Abort()
+	r := <-resCh
+	switch {
+	case r.status != http.StatusOK:
+		k.failf("killed-mid-run request: status %d (%s)", r.status, r.out.Error)
+	case r.out.ResumedFrom == "":
+		k.failf("failover retried from scratch: response carries no resumed_from")
+	default:
+		k.passf("phase 3: run killed on %s resumed on the next backend from checkpoint %.12s…",
+			seq[0], r.out.ResumedFrom)
+	}
+	if st := front2.Stats(); st.ResumedRetries != 1 {
+		k.failf("resume front stats %+v, want exactly 1 resumed retry", st)
+	}
+
+	// Byte-identity: the same request, uninterrupted, on a lone
+	// storeless instance must produce the same window stream.
+	refW := k.referenceWindows(resumeReq)
+	gotW, _ := json.Marshal(r.out.Windows)
+	wantW, _ := json.Marshal(refW)
+	if len(refW) == 0 || !bytes.Equal(gotW, wantW) {
+		k.failf("resumed-elsewhere windows diverge from a single instance (%d vs %d windows)",
+			len(r.out.Windows), len(refW))
+	} else {
+		k.passf("phase 3: resumed run byte-identical to a single instance (%d windows)", len(refW))
+	}
+	if err := front2.Close(); err != nil {
+		k.failf("resume front close: %v", err)
+	}
+
+	// Reap the killed owner and restore the 3-wide fleet for the
+	// remaining phases, waiting out breaker readmission as before.
+	if err := owner.svc.Close(); err != nil {
+		k.failf("reaping killed owner: %v", err)
+	}
+	if err := owner.tel.Close(); err != nil {
+		k.failf("killed owner telemetry close: %v", err)
+	}
+	replacement = k.startBackend(seq[0])
+	if replacement == nil {
+		return
+	}
+	backends[indexOf(addrs, seq[0])] = replacement
+	readmitDeadline = time.Now().Add(k.cfg.duration)
+	for front.Health().Breaker(seq[0]).State() != resilience.Closed && time.Now().Before(readmitDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := front.Health().Breaker(seq[0]).State(); st != resilience.Closed {
+		k.failf("backend restarted after mid-run kill not readmitted (breaker %v)", st)
+	}
+
+	// Phase 4: wedge a living backend's handlers; the hedge must carry
 	// its keys to the next backend inside the tail-latency budget.
-	k.cfg.logf("cluster-soak: phase 3: wedged backend, hedged requests")
+	k.cfg.logf("cluster-soak: phase 4: wedged backend, hedged requests")
 	wedgeReq := service.Request{Workload: "433.lbm", Controller: "resemble-t", Accesses: k.cfg.accesses, Seed: 77}
 	wedgeAddr, _ := front.Ring().Lookup(cluster.RouteKey(wedgeReq))
 	wedged := byAddr(wedgeAddr)
@@ -348,8 +487,8 @@ func (k *clusterSoak) run() {
 	}
 	wedged.chaos.Stop()
 
-	// Phase 4: ordered drain and the fleet-wide determinism audit.
-	k.cfg.logf("cluster-soak: phase 4: ordered drain + merged-window determinism audit")
+	// Phase 5: ordered drain and the fleet-wide determinism audit.
+	k.cfg.logf("cluster-soak: phase 5: ordered drain + merged-window determinism audit")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := front.Drain(ctx); err != nil {
@@ -435,6 +574,133 @@ func (k *clusterSoak) run() {
 	if err := k.frontTel.Close(); err != nil {
 		k.failf("front telemetry close: %v", err)
 	}
+
+	// Phase 6: store corruption arms on a scratch store — every way the
+	// bytes can rot while the process is away must be detected on read,
+	// never served, and quarantined or repaired by the recovery sweep.
+	k.cfg.logf("cluster-soak: phase 6: store corruption arms")
+	for _, arm := range faults.StoreArms() {
+		k.corruptionArm(arm)
+	}
+}
+
+// referenceWindows runs req, uninterrupted, on a fresh storeless
+// single instance and returns its window stream.
+func (k *clusterSoak) referenceWindows(req service.Request) []telemetry.WindowSnapshot {
+	tel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		k.failf("reference telemetry: %v", err)
+		return nil
+	}
+	svc, err := service.New(service.Config{
+		Workers:         1,
+		DefaultAccesses: k.cfg.accesses,
+		Telemetry:       tel,
+		Breaker:         resilience.BreakerConfig{FailureThreshold: 1 << 30},
+	})
+	if err != nil {
+		k.failf("reference instance: %v", err)
+		return nil
+	}
+	if err := svc.Start(); err != nil {
+		k.failf("reference start: %v", err)
+		return nil
+	}
+	defer func() {
+		if err := svc.Close(); err != nil {
+			k.failf("reference close: %v", err)
+		}
+		if err := tel.Close(); err != nil {
+			k.failf("reference telemetry close: %v", err)
+		}
+	}()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+svc.Addr()+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		k.failf("reference request: %v", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	var out service.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		k.failf("reference decode: %v", err)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		k.failf("reference run: status %d (%s)", resp.StatusCode, out.Error)
+		return nil
+	}
+	return out.Windows
+}
+
+// corruptionArm seeds a scratch store with one tagged blob, injects
+// one corruption, reopens, and asserts the store's durability
+// contract for that arm.
+func (k *clusterSoak) corruptionArm(arm faults.StoreArm) {
+	dir, err := os.MkdirTemp("", "resemble-soak-corrupt-")
+	if err != nil {
+		k.failf("%s: scratch dir: %v", arm, err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, rep, err := cas.Open(dir)
+	if err != nil || !rep.Clean() {
+		k.failf("%s: scratch store open: report %v, err %v", arm, rep, err)
+		return
+	}
+	payload := bytes.Repeat([]byte("soak artifact payload "), 64)
+	id, err := st.PutTagged(cas.KindCheckpoint, payload, "ckp/soak/latest")
+	if err != nil {
+		k.failf("%s: seed blob: %v", arm, err)
+		return
+	}
+	if err := faults.InjectStoreFault(dir, arm, cas.KindCheckpoint, id, 7); err != nil {
+		k.failf("%s: inject: %v", arm, err)
+		return
+	}
+	st2, rep2, err := cas.Open(dir)
+	if err != nil {
+		k.failf("%s: reopen after corruption: %v", arm, err)
+		return
+	}
+	data, _, gerr := st2.Get(id)
+	switch arm {
+	case faults.BlobBitFlip, faults.BlobTruncate:
+		if rep2.Corrupt != 1 {
+			k.failf("%s: sweep report %v, want 1 corrupt blob", arm, rep2)
+			return
+		}
+		if !errors.Is(gerr, cas.ErrNotFound) || data != nil {
+			k.failf("%s: corrupt blob still serveable (err %v, %d bytes)", arm, gerr, len(data))
+			return
+		}
+	case faults.TornTempFile:
+		if rep2.TornTemps != 1 {
+			k.failf("%s: sweep report %v, want 1 torn temp", arm, rep2)
+			return
+		}
+		if gerr != nil || !bytes.Equal(data, payload) {
+			k.failf("%s: committed blob damaged by a neighboring torn temp: %v", arm, gerr)
+			return
+		}
+	case faults.IndexEntryDrop:
+		if rep2.Adopted != 1 {
+			k.failf("%s: sweep report %v, want 1 adopted orphan", arm, rep2)
+			return
+		}
+		if gerr != nil || !bytes.Equal(data, payload) {
+			k.failf("%s: re-adopted orphan not served intact: %v", arm, gerr)
+			return
+		}
+	}
+	if arm != faults.IndexEntryDrop {
+		q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+		if len(q) == 0 {
+			k.failf("%s: nothing landed in quarantine", arm)
+			return
+		}
+	}
+	k.passf("phase 6: %s detected and contained (sweep: %s)", arm, rep2)
 }
 
 // dumpDivergence pinpoints the first window where the fleet's merged

@@ -1,0 +1,617 @@
+// Package cas implements a durable content-addressed artifact store:
+// blobs identified by the SHA-256 of their content, written atomically
+// (temp + rename, the checkpoint.WriteFileRetry idiom), verified
+// against their full hash on every read, reference-counted for GC and
+// addressable through named tags.
+//
+// The store holds the three artifact kinds the fleet shares between
+// instances — generated traces, checkpoint containers and serialized
+// DQN/tabular models — so identical workloads generate once per
+// machine, a run interrupted on one backend resumes on another from
+// its last durable checkpoint, and trained state warm-starts new
+// instances.
+//
+// Layout under the store root:
+//
+//	blobs/<kind>/<hh>/<hex64>   blob files (hh = first two hex digits)
+//	index                       the blob/tag index (see index.go)
+//	quarantine/                 corrupt or torn files moved aside
+//
+// Durability contract (DESIGN.md §14):
+//
+//   - writes are atomic: a blob either exists under its final name
+//     with exactly its content, or not at all — a crash mid-write
+//     leaves only a torn temp file, never a half blob;
+//   - reads verify: Get recomputes the full SHA-256 and refuses to
+//     return bytes that do not hash to the requested ID — a corrupt
+//     blob is quarantined, never served;
+//   - the index is authoritative: a blob without an index entry is
+//     not served (Get reports ErrNotFound) until the recovery sweep
+//     re-verifies and re-adopts it;
+//   - Open sweeps: torn temp files are quarantined, every indexed
+//     blob is re-verified (corrupt ones quarantined), verified
+//     orphans are re-adopted, and dangling index entries dropped —
+//     so a store that just survived a SIGKILL opens clean.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an artifact. The kind is part of the on-disk layout
+// so the recovery sweep can re-adopt orphan blobs with their kind
+// intact.
+type Kind string
+
+// The artifact kinds the store accepts.
+const (
+	KindTrace      Kind = "trace"
+	KindCheckpoint Kind = "checkpoint"
+	KindModel      Kind = "model"
+)
+
+// Kinds lists the accepted artifact kinds.
+func Kinds() []Kind { return []Kind{KindTrace, KindCheckpoint, KindModel} }
+
+func validKind(k Kind) bool {
+	switch k {
+	case KindTrace, KindCheckpoint, KindModel:
+		return true
+	}
+	return false
+}
+
+// ID is a content identifier: the SHA-256 of the blob's bytes.
+type ID [sha256.Size]byte
+
+// Sum computes the content ID of data.
+func Sum(data []byte) ID { return sha256.Sum256(data) }
+
+// String returns the lowercase hex form of the ID.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the zero value (no blob hashes to
+// it in practice; used as the "absent" sentinel).
+func (id ID) IsZero() bool { return id == ID{} }
+
+// ParseID parses the 64-hex-digit form of an ID.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if len(s) != hex.EncodedLen(sha256.Size) {
+		return id, fmt.Errorf("cas: bad ID length %d (want %d hex digits)", len(s), hex.EncodedLen(sha256.Size))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("cas: bad ID: %w", err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Errors returned by store operations.
+var (
+	// ErrNotFound reports an ID or tag the index does not know.
+	ErrNotFound = errors.New("cas: artifact not found")
+	// ErrCorrupt reports a blob whose bytes no longer hash to its ID;
+	// the blob has been quarantined and will never be served.
+	ErrCorrupt = errors.New("cas: artifact corrupt (quarantined)")
+)
+
+// entry is one indexed blob.
+type entry struct {
+	kind Kind
+	size int64
+	refs int
+}
+
+// Store is a concurrency-safe content-addressed artifact store rooted
+// at one directory. All mutating operations persist the index
+// atomically before returning.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	blob map[ID]*entry
+	tags map[string]ID
+
+	stats Stats
+}
+
+// Stats is a point-in-time snapshot of store effectiveness counters.
+type Stats struct {
+	Blobs       int    `json:"blobs"`
+	Bytes       int64  `json:"bytes"`
+	Tags        int    `json:"tags"`
+	Puts        uint64 `json:"puts"`
+	PutDedups   uint64 `json:"put_dedups"`
+	Gets        uint64 `json:"gets"`
+	GetMisses   uint64 `json:"get_misses"`
+	CorruptGets uint64 `json:"corrupt_gets"`
+	Quarantined uint64 `json:"quarantined"`
+	GCRemoved   uint64 `json:"gc_removed"`
+}
+
+// SweepReport describes what the crash-recovery sweep found and did
+// while opening the store.
+type SweepReport struct {
+	// TornTemps counts temp files from interrupted writes moved to
+	// quarantine.
+	TornTemps int
+	// Corrupt counts blobs whose content no longer hashed to their
+	// name; all were quarantined.
+	Corrupt int
+	// Adopted counts verified orphan blobs (present on disk, missing
+	// from the index) re-added with zero refs.
+	Adopted int
+	// Dangling counts index entries whose blob file was missing; all
+	// were dropped.
+	Dangling int
+	// IndexRebuilt reports that the index file was unreadable or
+	// corrupt and was quarantined and rebuilt from the blobs.
+	IndexRebuilt bool
+}
+
+// Clean reports a sweep that found nothing to repair.
+func (r SweepReport) Clean() bool {
+	return r.TornTemps == 0 && r.Corrupt == 0 && r.Adopted == 0 && r.Dangling == 0 && !r.IndexRebuilt
+}
+
+func (r SweepReport) String() string {
+	if r.Clean() {
+		return "clean"
+	}
+	return fmt.Sprintf("torn_temps=%d corrupt=%d adopted=%d dangling=%d index_rebuilt=%v",
+		r.TornTemps, r.Corrupt, r.Adopted, r.Dangling, r.IndexRebuilt)
+}
+
+// Open opens (creating if needed) the store rooted at dir, running the
+// crash-recovery sweep before returning: torn temp files are
+// quarantined, every blob is re-verified against its full hash
+// (corrupt blobs quarantined), verified orphans re-adopted, dangling
+// index entries dropped, and the repaired index persisted.
+func Open(dir string) (*Store, SweepReport, error) {
+	s := &Store{dir: dir, blob: map[ID]*entry{}, tags: map[string]ID{}}
+	for _, d := range []string{dir, filepath.Join(dir, "blobs"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, SweepReport{}, fmt.Errorf("cas: %w", err)
+		}
+	}
+	rep, err := s.sweep()
+	if err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) blobPath(kind Kind, id ID) string {
+	h := id.String()
+	return filepath.Join(s.dir, "blobs", string(kind), h[:2], h)
+}
+
+// quarantine moves path into the quarantine directory under a
+// reason-stamped name; collisions get a numeric suffix. Called with
+// s.mu held (or during the single-threaded sweep).
+func (s *Store) quarantine(path, reason string) {
+	base := filepath.Base(path) + "." + reason
+	dst := filepath.Join(s.dir, "quarantine", base)
+	for i := 1; ; i++ {
+		if _, err := os.Lstat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(s.dir, "quarantine", fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		// A quarantine that cannot move the file must still get it out
+		// of serving; removal is the fallback.
+		_ = os.Remove(path)
+	}
+	s.stats.Quarantined++
+}
+
+// Put stores data under its content ID, deduplicating against an
+// existing identical blob, and persists the index. The write is
+// atomic: temp file in the destination directory, sync, rename.
+func (s *Store) Put(kind Kind, data []byte) (ID, error) {
+	return s.PutTagged(kind, data)
+}
+
+// PutTagged stores data and, under the same lock, points each named
+// tag at it — so a concurrent GC can never collect the blob between
+// the put and the tag.
+func (s *Store) PutTagged(kind Kind, data []byte, tags ...string) (ID, error) {
+	if !validKind(kind) {
+		return ID{}, fmt.Errorf("cas: unknown kind %q", kind)
+	}
+	for _, t := range tags {
+		if err := validateTag(t); err != nil {
+			return ID{}, err
+		}
+	}
+	id := Sum(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	if e, ok := s.blob[id]; ok {
+		if e.kind != kind {
+			return ID{}, fmt.Errorf("cas: %s already stored as kind %q, not %q", id, e.kind, kind)
+		}
+		s.stats.PutDedups++
+	} else {
+		path := s.blobPath(kind, id)
+		if err := writeFileAtomic(path, data); err != nil {
+			return ID{}, err
+		}
+		s.blob[id] = &entry{kind: kind, size: int64(len(data))}
+		s.stats.Blobs++
+		s.stats.Bytes += int64(len(data))
+	}
+	for _, t := range tags {
+		s.tags[t] = id
+	}
+	if err := s.persistIndex(); err != nil {
+		return ID{}, err
+	}
+	return id, nil
+}
+
+// Get returns the blob's bytes and kind after recomputing and checking
+// its full SHA-256. A blob that fails verification is quarantined, its
+// index entry dropped, and ErrCorrupt returned; an ID the index does
+// not know returns ErrNotFound even if a file happens to exist on disk
+// (the index is authoritative until the recovery sweep re-verifies).
+func (s *Store) Get(id ID) ([]byte, Kind, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	e, ok := s.blob[id]
+	if !ok {
+		s.stats.GetMisses++
+		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	path := s.blobPath(e.kind, id)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// The file went away underneath the index: drop the entry so
+		// the miss is not repeated, surface as not-found.
+		s.dropEntryLocked(id)
+		_ = s.persistIndex()
+		s.stats.GetMisses++
+		return nil, "", fmt.Errorf("%w: %s (blob file unreadable: %v)", ErrNotFound, id, err)
+	}
+	if Sum(data) != id {
+		s.stats.CorruptGets++
+		s.quarantine(path, "hash-mismatch")
+		s.dropEntryLocked(id)
+		_ = s.persistIndex()
+		return nil, "", fmt.Errorf("%w: %s (%d bytes on disk)", ErrCorrupt, id, len(data))
+	}
+	return data, e.kind, nil
+}
+
+// dropEntryLocked removes id from the in-memory index together with
+// every tag pointing at it. Called with s.mu held.
+func (s *Store) dropEntryLocked(id ID) {
+	if e, ok := s.blob[id]; ok {
+		s.stats.Blobs--
+		s.stats.Bytes -= e.size
+		delete(s.blob, id)
+	}
+	for name, tid := range s.tags {
+		if tid == id {
+			delete(s.tags, name)
+		}
+	}
+}
+
+// Has reports whether the index knows id.
+func (s *Store) Has(id ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blob[id]
+	return ok
+}
+
+// Stat returns a blob's kind, size and refcount.
+func (s *Store) Stat(id ID) (kind Kind, size int64, refs int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.blob[id]
+	if !ok {
+		return "", 0, 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return e.kind, e.size, e.refs, nil
+}
+
+// validateTag bounds tag names to a single printable token so the
+// line-oriented index stays parseable.
+func validateTag(name string) error {
+	if name == "" || len(name) > 512 {
+		return fmt.Errorf("cas: invalid tag name %q", name)
+	}
+	if strings.ContainsAny(name, " \t\r\n") {
+		return fmt.Errorf("cas: tag name %q contains whitespace", name)
+	}
+	return nil
+}
+
+// Tag points name at an existing blob and persists the index. Tags are
+// GC roots: a tagged blob survives GC regardless of its refcount.
+func (s *Store) Tag(name string, id ID) error {
+	if err := validateTag(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blob[id]; !ok {
+		return fmt.Errorf("%w: %s (cannot tag)", ErrNotFound, id)
+	}
+	s.tags[name] = id
+	return s.persistIndex()
+}
+
+// Resolve returns the blob a tag points at.
+func (s *Store) Resolve(name string) (ID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.tags[name]
+	return id, ok
+}
+
+// Untag removes a tag; it reports whether the tag existed.
+func (s *Store) Untag(name string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tags[name]; !ok {
+		return false, nil
+	}
+	delete(s.tags, name)
+	return true, s.persistIndex()
+}
+
+// UntagPrefix removes every tag with the given prefix (e.g. all of a
+// completed run's checkpoint tags) and returns how many were removed.
+func (s *Store) UntagPrefix(prefix string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name := range s.tags {
+		if strings.HasPrefix(name, prefix) {
+			delete(s.tags, name)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return n, s.persistIndex()
+}
+
+// Tags returns the tag names with the given prefix, sorted.
+func (s *Store) Tags(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name := range s.tags {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRef pins a blob against GC; Release unpins it.
+func (s *Store) AddRef(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.blob[id]
+	if !ok {
+		return fmt.Errorf("%w: %s (cannot ref)", ErrNotFound, id)
+	}
+	e.refs++
+	return s.persistIndex()
+}
+
+// Release drops one reference (floor zero).
+func (s *Store) Release(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.blob[id]
+	if !ok {
+		return fmt.Errorf("%w: %s (cannot release)", ErrNotFound, id)
+	}
+	if e.refs > 0 {
+		e.refs--
+	}
+	return s.persistIndex()
+}
+
+// GC removes every blob with zero references and no tag pointing at
+// it, returning how many blobs and bytes were reclaimed.
+func (s *Store) GC() (removed int, bytes int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rooted := map[ID]bool{}
+	for _, id := range s.tags {
+		rooted[id] = true
+	}
+	for id, e := range s.blob {
+		if e.refs > 0 || rooted[id] {
+			continue
+		}
+		if rmErr := os.Remove(s.blobPath(e.kind, id)); rmErr != nil && !os.IsNotExist(rmErr) {
+			if err == nil {
+				err = fmt.Errorf("cas: gc: %w", rmErr)
+			}
+			continue
+		}
+		removed++
+		bytes += e.size
+		s.stats.GCRemoved++
+		s.stats.Blobs--
+		s.stats.Bytes -= e.size
+		delete(s.blob, id)
+	}
+	if removed > 0 {
+		if perr := s.persistIndex(); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return removed, bytes, err
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Tags = len(s.tags)
+	return st
+}
+
+// writeFileAtomic lands data under path with the temp + sync + rename
+// idiom shared with checkpoint.WriteFileVia: a crash at any point
+// leaves either the previous state or a torn *.tmp* file for the
+// recovery sweep — never a half-written blob under the final name.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("cas: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cas: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cas: %w", err)
+	}
+	return nil
+}
+
+// persistIndex writes the index atomically. Called with s.mu held.
+func (s *Store) persistIndex() error {
+	return writeFileAtomic(filepath.Join(s.dir, "index"), encodeIndex(s.blob, s.tags))
+}
+
+// sweep is the crash-recovery pass Open runs: see SweepReport.
+func (s *Store) sweep() (SweepReport, error) {
+	var rep SweepReport
+
+	// 1. Torn temp files anywhere under the store (except quarantine
+	// itself) are interrupted writes: quarantine them.
+	qdir := filepath.Join(s.dir, "quarantine")
+	_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path == qdir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.Contains(d.Name(), ".tmp") {
+			s.quarantine(path, "torn-temp")
+			rep.TornTemps++
+		}
+		return nil
+	})
+
+	// 2. Load the index; a corrupt index is quarantined and rebuilt
+	// from the blobs themselves (content addressing makes the blobs
+	// self-describing, so only refcounts and tags are lost).
+	idxPath := filepath.Join(s.dir, "index")
+	declared := map[ID]*entry{}
+	if raw, err := os.ReadFile(idxPath); err == nil {
+		blobs, tags, perr := parseIndex(raw)
+		if perr != nil {
+			s.quarantine(idxPath, "corrupt-index")
+			rep.IndexRebuilt = true
+		} else {
+			declared = blobs
+			s.tags = tags
+		}
+	} else if !os.IsNotExist(err) {
+		return rep, fmt.Errorf("cas: reading index: %w", err)
+	}
+
+	// 3. Verify every blob on disk against its full hash. Corrupt or
+	// misnamed blobs are quarantined; verified blobs not in the index
+	// are adopted with zero refs.
+	onDisk := map[ID]bool{}
+	for _, kind := range Kinds() {
+		kdir := filepath.Join(s.dir, "blobs", string(kind))
+		_ = filepath.WalkDir(kdir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			id, perr := ParseID(d.Name())
+			if perr != nil {
+				s.quarantine(path, "bad-name")
+				rep.Corrupt++
+				return nil
+			}
+			data, rerr := os.ReadFile(path)
+			if rerr != nil || Sum(data) != id {
+				s.quarantine(path, "hash-mismatch")
+				rep.Corrupt++
+				return nil
+			}
+			onDisk[id] = true
+			e, known := declared[id]
+			if !known {
+				e = &entry{kind: kind, size: int64(len(data))}
+				rep.Adopted++
+			} else {
+				e.kind = kind // the path is ground truth for the kind
+				e.size = int64(len(data))
+			}
+			s.blob[id] = e
+			s.stats.Blobs++
+			s.stats.Bytes += e.size
+			return nil
+		})
+	}
+
+	// 4. Index entries with no surviving blob are dangling: drop them
+	// and every tag that pointed at them.
+	for id := range declared {
+		if !onDisk[id] {
+			rep.Dangling++
+		}
+	}
+	for name, id := range s.tags {
+		if _, ok := s.blob[id]; !ok {
+			delete(s.tags, name)
+		}
+	}
+
+	return rep, s.persistIndex()
+}

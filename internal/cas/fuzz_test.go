@@ -1,0 +1,56 @@
+package cas
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzCASIndex pins two properties of the index parser:
+//
+//  1. it never panics on arbitrary bytes;
+//  2. any input it accepts re-encodes canonically and parses back to
+//     the same blob set and tag set (the encoding is a fixed point).
+func FuzzCASIndex(f *testing.F) {
+	// Seed: a real index with blobs of each kind, tags, and refcounts.
+	blobs := map[ID]*entry{
+		Sum([]byte("t")): {kind: KindTrace, size: 1, refs: 0},
+		Sum([]byte("c")): {kind: KindCheckpoint, size: 9, refs: 2},
+		Sum([]byte("m")): {kind: KindModel, size: 1 << 20, refs: 1},
+	}
+	tags := map[string]ID{
+		"trace/433.milc/4000/1": Sum([]byte("t")),
+		"ckp/deadbeef/100":      Sum([]byte("c")),
+		"model/dqn/latest":      Sum([]byte("m")),
+	}
+	good := encodeIndex(blobs, tags)
+	f.Add(good)
+	f.Add(encodeIndex(map[ID]*entry{}, map[string]ID{}))
+	// Torn-write seed: the file cut mid-line.
+	f.Add(good[:len(good)*2/3])
+	// Bit-flip seed: CRC must catch a flipped payload byte.
+	flipped := append([]byte(nil), good...)
+	flipped[len(indexMagic)+3] ^= 0x10
+	f.Add(flipped)
+	// Wrong magic.
+	f.Add(append([]byte("RSMCAS99\n"), good[len(indexMagic)+1:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b1, t1, err := parseIndex(data)
+		if err != nil {
+			return
+		}
+		re := encodeIndex(b1, t1)
+		b2, t2, err := parseIndex(re)
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\ninput: %q\nre-encoded: %q", err, data, re)
+		}
+		if !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("re-encode round-trip changed the index\ninput: %q", data)
+		}
+		// Encoding is canonical: a second encode is byte-identical.
+		if again := encodeIndex(b2, t2); !bytes.Equal(re, again) {
+			t.Fatalf("encode not a fixed point\nfirst:  %q\nsecond: %q", re, again)
+		}
+	})
+}

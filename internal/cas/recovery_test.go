@@ -1,0 +1,162 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSIGKILLMidWriteRecovery simulates the on-disk state a process
+// killed mid-Put leaves behind — a torn temp file next to the blobs,
+// an index that may not mention the newest blob — and asserts the
+// recovery sweep quarantines the torn file, keeps every verified blob
+// servable, and reports exactly what it repaired. Runs under -race in
+// check.sh.
+func TestSIGKILLMidWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	good, err := s.PutTagged(KindCheckpoint, []byte("survived checkpoint"), "ckp/run/100")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A SIGKILL between CreateTemp and rename leaves a half-written
+	// temp file in the destination directory.
+	tornDir := filepath.Join(dir, "blobs", "checkpoint", "ab")
+	if err := os.MkdirAll(tornDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(tornDir, "abcdef.tmp123456")
+	if err := os.WriteFile(torn, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A SIGKILL between the blob rename and the index write leaves a
+	// verified orphan blob the index does not know.
+	orphanData := []byte("blob landed, index write never happened")
+	orphanID := Sum(orphanData)
+	orphanPath := s.blobPath(KindModel, orphanID)
+	if err := os.MkdirAll(filepath.Dir(orphanPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphanPath, orphanData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := mustOpen(t, dir)
+	if rep.TornTemps != 1 || rep.Adopted != 1 || rep.Corrupt != 0 || rep.Dangling != 0 {
+		t.Fatalf("sweep report = %v, want 1 torn temp + 1 adopted", rep)
+	}
+	if _, err := os.Lstat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn temp still in blobs dir: %v", err)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*torn-temp*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantined torn temps = %v, want 1", q)
+	}
+	// The pre-crash blob and its tag survive; the orphan serves too.
+	if id, ok := s2.Resolve("ckp/run/100"); !ok || id != good {
+		t.Fatalf("tag lost in recovery: (%s, %v)", id, ok)
+	}
+	if got, _, err := s2.Get(orphanID); err != nil || !bytes.Equal(got, orphanData) {
+		t.Fatalf("adopted orphan Get = (%q, %v)", got, err)
+	}
+	// A second open is clean: recovery converges.
+	_, rep2 := mustOpen(t, dir)
+	if !rep2.Clean() {
+		t.Fatalf("second sweep not clean: %v", rep2)
+	}
+}
+
+func TestSweepQuarantinesCorruptBlob(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	id, err := s.Put(KindTrace, []byte("will rot on disk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.blobPath(KindTrace, id)
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, dir)
+	if rep.Corrupt != 1 || rep.Dangling != 1 {
+		t.Fatalf("sweep report = %v, want corrupt=1 dangling=1", rep)
+	}
+	if _, _, err := s2.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt blob served after sweep: %v", err)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*hash-mismatch*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine = %v, want the corrupt blob", q)
+	}
+}
+
+func TestSweepDropsDanglingIndexEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	id, err := s.PutTagged(KindModel, []byte("blob about to vanish"), "model/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(s.blobPath(KindModel, id)); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, dir)
+	if rep.Dangling != 1 {
+		t.Fatalf("sweep report = %v, want dangling=1", rep)
+	}
+	if s2.Has(id) {
+		t.Fatal("dangling entry survived sweep")
+	}
+	if _, ok := s2.Resolve("model/latest"); ok {
+		t.Fatal("tag to dangling blob survived sweep")
+	}
+}
+
+func TestSweepRebuildsCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	data := []byte("content outlives the index")
+	id, err := s.Put(KindTrace, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torch the index file: truncate it mid-line.
+	idxPath := filepath.Join(dir, "index")
+	raw, _ := os.ReadFile(idxPath)
+	if err := os.WriteFile(idxPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, dir)
+	if !rep.IndexRebuilt || rep.Adopted != 1 {
+		t.Fatalf("sweep report = %v, want index_rebuilt with 1 adopted", rep)
+	}
+	got, _, err := s2.Get(id)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("blob lost with index: (%q, %v)", got, err)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*corrupt-index*"))
+	if len(q) != 1 {
+		t.Fatalf("quarantine = %v, want the corrupt index", q)
+	}
+}
+
+func TestSweepQuarantinesMisnamedBlob(t *testing.T) {
+	dir := t.TempDir()
+	_, _ = mustOpen(t, dir)
+	bad := filepath.Join(dir, "blobs", "trace", "zz", "not-a-hash")
+	if err := os.MkdirAll(filepath.Dir(bad), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, dir)
+	if rep.Corrupt != 1 {
+		t.Fatalf("sweep report = %v, want corrupt=1 for misnamed blob", rep)
+	}
+}

@@ -16,10 +16,16 @@
 // File format (little-endian):
 //
 //	magic    [8]byte  "RSMCKP01"
-//	version  uint32
+//	version  uint32   (2)
 //	nsect    uint32
-//	sections nsect × { nameLen uint16, name, dataLen uint64, data }
+//	sections nsect × { nameLen uint16, name, dataLen uint64, data,
+//	                   crc uint32 — IEEE CRC32 of name + data }
 //	crc      uint32   IEEE CRC32 of every preceding byte
+//
+// The container CRC detects any corruption; the per-section CRCs
+// localize it, so a CRC-mismatch error names the failing section and
+// its byte offset (SectionError) instead of reporting the container as
+// a whole.
 package checkpoint
 
 import (
@@ -32,8 +38,10 @@ import (
 	"os"
 )
 
-// Version is the current checkpoint format version.
-const Version = 1
+// Version is the current checkpoint format version. Version 2 added
+// per-section CRCs; version-1 files (which lack them) are rejected —
+// checkpoints are ephemeral run state, not an archival format.
+const Version = 2
 
 var ckpMagic = [8]byte{'R', 'S', 'M', 'C', 'K', 'P', '0', '1'}
 
@@ -42,6 +50,21 @@ var (
 	ErrBadMagic = errors.New("checkpoint: bad magic")
 	ErrBadCRC   = errors.New("checkpoint: CRC mismatch (file corrupt or truncated)")
 )
+
+// SectionError reports corruption localized to one section: its name
+// and the absolute byte offset of the section's payload in the file.
+// It wraps ErrBadCRC, so errors.Is(err, ErrBadCRC) still matches.
+type SectionError struct {
+	Name   string // section whose CRC failed
+	Offset int64  // byte offset of the section's payload
+	Len    int64  // payload length in bytes
+}
+
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("checkpoint: section %q: CRC mismatch at byte offset %d (%d-byte payload)", e.Name, e.Offset, e.Len)
+}
+
+func (e *SectionError) Unwrap() error { return ErrBadCRC }
 
 // Stater is implemented by every component that can snapshot its
 // complete run state into a checkpoint section and restore it later.
@@ -128,6 +151,14 @@ func (b *Builder) WriteTo(w io.Writer) (int64, error) {
 		if err := count(mw.Write(b.data[i])); err != nil {
 			return n, err
 		}
+		sc := crc32.NewIEEE()
+		sc.Write([]byte(name))
+		sc.Write(b.data[i])
+		var scb [4]byte
+		binary.LittleEndian.PutUint32(scb[:], sc.Sum32())
+		if err := count(mw.Write(scb[:])); err != nil {
+			return n, err
+		}
 	}
 	var foot [4]byte
 	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
@@ -150,8 +181,12 @@ type File struct {
 	sections map[string][]byte
 }
 
-// Read parses a checkpoint from r, validating the magic, version and
-// CRC before returning any section.
+// Read parses a checkpoint from r, validating the magic, version,
+// per-section CRCs and the container CRC before returning any section.
+// When corruption is localized to one section's bytes the error is a
+// *SectionError naming the section and byte offset; corruption the
+// sections cannot localize (header, footer, structure) reports
+// container-level ErrBadCRC.
 func Read(r io.Reader) (*File, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -164,9 +199,28 @@ func Read(r io.Reader) (*File, error) {
 		return nil, ErrBadMagic
 	}
 	body, foot := raw[:len(raw)-4], raw[len(raw)-4:]
-	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(foot) {
+	crcOK := crc32.ChecksumIEEE(body) == binary.LittleEndian.Uint32(foot)
+	f, perr := parseBody(body)
+	if perr != nil {
+		// A per-section CRC pinpoints the damage even when the
+		// container CRC also failed; anything else under a failed
+		// container CRC is reported container-level (the structure
+		// itself cannot be trusted).
+		var se *SectionError
+		if errors.As(perr, &se) || crcOK {
+			return nil, perr
+		}
 		return nil, ErrBadCRC
 	}
+	if !crcOK {
+		return nil, ErrBadCRC
+	}
+	return f, nil
+}
+
+// parseBody decodes the container body (everything before the footer),
+// verifying each section's CRC as it goes.
+func parseBody(body []byte) (*File, error) {
 	f := &File{sections: make(map[string][]byte)}
 	f.version = binary.LittleEndian.Uint32(body[8:12])
 	if f.version != Version {
@@ -193,12 +247,19 @@ func Read(r io.Reader) (*File, error) {
 		}
 		dl := binary.LittleEndian.Uint64(body[off : off+8])
 		off += 8
-		if dl > maxSectionSize || off+int(dl) > len(body) {
+		if dl > maxSectionSize || off+int(dl)+4 > len(body) {
 			return nil, fmt.Errorf("checkpoint: section %q: bad length %d", name, dl)
 		}
+		payload := body[off : off+int(dl)]
+		sc := crc32.NewIEEE()
+		sc.Write([]byte(name))
+		sc.Write(payload)
+		if got := binary.LittleEndian.Uint32(body[off+int(dl) : off+int(dl)+4]); got != sc.Sum32() {
+			return nil, &SectionError{Name: name, Offset: int64(off), Len: int64(dl)}
+		}
 		f.names = append(f.names, name)
-		f.sections[name] = body[off : off+int(dl)]
-		off += int(dl)
+		f.sections[name] = payload
+		off += int(dl) + 4
 	}
 	if off != len(body) {
 		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last section", len(body)-off)

@@ -2,7 +2,10 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"os"
@@ -81,6 +84,80 @@ func TestContainerCorruptionDetected(t *testing.T) {
 		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
 			t.Errorf("truncation to %d bytes not detected", cut)
 		}
+	}
+}
+
+// TestSectionCRCErrorNamesSectionAndOffset pins the v2 diagnosis
+// contract: a flipped payload byte is localized to its section, with
+// the section name and the payload's byte offset in the error, while
+// errors.Is(err, ErrBadCRC) still matches for callers that only care
+// that the file is corrupt.
+func TestSectionCRCErrorNamesSectionAndOffset(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := buildSample(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Layout: 16-byte header, then per section
+	// {nameLen(2), name, dataLen(8), data, crc(4)}.
+	metaLen := 2 + len("meta") + 8 + len("hello") + 4
+	stateOff := 16 + metaLen + 2 + len("state") + 8
+	bad := append([]byte(nil), raw...)
+	bad[stateOff+100] ^= 0x04 // flip a byte inside the "state" payload
+
+	_, err := Read(bytes.NewReader(bad))
+	var se *SectionError
+	if !errors.As(err, &se) {
+		t.Fatalf("corrupt section error = %v, want *SectionError", err)
+	}
+	if se.Name != "state" || se.Offset != int64(stateOff) || se.Len != 1000 {
+		t.Fatalf("SectionError = %+v, want name=state offset=%d len=1000", se, stateOff)
+	}
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("SectionError does not wrap ErrBadCRC: %v", err)
+	}
+	for _, want := range []string{`"state"`, "offset " + itoa(stateOff)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+
+	// A flip in the stored per-section CRC itself is also localized.
+	bad2 := append([]byte(nil), raw...)
+	bad2[16+metaLen-2] ^= 0x01 // inside meta's trailing CRC word
+	_, err = Read(bytes.NewReader(bad2))
+	if !errors.As(err, &se) || se.Name != "meta" {
+		t.Fatalf("flipped section CRC = %v, want SectionError for meta", err)
+	}
+
+	// Header/footer corruption stays container-level.
+	bad3 := append([]byte(nil), raw...)
+	bad3[len(bad3)-2] ^= 0x20
+	_, err = Read(bytes.NewReader(bad3))
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("footer flip = %v, want ErrBadCRC", err)
+	}
+	if errors.As(err, &se) {
+		t.Fatalf("footer flip misattributed to section %q", se.Name)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// Version-1 containers (no per-section CRCs) are rejected outright.
+func TestVersion1Rejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := buildSample(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 1 // rewrite the version field to 1
+	// Fix the container CRC so only the version differs.
+	body := raw[:len(raw)-4]
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(body))
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version 1") {
+		t.Fatalf("v1 container = %v, want unsupported-version error", err)
 	}
 }
 

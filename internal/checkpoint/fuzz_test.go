@@ -50,6 +50,13 @@ func FuzzLoad(f *testing.F) {
 	// Truncations of a valid container.
 	f.Add(seed[:len(seed)-5])
 	f.Add(seed[:9])
+	// Flipped-section-CRC seed: a single-section container whose
+	// per-section CRC word (the 4 bytes just before the footer) is
+	// corrupted — must be rejected as a SectionError, never accepted.
+	one := fuzzContainer(f, map[string][]byte{"meta": []byte("cursor=42")})
+	secCRC := append([]byte(nil), one...)
+	secCRC[len(secCRC)-6] ^= 0x01
+	f.Add(secCRC)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := Read(bytes.NewReader(data))

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/resilience"
 	"resemble/internal/service"
 	"resemble/internal/telemetry"
@@ -63,6 +64,17 @@ type Config struct {
 
 	// Probe parameterizes the active health prober.
 	Probe ProbeConfig
+
+	// Store, when non-nil, is the durable artifact store the backends
+	// checkpoint their runs into. A failover retry of an interrupted
+	// run then resolves the run's last durable checkpoint and forwards
+	// the request with resume_from set, so the next backend continues
+	// the run instead of restarting it — with byte-identical output,
+	// per the determinism contract. Requires the backends to share this
+	// store (same directory) and the request to carry an explicit
+	// accesses count (the front door cannot hash a run identity it
+	// doesn't fully know; accesses == 0 falls back to scratch retries).
+	Store *cas.Store
 
 	// Telemetry, when non-nil, carries the front door's registry
 	// metrics and receives every run's windows, merged in
@@ -121,6 +133,10 @@ type frontCounters struct {
 	shed, rejected              atomic.Uint64
 	failovers, hedges           atomic.Uint64
 	hedgeWins, retriesDenied    atomic.Uint64
+	// resumedRetries counts failover attempts forwarded with
+	// resume_from pointing at the interrupted run's last durable
+	// checkpoint (requires Config.Store).
+	resumedRetries atomic.Uint64
 }
 
 // Front is the cluster coordinator: one HTTP front door that
@@ -321,7 +337,7 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 	seq := f.admit()
 	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
 	defer cancel()
-	a := f.dispatch(ctx, RouteKey(req), payload)
+	a := f.dispatch(ctx, RouteKey(req), req, payload)
 
 	if a.status == http.StatusOK {
 		f.commits.commit(seq, a.resp.Windows)
@@ -394,7 +410,10 @@ func (a attempt) terminal() bool {
 // order; a failed attempt fails over to the next backend if the retry
 // budget allows, and a silent primary is hedged on the next backend
 // after HedgeAfter. The first success wins and cancels the rest.
-func (f *Front) dispatch(ctx context.Context, key string, payload []byte) attempt {
+// With a shared artifact store, each failover retry forwards the
+// request with resume_from set to the interrupted run's last durable
+// checkpoint, so the next backend continues instead of restarting.
+func (f *Front) dispatch(ctx context.Context, key string, req service.Request, payload []byte) attempt {
 	order := f.health.Order(f.ring.Sequence(key))
 	if f.cfg.MaxAttempts > 0 && len(order) > f.cfg.MaxAttempts {
 		order = order[:f.cfg.MaxAttempts]
@@ -412,6 +431,7 @@ func (f *Front) dispatch(ctx context.Context, key string, payload []byte) attemp
 		b := order[launched]
 		launched++
 		bc := f.perBack[b]
+		p := payload
 		switch {
 		case hedged:
 			f.stats.hedges.Add(1)
@@ -422,8 +442,15 @@ func (f *Front) dispatch(ctx context.Context, key string, payload []byte) attemp
 			if bc != nil {
 				bc.retries.Add(1)
 			}
+			// A failover retry means the previous backend's attempt died
+			// mid-run; resolve its freshest durable checkpoint (the
+			// checkpoint sink fires at interrupt and periodically, so one
+			// usually exists) and hand the run over where it left off.
+			if rp := f.resumePayload(req); rp != nil {
+				p = rp
+			}
 		}
-		go func() { results <- f.tryBackend(actx, b, payload, hedged) }()
+		go func() { results <- f.tryBackend(actx, b, p, hedged) }()
 	}
 	launch(false)
 
@@ -482,6 +509,33 @@ func (f *Front) dispatch(ctx context.Context, key string, payload []byte) attemp
 	}
 }
 
+// resumePayload re-marshals req with resume_from set to the run's
+// last durable checkpoint in the shared store. nil (scratch retry)
+// when there is no store, the run identity is not fully known
+// (accesses omitted — the backend default is the backend's business),
+// or no checkpoint of this run is durable yet.
+func (f *Front) resumePayload(req service.Request) []byte {
+	if f.cfg.Store == nil || req.Accesses <= 0 {
+		return nil
+	}
+	key := service.RunKey(req)
+	id, ok := f.cfg.Store.Resolve(service.CheckpointLatestTag(key))
+	if !ok {
+		// The run died before its first durable checkpoint: the retry
+		// replays from record zero, which determinism makes equivalent.
+		f.cfg.Logf("cluster: failover retries run %.12s… from scratch (no durable checkpoint)", key)
+		return nil
+	}
+	req.ResumeFrom = id.String()
+	p, err := json.Marshal(req)
+	if err != nil {
+		return nil
+	}
+	f.stats.resumedRetries.Add(1)
+	f.cfg.Logf("cluster: failover resumes run %.12s… from checkpoint %.12s…", key, req.ResumeFrom)
+	return p
+}
+
 // tryBackend performs one backend round trip. Transport failures and
 // timeouts feed the backend's breaker; a plain HTTP answer of any
 // status reports healthy (the server is alive — readiness is the
@@ -538,37 +592,41 @@ func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // Stats is the front door's JSON counter view.
 type Stats struct {
-	State         string          `json:"state"`
-	Admitted      uint64          `json:"requests_admitted"`
-	Completed     uint64          `json:"requests_completed"`
-	Failed        uint64          `json:"requests_failed"`
-	Shed          uint64          `json:"requests_shed"`
-	Rejected      uint64          `json:"requests_rejected"`
-	Failovers     uint64          `json:"failovers"`
-	Hedges        uint64          `json:"hedges"`
-	HedgeWins     uint64          `json:"hedge_wins"`
-	RetriesDenied uint64          `json:"retries_denied"`
-	RetryTokens   float64         `json:"retry_tokens"`
-	MergePending  int             `json:"merge_pending"`
-	Backends      []BackendStatus `json:"backends"`
+	State         string `json:"state"`
+	Admitted      uint64 `json:"requests_admitted"`
+	Completed     uint64 `json:"requests_completed"`
+	Failed        uint64 `json:"requests_failed"`
+	Shed          uint64 `json:"requests_shed"`
+	Rejected      uint64 `json:"requests_rejected"`
+	Failovers     uint64 `json:"failovers"`
+	Hedges        uint64 `json:"hedges"`
+	HedgeWins     uint64 `json:"hedge_wins"`
+	RetriesDenied uint64 `json:"retries_denied"`
+	// ResumedRetries counts failover attempts that carried resume_from
+	// (a shared store held a durable checkpoint of the dying run).
+	ResumedRetries uint64          `json:"resumed_retries"`
+	RetryTokens    float64         `json:"retry_tokens"`
+	MergePending   int             `json:"merge_pending"`
+	Backends       []BackendStatus `json:"backends"`
 }
 
 // Stats snapshots the front counters and per-backend health.
 func (f *Front) Stats() Stats {
 	return Stats{
-		State:         f.State().String(),
-		Admitted:      f.stats.admitted.Load(),
-		Completed:     f.stats.completed.Load(),
-		Failed:        f.stats.failed.Load(),
-		Shed:          f.stats.shed.Load(),
-		Rejected:      f.stats.rejected.Load(),
-		Failovers:     f.stats.failovers.Load(),
-		Hedges:        f.stats.hedges.Load(),
-		HedgeWins:     f.stats.hedgeWins.Load(),
-		RetriesDenied: f.stats.retriesDenied.Load(),
-		RetryTokens:   f.budget.Tokens(),
-		MergePending:  f.commits.pending(),
-		Backends:      f.health.Status(),
+		State:          f.State().String(),
+		Admitted:       f.stats.admitted.Load(),
+		Completed:      f.stats.completed.Load(),
+		Failed:         f.stats.failed.Load(),
+		Shed:           f.stats.shed.Load(),
+		Rejected:       f.stats.rejected.Load(),
+		Failovers:      f.stats.failovers.Load(),
+		Hedges:         f.stats.hedges.Load(),
+		HedgeWins:      f.stats.hedgeWins.Load(),
+		RetriesDenied:  f.stats.retriesDenied.Load(),
+		ResumedRetries: f.stats.resumedRetries.Load(),
+		RetryTokens:    f.budget.Tokens(),
+		MergePending:   f.commits.pending(),
+		Backends:       f.health.Status(),
 	}
 }
 
@@ -594,6 +652,11 @@ func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Counters["cluster.hedges"] = st.Hedges
 	snap.Counters["cluster.hedge.wins"] = st.HedgeWins
 	snap.Counters["cluster.retries.denied"] = st.RetriesDenied
+	// Exposed as cluster_retry_budget_exhausted_total: each increment is
+	// one failover the shared token bucket refused, i.e. the moment the
+	// fleet stopped amplifying what looks like a correlated outage.
+	snap.Counters["cluster.retry.budget.exhausted"] = st.RetriesDenied
+	snap.Counters["cluster.failover.resumes"] = st.ResumedRetries
 	snap.Gauges["cluster.retry.budget"] = st.RetryTokens
 	snap.Gauges["cluster.inflight"] = float64(len(f.tokens))
 	snap.Gauges["cluster.inflight.max"] = float64(cap(f.tokens))

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resemble/internal/cas"
+)
+
+// seedStore opens a fresh store in dir and deposits one tagged blob.
+func seedStore(t *testing.T, dir string) (*cas.Store, cas.ID, []byte) {
+	t.Helper()
+	s, rep, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fresh store sweep: %v", rep)
+	}
+	payload := bytes.Repeat([]byte("durable artifact payload "), 64)
+	id, err := s.PutTagged(cas.KindCheckpoint, payload, "ckp/victim/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, id, payload
+}
+
+func quarantined(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestStoreArmsCorruptBlob covers the two arms that damage the blob
+// bytes in place: the corruption must be detected on the very next
+// read, the damaged bytes must never be served, and the blob must land
+// in quarantine — both when the damage is noticed by a live Get and
+// when a fresh open's recovery sweep finds it first.
+func TestStoreArmsCorruptBlob(t *testing.T) {
+	for _, arm := range []StoreArm{BlobBitFlip, BlobTruncate} {
+		t.Run(arm.String(), func(t *testing.T) {
+			t.Run("detected on read", func(t *testing.T) {
+				dir := t.TempDir()
+				s, id, _ := seedStore(t, dir)
+				if err := InjectStoreFault(dir, arm, cas.KindCheckpoint, id, 7); err != nil {
+					t.Fatal(err)
+				}
+				data, _, err := s.Get(id)
+				if !errors.Is(err, cas.ErrCorrupt) {
+					t.Fatalf("Get after %s: err = %v, want ErrCorrupt", arm, err)
+				}
+				if data != nil {
+					t.Fatalf("Get served %d corrupt bytes alongside the error", len(data))
+				}
+				if q := quarantined(t, dir); len(q) != 1 {
+					t.Fatalf("quarantine after corrupt Get: %v, want exactly the damaged blob", q)
+				}
+				// The store healed itself: a reopen finds nothing left to repair.
+				if _, rep, err := cas.Open(dir); err != nil || !rep.Clean() {
+					t.Fatalf("reopen after quarantine: report %v, err %v", rep, err)
+				}
+			})
+			t.Run("quarantined by sweep", func(t *testing.T) {
+				dir := t.TempDir()
+				_, id, _ := seedStore(t, dir)
+				if err := InjectStoreFault(dir, arm, cas.KindCheckpoint, id, 7); err != nil {
+					t.Fatal(err)
+				}
+				s2, rep, err := cas.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Corrupt != 1 {
+					t.Fatalf("sweep report %v, want 1 corrupt blob", rep)
+				}
+				if _, _, err := s2.Get(id); !errors.Is(err, cas.ErrNotFound) {
+					t.Fatalf("Get of swept-out blob: err = %v, want ErrNotFound", err)
+				}
+				if q := quarantined(t, dir); len(q) != 1 {
+					t.Fatalf("quarantine after sweep: %v", q)
+				}
+			})
+		})
+	}
+}
+
+// TestStoreArmTornTemp: a temp file left by an interrupted write is
+// quarantined by the sweep and the committed blob stays intact.
+func TestStoreArmTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	_, id, payload := seedStore(t, dir)
+	if err := InjectStoreFault(dir, TornTempFile, cas.KindCheckpoint, id, 99); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTemps != 1 || rep.Corrupt != 0 {
+		t.Fatalf("sweep report %v, want 1 torn temp and nothing else", rep)
+	}
+	data, kind, err := s2.Get(id)
+	if err != nil || kind != cas.KindCheckpoint || !bytes.Equal(data, payload) {
+		t.Fatalf("committed blob perturbed by a neighboring torn temp: kind %q err %v", kind, err)
+	}
+	// The torn file is out of the serving tree, not deleted evidence.
+	q := quarantined(t, dir)
+	if len(q) != 1 || !strings.Contains(q[0], "torn-temp") {
+		t.Fatalf("quarantine = %v, want the torn temp tagged with its reason", q)
+	}
+	err = filepath.WalkDir(filepath.Join(dir, "blobs"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("torn temp survived the sweep in the serving tree: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreArmIndexDrop: a lost index update leaves the blob as an
+// orphan; the sweep re-adopts it with its kind and bytes intact (tags
+// are gone — they lived only in the index — but content is never lost
+// or misserved).
+func TestStoreArmIndexDrop(t *testing.T) {
+	dir := t.TempDir()
+	_, id, payload := seedStore(t, dir)
+	if err := InjectStoreFault(dir, IndexEntryDrop, cas.KindCheckpoint, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep, err := cas.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Adopted != 1 || rep.IndexRebuilt {
+		t.Fatalf("sweep report %v, want 1 adopted orphan from a parseable index", rep)
+	}
+	data, kind, err := s2.Get(id)
+	if err != nil || kind != cas.KindCheckpoint || !bytes.Equal(data, payload) {
+		t.Fatalf("re-adopted orphan not served intact: kind %q err %v", kind, err)
+	}
+	if _, ok := s2.Resolve("ckp/victim/latest"); ok {
+		t.Fatal("dropped index entry resurrected its tag")
+	}
+	// The arm refuses to "drop" an entry that is not there.
+	if err := InjectStoreFault(dir, IndexEntryDrop, cas.KindCheckpoint, cas.Sum([]byte("absent")), 0); err == nil {
+		t.Fatal("index-drop of an unindexed blob must error")
+	}
+}
+
+// TestInjectStoreFaultMissingBlob: the blob-damaging arms refuse to
+// fabricate a target that does not exist.
+func TestInjectStoreFaultMissingBlob(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	ghost := cas.Sum([]byte("never stored"))
+	for _, arm := range []StoreArm{BlobBitFlip, BlobTruncate} {
+		if err := InjectStoreFault(dir, arm, cas.KindCheckpoint, ghost, 1); err == nil {
+			t.Fatalf("%s against a missing blob must error", arm)
+		}
+	}
+}
+
+func TestParseStoreArm(t *testing.T) {
+	for _, a := range StoreArms() {
+		got, err := ParseStoreArm(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseStoreArm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseStoreArm("rm-rf"); err == nil {
+		t.Fatal("unknown arm must error")
+	}
+}

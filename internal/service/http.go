@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/resilience"
 	"resemble/internal/telemetry"
 	"resemble/internal/trace"
@@ -37,6 +38,14 @@ type Request struct {
 	// Requires the service to run with a telemetry collector; without
 	// one the response simply carries no windows.
 	ReturnWindows bool `json:"return_windows,omitempty"`
+	// ResumeFrom, when non-empty, is the hex ID of a run checkpoint in
+	// the service's artifact store to warm-start from. The checkpoint
+	// must belong to this exact run (the scope hash is verified on
+	// restore); an unusable snapshot — missing, corrupt, or for a
+	// different run — degrades to a scratch run, never a wrong one,
+	// and the response's resumed_from stays empty. Requires
+	// Config.Store; rejected with 400 otherwise.
+	ResumeFrom string `json:"resume_from,omitempty"`
 }
 
 // Response is the outcome of one simulation request.
@@ -66,6 +75,15 @@ type Response struct {
 	// request set ReturnWindows (and telemetry is enabled) — exactly
 	// the stream the run's child collector committed, in order.
 	Windows []telemetry.WindowSnapshot `json:"windows,omitempty"`
+	// CheckpointID is the store ID of the last durable checkpoint the
+	// run wrote (empty when no store is attached or no boundary was
+	// reached). A completed run releases its checkpoints for GC, so
+	// the ID documents that checkpointing happened rather than
+	// promising the blob is still resolvable.
+	CheckpointID string `json:"checkpoint_id,omitempty"`
+	// ResumedFrom echoes resume_from when the run actually warm-started
+	// from that checkpoint; empty means the run executed from scratch.
+	ResumedFrom string `json:"resumed_from,omitempty"`
 }
 
 // retryAfter is the Retry-After hint attached to every 503.
@@ -149,6 +167,18 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest,
 			Response{Error: fmt.Sprintf("fixed_frac %d out of range [0,14]", req.FixedFrac)})
 		return
+	}
+	if req.ResumeFrom != "" {
+		if s.cfg.Store == nil {
+			writeJSON(w, http.StatusBadRequest,
+				Response{Error: "resume_from requires an artifact store (service has none attached)"})
+			return
+		}
+		if _, err := cas.ParseID(req.ResumeFrom); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				Response{Error: "bad resume_from: " + err.Error()})
+			return
+		}
 	}
 
 	t, err := s.admit(r.Context(), req)

@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/checkpoint"
 	"resemble/internal/core"
 	"resemble/internal/prefetch"
@@ -81,6 +82,19 @@ type Config struct {
 	// Resume restores the service counters from CheckpointPath at
 	// startup when the file exists.
 	Resume bool
+
+	// Store, when non-nil, is the durable artifact store: every run
+	// periodically checkpoints into it (keyed by the run-request hash
+	// and access cursor, see RunKey/CheckpointTag) and /v1/run accepts
+	// resume_from to warm-start from a stored checkpoint. The store is
+	// shared infrastructure — attaching it to the trace cache
+	// (trace.Cache.AttachStore) is the owner's call, not the service's.
+	Store *cas.Store
+	// RunCheckpointEvery is the access-count period between run
+	// checkpoints (default 5000 when Store is set). A run interrupted
+	// by its deadline always writes one final checkpoint at the
+	// interrupt cursor regardless of the period.
+	RunCheckpointEvery int
 
 	// Telemetry, when non-nil, instruments every simulation (window
 	// snapshots, sampled events) and carries the service's registry
@@ -146,6 +160,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 15 * time.Second
+	}
+	if c.Store != nil && c.RunCheckpointEvery <= 0 {
+		c.RunCheckpointEvery = 5000
 	}
 	if c.Traces == nil {
 		c.Traces = trace.Shared()
@@ -282,6 +299,10 @@ type serviceCounters struct {
 	panics, restarts, wedged            atomic.Uint64
 	ckpWrites, ckpRetries, ckpFailures  atomic.Uint64
 	maskedRuns                          atomic.Uint64
+
+	// Artifact-store run-checkpoint accounting (zero without a Store).
+	runCkpWrites, runCkpFailures atomic.Uint64
+	resumes, resumeFallbacks     atomic.Uint64
 }
 
 // workerStatus is one worker's heartbeat slot for the watchdog.
@@ -293,24 +314,32 @@ type workerStatus struct {
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	State         string            `json:"state"`
-	QueueDepth    int               `json:"queue_depth"`
-	QueueCapacity int               `json:"queue_capacity"`
-	Admitted      uint64            `json:"requests_admitted"`
-	Completed     uint64            `json:"requests_completed"`
-	Shed          uint64            `json:"requests_shed"`
-	Rejected      uint64            `json:"requests_rejected"`
-	Failed        uint64            `json:"requests_failed"`
-	TimedOut      uint64            `json:"requests_timed_out"`
-	Panics        uint64            `json:"worker_panics"`
-	Restarts      uint64            `json:"worker_restarts"`
-	Wedged        uint64            `json:"tasks_wedged"`
-	MaskedRuns    uint64            `json:"runs_with_masked_arms"`
-	CkpWrites     uint64            `json:"checkpoint_writes"`
-	CkpRetries    uint64            `json:"checkpoint_retries"`
-	CkpFailures   uint64            `json:"checkpoint_failures"`
-	Breakers      map[string]string `json:"breakers"`
-	BreakerTrips  map[string]uint64 `json:"breaker_trips"`
+	State         string `json:"state"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Admitted      uint64 `json:"requests_admitted"`
+	Completed     uint64 `json:"requests_completed"`
+	Shed          uint64 `json:"requests_shed"`
+	Rejected      uint64 `json:"requests_rejected"`
+	Failed        uint64 `json:"requests_failed"`
+	TimedOut      uint64 `json:"requests_timed_out"`
+	Panics        uint64 `json:"worker_panics"`
+	Restarts      uint64 `json:"worker_restarts"`
+	Wedged        uint64 `json:"tasks_wedged"`
+	MaskedRuns    uint64 `json:"runs_with_masked_arms"`
+	CkpWrites     uint64 `json:"checkpoint_writes"`
+	CkpRetries    uint64 `json:"checkpoint_retries"`
+	CkpFailures   uint64 `json:"checkpoint_failures"`
+	// Run-checkpoint accounting against the artifact store: durable
+	// snapshots written mid-run, runs warm-started from a snapshot, and
+	// requested resumes that fell back to a scratch run because the
+	// snapshot was missing, corrupt or for a different run.
+	RunCkpWrites    uint64            `json:"run_checkpoint_writes"`
+	RunCkpFailures  uint64            `json:"run_checkpoint_failures"`
+	Resumes         uint64            `json:"runs_resumed"`
+	ResumeFallbacks uint64            `json:"resume_fallbacks"`
+	Breakers        map[string]string `json:"breakers"`
+	BreakerTrips    map[string]uint64 `json:"breaker_trips"`
 }
 
 // New validates the configuration and builds a stopped service; Start
@@ -439,6 +468,10 @@ func (s *Service) metricsSnapshot() telemetry.RegistrySnapshot {
 	snap.Counters["service.checkpoint.writes"] = st.CkpWrites
 	snap.Counters["service.checkpoint.retries"] = st.CkpRetries
 	snap.Counters["service.checkpoint.failures"] = st.CkpFailures
+	snap.Counters["service.run.checkpoint.writes"] = st.RunCkpWrites
+	snap.Counters["service.run.checkpoint.failures"] = st.RunCkpFailures
+	snap.Counters["service.runs.resumed"] = st.Resumes
+	snap.Counters["service.runs.resume_fallback"] = st.ResumeFallbacks
 	snap.Gauges["service.queue.depth"] = float64(st.QueueDepth)
 	snap.Gauges["service.queue.capacity"] = float64(st.QueueCapacity)
 	snap.Gauges["service.state"] = float64(s.state.Load())
@@ -478,24 +511,28 @@ func (s *Service) metricsSnapshot() telemetry.RegistrySnapshot {
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		State:         s.State().String(),
-		QueueDepth:    s.queue.Depth(),
-		QueueCapacity: s.queue.Capacity(),
-		Admitted:      s.stats.admitted.Load(),
-		Completed:     s.stats.completed.Load(),
-		Shed:          s.stats.shed.Load(),
-		Rejected:      s.stats.rejected.Load(),
-		Failed:        s.stats.failed.Load(),
-		TimedOut:      s.stats.timedOut.Load(),
-		Panics:        s.stats.panics.Load(),
-		Restarts:      s.stats.restarts.Load(),
-		Wedged:        s.stats.wedged.Load(),
-		MaskedRuns:    s.stats.maskedRuns.Load(),
-		CkpWrites:     s.stats.ckpWrites.Load(),
-		CkpRetries:    s.stats.ckpRetries.Load(),
-		CkpFailures:   s.stats.ckpFailures.Load(),
-		Breakers:      map[string]string{},
-		BreakerTrips:  map[string]uint64{},
+		State:           s.State().String(),
+		QueueDepth:      s.queue.Depth(),
+		QueueCapacity:   s.queue.Capacity(),
+		Admitted:        s.stats.admitted.Load(),
+		Completed:       s.stats.completed.Load(),
+		Shed:            s.stats.shed.Load(),
+		Rejected:        s.stats.rejected.Load(),
+		Failed:          s.stats.failed.Load(),
+		TimedOut:        s.stats.timedOut.Load(),
+		Panics:          s.stats.panics.Load(),
+		Restarts:        s.stats.restarts.Load(),
+		Wedged:          s.stats.wedged.Load(),
+		MaskedRuns:      s.stats.maskedRuns.Load(),
+		CkpWrites:       s.stats.ckpWrites.Load(),
+		CkpRetries:      s.stats.ckpRetries.Load(),
+		CkpFailures:     s.stats.ckpFailures.Load(),
+		RunCkpWrites:    s.stats.runCkpWrites.Load(),
+		RunCkpFailures:  s.stats.runCkpFailures.Load(),
+		Resumes:         s.stats.resumes.Load(),
+		ResumeFallbacks: s.stats.resumeFallbacks.Load(),
+		Breakers:        map[string]string{},
+		BreakerTrips:    map[string]uint64{},
 	}
 	for name, b := range s.breakers {
 		st.Breakers[name] = b.State().String()

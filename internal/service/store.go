@@ -1,0 +1,49 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Run-checkpoint naming in the artifact store.
+//
+// A run is identified by the hash of its normalized request — every
+// field that shapes the simulation's byte stream (workload,
+// controller, accesses, seed, fixed_frac). Checkpoints land in the
+// store tagged by (run key, access cursor) plus a "latest" alias the
+// failover path resolves without knowing cursors:
+//
+//	ckp/<runkey>/<cursor %012d>
+//	ckp/<runkey>/latest
+//
+// The run key also travels inside each checkpoint as the
+// sim.WithCheckpointScope value, so a snapshot can never silently
+// resume a different run that happens to share a trace.
+
+// RunKey derives the run-identity hash of a normalized request
+// (Accesses must already be resolved to a concrete count — the
+// service normalizes at admission; a coordinator that does not know
+// the backend default must skip resume for Accesses == 0).
+func RunKey(req Request) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("run|%s|%s|%d|%d|%d",
+		req.Workload, req.Controller, req.Accesses, req.Seed, req.FixedFrac)))
+	return hex.EncodeToString(h[:])
+}
+
+// CheckpointTag names one run checkpoint at an access cursor.
+func CheckpointTag(key string, cursor int) string {
+	return fmt.Sprintf("ckp/%s/%012d", key, cursor)
+}
+
+// CheckpointLatestTag names the newest checkpoint of a run; the front
+// door resolves it to pick the resume point after a backend loss.
+func CheckpointLatestTag(key string) string {
+	return "ckp/" + key + "/latest"
+}
+
+// CheckpointTagPrefix is the prefix of every checkpoint tag of a run —
+// untagged in one sweep when the run completes.
+func CheckpointTagPrefix(key string) string {
+	return "ckp/" + key + "/"
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resemble/internal/cas"
 	"resemble/internal/core"
 	"resemble/internal/ensemble/sbp"
 	"resemble/internal/prefetch"
@@ -262,19 +263,101 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 		stop.Store(true)
 	}
 
+	// Durable run checkpoints: with a store attached, the run snapshots
+	// into it periodically and at interrupt, tagged by the run-identity
+	// hash, so a coordinator can resume the run on another backend.
+	// Sources that cannot snapshot (not every controller implements
+	// checkpoint.Stater) run without durability rather than failing.
+	store := s.cfg.Store
+	canCkp := sim.CanCheckpoint(src)
+	var key, lastCkpID string
+	var storeOpts []sim.Option
+	if store != nil && canCkp {
+		key = RunKey(req)
+		sink := func(blob []byte, cursor int) error {
+			id, perr := store.PutTagged(cas.KindCheckpoint, blob,
+				CheckpointTag(key, cursor), CheckpointLatestTag(key))
+			if perr != nil {
+				// Durability degrades; run correctness is unaffected.
+				s.stats.runCkpFailures.Add(1)
+				s.counter("service.run.checkpoint.failures").Inc()
+				s.cfg.Logf("service: run checkpoint (run %.12s…, cursor %d): %v", key, cursor, perr)
+				return nil
+			}
+			lastCkpID = id.String()
+			s.stats.runCkpWrites.Add(1)
+			s.counter("service.run.checkpoint.writes").Inc()
+			return nil
+		}
+		storeOpts = []sim.Option{
+			sim.WithCheckpointScope(key),
+			sim.WithCheckpointSink(s.cfg.RunCheckpointEvery, sink),
+		}
+	}
+	resumedFrom := ""
+	var resumeOpts []sim.Option
+	if store != nil && req.ResumeFrom != "" {
+		if !canCkp {
+			s.noteResumeFallback(req.ResumeFrom,
+				fmt.Errorf("source %q does not support checkpointing", req.Controller))
+		} else if blob := s.fetchResume(store, req.ResumeFrom); blob != nil {
+			resumeOpts = []sim.Option{sim.WithResumeBlob(blob)}
+			resumedFrom = req.ResumeFrom
+		}
+	}
+
 	// The run's spans record on the isolated child collector but parent
 	// under the request span (cross-collector SpanRef), so the merged
 	// trace reads request → admission → worker.serve → sim.run → ….
+	baseOpts := func(child *telemetry.Collector) []sim.Option {
+		opts := []sim.Option{sim.WithTelemetry(child), sim.WithInterrupt(&stop),
+			sim.WithSpanParent(t.span.Ref())}
+		return append(opts, storeOpts...)
+	}
 	child := s.cfg.Telemetry.Child()
-	runner := s.runner.With(sim.WithTelemetry(child), sim.WithInterrupt(&stop),
-		sim.WithSpanParent(t.span.Ref()))
+	runner := s.runner.With(append(baseOpts(child), resumeOpts...)...)
 	began := time.Now()
 	res, err := runner.Run(tr, src)
+	if errors.Is(err, sim.ErrBadResume) {
+		// The snapshot was unusable (corrupt container, or a scope for a
+		// different run). After ErrBadResume the source and collector
+		// state is unspecified, so rebuild both and run from scratch —
+		// the determinism contract makes that merely slower, never wrong.
+		s.noteResumeFallback(resumedFrom, err)
+		resumedFrom = ""
+		src, probe, armIdx, excluded, err = s.buildSource(req)
+		if err != nil {
+			var unavail errUnavailable
+			if errors.As(err, &unavail) {
+				return Response{}, http.StatusServiceUnavailable, err
+			}
+			return Response{}, http.StatusBadRequest, err
+		}
+		child = s.cfg.Telemetry.Child()
+		runner = s.runner.With(baseOpts(child)...)
+		began = time.Now()
+		res, err = runner.Run(tr, src)
+	}
 	if err != nil {
 		// Breakers learn nothing from an aborted run; the child's
 		// partial windows are discarded so the merged stream only ever
-		// contains completed runs.
+		// contains completed runs. An interrupted run's last durable
+		// checkpoint stays tagged in the store for the failover retry.
 		return Response{}, http.StatusInternalServerError, err
+	}
+	if resumedFrom != "" {
+		s.stats.resumes.Add(1)
+		s.counter("service.runs.resumed").Inc()
+	}
+	if store != nil && canCkp {
+		// The run completed: its checkpoints have served their purpose.
+		// Release the tags and collect the garbage so the store holds
+		// only checkpoints of in-flight (or interrupted) runs.
+		if n, uerr := store.UntagPrefix(CheckpointTagPrefix(key)); uerr == nil && n > 0 {
+			if _, _, gerr := store.GC(); gerr != nil {
+				s.cfg.Logf("service: store GC after run %.12s…: %v", key, gerr)
+			}
+		}
 	}
 
 	masked := s.reportArms(probe, armIdx)
@@ -308,7 +391,39 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 		MaskedArms:        masked,
 		DurationMS:        float64(time.Since(began)) / float64(time.Millisecond),
 		Windows:           windows,
+		CheckpointID:      lastCkpID,
+		ResumedFrom:       resumedFrom,
 	}, http.StatusOK, nil
+}
+
+// fetchResume pulls a requested resume checkpoint out of the store.
+// nil means the run starts from scratch instead: a missing, corrupt or
+// wrong-kind blob is a degraded warm start, not a request failure (the
+// HTTP layer already rejected malformed IDs with 400).
+func (s *Service) fetchResume(store *cas.Store, from string) []byte {
+	id, err := cas.ParseID(from)
+	if err != nil {
+		s.noteResumeFallback(from, err)
+		return nil
+	}
+	blob, kind, err := store.Get(id)
+	if err != nil {
+		s.noteResumeFallback(from, err)
+		return nil
+	}
+	if kind != cas.KindCheckpoint {
+		s.noteResumeFallback(from, fmt.Errorf("artifact %s is a %s, not a checkpoint", from, kind))
+		return nil
+	}
+	return blob
+}
+
+// noteResumeFallback accounts one requested resume that degraded to a
+// scratch run.
+func (s *Service) noteResumeFallback(from string, err error) {
+	s.stats.resumeFallbacks.Add(1)
+	s.counter("service.runs.resume_fallback").Inc()
+	s.cfg.Logf("service: resume from %.12s… fell back to scratch: %v", from, err)
 }
 
 // BuildSource builds the prefetch source the service would simulate

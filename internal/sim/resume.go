@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -14,17 +15,40 @@ import (
 
 // ErrInterrupted is returned by Runner.Run when the run stopped on an
 // interrupt request before reaching the end of the trace. If a
-// checkpoint path was configured, a checkpoint covering the stop point
-// was written before returning.
+// checkpoint path or sink was configured, a checkpoint covering the
+// stop point was written before returning.
 var ErrInterrupted = errors.New("sim: run interrupted")
 
+// ErrBadResume wraps every failure to resume from a WithResumeBlob
+// snapshot — unparseable container, wrong trace/source/scope, corrupt
+// section. Determinism makes the fallback cheap: a caller that sees
+// ErrBadResume rebuilds fresh components and runs from record zero,
+// producing the exact result the resumed run would have.
+var ErrBadResume = errors.New("sim: resume snapshot unusable")
+
+// CanCheckpoint reports whether src can take part in run
+// checkpointing: it implements checkpoint.Stater (or there is no
+// source at all — the baseline run checkpoints fine). Attaching a
+// checkpoint file or sink to a run whose source cannot snapshot fails
+// at the first checkpoint boundary; callers offering best-effort
+// durability probe first and skip checkpointing instead.
+func CanCheckpoint(src Source) bool {
+	if src == nil {
+		return true
+	}
+	_, ok := src.(checkpoint.Stater)
+	return ok
+}
+
 // ckpMeta is the checkpoint's "meta" section: where to resume and what
-// run the snapshot belongs to.
+// run the snapshot belongs to. Scope carries the caller's run-identity
+// hash (WithCheckpointScope); empty means unscoped.
 type ckpMeta struct {
 	Cursor    int // next record index to process
 	TraceName string
 	TraceLen  int
 	Source    string
+	Scope     string
 }
 
 // simulate drives the record loop from start: warmup-boundary reset,
@@ -33,7 +57,7 @@ type ckpMeta struct {
 // checkpointing, no interrupt source) takes a branch-free fast loop.
 func (s *Simulator) simulate(tr *trace.Trace, src Source, name string, start int, set settings) error {
 	warmupEnd := int(float64(len(tr.Records)) * s.cfg.WarmupFraction)
-	if set.ckpPath == "" && set.interrupt == nil && set.stopAfter <= 0 {
+	if set.ckpPath == "" && set.ckpSink == nil && set.interrupt == nil && set.stopAfter <= 0 {
 		for i := start; i < len(tr.Records); i++ {
 			rec := tr.Records[i]
 			if i == warmupEnd {
@@ -57,10 +81,13 @@ func (s *Simulator) simulate(tr *trace.Trace, src Source, name string, start int
 		}
 		interrupted := (set.interrupt != nil && set.interrupt.Load()) ||
 			(set.stopAfter > 0 && processed >= set.stopAfter)
-		boundary := set.ckpEvery > 0 && cursor%set.ckpEvery == 0
-		if set.ckpPath != "" && (interrupted || boundary) {
+		needFile := set.ckpPath != "" &&
+			(interrupted || (set.ckpEvery > 0 && cursor%set.ckpEvery == 0))
+		needSink := set.ckpSink != nil &&
+			(interrupted || (set.sinkEvery > 0 && cursor%set.sinkEvery == 0))
+		if needFile || needSink {
 			csp := set.tel.RunSpanChild("checkpoint.write")
-			err := s.writeCheckpoint(set.ckpPath, tr, src, name, set.tel, cursor)
+			err := s.emitCheckpoint(tr, src, name, set, cursor, needFile, needSink)
 			csp.End()
 			if err != nil {
 				return err
@@ -73,47 +100,94 @@ func (s *Simulator) simulate(tr *trace.Trace, src Source, name string, start int
 	return nil
 }
 
-// writeCheckpoint snapshots the run into path: a meta section (cursor
-// and run identity), the simulator, the source, and the telemetry
-// collector when one is attached.
-func (s *Simulator) writeCheckpoint(path string, tr *trace.Trace, src Source, name string, tel *telemetry.Collector, cursor int) error {
-	b := checkpoint.NewBuilder()
-	meta := ckpMeta{Cursor: cursor, TraceName: tr.Name, TraceLen: len(tr.Records), Source: name}
-	if err := b.Add("meta", func(w io.Writer) error { return gob.NewEncoder(w).Encode(&meta) }); err != nil {
+// emitCheckpoint builds the snapshot once and lands it on the
+// configured targets: the checkpoint file (atomic, retried) and/or the
+// checkpoint sink (serialized container bytes).
+func (s *Simulator) emitCheckpoint(tr *trace.Trace, src Source, name string, set settings, cursor int, toFile, toSink bool) error {
+	b, err := s.buildCheckpoint(tr, src, name, set.tel, cursor, set.ckpScope)
+	if err != nil {
 		return err
 	}
+	if toFile {
+		// Transient write failures (a full disk racing a cleanup, flaky
+		// network filesystems) are retried with backoff; each attempt is
+		// atomic, so the previous good checkpoint survives until a write
+		// fully lands.
+		if err := b.WriteFileRetry(context.Background(), set.ckpPath, checkpoint.DefaultWriteRetry(), nil); err != nil {
+			return err
+		}
+	}
+	if toSink {
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			return err
+		}
+		if err := set.ckpSink(buf.Bytes(), cursor); err != nil {
+			return fmt.Errorf("sim: checkpoint sink at record %d: %w", cursor, err)
+		}
+	}
+	return nil
+}
+
+// buildCheckpoint snapshots the run: a meta section (cursor and run
+// identity), the simulator, the source, and the telemetry collector
+// when one is attached.
+func (s *Simulator) buildCheckpoint(tr *trace.Trace, src Source, name string, tel *telemetry.Collector, cursor int, scope string) (*checkpoint.Builder, error) {
+	b := checkpoint.NewBuilder()
+	meta := ckpMeta{Cursor: cursor, TraceName: tr.Name, TraceLen: len(tr.Records), Source: name, Scope: scope}
+	if err := b.Add("meta", func(w io.Writer) error { return gob.NewEncoder(w).Encode(&meta) }); err != nil {
+		return nil, err
+	}
 	if err := b.Add("sim", s.SaveState); err != nil {
-		return err
+		return nil, err
 	}
 	if src != nil {
 		st, ok := src.(checkpoint.Stater)
 		if !ok {
-			return fmt.Errorf("sim: source %q does not support checkpointing", name)
+			return nil, fmt.Errorf("sim: source %q does not support checkpointing", name)
 		}
 		if err := b.Add("source", st.SaveState); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if tel != nil {
 		if err := b.Add("telemetry", tel.SaveState); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	// Transient write failures (a full disk racing a cleanup, flaky
-	// network filesystems) are retried with backoff; each attempt is
-	// atomic, so the previous good checkpoint survives until a write
-	// fully lands.
-	return b.WriteFileRetry(context.Background(), path, checkpoint.DefaultWriteRetry(), nil)
+	return b, nil
 }
 
 // loadCheckpoint restores the run state from path, validating that the
-// snapshot belongs to this (trace, source) pair, and returns the
-// resume cursor.
-func (s *Simulator) loadCheckpoint(path string, tr *trace.Trace, src Source, name string, tel *telemetry.Collector) (int, error) {
+// snapshot belongs to this (trace, source, scope) tuple, and returns
+// the resume cursor.
+func (s *Simulator) loadCheckpoint(path string, tr *trace.Trace, src Source, name string, tel *telemetry.Collector, scope string) (int, error) {
 	f, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
+	return s.restoreCheckpoint(f, tr, src, name, tel, scope)
+}
+
+// loadCheckpointBlob restores the run state from serialized container
+// bytes. Every failure — parse, validation, section restore — comes
+// back wrapped in ErrBadResume so callers can fall back to a scratch
+// run (after rebuilding fresh components).
+func (s *Simulator) loadCheckpointBlob(blob []byte, tr *trace.Trace, src Source, name string, tel *telemetry.Collector, scope string) (int, error) {
+	f, err := checkpoint.Read(bytes.NewReader(blob))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBadResume, err)
+	}
+	cursor, err := s.restoreCheckpoint(f, tr, src, name, tel, scope)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBadResume, err)
+	}
+	return cursor, nil
+}
+
+// restoreCheckpoint hands a parsed container back to the run's
+// components, validating the meta section first.
+func (s *Simulator) restoreCheckpoint(f *checkpoint.File, tr *trace.Trace, src Source, name string, tel *telemetry.Collector, scope string) (int, error) {
 	var meta ckpMeta
 	if err := f.Load("meta", func(r io.Reader) error { return gob.NewDecoder(r).Decode(&meta) }); err != nil {
 		return 0, err
@@ -124,6 +198,9 @@ func (s *Simulator) loadCheckpoint(path string, tr *trace.Trace, src Source, nam
 	}
 	if meta.Source != name {
 		return 0, fmt.Errorf("sim: checkpoint belongs to source %q, not %q", meta.Source, name)
+	}
+	if scope != "" && meta.Scope != scope {
+		return 0, fmt.Errorf("sim: checkpoint scope %q does not match run scope %q", meta.Scope, scope)
 	}
 	if meta.Cursor < 0 || meta.Cursor > len(tr.Records) {
 		return 0, fmt.Errorf("sim: checkpoint cursor %d out of range [0,%d]", meta.Cursor, len(tr.Records))

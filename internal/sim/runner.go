@@ -13,7 +13,11 @@ type settings struct {
 	tel        *telemetry.Collector
 	ckpPath    string
 	ckpEvery   int
+	ckpSink    func(blob []byte, cursor int) error
+	sinkEvery  int
+	ckpScope   string
 	resume     bool
+	resumeBlob []byte
 	interrupt  *atomic.Bool
 	stopAfter  int
 	baseline   bool
@@ -47,6 +51,37 @@ func WithCheckpoint(path string, every int) Option {
 // continues from its cursor instead of record zero.
 func WithResume() Option {
 	return func(s *settings) { s.resume = true }
+}
+
+// WithCheckpointSink hands the serialized checkpoint container to sink
+// every `every` trace records and on interrupt, instead of (or in
+// addition to) a checkpoint file — the hook a durable artifact store
+// uses to capture run snapshots. Like WithCheckpoint, the boundary is
+// on the absolute trace position; every <= 0 snapshots only on
+// interrupt. The sink must not retain blob past its return.
+func WithCheckpointSink(every int, sink func(blob []byte, cursor int) error) Option {
+	return func(s *settings) { s.ckpSink, s.sinkEvery = sink, every }
+}
+
+// WithCheckpointScope stamps checkpoints with an opaque run-identity
+// scope (e.g. the hash of the originating run request) and, on resume,
+// rejects a snapshot whose scope differs. The built-in (trace, source)
+// validation cannot see parameters like the RNG seed or the fixed-arm
+// fraction; the scope closes that hole so a checkpoint can never
+// silently resume a *different* run that shares a trace. Empty scope
+// disables the check.
+func WithCheckpointScope(scope string) Option {
+	return func(s *settings) { s.ckpScope = scope }
+}
+
+// WithResumeBlob resumes from a serialized checkpoint container held
+// in memory (e.g. fetched from the artifact store) instead of a file.
+// Takes precedence over WithResume when both are set. Any parse or
+// validation failure is reported wrapped in ErrBadResume, after which
+// the Simulator and source state are unspecified — the caller must
+// rebuild fresh components and run from scratch.
+func WithResumeBlob(blob []byte) Option {
+	return func(s *settings) { s.resumeBlob = blob }
 }
 
 // WithBaseline disables prefetching: Run ignores its source argument
@@ -213,9 +248,18 @@ func (r *Runner) Run(tr *trace.Trace, src Source) (Result, error) {
 	}
 
 	start := 0
-	if r.set.resume {
+	switch {
+	case r.set.resumeBlob != nil:
 		lsp := runSpan.Child("checkpoint.load")
-		cursor, err := s.loadCheckpoint(r.set.ckpPath, tr, src, name, r.set.tel)
+		cursor, err := s.loadCheckpointBlob(r.set.resumeBlob, tr, src, name, r.set.tel, r.set.ckpScope)
+		lsp.End()
+		if err != nil {
+			return Result{}, err
+		}
+		start = cursor
+	case r.set.resume:
+		lsp := runSpan.Child("checkpoint.load")
+		cursor, err := s.loadCheckpoint(r.set.ckpPath, tr, src, name, r.set.tel, r.set.ckpScope)
 		lsp.End()
 		if err != nil {
 			return Result{}, err

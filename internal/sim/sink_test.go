@@ -1,0 +1,125 @@
+package sim_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"resemble/internal/prefetch/bo"
+	"resemble/internal/prefetch/stride"
+	"resemble/internal/sim"
+)
+
+// capture collects every checkpoint blob a run hands to the sink.
+type capture struct {
+	blobs   [][]byte
+	cursors []int
+}
+
+func (c *capture) sink(blob []byte, cursor int) error {
+	c.blobs = append(c.blobs, append([]byte(nil), blob...))
+	c.cursors = append(c.cursors, cursor)
+	return nil
+}
+
+func (c *capture) last() []byte {
+	if len(c.blobs) == 0 {
+		return nil
+	}
+	return c.blobs[len(c.blobs)-1]
+}
+
+// TestCheckpointSinkAndBlobResume is the in-memory mirror of
+// TestResumeDeterministicSolo: checkpoints flow through the sink as
+// serialized containers (the artifact-store path), the run is
+// interrupted, and a fresh session resumes from the captured blob —
+// producing the result of an uninterrupted run.
+func TestCheckpointSinkAndBlobResume(t *testing.T) {
+	tr := resumeTrace(t, 8000)
+	cfg := sim.DefaultConfig()
+	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
+	want, err := sim.NewRunner(cfg).Run(tr, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stop := range []int{700, 4096} {
+		cap := &capture{}
+		_, err := sim.NewRunner(cfg,
+			sim.WithCheckpointSink(1024, cap.sink),
+			sim.WithCheckpointScope("scope-A"),
+			sim.WithStopAfter(stop),
+		).Run(tr, mk())
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("stop=%d: want ErrInterrupted, got %v", stop, err)
+		}
+		// The final blob covers the interrupt cursor itself.
+		if got := cap.cursors[len(cap.cursors)-1]; got != stop {
+			t.Fatalf("stop=%d: last sink cursor = %d", stop, got)
+		}
+		// Periodic boundaries land on the absolute-position grid.
+		for i, cur := range cap.cursors[:len(cap.cursors)-1] {
+			if cur != (i+1)*1024 {
+				t.Fatalf("stop=%d: sink cursor %d = %d, want %d", stop, i, cur, (i+1)*1024)
+			}
+		}
+		got, err := sim.NewRunner(cfg,
+			sim.WithResumeBlob(cap.last()),
+			sim.WithCheckpointScope("scope-A"),
+		).Run(tr, mk())
+		if err != nil {
+			t.Fatalf("stop=%d: blob resume: %v", stop, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("stop=%d: blob-resumed result differs:\nwant %+v\ngot  %+v", stop, want, got)
+		}
+	}
+}
+
+// TestBlobResumeRejections pins ErrBadResume for every way a resume
+// blob can be unusable: corrupt bytes, a scope that does not match the
+// run (e.g. same trace, different seed), and the wrong source.
+func TestBlobResumeRejections(t *testing.T) {
+	tr := resumeTrace(t, 4000)
+	cfg := sim.DefaultConfig()
+	mk := func() sim.Source { return sim.FromPrefetcher(stride.New(stride.Config{}), 2) }
+	cap := &capture{}
+	_, err := sim.NewRunner(cfg,
+		sim.WithCheckpointSink(0, cap.sink),
+		sim.WithCheckpointScope("run-hash-1"),
+		sim.WithStopAfter(1000),
+	).Run(tr, mk())
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatal(err)
+	}
+	blob := cap.last()
+	if blob == nil {
+		t.Fatal("interrupt produced no sink blob")
+	}
+
+	t.Run("corrupt blob", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0xFF
+		_, err := sim.NewRunner(cfg, sim.WithResumeBlob(bad), sim.WithCheckpointScope("run-hash-1")).Run(tr, mk())
+		if !errors.Is(err, sim.ErrBadResume) {
+			t.Errorf("corrupt blob = %v, want ErrBadResume", err)
+		}
+	})
+	t.Run("scope mismatch", func(t *testing.T) {
+		_, err := sim.NewRunner(cfg, sim.WithResumeBlob(blob), sim.WithCheckpointScope("run-hash-2")).Run(tr, mk())
+		if !errors.Is(err, sim.ErrBadResume) {
+			t.Errorf("scope mismatch = %v, want ErrBadResume", err)
+		}
+	})
+	t.Run("wrong source", func(t *testing.T) {
+		src := sim.FromPrefetcher(bo.New(bo.Config{}), 2)
+		_, err := sim.NewRunner(cfg, sim.WithResumeBlob(blob), sim.WithCheckpointScope("run-hash-1")).Run(tr, src)
+		if !errors.Is(err, sim.ErrBadResume) {
+			t.Errorf("wrong source = %v, want ErrBadResume", err)
+		}
+	})
+	t.Run("empty scope skips the check", func(t *testing.T) {
+		if _, err := sim.NewRunner(cfg, sim.WithResumeBlob(blob)).Run(tr, mk()); err != nil {
+			t.Errorf("unscoped blob resume: %v", err)
+		}
+	})
+}

@@ -149,11 +149,22 @@ func TestResumeDeterminism(t *testing.T) {
 		if !reflect.DeepEqual(wantRes, gotRes) {
 			t.Errorf("stop=%d: resumed result differs:\nwant %+v\ngot  %+v", stop, wantRes, gotRes)
 		}
-		gotWins := append(append([]telemetry.WindowSnapshot(nil), tel1.Windows()...), tel2.Windows()...)
+		// A resumed KeepWindows collector restores the retained windows
+		// from the checkpoint, so the second session alone carries the
+		// full stream — the property resume-on-another-machine depends
+		// on. The pre-interrupt prefix must match the first session's
+		// retained windows exactly.
+		gotWins := tel2.Windows()
 		wj, _ := json.Marshal(wantWins)
 		gj, _ := json.Marshal(gotWins)
 		if !bytes.Equal(wj, gj) {
 			t.Errorf("stop=%d: window snapshots differ between uninterrupted and interrupted+resumed runs", stop)
+		}
+		pre := tel1.Windows()
+		pj, _ := json.Marshal(append([]telemetry.WindowSnapshot{}, pre...))
+		fj, _ := json.Marshal(append([]telemetry.WindowSnapshot{}, wantWins[:len(pre)]...))
+		if !bytes.Equal(pj, fj) {
+			t.Errorf("stop=%d: pre-interrupt windows diverge from the uninterrupted prefix", stop)
 		}
 		gotEvents := append(append([]telemetry.Event(nil), sink1.Events()...), sink2.Events()...)
 		ej, _ := json.Marshal(wantEvents)

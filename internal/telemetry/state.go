@@ -9,9 +9,11 @@ import (
 
 // Checkpointing (checkpoint.Stater) for the collector. The snapshot
 // carries the registry's instrument values, the tracer position and
-// ring, and the collector's window-diff state, so a resumed run emits
-// the exact window/metric continuation an uninterrupted run would
-// have. Instrument values are restored onto the existing instruments
+// ring, the collector's window-diff state and — for KeepWindows
+// collectors — the retained window snapshots themselves, so a run
+// resumed on a different machine emits the exact window/metric
+// continuation an uninterrupted run would have AND still holds the
+// full window stream for merge/response shipping. Instrument values are restored onto the existing instruments
 // (matched by name), so handles already held by attached components
 // stay live.
 
@@ -43,6 +45,11 @@ type collectorState struct {
 	RingWrap bool
 
 	ExplainN uint64
+
+	// Windows carries the retained snapshots of a KeepWindows
+	// collector, so a run resumed on another machine ships the full
+	// window stream, not just the post-resume suffix.
+	Windows []WindowSnapshot
 }
 
 // SaveState implements checkpoint.Stater.
@@ -87,6 +94,9 @@ func (c *Collector) SaveState(w io.Writer) error {
 	c.obsMu.Lock()
 	st.ExplainN = c.explainN
 	c.obsMu.Unlock()
+	if c.cfg.KeepWindows {
+		st.Windows = append([]WindowSnapshot(nil), c.windows...)
+	}
 	return gob.NewEncoder(w).Encode(st)
 }
 
@@ -137,5 +147,8 @@ func (c *Collector) LoadState(r io.Reader) error {
 	c.obsMu.Lock()
 	c.explainN = st.ExplainN
 	c.obsMu.Unlock()
+	if c.cfg.KeepWindows && len(st.Windows) > 0 {
+		c.windows = append(c.windows[:0], st.Windows...)
+	}
 	return nil
 }

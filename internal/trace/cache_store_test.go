@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"resemble/internal/cas"
+)
+
+func storeForTest(t *testing.T) *cas.Store {
+	t.Helper()
+	s, rep, err := cas.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fresh store sweep: %v", rep)
+	}
+	return s
+}
+
+// TestCacheStoreTier exercises the second tier: a fresh process (new
+// Cache) over the same store serves the trace from the store without
+// regenerating, byte-identical to the generated one.
+func TestCacheStoreTier(t *testing.T) {
+	store := storeForTest(t)
+	w := MustLookup("433.milc")
+
+	c1 := NewCache(0)
+	c1.AttachStore(store)
+	want := c1.Get(w, 2000, 7)
+	s1 := c1.Stats()
+	if s1.StorePuts != 1 || s1.StoreMisses != 1 {
+		t.Fatalf("first-process stats = %+v, want 1 store miss + 1 store put", s1)
+	}
+
+	// "New process": empty memory cache, same store.
+	c2 := NewCache(0)
+	c2.AttachStore(store)
+	got := c2.Get(w, 2000, 7)
+	s2 := c2.Stats()
+	if s2.StoreHits != 1 || s2.StorePuts != 0 {
+		t.Fatalf("second-process stats = %+v, want 1 store hit / 0 puts", s2)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("store-tier trace differs from generated trace")
+	}
+	// The memory tier now holds it: a second Get is a memory hit with
+	// no further store traffic.
+	if c2.Get(w, 2000, 7) != got {
+		t.Fatal("memory tier lost the store-loaded trace")
+	}
+	if s := c2.Stats(); s.Hits != 1 || s.StoreHits != 1 {
+		t.Fatalf("stats after memory hit = %+v", s)
+	}
+}
+
+// TestCacheStoreTierSurvivesMistaggedBlob: a tag pointing at a blob
+// that is not the promised trace (wrong content for the key) must be
+// dropped and the trace regenerated, never served.
+func TestCacheStoreTierSurvivesMistaggedBlob(t *testing.T) {
+	store := storeForTest(t)
+	w := MustLookup("433.milc")
+	// Poison: tag the key with an arbitrary non-trace blob.
+	id, err := store.Put(cas.KindTrace, []byte("not a trace at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := storeTag(cacheKey{name: w.Name, n: 1500, seed: 3})
+	if err := store.Tag(tag, id); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(0)
+	c.AttachStore(store)
+	tr := c.Get(w, 1500, 3)
+	if tr == nil || len(tr.Records) != 1500 {
+		t.Fatal("poisoned store tag broke generation fallback")
+	}
+	if s := c.Stats(); s.StoreErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 store error", s)
+	}
+	// The lie was untagged and replaced by the real trace.
+	realID, ok := store.Resolve(tag)
+	if !ok || realID == id {
+		t.Fatalf("tag after recovery = (%s, %v), want retagged to the generated trace", realID, ok)
+	}
+}
+
+// TestCacheStoreTierDetached: a nil store keeps the cache pure-memory.
+func TestCacheStoreTierDetached(t *testing.T) {
+	c := NewCache(0)
+	c.AttachStore(nil)
+	w := MustLookup("433.milc")
+	if tr := c.Get(w, 500, 1); tr == nil || len(tr.Records) != 500 {
+		t.Fatal("detached-store Get failed")
+	}
+	if s := c.Stats(); s.StoreHits != 0 && s.StorePuts != 0 {
+		t.Fatalf("detached store recorded traffic: %+v", s)
+	}
+}

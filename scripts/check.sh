@@ -30,8 +30,16 @@ go test -race ./internal/telemetry/... ./internal/sim/...
 echo "== go test -race (parallel engine, trace cache) =="
 go test -race -short ./internal/experiments/... ./internal/trace/...
 
-echo "== go test -race (resilience, service, cluster) =="
-go test -race ./internal/resilience/... ./internal/service/... ./internal/cluster/...
+echo "== go test -race (resilience, service, cluster, artifact store) =="
+go test -race ./internal/resilience/... ./internal/service/... ./internal/cluster/... ./internal/cas/...
+
+echo "== durable artifact store crash-safety gates (DESIGN.md §14) =="
+# SIGKILL mid-write must leave the store recoverable (torn temps
+# quarantined, committed blobs intact), and the index parser must never
+# panic or accept a corrupt index: a short live fuzz on top of the
+# committed FuzzCASIndex corpus.
+go test -race -count 1 -run 'TestSIGKILLMidWriteRecovery' ./internal/cas/
+go test -run xxx -fuzz 'FuzzCASIndex' -fuzztime 10s ./internal/cas/
 
 echo "== go test -race (fault tolerance) =="
 go test -race -run 'Fault|Masking|Resume|Checkpoint' \
@@ -58,6 +66,8 @@ trap 'rm -rf "$tracetmp"' EXIT
 go run ./cmd/resembled -soak -trace-chrome "$tracetmp/soak-trace.json"
 
 echo "== cluster soak smoke (resemblefront chaos harness, race-enabled) =="
+# Includes the kill-mid-run → resume-on-next-backend phase (byte-identity
+# against a single instance) and the store-corruption arm audit.
 go run -race ./cmd/resemblefront -soak -soak.duration 5s -soak.accesses 2000
 
 echo "== chrome trace validity (parses, ts monotone per track) =="
