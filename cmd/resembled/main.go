@@ -49,7 +49,7 @@ func main() {
 		drainT     = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound")
 		ckpt       = flag.String("checkpoint", "", "service checkpoint path (empty = off)")
 		ckptEvery  = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval")
-		storeDir   = flag.String("store-dir", "", "durable artifact store root (empty = off): runs checkpoint into it, /v1/run accepts resume_from, and the trace cache gains a content-addressed disk tier")
+		storeDir   = flag.String("store-dir", "", "durable artifact store root (empty = off): runs checkpoint into it, /v1/run accepts resume_from, and the trace cache gains a content-addressed disk tier; safe to share with other resembled/resemblefront processes on a local filesystem")
 		runCkp     = flag.Int("run-checkpoint-every", 0, "accesses between per-run store checkpoints when -store-dir is set (0 = engine default)")
 		resume     = flag.Bool("resume", false, "restore service counters from -checkpoint")
 		accesses   = flag.Int("accesses", 20000, "default trace length per request")

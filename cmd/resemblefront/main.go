@@ -91,7 +91,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.timeout, "timeout", 120*time.Second, "per-request deadline across all attempts")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound")
 	fs.BoolVar(&o.drainBackends, "drain-backends", false, "quiesce the backends in address order when draining")
-	fs.StringVar(&o.storeDir, "store-dir", "", "shared artifact store root (must be the same filesystem path the backends use); failover retries resume interrupted runs from its checkpoints (empty = scratch retries)")
+	fs.StringVar(&o.storeDir, "store-dir", "", "shared artifact store root (the same local-filesystem path the backends use; processes coordinate through an advisory lock in it); failover retries resume interrupted runs from its checkpoints (empty = scratch retries)")
 	fs.StringVar(&o.telDir, "telemetry", "", "merged telemetry output directory (empty = off)")
 	fs.StringVar(&o.logLevel, "log-level", "info", "structured logging on stderr (debug|info|warn|error; empty disables)")
 	fs.BoolVar(&o.soak, "soak", false, "run the cluster chaos harness instead of serving")

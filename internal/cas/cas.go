@@ -15,13 +15,16 @@
 //
 //	blobs/<kind>/<hh>/<hex64>   blob files (hh = first two hex digits)
 //	index                       the blob/tag index (see index.go)
+//	lock                        cross-process advisory lock file
 //	quarantine/                 corrupt or torn files moved aside
 //
 // Durability contract (DESIGN.md §14):
 //
-//   - writes are atomic: a blob either exists under its final name
-//     with exactly its content, or not at all — a crash mid-write
-//     leaves only a torn temp file, never a half blob;
+//   - writes are atomic and power-loss durable: a blob either exists
+//     under its final name with exactly its content, or not at all —
+//     temp + fsync + rename + parent-directory fsync, so a crash
+//     mid-write (SIGKILL or host power loss) leaves only a torn temp
+//     file, never a half blob;
 //   - reads verify: Get recomputes the full SHA-256 and refuses to
 //     return bytes that do not hash to the requested ID — a corrupt
 //     blob is quarantined, never served;
@@ -31,10 +34,22 @@
 //   - Open sweeps: torn temp files are quarantined, every indexed
 //     blob is re-verified (corrupt ones quarantined), verified
 //     orphans are re-adopted, and dangling index entries dropped —
-//     so a store that just survived a SIGKILL opens clean.
+//     so a store that just survived a SIGKILL opens clean;
+//   - one directory, many processes: every operation holds an
+//     exclusive advisory flock on <root>/lock and re-reads the index
+//     before acting, so separate processes sharing one store
+//     directory (a resemblefront coordinator and its resembled
+//     backends) see each other's blobs and tags, index writes never
+//     lose a sibling's entries to a stale rewrite, and GC never
+//     collects a blob another process has tagged. The kernel releases
+//     the lock when a process dies, so a SIGKILLed writer cannot
+//     wedge the store. The directory must live on a local filesystem
+//     (flock over network filesystems is unreliable); on platforms
+//     without flock the store is single-process only.
 package cas
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -112,14 +127,23 @@ type entry struct {
 	refs int
 }
 
-// Store is a concurrency-safe content-addressed artifact store rooted
-// at one directory. All mutating operations persist the index
-// atomically before returning.
+// Store is a content-addressed artifact store rooted at one
+// directory, safe for concurrent use within a process (an internal
+// mutex) and across processes (an advisory flock on <root>/lock taken
+// for the span of each operation). Every operation re-reads the index
+// under the lock before acting, so mutations by sibling processes —
+// new checkpoints, tags, GC — are always visible; all mutating
+// operations persist the index atomically before returning.
 type Store struct {
-	mu   sync.Mutex
-	dir  string
-	blob map[ID]*entry
-	tags map[string]ID
+	mu    sync.Mutex
+	dir   string
+	lockF *os.File // <root>/lock handle; flocked per operation
+	blob  map[ID]*entry
+	tags  map[string]ID
+	// lastIdx is the raw index bytes the in-memory view was last
+	// loaded from or persisted as; reloadLocked skips the re-parse
+	// when the file is unchanged (the common single-process case).
+	lastIdx []byte
 
 	stats Stats
 }
@@ -145,7 +169,8 @@ type SweepReport struct {
 	// quarantine.
 	TornTemps int
 	// Corrupt counts blobs whose content no longer hashed to their
-	// name; all were quarantined.
+	// name, were misnamed, or duplicated an already-verified ID under
+	// a second kind directory; all were quarantined.
 	Corrupt int
 	// Adopted counts verified orphan blobs (present on disk, missing
 	// from the index) re-added with zero refs.
@@ -172,10 +197,13 @@ func (r SweepReport) String() string {
 }
 
 // Open opens (creating if needed) the store rooted at dir, running the
-// crash-recovery sweep before returning: torn temp files are
-// quarantined, every blob is re-verified against its full hash
-// (corrupt blobs quarantined), verified orphans re-adopted, dangling
-// index entries dropped, and the repaired index persisted.
+// crash-recovery sweep — under the cross-process lock — before
+// returning: torn temp files are quarantined, every blob is
+// re-verified against its full hash (corrupt blobs quarantined),
+// verified orphans re-adopted, dangling index entries dropped, and the
+// repaired index persisted. Multiple processes may hold the same
+// directory open; their operations serialize on the store's advisory
+// lock.
 func Open(dir string) (*Store, SweepReport, error) {
 	s := &Store{dir: dir, blob: map[ID]*entry{}, tags: map[string]ID{}}
 	for _, d := range []string{dir, filepath.Join(dir, "blobs"), filepath.Join(dir, "quarantine")} {
@@ -183,8 +211,19 @@ func Open(dir string) (*Store, SweepReport, error) {
 			return nil, SweepReport{}, fmt.Errorf("cas: %w", err)
 		}
 	}
-	rep, err := s.sweep()
+	lf, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, SweepReport{}, fmt.Errorf("cas: %w", err)
+	}
+	s.lockF = lf
+	if err := s.lockFS(); err != nil {
+		lf.Close()
+		return nil, SweepReport{}, err
+	}
+	rep, err := s.sweep()
+	s.unlockFS()
+	if err != nil {
+		lf.Close()
 		return nil, rep, err
 	}
 	return s, rep, nil
@@ -193,6 +232,93 @@ func Open(dir string) (*Store, SweepReport, error) {
 // Dir returns the store root.
 func (s *Store) Dir() string { return s.dir }
 
+// Close releases the store's lock-file handle. The store must not be
+// used afterwards. Optional: the kernel reclaims the handle (and any
+// held lock) when the process exits.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lockF == nil {
+		return nil
+	}
+	err := s.lockF.Close()
+	s.lockF = nil
+	return err
+}
+
+// lockFS takes the cross-process advisory lock; unlockFS releases it.
+// Within the process s.mu already serializes operations, so the flock
+// only ever contends with sibling processes (or sibling Stores opened
+// on the same directory).
+func (s *Store) lockFS() error {
+	if s.lockF == nil {
+		return errors.New("cas: store is closed")
+	}
+	if err := flockEx(s.lockF.Fd()); err != nil {
+		return fmt.Errorf("cas: locking store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) unlockFS() {
+	if s.lockF != nil {
+		_ = flockUn(s.lockF.Fd())
+	}
+}
+
+// begin acquires the in-process mutex and the cross-process lock and
+// refreshes the index from disk; the returned release func undoes
+// both. Every public operation starts here, which is what makes a
+// store directory shared between processes coherent: tags and blobs
+// written by siblings are visible before this operation acts.
+func (s *Store) begin() (release func(), err error) {
+	s.mu.Lock()
+	if err := s.lockFS(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if err := s.reloadLocked(); err != nil {
+		s.unlockFS()
+		s.mu.Unlock()
+		return nil, err
+	}
+	return func() { s.unlockFS(); s.mu.Unlock() }, nil
+}
+
+// reloadLocked refreshes the in-memory blob/tag view from the index
+// file. Called with s.mu and the cross-process lock held, so the
+// loaded view stays authoritative until release. A missing index file
+// reads as empty; an unparseable one is an error (reopen the store to
+// quarantine and rebuild it) rather than a silent rebuild mid-flight.
+func (s *Store) reloadLocked() error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, "index"))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return fmt.Errorf("cas: reading index: %w", err)
+		}
+		raw = nil
+	}
+	if bytes.Equal(raw, s.lastIdx) {
+		return nil // unchanged since we last read or wrote it
+	}
+	if raw == nil {
+		s.blob, s.tags = map[ID]*entry{}, map[string]ID{}
+	} else {
+		blobs, tags, perr := parseIndex(raw)
+		if perr != nil {
+			return fmt.Errorf("cas: index unreadable (reopen the store to quarantine and rebuild it): %w", perr)
+		}
+		s.blob, s.tags = blobs, tags
+	}
+	s.lastIdx = raw
+	s.stats.Blobs, s.stats.Bytes = 0, 0
+	for _, e := range s.blob {
+		s.stats.Blobs++
+		s.stats.Bytes += e.size
+	}
+	return nil
+}
+
 func (s *Store) blobPath(kind Kind, id ID) string {
 	h := id.String()
 	return filepath.Join(s.dir, "blobs", string(kind), h[:2], h)
@@ -200,7 +326,7 @@ func (s *Store) blobPath(kind Kind, id ID) string {
 
 // quarantine moves path into the quarantine directory under a
 // reason-stamped name; collisions get a numeric suffix. Called with
-// s.mu held (or during the single-threaded sweep).
+// the store lock held (or during the single-threaded sweep).
 func (s *Store) quarantine(path, reason string) {
 	base := filepath.Base(path) + "." + reason
 	dst := filepath.Join(s.dir, "quarantine", base)
@@ -220,14 +346,18 @@ func (s *Store) quarantine(path, reason string) {
 
 // Put stores data under its content ID, deduplicating against an
 // existing identical blob, and persists the index. The write is
-// atomic: temp file in the destination directory, sync, rename.
+// atomic: temp file in the destination directory, sync, rename, then
+// a directory sync.
 func (s *Store) Put(kind Kind, data []byte) (ID, error) {
 	return s.PutTagged(kind, data)
 }
 
 // PutTagged stores data and, under the same lock, points each named
-// tag at it — so a concurrent GC can never collect the blob between
-// the put and the tag.
+// tag at it — so a concurrent GC (in this process or a sibling) can
+// never collect the blob between the put and the tag. If persisting
+// the index fails, the blob file and all in-memory mutations are
+// rolled back: a put that reports failure leaves no trace in the
+// store.
 func (s *Store) PutTagged(kind Kind, data []byte, tags ...string) (ID, error) {
 	if !validKind(kind) {
 		return ID{}, fmt.Errorf("cas: unknown kind %q", kind)
@@ -238,9 +368,13 @@ func (s *Store) PutTagged(kind Kind, data []byte, tags ...string) (ID, error) {
 		}
 	}
 	id := Sum(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return ID{}, err
+	}
+	defer release()
 	s.stats.Puts++
+	added := false
 	if e, ok := s.blob[id]; ok {
 		if e.kind != kind {
 			return ID{}, fmt.Errorf("cas: %s already stored as kind %q, not %q", id, e.kind, kind)
@@ -254,11 +388,37 @@ func (s *Store) PutTagged(kind Kind, data []byte, tags ...string) (ID, error) {
 		s.blob[id] = &entry{kind: kind, size: int64(len(data))}
 		s.stats.Blobs++
 		s.stats.Bytes += int64(len(data))
+		added = true
 	}
+	type prevTag struct {
+		id  ID
+		had bool
+	}
+	prev := make(map[string]prevTag, len(tags))
 	for _, t := range tags {
+		if _, seen := prev[t]; !seen {
+			old, had := s.tags[t]
+			prev[t] = prevTag{old, had}
+		}
 		s.tags[t] = id
 	}
 	if err := s.persistIndex(); err != nil {
+		// Nothing new became durable: undo the in-memory view and the
+		// just-written blob file so the reported outcome matches store
+		// state.
+		for t, pt := range prev {
+			if pt.had {
+				s.tags[t] = pt.id
+			} else {
+				delete(s.tags, t)
+			}
+		}
+		if added {
+			delete(s.blob, id)
+			s.stats.Blobs--
+			s.stats.Bytes -= int64(len(data))
+			_ = os.Remove(s.blobPath(kind, id))
+		}
 		return ID{}, err
 	}
 	return id, nil
@@ -269,9 +429,15 @@ func (s *Store) PutTagged(kind Kind, data []byte, tags ...string) (ID, error) {
 // index entry dropped, and ErrCorrupt returned; an ID the index does
 // not know returns ErrNotFound even if a file happens to exist on disk
 // (the index is authoritative until the recovery sweep re-verifies).
+// A transient read failure (out of descriptors, permissions, ...)
+// returns an error without touching the index: the blob stays
+// addressable and the caller may retry.
 func (s *Store) Get(id ID) ([]byte, Kind, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return nil, "", err
+	}
+	defer release()
 	s.stats.Gets++
 	e, ok := s.blob[id]
 	if !ok {
@@ -279,14 +445,20 @@ func (s *Store) Get(id ID) ([]byte, Kind, error) {
 		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	path := s.blobPath(e.kind, id)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		// The file went away underneath the index: drop the entry so
-		// the miss is not repeated, surface as not-found.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if !os.IsNotExist(rerr) {
+			// The file may be intact — only this read failed. Dropping
+			// the entry here would destroy the blob's tags (and with
+			// them resume addressability) over a transient error.
+			return nil, "", fmt.Errorf("cas: reading blob %s: %w", id, rerr)
+		}
+		// The file is truly gone underneath the index: drop the entry
+		// so the miss is not repeated, surface as not-found.
 		s.dropEntryLocked(id)
 		_ = s.persistIndex()
 		s.stats.GetMisses++
-		return nil, "", fmt.Errorf("%w: %s (blob file unreadable: %v)", ErrNotFound, id, err)
+		return nil, "", fmt.Errorf("%w: %s (blob file missing)", ErrNotFound, id)
 	}
 	if Sum(data) != id {
 		s.stats.CorruptGets++
@@ -299,7 +471,7 @@ func (s *Store) Get(id ID) ([]byte, Kind, error) {
 }
 
 // dropEntryLocked removes id from the in-memory index together with
-// every tag pointing at it. Called with s.mu held.
+// every tag pointing at it. Called with the store lock held.
 func (s *Store) dropEntryLocked(id ID) {
 	if e, ok := s.blob[id]; ok {
 		s.stats.Blobs--
@@ -315,16 +487,22 @@ func (s *Store) dropEntryLocked(id ID) {
 
 // Has reports whether the index knows id.
 func (s *Store) Has(id ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return false
+	}
+	defer release()
 	_, ok := s.blob[id]
 	return ok
 }
 
 // Stat returns a blob's kind, size and refcount.
 func (s *Store) Stat(id ID) (kind Kind, size int64, refs int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer release()
 	e, ok := s.blob[id]
 	if !ok {
 		return "", 0, 0, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -350,56 +528,94 @@ func (s *Store) Tag(name string, id ID) error {
 	if err := validateTag(name); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
 	if _, ok := s.blob[id]; !ok {
 		return fmt.Errorf("%w: %s (cannot tag)", ErrNotFound, id)
 	}
+	old, had := s.tags[name]
 	s.tags[name] = id
-	return s.persistIndex()
+	if err := s.persistIndex(); err != nil {
+		if had {
+			s.tags[name] = old
+		} else {
+			delete(s.tags, name)
+		}
+		return err
+	}
+	return nil
 }
 
-// Resolve returns the blob a tag points at.
+// Resolve returns the blob a tag points at — including tags written
+// by sibling processes sharing the store directory, which is what
+// lets a front-door process resume a run from a checkpoint a backend
+// process tagged.
 func (s *Store) Resolve(name string) (ID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return ID{}, false
+	}
+	defer release()
 	id, ok := s.tags[name]
 	return id, ok
 }
 
 // Untag removes a tag; it reports whether the tag existed.
 func (s *Store) Untag(name string) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tags[name]; !ok {
+	release, err := s.begin()
+	if err != nil {
+		return false, err
+	}
+	defer release()
+	id, ok := s.tags[name]
+	if !ok {
 		return false, nil
 	}
 	delete(s.tags, name)
-	return true, s.persistIndex()
+	if err := s.persistIndex(); err != nil {
+		s.tags[name] = id
+		return false, err
+	}
+	return true, nil
 }
 
 // UntagPrefix removes every tag with the given prefix (e.g. all of a
 // completed run's checkpoint tags) and returns how many were removed.
 func (s *Store) UntagPrefix(prefix string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for name := range s.tags {
+	release, err := s.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	removed := map[string]ID{}
+	for name, id := range s.tags {
 		if strings.HasPrefix(name, prefix) {
+			removed[name] = id
 			delete(s.tags, name)
-			n++
 		}
 	}
-	if n == 0 {
+	if len(removed) == 0 {
 		return 0, nil
 	}
-	return n, s.persistIndex()
+	if err := s.persistIndex(); err != nil {
+		for name, id := range removed {
+			s.tags[name] = id
+		}
+		return 0, err
+	}
+	return len(removed), nil
 }
 
 // Tags returns the tag names with the given prefix, sorted.
 func (s *Store) Tags(prefix string) []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return nil
+	}
+	defer release()
 	var out []string
 	for name := range s.tags {
 		if strings.HasPrefix(name, prefix) {
@@ -412,35 +628,55 @@ func (s *Store) Tags(prefix string) []string {
 
 // AddRef pins a blob against GC; Release unpins it.
 func (s *Store) AddRef(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
 	e, ok := s.blob[id]
 	if !ok {
 		return fmt.Errorf("%w: %s (cannot ref)", ErrNotFound, id)
 	}
 	e.refs++
-	return s.persistIndex()
+	if err := s.persistIndex(); err != nil {
+		e.refs--
+		return err
+	}
+	return nil
 }
 
 // Release drops one reference (floor zero).
 func (s *Store) Release(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, err := s.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
 	e, ok := s.blob[id]
 	if !ok {
 		return fmt.Errorf("%w: %s (cannot release)", ErrNotFound, id)
 	}
 	if e.refs > 0 {
 		e.refs--
+		if err := s.persistIndex(); err != nil {
+			e.refs++
+			return err
+		}
 	}
-	return s.persistIndex()
+	return nil
 }
 
 // GC removes every blob with zero references and no tag pointing at
-// it, returning how many blobs and bytes were reclaimed.
+// it, returning how many blobs and bytes were reclaimed. The root set
+// is re-read from disk under the store lock first, so checkpoints and
+// traces tagged by sibling processes are never collected out from
+// under them.
 func (s *Store) GC() (removed int, bytes int64, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	release, berr := s.begin()
+	if berr != nil {
+		return 0, 0, berr
+	}
+	defer release()
 	rooted := map[ID]bool{}
 	for _, id := range s.tags {
 		rooted[id] = true
@@ -470,7 +706,9 @@ func (s *Store) GC() (removed int, bytes int64, err error) {
 	return removed, bytes, err
 }
 
-// Stats snapshots the store counters.
+// Stats snapshots the store counters. Blobs/Bytes/Tags reflect the
+// index as of the last operation; the remaining counters are local to
+// this process.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -480,9 +718,11 @@ func (s *Store) Stats() Stats {
 }
 
 // writeFileAtomic lands data under path with the temp + sync + rename
-// idiom shared with checkpoint.WriteFileVia: a crash at any point
-// leaves either the previous state or a torn *.tmp* file for the
-// recovery sweep — never a half-written blob under the final name.
+// idiom shared with checkpoint.WriteFileVia, then syncs the parent
+// directory so the rename itself survives host power loss: a crash at
+// any point leaves either the previous state or a torn *.tmp* file
+// for the recovery sweep — never a half-written blob under the final
+// name.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -512,15 +752,45 @@ func writeFileAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("cas: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("cas: %w", err)
+	}
 	return nil
 }
 
-// persistIndex writes the index atomically. Called with s.mu held.
-func (s *Store) persistIndex() error {
-	return writeFileAtomic(filepath.Join(s.dir, "index"), encodeIndex(s.blob, s.tags))
+// syncDir fsyncs a directory so a rename that just landed in it is
+// durable against power loss, not only process death (the temp file's
+// own fsync covers the bytes; the new directory entry needs its own).
+// Filesystems that cannot sync a directory handle are best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !dirSyncBenign(err) {
+		return err
+	}
+	return nil
 }
 
-// sweep is the crash-recovery pass Open runs: see SweepReport.
+// persistIndex writes the index atomically and records the written
+// bytes so the next reload can skip an unchanged file. Called with
+// the store lock held.
+func (s *Store) persistIndex() error {
+	enc := encodeIndex(s.blob, s.tags)
+	if err := writeFileAtomic(filepath.Join(s.dir, "index"), enc); err != nil {
+		return err
+	}
+	s.lastIdx = enc
+	return nil
+}
+
+// sweep is the crash-recovery pass Open runs under the cross-process
+// lock: see SweepReport. Holding the lock for the whole sweep means a
+// sibling process's in-flight write (whose temp file only exists
+// while that sibling holds the lock) can never be mistaken for a torn
+// temp and quarantined.
 func (s *Store) sweep() (SweepReport, error) {
 	var rep SweepReport
 
@@ -564,7 +834,10 @@ func (s *Store) sweep() (SweepReport, error) {
 
 	// 3. Verify every blob on disk against its full hash. Corrupt or
 	// misnamed blobs are quarantined; verified blobs not in the index
-	// are adopted with zero refs.
+	// are adopted with zero refs. An ID already verified under an
+	// earlier kind directory is a duplicate — quarantining the extra
+	// copy (identical bytes, by the hash check) keeps the single map
+	// entry consistent with the stats and the on-disk tree.
 	onDisk := map[ID]bool{}
 	for _, kind := range Kinds() {
 		kdir := filepath.Join(s.dir, "blobs", string(kind))
@@ -575,6 +848,11 @@ func (s *Store) sweep() (SweepReport, error) {
 			id, perr := ParseID(d.Name())
 			if perr != nil {
 				s.quarantine(path, "bad-name")
+				rep.Corrupt++
+				return nil
+			}
+			if onDisk[id] {
+				s.quarantine(path, "duplicate-kind")
 				rep.Corrupt++
 				return nil
 			}

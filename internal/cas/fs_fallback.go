@@ -1,0 +1,15 @@
+//go:build !unix
+
+package cas
+
+// Without flock the store has no cross-process coordination: on these
+// platforms a store directory must be owned by exactly one process
+// (sharing a single *Store within a process remains safe — the
+// store's mutex serializes it).
+func flockEx(fd uintptr) error { return nil }
+
+func flockUn(fd uintptr) error { return nil }
+
+// dirSyncBenign: directory fsync support is unknown here, so treat
+// all directory-sync errors as best-effort.
+func dirSyncBenign(err error) bool { return true }

@@ -1,0 +1,31 @@
+//go:build unix
+
+package cas
+
+import (
+	"errors"
+	"syscall"
+)
+
+// flockEx takes the exclusive advisory lock on the open file
+// description fd, blocking until it is available and retrying EINTR;
+// flockUn releases it. The kernel drops the lock automatically when
+// the owning process dies, so a SIGKILLed writer can never wedge the
+// store for its siblings.
+func flockEx(fd uintptr) error {
+	for {
+		err := syscall.Flock(int(fd), syscall.LOCK_EX)
+		if !errors.Is(err, syscall.EINTR) {
+			return err
+		}
+	}
+}
+
+func flockUn(fd uintptr) error { return syscall.Flock(int(fd), syscall.LOCK_UN) }
+
+// dirSyncBenign reports whether a directory-handle fsync error is one
+// a filesystem legitimately returns when it cannot sync directories;
+// such errors are best-effort, not failures.
+func dirSyncBenign(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

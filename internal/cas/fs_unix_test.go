@@ -1,0 +1,42 @@
+//go:build unix
+
+package cas
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestFlockExcludesSecondHandle pins the syscall wiring: the lock a
+// store operation takes must actually exclude a second open handle
+// (i.e. another process) until released.
+func TestFlockExcludesSecondHandle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lock")
+	f1, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	defer f1.Close()
+	f2, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	defer f2.Close()
+
+	if err := flockEx(f1.Fd()); err != nil {
+		t.Fatalf("flockEx: %v", err)
+	}
+	err = syscall.Flock(int(f2.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err != syscall.EWOULDBLOCK {
+		t.Fatalf("second handle locked concurrently (err=%v), want EWOULDBLOCK", err)
+	}
+	if err := flockUn(f1.Fd()); err != nil {
+		t.Fatalf("flockUn: %v", err)
+	}
+	if err := syscall.Flock(int(f2.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		t.Fatalf("lock not released: %v", err)
+	}
+	_ = syscall.Flock(int(f2.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,261 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Two Stores opened on the same directory model two processes sharing
+// it (the flock treats distinct file handles as distinct owners, so
+// the coordination exercised here is exactly the cross-process path).
+
+func TestSharedDirTagsVisibleAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := mustOpen(t, dir)
+	b, _ := mustOpen(t, dir)
+	defer a.Close()
+	defer b.Close()
+
+	ckp := []byte("checkpoint payload")
+	id, err := a.PutTagged(KindCheckpoint, ckp, "ckp/run1/latest")
+	if err != nil {
+		t.Fatalf("PutTagged via a: %v", err)
+	}
+	got, ok := b.Resolve("ckp/run1/latest")
+	if !ok || got != id {
+		t.Fatalf("b.Resolve = (%s, %v), want (%s, true)", got, ok, id)
+	}
+	data, kind, err := b.Get(id)
+	if err != nil || !bytes.Equal(data, ckp) || kind != KindCheckpoint {
+		t.Fatalf("b.Get = (%q, %s, %v), want a's checkpoint back", data, kind, err)
+	}
+
+	// And the reverse direction.
+	id2, err := b.PutTagged(KindTrace, []byte("trace bytes"), "trace/w/1")
+	if err != nil {
+		t.Fatalf("PutTagged via b: %v", err)
+	}
+	if got, ok := a.Resolve("trace/w/1"); !ok || got != id2 {
+		t.Fatalf("a.Resolve = (%s, %v), want (%s, true)", got, ok, id2)
+	}
+}
+
+func TestSharedDirInterleavedPutsLoseNothing(t *testing.T) {
+	// Without the reload-under-lock each store would rewrite the index
+	// from its own stale view, and the last writer would drop every
+	// entry the sibling added since.
+	dir := t.TempDir()
+	a, _ := mustOpen(t, dir)
+	b, _ := mustOpen(t, dir)
+	defer a.Close()
+	defer b.Close()
+
+	var want []string
+	for i := 0; i < 8; i++ {
+		s, who := a, "a"
+		if i%2 == 1 {
+			s, who = b, "b"
+		}
+		tag := "run/" + who + "/" + string(rune('0'+i))
+		if _, err := s.PutTagged(KindCheckpoint, []byte(tag+" payload"), tag); err != nil {
+			t.Fatalf("PutTagged %s: %v", tag, err)
+		}
+		want = append(want, tag)
+	}
+	for _, tag := range want {
+		if _, ok := a.Resolve(tag); !ok {
+			t.Errorf("a lost tag %s", tag)
+		}
+		if _, ok := b.Resolve(tag); !ok {
+			t.Errorf("b lost tag %s", tag)
+		}
+	}
+	if st := a.Stats(); st.Blobs != len(want) {
+		t.Fatalf("a sees %d blobs, want %d", st.Blobs, len(want))
+	}
+}
+
+func TestSharedDirGCKeepsSiblingTaggedBlobs(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := mustOpen(t, dir)
+	b, _ := mustOpen(t, dir)
+	defer a.Close()
+	defer b.Close()
+
+	live, err := a.PutTagged(KindCheckpoint, []byte("live checkpoint"), "ckp/run/latest")
+	if err != nil {
+		t.Fatalf("PutTagged: %v", err)
+	}
+	junk, err := b.Put(KindTrace, []byte("untagged junk"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// b never saw a's tag through its own mutations; its GC must still
+	// honor it.
+	removed, _, err := b.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if removed != 1 {
+		t.Fatalf("GC removed %d blobs, want 1 (only the junk)", removed)
+	}
+	if b.Has(junk) {
+		t.Fatal("junk blob survived GC")
+	}
+	if data, _, err := a.Get(live); err != nil || !bytes.Equal(data, []byte("live checkpoint")) {
+		t.Fatalf("sibling's tagged checkpoint lost to GC: (%q, %v)", data, err)
+	}
+}
+
+func TestGetTransientReadErrorKeepsEntryAndTags(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	defer s.Close()
+	payload := []byte("fragile blob")
+	id, err := s.PutTagged(KindModel, payload, "model/latest")
+	if err != nil {
+		t.Fatalf("PutTagged: %v", err)
+	}
+	// Replace the blob file with a directory of the same name:
+	// ReadFile fails with EISDIR — an error that is not IsNotExist,
+	// standing in for EMFILE/EACCES-class transient failures.
+	path := s.blobPath(KindModel, id)
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("remove blob: %v", err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatalf("mkdir over blob: %v", err)
+	}
+	_, _, gerr := s.Get(id)
+	if gerr == nil {
+		t.Fatal("Get succeeded reading a directory")
+	}
+	if errors.Is(gerr, ErrNotFound) || errors.Is(gerr, ErrCorrupt) {
+		t.Fatalf("transient read error surfaced as %v; must stay retryable", gerr)
+	}
+	if !s.Has(id) {
+		t.Fatal("transient read error dropped the index entry")
+	}
+	if _, ok := s.Resolve("model/latest"); !ok {
+		t.Fatal("transient read error destroyed the tag")
+	}
+	// Once the fault clears, the blob serves again without a reopen.
+	if err := os.Remove(path); err != nil {
+		t.Fatalf("rmdir: %v", err)
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatalf("restore blob: %v", err)
+	}
+	if data, _, err := s.Get(id); err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("Get after fault cleared = (%q, %v), want the blob back", data, err)
+	}
+}
+
+func TestGetMissingFileStillDropsEntry(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	defer s.Close()
+	id, err := s.PutTagged(KindTrace, []byte("soon gone"), "trace/gone")
+	if err != nil {
+		t.Fatalf("PutTagged: %v", err)
+	}
+	if err := os.Remove(s.blobPath(KindTrace, id)); err != nil {
+		t.Fatalf("remove blob: %v", err)
+	}
+	if _, _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of missing file = %v, want ErrNotFound", err)
+	}
+	if s.Has(id) {
+		t.Fatal("missing blob's entry not dropped")
+	}
+	if _, ok := s.Resolve("trace/gone"); ok {
+		t.Fatal("missing blob's tag not dropped")
+	}
+}
+
+func TestPutTaggedRollsBackOnPersistFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	// Force persistIndex to fail: a directory squatting on the index
+	// path makes the final rename error out.
+	idx := filepath.Join(dir, "index")
+	if err := os.Remove(idx); err != nil {
+		t.Fatalf("remove index: %v", err)
+	}
+	if err := os.Mkdir(idx, 0o755); err != nil {
+		t.Fatalf("mkdir over index: %v", err)
+	}
+	data := []byte("doomed put")
+	id := Sum(data)
+	if _, err := s.PutTagged(KindCheckpoint, data, "ckp/doomed"); err == nil {
+		t.Fatal("PutTagged succeeded with an unwritable index")
+	}
+	// The reported failure must match store state: no entry, no tag,
+	// no blob file left behind.
+	if s.Has(id) {
+		t.Fatal("failed put left the blob in the index")
+	}
+	if _, ok := s.Resolve("ckp/doomed"); ok {
+		t.Fatal("failed put left its tag behind")
+	}
+	if _, err := os.Lstat(s.blobPath(KindCheckpoint, id)); !os.IsNotExist(err) {
+		t.Fatalf("failed put left the blob file on disk (lstat err=%v)", err)
+	}
+	if st := s.Stats(); st.Blobs != 0 || st.Bytes != 0 {
+		t.Fatalf("stats not rolled back: %+v", st)
+	}
+	// Clear the fault; the store works again without a reopen.
+	if err := os.Remove(idx); err != nil {
+		t.Fatalf("rmdir index: %v", err)
+	}
+	if _, err := s.PutTagged(KindCheckpoint, data, "ckp/ok"); err != nil {
+		t.Fatalf("PutTagged after fault cleared: %v", err)
+	}
+	if _, ok := s.Resolve("ckp/ok"); !ok {
+		t.Fatal("tag missing after recovery")
+	}
+}
+
+func TestSweepQuarantinesDuplicateKindCopy(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	data := []byte("same bytes, two kinds")
+	id, err := s.Put(KindTrace, data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Close()
+	// Plant an identical copy under a second kind directory, as a
+	// buggy or adversarial writer might.
+	dup := filepath.Join(dir, "blobs", string(KindModel), id.String()[:2], id.String())
+	if err := os.MkdirAll(filepath.Dir(dup), 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := os.WriteFile(dup, data, 0o644); err != nil {
+		t.Fatalf("plant duplicate: %v", err)
+	}
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if rep.Corrupt != 1 {
+		t.Fatalf("sweep report = %v, want exactly the duplicate quarantined", rep)
+	}
+	if st := s2.Stats(); st.Blobs != 1 || st.Bytes != int64(len(data)) {
+		t.Fatalf("duplicate double-counted: %+v", st)
+	}
+	got, kind, err := s2.Get(id)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get after dedup sweep = (%q, %v)", got, err)
+	}
+	if kind != KindTrace {
+		t.Fatalf("kind = %s, want the first-walked kind %s", kind, KindTrace)
+	}
+	if _, err := os.Lstat(dup); !os.IsNotExist(err) {
+		t.Fatal("duplicate copy still under blobs/")
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*duplicate-kind*"))
+	if len(q) != 1 {
+		t.Fatalf("want 1 duplicate-kind quarantine file, got %v", q)
+	}
+}
