@@ -1,7 +1,7 @@
 GO ?= go
 JOBS ?= 0
 
-.PHONY: build test check bench bench-track profile fmt fault-matrix suite soak cluster-soak
+.PHONY: build test check bench bench-track profile fmt fault-matrix suite soak cluster-soak incident-demo
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ soak:
 # and every store-corruption arm is detected and quarantined.
 cluster-soak:
 	$(GO) run -race ./cmd/resemblefront -soak
+
+# Incident flight-recorder demo: the cluster chaos harness with artifact
+# capture. Fails unless the kill phase produced a fleet incident bundle
+# with a failover trigger and a stitched cross-process Chrome trace that
+# validates (DESIGN.md §15). ARTIFACTS=DIR keeps the artifacts.
+incident-demo:
+	sh scripts/incident_demo.sh $(ARTIFACTS)
 
 # Graceful-degradation evaluation: masked vs unmasked ensemble vs solo
 # under each injected fault class (see DESIGN.md).

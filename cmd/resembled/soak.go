@@ -256,6 +256,74 @@ func (k *soak) auditAttribution(addr string) {
 	k.passf("per-phase allocation counters on /metrics (%d phases)", len(phases))
 }
 
+// auditFlightRecorder asserts the stuck-arm breaker trip was captured
+// as an incident bundle (trigger, process label, breadcrumbs,
+// pre-incident metrics history) and that /metrics/history serves the
+// sampler ring.
+func (k *soak) auditFlightRecorder(addr string) {
+	resp, err := http.Get("http://" + addr + "/debug/incidents")
+	if err != nil {
+		k.failf("incident list: %v", err)
+		return
+	}
+	var list struct {
+		Count     int                  `json:"count"`
+		Incidents []telemetry.Incident `json:"incidents"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		k.failf("incident list decode: %v", err)
+		return
+	}
+	var trip *telemetry.Incident
+	for i := range list.Incidents {
+		if list.Incidents[i].Trigger == "breaker.trip" {
+			trip = &list.Incidents[i]
+		}
+	}
+	switch {
+	case trip == nil:
+		k.failf("no breaker.trip incident captured (%d incidents)", list.Count)
+	case trip.Process != "resembled "+addr:
+		k.failf("breaker.trip incident process = %q, want %q", trip.Process, "resembled "+addr)
+	case len(trip.Events) == 0:
+		k.failf("breaker.trip incident has no breadcrumbs")
+	case len(trip.History) == 0:
+		k.failf("breaker.trip incident embeds no metrics history")
+	default:
+		k.passf("breaker trip captured as incident %d with %d history sample(s)",
+			trip.Seq, len(trip.History))
+	}
+
+	resp, err = http.Get("http://" + addr + "/metrics/history")
+	if err != nil {
+		k.failf("/metrics/history: %v", err)
+		return
+	}
+	var hist struct {
+		PeriodMS int64                     `json:"period_ms"`
+		Count    int                       `json:"count"`
+		Samples  []telemetry.HistorySample `json:"samples"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hist)
+	resp.Body.Close()
+	if err != nil {
+		k.failf("/metrics/history decode: %v", err)
+		return
+	}
+	switch {
+	case hist.PeriodMS != 50:
+		k.failf("/metrics/history period_ms = %d, want 50", hist.PeriodMS)
+	case hist.Count == 0:
+		k.failf("/metrics/history is empty")
+	case len(hist.Samples[hist.Count-1].Counters) == 0:
+		k.failf("/metrics/history newest sample has no counters")
+	default:
+		k.passf("/metrics/history serving %d sample(s) at %dms period", hist.Count, hist.PeriodMS)
+	}
+}
+
 // auditCapture takes an on-demand profile capture over HTTP and
 // validates the manifest: files on disk, decoded top alloc symbols.
 func (k *soak) auditCapture(addr string) {
@@ -323,7 +391,10 @@ func (k *soak) phaseChaosAndRecovery() {
 		Workers:    1,
 		QueueDepth: 2,
 		Telemetry:  chaosTel,
-		Profile:    service.ProfileConfig{Dir: filepath.Join(dir, "profiles"), Ring: 2},
+		// Dense metrics-history sampling so the breaker-trip incident
+		// below embeds a real pre-incident window.
+		HistoryEvery: 50 * time.Millisecond,
+		Profile:      service.ProfileConfig{Dir: filepath.Join(dir, "profiles"), Ring: 2},
 		// Periodic checkpoints tick inside the chaos window so the
 		// injected write failures actually hit the retry pipeline.
 		CheckpointPath:  ckpt,
@@ -375,6 +446,11 @@ func (k *soak) phaseChaosAndRecovery() {
 	} else {
 		k.passf("stuck arm tripped its breaker (trips=%d)", s.Breaker("bo").Trips())
 	}
+
+	// The trip is an incident: the flight recorder must have captured a
+	// bundle with pre-incident metrics history, and the history sampler
+	// must be serving its ring.
+	k.auditFlightRecorder(s.Addr())
 
 	// Solo requests for the broken arm are refused with the shedding
 	// contract while the breaker is open.

@@ -71,6 +71,7 @@ type options struct {
 	soak          bool
 	soakFor       time.Duration
 	soakAccesses  int
+	soakArtifacts string
 }
 
 // parseFlags parses argv (without the program name) into options.
@@ -97,6 +98,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.soak, "soak", false, "run the cluster chaos harness instead of serving")
 	fs.DurationVar(&o.soakFor, "soak.duration", 10*time.Second, "approximate soak length")
 	fs.IntVar(&o.soakAccesses, "soak.accesses", 4000, "trace length per soak request")
+	fs.StringVar(&o.soakArtifacts, "soak.artifacts", "", "directory for soak incident bundles and stitched Chrome traces (empty = none)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -131,11 +133,18 @@ func main() {
 	}
 
 	if o.soak {
+		if o.soakArtifacts != "" {
+			if err := os.MkdirAll(o.soakArtifacts, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "resemblefront: -soak.artifacts: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		os.Exit(runClusterSoak(clusterSoakConfig{
-			duration:   o.soakFor,
-			accesses:   o.soakAccesses,
-			hedgeAfter: o.hedgeAfter,
-			logf:       logf,
+			duration:     o.soakFor,
+			accesses:     o.soakAccesses,
+			hedgeAfter:   o.hedgeAfter,
+			artifactsDir: o.soakArtifacts,
+			logf:         logf,
 		}))
 	}
 

@@ -62,11 +62,14 @@ func TestParseFlagsRejects(t *testing.T) {
 }
 
 func TestParseFlagsSoakNeedsNoBackends(t *testing.T) {
-	o, err := parseFlags([]string{"-soak", "-soak.duration", "3s"})
+	o, err := parseFlags([]string{"-soak", "-soak.duration", "3s", "-soak.artifacts", "/tmp/incidents"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !o.soak || o.soakFor != 3*time.Second {
 		t.Fatalf("soak=%v soakFor=%v, want true/3s", o.soak, o.soakFor)
+	}
+	if o.soakArtifacts != "/tmp/incidents" {
+		t.Fatalf("soakArtifacts = %q, want /tmp/incidents", o.soakArtifacts)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"resemble/internal/cas"
@@ -24,7 +25,11 @@ type clusterSoakConfig struct {
 	duration   time.Duration
 	accesses   int
 	hedgeAfter time.Duration // 0 = harness default
-	logf       func(string, ...any)
+	// artifactsDir, when non-empty, receives the kill-phase incident
+	// bundle (incident-kill.json), the stitched cross-process Chrome
+	// trace (stitched-kill.json) and their wedge-phase counterparts.
+	artifactsDir string
+	logf         func(string, ...any)
 }
 
 // clusterSoak drives the phases and accumulates assertion failures.
@@ -55,10 +60,11 @@ func (k *clusterSoak) passf(format string, args ...any) {
 
 // backend is one in-process resembled instance under the front door.
 type backend struct {
-	svc   *service.Service
-	tel   *telemetry.Collector
-	chaos *service.Chaos
-	addr  string
+	svc     *service.Service
+	tel     *telemetry.Collector
+	chaos   *service.Chaos
+	addr    string
+	started time.Time // bounds how much metrics history it can hold
 }
 
 // startBackend boots one resembled instance. addr "" picks a port;
@@ -84,6 +90,11 @@ func (k *clusterSoak) startBackend(addr string) *backend {
 		// Checkpoint densely so a kill at any point mid-run has a
 		// recent resume point behind it.
 		RunCheckpointEvery: 512,
+		// Sample metrics densely enough that an incident captured a few
+		// seconds in already embeds a meaningful pre-incident window;
+		// 1200 samples at 50ms is the 60s retention DESIGN.md §15 pins.
+		HistoryEvery:   50 * time.Millisecond,
+		HistorySamples: 1200,
 		// Arm breakers are per-instance adaptive state: which arms a
 		// run gets depends on the instance's history, so a fleet that
 		// sharded the history differently would legitimately diverge
@@ -100,7 +111,7 @@ func (k *clusterSoak) startBackend(addr string) *backend {
 		k.failf("backend service.Start(%s): %v", addr, err)
 		return nil
 	}
-	return &backend{svc: svc, tel: tel, chaos: chaos, addr: svc.Addr()}
+	return &backend{svc: svc, tel: tel, chaos: chaos, addr: svc.Addr(), started: time.Now()}
 }
 
 // runClusterSoak executes the cluster chaos harness: 3 backends behind
@@ -233,8 +244,10 @@ func (k *clusterSoak) run() {
 				HalfOpenProbes:   1,
 			},
 		},
-		Telemetry: frontTel,
-		Logf:      k.cfg.logf,
+		Telemetry:      frontTel,
+		HistoryEvery:   50 * time.Millisecond,
+		HistorySamples: 1200,
+		Logf:           k.cfg.logf,
 	})
 	if err != nil {
 		k.failf("cluster.New: %v", err)
@@ -361,6 +374,14 @@ func (k *clusterSoak) run() {
 	// window stream must be byte-identical to an undisturbed
 	// single-instance run.
 	k.cfg.logf("cluster-soak: phase 3: kill mid-run, resume on the next ring backend")
+	// This front carries its own collector: the kill must yield a
+	// stitched cross-process trace (front request/attempt spans + the
+	// resumed attempt's backend spans) and a failover fleet bundle.
+	resumeTel, err := telemetry.New(telemetry.Config{})
+	if err != nil {
+		k.failf("resume front telemetry: %v", err)
+		return
+	}
 	front2, err := cluster.New(cluster.Config{
 		Backends:       addrs,
 		MaxInFlight:    4,
@@ -368,6 +389,9 @@ func (k *clusterSoak) run() {
 		DrainTimeout:   15 * time.Second,
 		Store:          store,
 		Probe:          cluster.ProbeConfig{Interval: 25 * time.Millisecond},
+		Telemetry:      resumeTel,
+		HistoryEvery:   50 * time.Millisecond,
+		HistorySamples: 1200,
 		Logf:           k.cfg.logf,
 	})
 	if err != nil {
@@ -429,6 +453,12 @@ func (k *clusterSoak) run() {
 		k.failf("resume front stats %+v, want exactly 1 resumed retry", st)
 	}
 
+	// The kill is an incident: the failover trigger must have assembled
+	// a fleet bundle, and the trace of the killed-then-resumed request
+	// must stitch into one valid cross-process Chrome trace.
+	k.auditKillBundle(front2, seq[0], byAddr)
+	k.auditKillTrace(resumeTel, seq[0])
+
 	// Byte-identity: the same request, uninterrupted, on a lone
 	// storeless instance must produce the same window stream.
 	refW := k.referenceWindows(resumeReq)
@@ -442,6 +472,9 @@ func (k *clusterSoak) run() {
 	}
 	if err := front2.Close(); err != nil {
 		k.failf("resume front close: %v", err)
+	}
+	if err := resumeTel.Close(); err != nil {
+		k.failf("resume front telemetry close: %v", err)
 	}
 
 	// Reap the killed owner and restore the 3-wide fleet for the
@@ -486,6 +519,11 @@ func (k *clusterSoak) run() {
 		k.passf("hedge won against the wedged backend in %v", took.Round(time.Millisecond))
 	}
 	wedged.chaos.Stop()
+
+	// The wedge is observable too: hedge breadcrumbs in the front
+	// door's flight recorder, a hedge span in its stitched trace, and a
+	// manual capture assembling a live full-fleet bundle.
+	k.auditWedgeObservability(front)
 
 	// Phase 5: ordered drain and the fleet-wide determinism audit.
 	k.cfg.logf("cluster-soak: phase 5: ordered drain + merged-window determinism audit")
@@ -701,6 +739,227 @@ func (k *clusterSoak) corruptionArm(arm faults.StoreArm) {
 		}
 	}
 	k.passf("phase 6: %s detected and contained (sweep: %s)", arm, rep2)
+}
+
+// auditKillBundle waits for the failover trigger's fleet incident
+// bundle on the resume front and asserts its contents: the killed
+// backend contributes its pull error, every surviving backend its
+// flight-recorder ring with as much pre-incident metrics history as
+// its lifetime allows (up to the 30s the incident contract asks for).
+func (k *clusterSoak) auditKillBundle(front2 *cluster.Front, killedAddr string, byAddr func(string) *backend) {
+	// The trigger assembles the bundle in the background; wait for it.
+	var bundle *cluster.FleetIncident
+	deadline := time.Now().Add(10 * time.Second)
+	for bundle == nil && time.Now().Before(deadline) {
+		for _, fi := range front2.FleetIncidents() {
+			if fi.Incident.Trigger == "failover" {
+				fi := fi
+				bundle = &fi
+				break
+			}
+		}
+		if bundle == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if bundle == nil {
+		k.failf("kill phase: no failover fleet incident bundle assembled")
+		return
+	}
+	if len(bundle.Backends) != 3 {
+		k.failf("kill bundle covers %d backends, want 3", len(bundle.Backends))
+	}
+	if len(bundle.Incident.History) == 0 {
+		k.failf("kill bundle carries no front-door metrics history")
+	}
+	for addr, ring := range bundle.Backends {
+		if addr == killedAddr {
+			if ring.Error == "" {
+				k.failf("kill bundle: killed backend %s pulled cleanly, want an error", addr)
+			}
+			continue
+		}
+		if ring.Snapshot == nil {
+			k.failf("kill bundle: surviving backend %s has no snapshot (%s)", addr, ring.Error)
+			continue
+		}
+		hist := ring.Snapshot.History
+		if len(hist) == 0 {
+			k.failf("kill bundle: surviving backend %s shipped no metrics history", addr)
+			continue
+		}
+		span := time.Duration(hist[len(hist)-1].TMS-hist[0].TMS) * time.Millisecond
+		want := 30 * time.Second
+		if b := byAddr(addr); b != nil {
+			// A backend can only have sampled between its start and the
+			// incident's capture (the resumed run keeps the clock moving
+			// long after the pull, so measure against the incident's own
+			// timestamp, not now); leave a second of sampler slack.
+			up := time.Duration(bundle.Incident.TMS-b.started.UnixMilli())*time.Millisecond - time.Second
+			if up < want {
+				want = up
+			}
+		}
+		if want < 0 {
+			want = 0
+		}
+		if span < want {
+			k.failf("kill bundle: backend %s history spans %v, want >= %v", addr, span, want)
+		}
+	}
+	k.passf("phase 3: failover fleet bundle embeds every surviving backend's pre-incident history")
+	if out, err := json.MarshalIndent(bundle, "", "  "); err != nil {
+		k.failf("kill bundle marshal: %v", err)
+	} else {
+		k.writeArtifact("incident-kill.json", out)
+	}
+}
+
+// auditKillTrace asserts the resume front's collector stitched the
+// killed-then-resumed request into one cross-process trace: the front
+// request span, the killed attempt, the resumed attempt, and the
+// surviving backend's adopted span tree — exported and validated as a
+// Chrome trace.
+func (k *clusterSoak) auditKillTrace(tel *telemetry.Collector, killedAddr string) {
+	// The request span ends (and lands in the collector) a hair after
+	// the response is written; poll briefly.
+	var spans []telemetry.SpanRecord
+	names := map[string]int{}
+	backendProcs := map[string]bool{}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans = tel.Spans()
+		names = map[string]int{}
+		backendProcs = map[string]bool{}
+		for _, sp := range spans {
+			names[sp.Name]++
+			if strings.HasPrefix(sp.Proc, "backend ") {
+				backendProcs[sp.Proc] = true
+			}
+		}
+		if (names["request"] > 0 && names["attempt.resume"] > 0 && len(backendProcs) > 0) ||
+			time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	switch {
+	case names["request"] == 0:
+		k.failf("stitched kill trace has no front request span")
+	case names["attempt"] == 0:
+		k.failf("stitched kill trace has no span for the killed attempt")
+	case names["attempt.resume"] == 0:
+		k.failf("stitched kill trace has no resumed-attempt span")
+	case len(backendProcs) == 0:
+		k.failf("stitched kill trace adopted no backend spans")
+	case backendProcs["backend "+killedAddr]:
+		k.failf("stitched kill trace carries spans from the killed backend %s", killedAddr)
+	default:
+		var buf bytes.Buffer
+		if err := telemetry.WriteChromeTrace(&buf, spans); err != nil {
+			k.failf("stitched kill trace export: %v", err)
+			return
+		}
+		if err := telemetry.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+			k.failf("stitched kill trace invalid: %v", err)
+			return
+		}
+		k.passf("phase 3: stitched cross-process trace validates (%d spans, front + %d backend proc(s))",
+			len(spans), len(backendProcs))
+		k.writeArtifact("stitched-kill.json", buf.Bytes())
+	}
+}
+
+// auditWedgeObservability asserts the wedge/hedge phase is observable
+// on the main front: a "hedge" breadcrumb in its flight-recorder ring,
+// a "hedge" span in its stitched trace, and a manual capture that
+// assembles a bundle from the (now healthy) whole fleet.
+func (k *clusterSoak) auditWedgeObservability(front *cluster.Front) {
+	resp, err := http.Get("http://" + front.Addr() + "/debug/flightrec")
+	if err != nil {
+		k.failf("front flightrec: %v", err)
+		return
+	}
+	var snap telemetry.RecorderSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		k.failf("front flightrec decode: %v", err)
+		return
+	}
+	hedgeNoted := false
+	for _, ev := range snap.Events {
+		if ev.Kind == "hedge" {
+			hedgeNoted = true
+		}
+	}
+	if !hedgeNoted {
+		k.failf("front flight recorder has no hedge breadcrumb after the wedge phase")
+	} else {
+		k.passf("phase 4: hedge launch left a breadcrumb in the front flight recorder")
+	}
+	hedgeSpan := false
+	for _, sp := range k.frontTel.Spans() {
+		if sp.Name == "hedge" {
+			hedgeSpan = true
+		}
+	}
+	if !hedgeSpan {
+		k.failf("front trace has no hedge span after the wedge phase")
+	}
+
+	resp, err = http.Post("http://"+front.Addr()+"/debug/incidents/capture", "application/json", nil)
+	if err != nil {
+		k.failf("manual fleet capture: %v", err)
+		return
+	}
+	var bundle cluster.FleetIncident
+	err = json.NewDecoder(resp.Body).Decode(&bundle)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		k.failf("manual fleet capture: status %d, err %v", resp.StatusCode, err)
+		return
+	}
+	if bundle.Incident.Trigger != "manual: POST /debug/incidents/capture" {
+		k.failf("manual capture trigger = %q", bundle.Incident.Trigger)
+	}
+	if len(bundle.Backends) != 3 {
+		k.failf("manual capture covers %d backends, want 3", len(bundle.Backends))
+	}
+	for addr, ring := range bundle.Backends {
+		if ring.Snapshot == nil {
+			k.failf("manual capture: healthy backend %s has no snapshot (%s)", addr, ring.Error)
+		} else if len(ring.Snapshot.History) == 0 {
+			k.failf("manual capture: backend %s shipped no metrics history", addr)
+		}
+	}
+	k.passf("phase 4: manual capture assembled a full-fleet bundle (%d backends)", len(bundle.Backends))
+	if out, merr := json.MarshalIndent(bundle, "", "  "); merr == nil {
+		k.writeArtifact("incident-wedge.json", out)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, k.frontTel.Spans()); err != nil {
+		k.failf("wedge-phase stitched trace export: %v", err)
+		return
+	}
+	if err := telemetry.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		k.failf("wedge-phase stitched trace invalid: %v", err)
+		return
+	}
+	k.writeArtifact("stitched-wedge.json", buf.Bytes())
+}
+
+// writeArtifact drops bytes into the artifacts dir (no-op when unset).
+func (k *clusterSoak) writeArtifact(name string, data []byte) {
+	if k.cfg.artifactsDir == "" {
+		return
+	}
+	path := filepath.Join(k.cfg.artifactsDir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		k.failf("artifact %s: %v", name, err)
+		return
+	}
+	k.passf("artifact written: %s", path)
 }
 
 // dumpDivergence pinpoints the first window where the fleet's merged

@@ -78,9 +78,21 @@ type Config struct {
 
 	// Telemetry, when non-nil, carries the front door's registry
 	// metrics and receives every run's windows, merged in
-	// admission-seq order (the cluster determinism contract). Nil
+	// admission-seq order (the cluster determinism contract). It also
+	// turns on distributed tracing: every dispatch attempt carries a
+	// trace-parent header, and the backend's span tree is stitched
+	// under the front door's request span (see DESIGN.md §15). Nil
 	// disables both; runs are still routed.
 	Telemetry *telemetry.Collector
+	// HistoryEvery is the metrics-history sampling period (default
+	// telemetry.DefaultHistoryEvery); HistorySamples the ring size
+	// (default telemetry.DefaultHistorySamples). Only meaningful with
+	// Telemetry set.
+	HistoryEvery   time.Duration
+	HistorySamples int
+	// IncidentMinInterval rate-limits automatic incident captures
+	// (default telemetry's 5s; manual captures always fire).
+	IncidentMinInterval time.Duration
 	// Logf receives operational log lines (nil discards them unless
 	// Logger is set); Logger receives structured request logs.
 	Logf   func(format string, args ...any)
@@ -105,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.HistoryEvery <= 0 {
+		c.HistoryEvery = telemetry.DefaultHistoryEvery
 	}
 	if c.Logf == nil {
 		if lg := c.Logger; lg != nil {
@@ -133,6 +148,10 @@ type frontCounters struct {
 	shed, rejected              atomic.Uint64
 	failovers, hedges           atomic.Uint64
 	hedgeWins, retriesDenied    atomic.Uint64
+	// Every hedge launch resolves to exactly one of won (its answer was
+	// used), lost (it finished, but after the winner) or cancelled (the
+	// winner's return aborted it mid-flight).
+	hedgeLost, hedgeCancelled atomic.Uint64
 	// resumedRetries counts failover attempts forwarded with
 	// resume_from pointing at the interrupted run's last durable
 	// checkpoint (requires Config.Store).
@@ -165,12 +184,24 @@ type Front struct {
 	stats   frontCounters
 	perBack map[string]*backendCounters
 
+	// history/recorder are non-nil iff Telemetry is configured.
+	history  *telemetry.History
+	recorder *telemetry.FlightRecorder
+	histStop chan struct{}
+	histDone chan struct{}
+
+	fleetMu sync.Mutex
+	fleet   []FleetIncident
+
 	drainOnce sync.Once
 	drainErr  error
 	drained   chan struct{}
 
 	start time.Time
 }
+
+// fleetIncidentCap bounds the front door's in-memory fleet-bundle ring.
+const fleetIncidentCap = 16
 
 // New validates the configuration and builds a stopped front door;
 // Start makes it listen and route.
@@ -180,10 +211,17 @@ func New(cfg Config) (*Front, error) {
 		return nil, errors.New("cluster: at least one backend is required")
 	}
 	f := &Front{
-		cfg:      cfg,
-		ring:     NewRing(cfg.Replicas),
-		budget:   &resilience.Budget{Capacity: cfg.RetryBudget, Ratio: 0.1},
-		client:   &http.Client{}, // per-request contexts bound the round trips
+		cfg:    cfg,
+		ring:   NewRing(cfg.Replicas),
+		budget: &resilience.Budget{Capacity: cfg.RetryBudget, Ratio: 0.1},
+		// Per-request contexts bound the round trips. The dedicated
+		// transport keeps the front's keep-alive pool out of
+		// http.DefaultTransport: sharing a pool with other backend
+		// clients (the health prober, tests) races their dials, and a
+		// dial that loses the race parks a connection the backend sees
+		// as new-but-silent — which srv.Shutdown cannot reap and stalls
+		// on until its deadline.
+		client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
 		httpDone: make(chan struct{}),
 		tokens:   make(chan struct{}, cfg.MaxInFlight),
 		perBack:  make(map[string]*backendCounters),
@@ -200,6 +238,16 @@ func New(cfg Config) (*Front, error) {
 	probe := cfg.Probe
 	probe.Logf = cfg.Logf
 	f.health = NewHealth(f.ring.Backends(), probe)
+	if cfg.Telemetry != nil {
+		// Front spans carry the "front" process label in stitched traces;
+		// adopted backend spans are stamped per backend at adoption.
+		cfg.Telemetry.SetProc("front")
+		f.history = telemetry.NewHistory(cfg.HistorySamples)
+		f.recorder = telemetry.NewFlightRecorder(telemetry.RecorderConfig{
+			Process:     "resemblefront",
+			MinInterval: cfg.IncidentMinInterval,
+		}, cfg.Telemetry, f.history)
+	}
 	return f, nil
 }
 
@@ -239,26 +287,57 @@ func (f *Front) Start() error {
 		}
 	}()
 	f.health.Start()
+	f.recorder.SetProcess("resemblefront " + f.Addr())
+	if f.history != nil {
+		f.histStop = make(chan struct{})
+		f.histDone = make(chan struct{})
+		go f.historyLoop()
+	}
 	f.cfg.Logf("cluster: front door ready on %s over %d backends %v",
 		f.Addr(), f.ring.Len(), f.ring.Backends())
 	return nil
 }
 
+// historyLoop samples the fleet exposition into the bounded history
+// ring every HistoryEvery until drain.
+func (f *Front) historyLoop() {
+	defer close(f.histDone)
+	f.history.Record(time.Now(), f.metricsSnapshot())
+	t := time.NewTicker(f.cfg.HistoryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			f.history.Record(now, f.metricsSnapshot())
+		case <-f.histStop:
+			return
+		}
+	}
+}
+
 // Handler returns the front door's HTTP API:
 //
-//	POST /v1/run     route a simulation to its backend (failover/hedge)
-//	GET  /healthz    front-door liveness
-//	GET  /readyz     front-door readiness (503 draining/overloaded)
-//	GET  /metrics    fleet-wide OpenMetrics exposition
-//	GET  /stats      front counters + per-backend health JSON
-//	POST /drain      graceful front-door drain (202)
+//	POST /v1/run                  route a simulation to its backend (failover/hedge)
+//	GET  /healthz                 front-door liveness
+//	GET  /readyz                  front-door readiness (503 draining/overloaded)
+//	GET  /metrics                 fleet-wide OpenMetrics exposition
+//	GET  /metrics/history         recent fleet metrics samples (JSON ring)
+//	GET  /stats                   front counters + per-backend health JSON
+//	GET  /debug/incidents         assembled fleet incident bundles
+//	POST /debug/incidents/capture manual fleet incident capture (synchronous)
+//	GET  /debug/flightrec         the front door's own recorder snapshot
+//	POST /drain                   graceful front-door drain (202)
 func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", f.handleRun)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /readyz", f.handleReadyz)
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	mux.HandleFunc("GET /metrics/history", f.handleMetricsHistory)
 	mux.HandleFunc("GET /stats", f.handleStats)
+	mux.HandleFunc("GET /debug/incidents", f.handleIncidents)
+	mux.HandleFunc("POST /debug/incidents/capture", f.handleIncidentCapture)
+	mux.HandleFunc("GET /debug/flightrec", f.handleFlightRec)
 	mux.HandleFunc("POST /drain", f.handleDrain)
 	return mux
 }
@@ -301,6 +380,8 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 	case f.tokens <- struct{}{}:
 	default:
 		f.stats.shed.Add(1)
+		f.recorder.Trigger("shed.burst",
+			fmt.Sprintf("front door at %d in-flight requests", cap(f.tokens)))
 		unavailable(w, service.ReadyReasonOverloaded,
 			fmt.Sprintf("front door at %d in-flight requests: shed", cap(f.tokens)))
 		return
@@ -322,10 +403,13 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Windows ride back for the admission-seq merge whenever the front
-	// door carries a collector; the client only sees them if it asked.
+	// door carries a collector, and spans ride back for trace
+	// stitching; the client only sees either if it asked.
 	clientWantsWindows := req.ReturnWindows
+	clientWantsSpans := req.ReturnSpans
 	if f.cfg.Telemetry != nil {
 		req.ReturnWindows = true
+		req.ReturnSpans = true
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -335,9 +419,15 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	began := time.Now()
 	seq := f.admit()
+	// The request root span anchors the whole cross-process trace: its
+	// track is globally unique per admission, every dispatch attempt is
+	// a child, and the winning backend's shipped tree is adopted under
+	// the attempt that produced it.
+	rsp := f.cfg.Telemetry.StartSpan(fmt.Sprintf("freq:%04d", seq), "request")
+	defer rsp.End()
 	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
 	defer cancel()
-	a := f.dispatch(ctx, RouteKey(req), req, payload)
+	a := f.dispatch(ctx, RouteKey(req), req, payload, rsp)
 
 	if a.status == http.StatusOK {
 		f.commits.commit(seq, a.resp.Windows)
@@ -345,8 +435,12 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 		if bc := f.perBack[a.backend]; bc != nil {
 			bc.served.Add(1)
 		}
+		f.adoptAttemptSpans(a)
 		if !clientWantsWindows {
 			a.resp.Windows = nil
+		}
+		if !clientWantsSpans {
+			a.resp.Spans = nil
 		}
 		f.cfg.Logger.Info("request routed",
 			"seq", seq, "backend", a.backend, "hedged", a.hedged,
@@ -368,6 +462,9 @@ func (f *Front) handleRun(w http.ResponseWriter, r *http.Request) {
 	resp := a.resp
 	if resp.Error == "" && a.err != nil {
 		resp.Error = a.err.Error()
+	}
+	if !clientWantsSpans {
+		resp.Spans = nil
 	}
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
@@ -395,6 +492,10 @@ type attempt struct {
 	status  int
 	resp    service.Response
 	err     error
+	// span is the front door's view of this try (nil without
+	// telemetry): a child of the request span, named "attempt",
+	// "attempt.resume" (failover with a durable checkpoint) or "hedge".
+	span *telemetry.Span
 }
 
 func (a attempt) ok() bool { return a.err == nil && a.status == http.StatusOK }
@@ -413,7 +514,7 @@ func (a attempt) terminal() bool {
 // With a shared artifact store, each failover retry forwards the
 // request with resume_from set to the interrupted run's last durable
 // checkpoint, so the next backend continues instead of restarting.
-func (f *Front) dispatch(ctx context.Context, key string, req service.Request, payload []byte) attempt {
+func (f *Front) dispatch(ctx context.Context, key string, req service.Request, payload []byte, rsp *telemetry.Span) attempt {
 	order := f.health.Order(f.ring.Sequence(key))
 	if f.cfg.MaxAttempts > 0 && len(order) > f.cfg.MaxAttempts {
 		order = order[:f.cfg.MaxAttempts]
@@ -427,17 +528,36 @@ func (f *Front) dispatch(ctx context.Context, key string, req service.Request, p
 	defer cancel() // reaps the losers
 	results := make(chan attempt, len(order))
 	launched := 0
+	outstanding := 0
+	// Losers still in flight when dispatch returns are drained in the
+	// background: their spans end and their hedge outcomes are
+	// accounted even though nobody waits for them. Registered after
+	// cancel so it runs first; the cancel then aborts the losers.
+	defer func() {
+		if n := outstanding; n > 0 {
+			go func() {
+				for i := 0; i < n; i++ {
+					a := <-results
+					a.span.End()
+					f.accountHedge(a, false)
+				}
+			}()
+		}
+	}()
 	launch := func(hedged bool) {
 		b := order[launched]
 		launched++
 		bc := f.perBack[b]
 		p := payload
+		name := "attempt"
 		switch {
 		case hedged:
+			name = "hedge"
 			f.stats.hedges.Add(1)
 			if bc != nil {
 				bc.hedges.Add(1)
 			}
+			f.recorder.Note("hedge", b)
 		case launched > 1:
 			if bc != nil {
 				bc.retries.Add(1)
@@ -448,9 +568,11 @@ func (f *Front) dispatch(ctx context.Context, key string, req service.Request, p
 			// usually exists) and hand the run over where it left off.
 			if rp := f.resumePayload(req); rp != nil {
 				p = rp
+				name = "attempt.resume"
 			}
 		}
-		go func() { results <- f.tryBackend(actx, b, p, hedged) }()
+		sp := rsp.Child(name)
+		go func() { results <- f.tryBackend(actx, b, p, sp, hedged) }()
 	}
 	launch(false)
 
@@ -461,12 +583,14 @@ func (f *Front) dispatch(ctx context.Context, key string, req service.Request, p
 		hedgeC = ht.C
 	}
 
-	outstanding := 1
+	outstanding = 1
 	var last attempt
 	for {
 		select {
 		case a := <-results:
 			outstanding--
+			a.span.End()
+			f.accountHedge(a, a.ok())
 			if a.ok() {
 				f.budget.Refund()
 				if a.hedged {
@@ -484,11 +608,19 @@ func (f *Front) dispatch(ctx context.Context, key string, req service.Request, p
 			if launched < len(order) {
 				if f.budget.Spend() {
 					f.stats.failovers.Add(1)
+					if inc := f.recorder.Trigger("failover",
+						fmt.Sprintf("backend %s failed, retrying on %s", a.backend, order[launched])); inc != nil {
+						go f.assembleFleetBundle(*inc)
+					}
 					launch(false)
 					outstanding++
 					continue
 				}
 				f.stats.retriesDenied.Add(1)
+				if inc := f.recorder.Trigger("retry.budget.exhausted",
+					fmt.Sprintf("no tokens left to retry past %s", a.backend)); inc != nil {
+					go f.assembleFleetBundle(*inc)
+				}
 				f.cfg.Logf("cluster: retry budget exhausted for %s", a.backend)
 			}
 			if outstanding == 0 {
@@ -541,19 +673,24 @@ func (f *Front) resumePayload(req service.Request) []byte {
 // status reports healthy (the server is alive — readiness is the
 // prober's business). A context cancellation reports nothing: losing
 // a hedge race is not a health signal.
-func (f *Front) tryBackend(ctx context.Context, backend string, payload []byte, hedged bool) attempt {
+func (f *Front) tryBackend(ctx context.Context, backend string, payload []byte, sp *telemetry.Span, hedged bool) attempt {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+backend+"/v1/run", bytes.NewReader(payload))
 	if err != nil {
-		return attempt{backend: backend, hedged: hedged, err: err}
+		return attempt{backend: backend, hedged: hedged, span: sp, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The trace-parent header roots the backend's span tree under this
+	// attempt; the backend ships the tree back in Response.Spans.
+	if v := telemetry.FormatSpanRef(sp.Ref()); v != "" {
+		req.Header.Set(telemetry.TraceParentHeader, v)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
 			f.health.Report(backend, false)
 		}
-		return attempt{backend: backend, hedged: hedged, err: fmt.Errorf("backend %s: %w", backend, err)}
+		return attempt{backend: backend, hedged: hedged, span: sp, err: fmt.Errorf("backend %s: %w", backend, err)}
 	}
 	defer resp.Body.Close()
 	var out service.Response
@@ -562,11 +699,46 @@ func (f *Front) tryBackend(ctx context.Context, backend string, payload []byte, 
 		if !errors.Is(derr, context.Canceled) {
 			f.health.Report(backend, false)
 		}
-		return attempt{backend: backend, hedged: hedged,
+		return attempt{backend: backend, hedged: hedged, span: sp,
 			err: fmt.Errorf("backend %s: truncated response: %w", backend, derr)}
 	}
 	f.health.Report(backend, true)
-	return attempt{backend: backend, hedged: hedged, status: resp.StatusCode, resp: out}
+	return attempt{backend: backend, hedged: hedged, span: sp, status: resp.StatusCode, resp: out}
+}
+
+// accountHedge resolves a hedge launch's outcome counter. won means the
+// attempt's answer was used (already counted as a hedge win); a loser
+// either finished uselessly (lost) or was aborted by the winner's
+// cancel (cancelled).
+func (f *Front) accountHedge(a attempt, won bool) {
+	if !a.hedged || won {
+		return
+	}
+	if errors.Is(a.err, context.Canceled) {
+		f.stats.hedgeCancelled.Add(1)
+		return
+	}
+	f.stats.hedgeLost.Add(1)
+}
+
+// adoptAttemptSpans stitches the winning backend's shipped span tree
+// into the front door's collector: anchored to the attempt span's
+// start (normalizing clock skew between processes — the shipped
+// timestamps are on the backend's process epoch, which is unrelated to
+// ours), stamped with the backend's process label, and adopted
+// verbatim otherwise. Span IDs need no translation because both sides
+// derive them from the same FNV-1a scheme rooted at the attempt ID.
+func (f *Front) adoptAttemptSpans(a attempt) {
+	if f.cfg.Telemetry == nil || a.span == nil || len(a.resp.Spans) == 0 {
+		return
+	}
+	spans := telemetry.AnchorSpans(a.resp.Spans, a.span.Ref().ID, a.span.StartUS())
+	for i := range spans {
+		if spans[i].Proc == "" {
+			spans[i].Proc = "backend " + a.backend
+		}
+	}
+	f.cfg.Telemetry.AdoptSpans(spans)
 }
 
 func (f *Front) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -592,16 +764,22 @@ func (f *Front) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // Stats is the front door's JSON counter view.
 type Stats struct {
-	State         string `json:"state"`
-	Admitted      uint64 `json:"requests_admitted"`
-	Completed     uint64 `json:"requests_completed"`
-	Failed        uint64 `json:"requests_failed"`
-	Shed          uint64 `json:"requests_shed"`
-	Rejected      uint64 `json:"requests_rejected"`
-	Failovers     uint64 `json:"failovers"`
-	Hedges        uint64 `json:"hedges"`
-	HedgeWins     uint64 `json:"hedge_wins"`
-	RetriesDenied uint64 `json:"retries_denied"`
+	State     string `json:"state"`
+	Admitted  uint64 `json:"requests_admitted"`
+	Completed uint64 `json:"requests_completed"`
+	Failed    uint64 `json:"requests_failed"`
+	Shed      uint64 `json:"requests_shed"`
+	Rejected  uint64 `json:"requests_rejected"`
+	Failovers uint64 `json:"failovers"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// HedgeLost counts hedges that finished after the winner;
+	// HedgeCancelled counts hedges aborted mid-flight by the winner's
+	// return. hedges == hedge_wins + hedge_lost + hedge_cancelled once
+	// everything in flight has drained.
+	HedgeLost      uint64 `json:"hedge_lost"`
+	HedgeCancelled uint64 `json:"hedge_cancelled"`
+	RetriesDenied  uint64 `json:"retries_denied"`
 	// ResumedRetries counts failover attempts that carried resume_from
 	// (a shared store held a durable checkpoint of the dying run).
 	ResumedRetries uint64          `json:"resumed_retries"`
@@ -622,6 +800,8 @@ func (f *Front) Stats() Stats {
 		Failovers:      f.stats.failovers.Load(),
 		Hedges:         f.stats.hedges.Load(),
 		HedgeWins:      f.stats.hedgeWins.Load(),
+		HedgeLost:      f.stats.hedgeLost.Load(),
+		HedgeCancelled: f.stats.hedgeCancelled.Load(),
 		RetriesDenied:  f.stats.retriesDenied.Load(),
 		ResumedRetries: f.stats.resumedRetries.Load(),
 		RetryTokens:    f.budget.Tokens(),
@@ -634,11 +814,13 @@ func (f *Front) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, f.Stats())
 }
 
-// handleMetrics serves the fleet-wide OpenMetrics exposition: the
-// front door's registry (when telemetry is on) overlaid with its own
-// counters and one labeled family per backend for health state,
-// ejections, failovers, hedges, retries and reported queue depth.
-func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// metricsSnapshot assembles the fleet-wide registry snapshot that
+// backs both the OpenMetrics exposition and the metrics-history
+// sampler: the front door's registry (when telemetry is on) overlaid
+// with its own counters and one labeled family per backend for health
+// state, ejections, failovers, hedges, retries and reported queue
+// depth.
+func (f *Front) metricsSnapshot() telemetry.RegistrySnapshot {
 	reg := f.cfg.Telemetry.Registry()
 	telemetry.UpdateRuntimeGauges(reg, f.start)
 	snap := reg.Snapshot()
@@ -651,6 +833,11 @@ func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.Counters["cluster.failovers"] = st.Failovers
 	snap.Counters["cluster.hedges"] = st.Hedges
 	snap.Counters["cluster.hedge.wins"] = st.HedgeWins
+	// Hedge outcome accounting: won mirrors hedge.wins under the
+	// outcome-triple naming so the three resolutions sum to hedges.
+	snap.Counters["cluster.hedge.won"] = st.HedgeWins
+	snap.Counters["cluster.hedge.lost"] = st.HedgeLost
+	snap.Counters["cluster.hedge.cancelled"] = st.HedgeCancelled
 	snap.Counters["cluster.retries.denied"] = st.RetriesDenied
 	// Exposed as cluster_retry_budget_exhausted_total: each increment is
 	// one failover the shared token bucket refused, i.e. the moment the
@@ -690,8 +877,12 @@ func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			snap.Gauges[name] = v
 		}
 	}
+	return snap
+}
+
+func (f *Front) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", telemetry.PromContentType)
-	_ = telemetry.WritePrometheus(w, snap,
+	_ = telemetry.WritePrometheus(w, f.metricsSnapshot(),
 		telemetry.LabelRule{Prefix: "cluster.backend.state", Label: "backend"},
 		telemetry.LabelRule{Prefix: "cluster.backend.queue.depth", Label: "backend"},
 		telemetry.LabelRule{Prefix: "cluster.backend.ejections", Label: "backend"},
@@ -714,6 +905,103 @@ func breakerStateValue(name string) float64 {
 	default:
 		return float64(resilience.Closed)
 	}
+}
+
+// BackendRing is one backend's contribution to a fleet incident
+// bundle: its flight-recorder snapshot, or the error that kept the
+// front door from pulling it (a killed backend is itself evidence).
+type BackendRing struct {
+	Error    string                      `json:"error,omitempty"`
+	Snapshot *telemetry.RecorderSnapshot `json:"snapshot,omitempty"`
+}
+
+// FleetIncident is a fleet-wide incident bundle: the front door's own
+// incident (trigger, breadcrumbs, spans, pre-incident metrics history)
+// plus every backend's flight-recorder ring pulled at capture time.
+type FleetIncident struct {
+	Incident telemetry.Incident     `json:"incident"`
+	Backends map[string]BackendRing `json:"backends"`
+}
+
+// assembleFleetBundle pulls every backend's recorder snapshot and
+// parks the assembled bundle in the bounded fleet ring. Called in the
+// background on automatic triggers and synchronously on manual
+// capture.
+func (f *Front) assembleFleetBundle(inc telemetry.Incident) FleetIncident {
+	bundle := FleetIncident{Incident: inc, Backends: make(map[string]BackendRing)}
+	for _, b := range f.ring.Backends() {
+		bundle.Backends[b] = f.pullBackendRing(b)
+	}
+	f.fleetMu.Lock()
+	f.fleet = append(f.fleet, bundle)
+	if len(f.fleet) > fleetIncidentCap {
+		f.fleet = f.fleet[len(f.fleet)-fleetIncidentCap:]
+	}
+	f.fleetMu.Unlock()
+	return bundle
+}
+
+func (f *Front) pullBackendRing(b string) BackendRing {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+b+"/debug/flightrec", nil)
+	if err != nil {
+		return BackendRing{Error: err.Error()}
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return BackendRing{Error: err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return BackendRing{Error: fmt.Sprintf("backend answered %d", resp.StatusCode)}
+	}
+	var snap telemetry.RecorderSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&snap); err != nil {
+		return BackendRing{Error: "decoding snapshot: " + err.Error()}
+	}
+	return BackendRing{Snapshot: &snap}
+}
+
+// FleetIncidents returns the assembled bundles, oldest first.
+func (f *Front) FleetIncidents() []FleetIncident {
+	f.fleetMu.Lock()
+	defer f.fleetMu.Unlock()
+	return append([]FleetIncident(nil), f.fleet...)
+}
+
+func (f *Front) handleIncidents(w http.ResponseWriter, _ *http.Request) {
+	list := f.FleetIncidents()
+	if list == nil {
+		list = []FleetIncident{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(list), "incidents": list})
+}
+
+func (f *Front) handleIncidentCapture(w http.ResponseWriter, _ *http.Request) {
+	if f.recorder == nil {
+		unavailable(w, "disabled", "flight recorder disabled (front door has no telemetry collector)")
+		return
+	}
+	inc := f.recorder.Capture("manual: POST /debug/incidents/capture", "")
+	writeJSON(w, http.StatusOK, f.assembleFleetBundle(inc))
+}
+
+func (f *Front) handleFlightRec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, f.recorder.Snapshot())
+}
+
+func (f *Front) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
+	samples := f.history.Samples()
+	if samples == nil {
+		samples = []telemetry.HistorySample{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"period_ms": f.cfg.HistoryEvery.Milliseconds(),
+		"capacity":  f.history.Cap(),
+		"count":     len(samples),
+		"samples":   samples,
+	})
 }
 
 // handleDrain starts a graceful drain in the background (202).
@@ -744,9 +1032,16 @@ func (f *Front) Drain(ctx context.Context) error {
 			<-f.httpDone
 		}
 		f.health.Stop()
+		if f.histStop != nil {
+			close(f.histStop)
+			<-f.histDone
+		}
 		if f.cfg.DrainBackends {
 			f.drainBackends(ctx)
 		}
+		// Release pooled keep-alive conns so backend shutdowns that
+		// outlive the front don't wait on our idle sockets.
+		f.client.CloseIdleConnections()
 		f.state.Store(int32(service.Stopped))
 		f.cfg.Logf("cluster: front door stopped (served %d, failed %d, failovers %d, hedges %d)",
 			f.stats.completed.Load(), f.stats.failed.Load(),

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"resemble/internal/service"
+	"resemble/internal/telemetry"
 )
 
 // fakeBackend is an in-process resembled stand-in with switchable
@@ -46,6 +47,9 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		}
 		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "state": state})
 	})
+	mux.HandleFunc("GET /debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(telemetry.RecorderSnapshot{Process: "fake " + fb.addr, TMS: 1})
+	})
 	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, _ *http.Request) {
 		fb.mu.Lock()
 		if fb.drains != nil {
@@ -62,6 +66,15 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 }
 
 func (fb *fakeBackend) handleRun(w http.ResponseWriter, r *http.Request) {
+	// Drain the body before stalling so the server's background read
+	// notices a cancelled client and fires r.Context().Done() — without
+	// this, hedged losers sleep out their full delay and test cleanup
+	// blocks on them.
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
 	if d := time.Duration(fb.delay.Load()); d > 0 {
 		select {
 		case <-time.After(d):
@@ -76,7 +89,7 @@ func (fb *fakeBackend) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req service.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		w.WriteHeader(http.StatusBadRequest)
 		return
 	}

@@ -39,7 +39,12 @@ func (c ProbeConfig) withDefaults() ProbeConfig {
 		c.Timeout = 2 * time.Second
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: c.Timeout}
+		// Own transport: probe keep-alives must not share (and race)
+		// http.DefaultTransport's per-host pool with other clients.
+		c.Client = &http.Client{
+			Timeout:   c.Timeout,
+			Transport: &http.Transport{MaxIdleConnsPerHost: 2},
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -111,10 +116,13 @@ func (h *Health) Start() {
 	}
 }
 
-// Stop halts the probe loops and waits for them to exit. Idempotent.
+// Stop halts the probe loops, waits for them to exit, and drops the
+// probe client's pooled keep-alive conns so backends can shut down
+// without waiting on them. Idempotent.
 func (h *Health) Stop() {
 	h.once.Do(func() { close(h.stop) })
 	h.wg.Wait()
+	h.cfg.Client.CloseIdleConnections()
 }
 
 // probeLoop scrapes one backend's /readyz until Stop. Each tick first

@@ -38,6 +38,13 @@ type Request struct {
 	// Requires the service to run with a telemetry collector; without
 	// one the response simply carries no windows.
 	ReturnWindows bool `json:"return_windows,omitempty"`
+	// ReturnSpans asks for the request's finished span records in the
+	// response — the request→admission→worker→sim tree — so a
+	// coordinator can stitch them into its own trace (it sends the
+	// parent context in the X-Resemble-Trace-Parent header, see
+	// telemetry.TraceParentHeader). Mirrors ReturnWindows: without a
+	// telemetry collector the response simply carries no spans.
+	ReturnSpans bool `json:"return_spans,omitempty"`
 	// ResumeFrom, when non-empty, is the hex ID of a run checkpoint in
 	// the service's artifact store to warm-start from. The checkpoint
 	// must belong to this exact run (the scope hash is verified on
@@ -75,6 +82,13 @@ type Response struct {
 	// request set ReturnWindows (and telemetry is enabled) — exactly
 	// the stream the run's child collector committed, in order.
 	Windows []telemetry.WindowSnapshot `json:"windows,omitempty"`
+	// Spans carries the request's finished span records when the
+	// request set ReturnSpans (and telemetry is enabled): the run's
+	// spans from the isolated child collector followed by the
+	// service-level admission/worker/request spans. Timestamps are on
+	// this process's timeline; the adopter re-anchors them
+	// (telemetry.AnchorSpans).
+	Spans []telemetry.SpanRecord `json:"spans,omitempty"`
 	// CheckpointID is the store ID of the last durable checkpoint the
 	// run wrote (empty when no store is attached or no boundary was
 	// reached). A completed run releases its checkpoints for GC, so
@@ -91,14 +105,23 @@ const retryAfter = "1"
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/run        submit a simulation, wait for its result
-//	GET  /v1/explain    recent sampled RL decision records
-//	GET  /healthz       liveness (200 while the process serves HTTP)
-//	GET  /readyz        readiness (503 while saturated or draining)
-//	GET  /metrics       OpenMetrics/Prometheus text exposition
-//	GET  /metrics.json  telemetry registry snapshot + service counters
-//	GET  /stats         service counters only
-//	POST /drain         begin graceful shutdown (202)
+//	POST /v1/run          submit a simulation, wait for its result
+//	GET  /v1/explain      recent sampled RL decision records
+//	GET  /healthz         liveness (200 while the process serves HTTP)
+//	GET  /readyz          readiness (503 while saturated or draining)
+//	GET  /metrics         OpenMetrics/Prometheus text exposition
+//	GET  /metrics.json    telemetry registry snapshot + service counters
+//	GET  /metrics/history periodic registry samples (fixed-size ring)
+//	GET  /stats           service counters only
+//	POST /drain           begin graceful shutdown (202)
+//
+// Incident flight recorder (empty results when telemetry is off):
+//
+//	GET  /debug/incidents          retained incident bundles
+//	POST /debug/incidents/capture  snapshot an incident bundle now
+//	GET  /debug/flightrec          raw ring snapshot (no incident) —
+//	                               what a front door pulls when it
+//	                               assembles a fleet bundle
 //
 // When the capture manager is configured (Config.Profile.Dir):
 //
@@ -112,8 +135,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("GET /debug/incidents", s.handleIncidents)
+	mux.HandleFunc("POST /debug/incidents/capture", s.handleIncidentCapture)
+	mux.HandleFunc("GET /debug/flightrec", s.handleFlightRec)
 	if s.profiles != nil {
 		mux.HandleFunc("POST /debug/profile/capture", s.handleProfileCapture)
 		mux.HandleFunc("GET /debug/profile/captures", s.handleProfileList)
@@ -181,7 +208,11 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	t, err := s.admit(r.Context(), req)
+	// A coordinator propagating its trace context parents this
+	// request's span tree under its own attempt span; a missing or
+	// malformed header degrades to a locally rooted tree.
+	ref, _ := telemetry.ParseSpanRef(r.Header.Get(telemetry.TraceParentHeader))
+	t, err := s.admit(r.Context(), req, ref)
 	if err != nil {
 		s.counter("service.requests.shed").Inc()
 		unavailable(w, err.Error())
@@ -204,7 +235,9 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 // admit sequences the request into the bounded queue under the
 // admission lock, so queue FIFO order and telemetry commit order
 // agree. Shedding and draining surface as errors for the 503 path.
-func (s *Service) admit(parent context.Context, req Request) (*task, error) {
+// A non-zero ref (inbound trace context) parents the request span
+// under the coordinator's attempt span instead of a local root.
+func (s *Service) admit(parent context.Context, req Request, ref telemetry.SpanRef) (*task, error) {
 	ctx, cancel := context.WithTimeout(parent, s.cfg.RequestTimeout)
 	t := &task{req: req, ctx: ctx, cancel: cancel, done: make(chan struct{})}
 
@@ -222,12 +255,24 @@ func (s *Service) admit(parent context.Context, req Request) (*task, error) {
 	// only happens-before edge it gets. Created under admitMu, so span
 	// ordinals follow admission order. On shed the spans are never
 	// ended, so nothing is recorded for requests that were never run.
-	t.span = s.cfg.Telemetry.StartSpan(fmt.Sprintf("req:%04d", t.seq), "request")
-	asp := t.span.Child("admission")
+	// Under an inbound trace context the span ID derives from the
+	// coordinator's (globally unique) attempt ID rather than the local
+	// admission ordinal, so the stitched identity is independent of
+	// this backend's worker count and admission history.
+	if ref.ID != 0 {
+		t.span = s.cfg.Telemetry.StartSpanUnder(ref, "request")
+	} else {
+		t.span = s.cfg.Telemetry.StartSpan(fmt.Sprintf("req:%04d", t.seq), "request")
+	}
+	t.admitSpan = t.span.Child("admission")
 	if err := s.queue.Offer(t); err != nil {
 		cancel()
 		if errors.Is(err, resilience.ErrShed) {
 			s.stats.shed.Add(1)
+			// The recorder snapshot is taken under admitMu; the rate
+			// limit keeps a shed storm to one capture per interval.
+			s.recorder.Trigger("shed.burst",
+				fmt.Sprintf("queue full (%d deep)", s.queue.Capacity()))
 			return nil, fmt.Errorf("queue full (%d deep): request shed", s.queue.Capacity())
 		}
 		s.stats.rejected.Add(1)
@@ -236,7 +281,7 @@ func (s *Service) admit(parent context.Context, req Request) (*task, error) {
 	s.nextSeq++
 	s.stats.admitted.Add(1)
 	s.counter("service.requests.admitted").Inc()
-	asp.End()
+	t.admitSpan.End()
 	return t, nil
 }
 
@@ -382,6 +427,50 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"count":       len(ds),
 		"decisions":   ds,
 	})
+}
+
+// handleMetricsHistory serves the periodic registry sample ring
+// (empty when telemetry is off): enough to reconstruct the minute of
+// fleet metrics before an incident without external scrape
+// infrastructure.
+func (s *Service) handleMetricsHistory(w http.ResponseWriter, _ *http.Request) {
+	samples := s.history.Samples()
+	if samples == nil {
+		samples = []telemetry.HistorySample{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"period_ms": s.cfg.HistoryEvery.Milliseconds(),
+		"capacity":  s.history.Cap(),
+		"count":     len(samples),
+		"samples":   samples,
+	})
+}
+
+// handleIncidents returns the retained incident bundles, oldest first.
+func (s *Service) handleIncidents(w http.ResponseWriter, _ *http.Request) {
+	incs := s.recorder.Incidents()
+	if incs == nil {
+		incs = []telemetry.Incident{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(incs), "incidents": incs})
+}
+
+// handleIncidentCapture snapshots an incident bundle on demand,
+// bypassing the automatic-trigger rate limit.
+func (s *Service) handleIncidentCapture(w http.ResponseWriter, _ *http.Request) {
+	if s.recorder == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			Response{Error: "flight recorder disabled (service has no telemetry collector)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.recorder.Capture("manual: POST /debug/incidents/capture", ""))
+}
+
+// handleFlightRec serves the raw ring snapshot without capturing an
+// incident — the per-backend payload a front door pulls when it
+// assembles a fleet bundle.
+func (s *Service) handleFlightRec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.recorder.Snapshot())
 }
 
 // handleStats dumps the service counters.

@@ -99,8 +99,21 @@ type Config struct {
 	// Telemetry, when non-nil, instruments every simulation (window
 	// snapshots, sampled events) and carries the service's registry
 	// metrics. Nil disables instrumentation; the service still tracks
-	// its own Stats.
+	// its own Stats. It also enables the observability extras below:
+	// the metrics-history sampler and the incident flight recorder.
 	Telemetry *telemetry.Collector
+	// HistoryEvery is the metrics-history sampling period (default 1s)
+	// and HistorySamples the ring capacity (default 120 — two minutes
+	// of retention). The ring serves /metrics/history and rides along
+	// in incident bundles.
+	HistoryEvery   time.Duration
+	HistorySamples int
+	// IncidentMinInterval rate-limits automatic incident captures
+	// (default 5s); IncidentP99MS, when positive, adds a p99-breach
+	// trigger checked at each history tick against the request-latency
+	// histogram.
+	IncidentMinInterval time.Duration
+	IncidentP99MS       float64
 	// SimConfig overrides the simulation configuration (nil = default).
 	SimConfig *sim.Config
 	// Breaker parameterizes the per-arm circuit breakers.
@@ -160,6 +173,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 15 * time.Second
+	}
+	if c.HistoryEvery <= 0 {
+		c.HistoryEvery = telemetry.DefaultHistoryEvery
+	}
+	if c.HistorySamples <= 0 {
+		c.HistorySamples = telemetry.DefaultHistorySamples
 	}
 	if c.Store != nil && c.RunCheckpointEvery <= 0 {
 		c.RunCheckpointEvery = 5000
@@ -258,6 +277,13 @@ type Service struct {
 	pprofSrv  *http.Server // shut down on drain
 
 	profiles *captureManager // nil when ProfileConfig is disabled
+
+	// history and recorder are non-nil iff telemetry is enabled: the
+	// periodic registry sample ring behind /metrics/history, and the
+	// incident flight recorder behind /debug/incidents. Both are
+	// nil-safe, so trigger sites never branch.
+	history  *telemetry.History
+	recorder *telemetry.FlightRecorder
 
 	// admitMu serializes admission so queue order equals telemetry
 	// commit order.
@@ -374,6 +400,23 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Profile.enabled() {
 		s.profiles = newCaptureManager(cfg.Profile, cfg.Logf, reg.Counter("service.profile.captures"))
 	}
+	if cfg.Telemetry != nil {
+		s.history = telemetry.NewHistory(cfg.HistorySamples)
+		s.recorder = telemetry.NewFlightRecorder(telemetry.RecorderConfig{
+			Process:     "resembled",
+			MinInterval: cfg.IncidentMinInterval,
+			// Incident bundles ride alongside PR 6's profile captures:
+			// attach the retained capture manifests so the bundle points
+			// at the pprof data taken around the same window.
+			Decorate: func(inc *telemetry.Incident) {
+				if s.profiles != nil {
+					if list := s.profiles.List(); len(list) > 0 {
+						inc.Captures = list
+					}
+				}
+			},
+		}, cfg.Telemetry, s.history)
+	}
 	for _, arm := range ArmNames() {
 		arm := arm
 		bcfg := cfg.Breaker
@@ -385,6 +428,9 @@ func New(cfg Config) (*Service, error) {
 			gauge.Set(float64(to))
 			if to == resilience.Open {
 				trips.Inc()
+				s.recorder.Trigger("breaker.trip", arm)
+			} else {
+				s.recorder.Note("breaker."+to.String(), arm)
 			}
 			s.cfg.Logf("service: breaker %s: %s -> %s", arm, from, to)
 			if prev != nil {
@@ -573,6 +619,11 @@ func (s *Service) Start() error {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.startWorker(i)
 	}
+	s.recorder.SetProcess("resembled " + s.Addr())
+	if s.history != nil {
+		s.loops.Add(1)
+		go s.historyLoop()
+	}
 	s.loops.Add(1)
 	go s.watchdog()
 	if s.cfg.CheckpointPath != "" {
@@ -679,6 +730,30 @@ func (s *Service) Drained() <-chan struct{} { return s.drained }
 // is disabled).
 func (s *Service) counter(name string) *telemetry.Counter {
 	return s.cfg.Telemetry.Registry().Counter(name)
+}
+
+// historyLoop samples the metrics exposition into the history ring at
+// HistoryEvery (one immediate sample so even a short-lived service has
+// history) and checks the optional p99-breach incident trigger.
+func (s *Service) historyLoop() {
+	defer s.loops.Done()
+	t := time.NewTicker(s.cfg.HistoryEvery)
+	defer t.Stop()
+	s.history.Record(time.Now(), s.metricsSnapshot())
+	for {
+		select {
+		case <-t.C:
+			s.history.Record(time.Now(), s.metricsSnapshot())
+			if lim := s.cfg.IncidentP99MS; lim > 0 {
+				if p99 := s.hLatency.Snapshot().Summary.P99; p99 > lim {
+					s.recorder.Trigger("p99.breach",
+						fmt.Sprintf("service.request.latency.ms p99 %.1f > %.1f", p99, lim))
+				}
+			}
+		case <-s.stopCh:
+			return
+		}
+	}
 }
 
 // checkpointLoop periodically persists the service counters.

@@ -440,7 +440,7 @@ func TestServiceRejectsAfterDrainStarts(t *testing.T) {
 		t.Fatalf("drain after drained: %v", err)
 	}
 	// Admission after the drain is a clean rejection, not a hang.
-	if _, err := s.admit(context.Background(), Request{Workload: "433.milc", Controller: "bo"}); err == nil {
+	if _, err := s.admit(context.Background(), Request{Workload: "433.milc", Controller: "bo"}, telemetry.SpanRef{}); err == nil {
 		t.Fatal("admit after drain succeeded")
 	}
 	if got := s.Stats().Rejected; got == 0 {

@@ -26,6 +26,9 @@ type task struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	span   *telemetry.Span // request span (nil when telemetry is off)
+	// admitSpan is retained so its finished record can ship in the
+	// response when the request asks for spans.
+	admitSpan *telemetry.Span
 
 	done   chan struct{} // closed when resp/status are final
 	resp   Response
@@ -96,6 +99,7 @@ func (s *Service) workerLoop(i, crashes int) {
 		s.counter("service.workers.restarts").Inc()
 		delay := restartBackoff.Delay(crashes + 1)
 		s.cfg.Logf("service: worker %d crashed (%v); restarting in %s", i, r, delay)
+		s.recorder.Trigger("panic.restart", fmt.Sprintf("worker %d: %v", i, r))
 		go func() {
 			t := time.NewTimer(delay)
 			defer t.Stop()
@@ -147,6 +151,7 @@ func (s *Service) watchdog() {
 					s.counter("service.workers.wedged").Inc()
 					label, _ := s.busy[i].label.Load().(string)
 					s.cfg.Logf("service: worker %d wedged on %q for > %s", i, label, limit)
+					s.recorder.Note("wedge", fmt.Sprintf("worker %d on %q", i, label))
 				}
 			}
 		case <-s.stopCh:
@@ -205,6 +210,16 @@ func (s *Service) serve(i int, t *task) {
 	case err == nil:
 		s.stats.completed.Add(1)
 		s.counter("service.requests.completed").Inc()
+		if t.req.ReturnSpans {
+			// Seal the service-level spans before the response ships so
+			// the coordinator's stitched trace carries the whole
+			// request → admission → worker.serve tree, not just the
+			// run's spans. End is idempotent; the deferred Ends above
+			// become no-ops.
+			wsp.End()
+			t.span.End()
+			resp.Spans = appendSpanRecords(resp.Spans, t.admitSpan, wsp, t.span)
+		}
 		t.finish(status, resp)
 	case errors.Is(err, sim.ErrInterrupted) || errors.Is(err, context.DeadlineExceeded):
 		s.timeout(t)
@@ -372,6 +387,14 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 	if req.ReturnWindows {
 		windows = child.Windows()
 	}
+	// Likewise the child's spans: the run tree (sim.run and below),
+	// already parented under the request span via the cross-collector
+	// ref. serve appends the service-level spans before the response
+	// ships.
+	var spans []telemetry.SpanRecord
+	if req.ReturnSpans {
+		spans = child.Spans()
+	}
 
 	return Response{
 		Workload:          res.Workload,
@@ -391,9 +414,21 @@ func (s *Service) simulate(t *task) (Response, int, error) {
 		MaskedArms:        masked,
 		DurationMS:        float64(time.Since(began)) / float64(time.Millisecond),
 		Windows:           windows,
+		Spans:             spans,
 		CheckpointID:      lastCkpID,
 		ResumedFrom:       resumedFrom,
 	}, http.StatusOK, nil
+}
+
+// appendSpanRecords appends the finished records of the given span
+// handles (skipping nil or still-open ones).
+func appendSpanRecords(dst []telemetry.SpanRecord, spans ...*telemetry.Span) []telemetry.SpanRecord {
+	for _, sp := range spans {
+		if rec, ok := sp.Record(); ok {
+			dst = append(dst, rec)
+		}
+	}
+	return dst
 }
 
 // fetchResume pulls a requested resume checkpoint out of the store.

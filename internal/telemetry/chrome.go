@@ -11,10 +11,14 @@ import (
 
 // Chrome trace-event export: spans render as complete ("X") events in
 // the Trace Event JSON format, loadable in chrome://tracing and
-// Perfetto. Each span track becomes one thread row (with a
-// thread_name metadata record), and X events are sorted so their ts
-// values are monotone per row — the property the check.sh validity
-// gate asserts.
+// Perfetto. Each distinct process label (SpanRecord.Proc) becomes one
+// pid with a process_name metadata record — so a stitched cluster
+// trace shows the front door and every backend as separate process
+// groups — and each span track becomes one thread row within its
+// process (with a thread_name metadata record). X events are sorted so
+// their ts values are monotone per (pid, tid) row — the property the
+// check.sh validity gate asserts. Unlabeled spans keep pid 1 with no
+// process_name record, preserving the single-process export format.
 
 // chromeEvent is one Trace Event (phase "X" complete event or "M"
 // metadata).
@@ -35,21 +39,52 @@ type chromeTrace struct {
 
 // WriteChromeTrace renders the spans as Chrome trace-event JSON.
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
-	tids := map[string]int{}
-	var tracks []string
+	// One pid per distinct process label; the unlabeled local process
+	// sorts first and keeps pid 1.
+	pids := map[string]int{}
+	var procs []string
 	for _, s := range spans {
-		if _, ok := tids[s.Track]; !ok {
-			tids[s.Track] = 0
-			tracks = append(tracks, s.Track)
+		if _, ok := pids[s.Proc]; !ok {
+			pids[s.Proc] = 0
+			procs = append(procs, s.Proc)
 		}
 	}
-	sort.Strings(tracks)
-	evs := make([]chromeEvent, 0, len(spans)+len(tracks))
-	for i, t := range tracks {
-		tids[t] = i + 1
+	sort.Strings(procs)
+	for i, p := range procs {
+		pids[p] = i + 1
+	}
+	// One tid per (process, track) pair, assigned in sorted order.
+	type rowKey struct{ proc, track string }
+	tids := map[rowKey]int{}
+	var rows []rowKey
+	for _, s := range spans {
+		k := rowKey{s.Proc, s.Track}
+		if _, ok := tids[k]; !ok {
+			tids[k] = 0
+			rows = append(rows, k)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].proc != rows[j].proc {
+			return rows[i].proc < rows[j].proc
+		}
+		return rows[i].track < rows[j].track
+	})
+	evs := make([]chromeEvent, 0, len(spans)+len(rows)+len(procs))
+	for _, p := range procs {
+		if p == "" {
+			continue
+		}
 		evs = append(evs, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
-			Args: map[string]any{"name": t},
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+	for i, k := range rows {
+		tids[k] = i + 1
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[k.proc], Tid: i + 1,
+			Args: map[string]any{"name": k.track},
 		})
 	}
 	xs := make([]chromeEvent, 0, len(spans))
@@ -60,11 +95,15 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 		}
 		xs = append(xs, chromeEvent{
 			Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: s.DurUS,
-			Pid: 1, Tid: tids[s.Track], Args: args,
+			Pid: pids[s.Proc], Tid: tids[rowKey{s.Proc, s.Track}], Args: args,
 		})
 	}
-	// Monotone ts per tid; ties put the longer (enclosing) span first.
+	// Monotone ts per (pid, tid); ties put the longer (enclosing) span
+	// first.
 	sort.SliceStable(xs, func(i, j int) bool {
+		if xs[i].Pid != xs[j].Pid {
+			return xs[i].Pid < xs[j].Pid
+		}
 		if xs[i].Tid != xs[j].Tid {
 			return xs[i].Tid < xs[j].Tid
 		}
@@ -93,7 +132,7 @@ func WriteChromeTraceFile(path string, spans []SpanRecord) error {
 // ValidateChromeTrace checks that r holds a loadable Chrome trace:
 // valid JSON with a non-empty traceEvents array, only phases this
 // exporter emits, non-negative durations, and ts monotone
-// (non-decreasing) per tid in file order.
+// (non-decreasing) per (pid, tid) row in file order.
 func ValidateChromeTrace(r io.Reader) error {
 	var ct struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
@@ -104,7 +143,7 @@ func ValidateChromeTrace(r io.Reader) error {
 	if len(ct.TraceEvents) == 0 {
 		return errors.New("chrome trace: no events")
 	}
-	last := map[int]float64{}
+	last := map[[2]int]float64{}
 	seenX := false
 	for i, e := range ct.TraceEvents {
 		switch e.Ph {
@@ -118,11 +157,12 @@ func ValidateChromeTrace(r io.Reader) error {
 			if e.Dur < 0 {
 				return fmt.Errorf("chrome trace: event %d (%s) has negative dur %v", i, e.Name, e.Dur)
 			}
-			if prev, ok := last[e.Tid]; ok && e.Ts < prev {
-				return fmt.Errorf("chrome trace: event %d (%s) ts %v < %v: not monotone on tid %d",
-					i, e.Name, e.Ts, prev, e.Tid)
+			row := [2]int{e.Pid, e.Tid}
+			if prev, ok := last[row]; ok && e.Ts < prev {
+				return fmt.Errorf("chrome trace: event %d (%s) ts %v < %v: not monotone on pid %d tid %d",
+					i, e.Name, e.Ts, prev, e.Pid, e.Tid)
 			}
-			last[e.Tid] = e.Ts
+			last[row] = e.Ts
 		default:
 			return fmt.Errorf("chrome trace: event %d has unsupported phase %q", i, e.Ph)
 		}

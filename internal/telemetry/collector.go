@@ -107,6 +107,7 @@ type Collector struct {
 	// unlike the rest of the collector, is read concurrently (HTTP
 	// scrape/explain handlers) while runs are writing.
 	obsMu       sync.Mutex
+	proc        string // process label stamped onto retained spans (SetProc)
 	spans       []SpanRecord
 	spanDrops   uint64
 	spanCap     int

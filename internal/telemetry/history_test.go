@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMetricsHistoryRing(t *testing.T) {
+	h := NewHistory(3)
+	reg := NewRegistry()
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 5; i++ {
+		reg.Counter("reqs").Inc()
+		reg.Gauge("busy").Set(float64(i))
+		h.Record(base.Add(time.Duration(i)*time.Second), reg.Snapshot())
+	}
+	if h.Len() != 3 || h.Cap() != 3 {
+		t.Fatalf("len=%d cap=%d, want 3/3", h.Len(), h.Cap())
+	}
+	s := h.Samples()
+	if len(s) != 3 {
+		t.Fatalf("samples %d, want 3", len(s))
+	}
+	// Oldest two evicted: retained samples are ticks 2..4.
+	for i, want := range []uint64{3, 4, 5} {
+		if s[i].Counters["reqs"] != want {
+			t.Fatalf("sample %d reqs=%d, want %d", i, s[i].Counters["reqs"], want)
+		}
+	}
+	if s[0].TMS >= s[2].TMS {
+		t.Fatal("samples not oldest-first")
+	}
+	if got := h.SpanMS(); got != 2000 {
+		t.Fatalf("SpanMS=%d, want 2000", got)
+	}
+	if s[2].Gauges["busy"] != 4 {
+		t.Fatalf("gauge not sampled: %v", s[2].Gauges)
+	}
+}
+
+func TestMetricsHistoryFoldsHistogramP99(t *testing.T) {
+	h := NewHistory(4)
+	reg := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		reg.Histogram("latency.ms").Observe(float64(i))
+	}
+	h.Record(time.Now(), reg.Snapshot())
+	s := h.Samples()
+	p99, ok := s[0].Gauges["latency.ms.p99"]
+	if !ok {
+		t.Fatalf("histogram p99 not folded into gauges: %v", s[0].Gauges)
+	}
+	if p99 < 90 || p99 > 100 {
+		t.Fatalf("latency.ms.p99 = %v, want ~99", p99)
+	}
+}
+
+func TestMetricsHistoryNilAndEmpty(t *testing.T) {
+	var h *History
+	h.Record(time.Now(), RegistrySnapshot{})
+	if h.Samples() != nil || h.Len() != 0 || h.Cap() != 0 || h.SpanMS() != 0 {
+		t.Fatal("nil history not inert")
+	}
+	h2 := NewHistory(0)
+	if h2.Cap() != DefaultHistorySamples {
+		t.Fatalf("default capacity %d, want %d", h2.Cap(), DefaultHistorySamples)
+	}
+	if h2.Samples() != nil || h2.SpanMS() != 0 {
+		t.Fatal("empty history not empty")
+	}
+}

@@ -1,13 +1,18 @@
 package telemetry
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // benchHandles lives at package scope so the compiler cannot prove the
 // handles nil and fold the disabled paths away — the benchmark must
 // measure the nil check instrumented code actually pays.
 var benchHandles = struct {
-	c   *Counter
-	col *Collector
+	c    *Counter
+	col  *Collector
+	rec  *FlightRecorder
+	hist *History
 }{}
 
 // BenchmarkTelemetryOverhead measures the hot-path cost of the
@@ -68,6 +73,20 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		col := benchHandles.col
 		for i := 0; i < b.N; i++ {
 			col.StartAllocPhase("x").End()
+		}
+	})
+	b.Run("flightrec-disabled", func(b *testing.B) {
+		rec := benchHandles.rec
+		for i := 0; i < b.N; i++ {
+			rec.Note("x", "")
+		}
+	})
+	b.Run("history-disabled", func(b *testing.B) {
+		h := benchHandles.hist
+		for i := 0; i < b.N; i++ {
+			if h.Len() != 0 {
+				b.Fatal("nil history non-empty")
+			}
 		}
 	})
 	b.Run("alloc-phase-enabled", func(b *testing.B) {
@@ -135,6 +154,26 @@ func TestDisabledHotPathUnder5ns(t *testing.T) {
 		}
 	}); ns >= 5 {
 		t.Errorf("disabled alloc-phase path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+	if ns := measure(func(b *testing.B) {
+		rec := benchHandles.rec
+		for i := 0; i < b.N; i++ {
+			rec.Note("x", "")
+			rec.Trigger("y", "")
+		}
+	}); ns >= 5 {
+		t.Errorf("disabled flight-recorder path costs %.2f ns/op, budget is < 5 ns", ns)
+	}
+	if ns := measure(func(b *testing.B) {
+		h := benchHandles.hist
+		for i := 0; i < b.N; i++ {
+			h.Record(time.Time{}, RegistrySnapshot{})
+			if h.Len() != 0 {
+				b.Fatal("nil history non-empty")
+			}
+		}
+	}); ns >= 5 {
+		t.Errorf("disabled metrics-history path costs %.2f ns/op, budget is < 5 ns", ns)
 	}
 }
 

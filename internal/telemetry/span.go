@@ -32,10 +32,16 @@ type SpanID uint64
 // (and stay omitted from JSON otherwise): they are the process-global
 // heap-allocation delta over the span's lifetime.
 type SpanRecord struct {
-	ID           SpanID  `json:"id"`
-	Parent       SpanID  `json:"parent,omitempty"`
-	Track        string  `json:"track"`
-	Name         string  `json:"name"`
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	Track  string `json:"track"`
+	Name   string `json:"name"`
+	// Proc labels the process that recorded the span; it is stamped at
+	// retention time from the collector's SetProc label (or explicitly
+	// on adopted foreign records) and maps to a pid in the Chrome
+	// export. Empty on single-process traces, keeping their JSON
+	// byte-identical to the pre-stitching format.
+	Proc         string  `json:"proc,omitempty"`
 	StartUS      float64 `json:"start_us"`
 	DurUS        float64 `json:"dur_us"`
 	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
@@ -65,6 +71,7 @@ type Span struct {
 	name   string
 	start  time.Time
 	done   bool
+	rec    SpanRecord // finished record, retained by End for Record
 
 	// alloc holds the allocation-counter sample taken when the span
 	// opened; valid only when allocOn is set (see alloc.go).
@@ -176,15 +183,40 @@ func (s *Span) End() {
 		rec.AllocObjects = tick.objects - s.alloc.objects
 		s.c.recordPhaseAlloc(s.name, rec.AllocBytes, rec.AllocObjects)
 	}
+	s.rec = rec
 	s.c.addSpan(rec)
+}
+
+// Record returns the finished span record (without the retaining
+// collector's Proc stamp, which only labels the local copy). The bool
+// is false until End has run, and always for a nil span.
+func (s *Span) Record() (SpanRecord, bool) {
+	if s == nil || !s.done {
+		return SpanRecord{}, false
+	}
+	return s.rec, true
+}
+
+// StartUS returns the span's start on the process timeline — the same
+// value End records — so adopters can anchor shipped child spans to a
+// still-open local span (0 for nil).
+func (s *Span) StartUS() float64 {
+	if s == nil {
+		return 0
+	}
+	return durUS(s.start.Sub(processEpoch))
 }
 
 func durUS(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 // addSpan retains one finished span, dropping the oldest half when the
-// cap is reached (bounding a long-running service's memory).
+// cap is reached (bounding a long-running service's memory). Records
+// without an explicit process label inherit the collector's.
 func (c *Collector) addSpan(r SpanRecord) {
 	c.obsMu.Lock()
+	if r.Proc == "" {
+		r.Proc = c.proc
+	}
 	if c.spanCap > 0 && len(c.spans) >= c.spanCap {
 		n := copy(c.spans, c.spans[len(c.spans)/2:])
 		c.spanDrops += uint64(len(c.spans) - n)

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Cross-process trace stitching: the front door mints a deterministic
+// span context, ships it to a backend in a request header, and the
+// backend parents its request→admission→worker→sim tree under it and
+// returns the finished span records in the response (mirroring how
+// telemetry windows ship). The front door then adopts those records —
+// re-anchored onto its own timeline and labeled with the originating
+// process — so one Chrome trace shows the whole fleet's view of a
+// request, including failed attempts, failover retries and hedge
+// losers.
+
+// TraceParentHeader carries a serialized SpanRef on cross-process
+// requests: "<16 hex digits of the span ID>;<track>".
+const TraceParentHeader = "X-Resemble-Trace-Parent"
+
+// FormatSpanRef serializes ref for TraceParentHeader. A zero ref
+// formats to "" (callers skip the header entirely).
+func FormatSpanRef(ref SpanRef) string {
+	if ref.ID == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(16 + 1 + len(ref.Track))
+	id := strconv.FormatUint(uint64(ref.ID), 16)
+	for i := len(id); i < 16; i++ {
+		b.WriteByte('0')
+	}
+	b.WriteString(id)
+	b.WriteByte(';')
+	b.WriteString(ref.Track)
+	return b.String()
+}
+
+// ParseSpanRef decodes a TraceParentHeader value. A missing or
+// malformed header yields (zero ref, false); callers fall back to a
+// locally rooted span, so a bad header degrades to an unstitched trace
+// rather than a failed request.
+func ParseSpanRef(s string) (SpanRef, bool) {
+	id, track, ok := strings.Cut(s, ";")
+	if !ok || len(id) != 16 {
+		return SpanRef{}, false
+	}
+	v, err := strconv.ParseUint(id, 16, 64)
+	if err != nil || v == 0 {
+		return SpanRef{}, false
+	}
+	return SpanRef{ID: SpanID(v), Track: track}, true
+}
+
+// AnchorSpans shifts a shipped span set onto the adopting process's
+// timeline: every process anchors StartUS to its own epoch, so raw
+// backend timestamps land arbitrarily far from the front door's and a
+// stitched trace would interleave nonsensically. The span whose Parent
+// is attachTo (the backend's request span under the front's attempt
+// span; earliest such span if several, earliest overall if none) is
+// slid to anchorUS and every other span keeps its offset relative to
+// it, preserving intra-process ordering while normalizing clock skew.
+// The input is not modified.
+func AnchorSpans(spans []SpanRecord, attachTo SpanID, anchorUS float64) []SpanRecord {
+	if len(spans) == 0 {
+		return nil
+	}
+	root := -1
+	for i, s := range spans {
+		if s.Parent == attachTo && (root == -1 || s.StartUS < spans[root].StartUS) {
+			root = i
+		}
+	}
+	if root == -1 {
+		for i, s := range spans {
+			if root == -1 || s.StartUS < spans[root].StartUS {
+				root = i
+			}
+		}
+	}
+	off := anchorUS - spans[root].StartUS
+	out := make([]SpanRecord, len(spans))
+	for i, s := range spans {
+		s.StartUS += off
+		out[i] = s
+	}
+	return out
+}
+
+// AdoptSpans retains foreign (shipped) span records on this collector,
+// subject to the usual retention cap. Callers are expected to have
+// anchored the records (AnchorSpans) and stamped their Proc label
+// first; records with an empty Proc inherit this collector's process
+// label like locally recorded spans do. Nil-safe.
+func (c *Collector) AdoptSpans(spans []SpanRecord) {
+	if c == nil {
+		return
+	}
+	for _, s := range spans {
+		c.addSpan(s)
+	}
+}
+
+// SetProc labels spans recorded on this collector with a process name
+// for multi-process Chrome export (one pid per distinct label).
+// Records adopted with an explicit Proc keep it. Nil-safe.
+func (c *Collector) SetProc(name string) {
+	if c == nil {
+		return
+	}
+	c.obsMu.Lock()
+	c.proc = name
+	c.obsMu.Unlock()
+}

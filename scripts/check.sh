@@ -27,6 +27,14 @@ go test -race -count 1 -run 'TestFixedForwardIntoZeroAlloc|TestRequantizeTracksR
 echo "== go test -race (telemetry, sim) =="
 go test -race ./internal/telemetry/... ./internal/sim/...
 
+echo "== flight recorder + metrics history + trace stitching (race-enabled quick gate) =="
+# The incident/tracing layer (DESIGN.md §15): concurrent ring writes,
+# history sampling, cross-process span stitching, and the jobs=1 vs
+# jobs=N stitched span-tree equality contract.
+go test -race -count 1 -run 'FlightRecorder|MetricsHistory|AnchorSpans|AdoptSpans|SpanRefHeader' ./internal/telemetry/
+go test -race -count 1 -run 'Stitched|Incident|FleetBundle|HedgeOutcome|MetricsHistory' ./internal/cluster/
+go test -race -count 1 -run 'Incident|MetricsHistory|InboundTraceContext' ./internal/service/
+
 echo "== go test -race (parallel engine, trace cache) =="
 go test -race -short ./internal/experiments/... ./internal/trace/...
 
@@ -65,10 +73,13 @@ tracetmp=$(mktemp -d)
 trap 'rm -rf "$tracetmp"' EXIT
 go run ./cmd/resembled -soak -trace-chrome "$tracetmp/soak-trace.json"
 
-echo "== cluster soak smoke (resemblefront chaos harness, race-enabled) =="
+echo "== cluster soak smoke + incident demo (resemblefront chaos harness, race-enabled) =="
 # Includes the kill-mid-run → resume-on-next-backend phase (byte-identity
-# against a single instance) and the store-corruption arm audit.
-go run -race ./cmd/resemblefront -soak -soak.duration 5s -soak.accesses 2000
+# against a single instance) and the store-corruption arm audit. The
+# incident_demo wrapper additionally fails unless the kill phase emitted
+# a failover fleet bundle and a valid stitched cross-process Chrome
+# trace (DESIGN.md §15).
+sh scripts/incident_demo.sh "$tracetmp/incidents"
 
 echo "== chrome trace validity (parses, ts monotone per track) =="
 go run ./cmd/resemble -workload 433.milc -controller resemble-t -n 4000 \
